@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the rate-region machinery: per-protocol
+//! sum-rate LPs (the Fig. 3 inner loop) and full boundary traces (the
+//! Fig. 4 inner loop).
+
+use bcc_bench::fig4_network;
+use bcc_core::protocol::{Bound, Protocol};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sum_rate(c: &mut Criterion) {
+    let net = fig4_network(10.0);
+    let mut group = c.benchmark_group("sum_rate_lp");
+    for proto in Protocol::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(proto.name()), &proto, |b, &p| {
+            b.iter(|| black_box(net.max_sum_rate(p).unwrap().sum_rate))
+        });
+    }
+    group.finish();
+}
+
+fn bench_boundary(c: &mut Criterion) {
+    let net = fig4_network(10.0);
+    let mut group = c.benchmark_group("region_boundary_32pts");
+    group.sample_size(20);
+    for proto in [Protocol::Mabc, Protocol::Tdbc, Protocol::Hbc] {
+        let region = net.region(proto, Bound::Inner);
+        group.bench_with_input(BenchmarkId::from_parameter(proto.name()), &region, |b, r| {
+            b.iter(|| black_box(r.boundary(32).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let net = fig4_network(10.0);
+    let hbc = net.region(Protocol::Hbc, Bound::Inner);
+    c.bench_function("region_contains_hbc", |b| {
+        b.iter(|| black_box(hbc.contains(0.8, 0.9)))
+    });
+}
+
+criterion_group!(benches, bench_sum_rate, bench_boundary, bench_membership);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the simulators: packet-exchange slot
+//! throughput, the joint-ML symbol-level decoder, and the per-trial cost
+//! of the fading Monte Carlo.
+
+use bcc_channel::fading::FadingModel;
+use bcc_channel::ChannelState;
+use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::protocol::Protocol;
+use bcc_sim::ergodic::ergodic_sum_rate;
+use bcc_sim::packet::{simulate_exchange, ErasureNetwork, RelayScheme};
+use bcc_sim::symbol::{run_mabc_exchange, SymbolSimConfig};
+use bcc_sim::McConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_packet_exchange(c: &mut Criterion) {
+    let net = ErasureNetwork::new(0.3, 0.8, 0.6);
+    c.bench_function("packet_exchange_1000_pairs_xor", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(simulate_exchange(&net, RelayScheme::XorNetworkCoding, 1000, &mut rng).slots)
+        })
+    });
+}
+
+fn bench_symbol_exchange(c: &mut Criterion) {
+    let cfg = SymbolSimConfig {
+        power: 10.0,
+        state: ChannelState::new(0.2, 1.0, 1.0),
+    };
+    c.bench_function("symbol_mabc_100_exchanges", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(run_mabc_exchange(&cfg, 100, &mut rng).successes)
+        })
+    });
+}
+
+fn bench_fading_mc(c: &mut Criterion) {
+    let net = GaussianNetwork::new(10.0, ChannelState::new(0.2, 1.0, 3.16));
+    c.bench_function("ergodic_hbc_200_trials", |b| {
+        b.iter(|| {
+            black_box(
+                ergodic_sum_rate(
+                    &net,
+                    Protocol::Hbc,
+                    FadingModel::Rayleigh,
+                    &McConfig::new(200, 1),
+                )
+                .mean(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_packet_exchange, bench_symbol_exchange, bench_fading_mc);
+criterion_main!(benches);

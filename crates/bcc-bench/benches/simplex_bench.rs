@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the LP substrate itself: solve time versus
+//! problem size for random dense feasible programs.
+
+use bcc_lp::{Problem, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_problem(vars: usize, rows: usize, seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let obj: Vec<f64> = (0..vars).map(|_| rng.gen_range(0.1..2.0)).collect();
+    let mut p = Problem::maximize(&obj);
+    for _ in 0..rows {
+        let coeffs: Vec<f64> = (0..vars).map(|_| rng.gen_range(0.05..1.0)).collect();
+        p.subject_to(&coeffs, Relation::Le, rng.gen_range(1.0..10.0));
+    }
+    p
+}
+
+fn bench_simplex_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_random_dense");
+    for &(vars, rows) in &[(4usize, 6usize), (8, 12), (16, 24), (32, 48)] {
+        let p = random_problem(vars, rows, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}v_{rows}c")),
+            &p,
+            |b, p| b.iter(|| black_box(p.solve().unwrap().objective)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    // Equality rows force a phase-1 pass — the paper's LPs all have one.
+    let mut p = random_problem(8, 10, 7);
+    p.subject_to(&[1.0; 8], Relation::Eq, 1.0);
+    c.bench_function("simplex_with_equality_row", |b| {
+        b.iter(|| black_box(p.solve().unwrap().objective))
+    });
+}
+
+criterion_group!(benches, bench_simplex_scaling, bench_two_phase);
+criterion_main!(benches);

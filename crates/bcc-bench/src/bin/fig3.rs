@@ -1,0 +1,111 @@
+//! E-F3a/E-F3b — regenerate Fig. 3: "Achievable sum rates of the
+//! protocols (P = 15 dB, G_ab = 0 dB)".
+//!
+//! The scanned caption pins only `P` and `G_ab`; the relay-gain axis is
+//! reproduced two ways (DESIGN.md §2):
+//!
+//! * **Sweep A (symmetric gains)** — `G_ar = G_br` swept from 0 to 30 dB.
+//! * **Sweep B (relay position)** — relay at `d ∈ (0, 1)` on the a–b line
+//!   with path-loss exponent γ = 3 (G_ab normalised to 0 dB).
+//!
+//! Shape claims checked here (and recorded in EXPERIMENTS.md):
+//! HBC ≥ max(MABC, TDBC) everywhere, strictly greater somewhere; DT is the
+//! floor once the relay links are stronger than the direct link.
+
+use bcc_bench::{fig3_symmetric_network, results_dir, FIG3_POWER_DB};
+use bcc_channel::topology::LineNetwork;
+use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::protocol::Protocol;
+use bcc_num::Db;
+use bcc_plot::{csv, Chart, Series, Table};
+use std::fs::File;
+
+fn sweep(
+    label: &str,
+    x_name: &str,
+    xs: &[f64],
+    net_of: impl Fn(f64) -> GaussianNetwork,
+) -> Vec<Series> {
+    let mut series: Vec<Series> = Protocol::ALL
+        .iter()
+        .map(|p| Series::new(p.name()))
+        .collect();
+    let mut table = Table::new(
+        std::iter::once(x_name.to_string())
+            .chain(Protocol::ALL.iter().map(|p| p.name().to_string()))
+            .collect(),
+    );
+    for &x in xs {
+        let net = net_of(x);
+        let mut row = vec![format!("{x:.2}")];
+        for (i, proto) in Protocol::ALL.iter().enumerate() {
+            let sr = net
+                .max_sum_rate(*proto)
+                .expect("sum-rate LP solvable")
+                .sum_rate;
+            series[i].push(x, sr);
+            row.push(format!("{sr:.4}"));
+        }
+        table.row(row);
+    }
+    println!("== Fig. 3 {label} ==");
+    println!("{}", table.render());
+    println!(
+        "{}",
+        Chart::new(64, 18)
+            .title(format!("Fig. 3 {label}: optimal sum rate (P = {FIG3_POWER_DB} dB)"))
+            .x_label(x_name)
+            .y_label("sum rate [bits/use]")
+            .add(series[0].clone())
+            .add(series[1].clone())
+            .add(series[2].clone())
+            .add(series[3].clone())
+            .render()
+    );
+    series
+}
+
+fn check_shape(series: &[Series]) {
+    // Order matches Protocol::ALL: DT, MABC, TDBC, HBC.
+    let (mabc, tdbc, hbc) = (&series[1], &series[2], &series[3]);
+    let mut strictly_better = 0usize;
+    for i in 0..hbc.len() {
+        let h = hbc.points[i].1;
+        let m = mabc.points[i].1;
+        let t = tdbc.points[i].1;
+        assert!(h >= m - 1e-8 && h >= t - 1e-8, "HBC dominated at index {i}");
+        if h > m.max(t) + 1e-6 {
+            strictly_better += 1;
+        }
+    }
+    println!(
+        "shape check: HBC >= max(MABC,TDBC) at all {} points; strictly greater at {}\n",
+        hbc.len(),
+        strictly_better
+    );
+}
+
+fn main() {
+    // ---- Sweep A: symmetric relay gains (E-F3a).
+    let xs_a: Vec<f64> = (0..=30).map(|g| g as f64).collect();
+    let series_a = sweep("sweep A (G_ar = G_br)", "relay gain [dB]", &xs_a, |g| {
+        fig3_symmetric_network(g)
+    });
+    check_shape(&series_a);
+    let f = File::create(results_dir().join("fig3_symmetric.csv")).expect("create csv");
+    csv::write_series(f, "relay_gain_db", &series_a).expect("write csv");
+
+    // ---- Sweep B: relay position on the a-b line (E-F3b).
+    let xs_b: Vec<f64> = (1..=19).map(|i| i as f64 / 20.0).collect();
+    let series_b = sweep("sweep B (relay position, γ = 3)", "relay position d", &xs_b, |d| {
+        GaussianNetwork::new(
+            Db::new(FIG3_POWER_DB).to_linear(),
+            LineNetwork::new(d, 3.0).channel_state(),
+        )
+    });
+    check_shape(&series_b);
+    let f = File::create(results_dir().join("fig3_position.csv")).expect("create csv");
+    csv::write_series(f, "relay_position", &series_b).expect("write csv");
+
+    println!("CSV written to {}", results_dir().display());
+}

@@ -1,0 +1,119 @@
+//! E-F4a/E-F4b/E-X2 — regenerate Fig. 4: achievable rate regions and
+//! outer bounds at P = 0 dB (top panel) and P = 10 dB (bottom panel),
+//! gains `G_ab = −7 dB, G_ar = 0 dB, G_br = 5 dB`.
+//!
+//! Regions traced (each as an `R_b → max R_a` boundary):
+//!
+//! * DT capacity, MABC capacity (Theorem 2 — inner = outer),
+//! * TDBC achievable (Theorem 3) and TDBC outer (Theorem 4),
+//! * HBC achievable (Theorem 5) and the Gaussian-restricted Theorem-6
+//!   ρ-family (reported as a reference curve; the paper declines to
+//!   evaluate the true HBC outer bound — DESIGN.md §2).
+//!
+//! The binary also verifies the paper's Section-IV observation (E-X2):
+//! at P = 10 dB some HBC-achievable points lie **outside** the MABC and
+//! TDBC outer bounds.
+
+use bcc_bench::{fig4_network, results_dir, FIG4_POWERS_DB};
+use bcc_core::comparison::hbc_outside_competitor_outer_bounds;
+use bcc_core::protocol::{Bound, Protocol};
+use bcc_core::region::RateRegion;
+use bcc_plot::{csv, Chart, Series};
+use std::fs::File;
+
+const BOUNDARY_POINTS: usize = 48;
+
+fn boundary_series(region: &RateRegion, name: &str) -> Series {
+    let pts = region.boundary(BOUNDARY_POINTS).expect("boundary trace");
+    // Fig. 4 plots Ra on x and Rb on y.
+    Series::from_points(name, pts.into_iter().map(|p| (p.ra, p.rb)).collect())
+}
+
+fn panel(p_db: f64) -> Vec<Series> {
+    let net = fig4_network(p_db);
+    println!(
+        "== Fig. 4 panel: P = {p_db} dB ({}) ==",
+        net.state()
+    );
+    let mut series = vec![
+        boundary_series(
+            &net.region(Protocol::DirectTransmission, Bound::Inner),
+            "DT capacity",
+        ),
+        boundary_series(&net.region(Protocol::Mabc, Bound::Inner), "MABC capacity"),
+        boundary_series(&net.region(Protocol::Tdbc, Bound::Inner), "TDBC inner"),
+        boundary_series(&net.region(Protocol::Tdbc, Bound::Outer), "TDBC outer"),
+        boundary_series(&net.region(Protocol::Hbc, Bound::Inner), "HBC inner"),
+    ];
+    // The Gaussian-restricted Thm-6 family (union over rho).
+    series.push(boundary_series(
+        &net.region(Protocol::Hbc, Bound::Outer),
+        "HBC outer (Gaussian-restricted)",
+    ));
+
+    let mut chart = Chart::new(64, 20)
+        .title(format!("Fig. 4: rate regions at P = {p_db} dB"))
+        .x_label("Ra [bits/use]")
+        .y_label("Rb [bits/use]");
+    for s in &series {
+        chart = chart.add(s.clone());
+    }
+    println!("{}", chart.render());
+
+    for s in &series {
+        let tip = s
+            .points
+            .iter()
+            .map(|(ra, rb)| ra + rb)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!("  max sum rate on {:<32} {:.4}", s.name, tip);
+    }
+    println!();
+    series
+}
+
+fn main() {
+    for p_db in FIG4_POWERS_DB {
+        let series = panel(p_db);
+        let f = File::create(
+            results_dir().join(format!("fig4_regions_p{}db.csv", p_db as i64)),
+        )
+        .expect("create csv");
+        // Region boundaries do not share an x-grid; store as (name, ra, rb)
+        // triples instead.
+        let mut rows = vec![vec![
+            "region".to_string(),
+            "ra".to_string(),
+            "rb".to_string(),
+        ]];
+        for s in &series {
+            for (ra, rb) in &s.points {
+                rows.push(vec![s.name.clone(), format!("{ra}"), format!("{rb}")]);
+            }
+        }
+        csv::write_rows(f, &rows).expect("write csv");
+    }
+
+    // E-X2: the paper's "HBC escapes both outer bounds" observation.
+    println!("== E-X2: HBC achievable points vs MABC/TDBC outer bounds ==");
+    for p_db in [0.0, 10.0] {
+        let net = fig4_network(p_db);
+        let violations =
+            hbc_outside_competitor_outer_bounds(&net, 64).expect("violation scan");
+        let mabc = violations
+            .iter()
+            .filter(|v| v.victim == Protocol::Mabc)
+            .count();
+        let tdbc = violations
+            .iter()
+            .filter(|v| v.victim == Protocol::Tdbc)
+            .count();
+        println!(
+            "P = {p_db:>4} dB: {mabc} boundary points outside MABC outer, {tdbc} outside TDBC outer"
+        );
+        if let Some(v) = violations.first() {
+            println!("  example witness: {} outside {} outer bound", v.witness, v.victim);
+        }
+    }
+    println!("\nCSV written to {}", results_dir().display());
+}

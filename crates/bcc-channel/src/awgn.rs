@@ -1,0 +1,154 @@
+//! Complex AWGN channel simulation.
+//!
+//! The symbol-level experiments transmit unit-energy constellations scaled
+//! by `√P` through a complex gain and add unit-power circularly-symmetric
+//! Gaussian noise — exactly the paper's model
+//! `Y_r = g_ar·X_a + g_br·X_b + Z_r` (per channel use).
+//! [`AwgnChannel`] owns the noise power so tests can also run off-nominal
+//! noise floors.
+
+use crate::gain::LinkGain;
+use crate::fading::complex_gaussian;
+use bcc_num::Complex64;
+use rand::Rng;
+
+/// A complex additive white Gaussian noise channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AwgnChannel {
+    noise_power: f64,
+}
+
+impl Default for AwgnChannel {
+    /// Unit noise power — the paper's normalisation.
+    fn default() -> Self {
+        AwgnChannel { noise_power: 1.0 }
+    }
+}
+
+impl AwgnChannel {
+    /// Creates a channel with the given noise power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_power < 0`.
+    pub fn new(noise_power: f64) -> Self {
+        assert!(noise_power >= 0.0, "noise power must be non-negative");
+        AwgnChannel { noise_power }
+    }
+
+    /// Noise power (variance of the complex noise).
+    pub fn noise_power(&self) -> f64 {
+        self.noise_power
+    }
+
+    /// One noise sample.
+    pub fn sample_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> Complex64 {
+        complex_gaussian(rng, self.noise_power)
+    }
+
+    /// Receives one symbol from a single transmitter:
+    /// `y = g·x + z`.
+    pub fn receive<R: Rng + ?Sized>(
+        &self,
+        gain: LinkGain,
+        x: Complex64,
+        rng: &mut R,
+    ) -> Complex64 {
+        gain.apply(x) + self.sample_noise(rng)
+    }
+
+    /// Receives one symbol of a two-user multiple-access phase:
+    /// `y = g_a·x_a + g_b·x_b + z` (the relay's observation in MABC/HBC
+    /// phase 3).
+    pub fn receive_mac<R: Rng + ?Sized>(
+        &self,
+        gain_a: LinkGain,
+        x_a: Complex64,
+        gain_b: LinkGain,
+        x_b: Complex64,
+        rng: &mut R,
+    ) -> Complex64 {
+        gain_a.apply(x_a) + gain_b.apply(x_b) + self.sample_noise(rng)
+    }
+
+    /// Transmits a whole block through the channel.
+    pub fn receive_block<R: Rng + ?Sized>(
+        &self,
+        gain: LinkGain,
+        xs: &[Complex64],
+        rng: &mut R,
+    ) -> Vec<Complex64> {
+        xs.iter().map(|&x| self.receive(gain, x, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::RunningStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_has_configured_power() {
+        let ch = AwgnChannel::new(3.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s: RunningStats = (0..100_000)
+            .map(|_| ch.sample_noise(&mut rng).norm_sqr())
+            .collect();
+        assert!((s.mean() - 3.0).abs() < 0.05, "noise power {}", s.mean());
+    }
+
+    #[test]
+    fn zero_noise_channel_is_transparent() {
+        let ch = AwgnChannel::new(0.0);
+        let g = LinkGain::from_power(4.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = ch.receive(g, Complex64::new(1.0, 0.0), &mut rng);
+        assert!((y.re - 2.0).abs() < 1e-12);
+        assert!(y.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn received_snr_matches_power_budget() {
+        // snr = P * G / N0.
+        let p = 10.0_f64;
+        let g = LinkGain::from_power(0.5, 1.0);
+        let ch = AwgnChannel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut signal = RunningStats::new();
+        for _ in 0..n {
+            let x = Complex64::new(p.sqrt(), 0.0);
+            let y = ch.receive(g, x, &mut rng);
+            signal.push(y.norm_sqr());
+        }
+        // E|y|^2 = P G + N0 = 5 + 1 = 6.
+        assert!((signal.mean() - 6.0).abs() < 0.1, "mean power {}", signal.mean());
+    }
+
+    #[test]
+    fn mac_superposes_both_users() {
+        let ch = AwgnChannel::new(0.0);
+        let ga = LinkGain::from_power(1.0, 0.0);
+        let gb = LinkGain::from_power(4.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let y = ch.receive_mac(
+            ga,
+            Complex64::new(1.0, 0.0),
+            gb,
+            Complex64::new(-1.0, 0.0),
+            &mut rng,
+        );
+        assert!((y.re - (1.0 - 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_length_preserved() {
+        let ch = AwgnChannel::default();
+        let g = LinkGain::from_power(1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = vec![Complex64::ONE; 37];
+        assert_eq!(ch.receive_block(g, &xs, &mut rng).len(), 37);
+    }
+}

@@ -1,0 +1,186 @@
+//! Channel-state information for the three-node bidirectional relay
+//! network.
+//!
+//! The paper assumes full CSI at all nodes and reciprocal channels, so the
+//! entire network state is the triple of *power* gains
+//! `(G_ab, G_ar, G_br)` plus the common per-node transmit power `P`
+//! (noise is normalised to unit power). [`ChannelState`] carries the gains;
+//! power is kept separate because the bounds are evaluated as functions of
+//! `P` for fixed gains (e.g. the Fig. 4 low/high-SNR comparison).
+
+use crate::halfduplex::NodeId;
+use bcc_num::Db;
+
+/// Reciprocal power gains of the three links of the network.
+///
+/// `gab` connects the two terminals; `gar` and `gbr` connect each terminal
+/// to the relay. All values are **linear** power gains (`G_ij = |g_ij|²`,
+/// incorporating both path loss and the current fading realisation).
+///
+/// ```
+/// use bcc_channel::ChannelState;
+/// use bcc_num::Db;
+///
+
+/// // Fig. 4 of the paper: Gab = −7 dB, Gar = 0 dB, Gbr = 5 dB.
+/// let cs = ChannelState::from_db(Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+/// assert!((cs.gar() - 1.0).abs() < 1e-12);
+/// assert!(cs.gab() < cs.gar() && cs.gbr() > cs.gar());
+/// assert!(cs.relay_advantaged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelState {
+    gab: f64,
+    gar: f64,
+    gbr: f64,
+}
+
+impl ChannelState {
+    /// Creates a channel state from linear power gains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gain is negative, NaN or infinite.
+    pub fn new(gab: f64, gar: f64, gbr: f64) -> Self {
+        for (name, g) in [("gab", gab), ("gar", gar), ("gbr", gbr)] {
+            assert!(
+                g.is_finite() && g >= 0.0,
+                "power gain {name} must be finite and non-negative, got {g}"
+            );
+        }
+        ChannelState { gab, gar, gbr }
+    }
+
+    /// Creates a channel state from gains in dB.
+    pub fn from_db(gab: Db, gar: Db, gbr: Db) -> Self {
+        ChannelState::new(gab.to_linear(), gar.to_linear(), gbr.to_linear())
+    }
+
+    /// Terminal-to-terminal power gain `G_ab`.
+    pub fn gab(&self) -> f64 {
+        self.gab
+    }
+
+    /// Terminal-`a`-to-relay power gain `G_ar`.
+    pub fn gar(&self) -> f64 {
+        self.gar
+    }
+
+    /// Terminal-`b`-to-relay power gain `G_br`.
+    pub fn gbr(&self) -> f64 {
+        self.gbr
+    }
+
+    /// Power gain of the (reciprocal) link between two distinct nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` (no self-links in the model).
+    pub fn link(&self, i: NodeId, j: NodeId) -> f64 {
+        use NodeId::*;
+        match (i, j) {
+            (A, B) | (B, A) => self.gab,
+            (A, R) | (R, A) => self.gar,
+            (B, R) | (R, B) => self.gbr,
+            _ => panic!("no self-link {i:?} -> {j:?}"),
+        }
+    }
+
+    /// Returns a copy with every gain multiplied by the corresponding entry
+    /// of `(fab, far, fbr)` — how a quasi-static fading realisation is
+    /// applied on top of path loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is negative or non-finite.
+    pub fn faded(&self, fab: f64, far: f64, fbr: f64) -> Self {
+        ChannelState::new(self.gab * fab, self.gar * far, self.gbr * fbr)
+    }
+
+    /// `true` if the state satisfies the paper's "interesting case"
+    /// ordering `G_ab ≤ G_ar` and `G_ab ≤ G_br` (both relay links at least
+    /// as strong as the direct link).
+    pub fn relay_advantaged(&self) -> bool {
+        self.gab <= self.gar && self.gab <= self.gbr
+    }
+
+    /// Swaps the roles of terminals `a` and `b` (exchanges `G_ar` and
+    /// `G_br`); useful for symmetry tests.
+    pub fn swapped(&self) -> Self {
+        ChannelState {
+            gab: self.gab,
+            gar: self.gbr,
+            gbr: self.gar,
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Gab={:.3} dB, Gar={:.3} dB, Gbr={:.3} dB",
+            Db::from_linear(self.gab).value(),
+            Db::from_linear(self.gar).value(),
+            Db::from_linear(self.gbr).value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn db_construction_matches_linear() {
+        let cs = ChannelState::from_db(Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+        assert!(approx_eq(cs.gab(), 0.19952623149688797, 1e-12));
+        assert!(approx_eq(cs.gar(), 1.0, 1e-12));
+        assert!(approx_eq(cs.gbr(), 3.1622776601683795, 1e-12));
+    }
+
+    #[test]
+    fn links_are_reciprocal() {
+        use NodeId::*;
+        let cs = ChannelState::new(1.0, 2.0, 3.0);
+        for (i, j) in [(A, B), (A, R), (B, R)] {
+            assert_eq!(cs.link(i, j), cs.link(j, i));
+        }
+        assert_eq!(cs.link(A, R), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-link")]
+    fn self_link_panics() {
+        let cs = ChannelState::new(1.0, 1.0, 1.0);
+        let _ = cs.link(NodeId::A, NodeId::A);
+    }
+
+    #[test]
+    fn fading_scales_gains() {
+        let cs = ChannelState::new(1.0, 2.0, 4.0).faded(0.5, 2.0, 0.25);
+        assert!(approx_eq(cs.gab(), 0.5, 1e-12));
+        assert!(approx_eq(cs.gar(), 4.0, 1e-12));
+        assert!(approx_eq(cs.gbr(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn relay_advantage_predicate() {
+        assert!(ChannelState::new(1.0, 2.0, 1.5).relay_advantaged());
+        assert!(!ChannelState::new(1.0, 2.0, 0.5).relay_advantaged());
+    }
+
+    #[test]
+    fn swap_is_involution() {
+        let cs = ChannelState::new(1.0, 2.0, 3.0);
+        assert_eq!(cs.swapped().swapped(), cs);
+        assert_eq!(cs.swapped().gar(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_gain_rejected() {
+        let _ = ChannelState::new(-1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Quasi-static block fading models.
+//!
+//! The paper's effective gains combine path loss with **quasi-static
+//! fading**: the fade is constant over a protocol block and i.i.d. across
+//! blocks. With full CSI, each realisation simply rescales the power
+//! gains; the outage/ergodic experiments in `bcc-sim` draw one
+//! [`FadingModel`] sample per link per block and multiply it onto the
+//! path-loss [`ChannelState`](crate::csi::ChannelState).
+
+use bcc_num::Complex64;
+use rand::Rng;
+use rand_distr_shim::standard_normal;
+
+/// A tiny internal shim so we only depend on `rand`'s uniform source: a
+/// standard normal via Box–Muller. (The offline crate set does not include
+/// `rand_distr`.)
+mod rand_distr_shim {
+    use rand::Rng;
+
+    /// One standard-normal draw via the Box–Muller transform.
+    pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// A complex circularly-symmetric Gaussian sample `CN(0, variance)`.
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> Complex64 {
+    assert!(variance >= 0.0, "variance must be non-negative");
+    let s = (variance / 2.0).sqrt();
+    Complex64::new(s * standard_normal(rng), s * standard_normal(rng))
+}
+
+/// Block-fading models for one link.
+///
+/// Every model is normalised to **unit mean power** so it can scale a
+/// path-loss gain without changing the average link budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FadingModel {
+    /// No fading: the gain factor is always 1.
+    None,
+    /// Rayleigh fading: amplitude `h ~ CN(0,1)`, power `|h|² ~ Exp(1)`.
+    Rayleigh,
+    /// Rician fading with K-factor `k` (ratio of line-of-sight to scattered
+    /// power); reduces to Rayleigh at `k = 0`.
+    Rician {
+        /// Line-of-sight to scattered power ratio (linear, ≥ 0).
+        k: f64,
+    },
+}
+
+impl FadingModel {
+    /// Samples one complex amplitude fade (unit mean power).
+    pub fn sample_amplitude<R: Rng + ?Sized>(&self, rng: &mut R) -> Complex64 {
+        match *self {
+            FadingModel::None => Complex64::ONE,
+            FadingModel::Rayleigh => complex_gaussian(rng, 1.0),
+            FadingModel::Rician { k } => {
+                assert!(k >= 0.0, "Rician K-factor must be non-negative");
+                let los = (k / (k + 1.0)).sqrt();
+                let scatter = complex_gaussian(rng, 1.0 / (k + 1.0));
+                Complex64::new(los, 0.0) + scatter
+            }
+        }
+    }
+
+    /// Samples one *power* fade `|h|²` (unit mean).
+    pub fn sample_power<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_amplitude(rng).norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::RunningStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn power_stats(model: FadingModel, n: usize, seed: u64) -> RunningStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| model.sample_power(&mut rng)).collect()
+    }
+
+    #[test]
+    fn no_fading_is_deterministic_unity() {
+        let s = power_stats(FadingModel::None, 100, 1);
+        assert_eq!(s.mean(), 1.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn rayleigh_power_is_unit_mean_exponential() {
+        let s = power_stats(FadingModel::Rayleigh, 200_000, 42);
+        // Exp(1): mean 1, variance 1.
+        assert!((s.mean() - 1.0).abs() < 0.01, "mean {}", s.mean());
+        assert!(
+            (s.sample_variance() - 1.0).abs() < 0.05,
+            "variance {}",
+            s.sample_variance()
+        );
+    }
+
+    #[test]
+    fn rayleigh_power_cdf_matches_exponential() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let below_one = (0..n)
+            .filter(|_| FadingModel::Rayleigh.sample_power(&mut rng) < 1.0)
+            .count() as f64
+            / n as f64;
+        // P[Exp(1) < 1] = 1 - e^{-1} ≈ 0.632.
+        assert!((below_one - 0.6321).abs() < 0.01, "P[X<1] = {below_one}");
+    }
+
+    #[test]
+    fn rician_unit_mean_power_any_k() {
+        for &k in &[0.0, 1.0, 5.0, 20.0] {
+            let s = power_stats(FadingModel::Rician { k }, 100_000, 7);
+            assert!(
+                (s.mean() - 1.0).abs() < 0.02,
+                "K={k}: mean {}",
+                s.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn rician_variance_shrinks_with_k() {
+        let v0 = power_stats(FadingModel::Rician { k: 0.0 }, 50_000, 3).sample_variance();
+        let v10 = power_stats(FadingModel::Rician { k: 10.0 }, 50_000, 3).sample_variance();
+        assert!(v10 < v0, "K=10 variance {v10} should be below K=0 variance {v0}");
+    }
+
+    #[test]
+    fn complex_gaussian_components_independent_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut re = RunningStats::new();
+        let mut im = RunningStats::new();
+        let mut cross = RunningStats::new();
+        for _ in 0..100_000 {
+            let z = complex_gaussian(&mut rng, 2.0);
+            re.push(z.re);
+            im.push(z.im);
+            cross.push(z.re * z.im);
+        }
+        assert!(re.mean().abs() < 0.02);
+        assert!(im.mean().abs() < 0.02);
+        // Each component has variance sigma^2 / 2 = 1.
+        assert!((re.sample_variance() - 1.0).abs() < 0.03);
+        assert!((im.sample_variance() - 1.0).abs() < 0.03);
+        assert!(cross.mean().abs() < 0.02);
+    }
+}

@@ -1,0 +1,105 @@
+//! Complex amplitude link gains.
+//!
+//! The paper works with complex effective gains `g_ij` that combine
+//! quasi-static fading and path loss; only the power `G_ij = |g_ij|²`
+//! enters the rate expressions, but the symbol-level simulator needs the
+//! complex amplitude (coherent detection rotates by the conjugate phase).
+
+use bcc_num::{Complex64, Db};
+
+/// A complex amplitude gain of one reciprocal link.
+///
+/// ```
+/// use bcc_channel::gain::LinkGain;
+/// use bcc_num::Db;
+///
+/// let g = LinkGain::from_power_db(Db::new(5.0), 0.3);
+/// assert!((g.power() - Db::new(5.0).to_linear()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkGain(Complex64);
+
+impl LinkGain {
+    /// Wraps a raw complex amplitude.
+    pub fn new(amplitude: Complex64) -> Self {
+        LinkGain(amplitude)
+    }
+
+    /// Builds a gain with the given *power* in dB and carrier `phase`
+    /// (radians).
+    pub fn from_power_db(power: Db, phase: f64) -> Self {
+        LinkGain(Complex64::from_polar(power.to_amplitude(), phase))
+    }
+
+    /// Builds a gain from linear power and phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power < 0`.
+    pub fn from_power(power: f64, phase: f64) -> Self {
+        assert!(power >= 0.0, "power must be non-negative, got {power}");
+        LinkGain(Complex64::from_polar(power.sqrt(), phase))
+    }
+
+    /// The complex amplitude `g`.
+    pub fn amplitude(&self) -> Complex64 {
+        self.0
+    }
+
+    /// The power gain `G = |g|²` that enters the paper's rate expressions.
+    pub fn power(&self) -> f64 {
+        self.0.norm_sqr()
+    }
+
+    /// Carrier phase in radians.
+    pub fn phase(&self) -> f64 {
+        self.0.arg()
+    }
+
+    /// Applies the gain to a transmitted symbol.
+    pub fn apply(&self, x: Complex64) -> Complex64 {
+        self.0 * x
+    }
+
+    /// The matched-filter (conjugate) rotation used for coherent detection.
+    pub fn matched_filter(&self, y: Complex64) -> Complex64 {
+        self.0.conj() * y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn power_phase_roundtrip() {
+        let g = LinkGain::from_power(4.0, 0.7);
+        assert!(approx_eq(g.power(), 4.0, 1e-12));
+        assert!(approx_eq(g.phase(), 0.7, 1e-12));
+        assert!(approx_eq(g.amplitude().norm(), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn db_constructor_squares_amplitude() {
+        let g = LinkGain::from_power_db(Db::new(-7.0), 1.2);
+        assert!(approx_eq(g.power(), Db::new(-7.0).to_linear(), 1e-12));
+    }
+
+    #[test]
+    fn matched_filter_removes_phase() {
+        let g = LinkGain::from_power(2.5, 1.9);
+        let x = Complex64::new(1.0, 0.0);
+        let y = g.apply(x);
+        let z = g.matched_filter(y);
+        // g* g x = |g|^2 x is real and positive.
+        assert!(approx_eq(z.im, 0.0, 1e-12));
+        assert!(approx_eq(z.re, 2.5, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        let _ = LinkGain::from_power(-1.0, 0.0);
+    }
+}

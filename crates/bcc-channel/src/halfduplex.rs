@@ -1,0 +1,187 @@
+//! Node identities and half-duplex scheduling rules.
+//!
+//! The paper's channel model (Section II-A) gives every node the extended
+//! alphabets `X* = X ∪ {∅}`, `Y* = Y ∪ {∅}` with the constraint
+//! `X_i = ∅ ⟺ Y_i ≠ ∅`: a silent node listens, a transmitting node hears
+//! nothing. This module encodes that rule once so the protocol definitions
+//! in `bcc-core` and the simulators in `bcc-sim` cannot disagree about it.
+
+use std::fmt;
+
+/// The three nodes of the bidirectional relay network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// Terminal node `a`.
+    A,
+    /// Terminal node `b`.
+    B,
+    /// Relay node `r`.
+    R,
+}
+
+impl NodeId {
+    /// All nodes, in canonical order.
+    pub const ALL: [NodeId; 3] = [NodeId::A, NodeId::B, NodeId::R];
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::A => write!(f, "a"),
+            NodeId::B => write!(f, "b"),
+            NodeId::R => write!(f, "r"),
+        }
+    }
+}
+
+/// The transmit/listen split of one protocol phase.
+///
+/// Construction validates the half-duplex rule structurally: a node is
+/// either in the transmitter set or it listens; it can never do both.
+/// An empty transmitter set is rejected (such a phase carries no
+/// information and the paper's protocols never schedule one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseActivity {
+    transmitters: Vec<NodeId>,
+}
+
+impl PhaseActivity {
+    /// Creates a phase in which exactly the nodes in `transmitters` send.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HalfDuplexError::NoTransmitter`] for an empty set and
+    /// [`HalfDuplexError::DuplicateTransmitter`] if a node appears twice.
+    pub fn new(transmitters: &[NodeId]) -> Result<Self, HalfDuplexError> {
+        if transmitters.is_empty() {
+            return Err(HalfDuplexError::NoTransmitter);
+        }
+        let mut seen = Vec::new();
+        for &t in transmitters {
+            if seen.contains(&t) {
+                return Err(HalfDuplexError::DuplicateTransmitter(t));
+            }
+            seen.push(t);
+        }
+        seen.sort();
+        Ok(PhaseActivity { transmitters: seen })
+    }
+
+    /// The transmitting nodes (sorted).
+    pub fn transmitters(&self) -> &[NodeId] {
+        &self.transmitters
+    }
+
+    /// The listening nodes (complement of the transmitters), sorted.
+    pub fn listeners(&self) -> Vec<NodeId> {
+        NodeId::ALL
+            .iter()
+            .copied()
+            .filter(|n| !self.transmitters.contains(n))
+            .collect()
+    }
+
+    /// `true` if `node` transmits in this phase.
+    pub fn is_transmitting(&self, node: NodeId) -> bool {
+        self.transmitters.contains(&node)
+    }
+
+    /// `true` if `node` can receive `from` in this phase: `from` must
+    /// transmit and `node` must listen (half-duplex) and differ from
+    /// `from`.
+    pub fn can_hear(&self, node: NodeId, from: NodeId) -> bool {
+        node != from && !self.is_transmitting(node) && self.is_transmitting(from)
+    }
+}
+
+/// Violations of the half-duplex scheduling rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HalfDuplexError {
+    /// A phase had no transmitting node.
+    NoTransmitter,
+    /// A node was listed as transmitter twice.
+    DuplicateTransmitter(NodeId),
+    /// A node was required to transmit and receive simultaneously.
+    SimultaneousTransmitReceive(NodeId),
+}
+
+impl fmt::Display for HalfDuplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HalfDuplexError::NoTransmitter => write!(f, "phase has no transmitter"),
+            HalfDuplexError::DuplicateTransmitter(n) => {
+                write!(f, "node {n} listed as transmitter twice")
+            }
+            HalfDuplexError::SimultaneousTransmitReceive(n) => {
+                write!(f, "node {n} cannot transmit and receive simultaneously")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HalfDuplexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listeners_complement_transmitters() {
+        let p = PhaseActivity::new(&[NodeId::A, NodeId::B]).unwrap();
+        assert_eq!(p.listeners(), vec![NodeId::R]);
+        assert!(p.is_transmitting(NodeId::A));
+        assert!(!p.is_transmitting(NodeId::R));
+    }
+
+    #[test]
+    fn can_hear_respects_half_duplex() {
+        // MABC phase 1: a and b transmit, r listens.
+        let p = PhaseActivity::new(&[NodeId::A, NodeId::B]).unwrap();
+        assert!(p.can_hear(NodeId::R, NodeId::A));
+        assert!(p.can_hear(NodeId::R, NodeId::B));
+        // b transmits, so it cannot hear a — this is exactly why MABC yields
+        // no side information (paper Section II-C).
+        assert!(!p.can_hear(NodeId::B, NodeId::A));
+        assert!(!p.can_hear(NodeId::A, NodeId::A));
+    }
+
+    #[test]
+    fn tdbc_phase_gives_side_information() {
+        // TDBC phase 1: only a transmits; BOTH r and b hear it.
+        let p = PhaseActivity::new(&[NodeId::A]).unwrap();
+        assert!(p.can_hear(NodeId::R, NodeId::A));
+        assert!(p.can_hear(NodeId::B, NodeId::A));
+    }
+
+    #[test]
+    fn empty_phase_rejected() {
+        assert_eq!(
+            PhaseActivity::new(&[]).unwrap_err(),
+            HalfDuplexError::NoTransmitter
+        );
+    }
+
+    #[test]
+    fn duplicate_transmitter_rejected() {
+        assert_eq!(
+            PhaseActivity::new(&[NodeId::A, NodeId::A]).unwrap_err(),
+            HalfDuplexError::DuplicateTransmitter(NodeId::A)
+        );
+    }
+
+    #[test]
+    fn transmitters_sorted_canonically() {
+        let p = PhaseActivity::new(&[NodeId::B, NodeId::A]).unwrap();
+        assert_eq!(p.transmitters(), &[NodeId::A, NodeId::B]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeId::A.to_string(), "a");
+        assert_eq!(NodeId::R.to_string(), "r");
+        assert_eq!(
+            HalfDuplexError::SimultaneousTransmitReceive(NodeId::B).to_string(),
+            "node b cannot transmit and receive simultaneously"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Physical-layer substrate: gains, path loss, fading, AWGN, half-duplex.
+//!
+//! The paper's Section IV evaluates the protocol bounds on a three-node
+//! Gaussian network whose links combine **quasi-static fading and path
+//! loss** into reciprocal complex gains `g_ij` (`g_ij = g_ji`), with power
+//! gains `G_ij = |g_ij|²`. Each node transmits with power `P` against unit
+//! complex AWGN, and the **half-duplex constraint** forces `X_i = ∅` iff
+//! `Y_i ≠ ∅` (a node never transmits and receives simultaneously).
+//!
+//! Modules:
+//!
+//! * [`csi`] — the `(G_ab, G_ar, G_br)` channel-state triple all bound
+//!   computations consume.
+//! * [`gain`] — complex amplitude gains and reciprocity.
+//! * [`topology`] — node geometry → path-loss gains (line networks for the
+//!   relay-placement experiments).
+//! * [`fading`] — Rayleigh/Rician quasi-static block fading.
+//! * [`awgn`] — complex AWGN sampling and channel application.
+//! * [`halfduplex`] — node identities, per-phase transmit sets, and
+//!   violation checking shared by the protocol definitions and simulators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod awgn;
+pub mod csi;
+pub mod fading;
+pub mod gain;
+pub mod halfduplex;
+pub mod topology;
+
+pub use csi::ChannelState;
+pub use halfduplex::NodeId;

@@ -1,0 +1,189 @@
+//! Node geometry → path-loss channel gains.
+//!
+//! The paper motivates the bidirectional relay with a cellular picture
+//! (`a` a mobile, `b` a base station, `r` a relay station) and evaluates
+//! bounds for gains satisfying `G_ab ≤ G_ar, G_br`. The natural generator
+//! of such gain triples is a **line network**: `a` at the origin, `b` at
+//! unit distance, the relay at position `d ∈ (0,1)` between them, with
+//! power-law path loss `G = dist^{-γ}` normalised so that `G_ab = 1`
+//! (0 dB, the paper's Fig. 3/4 normalisation).
+
+use crate::csi::ChannelState;
+
+/// Free-space/power-law path loss `dist^{-gamma}` normalised to unit gain
+/// at unit distance.
+///
+/// # Panics
+///
+/// Panics if `dist <= 0` or `gamma < 0`.
+///
+/// ```
+/// let g = bcc_channel::topology::path_loss(0.5, 3.0);
+/// assert!((g - 8.0).abs() < 1e-12);
+/// ```
+pub fn path_loss(dist: f64, gamma: f64) -> f64 {
+    assert!(dist > 0.0, "distance must be positive, got {dist}");
+    assert!(gamma >= 0.0, "path-loss exponent must be non-negative");
+    dist.powf(-gamma)
+}
+
+/// A relay on the segment between the two terminals.
+///
+/// `a` sits at 0, `b` at 1, the relay at `position ∈ (0, 1)`. With
+/// exponent `gamma`, the gains are `G_ab = 1`, `G_ar = position^{-γ}`,
+/// `G_br = (1-position)^{-γ}` — exactly the "interesting case"
+/// `G_ab ≤ G_ar, G_br` of the paper for any interior relay position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineNetwork {
+    position: f64,
+    gamma: f64,
+}
+
+impl LineNetwork {
+    /// Creates a line network with the relay at `position` and path-loss
+    /// exponent `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is not strictly inside `(0, 1)` or `gamma < 0`.
+    pub fn new(position: f64, gamma: f64) -> Self {
+        assert!(
+            position > 0.0 && position < 1.0,
+            "relay position must be in (0,1), got {position}"
+        );
+        assert!(gamma >= 0.0, "path-loss exponent must be non-negative");
+        LineNetwork { position, gamma }
+    }
+
+    /// Relay position in `(0, 1)`.
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Path-loss exponent.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The path-loss channel state of this geometry.
+    pub fn channel_state(&self) -> ChannelState {
+        ChannelState::new(
+            1.0,
+            path_loss(self.position, self.gamma),
+            path_loss(1.0 - self.position, self.gamma),
+        )
+    }
+}
+
+/// A fully general planar topology: explicit 2-D coordinates for the three
+/// nodes. Gains are path-loss only, normalised so a unit-distance link has
+/// unit gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanarNetwork {
+    /// Position of terminal `a`.
+    pub a: (f64, f64),
+    /// Position of terminal `b`.
+    pub b: (f64, f64),
+    /// Position of the relay.
+    pub r: (f64, f64),
+    /// Path-loss exponent.
+    pub gamma: f64,
+}
+
+impl PlanarNetwork {
+    fn dist(p: (f64, f64), q: (f64, f64)) -> f64 {
+        ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2)).sqrt()
+    }
+
+    /// The path-loss channel state of this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two nodes are co-located.
+    pub fn channel_state(&self) -> ChannelState {
+        ChannelState::new(
+            path_loss(Self::dist(self.a, self.b), self.gamma),
+            path_loss(Self::dist(self.a, self.r), self.gamma),
+            path_loss(Self::dist(self.b, self.r), self.gamma),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn midpoint_relay_is_symmetric() {
+        let cs = LineNetwork::new(0.5, 3.0).channel_state();
+        assert!(approx_eq(cs.gar(), cs.gbr(), 1e-12));
+        assert!(approx_eq(cs.gar(), 8.0, 1e-12));
+        assert!(approx_eq(cs.gab(), 1.0, 1e-12));
+        assert!(cs.relay_advantaged());
+    }
+
+    #[test]
+    fn relay_near_a_boosts_gar() {
+        let cs = LineNetwork::new(0.1, 3.0).channel_state();
+        assert!(cs.gar() > cs.gbr());
+        assert!(approx_eq(cs.gar(), 1000.0, 1e-9));
+        assert!(approx_eq(cs.gbr(), 0.9_f64.powf(-3.0), 1e-12));
+    }
+
+    #[test]
+    fn any_interior_position_is_relay_advantaged() {
+        for k in 1..20 {
+            let cs = LineNetwork::new(k as f64 / 20.0, 2.7).channel_state();
+            assert!(cs.relay_advantaged(), "position {}", k as f64 / 20.0);
+        }
+    }
+
+    #[test]
+    fn zero_gamma_makes_all_gains_unity() {
+        let cs = LineNetwork::new(0.3, 0.0).channel_state();
+        assert!(approx_eq(cs.gar(), 1.0, 1e-12));
+        assert!(approx_eq(cs.gbr(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn planar_reduces_to_line() {
+        let line = LineNetwork::new(0.25, 3.0).channel_state();
+        let planar = PlanarNetwork {
+            a: (0.0, 0.0),
+            b: (1.0, 0.0),
+            r: (0.25, 0.0),
+            gamma: 3.0,
+        }
+        .channel_state();
+        assert!(approx_eq(line.gar(), planar.gar(), 1e-12));
+        assert!(approx_eq(line.gbr(), planar.gbr(), 1e-12));
+        assert!(approx_eq(line.gab(), planar.gab(), 1e-12));
+    }
+
+    #[test]
+    fn offset_relay_weakens_links() {
+        let on_line = PlanarNetwork {
+            a: (0.0, 0.0),
+            b: (1.0, 0.0),
+            r: (0.5, 0.0),
+            gamma: 3.0,
+        }
+        .channel_state();
+        let off_line = PlanarNetwork {
+            a: (0.0, 0.0),
+            b: (1.0, 0.0),
+            r: (0.5, 0.5),
+            gamma: 3.0,
+        }
+        .channel_state();
+        assert!(off_line.gar() < on_line.gar());
+        assert!(off_line.gbr() < on_line.gbr());
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1)")]
+    fn boundary_position_rejected() {
+        let _ = LineNetwork::new(1.0, 3.0);
+    }
+}

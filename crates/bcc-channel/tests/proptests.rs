@@ -1,0 +1,102 @@
+//! Property-based tests of the channel substrate.
+
+use bcc_channel::fading::FadingModel;
+use bcc_channel::gain::LinkGain;
+use bcc_channel::halfduplex::PhaseActivity;
+use bcc_channel::topology::{path_loss, LineNetwork};
+use bcc_channel::{ChannelState, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn channel_state_swap_involution(gab in 0.0f64..100.0, gar in 0.0f64..100.0, gbr in 0.0f64..100.0) {
+        let cs = ChannelState::new(gab, gar, gbr);
+        prop_assert_eq!(cs.swapped().swapped(), cs);
+        prop_assert_eq!(cs.swapped().gab(), cs.gab());
+    }
+
+    #[test]
+    fn links_reciprocal(gab in 0.0f64..10.0, gar in 0.0f64..10.0, gbr in 0.0f64..10.0) {
+        let cs = ChannelState::new(gab, gar, gbr);
+        use NodeId::*;
+        for (i, j) in [(A, B), (A, R), (B, R)] {
+            prop_assert_eq!(cs.link(i, j), cs.link(j, i));
+        }
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance(d1 in 0.01f64..10.0, d2 in 0.01f64..10.0, gamma in 0.5f64..5.0) {
+        prop_assume!(d1 < d2);
+        prop_assert!(path_loss(d1, gamma) > path_loss(d2, gamma));
+    }
+
+    #[test]
+    fn line_network_always_relay_advantaged(d in 0.01f64..0.99, gamma in 0.0f64..5.0) {
+        let cs = LineNetwork::new(d, gamma).channel_state();
+        prop_assert!(cs.relay_advantaged());
+        // Mirror symmetry of the line (relative tolerance — gains span
+        // many orders of magnitude at extreme positions).
+        let mirror = LineNetwork::new(1.0 - d, gamma).channel_state();
+        prop_assert!(bcc_num::approx_eq(cs.gar(), mirror.gbr(), 1e-9));
+    }
+
+    #[test]
+    fn gain_power_phase_consistent(power in 0.0f64..100.0, phase in -3.0f64..3.0) {
+        let g = LinkGain::from_power(power, phase);
+        prop_assert!((g.power() - power).abs() < 1e-9 * (1.0 + power));
+        if power > 1e-9 {
+            prop_assert!((g.phase() - phase).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matched_filter_output_nonnegative_real(power in 0.01f64..100.0, phase in -3.0f64..3.0) {
+        let g = LinkGain::from_power(power, phase);
+        let y = g.apply(bcc_num::Complex64::ONE);
+        let z = g.matched_filter(y);
+        prop_assert!(z.im.abs() < 1e-9 * power.max(1.0));
+        prop_assert!(z.re >= 0.0);
+    }
+
+    #[test]
+    fn phase_activity_partition(transmitters in prop::sample::subsequence(
+        vec![NodeId::A, NodeId::B, NodeId::R], 1..=3)
+    ) {
+        let p = PhaseActivity::new(&transmitters).unwrap();
+        let listeners = p.listeners();
+        // Transmitters and listeners partition the node set.
+        prop_assert_eq!(p.transmitters().len() + listeners.len(), 3);
+        for n in NodeId::ALL {
+            prop_assert!(p.is_transmitting(n) != listeners.contains(&n));
+            // Half-duplex: no node hears itself or hears while sending.
+            prop_assert!(!p.can_hear(n, n));
+            if p.is_transmitting(n) {
+                for m in NodeId::ALL {
+                    prop_assert!(!p.can_hear(n, m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fading_samples_nonnegative_power(seed in 0u64..1000, k in 0.0f64..20.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for model in [FadingModel::None, FadingModel::Rayleigh, FadingModel::Rician { k }] {
+            let p = model.sample_power(&mut rng);
+            prop_assert!(p >= 0.0 && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn faded_state_scales_linearly(
+        gab in 0.01f64..10.0, f in 0.0f64..5.0,
+    ) {
+        let cs = ChannelState::new(gab, 1.0, 2.0).faded(f, 1.0, 1.0);
+        prop_assert!((cs.gab() - gab * f).abs() < 1e-12);
+        prop_assert_eq!(cs.gar(), 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Random binning for the TDBC relay (paper Theorem 3).
+//!
+//! In TDBC the terminals overhear each other, so the relay need not resend
+//! full messages: it partitions each message set `S_a` into `⌊2^{nR_a'}⌋`
+//! bins by *random assignment* (uniform, independent), and broadcasts only
+//! `s_a(ŵ_a) ⊕ s_b(ŵ_b)`. Terminal `b` recovers `s_a(w_a)`, then finds the
+//! unique message in that bin that is jointly typical with its overheard
+//! phase-1 signal. [`BinPartition`] implements the partition; the list
+//! decoding against side information lives in `bcc-sim`.
+
+use rand::Rng;
+
+/// A random partition of `{0, …, n_messages−1}` into `n_bins` bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinPartition {
+    assignment: Vec<u32>,
+    n_bins: u32,
+}
+
+impl BinPartition {
+    /// Draws a uniform random partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_messages == 0` or `n_bins == 0`.
+    pub fn random<R: Rng + ?Sized>(n_messages: usize, n_bins: u32, rng: &mut R) -> Self {
+        assert!(n_messages > 0, "need at least one message");
+        assert!(n_bins > 0, "need at least one bin");
+        BinPartition {
+            assignment: (0..n_messages).map(|_| rng.gen_range(0..n_bins)).collect(),
+            n_bins,
+        }
+    }
+
+    /// Number of messages in the partitioned set.
+    pub fn n_messages(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> u32 {
+        self.n_bins
+    }
+
+    /// The bin index `s(w)` of message `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn bin_of(&self, w: usize) -> u32 {
+        self.assignment[w]
+    }
+
+    /// All messages assigned to `bin` (the decoder's candidate list).
+    pub fn bin_members(&self, bin: u32) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == bin)
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    /// Decodes a message from its bin index and a side-information scorer:
+    /// returns the candidate in `bin` maximising `score`, or `None` if the
+    /// bin is empty. Ties resolve to the smallest index (an error event in
+    /// the random-coding analysis).
+    pub fn decode_with_score<F: Fn(usize) -> f64>(&self, bin: u32, score: F) -> Option<usize> {
+        self.bin_members(bin)
+            .into_iter()
+            .max_by(|&x, &y| {
+                score(x)
+                    .partial_cmp(&score(y))
+                    .expect("scores must not be NaN")
+                    // stable preference for smaller index on ties
+                    .then(y.cmp(&x))
+            })
+    }
+
+    /// Expected bin size `n_messages / n_bins` — the list size the side
+    /// information must disambiguate.
+    pub fn expected_bin_size(&self) -> f64 {
+        self.assignment.len() as f64 / self.n_bins as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partition_covers_every_message() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = BinPartition::random(100, 8, &mut rng);
+        let total: usize = (0..8).map(|b| p.bin_members(b).len()).sum();
+        assert_eq!(total, 100);
+        for w in 0..100 {
+            assert!(p.bin_members(p.bin_of(w)).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bins_are_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = BinPartition::random(80_000, 8, &mut rng);
+        let expected = p.expected_bin_size();
+        for b in 0..8 {
+            let size = p.bin_members(b).len() as f64;
+            assert!(
+                (size - expected).abs() < 0.05 * expected,
+                "bin {b}: {size} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_with_perfect_side_info() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = BinPartition::random(64, 4, &mut rng);
+        // Perfect side information: the scorer peaks at the true message.
+        for truth in 0..64usize {
+            let decoded = p
+                .decode_with_score(p.bin_of(truth), |w| {
+                    -((w as f64 - truth as f64).abs())
+                })
+                .expect("bin non-empty");
+            assert_eq!(decoded, truth);
+        }
+    }
+
+    #[test]
+    fn decode_ambiguity_without_side_info() {
+        // A constant scorer cannot distinguish within a bin, so decoding
+        // only succeeds when the bin is a singleton — with many more bins
+        // than messages, most bins are singletons (analogue of R' > H).
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = BinPartition::random(16, 1024, &mut rng);
+        let correct = (0..16usize)
+            .filter(|&w| p.decode_with_score(p.bin_of(w), |_| 0.0) == Some(w))
+            .count();
+        assert!(correct >= 14, "only {correct}/16 decodable with 1024 bins");
+    }
+
+    #[test]
+    fn empty_bin_returns_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 1 message into many bins: all but one bin empty.
+        let p = BinPartition::random(1, 64, &mut rng);
+        let occupied = p.bin_of(0);
+        let empty = (0..64).find(|&b| b != occupied).expect("some empty bin");
+        assert_eq!(p.decode_with_score(empty, |_| 1.0), None);
+        assert_eq!(p.decode_with_score(occupied, |_| 1.0), Some(0));
+    }
+}

@@ -1,0 +1,219 @@
+//! Generic binary linear block codes.
+//!
+//! A `[n, k]` code is defined by a `k × n` generator matrix. Decoders:
+//! brute-force maximum-likelihood (minimum Hamming distance) for small `k`,
+//! and syndrome decoding when a parity-check matrix is available. These are
+//! the workhorses of the symbol-level protocol simulation — the relay
+//! XORs *codewords* (linearity makes the XOR of codewords a codeword of
+//! the same code, which is what makes physical-layer network coding work).
+
+use crate::gf2::{hamming_distance, xor_bits, BitMatrix};
+use rand::Rng;
+
+/// A binary linear block code `[n, k]` given by its generator matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearCode {
+    generator: BitMatrix,
+}
+
+impl LinearCode {
+    /// Wraps a `k × n` generator matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator does not have full row rank (the encoder
+    /// would not be injective).
+    pub fn new(generator: BitMatrix) -> Self {
+        assert_eq!(
+            generator.rank(),
+            generator.rows(),
+            "generator must have full row rank"
+        );
+        LinearCode { generator }
+    }
+
+    /// A random `[n, k]` code (resamples until the generator has full row
+    /// rank; for `n ≥ k` this takes O(1) attempts in expectation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn random<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k > 0 && k <= n, "need 0 < k <= n, got k={k}, n={n}");
+        loop {
+            let g = BitMatrix::random(k, n, rng);
+            if g.rank() == k {
+                return LinearCode { generator: g };
+            }
+        }
+    }
+
+    /// Block length `n`.
+    pub fn block_length(&self) -> usize {
+        self.generator.cols()
+    }
+
+    /// Message length `k`.
+    pub fn dimension(&self) -> usize {
+        self.generator.rows()
+    }
+
+    /// Code rate `k/n`.
+    pub fn rate(&self) -> f64 {
+        self.dimension() as f64 / self.block_length() as f64
+    }
+
+    /// Encodes `k` message bits into an `n`-bit codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != k`.
+    pub fn encode(&self, message: &[u8]) -> Vec<u8> {
+        assert_eq!(message.len(), self.dimension(), "message length mismatch");
+        self.generator.transpose().mul_vec(message)
+    }
+
+    /// Brute-force maximum-likelihood decoding over a BSC: returns the
+    /// message whose codeword is nearest (Hamming) to `received`, together
+    /// with that distance. Complexity `O(2^k · n)` — fine for `k ≤ 16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != n` or `k > 24` (guard against
+    /// accidentally exponential calls).
+    pub fn decode_ml(&self, received: &[u8]) -> (Vec<u8>, usize) {
+        assert_eq!(received.len(), self.block_length(), "length mismatch");
+        let k = self.dimension();
+        assert!(k <= 24, "ML decoding is exponential in k; got k={k}");
+        let mut best_msg = vec![0u8; k];
+        let mut best_dist = usize::MAX;
+        for m in 0..(1u32 << k) {
+            let msg: Vec<u8> = (0..k).map(|i| ((m >> i) & 1) as u8).collect();
+            let cw = self.encode(&msg);
+            let d = hamming_distance(&cw, received);
+            if d < best_dist {
+                best_dist = d;
+                best_msg = msg;
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        (best_msg, best_dist)
+    }
+
+    /// The minimum distance of the code (brute force; `k ≤ 20`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20`.
+    pub fn minimum_distance(&self) -> usize {
+        let k = self.dimension();
+        assert!(k <= 20, "minimum distance search is exponential in k");
+        let mut best = usize::MAX;
+        for m in 1..(1u32 << k) {
+            let msg: Vec<u8> = (0..k).map(|i| ((m >> i) & 1) as u8).collect();
+            let w = crate::gf2::weight(&self.encode(&msg));
+            best = best.min(w);
+        }
+        best
+    }
+
+    /// XOR of two codewords — a codeword again (linearity), encoding the
+    /// XOR of the messages. This is the relay's network-coding operation at
+    /// the physical layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from `n`.
+    pub fn xor_codewords(&self, cw_a: &[u8], cw_b: &[u8]) -> Vec<u8> {
+        assert_eq!(cw_a.len(), self.block_length(), "length mismatch");
+        xor_bits(cw_a, cw_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_code() -> LinearCode {
+        // [6,3] code with identity prefix (systematic).
+        LinearCode::new(BitMatrix::from_rows(&[
+            &[1, 0, 0, 1, 1, 0],
+            &[0, 1, 0, 0, 1, 1],
+            &[0, 0, 1, 1, 0, 1],
+        ]))
+    }
+
+    #[test]
+    fn encode_is_linear() {
+        let code = test_code();
+        let a = [1, 0, 1];
+        let b = [1, 1, 0];
+        let ab = xor_bits(&a, &b);
+        assert_eq!(
+            code.encode(&ab),
+            xor_bits(&code.encode(&a), &code.encode(&b))
+        );
+    }
+
+    #[test]
+    fn rate_and_dimensions() {
+        let code = test_code();
+        assert_eq!(code.block_length(), 6);
+        assert_eq!(code.dimension(), 3);
+        assert!((code.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ml_decodes_clean_and_single_error() {
+        let code = test_code();
+        let msg = [1, 1, 0];
+        let cw = code.encode(&msg);
+        let (decoded, d) = code.decode_ml(&cw);
+        assert_eq!(decoded, msg.to_vec());
+        assert_eq!(d, 0);
+        // This code has minimum distance 3 → corrects any single error.
+        assert_eq!(code.minimum_distance(), 3);
+        for pos in 0..6 {
+            let mut noisy = cw.clone();
+            noisy[pos] ^= 1;
+            let (dec, d) = code.decode_ml(&noisy);
+            assert_eq!(dec, msg.to_vec(), "error at position {pos}");
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn xor_of_codewords_encodes_xor_of_messages() {
+        let code = test_code();
+        let wa = [1, 0, 1];
+        let wb = [0, 1, 1];
+        let relay_cw = code.xor_codewords(&code.encode(&wa), &code.encode(&wb));
+        assert_eq!(relay_cw, code.encode(&xor_bits(&wa, &wb)));
+        // Terminal a strips its own codeword to get b's.
+        let recovered_b = xor_bits(&relay_cw, &code.encode(&wa));
+        assert_eq!(recovered_b, code.encode(&wb));
+    }
+
+    #[test]
+    fn random_codes_have_full_rank_and_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let code = LinearCode::random(12, 5, &mut rng);
+            assert_eq!(code.dimension(), 5);
+            let msg: Vec<u8> = (0..5).map(|_| rng.gen_range(0..2u8)).collect();
+            let (dec, d) = code.decode_ml(&code.encode(&msg));
+            assert_eq!(dec, msg);
+            assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full row rank")]
+    fn rank_deficient_generator_rejected() {
+        let _ = LinearCode::new(BitMatrix::from_rows(&[&[1, 0], &[1, 0]]));
+    }
+}

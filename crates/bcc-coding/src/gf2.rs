@@ -1,0 +1,357 @@
+//! Dense linear algebra over GF(2).
+//!
+//! Bits are stored one per byte — at the block lengths used in this
+//! workspace (n ≤ a few thousand) simplicity beats bit-packing, and the
+//! representation keeps the row-reduction code readable.
+
+use rand::Rng;
+use std::fmt;
+
+/// A dense matrix over GF(2).
+///
+/// ```
+/// use bcc_coding::BitMatrix;
+///
+/// let m = BitMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 1]]);
+/// assert_eq!(m.rank(), 2);
+/// assert_eq!(m.mul_vec(&[1, 1, 0]), vec![1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl BitMatrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        BitMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds from rows of 0/1 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/ragged input or entries other than 0/1.
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let mut m = BitMatrix::zeros(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!(v <= 1, "entries must be bits, got {v}");
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// A uniformly random matrix.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let mut m = BitMatrix::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.gen_range(0..2u8);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets entry `(r, c)` to `v` (0 or 1).
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        assert!(v <= 1, "entries must be bits");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, x: &[u8]) -> Vec<u8> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x)
+                    .fold(0u8, |acc, (&a, &b)| acc ^ (a & b))
+            })
+            .collect()
+    }
+
+    /// Matrix product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = BitMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                if self.get(i, k) == 1 {
+                    for j in 0..other.cols {
+                        let v = out.get(i, j) ^ other.get(k, j);
+                        out.set(i, j, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Row-reduces in place to (non-canonical) row echelon form and returns
+    /// the rank.
+    pub fn row_reduce(&mut self) -> usize {
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row == self.rows {
+                break;
+            }
+            // Find a pivot.
+            let Some(r) = (pivot_row..self.rows).find(|&r| self.get(r, col) == 1) else {
+                continue;
+            };
+            // Swap into place.
+            if r != pivot_row {
+                for j in 0..self.cols {
+                    let tmp = self.get(r, j);
+                    self.set(r, j, self.get(pivot_row, j));
+                    self.set(pivot_row, j, tmp);
+                }
+            }
+            // Eliminate everywhere else.
+            for rr in 0..self.rows {
+                if rr != pivot_row && self.get(rr, col) == 1 {
+                    for j in 0..self.cols {
+                        let v = self.get(rr, j) ^ self.get(pivot_row, j);
+                        self.set(rr, j, v);
+                    }
+                }
+            }
+            pivot_row += 1;
+        }
+        pivot_row
+    }
+
+    /// Rank over GF(2).
+    pub fn rank(&self) -> usize {
+        self.clone().row_reduce()
+    }
+
+    /// Solves `A·x = b` over GF(2). Returns any solution, or `None` if the
+    /// system is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != rows`.
+    pub fn solve(&self, b: &[u8]) -> Option<Vec<u8>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        // Augment and reduce.
+        let mut aug = BitMatrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                aug.set(i, j, self.get(i, j));
+            }
+            aug.set(i, self.cols, b[i]);
+        }
+        aug.row_reduce();
+        // Check consistency and back-substitute (free variables = 0).
+        let mut x = vec![0u8; self.cols];
+        for i in (0..self.rows).rev() {
+            let lead = (0..self.cols).find(|&j| aug.get(i, j) == 1);
+            match lead {
+                None => {
+                    if aug.get(i, self.cols) == 1 {
+                        return None; // 0 = 1 row
+                    }
+                }
+                Some(j) => {
+                    let mut v = aug.get(i, self.cols);
+                    for jj in j + 1..self.cols {
+                        v ^= aug.get(i, jj) & x[jj];
+                    }
+                    x[j] = v;
+                }
+            }
+        }
+        Some(x)
+    }
+}
+
+/// XOR of two bit vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn xor_bits(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x ^ y).collect()
+}
+
+/// Hamming weight of a bit vector.
+pub fn weight(bits: &[u8]) -> usize {
+    bits.iter().filter(|&&b| b == 1).count()
+}
+
+/// Hamming distance between two bit vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).filter(|(&x, &y)| x != y).count()
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_properties() {
+        let i = BitMatrix::identity(4);
+        assert_eq!(i.rank(), 4);
+        let m = BitMatrix::random(4, 4, &mut StdRng::seed_from_u64(1));
+        assert_eq!(i.mul(&m), m);
+        assert_eq!(m.mul(&i), m);
+    }
+
+    #[test]
+    fn mul_vec_is_linear() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = BitMatrix::random(5, 8, &mut rng);
+        let x: Vec<u8> = (0..8).map(|_| rng.gen_range(0..2u8)).collect();
+        let y: Vec<u8> = (0..8).map(|_| rng.gen_range(0..2u8)).collect();
+        let xy = xor_bits(&x, &y);
+        assert_eq!(m.mul_vec(&xy), xor_bits(&m.mul_vec(&x), &m.mul_vec(&y)));
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = BitMatrix::from_rows(&[&[1, 0, 1], &[0, 1, 1], &[1, 1, 0]]);
+        // Row 3 = row 1 + row 2.
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn solve_consistent_system() {
+        let m = BitMatrix::from_rows(&[&[1, 1, 0], &[0, 1, 1]]);
+        let b = [1, 0];
+        let x = m.solve(&b).expect("consistent");
+        assert_eq!(m.mul_vec(&x), b.to_vec());
+    }
+
+    #[test]
+    fn solve_inconsistent_system() {
+        let m = BitMatrix::from_rows(&[&[1, 1], &[1, 1]]);
+        assert!(m.solve(&[1, 0]).is_none());
+        assert!(m.solve(&[1, 1]).is_some());
+    }
+
+    #[test]
+    fn solve_random_systems_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let m = BitMatrix::random(6, 6, &mut rng);
+            let x: Vec<u8> = (0..6).map(|_| rng.gen_range(0..2u8)).collect();
+            let b = m.mul_vec(&x);
+            let x2 = m.solve(&b).expect("by construction consistent");
+            assert_eq!(m.mul_vec(&x2), b, "solution must reproduce rhs");
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_rank_invariance() {
+        let m = BitMatrix::random(4, 7, &mut StdRng::seed_from_u64(4));
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.rank(), m.transpose().rank());
+    }
+
+    #[test]
+    fn weight_and_distance() {
+        assert_eq!(weight(&[1, 0, 1, 1]), 3);
+        assert_eq!(hamming_distance(&[1, 0, 1], &[0, 0, 1]), 1);
+        assert_eq!(hamming_distance(&[1, 1], &[1, 1]), 0);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = [1, 0, 1, 0];
+        let b = [1, 1, 0, 0];
+        assert_eq!(xor_bits(&xor_bits(&a, &b), &b), a.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn non_bit_entry_rejected() {
+        let _ = BitMatrix::from_rows(&[&[2, 0]]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The message group of the MABC relay (paper Section II-C).
+//!
+//! `w_a ∈ {0,…,⌊2^{nR_a}⌋−1}` and `w_b ∈ {0,…,⌊2^{nR_b}⌋−1}` are both
+//! embedded in the additive group `L = ℤ_L` with
+//! `L = max(⌊2^{nR_a}⌋, ⌊2^{nR_b}⌋)`. The relay transmits
+//! `w_r = w_a ⊕ w_b` (addition mod `L`); terminal `a` knows `w_a` and so
+//! can invert to `w_b`, and vice versa. Crucially the relay spends only
+//! `log2(L) = n·max(R_a, R_b)` bits — not the sum — which is exactly where
+//! network coding beats routing.
+
+/// The additive group `ℤ_L` used for XOR-combining at the relay.
+///
+/// ```
+/// use bcc_coding::MessageGroup;
+///
+/// let g = MessageGroup::for_message_counts(16, 11); // L = 16
+/// let wr = g.combine(7, 10);
+/// assert_eq!(g.recover_b(wr, 7), 10);   // a strips its own message
+/// assert_eq!(g.recover_a(wr, 10), 7);   // b strips its own message
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MessageGroup {
+    order: u64,
+}
+
+impl MessageGroup {
+    /// Creates the group `ℤ_L` of the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn new(order: u64) -> Self {
+        assert!(order > 0, "group order must be positive");
+        MessageGroup { order }
+    }
+
+    /// The paper's construction: `L = max(|S_a|, |S_b|)` for message-set
+    /// sizes `|S_a| = ⌊2^{nR_a}⌋`, `|S_b| = ⌊2^{nR_b}⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn for_message_counts(count_a: u64, count_b: u64) -> Self {
+        assert!(count_a > 0 && count_b > 0, "message sets must be non-empty");
+        MessageGroup::new(count_a.max(count_b))
+    }
+
+    /// The construction from block length and rates:
+    /// `L = max(⌊2^{n·R_a}⌋, ⌊2^{n·R_b}⌋)` (counts clamped up to 1 so the
+    /// group is well defined even at rate 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate is negative or the counts overflow `u64`.
+    pub fn for_rates(n: usize, ra: f64, rb: f64) -> Self {
+        assert!(ra >= 0.0 && rb >= 0.0, "rates must be non-negative");
+        let count = |r: f64| -> u64 {
+            let bits = n as f64 * r;
+            assert!(bits < 63.0, "message set too large for u64");
+            (bits.exp2().floor() as u64).max(1)
+        };
+        MessageGroup::for_message_counts(count(ra), count(rb))
+    }
+
+    /// Group order `L`.
+    pub fn order(&self) -> u64 {
+        self.order
+    }
+
+    /// Relay combining `w_r = w_a ⊕ w_b` (addition mod `L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either message is outside the group.
+    pub fn combine(&self, wa: u64, wb: u64) -> u64 {
+        assert!(wa < self.order && wb < self.order, "message outside group");
+        (wa + wb) % self.order
+    }
+
+    /// Terminal `b` recovers `w_a = w_r ⊖ w_b` (it knows its own `w_b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is outside the group.
+    pub fn recover_a(&self, wr: u64, wb: u64) -> u64 {
+        assert!(wr < self.order && wb < self.order, "message outside group");
+        (wr + self.order - wb) % self.order
+    }
+
+    /// Terminal `a` recovers `w_b = w_r ⊖ w_a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is outside the group.
+    pub fn recover_b(&self, wr: u64, wa: u64) -> u64 {
+        self.recover_a(wr, wa)
+    }
+
+    /// Bits the relay must convey per block: `log2(L)`.
+    pub fn broadcast_bits(&self) -> f64 {
+        (self.order as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_pairs_small_group() {
+        let g = MessageGroup::new(13);
+        for wa in 0..13 {
+            for wb in 0..13 {
+                let wr = g.combine(wa, wb);
+                assert_eq!(g.recover_a(wr, wb), wa);
+                assert_eq!(g.recover_b(wr, wa), wb);
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_max_of_counts() {
+        assert_eq!(MessageGroup::for_message_counts(8, 32).order(), 32);
+        assert_eq!(MessageGroup::for_message_counts(32, 8).order(), 32);
+        assert_eq!(MessageGroup::for_message_counts(1, 1).order(), 1);
+    }
+
+    #[test]
+    fn for_rates_matches_paper_formula() {
+        // n = 10, Ra = 0.5, Rb = 0.8 → L = max(2^5, 2^8) = 256.
+        let g = MessageGroup::for_rates(10, 0.5, 0.8);
+        assert_eq!(g.order(), 256);
+        assert!((g.broadcast_bits() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_degenerates_to_trivial_group() {
+        let g = MessageGroup::for_rates(100, 0.0, 0.0);
+        assert_eq!(g.order(), 1);
+        assert_eq!(g.combine(0, 0), 0);
+    }
+
+    #[test]
+    fn network_coding_saves_vs_routing() {
+        // Broadcast cost is max(Ra, Rb), routing cost would be Ra + Rb.
+        let g = MessageGroup::for_rates(20, 0.4, 0.3);
+        let routing_bits = (20.0 * 0.4f64).exp2().floor().log2() + (20.0 * 0.3f64).exp2().floor().log2();
+        assert!(g.broadcast_bits() < routing_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside group")]
+    fn combine_checks_range() {
+        let g = MessageGroup::new(4);
+        let _ = g.combine(4, 0);
+    }
+}

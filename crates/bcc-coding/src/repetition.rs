@@ -1,0 +1,154 @@
+//! Repetition codes with majority decoding.
+//!
+//! The simplest rate-`1/n` code — used in the validation experiments as
+//! the "cheap and weak" end of the code spectrum, to show that operating a
+//! protocol *further below* its information-theoretic bound buys
+//! reliability.
+
+/// A rate-`1/n` repetition code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepetitionCode {
+    n: usize,
+}
+
+impl RepetitionCode {
+    /// Creates a repetition code that sends each bit `n` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero (majority decoding needs an odd count).
+    pub fn new(n: usize) -> Self {
+        assert!(n % 2 == 1, "repetition factor must be odd, got {n}");
+        RepetitionCode { n }
+    }
+
+    /// Repetition factor.
+    pub fn factor(&self) -> usize {
+        self.n
+    }
+
+    /// Code rate `1/n`.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.n as f64
+    }
+
+    /// Encodes a bit string by repeating each bit `n` times.
+    pub fn encode(&self, bits: &[u8]) -> Vec<u8> {
+        bits.iter()
+            .flat_map(|&b| std::iter::repeat(b).take(self.n))
+            .collect()
+    }
+
+    /// Majority-decodes a received string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a multiple of the repetition factor.
+    pub fn decode(&self, received: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            received.len() % self.n,
+            0,
+            "received length {} not a multiple of {}",
+            received.len(),
+            self.n
+        );
+        received
+            .chunks(self.n)
+            .map(|chunk| {
+                let ones = chunk.iter().filter(|&&b| b == 1).count();
+                u8::from(ones * 2 > self.n)
+            })
+            .collect()
+    }
+
+    /// Exact block error probability of one bit over a BSC(p): the
+    /// probability that more than `n/2` of the `n` repetitions flip.
+    pub fn bit_error_probability(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "crossover out of range");
+        let n = self.n;
+        let mut total = 0.0;
+        for k in (n / 2 + 1)..=n {
+            total += binomial(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+        }
+        total
+    }
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut v = 1.0;
+    for i in 0..k {
+        v *= (n - i) as f64 / (i + 1) as f64;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_noiseless() {
+        let code = RepetitionCode::new(3);
+        let bits = [1, 0, 0, 1, 1];
+        assert_eq!(code.decode(&code.encode(&bits)), bits.to_vec());
+        assert_eq!(code.encode(&bits).len(), 15);
+    }
+
+    #[test]
+    fn corrects_minority_flips() {
+        let code = RepetitionCode::new(5);
+        let cw = code.encode(&[1]);
+        let mut noisy = cw.clone();
+        noisy[0] ^= 1;
+        noisy[3] ^= 1; // two of five flipped: still decodes to 1
+        assert_eq!(code.decode(&noisy), vec![1]);
+        noisy[4] ^= 1; // three of five: flips the decision
+        assert_eq!(code.decode(&noisy), vec![0]);
+    }
+
+    #[test]
+    fn analytic_ber_matches_simulation() {
+        let code = RepetitionCode::new(3);
+        let p = 0.2;
+        let expected = code.bit_error_probability(p);
+        // Closed form: 3p²(1-p) + p³ = 0.104.
+        assert!((expected - (3.0 * p * p * (1.0 - p) + p * p * p)).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 200_000;
+        let mut errors = 0;
+        for _ in 0..trials {
+            let cw = code.encode(&[0]);
+            let noisy: Vec<u8> = cw
+                .iter()
+                .map(|&b| if rng.gen::<f64>() < p { b ^ 1 } else { b })
+                .collect();
+            if code.decode(&noisy)[0] != 0 {
+                errors += 1;
+            }
+        }
+        let observed = errors as f64 / trials as f64;
+        assert!(
+            (observed - expected).abs() < 0.005,
+            "observed {observed} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn longer_codes_are_stronger() {
+        let p = 0.1;
+        let e3 = RepetitionCode::new(3).bit_error_probability(p);
+        let e5 = RepetitionCode::new(5).bit_error_probability(p);
+        let e9 = RepetitionCode::new(9).bit_error_probability(p);
+        assert!(e3 > e5 && e5 > e9);
+        // Closed form at p = 0.1: e9 = Σ_{k≥5} C(9,k) p^k (1-p)^{9-k} ≈ 8.9e-4.
+        assert!((e9 - 8.9092e-4).abs() < 1e-6, "e9 = {e9}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_factor_rejected() {
+        let _ = RepetitionCode::new(4);
+    }
+}

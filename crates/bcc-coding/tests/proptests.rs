@@ -1,0 +1,113 @@
+//! Property-based tests of the coding substrate.
+
+use bcc_coding::binning::BinPartition;
+use bcc_coding::block::LinearCode;
+use bcc_coding::gf2::{hamming_distance, weight, xor_bits, BitMatrix};
+use bcc_coding::group::MessageGroup;
+use bcc_coding::hamming::Hamming74;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bits(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..2, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn group_roundtrip(order in 1u64..10_000, wa_raw in 0u64..10_000, wb_raw in 0u64..10_000) {
+        let g = MessageGroup::new(order);
+        let wa = wa_raw % order;
+        let wb = wb_raw % order;
+        let wr = g.combine(wa, wb);
+        prop_assert_eq!(g.recover_a(wr, wb), wa);
+        prop_assert_eq!(g.recover_b(wr, wa), wb);
+    }
+
+    #[test]
+    fn group_combine_is_commutative(order in 1u64..1000, a in 0u64..1000, b in 0u64..1000) {
+        let g = MessageGroup::new(order);
+        prop_assert_eq!(g.combine(a % order, b % order), g.combine(b % order, a % order));
+    }
+
+    #[test]
+    fn xor_involution(a in bits(16), b in bits(16)) {
+        prop_assert_eq!(xor_bits(&xor_bits(&a, &b), &b), a.clone());
+        // Triangle-ish identities for Hamming metrics.
+        prop_assert_eq!(hamming_distance(&a, &b), weight(&xor_bits(&a, &b)));
+    }
+
+    #[test]
+    fn hamming74_corrects_any_single_error(msg in bits(4), pos in 0usize..7) {
+        let code = Hamming74::new();
+        let mut cw = code.encode(&msg);
+        cw[pos] ^= 1;
+        prop_assert_eq!(code.decode(&cw), msg);
+    }
+
+    #[test]
+    fn random_code_encode_decode_clean(seed in 0u64..1000, msg in bits(5)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = LinearCode::random(12, 5, &mut rng);
+        let (decoded, dist) = code.decode_ml(&code.encode(&msg));
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(dist, 0);
+    }
+
+    #[test]
+    fn linearity_of_random_codes(seed in 0u64..500, a in bits(4), b in bits(4)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = LinearCode::random(10, 4, &mut rng);
+        let sum_then_encode = code.encode(&xor_bits(&a, &b));
+        let encode_then_sum = xor_bits(&code.encode(&a), &code.encode(&b));
+        prop_assert_eq!(sum_then_encode, encode_then_sum);
+    }
+
+    #[test]
+    fn bitmatrix_rank_bounds(seed in 0u64..1000, rows in 1usize..8, cols in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BitMatrix::random(rows, cols, &mut rng);
+        let r = m.rank();
+        prop_assert!(r <= rows.min(cols));
+        // Rank invariance under transpose.
+        prop_assert_eq!(r, m.transpose().rank());
+    }
+
+    #[test]
+    fn solve_returns_actual_solutions(seed in 0u64..1000, n in 2usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BitMatrix::random(n, n, &mut rng);
+        let x: Vec<u8> = (0..n).map(|i| ((seed >> i) & 1) as u8).collect();
+        let b = m.mul_vec(&x);
+        // The system is consistent by construction; any returned solution
+        // must reproduce b.
+        let sol = m.solve(&b).expect("consistent by construction");
+        prop_assert_eq!(m.mul_vec(&sol), b);
+    }
+
+    #[test]
+    fn binning_covers_and_respects_assignment(
+        seed in 0u64..1000,
+        n_msgs in 1usize..200,
+        n_bins in 1u32..64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = BinPartition::random(n_msgs, n_bins, &mut rng);
+        let total: usize = (0..n_bins).map(|b| p.bin_members(b).len()).sum();
+        prop_assert_eq!(total, n_msgs);
+        for w in 0..n_msgs {
+            prop_assert!(p.bin_members(p.bin_of(w)).contains(&w));
+        }
+    }
+
+    #[test]
+    fn codeword_xor_matches_message_xor(seed in 0u64..500, wa in bits(4), wb in bits(4)) {
+        // The physical-layer network-coding identity used by the relay.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = LinearCode::random(9, 4, &mut rng);
+        let relay = code.xor_codewords(&code.encode(&wa), &code.encode(&wb));
+        prop_assert_eq!(relay, code.encode(&xor_bits(&wa, &wb)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Amplify-and-forward (AF) two-phase baseline.
+//!
+//! The paper's references \[7\], \[8\] (Popovski–Yomo) and \[9\]
+//! (Rankov–Wittneben) study the two-phase protocol where the relay simply
+//! **amplifies** its received superposition instead of decoding — the
+//! natural competitor to the decode-and-forward MABC of Theorem 2. This
+//! module implements the standard achievable rates for comparison (an
+//! *extension* of the paper's evaluation, not one of its theorems).
+//!
+//! Model: equal phase halves (symbol-by-symbol forwarding), relay transmit
+//! scaling `β² = P / (P·G_ar + P·G_br + 1)` to satisfy its power
+//! constraint. Each terminal subtracts its own self-interference (it knows
+//! what it sent and has full CSI), leaving
+//!
+//! ```text
+//! SNR_{a→b} = β²·G_ar·G_br·P / (β²·G_br + 1)
+//! SNR_{b→a} = β²·G_ar·G_br·P / (β²·G_ar + 1)
+//! R_a ≤ ½·C(SNR_{a→b}),   R_b ≤ ½·C(SNR_{b→a})
+//! ```
+//!
+//! AF never beats the relaxed MABC cut-set bound (each direction still
+//! crosses both hops) but avoids the decoding requirement at the relay —
+//! at high SNR the noise amplification penalty shrinks and AF becomes
+//! competitive with DF.
+
+use bcc_channel::ChannelState;
+use bcc_info::awgn_capacity;
+
+/// Achievable rate pair of two-phase amplify-and-forward relaying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AfRates {
+    /// Rate of `w_a` (decoded at `b`), bits per channel use.
+    pub ra: f64,
+    /// Rate of `w_b` (decoded at `a`), bits per channel use.
+    pub rb: f64,
+}
+
+impl AfRates {
+    /// Sum rate.
+    pub fn sum_rate(&self) -> f64 {
+        self.ra + self.rb
+    }
+}
+
+/// The relay's amplification power gain `β²`.
+pub fn relay_gain_squared(power: f64, state: &ChannelState) -> f64 {
+    assert!(power >= 0.0, "transmit power must be non-negative");
+    power / (power * state.gar() + power * state.gbr() + 1.0)
+}
+
+/// End-to-end received SNR of the `a → r → b` direction after
+/// self-interference cancellation at `b`.
+pub fn snr_a_to_b(power: f64, state: &ChannelState) -> f64 {
+    let b2 = relay_gain_squared(power, state);
+    b2 * state.gar() * state.gbr() * power / (b2 * state.gbr() + 1.0)
+}
+
+/// End-to-end received SNR of the `b → r → a` direction.
+pub fn snr_b_to_a(power: f64, state: &ChannelState) -> f64 {
+    let b2 = relay_gain_squared(power, state);
+    b2 * state.gar() * state.gbr() * power / (b2 * state.gar() + 1.0)
+}
+
+/// The AF achievable rate pair at this power and channel.
+///
+/// # Panics
+///
+/// Panics if `power < 0`.
+pub fn achievable_rates(power: f64, state: &ChannelState) -> AfRates {
+    AfRates {
+        ra: 0.5 * awgn_capacity(snr_a_to_b(power, state)),
+        rb: 0.5 * awgn_capacity(snr_b_to_a(power, state)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::mabc;
+    use crate::optimizer;
+
+    fn fig4_state() -> ChannelState {
+        ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795)
+    }
+
+    #[test]
+    fn relay_power_constraint_met() {
+        // β²·E|y_r|² = β²(P·Gar + P·Gbr + 1) = P.
+        let p = 10.0;
+        let s = fig4_state();
+        let b2 = relay_gain_squared(p, &s);
+        let relay_tx_power = b2 * (p * s.gar() + p * s.gbr() + 1.0);
+        assert!((relay_tx_power - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn af_within_cut_set_limits() {
+        // Data processing: each direction is capped by both hops at half
+        // time share.
+        for p in [0.5, 5.0, 50.0] {
+            let s = fig4_state();
+            let r = achievable_rates(p, &s);
+            assert!(r.ra <= 0.5 * awgn_capacity(p * s.gar()) + 1e-12);
+            assert!(r.ra <= 0.5 * awgn_capacity(p * s.gbr()) + 1e-12);
+            assert!(r.rb <= 0.5 * awgn_capacity(p * s.gbr()) + 1e-12);
+            assert!(r.rb <= 0.5 * awgn_capacity(p * s.gar()) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn df_beats_af_at_low_snr() {
+        // Noise amplification dominates at low SNR: decode-and-forward
+        // MABC (with optimised Δ) wins clearly.
+        let p = 0.5;
+        let s = fig4_state();
+        let af = achievable_rates(p, &s).sum_rate();
+        let df = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s))
+            .unwrap()
+            .objective;
+        assert!(df > af * 1.2, "DF {df} should clearly beat AF {af} at low SNR");
+    }
+
+    #[test]
+    fn af_gap_narrows_with_snr() {
+        let s = fig4_state();
+        let rel_gap = |p: f64| {
+            let af = achievable_rates(p, &s).sum_rate();
+            let df = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s))
+                .unwrap()
+                .objective;
+            (df - af) / df
+        };
+        let lo = rel_gap(1.0);
+        let hi = rel_gap(1000.0);
+        assert!(hi < lo, "relative DF-AF gap should shrink with SNR: {lo} -> {hi}");
+    }
+
+    #[test]
+    fn symmetric_channel_symmetric_rates() {
+        let s = ChannelState::new(0.3, 2.0, 2.0);
+        let r = achievable_rates(7.0, &s);
+        assert!((r.ra - r.rb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_zero_rates() {
+        let r = achievable_rates(0.0, &fig4_state());
+        assert_eq!(r.sum_rate(), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_power() {
+        let s = fig4_state();
+        let mut last = 0.0;
+        for p in [0.1, 1.0, 10.0, 100.0] {
+            let sum = achievable_rates(p, &s).sum_rate();
+            assert!(sum > last);
+            last = sum;
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Direct transmission (DT): the relayless two-way TDMA baseline.
+//!
+//! With a memoryless channel the capacity region (Section II-C of the
+//! paper) is
+//!
+//! ```text
+//! R_a ≤ Δ₁ · C(P·G_ab)        (a → b in phase 1)
+//! R_b ≤ Δ₂ · C(P·G_ab)        (b → a in phase 2)
+//! ```
+//!
+//! Inner and outer bounds coincide — this is the exact capacity region of
+//! the strategy.
+
+use crate::constraint::{ConstraintSet, RateConstraint};
+use bcc_channel::ChannelState;
+use bcc_info::awgn_capacity;
+
+/// Builds the DT capacity constraints at power `power` and channel `state`.
+///
+/// # Panics
+///
+/// Panics if `power < 0`.
+pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
+    assert!(power >= 0.0, "transmit power must be non-negative");
+    let c_ab = awgn_capacity(power * state.gab());
+    let mut set = ConstraintSet::new(2, "DT capacity");
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![c_ab, 0.0],
+        "DT: b decodes Wa (phase 1 direct link)",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, c_ab],
+        "DT: a decodes Wb (phase 2 direct link)",
+    ));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn symmetric_in_the_direct_gain_only() {
+        // Relay gains must not matter for DT.
+        let s1 = ChannelState::new(2.0, 100.0, 0.01);
+        let s2 = ChannelState::new(2.0, 0.5, 7.0);
+        assert_eq!(
+            capacity_constraints(3.0, &s1),
+            capacity_constraints(3.0, &s2)
+        );
+    }
+
+    #[test]
+    fn full_time_to_one_user_gives_point_to_point_capacity() {
+        let state = ChannelState::new(1.0, 1.0, 1.0);
+        let set = capacity_constraints(15.0, &state);
+        // Δ = (1, 0): Ra can reach C(15) = 4 bits, Rb must be 0.
+        assert!(set.all_satisfied(4.0, 0.0, &[1.0, 0.0], 1e-9));
+        assert!(!set.all_satisfied(4.01, 0.0, &[1.0, 0.0], 1e-9));
+        assert!(!set.all_satisfied(0.0, 0.1, &[1.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn equal_split_halves_each_rate() {
+        let state = ChannelState::new(1.0, 1.0, 1.0);
+        let set = capacity_constraints(15.0, &state);
+        assert!(set.all_satisfied(2.0, 2.0, &[0.5, 0.5], 1e-9));
+        assert!(!set.all_satisfied(2.1, 2.0, &[0.5, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn zero_power_kills_both_rates() {
+        let set = capacity_constraints(0.0, &ChannelState::new(1.0, 1.0, 1.0));
+        for c in set.constraints() {
+            assert!(approx_eq(c.rhs(&[0.5, 0.5]), 0.0, 1e-12));
+        }
+    }
+}

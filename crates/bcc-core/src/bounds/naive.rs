@@ -1,0 +1,134 @@
+//! The naive four-phase forwarding baseline (paper Fig. 1(ii)).
+//!
+//! Without network coding the relay routes each direction separately:
+//! `a→r` (Δ₁), `r→b` (Δ₂), `b→r` (Δ₃), `r→a` (Δ₄). No terminal listens to
+//! the other's uplink and the relay transmits each message in its own
+//! phase, so the constraints are four independent hop capacities:
+//!
+//! ```text
+//! R_a ≤ min( Δ₁·C(P·G_ar), Δ₂·C(P·G_br) )
+//! R_b ≤ min( Δ₃·C(P·G_br), Δ₄·C(P·G_ar) )
+//! ```
+//!
+//! The MABC region provably contains this one (combine phases 1+3 and 2+4
+//! and use the concavity of `C`), which is exactly the analytical form of
+//! the "third and fourth transmissions may be combined" observation that
+//! motivates coded bidirectional relaying.
+
+use crate::constraint::{ConstraintSet, RateConstraint};
+use bcc_channel::ChannelState;
+use bcc_info::awgn_capacity;
+
+/// Builds the naive four-phase forwarding capacity constraints.
+///
+/// # Panics
+///
+/// Panics if `power < 0`.
+pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
+    assert!(power >= 0.0, "transmit power must be non-negative");
+    let c_ar = awgn_capacity(power * state.gar());
+    let c_br = awgn_capacity(power * state.gbr());
+    let mut set = ConstraintSet::new(4, "naive four-phase forwarding (Fig. 1(ii))");
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![c_ar, 0.0, 0.0, 0.0],
+        "naive: relay decodes Wa (phase 1)",
+    ));
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![0.0, c_br, 0.0, 0.0],
+        "naive: b decodes forwarded Wa (phase 2)",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, 0.0, c_br, 0.0],
+        "naive: relay decodes Wb (phase 3)",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, 0.0, 0.0, c_ar],
+        "naive: a decodes forwarded Wb (phase 4)",
+    ));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::mabc;
+    use crate::optimizer;
+
+    fn fig4_state() -> ChannelState {
+        ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795)
+    }
+
+    #[test]
+    fn mabc_always_dominates_naive_forwarding() {
+        // The paper's Fig. 1 motivation, in numbers: combining the two
+        // relay transmissions into one XOR broadcast can only help.
+        for p in [0.1, 1.0, 10.0, 100.0] {
+            let s = fig4_state();
+            let naive = optimizer::max_sum_rate(&capacity_constraints(p, &s))
+                .unwrap()
+                .objective;
+            let coded = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s))
+                .unwrap()
+                .objective;
+            assert!(
+                coded >= naive - 1e-9,
+                "P={p}: MABC {coded} < naive {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_network_gain_between_four_thirds_and_two() {
+        // Closed form for G_ar = G_br = G: naive sum = C(PG)/2, MABC sum =
+        // 2·C(2PG)·C(PG)/(C(2PG)+2·C(PG)), so the coding gain is
+        // 4·c1/(c1+2·c2) with c1 = C(2PG), c2 = C(PG). Since
+        // c2 ≤ c1 ≤ 2·c2, the gain lies in (4/3, 2), approaching 4/3 from
+        // above as P → ∞ and 2 as P → 0.
+        let s = ChannelState::new(0.1, 2.0, 2.0);
+        let mut last_gain = 2.0 + 1e-9;
+        for p in [0.01, 1.0, 10.0, 100.0, 10_000.0] {
+            let naive = optimizer::max_sum_rate(&capacity_constraints(p, &s))
+                .unwrap()
+                .objective;
+            let coded = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s))
+                .unwrap()
+                .objective;
+            let gain = coded / naive;
+            let c1 = awgn_capacity(2.0 * p * 2.0);
+            let c2 = awgn_capacity(p * 2.0);
+            let closed_form = 4.0 * c1 / (c1 + 2.0 * c2);
+            assert!((gain - closed_form).abs() < 1e-8, "P={p}: {gain} vs {closed_form}");
+            assert!(gain > 4.0 / 3.0 && gain < 2.0, "P={p}: gain {gain}");
+            assert!(gain <= last_gain, "gain must decrease with P");
+            last_gain = gain;
+        }
+    }
+
+    #[test]
+    fn naive_sum_rate_closed_form_symmetric() {
+        // Symmetric gains G, equal splits: sum rate = C(PG)/2 (each
+        // message uses two quarter-length hops at capacity C each:
+        // R = C/4 per message with Δ = 1/4 each... the LP finds the
+        // optimal split; verify against the known optimum R_a = R_b =
+        // C/4 ⇒ sum C/2).
+        let s = ChannelState::new(1.0, 1.0, 1.0);
+        let p = 15.0; // C(15) = 4 bits
+        let sol = optimizer::max_sum_rate(&capacity_constraints(p, &s)).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-8, "sum {}", sol.objective);
+    }
+
+    #[test]
+    fn phase_count_is_four() {
+        let set = capacity_constraints(1.0, &fig4_state());
+        assert_eq!(set.num_phases(), 4);
+        assert_eq!(set.constraints().len(), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Theorems 3 and 4 — achievable region and outer bound of TDBC.
+//!
+//! Phase 1 (Δ₁): `a` transmits; **both** `r` and `b` listen — `b`'s
+//! observation is the *first-phase side information*. Phase 2 (Δ₂): `b`
+//! transmits; `r` and `a` listen. Phase 3 (Δ₃): the relay broadcasts the
+//! XOR of **bin indices** `s_a(ŵ_a) ⊕ s_b(ŵ_b)` (random binning lets the
+//! relay spend fewer bits than the raw messages because each terminal
+//! combines the bin index with its overheard side information).
+//!
+//! Gaussian inner bound (Theorem 3, eqs. (22)–(23) of the paper):
+//!
+//! ```text
+//! R_a ≤ min( Δ₁·C(P·G_ar),  Δ₁·C(P·G_ab) + Δ₃·C(P·G_br) )
+//! R_b ≤ min( Δ₂·C(P·G_br),  Δ₂·C(P·G_ab) + Δ₃·C(P·G_ar) )
+//! ```
+//!
+//! Gaussian outer bound (Theorem 4): the relay-decoding terms are replaced
+//! by the two-receiver cut `C(P·(G_ar + G_ab))` (the cut `S₁ = {a}` sees
+//! both `Y_r` and `Y_b`), and a sum-rate row
+//! `R_a + R_b ≤ Δ₁·C(P·G_ar) + Δ₂·C(P·G_br)` is added (relay decodes both).
+
+use crate::constraint::{ConstraintSet, RateConstraint};
+use bcc_channel::ChannelState;
+use bcc_info::awgn_capacity;
+use bcc_info::gaussian::two_receiver_capacity;
+
+/// Builds the Theorem-3 achievable constraints.
+///
+/// # Panics
+///
+/// Panics if `power < 0`.
+pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
+    assert!(power >= 0.0, "transmit power must be non-negative");
+    let c_ab = awgn_capacity(power * state.gab());
+    let c_ar = awgn_capacity(power * state.gar());
+    let c_br = awgn_capacity(power * state.gbr());
+
+    let mut set = ConstraintSet::new(3, "TDBC achievable (Thm 3)");
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![c_ar, 0.0, 0.0],
+        "Thm 3: relay decodes Wa (phase 1)",
+    ));
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![c_ab, 0.0, c_br],
+        "Thm 3: b decodes Wa from side info + bin broadcast",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, c_br, 0.0],
+        "Thm 3: relay decodes Wb (phase 2)",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, c_ab, c_ar],
+        "Thm 3: a decodes Wb from side info + bin broadcast",
+    ));
+    set
+}
+
+/// Builds the Theorem-4 outer-bound constraints.
+///
+/// # Panics
+///
+/// Panics if `power < 0`.
+pub fn outer_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
+    assert!(power >= 0.0, "transmit power must be non-negative");
+    let c_ab = awgn_capacity(power * state.gab());
+    let c_ar = awgn_capacity(power * state.gar());
+    let c_br = awgn_capacity(power * state.gbr());
+    let c_a_cut = two_receiver_capacity(power * state.gar(), power * state.gab());
+    let c_b_cut = two_receiver_capacity(power * state.gbr(), power * state.gab());
+
+    let mut set = ConstraintSet::new(3, "TDBC outer (Thm 4)");
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![c_a_cut, 0.0, 0.0],
+        "Thm 4: cut {a} — r and b jointly observe phase 1",
+    ));
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![c_ab, 0.0, c_br],
+        "Thm 4: cut {a,r} — b's total information about Wa",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, c_b_cut, 0.0],
+        "Thm 4: cut {b} — r and a jointly observe phase 2",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, c_ab, c_ar],
+        "Thm 4: cut {b,r} — a's total information about Wb",
+    ));
+    set.push(RateConstraint::new(
+        1.0,
+        1.0,
+        vec![c_ar, c_br, 0.0],
+        "Thm 4: relay decodes both messages (sum rate)",
+    ));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4_state() -> ChannelState {
+        ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795)
+    }
+
+    #[test]
+    fn inner_has_four_rows_outer_five() {
+        let s = fig4_state();
+        assert_eq!(inner_constraints(10.0, &s).constraints().len(), 4);
+        assert_eq!(outer_constraints(10.0, &s).constraints().len(), 5);
+    }
+
+    #[test]
+    fn inner_implies_outer_pointwise() {
+        // Any (ra, rb, Δ) feasible for Thm 3 must be feasible for Thm 4.
+        let p = 10.0;
+        let s = fig4_state();
+        let inner = inner_constraints(p, &s);
+        let outer = outer_constraints(p, &s);
+        let durations = [
+            [0.4, 0.4, 0.2],
+            [0.1, 0.8, 0.1],
+            [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ];
+        for d in durations {
+            // Scan a grid of rate pairs.
+            for i in 0..20 {
+                for j in 0..20 {
+                    let ra = i as f64 * 0.2;
+                    let rb = j as f64 * 0.2;
+                    if inner.all_satisfied(ra, rb, &d, 1e-12) {
+                        assert!(
+                            outer.all_satisfied(ra, rb, &d, 1e-9),
+                            "inner point ({ra},{rb}) @ {d:?} escapes the outer bound"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn side_information_term_uses_direct_link() {
+        // With a dead direct link, b relies entirely on the relay phase.
+        let p = 10.0;
+        let dead = ChannelState::new(0.0, 2.0, 2.0);
+        let set = inner_constraints(p, &dead);
+        let b_decodes = &set.constraints()[1];
+        assert_eq!(b_decodes.phase_coefs[0], 0.0, "no phase-1 side info");
+        assert!(b_decodes.phase_coefs[2] > 0.0, "relay phase still helps");
+    }
+
+    #[test]
+    fn strong_direct_link_lets_tdbc_bypass_relay() {
+        // With a very strong direct link the side-information constraint is
+        // loose even at Δ3 = 0.
+        let p = 10.0;
+        let strong = ChannelState::new(100.0, 2.0, 2.0);
+        let set = inner_constraints(p, &strong);
+        // Δ = (0.5, 0.5, 0): b decodes Wa from side info alone up to
+        // 0.5·C(1000) ≈ 4.98 bits, but relay decode caps at 0.5·C(20).
+        let d = [0.5, 0.5, 0.0];
+        let cap = 0.5 * awgn_capacity(p * 2.0);
+        assert!(set.all_satisfied(cap - 1e-6, 0.0, &d, 1e-9));
+        assert!(!set.all_satisfied(cap + 1e-3, 0.0, &d, 1e-9));
+    }
+
+    #[test]
+    fn outer_cut_terms_dominate_inner_terms() {
+        let p = 3.0;
+        let s = fig4_state();
+        let inner = inner_constraints(p, &s);
+        let outer = outer_constraints(p, &s);
+        // Row 0: C(P(Gar+Gab)) ≥ C(P·Gar).
+        assert!(outer.constraints()[0].phase_coefs[0] >= inner.constraints()[0].phase_coefs[0]);
+        // Row 2 similarly for b.
+        assert!(outer.constraints()[2].phase_coefs[1] >= inner.constraints()[2].phase_coefs[1]);
+    }
+
+    #[test]
+    fn zero_relay_phase_reduces_to_overheard_links() {
+        // With Δ3 = 0 the inner region is what the direct link supports,
+        // intersected with the relay-decoding constraints.
+        let p = 15.0;
+        let s = fig4_state();
+        let set = inner_constraints(p, &s);
+        let d = [0.5, 0.5, 0.0];
+        let direct = 0.5 * awgn_capacity(p * s.gab());
+        let relay_a = 0.5 * awgn_capacity(p * s.gar());
+        let max_ra = direct.min(relay_a);
+        assert!(set.all_satisfied(max_ra - 1e-9, 0.0, &d, 1e-9));
+        assert!(!set.all_satisfied(max_ra + 1e-3, 0.0, &d, 1e-9));
+    }
+}

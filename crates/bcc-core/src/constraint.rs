@@ -1,0 +1,235 @@
+//! Linear rate constraints — the common representation of Theorems 2–6.
+//!
+//! Every bound in the Gaussian evaluation has the shape
+//!
+//! ```text
+//! α·R_a + β·R_b  ≤  Σ_ℓ Δ_ℓ · c_ℓ
+//! ```
+//!
+//! with `α, β ∈ {0, 1}` and per-phase information coefficients `c_ℓ`
+//! (bits per channel use, already evaluated at the channel state). A
+//! [`ConstraintSet`] is a list of such rows plus the phase count; `bcc-lp`
+//! turns them into LP rows with decision variables `(R_a, R_b, Δ_1..Δ_L)`.
+
+use std::fmt;
+
+/// One linear rate constraint `ra·R_a + rb·R_b ≤ Σ_ℓ Δ_ℓ·phase_coefs[ℓ]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateConstraint {
+    /// Coefficient of `R_a` (0 or 1 in the paper's bounds).
+    pub ra: f64,
+    /// Coefficient of `R_b`.
+    pub rb: f64,
+    /// Information rate contributed by each phase (bits/use); length equals
+    /// the protocol's phase count.
+    pub phase_coefs: Vec<f64>,
+    /// Human-readable provenance, e.g. `"Thm 3: relay decodes Wa (phase 1)"`.
+    pub label: String,
+}
+
+impl RateConstraint {
+    /// Creates a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is non-finite or negative (all the paper's
+    /// information coefficients are non-negative mutual informations).
+    pub fn new(ra: f64, rb: f64, phase_coefs: Vec<f64>, label: impl Into<String>) -> Self {
+        assert!(
+            ra.is_finite() && rb.is_finite() && ra >= 0.0 && rb >= 0.0,
+            "rate coefficients must be finite and non-negative"
+        );
+        assert!(
+            phase_coefs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "phase coefficients must be finite and non-negative"
+        );
+        RateConstraint {
+            ra,
+            rb,
+            phase_coefs,
+            label: label.into(),
+        }
+    }
+
+    /// Left-hand side evaluated at a rate pair.
+    pub fn lhs(&self, ra: f64, rb: f64) -> f64 {
+        self.ra * ra + self.rb * rb
+    }
+
+    /// Right-hand side evaluated at phase durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len() != phase_coefs.len()`.
+    pub fn rhs(&self, durations: &[f64]) -> f64 {
+        assert_eq!(
+            durations.len(),
+            self.phase_coefs.len(),
+            "duration arity mismatch"
+        );
+        self.phase_coefs
+            .iter()
+            .zip(durations)
+            .map(|(c, d)| c * d)
+            .sum()
+    }
+
+    /// `true` if the rate pair satisfies this constraint at the given
+    /// durations (with tolerance `tol`).
+    pub fn satisfied(&self, ra: f64, rb: f64, durations: &[f64], tol: f64) -> bool {
+        self.lhs(ra, rb) <= self.rhs(durations) + tol
+    }
+}
+
+impl fmt::Display for RateConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut lhs = Vec::new();
+        if self.ra != 0.0 {
+            lhs.push("Ra".to_string());
+        }
+        if self.rb != 0.0 {
+            lhs.push("Rb".to_string());
+        }
+        let rhs: Vec<String> = self
+            .phase_coefs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0.0)
+            .map(|(l, c)| format!("{:.4}·Δ{}", c, l + 1))
+            .collect();
+        write!(
+            f,
+            "{} ≤ {}   [{}]",
+            lhs.join(" + "),
+            if rhs.is_empty() { "0".to_string() } else { rhs.join(" + ") },
+            self.label
+        )
+    }
+}
+
+/// The full constraint system of one protocol bound at one channel state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintSet {
+    num_phases: usize,
+    constraints: Vec<RateConstraint>,
+    /// Descriptive name, e.g. `"MABC capacity (Thm 2)"`.
+    pub name: String,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set for a protocol with `num_phases` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_phases == 0`.
+    pub fn new(num_phases: usize, name: impl Into<String>) -> Self {
+        assert!(num_phases > 0, "need at least one phase");
+        ConstraintSet {
+            num_phases,
+            constraints: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Number of phase-duration variables.
+    pub fn num_phases(&self) -> usize {
+        self.num_phases
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[RateConstraint] {
+        &self.constraints
+    }
+
+    /// Adds a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's phase arity differs from the set's.
+    pub fn push(&mut self, c: RateConstraint) -> &mut Self {
+        assert_eq!(
+            c.phase_coefs.len(),
+            self.num_phases,
+            "constraint arity mismatch"
+        );
+        self.constraints.push(c);
+        self
+    }
+
+    /// `true` if `(ra, rb)` with `durations` satisfies every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len() != num_phases()` (propagated from the
+    /// row check).
+    pub fn all_satisfied(&self, ra: f64, rb: f64, durations: &[f64], tol: f64) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| c.satisfied(ra, rb, durations, tol))
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} phases):", self.name, self.num_phases)?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lhs_rhs_evaluation() {
+        let c = RateConstraint::new(1.0, 0.0, vec![2.0, 0.0, 1.0], "test");
+        assert_eq!(c.lhs(0.7, 100.0), 0.7);
+        assert_eq!(c.rhs(&[0.5, 0.25, 0.25]), 1.25);
+        assert!(c.satisfied(1.25, 0.0, &[0.5, 0.25, 0.25], 1e-12));
+        assert!(!c.satisfied(1.26, 0.0, &[0.5, 0.25, 0.25], 1e-9));
+    }
+
+    #[test]
+    fn sum_rate_constraint_uses_both_rates() {
+        let c = RateConstraint::new(1.0, 1.0, vec![3.0], "sum");
+        assert_eq!(c.lhs(1.0, 1.5), 2.5);
+        assert!(c.satisfied(1.0, 1.5, &[1.0], 0.0));
+        assert!(!c.satisfied(2.0, 1.5, &[1.0], 1e-9));
+    }
+
+    #[test]
+    fn set_validates_arity() {
+        let mut s = ConstraintSet::new(2, "demo");
+        s.push(RateConstraint::new(1.0, 0.0, vec![1.0, 0.5], "ok"));
+        assert_eq!(s.constraints().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_rejected() {
+        let mut s = ConstraintSet::new(2, "demo");
+        s.push(RateConstraint::new(1.0, 0.0, vec![1.0], "bad"));
+    }
+
+    #[test]
+    fn all_satisfied_checks_every_row() {
+        let mut s = ConstraintSet::new(1, "demo");
+        s.push(RateConstraint::new(1.0, 0.0, vec![1.0], "ra"));
+        s.push(RateConstraint::new(0.0, 1.0, vec![2.0], "rb"));
+        assert!(s.all_satisfied(1.0, 2.0, &[1.0], 1e-12));
+        assert!(!s.all_satisfied(1.0, 2.1, &[1.0], 1e-9));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = RateConstraint::new(1.0, 1.0, vec![0.5, 0.0], "Thm 2 sum");
+        let s = c.to_string();
+        assert!(s.contains("Ra + Rb"));
+        assert!(s.contains("Δ1"));
+        assert!(s.contains("Thm 2 sum"));
+        assert!(!s.contains("Δ2"), "zero coefficients are elided: {s}");
+    }
+}

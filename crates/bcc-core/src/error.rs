@@ -1,0 +1,82 @@
+//! Error type for bound computations.
+
+use bcc_lp::LpError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while evaluating bounds or optimising schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying linear program failed. `context` names the
+    /// computation (e.g. `"TDBC sum-rate"`), which matters because an
+    /// infeasible LP is expected in membership tests but a bug in
+    /// optimisation.
+    Lp {
+        /// What was being computed.
+        context: String,
+        /// The solver error.
+        source: LpError,
+    },
+    /// A requested rate is outside the region for every time allocation.
+    RateUnachievable {
+        /// The requested rate (bits per channel use).
+        rate: f64,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn lp(context: impl Into<String>, source: LpError) -> Self {
+        CoreError::Lp {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lp { context, source } => {
+                write!(f, "linear program failed during {context}: {source}")
+            }
+            CoreError::RateUnachievable { rate } => {
+                write!(f, "rate {rate} bits/use is unachievable for any time allocation")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Lp { source, .. } => Some(source),
+            CoreError::RateUnachievable { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = CoreError::lp("MABC sum-rate", LpError::Unbounded);
+        let msg = e.to_string();
+        assert!(msg.contains("MABC sum-rate"));
+        assert!(msg.contains("unbounded"));
+    }
+
+    #[test]
+    fn source_chain() {
+        let e = CoreError::lp("x", LpError::Infeasible);
+        assert!(e.source().is_some());
+        assert!(CoreError::RateUnachievable { rate: 2.0 }.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,236 @@
+//! The Gaussian bidirectional relay network of Section IV.
+//!
+//! Bundles the per-node transmit power `P` (noise normalised to 1) with the
+//! reciprocal power gains and exposes the paper's quantities as methods:
+//! constraint sets, rate regions and the sum-rate optimum of each protocol.
+
+use crate::bounds;
+use crate::error::CoreError;
+use crate::optimizer::{self, SchedulePoint};
+use crate::protocol::{Bound, Protocol};
+use crate::region::RateRegion;
+use bcc_channel::ChannelState;
+use bcc_num::Db;
+
+/// A Gaussian three-node network: power `P` and gains `(G_ab, G_ar, G_br)`.
+///
+/// ```
+/// use bcc_core::gaussian::GaussianNetwork;
+/// use bcc_core::protocol::Protocol;
+/// use bcc_num::Db;
+///
+/// // Fig. 3 setting: P = 15 dB, Gab = 0 dB (relay gains chosen here).
+/// let net = GaussianNetwork::from_db(Db::new(15.0), Db::new(0.0), Db::new(10.0), Db::new(10.0));
+/// let dt = net.max_sum_rate(Protocol::DirectTransmission).unwrap();
+/// let hbc = net.max_sum_rate(Protocol::Hbc).unwrap();
+/// assert!(hbc.sum_rate >= dt.sum_rate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianNetwork {
+    power: f64,
+    state: ChannelState,
+}
+
+/// Sum-rate optimisation result for one protocol (Fig. 3 data point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumRateSolution {
+    /// The protocol optimised.
+    pub protocol: Protocol,
+    /// Optimal sum rate `R_a + R_b` in bits per channel use.
+    pub sum_rate: f64,
+    /// Rate of `w_a` at the optimum.
+    pub ra: f64,
+    /// Rate of `w_b` at the optimum.
+    pub rb: f64,
+    /// Optimal phase durations.
+    pub durations: Vec<f64>,
+}
+
+impl GaussianNetwork {
+    /// Creates a network from linear power and a channel state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative or non-finite.
+    pub fn new(power: f64, state: ChannelState) -> Self {
+        assert!(
+            power.is_finite() && power >= 0.0,
+            "transmit power must be finite and non-negative, got {power}"
+        );
+        GaussianNetwork { power, state }
+    }
+
+    /// Creates a network from dB quantities (the paper's convention).
+    pub fn from_db(power: Db, gab: Db, gar: Db, gbr: Db) -> Self {
+        GaussianNetwork::new(power.to_linear(), ChannelState::from_db(gab, gar, gbr))
+    }
+
+    /// Per-node transmit power (linear).
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// The channel gains.
+    pub fn state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// Same gains, different power — the SNR-sweep constructor.
+    pub fn with_power(&self, power: f64) -> Self {
+        GaussianNetwork::new(power, self.state)
+    }
+
+    /// Same gains, power given in dB.
+    pub fn with_power_db(&self, power: Db) -> Self {
+        self.with_power(power.to_linear())
+    }
+
+    /// The constraint-set family of `(protocol, bound)` at this network.
+    pub fn constraint_sets(
+        &self,
+        protocol: Protocol,
+        bound: Bound,
+    ) -> Vec<crate::constraint::ConstraintSet> {
+        bounds::constraint_sets(protocol, bound, self.power, &self.state)
+    }
+
+    /// The rate region of `(protocol, bound)`.
+    pub fn region(&self, protocol: Protocol, bound: Bound) -> RateRegion {
+        let sets = self.constraint_sets(protocol, bound);
+        RateRegion::new(sets, format!("{protocol} {bound}"))
+    }
+
+    /// The exact capacity region, available where the paper proves one:
+    /// direct transmission and MABC (Theorem 2). `None` for TDBC/HBC whose
+    /// capacity is open.
+    pub fn capacity_region(&self, protocol: Protocol) -> Option<RateRegion> {
+        match protocol {
+            Protocol::DirectTransmission | Protocol::Mabc => {
+                Some(self.region(protocol, Bound::Inner))
+            }
+            Protocol::Tdbc | Protocol::Hbc => None,
+        }
+    }
+
+    /// Optimal *achievable* sum rate of `protocol`, optimising the phase
+    /// durations by LP (the quantity plotted in Fig. 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (not expected for valid inputs).
+    pub fn max_sum_rate(&self, protocol: Protocol) -> Result<SumRateSolution, CoreError> {
+        // All inner bounds are single sets.
+        let sets = self.constraint_sets(protocol, Bound::Inner);
+        debug_assert_eq!(sets.len(), 1, "inner bounds are singletons");
+        let pt: SchedulePoint = optimizer::max_sum_rate(&sets[0])?;
+        Ok(SumRateSolution {
+            protocol,
+            sum_rate: pt.objective,
+            ra: pt.ra,
+            rb: pt.rb,
+            durations: pt.durations,
+        })
+    }
+
+    /// Received SNR of the `a`–`r` link (`P·G_ar`).
+    pub fn snr_ar(&self) -> f64 {
+        self.power * self.state.gar()
+    }
+
+    /// Received SNR of the `b`–`r` link (`P·G_br`).
+    pub fn snr_br(&self) -> f64 {
+        self.power * self.state.gbr()
+    }
+
+    /// Received SNR of the direct link (`P·G_ab`).
+    pub fn snr_ab(&self) -> f64 {
+        self.power * self.state.gab()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    fn fig4_net(p_db: f64) -> GaussianNetwork {
+        GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
+    }
+
+    #[test]
+    fn snr_accessors() {
+        // Fig. 4 gains: Gab = −7 dB, Gar = 0 dB, Gbr = 5 dB at P = 10 dB.
+        let net = fig4_net(10.0);
+        assert!(approx_eq(net.snr_ab(), 1.9952623149688795, 1e-9));
+        assert!(approx_eq(net.snr_ar(), 10.0, 1e-9));
+        assert!(approx_eq(net.snr_br(), 31.622776601683793, 1e-9));
+    }
+
+    #[test]
+    fn hbc_dominates_special_cases_in_sum_rate() {
+        for p_db in [-5.0, 0.0, 5.0, 10.0, 15.0] {
+            let net = fig4_net(p_db);
+            let hbc = net.max_sum_rate(Protocol::Hbc).unwrap().sum_rate;
+            let mabc = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+            let tdbc = net.max_sum_rate(Protocol::Tdbc).unwrap().sum_rate;
+            assert!(hbc >= mabc - 1e-8, "P={p_db} dB: HBC {hbc} < MABC {mabc}");
+            assert!(hbc >= tdbc - 1e-8, "P={p_db} dB: HBC {hbc} < TDBC {tdbc}");
+        }
+    }
+
+    #[test]
+    fn dt_sum_rate_is_direct_capacity() {
+        // DT: Ra + Rb = Δ1 C + Δ2 C = C(P·Gab) for any split.
+        let net = fig4_net(10.0);
+        let dt = net.max_sum_rate(Protocol::DirectTransmission).unwrap();
+        assert!(approx_eq(
+            dt.sum_rate,
+            bcc_info::awgn_capacity(net.snr_ab()),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn capacity_region_availability_matches_paper() {
+        let net = fig4_net(0.0);
+        assert!(net.capacity_region(Protocol::DirectTransmission).is_some());
+        assert!(net.capacity_region(Protocol::Mabc).is_some());
+        assert!(net.capacity_region(Protocol::Tdbc).is_none());
+        assert!(net.capacity_region(Protocol::Hbc).is_none());
+    }
+
+    #[test]
+    fn with_power_rescales_only_power() {
+        let net = fig4_net(0.0);
+        let boosted = net.with_power_db(Db::new(20.0));
+        assert_eq!(net.state(), boosted.state());
+        assert!(approx_eq(boosted.power(), 100.0, 1e-9));
+        // Monotonicity: more power, no smaller sum rate.
+        for proto in Protocol::ALL {
+            let lo = net.max_sum_rate(proto).unwrap().sum_rate;
+            let hi = boosted.max_sum_rate(proto).unwrap().sum_rate;
+            assert!(hi >= lo, "{proto}: {hi} < {lo}");
+        }
+    }
+
+    #[test]
+    fn sum_rate_solution_components_add_up() {
+        let net = fig4_net(10.0);
+        for proto in Protocol::ALL {
+            let sol = net.max_sum_rate(proto).unwrap();
+            assert!(approx_eq(sol.sum_rate, sol.ra + sol.rb, 1e-8), "{proto}");
+            let total: f64 = sol.durations.iter().sum();
+            assert!(approx_eq(total, 1.0, 1e-8), "{proto} durations");
+            assert_eq!(sol.durations.len(), proto.num_phases());
+        }
+    }
+
+    #[test]
+    fn zero_power_network_has_zero_rates() {
+        let net = GaussianNetwork::new(0.0, ChannelState::new(1.0, 1.0, 1.0));
+        for proto in Protocol::ALL {
+            let sol = net.max_sum_rate(proto).unwrap();
+            assert!(approx_eq(sol.sum_rate, 0.0, 1e-9), "{proto}");
+        }
+    }
+}

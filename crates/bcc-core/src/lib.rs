@@ -1,0 +1,60 @@
+//! Capacity bounds for bidirectional coded cooperation protocols.
+//!
+//! This crate is the heart of the workspace: it implements the protocol
+//! definitions and every performance bound of
+//!
+//! > S. J. Kim, P. Mitran, V. Tarokh, *Performance Bounds for Bidirectional
+//! > Coded Cooperation Protocols*, IEEE Trans. Inf. Theory 54(11), 2008
+//! > (ICDCS 2007 workshop version).
+//!
+//! Two terminals `a`, `b` exchange independent messages through a relay `r`
+//! over a shared half-duplex channel. The paper studies three
+//! decode-and-forward protocols with contiguous phases:
+//!
+//! | Protocol | Phases | Theorems |
+//! |---|---|---|
+//! | [`Protocol::DirectTransmission`] | `a→b`, `b→a` | (baseline) |
+//! | [`Protocol::Mabc`] | `{a,b}→r`, `r→{a,b}` | Thm 2 (capacity) |
+//! | [`Protocol::Tdbc`] | `a→·`, `b→·`, `r→{a,b}` | Thm 3 (inner), 4 (outer) |
+//! | [`Protocol::Hbc`] | `a→·`, `b→·`, `{a,b}→r`, `r→{a,b}` | Thm 5 (inner), 6 (outer) |
+//!
+//! In the Gaussian case (Section IV) each mutual-information term becomes
+//! `C(P·G) = log2(1 + P·G)`, every bound is **linear in the rates and phase
+//! durations jointly**, and regions/optimal schedules are computed exactly
+//! by linear programming ([`bcc_lp`]).
+//!
+//! # Example: reproduce a Fig. 4 point
+//!
+//! ```
+//! use bcc_core::gaussian::GaussianNetwork;
+//! use bcc_core::protocol::Protocol;
+//! use bcc_num::Db;
+//!
+//! let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+//! let hbc = net.max_sum_rate(Protocol::Hbc).unwrap();
+//! let mabc = net.max_sum_rate(Protocol::Mabc).unwrap();
+//! let tdbc = net.max_sum_rate(Protocol::Tdbc).unwrap();
+//! // HBC subsumes both two- and three-phase protocols:
+//! assert!(hbc.sum_rate >= mabc.sum_rate - 1e-9);
+//! assert!(hbc.sum_rate >= tdbc.sum_rate - 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod comparison;
+pub mod constraint;
+pub mod discrete;
+pub mod error;
+pub mod gaussian;
+pub mod optimizer;
+pub mod protocol;
+pub mod region;
+pub mod selection;
+pub mod sweep;
+
+pub use error::CoreError;
+pub use gaussian::GaussianNetwork;
+pub use protocol::{Bound, Protocol};
+pub use region::{RatePoint, RateRegion};

@@ -1,0 +1,306 @@
+//! LP formulations over a [`ConstraintSet`]: optimal schedules and rates.
+//!
+//! Decision variables are `x = (R_a, R_b, Δ_1, …, Δ_L)`, all non-negative.
+//! Each [`RateConstraint`](crate::constraint::RateConstraint) becomes the
+//! row `ra·R_a + rb·R_b − Σ c_ℓ·Δ_ℓ ≤ 0`, and the simplex-share row
+//! `Σ Δ_ℓ = 1` closes the system. Because everything is linear, the
+//! optimum over *both* the rates and the time allocation is found in one
+//! LP — no alternating optimisation, no duration grid.
+
+use crate::constraint::ConstraintSet;
+use crate::error::CoreError;
+use bcc_lp::{Problem, Relation};
+
+/// An optimal operating point of one protocol bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePoint {
+    /// Rate of message `w_a` (a→b), bits per channel use.
+    pub ra: f64,
+    /// Rate of message `w_b` (b→a), bits per channel use.
+    pub rb: f64,
+    /// Optimal phase durations `Δ_1..Δ_L` (sum to 1).
+    pub durations: Vec<f64>,
+    /// The achieved objective (meaning depends on the query).
+    pub objective: f64,
+}
+
+impl SchedulePoint {
+    /// Sum rate `R_a + R_b`.
+    pub fn sum_rate(&self) -> f64 {
+        self.ra + self.rb
+    }
+}
+
+fn base_problem(set: &ConstraintSet, objective: &[f64]) -> Problem {
+    let l = set.num_phases();
+    let n = 2 + l;
+    assert_eq!(objective.len(), n, "objective arity mismatch");
+    let mut p = Problem::maximize(objective);
+    for c in set.constraints() {
+        let mut row = vec![0.0; n];
+        row[0] = c.ra;
+        row[1] = c.rb;
+        for (idx, coef) in c.phase_coefs.iter().enumerate() {
+            row[2 + idx] = -coef;
+        }
+        p.subject_to(&row, Relation::Le, 0.0);
+    }
+    let mut share = vec![0.0; n];
+    for v in share.iter_mut().skip(2) {
+        *v = 1.0;
+    }
+    p.subject_to(&share, Relation::Eq, 1.0);
+    p
+}
+
+fn extract(set: &ConstraintSet, sol: bcc_lp::Solution) -> SchedulePoint {
+    let l = set.num_phases();
+    SchedulePoint {
+        ra: sol.x[0],
+        rb: sol.x[1],
+        durations: sol.x[2..2 + l].to_vec(),
+        objective: sol.objective,
+    }
+}
+
+/// Maximises `wa·R_a + wb·R_b` jointly over rates and phase durations.
+///
+/// # Errors
+///
+/// Propagates LP failures; with non-negative weights and valid constraint
+/// sets this cannot be infeasible or unbounded.
+///
+/// # Panics
+///
+/// Panics if a weight is negative (the region is unbounded in negative
+/// directions by `R ≥ 0`, so such queries are ill-posed).
+pub fn max_weighted(set: &ConstraintSet, wa: f64, wb: f64) -> Result<SchedulePoint, CoreError> {
+    assert!(wa >= 0.0 && wb >= 0.0, "weights must be non-negative");
+    let l = set.num_phases();
+    let mut obj = vec![0.0; 2 + l];
+    obj[0] = wa;
+    obj[1] = wb;
+    let p = base_problem(set, &obj);
+    let sol = p
+        .solve()
+        .map_err(|e| CoreError::lp(format!("{} weighted-rate", set.name), e))?;
+    Ok(extract(set, sol))
+}
+
+/// Maximises the sum rate `R_a + R_b` (the paper's Fig. 3 quantity).
+pub fn max_sum_rate(set: &ConstraintSet) -> Result<SchedulePoint, CoreError> {
+    max_weighted(set, 1.0, 1.0)
+}
+
+/// Maximises `R_a` subject to `R_b = rb` — the boundary-tracing query.
+///
+/// # Errors
+///
+/// Returns [`CoreError::RateUnachievable`] if `rb` exceeds the region's
+/// maximum `R_b` (the LP is infeasible).
+pub fn max_ra_given_rb(set: &ConstraintSet, rb: f64) -> Result<SchedulePoint, CoreError> {
+    assert!(rb >= 0.0, "rates are non-negative");
+    let l = set.num_phases();
+    let mut obj = vec![0.0; 2 + l];
+    obj[0] = 1.0;
+    let mut p = base_problem(set, &obj);
+    let mut fix = vec![0.0; 2 + l];
+    fix[1] = 1.0;
+    p.subject_to(&fix, Relation::Eq, rb);
+    match p.solve() {
+        Ok(sol) => Ok(extract(set, sol)),
+        Err(bcc_lp::LpError::Infeasible) => Err(CoreError::RateUnachievable { rate: rb }),
+        Err(e) => Err(CoreError::lp(format!("{} boundary", set.name), e)),
+    }
+}
+
+/// Maximises the symmetric (max–min fair) rate: the largest `t` with
+/// `(R_a, R_b) = (t', t'')`, `t' ≥ t`, `t'' ≥ t` achievable.
+pub fn max_min_rate(set: &ConstraintSet) -> Result<SchedulePoint, CoreError> {
+    // Extra variable t appended after the durations.
+    let l = set.num_phases();
+    let n = 2 + l + 1;
+    let mut obj = vec![0.0; n];
+    obj[n - 1] = 1.0;
+    let mut p = Problem::maximize(&obj);
+    for c in set.constraints() {
+        let mut row = vec![0.0; n];
+        row[0] = c.ra;
+        row[1] = c.rb;
+        for (idx, coef) in c.phase_coefs.iter().enumerate() {
+            row[2 + idx] = -coef;
+        }
+        p.subject_to(&row, Relation::Le, 0.0);
+    }
+    let mut share = vec![0.0; n];
+    for v in share.iter_mut().take(2 + l).skip(2) {
+        *v = 1.0;
+    }
+    p.subject_to(&share, Relation::Eq, 1.0);
+    // Ra - t >= 0, Rb - t >= 0.
+    let mut ra_row = vec![0.0; n];
+    ra_row[0] = 1.0;
+    ra_row[n - 1] = -1.0;
+    p.subject_to(&ra_row, Relation::Ge, 0.0);
+    let mut rb_row = vec![0.0; n];
+    rb_row[1] = 1.0;
+    rb_row[n - 1] = -1.0;
+    p.subject_to(&rb_row, Relation::Ge, 0.0);
+    let sol = p
+        .solve()
+        .map_err(|e| CoreError::lp(format!("{} max-min", set.name), e))?;
+    Ok(SchedulePoint {
+        ra: sol.x[0],
+        rb: sol.x[1],
+        durations: sol.x[2..2 + l].to_vec(),
+        objective: sol.objective,
+    })
+}
+
+/// Returns the labels of the constraints that are *tight* (within `tol`)
+/// at a schedule point — the sensitivity diagnostic behind statements like
+/// "the MAC sum constraint binds at low SNR".
+///
+/// # Panics
+///
+/// Panics if the point's duration arity differs from the set's.
+pub fn binding_constraints<'a>(
+    set: &'a ConstraintSet,
+    point: &SchedulePoint,
+    tol: f64,
+) -> Vec<&'a str> {
+    set.constraints()
+        .iter()
+        .filter(|c| {
+            let slack = c.rhs(&point.durations) - c.lhs(point.ra, point.rb);
+            slack.abs() <= tol
+        })
+        .map(|c| c.label.as_str())
+        .collect()
+}
+
+/// Tests whether the rate pair `(ra, rb)` is achievable for *some* phase
+/// allocation — a pure feasibility LP over the durations.
+pub fn is_achievable(set: &ConstraintSet, ra: f64, rb: f64) -> bool {
+    if ra < 0.0 || rb < 0.0 {
+        return false;
+    }
+    let l = set.num_phases();
+    let obj = vec![0.0; l];
+    let mut p = Problem::maximize(&obj);
+    for c in set.constraints() {
+        // Σ coef_ℓ Δ_ℓ ≥ lhs(ra, rb)
+        p.subject_to(&c.phase_coefs, Relation::Ge, c.lhs(ra, rb));
+    }
+    p.subject_to(&vec![1.0; l], Relation::Eq, 1.0);
+    p.solve().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{mabc, tdbc};
+    use bcc_channel::ChannelState;
+    use bcc_num::approx_eq;
+
+    fn fig4_state() -> ChannelState {
+        ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795)
+    }
+
+    #[test]
+    fn durations_always_sum_to_one() {
+        let set = tdbc::inner_constraints(10.0, &fig4_state());
+        for (wa, wb) in [(1.0, 1.0), (1.0, 0.0), (0.0, 1.0), (0.3, 0.7)] {
+            let pt = max_weighted(&set, wa, wb).expect("solvable");
+            let total: f64 = pt.durations.iter().sum();
+            assert!(approx_eq(total, 1.0, 1e-9), "durations {:?}", pt.durations);
+        }
+    }
+
+    #[test]
+    fn optimum_satisfies_all_constraints() {
+        let set = mabc::capacity_constraints(10.0, &fig4_state());
+        let pt = max_sum_rate(&set).expect("solvable");
+        assert!(set.all_satisfied(pt.ra, pt.rb, &pt.durations, 1e-7));
+    }
+
+    #[test]
+    fn sum_rate_equals_component_sum() {
+        let set = mabc::capacity_constraints(10.0, &fig4_state());
+        let pt = max_sum_rate(&set).expect("solvable");
+        assert!(approx_eq(pt.objective, pt.ra + pt.rb, 1e-9));
+        assert!(approx_eq(pt.objective, pt.sum_rate(), 1e-9));
+    }
+
+    #[test]
+    fn one_sided_weight_finds_single_user_maximum() {
+        // MABC Ra-only: maximize min(Δ1 C(P Gar), Δ2 C(P Gbr)) over Δ —
+        // optimum where the two bind: Ra* = C1 C2 / (C1 + C2).
+        let p = 10.0;
+        let s = fig4_state();
+        let set = mabc::capacity_constraints(p, &s);
+        let c1 = bcc_info::awgn_capacity(p * s.gar());
+        let c2 = bcc_info::awgn_capacity(p * s.gbr());
+        let expected = c1 * c2 / (c1 + c2);
+        let pt = max_weighted(&set, 1.0, 0.0).expect("solvable");
+        assert!(approx_eq(pt.ra, expected, 1e-8), "{} vs {expected}", pt.ra);
+    }
+
+    #[test]
+    fn boundary_query_matches_feasibility() {
+        let set = tdbc::inner_constraints(10.0, &fig4_state());
+        let rb = 0.3;
+        let pt = max_ra_given_rb(&set, rb).expect("achievable rb");
+        assert!(approx_eq(pt.rb, rb, 1e-9));
+        assert!(is_achievable(&set, pt.ra - 1e-6, rb));
+        assert!(!is_achievable(&set, pt.ra + 1e-3, rb));
+    }
+
+    #[test]
+    fn excessive_rb_is_unachievable() {
+        let set = tdbc::inner_constraints(1.0, &fig4_state());
+        let err = max_ra_given_rb(&set, 100.0).unwrap_err();
+        assert!(matches!(err, CoreError::RateUnachievable { .. }));
+        assert!(!is_achievable(&set, 0.0, 100.0));
+    }
+
+    #[test]
+    fn max_min_is_symmetric_point() {
+        let set = mabc::capacity_constraints(10.0, &fig4_state());
+        let pt = max_min_rate(&set).expect("solvable");
+        // Both rates at least the objective.
+        assert!(pt.ra >= pt.objective - 1e-9);
+        assert!(pt.rb >= pt.objective - 1e-9);
+        // And the symmetric point is achievable.
+        assert!(is_achievable(&set, pt.objective, pt.objective));
+    }
+
+    #[test]
+    fn origin_is_always_achievable() {
+        let set = tdbc::inner_constraints(0.0, &fig4_state());
+        assert!(is_achievable(&set, 0.0, 0.0));
+        assert!(!is_achievable(&set, -0.1, 0.0), "negative rates rejected");
+    }
+
+    #[test]
+    fn binding_constraints_identified_at_optimum() {
+        let set = mabc::capacity_constraints(10.0, &fig4_state());
+        let pt = max_sum_rate(&set).expect("solvable");
+        let binding = binding_constraints(&set, &pt, 1e-7);
+        // At an LP optimum at least one constraint binds, and the MABC
+        // sum-rate optimum always pins the MAC sum row.
+        assert!(!binding.is_empty());
+        assert!(
+            binding.iter().any(|l| l.contains("MAC sum")),
+            "MAC sum row should bind at the sum-rate optimum: {binding:?}"
+        );
+        // An interior point binds nothing.
+        let interior = SchedulePoint {
+            ra: 0.01,
+            rb: 0.01,
+            durations: pt.durations.clone(),
+            objective: 0.02,
+        };
+        assert!(binding_constraints(&set, &interior, 1e-7).is_empty());
+    }
+}

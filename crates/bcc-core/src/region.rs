@@ -1,0 +1,460 @@
+//! Rate regions: unions of duration-optimised constraint polytopes.
+//!
+//! For a single [`ConstraintSet`] the achievable `(R_a, R_b)` region —
+//! *after* optimising the phase durations — is the projection of a
+//! polytope, hence itself a convex polygon; all queries reduce to LPs.
+//! A [`RateRegion`] holds a **family** of constraint sets and represents
+//! the union of their projections: a singleton family for every bound in
+//! the paper except the Gaussian-restricted HBC outer bound, whose family
+//! is indexed by the phase-3 correlation ρ (see
+//! [`crate::bounds::hbc`]).
+
+use crate::constraint::ConstraintSet;
+use crate::error::CoreError;
+use crate::optimizer;
+use std::fmt;
+
+/// A point in the `(R_a, R_b)` plane, bits per channel use.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RatePoint {
+    /// Rate of message `w_a` (decoded at `b`).
+    pub ra: f64,
+    /// Rate of message `w_b` (decoded at `a`).
+    pub rb: f64,
+}
+
+impl RatePoint {
+    /// Creates a rate point.
+    pub fn new(ra: f64, rb: f64) -> Self {
+        RatePoint { ra, rb }
+    }
+
+    /// Sum rate `R_a + R_b`.
+    pub fn sum(&self) -> f64 {
+        self.ra + self.rb
+    }
+}
+
+impl fmt::Display for RatePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.ra, self.rb)
+    }
+}
+
+/// A rate region represented as a union of constraint-set projections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateRegion {
+    sets: Vec<ConstraintSet>,
+    /// Descriptive name (e.g. `"TDBC outer (Thm 4)"`).
+    pub name: String,
+}
+
+impl RateRegion {
+    /// Wraps a family of constraint sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty.
+    pub fn new(sets: Vec<ConstraintSet>, name: impl Into<String>) -> Self {
+        assert!(!sets.is_empty(), "a region needs at least one constraint set");
+        RateRegion {
+            sets,
+            name: name.into(),
+        }
+    }
+
+    /// The underlying constraint sets.
+    pub fn sets(&self) -> &[ConstraintSet] {
+        &self.sets
+    }
+
+    /// `true` if `(ra, rb)` is in the region (achievable under some member
+    /// set and some phase allocation).
+    pub fn contains(&self, ra: f64, rb: f64) -> bool {
+        self.sets
+            .iter()
+            .any(|s| optimizer::is_achievable(s, ra, rb))
+    }
+
+    /// Maximum of `wa·R_a + wb·R_b` over the region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (not expected for valid bounds).
+    pub fn max_weighted(&self, wa: f64, wb: f64) -> Result<RatePoint, CoreError> {
+        let mut best: Option<RatePoint> = None;
+        let mut best_val = f64::NEG_INFINITY;
+        for s in &self.sets {
+            let pt = optimizer::max_weighted(s, wa, wb)?;
+            if pt.objective > best_val {
+                best_val = pt.objective;
+                best = Some(RatePoint::new(pt.ra, pt.rb));
+            }
+        }
+        Ok(best.expect("non-empty family"))
+    }
+
+    /// Maximum sum rate over the region.
+    pub fn max_sum_rate(&self) -> Result<f64, CoreError> {
+        self.max_weighted(1.0, 1.0).map(|p| p.sum())
+    }
+
+    /// Largest achievable `R_b` (at any `R_a`).
+    pub fn rb_max(&self) -> Result<f64, CoreError> {
+        self.max_weighted(0.0, 1.0).map(|p| p.rb)
+    }
+
+    /// Largest achievable `R_a` (at any `R_b`).
+    pub fn ra_max(&self) -> Result<f64, CoreError> {
+        self.max_weighted(1.0, 0.0).map(|p| p.ra)
+    }
+
+    /// Largest `R_a` achievable together with `R_b = rb`, or `None` if `rb`
+    /// itself is out of reach for every family member.
+    pub fn max_ra_given_rb(&self, rb: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for s in &self.sets {
+            match optimizer::max_ra_given_rb(s, rb) {
+                Ok(pt) => {
+                    best = Some(best.map_or(pt.ra, |b: f64| b.max(pt.ra)));
+                }
+                Err(CoreError::RateUnachievable { .. }) => continue,
+                Err(_) => continue,
+            }
+        }
+        best
+    }
+
+    /// Traces the upper-right boundary with `n + 1` points: `R_b` is swept
+    /// uniformly over `[0, R_b^max]` and the maximal `R_a` recorded for
+    /// each. This is the curve plotted in the paper's Fig. 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from the `R_b`-max query.
+    pub fn boundary(&self, n: usize) -> Result<Vec<RatePoint>, CoreError> {
+        assert!(n > 0, "need at least one boundary segment");
+        let rb_max = self.rb_max()?;
+        let mut pts = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let rb = rb_max * i as f64 / n as f64;
+            // rb slightly inside to absorb LP tolerance at the tip.
+            let rb_q = if i == n { rb - 1e-12 } else { rb };
+            if let Some(ra) = self.max_ra_given_rb(rb_q.max(0.0)) {
+                pts.push(RatePoint::new(ra, rb));
+            }
+        }
+        Ok(pts)
+    }
+
+    /// The symmetric-rate (max–min fair) point of the region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures.
+    pub fn max_min_point(&self) -> Result<RatePoint, CoreError> {
+        let mut best = RatePoint::default();
+        let mut best_t = f64::NEG_INFINITY;
+        for s in &self.sets {
+            let pt = optimizer::max_min_rate(s)?;
+            if pt.objective > best_t {
+                best_t = pt.objective;
+                best = RatePoint::new(pt.objective, pt.objective);
+            }
+        }
+        Ok(best)
+    }
+
+    /// `true` if every boundary point of `other` (at resolution `n`) lies
+    /// inside this region — a practical containment check for convex
+    /// regions, used for the paper's dominance claims.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from boundary tracing.
+    pub fn contains_region(&self, other: &RateRegion, n: usize) -> Result<bool, CoreError> {
+        const TOL: f64 = 1e-7;
+        for pt in other.boundary(n)? {
+            // Shrink the probe point slightly toward the origin so exact
+            // boundary contact counts as containment.
+            let ra = (pt.ra - TOL).max(0.0);
+            let rb = (pt.rb - TOL).max(0.0);
+            if !self.contains(ra, rb) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// The rate pairs reachable by **time sharing** among a set of achievable
+/// points — the operational meaning of the paper's `Q` variable. Returns
+/// the Pareto-efficient vertices of the "free-disposal" convex hull,
+/// sorted by increasing `R_a`.
+///
+/// Time sharing matters when the underlying points come from *different*
+/// input distributions (the general-DMC evaluation in
+/// [`crate::discrete`]); for a single Gaussian constraint set the region
+/// is already convex and the hull adds nothing.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or contains negative/non-finite rates.
+pub fn time_sharing_hull(points: &[RatePoint]) -> Vec<RatePoint> {
+    assert!(!points.is_empty(), "need at least one achievable point");
+    assert!(
+        points
+            .iter()
+            .all(|p| p.ra >= 0.0 && p.rb >= 0.0 && p.ra.is_finite() && p.rb.is_finite()),
+        "rates must be non-negative and finite"
+    );
+    // Free disposal: the axis projections of the extreme points are
+    // achievable, so anchor the hull at (ra_max, 0) and (0, rb_max).
+    let ra_max = points.iter().map(|p| p.ra).fold(0.0, f64::max);
+    let rb_max = points.iter().map(|p| p.rb).fold(0.0, f64::max);
+    let mut pts: Vec<RatePoint> = points.to_vec();
+    pts.push(RatePoint::new(ra_max, 0.0));
+    pts.push(RatePoint::new(0.0, rb_max));
+    // Sort by ra, tie-break on rb descending so dominated duplicates drop.
+    pts.sort_by(|x, y| {
+        x.ra.partial_cmp(&y.ra)
+            .expect("finite")
+            .then(y.rb.partial_cmp(&x.rb).expect("finite"))
+    });
+    // Upper hull by monotone chain: keep left turns strictly concave.
+    let cross = |o: &RatePoint, a: &RatePoint, b: &RatePoint| -> f64 {
+        (a.ra - o.ra) * (b.rb - o.rb) - (a.rb - o.rb) * (b.ra - o.ra)
+    };
+    let mut hull: Vec<RatePoint> = Vec::new();
+    for p in pts {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) >= -1e-12
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Drop Pareto-dominated hull vertices (can appear at the anchors).
+    let snapshot = hull.clone();
+    hull.retain(|p| {
+        !snapshot
+            .iter()
+            .any(|q| (q.ra > p.ra + 1e-12 && q.rb >= p.rb) || (q.rb > p.rb + 1e-12 && q.ra >= p.ra))
+    });
+    hull
+}
+
+/// Largest `R_a` reachable at `R_b = rb` by time sharing over `hull`
+/// (linear interpolation between adjacent hull vertices). Returns `None`
+/// if `rb` exceeds the hull's `R_b` range.
+pub fn hull_max_ra(hull: &[RatePoint], rb: f64) -> Option<f64> {
+    if hull.is_empty() || rb < 0.0 {
+        return None;
+    }
+    let rb_max = hull.iter().map(|p| p.rb).fold(0.0, f64::max);
+    if rb > rb_max + 1e-12 {
+        return None;
+    }
+    // Hull is sorted by ra ascending, hence rb descending along the
+    // efficient frontier. Find the bracketing segment.
+    let mut best: f64 = 0.0;
+    for w in hull.windows(2) {
+        let (p, q) = (&w[0], &w[1]);
+        let (lo, hi) = if p.rb <= q.rb { (p.rb, q.rb) } else { (q.rb, p.rb) };
+        if rb >= lo - 1e-12 && rb <= hi + 1e-12 {
+            let t = if (q.rb - p.rb).abs() < 1e-15 {
+                0.0
+            } else {
+                (rb - p.rb) / (q.rb - p.rb)
+            };
+            best = best.max(p.ra + t * (q.ra - p.ra));
+        }
+    }
+    for p in hull {
+        if p.rb >= rb - 1e-12 {
+            best = best.max(p.ra);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{hbc, mabc, tdbc};
+    use bcc_channel::ChannelState;
+    use bcc_num::approx_eq;
+
+    fn fig4_state() -> ChannelState {
+        ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795)
+    }
+
+    fn mabc_region(p: f64) -> RateRegion {
+        RateRegion::new(
+            vec![mabc::capacity_constraints(p, &fig4_state())],
+            "MABC capacity",
+        )
+    }
+
+    #[test]
+    fn origin_always_inside() {
+        let r = mabc_region(10.0);
+        assert!(r.contains(0.0, 0.0));
+        assert!(!r.contains(-0.1, 0.0));
+    }
+
+    #[test]
+    fn boundary_is_monotone_decreasing() {
+        let r = mabc_region(10.0);
+        let b = r.boundary(40).expect("boundary");
+        assert!(b.len() >= 2);
+        for w in b.windows(2) {
+            assert!(w[1].rb >= w[0].rb - 1e-12);
+            assert!(
+                w[1].ra <= w[0].ra + 1e-7,
+                "Ra must not increase along increasing Rb: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_endpoints_match_single_user_maxima() {
+        let r = mabc_region(10.0);
+        let b = r.boundary(20).expect("boundary");
+        let ra_max = r.ra_max().expect("ra max");
+        let rb_max = r.rb_max().expect("rb max");
+        assert!(approx_eq(b[0].ra, ra_max, 1e-6));
+        assert!(approx_eq(b.last().unwrap().rb, rb_max, 1e-6));
+    }
+
+    #[test]
+    fn contains_matches_boundary() {
+        let r = mabc_region(5.0);
+        for pt in r.boundary(10).expect("boundary") {
+            assert!(
+                r.contains((pt.ra - 1e-6).max(0.0), (pt.rb - 1e-6).max(0.0)),
+                "just-inside point {pt} rejected"
+            );
+            assert!(
+                !r.contains(pt.ra + 1e-3, pt.rb + 1e-3),
+                "outside point accepted near {pt}"
+            );
+        }
+    }
+
+    #[test]
+    fn tdbc_inner_contained_in_outer() {
+        let p = 10.0;
+        let s = fig4_state();
+        let inner = RateRegion::new(vec![tdbc::inner_constraints(p, &s)], "TDBC inner");
+        let outer = RateRegion::new(vec![tdbc::outer_constraints(p, &s)], "TDBC outer");
+        assert!(outer.contains_region(&inner, 25).expect("containment check"));
+        // And generally not vice versa (the outer bound is strictly larger
+        // at this channel).
+        assert!(!inner.contains_region(&outer, 25).expect("containment check"));
+    }
+
+    #[test]
+    fn hbc_inner_contains_mabc_and_tdbc_inner() {
+        let p = 10.0;
+        let s = fig4_state();
+        let hbc_r = RateRegion::new(vec![hbc::inner_constraints(p, &s)], "HBC inner");
+        let mabc_r = mabc_region(p);
+        let tdbc_r = RateRegion::new(vec![tdbc::inner_constraints(p, &s)], "TDBC inner");
+        assert!(hbc_r.contains_region(&mabc_r, 25).expect("containment"));
+        assert!(hbc_r.contains_region(&tdbc_r, 25).expect("containment"));
+    }
+
+    #[test]
+    fn union_region_is_no_smaller_than_members() {
+        let p = 10.0;
+        let s = fig4_state();
+        let family = hbc::outer_constraint_family(p, &s, 9);
+        let union = RateRegion::new(family.clone(), "HBC outer union");
+        for member in family {
+            let single = RateRegion::new(vec![member], "member");
+            assert!(union.contains_region(&single, 15).expect("containment"));
+        }
+    }
+
+    #[test]
+    fn max_min_point_is_achievable_and_symmetric() {
+        let r = mabc_region(10.0);
+        let pt = r.max_min_point().expect("max-min");
+        assert!(approx_eq(pt.ra, pt.rb, 1e-9));
+        assert!(r.contains(pt.ra - 1e-7, pt.rb - 1e-7));
+    }
+
+    #[test]
+    fn sum_rate_consistent_with_weighted_query() {
+        let r = mabc_region(10.0);
+        let via_sum = r.max_sum_rate().expect("sum");
+        let via_weight = r.max_weighted(1.0, 1.0).expect("weighted");
+        assert!(approx_eq(via_sum, via_weight.sum(), 1e-9));
+    }
+
+    #[test]
+    fn hull_of_two_points_is_their_segment() {
+        let pts = [RatePoint::new(2.0, 0.0), RatePoint::new(0.0, 2.0)];
+        let hull = time_sharing_hull(&pts);
+        // Midpoint reachable by 50/50 time sharing.
+        assert!(approx_eq(hull_max_ra(&hull, 1.0).unwrap(), 1.0, 1e-9));
+        assert!(approx_eq(hull_max_ra(&hull, 0.0).unwrap(), 2.0, 1e-9));
+        assert!(hull_max_ra(&hull, 2.5).is_none());
+    }
+
+    #[test]
+    fn hull_dominates_every_input_point() {
+        let pts = [
+            RatePoint::new(1.0, 0.2),
+            RatePoint::new(0.5, 0.9),
+            RatePoint::new(0.2, 1.1),
+            RatePoint::new(0.7, 0.7),
+        ];
+        let hull = time_sharing_hull(&pts);
+        for p in &pts {
+            let ra = hull_max_ra(&hull, p.rb).expect("inside rb range");
+            assert!(ra >= p.ra - 1e-9, "hull lost point {p}: {ra}");
+        }
+    }
+
+    #[test]
+    fn interior_points_are_not_hull_vertices() {
+        let pts = [
+            RatePoint::new(2.0, 0.0),
+            RatePoint::new(0.0, 2.0),
+            RatePoint::new(0.5, 0.5), // strictly inside the segment hull
+        ];
+        let hull = time_sharing_hull(&pts);
+        assert!(!hull.iter().any(|p| approx_eq(p.ra, 0.5, 1e-12)
+            && approx_eq(p.rb, 0.5, 1e-12)));
+    }
+
+    #[test]
+    fn hull_of_convex_region_boundary_adds_nothing() {
+        // A Gaussian MABC region is already convex: hulling its boundary
+        // must not enlarge it.
+        let r = mabc_region(10.0);
+        let boundary = r.boundary(24).expect("boundary");
+        let hull = time_sharing_hull(&boundary);
+        for p in &hull {
+            assert!(
+                r.contains((p.ra - 1e-6).max(0.0), (p.rb - 1e-6).max(0.0)),
+                "hull escaped a convex region at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_hull() {
+        let hull = time_sharing_hull(&[RatePoint::new(1.0, 1.0)]);
+        // Anchors give the axis points; the point itself survives.
+        assert!(hull_max_ra(&hull, 1.0).unwrap() >= 1.0 - 1e-12);
+        assert!(hull_max_ra(&hull, 0.0).unwrap() >= 1.0 - 1e-12);
+    }
+}

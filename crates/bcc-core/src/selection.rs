@@ -1,0 +1,172 @@
+//! Relay selection — a multi-relay extension of the paper's model.
+//!
+//! The paper notes (Section I) that coded bidirectional cooperation
+//! extends to multiple relays [Wu–Chou–Kung]. The simplest such extension
+//! with decode-and-forward protocols is **selection**: per channel
+//! realisation, run the chosen protocol through the single best relay.
+//! With full CSI this is optimal among single-relay strategies and already
+//! captures the *selection diversity* gain under fading — which the
+//! Monte-Carlo experiments quantify.
+
+use crate::error::CoreError;
+use crate::gaussian::{GaussianNetwork, SumRateSolution};
+use crate::protocol::Protocol;
+use bcc_channel::ChannelState;
+
+/// A set of candidate relays for the same terminal pair.
+///
+/// Each candidate contributes its own `(G_ar, G_br)` pair; `G_ab` is a
+/// property of the terminals and shared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayCandidates {
+    gab: f64,
+    relays: Vec<(f64, f64)>,
+}
+
+/// The outcome of a selection decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionResult {
+    /// Index of the winning relay in the candidate list.
+    pub relay_index: usize,
+    /// The winning relay's sum-rate solution.
+    pub solution: SumRateSolution,
+}
+
+impl RelayCandidates {
+    /// Creates a candidate set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relays` is empty or any gain is invalid (propagated from
+    /// [`ChannelState::new`]).
+    pub fn new(gab: f64, relays: Vec<(f64, f64)>) -> Self {
+        assert!(!relays.is_empty(), "need at least one candidate relay");
+        for &(gar, gbr) in &relays {
+            // Validate eagerly so selection can't panic mid-optimisation.
+            let _ = ChannelState::new(gab, gar, gbr);
+        }
+        RelayCandidates { gab, relays }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// `true` if there are no candidates (unreachable after construction).
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// The network through candidate `i` at transmit power `power`.
+    pub fn network(&self, i: usize, power: f64) -> GaussianNetwork {
+        let (gar, gbr) = self.relays[i];
+        GaussianNetwork::new(power, ChannelState::new(self.gab, gar, gbr))
+    }
+
+    /// Selects the relay maximising `protocol`'s optimal sum rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from any candidate evaluation.
+    pub fn select(&self, protocol: Protocol, power: f64) -> Result<SelectionResult, CoreError> {
+        let mut best: Option<SelectionResult> = None;
+        for i in 0..self.relays.len() {
+            let sol = self.network(i, power).max_sum_rate(protocol)?;
+            let better = match &best {
+                None => true,
+                Some(b) => sol.sum_rate > b.solution.sum_rate,
+            };
+            if better {
+                best = Some(SelectionResult {
+                    relay_index: i,
+                    solution: sol,
+                });
+            }
+        }
+        Ok(best.expect("non-empty candidate set"))
+    }
+
+    /// Applies independent fading factors to every candidate's relay links
+    /// (and a common factor to the shared direct link), returning a new
+    /// candidate set — one quasi-static realisation of the multi-relay
+    /// network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fades.len() != self.len()` or any factor is invalid.
+    pub fn faded(&self, direct_fade: f64, fades: &[(f64, f64)]) -> Self {
+        assert_eq!(fades.len(), self.relays.len(), "one fade pair per relay");
+        let relays = self
+            .relays
+            .iter()
+            .zip(fades)
+            .map(|(&(gar, gbr), &(fa, fb))| (gar * fa, gbr * fb))
+            .collect();
+        RelayCandidates::new(self.gab * direct_fade, relays)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> RelayCandidates {
+        RelayCandidates::new(
+            0.2,
+            vec![(1.0, 3.16), (0.5, 0.5), (3.16, 1.0)],
+        )
+    }
+
+    #[test]
+    fn selection_at_least_as_good_as_each_candidate() {
+        let c = candidates();
+        for proto in Protocol::RELAYED {
+            let sel = c.select(proto, 10.0).unwrap();
+            for i in 0..c.len() {
+                let single = c.network(i, 10.0).max_sum_rate(proto).unwrap();
+                assert!(
+                    sel.solution.sum_rate >= single.sum_rate - 1e-9,
+                    "{proto}: selection lost to fixed relay {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_candidates_tie_by_sum_rate() {
+        // Relays 0 and 2 are mirror images; their sum rates coincide, so
+        // whichever is chosen, the value matches.
+        let c = candidates();
+        let sel = c.select(Protocol::Mabc, 10.0).unwrap();
+        let v0 = c.network(0, 10.0).max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        let v2 = c.network(2, 10.0).max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        assert!((v0 - v2).abs() < 1e-9);
+        assert!((sel.solution.sum_rate - v0).abs() < 1e-9);
+        assert_ne!(sel.relay_index, 1, "the weak middle relay can never win");
+    }
+
+    #[test]
+    fn fading_can_flip_the_selection() {
+        let c = candidates();
+        // Deep fade on relay 0/2's links, boost on relay 1.
+        let faded = c.faded(1.0, &[(0.01, 0.01), (10.0, 10.0), (0.01, 0.01)]);
+        let sel = faded.select(Protocol::Mabc, 10.0).unwrap();
+        assert_eq!(sel.relay_index, 1, "boosted relay must win after the fade");
+    }
+
+    #[test]
+    fn single_candidate_degenerates_to_fixed_relay() {
+        let c = RelayCandidates::new(0.2, vec![(1.0, 1.0)]);
+        let sel = c.select(Protocol::Hbc, 5.0).unwrap();
+        let direct = c.network(0, 5.0).max_sum_rate(Protocol::Hbc).unwrap();
+        assert_eq!(sel.relay_index, 0);
+        assert!((sel.solution.sum_rate - direct.sum_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        let _ = RelayCandidates::new(0.2, vec![]);
+    }
+}

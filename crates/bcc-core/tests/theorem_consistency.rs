@@ -1,0 +1,138 @@
+//! Deep numeric consistency checks of the theorem implementations:
+//! closed-form corner values, protocol-embedding identities at the region
+//! level, and agreement between the constraint coefficients and the
+//! information-theoretic primitives they are built from.
+
+use bcc_channel::ChannelState;
+use bcc_core::bounds::{hbc, mabc, tdbc};
+use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::optimizer;
+use bcc_core::protocol::{Bound, Protocol};
+use bcc_info::awgn_capacity;
+use bcc_info::gaussian::mac_sum_capacity;
+
+fn fig4_state() -> ChannelState {
+    ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795)
+}
+
+#[test]
+fn mabc_single_user_corner_closed_form() {
+    // With Rb = 0 the MABC optimum solves min(Δ1·C_ar, Δ2·C_br) over the
+    // simplex: Ra* = C_ar·C_br/(C_ar + C_br).
+    let p = 10.0;
+    let s = fig4_state();
+    let c_ar = awgn_capacity(p * s.gar());
+    let c_br = awgn_capacity(p * s.gbr());
+    let expect = c_ar * c_br / (c_ar + c_br);
+    let set = mabc::capacity_constraints(p, &s);
+    let pt = optimizer::max_weighted(&set, 1.0, 0.0).unwrap();
+    assert!((pt.ra - expect).abs() < 1e-8, "{} vs {expect}", pt.ra);
+}
+
+#[test]
+fn mabc_sum_rate_closed_form_when_mac_binds() {
+    // Symmetric gains G: sum* = C(2PG)·2C(PG) / (C(2PG) + 2C(PG)).
+    let p = 10.0;
+    let s = ChannelState::new(0.1, 1.5, 1.5);
+    let c1 = mac_sum_capacity(p * 1.5, p * 1.5);
+    let c2 = awgn_capacity(p * 1.5);
+    let expect = c1 * 2.0 * c2 / (c1 + 2.0 * c2);
+    let sol = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s)).unwrap();
+    assert!((sol.objective - expect).abs() < 1e-8, "{} vs {expect}", sol.objective);
+}
+
+#[test]
+fn tdbc_sum_rate_closed_form_dead_direct_link() {
+    // Gab = 0: b decodes only from the relay phase, so
+    // Ra ≤ min(Δ1·C_ar, Δ3·C_br), Rb ≤ min(Δ2·C_br, Δ3·C_ar).
+    // With symmetric relay gains C_ar = C_br = c the optimum is
+    // Δ = (1/3, 1/3, 1/3) giving sum = 2c/3.
+    let p = 4.0;
+    let s = ChannelState::new(0.0, 2.0, 2.0);
+    let c = awgn_capacity(p * 2.0);
+    let sol = optimizer::max_sum_rate(&tdbc::inner_constraints(p, &s)).unwrap();
+    assert!((sol.objective - 2.0 * c / 3.0).abs() < 1e-8);
+    // And the durations split evenly.
+    for d in &sol.durations {
+        assert!((d - 1.0 / 3.0).abs() < 1e-6, "durations {:?}", sol.durations);
+    }
+}
+
+#[test]
+fn hbc_weighted_optima_dominate_both_embeddings_for_all_weights() {
+    let p = 10.0;
+    let s = fig4_state();
+    let hbc_set = hbc::inner_constraints(p, &s);
+    let mabc_set = mabc::capacity_constraints(p, &s);
+    let tdbc_set = tdbc::inner_constraints(p, &s);
+    for k in 0..=10 {
+        let wa = k as f64 / 10.0;
+        let wb = 1.0 - wa;
+        let h = optimizer::max_weighted(&hbc_set, wa, wb).unwrap().objective;
+        let m = optimizer::max_weighted(&mabc_set, wa, wb).unwrap().objective;
+        let t = optimizer::max_weighted(&tdbc_set, wa, wb).unwrap().objective;
+        assert!(h >= m - 1e-8, "w=({wa},{wb}): HBC {h} < MABC {m}");
+        assert!(h >= t - 1e-8, "w=({wa},{wb}): HBC {h} < TDBC {t}");
+    }
+}
+
+#[test]
+fn theorem2_constraint_coefficients_match_primitives() {
+    let p = 7.5;
+    let s = fig4_state();
+    let set = mabc::capacity_constraints(p, &s);
+    let rows = set.constraints();
+    assert!((rows[0].phase_coefs[0] - awgn_capacity(p * s.gar())).abs() < 1e-12);
+    assert!((rows[1].phase_coefs[1] - awgn_capacity(p * s.gbr())).abs() < 1e-12);
+    assert!(
+        (rows[4].phase_coefs[0] - mac_sum_capacity(p * s.gar(), p * s.gbr())).abs() < 1e-12
+    );
+}
+
+#[test]
+fn outer_bounds_collapse_to_inner_when_direct_link_dies() {
+    // Theorem 4's cut terms C(P(G_ar + G_ab)) reduce to C(P·G_ar) at
+    // G_ab = 0, so inner and outer TDBC differ only by the sum-rate row.
+    let p = 5.0;
+    let s = ChannelState::new(0.0, 1.3, 0.7);
+    let inner = tdbc::inner_constraints(p, &s);
+    let outer = tdbc::outer_constraints(p, &s);
+    for i in 0..4 {
+        assert_eq!(
+            inner.constraints()[i].phase_coefs,
+            outer.constraints()[i].phase_coefs,
+            "row {i} should coincide at Gab = 0"
+        );
+    }
+    // With the extra sum row, the outer optimum can only be ≤ relaxed.
+    let si = optimizer::max_sum_rate(&inner).unwrap().objective;
+    let so = optimizer::max_sum_rate(&outer).unwrap().objective;
+    assert!(so <= si + 1e-9, "sum row can only cut: {so} vs {si}");
+}
+
+#[test]
+fn hbc_outer_family_rho_zero_matches_tdbc_style_cuts() {
+    // At ρ = 0 the HBC outer phase-3 terms are the independent-input MAC
+    // values; check the family endpoint against first principles.
+    let p = 3.0;
+    let s = fig4_state();
+    let set = hbc::outer_constraints_with_rho(p, &s, 0.0);
+    let rows = set.constraints();
+    assert!((rows[0].phase_coefs[2] - awgn_capacity(p * s.gar())).abs() < 1e-12);
+    assert!(
+        (rows[4].phase_coefs[2] - mac_sum_capacity(p * s.gar(), p * s.gbr())).abs() < 1e-12
+    );
+}
+
+#[test]
+fn capacity_region_consistency_between_apis() {
+    // GaussianNetwork::max_sum_rate must agree with the raw
+    // optimizer-on-constraints path for every protocol.
+    let net = GaussianNetwork::new(10.0, fig4_state());
+    for proto in Protocol::ALL {
+        let via_net = net.max_sum_rate(proto).unwrap().sum_rate;
+        let sets = net.constraint_sets(proto, Bound::Inner);
+        let via_opt = optimizer::max_sum_rate(&sets[0]).unwrap().objective;
+        assert!((via_net - via_opt).abs() < 1e-12, "{proto}");
+    }
+}

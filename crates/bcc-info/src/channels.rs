@@ -1,0 +1,251 @@
+//! Discrete memoryless channels as validated stochastic matrices.
+//!
+//! The packet/symbol simulators in `bcc-sim` exercise the relay protocols
+//! over *concrete* channels; the analytic machinery needs their mutual
+//! informations. A [`Dmc`] bundles a transition matrix `W(y|x)` with
+//! helpers to compute `I(X;Y)` for a given input and to pass symbols
+//! through the channel.
+
+use crate::discrete::{JointPmf, Pmf};
+use rand::Rng;
+
+/// A discrete memoryless channel `W(y | x)`.
+///
+/// Rows index inputs, columns outputs; every row is a probability vector.
+///
+/// ```
+/// use bcc_info::{Dmc, Pmf};
+///
+/// let bsc = Dmc::bsc(0.11);
+/// let mi = bsc.mutual_information(&Pmf::uniform(2));
+/// assert!((mi - (1.0 - bcc_num::special::binary_entropy(0.11))).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dmc {
+    rows: Vec<Vec<f64>>,
+}
+
+impl Dmc {
+    /// Creates a DMC from transition rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty, ragged, contains invalid
+    /// probabilities, or has a row that does not sum to 1.
+    pub fn new(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "channel needs at least one input");
+        let ny = rows[0].len();
+        assert!(ny > 0, "channel needs at least one output");
+        for (x, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ny, "ragged transition matrix at row {x}");
+            let mut sum = 0.0;
+            for &w in row {
+                assert!(
+                    w.is_finite() && (0.0..=1.0).contains(&w),
+                    "invalid transition probability {w} in row {x}"
+                );
+                sum += w;
+            }
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "row {x} sums to {sum}, expected 1"
+            );
+        }
+        Dmc { rows }
+    }
+
+    /// Binary symmetric channel with crossover probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn bsc(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "crossover out of range: {p}");
+        Dmc::new(vec![vec![1.0 - p, p], vec![p, 1.0 - p]])
+    }
+
+    /// Binary erasure channel with erasure probability `eps`; output 2 is
+    /// the erasure symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps ∉ [0, 1]`.
+    pub fn bec(eps: f64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "erasure prob out of range: {eps}");
+        Dmc::new(vec![
+            vec![1.0 - eps, 0.0, eps],
+            vec![0.0, 1.0 - eps, eps],
+        ])
+    }
+
+    /// Z-channel: input 0 is noiseless, input 1 flips with probability `p`.
+    pub fn z_channel(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "flip prob out of range: {p}");
+        Dmc::new(vec![vec![1.0, 0.0], vec![p, 1.0 - p]])
+    }
+
+    /// Binary-input AWGN channel hard-quantised to one bit: equivalent to a
+    /// BSC with `p = Q(√(2·snr))` (BPSK with coherent detection).
+    pub fn bi_awgn_hard(snr: f64) -> Self {
+        assert!(snr >= 0.0, "SNR must be non-negative");
+        Dmc::bsc(bcc_num::special::q_function((2.0 * snr).sqrt()))
+    }
+
+    /// Number of channel inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of channel outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Transition probability `W(y|x)`.
+    pub fn transition(&self, x: usize, y: usize) -> f64 {
+        self.rows[x][y]
+    }
+
+    /// Transition rows (one per input).
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Mutual information `I(X;Y)` in bits for the given input distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != num_inputs()`.
+    pub fn mutual_information(&self, input: &Pmf) -> f64 {
+        JointPmf::from_input_and_channel(input, &self.rows).mutual_information()
+    }
+
+    /// Samples one channel output for input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn sample<R: Rng + ?Sized>(&self, x: usize, rng: &mut R) -> usize {
+        let row = &self.rows[x];
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (y, &w) in row.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                return y;
+            }
+        }
+        row.len() - 1
+    }
+
+    /// Cascade of `self` followed by `other` (matrix product of the
+    /// stochastic matrices) — the channel seen across a two-hop path when
+    /// the relay forwards symbols without decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.num_outputs() != other.num_inputs()`.
+    pub fn cascade(&self, other: &Dmc) -> Dmc {
+        assert_eq!(
+            self.num_outputs(),
+            other.num_inputs(),
+            "cascade alphabet mismatch"
+        );
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                (0..other.num_outputs())
+                    .map(|z| {
+                        row.iter()
+                            .enumerate()
+                            .map(|(y, &w)| w * other.transition(y, z))
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect();
+        Dmc::new(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+    use bcc_num::special::binary_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bsc_capacity_closed_form() {
+        for &p in &[0.0, 0.05, 0.11, 0.5] {
+            let mi = Dmc::bsc(p).mutual_information(&Pmf::uniform(2));
+            assert!(approx_eq(mi, 1.0 - binary_entropy(p), 1e-12), "p={p}");
+        }
+    }
+
+    #[test]
+    fn bec_capacity_closed_form() {
+        for &e in &[0.0, 0.3, 1.0] {
+            let mi = Dmc::bec(e).mutual_information(&Pmf::uniform(2));
+            assert!(approx_eq(mi, 1.0 - e, 1e-12), "eps={e}");
+        }
+    }
+
+    #[test]
+    fn z_channel_uniform_input_mi() {
+        // I(X;Y) for uniform input on Z(p): H(Y) - H(Y|X)
+        // p(Y=1) = (1-p)/2 + 0 → H(Y) = h2((1-p)/2); H(Y|X) = h2(p)/2.
+        let p = 0.2;
+        let mi = Dmc::z_channel(p).mutual_information(&Pmf::uniform(2));
+        let expected = binary_entropy((1.0 - p) / 2.0) - binary_entropy(p) / 2.0;
+        assert!(approx_eq(mi, expected, 1e-12));
+    }
+
+    #[test]
+    fn hard_quantised_awgn_loses_capacity() {
+        let snr = 1.0;
+        let hard = Dmc::bi_awgn_hard(snr).mutual_information(&Pmf::uniform(2));
+        // Hard decision cannot beat the unquantised capacity.
+        assert!(hard < crate::gaussian::awgn_capacity(snr));
+        assert!(hard > 0.0);
+    }
+
+    #[test]
+    fn cascade_of_bscs_composes_crossovers() {
+        // BSC(p) ∘ BSC(q) = BSC(p(1-q) + q(1-p)).
+        let (p, q) = (0.1, 0.2);
+        let cascade = Dmc::bsc(p).cascade(&Dmc::bsc(q));
+        let expected = p * (1.0 - q) + q * (1.0 - p);
+        assert!(approx_eq(cascade.transition(0, 1), expected, 1e-12));
+        assert!(approx_eq(cascade.transition(1, 0), expected, 1e-12));
+    }
+
+    #[test]
+    fn sampling_matches_transition_frequencies() {
+        let ch = Dmc::bsc(0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let flips = (0..n).filter(|_| ch.sample(0, &mut rng) == 1).count();
+        let rate = flips as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn noiseless_channel_mi_is_input_entropy() {
+        let id = Dmc::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let input = Pmf::bernoulli(0.3);
+        assert!(approx_eq(
+            id.mutual_information(&input),
+            input.entropy(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn unnormalised_row_rejected() {
+        let _ = Dmc::new(vec![vec![0.5, 0.4]]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Validated discrete distributions and exact mutual information.
+//!
+//! [`Pmf`] is a checked probability vector; [`JointPmf`] a checked joint
+//! distribution over a product alphabet. Mutual information is computed by
+//! the identity `I(X;Y) = H(X) + H(Y) − H(X,Y)` with exact marginalisation,
+//! which is numerically robust for the small alphabets used here.
+
+use crate::entropy::entropy_bits;
+
+/// Tolerance for "sums to one" validation.
+const NORM_TOL: f64 = 1e-9;
+
+/// A validated probability mass function.
+///
+/// ```
+/// use bcc_info::Pmf;
+///
+/// let p = Pmf::new(vec![0.5, 0.25, 0.25]).unwrap();
+/// assert!((p.entropy() - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    probs: Vec<f64>,
+}
+
+/// Error constructing a [`Pmf`] or [`JointPmf`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributionError {
+    /// Some entry was negative or non-finite.
+    InvalidEntry {
+        /// Index (flattened for joints) of the offending entry.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// Entries do not sum to 1 within tolerance.
+    NotNormalised {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// The distribution has no entries.
+    Empty,
+}
+
+impl std::fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributionError::InvalidEntry { index, value } => {
+                write!(f, "invalid probability {value} at index {index}")
+            }
+            DistributionError::NotNormalised { sum } => {
+                write!(f, "probabilities sum to {sum}, expected 1")
+            }
+            DistributionError::Empty => write!(f, "empty distribution"),
+        }
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+fn validate(probs: &[f64]) -> Result<(), DistributionError> {
+    if probs.is_empty() {
+        return Err(DistributionError::Empty);
+    }
+    for (i, &p) in probs.iter().enumerate() {
+        if !p.is_finite() || p < 0.0 {
+            return Err(DistributionError::InvalidEntry { index: i, value: p });
+        }
+    }
+    let sum: f64 = probs.iter().sum();
+    if (sum - 1.0).abs() > NORM_TOL {
+        return Err(DistributionError::NotNormalised { sum });
+    }
+    Ok(())
+}
+
+impl Pmf {
+    /// Creates a PMF, validating non-negativity and normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DistributionError`] describing the first violation.
+    pub fn new(probs: Vec<f64>) -> Result<Self, DistributionError> {
+        validate(&probs)?;
+        Ok(Pmf { probs })
+    }
+
+    /// Uniform distribution over `n` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "uniform distribution needs n >= 1");
+        Pmf {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Bernoulli distribution `(1-p, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn bernoulli(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        Pmf {
+            probs: vec![1.0 - p, p],
+        }
+    }
+
+    /// Alphabet size.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `true` if the alphabet is empty (unreachable for validated PMFs).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of outcome `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The underlying probability slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Shannon entropy in bits.
+    pub fn entropy(&self) -> f64 {
+        entropy_bits(&self.probs)
+    }
+}
+
+/// A validated joint PMF over a product alphabet `X × Y`, stored row-major
+/// (`x` indexes rows, `y` columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointPmf {
+    nx: usize,
+    ny: usize,
+    probs: Vec<f64>,
+}
+
+impl JointPmf {
+    /// Creates a joint PMF from a row-major grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DistributionError`] on invalid or unnormalised entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != nx * ny`.
+    pub fn new(nx: usize, ny: usize, probs: Vec<f64>) -> Result<Self, DistributionError> {
+        assert_eq!(probs.len(), nx * ny, "grid size mismatch");
+        validate(&probs)?;
+        Ok(JointPmf { nx, ny, probs })
+    }
+
+    /// Builds the joint distribution `p(x) · W(y|x)` from an input PMF and a
+    /// channel transition matrix given as rows `W(·|x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_rows.len() != input.len()` or rows have unequal
+    /// lengths.
+    pub fn from_input_and_channel(input: &Pmf, channel_rows: &[Vec<f64>]) -> Self {
+        assert_eq!(channel_rows.len(), input.len(), "channel row count mismatch");
+        let ny = channel_rows.first().map_or(0, |r| r.len());
+        assert!(ny > 0, "channel must have at least one output");
+        assert!(
+            channel_rows.iter().all(|r| r.len() == ny),
+            "ragged channel matrix"
+        );
+        let mut probs = Vec::with_capacity(input.len() * ny);
+        for (x, row) in channel_rows.iter().enumerate() {
+            for &w in row {
+                probs.push(input.prob(x) * w);
+            }
+        }
+        JointPmf {
+            nx: input.len(),
+            ny,
+            probs,
+        }
+    }
+
+    /// Joint probability `p(x, y)`.
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        self.probs[x * self.ny + y]
+    }
+
+    /// Input-alphabet size.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Output-alphabet size.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Marginal distribution of `X`.
+    pub fn marginal_x(&self) -> Vec<f64> {
+        (0..self.nx)
+            .map(|x| (0..self.ny).map(|y| self.prob(x, y)).sum())
+            .collect()
+    }
+
+    /// Marginal distribution of `Y`.
+    pub fn marginal_y(&self) -> Vec<f64> {
+        (0..self.ny)
+            .map(|y| (0..self.nx).map(|x| self.prob(x, y)).sum())
+            .collect()
+    }
+
+    /// Joint entropy `H(X, Y)` in bits.
+    pub fn joint_entropy(&self) -> f64 {
+        entropy_bits(&self.probs)
+    }
+
+    /// Mutual information `I(X; Y)` in bits via
+    /// `H(X) + H(Y) − H(X, Y)` (clamped at zero to absorb rounding).
+    pub fn mutual_information(&self) -> f64 {
+        let hx = entropy_bits(&self.marginal_x());
+        let hy = entropy_bits(&self.marginal_y());
+        (hx + hy - self.joint_entropy()).max(0.0)
+    }
+
+    /// Conditional entropy `H(Y | X)` in bits.
+    pub fn conditional_entropy_y_given_x(&self) -> f64 {
+        self.joint_entropy() - entropy_bits(&self.marginal_x())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn pmf_validation() {
+        assert!(Pmf::new(vec![0.5, 0.5]).is_ok());
+        assert!(matches!(
+            Pmf::new(vec![]),
+            Err(DistributionError::Empty)
+        ));
+        assert!(matches!(
+            Pmf::new(vec![0.5, 0.6]),
+            Err(DistributionError::NotNormalised { .. })
+        ));
+        assert!(matches!(
+            Pmf::new(vec![1.5, -0.5]),
+            Err(DistributionError::InvalidEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_and_bernoulli() {
+        assert!(approx_eq(Pmf::uniform(8).entropy(), 3.0, 1e-12));
+        assert!(approx_eq(Pmf::bernoulli(0.5).entropy(), 1.0, 1e-12));
+        assert_eq!(Pmf::bernoulli(0.0).entropy(), 0.0);
+    }
+
+    #[test]
+    fn independent_joint_has_zero_mi() {
+        // p(x,y) = p(x) q(y).
+        let p = [0.3, 0.7];
+        let q = [0.25, 0.25, 0.5];
+        let mut grid = Vec::new();
+        for &px in &p {
+            for &qy in &q {
+                grid.push(px * qy);
+            }
+        }
+        let j = JointPmf::new(2, 3, grid).unwrap();
+        assert!(approx_eq(j.mutual_information(), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn deterministic_channel_mi_equals_input_entropy() {
+        // Y = X: joint diag(0.3, 0.7).
+        let j = JointPmf::new(2, 2, vec![0.3, 0.0, 0.0, 0.7]).unwrap();
+        assert!(approx_eq(
+            j.mutual_information(),
+            entropy_bits(&[0.3, 0.7]),
+            1e-12
+        ));
+        assert!(approx_eq(j.conditional_entropy_y_given_x(), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn bsc_mutual_information_closed_form() {
+        // Uniform input through BSC(p): I = 1 - h2(p).
+        let p = 0.11;
+        let input = Pmf::uniform(2);
+        let rows = vec![vec![1.0 - p, p], vec![p, 1.0 - p]];
+        let j = JointPmf::from_input_and_channel(&input, &rows);
+        let expected = 1.0 - bcc_num::special::binary_entropy(p);
+        assert!(approx_eq(j.mutual_information(), expected, 1e-12));
+    }
+
+    #[test]
+    fn marginals_are_consistent() {
+        let j = JointPmf::new(2, 2, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert!(approx_eq(j.marginal_x()[0], 0.3, 1e-12));
+        assert!(approx_eq(j.marginal_y()[0], 0.4, 1e-12));
+        let sx: f64 = j.marginal_x().iter().sum();
+        assert!(approx_eq(sx, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn chain_rule_holds() {
+        let j = JointPmf::new(2, 3, vec![0.1, 0.15, 0.05, 0.2, 0.3, 0.2]).unwrap();
+        let hx = entropy_bits(&j.marginal_x());
+        assert!(approx_eq(
+            j.joint_entropy(),
+            hx + j.conditional_entropy_y_given_x(),
+            1e-12
+        ));
+    }
+}

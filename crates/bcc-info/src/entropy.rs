@@ -1,0 +1,113 @@
+//! Entropy and divergence functionals over probability vectors.
+//!
+//! These operate on raw `&[f64]` slices; the validated wrappers live in
+//! [`crate::discrete`]. All results are in **bits**.
+
+/// Shannon entropy `H(p) = -Σ pᵢ log2 pᵢ` in bits, with `0 log 0 = 0`.
+///
+/// The input is not required to be normalised here (callers in hot loops
+/// pass validated PMFs); see [`crate::discrete::Pmf::entropy`] for the
+/// checked version.
+pub fn entropy_bits(p: &[f64]) -> f64 {
+    -p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.log2())
+        .sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in bits.
+///
+/// Returns `+inf` when `p` puts mass where `q` does not (absolute-continuity
+/// violation).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence_bits(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution size mismatch");
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        d += pi * (pi / qi).log2();
+    }
+    d
+}
+
+/// Cross entropy `H(p, q) = H(p) + D(p‖q)` in bits.
+pub fn cross_entropy_bits(p: &[f64], q: &[f64]) -> f64 {
+    entropy_bits(p) + kl_divergence_bits(p, q)
+}
+
+/// Jensen–Shannon divergence in bits — a bounded, symmetric similarity
+/// measure used by the test-suite to compare empirical and analytic
+/// distributions.
+pub fn js_divergence_bits(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution size mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence_bits(p, &m) + 0.5 * kl_divergence_bits(q, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn uniform_entropy_is_log_alphabet() {
+        let p = [0.25; 4];
+        assert!(approx_eq(entropy_bits(&p), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn deterministic_entropy_is_zero() {
+        assert_eq!(entropy_bits(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn kl_self_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(approx_eq(kl_divergence_bits(&p, &p), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn kl_nonnegative_gibbs() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.2, 0.7];
+        assert!(kl_divergence_bits(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_on_support_violation() {
+        assert_eq!(kl_divergence_bits(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+        // But q putting mass where p does not is fine:
+        assert!(kl_divergence_bits(&[1.0, 0.0], &[0.5, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn cross_entropy_decomposition() {
+        let p = [0.6, 0.4];
+        let q = [0.3, 0.7];
+        assert!(approx_eq(
+            cross_entropy_bits(&p, &q),
+            entropy_bits(&p) + kl_divergence_bits(&p, &q),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        let d1 = js_divergence_bits(&p, &q);
+        let d2 = js_divergence_bits(&q, &p);
+        assert!(approx_eq(d1, d2, 1e-12));
+        assert!(d1 > 0.0 && d1 <= 1.0 + 1e-12);
+        // Identical distributions → 0.
+        assert!(approx_eq(js_divergence_bits(&p, &p), 0.0, 1e-12));
+    }
+}

@@ -1,0 +1,211 @@
+//! Gaussian-channel rate formulas (paper Section IV).
+//!
+//! With complex circularly-symmetric Gaussian codebooks, transmit power `P`
+//! per node per phase, unit noise power and channel power gain `G`, the
+//! mutual information of a point-to-point link is `C(P·G)` where
+//! `C(x) := log2(1 + x)` — the paper's eponymous function. The two-user
+//! multiple-access phase at the relay contributes per-user constraints
+//! `C(P·G_i)` and the sum constraint `C(P·G_a + P·G_b)`, and a receiver that
+//! listens to the same transmitter in two phases simply **adds** the phase
+//! mutual informations (weighted by phase durations), because the phases
+//! are independent channel uses.
+
+use bcc_num::special::log2_1p;
+
+/// The AWGN capacity function `C(x) = log2(1 + x)` in bits per channel use.
+///
+/// `x` is the received SNR (power gain × transmit power over unit noise).
+///
+/// # Panics
+///
+/// Panics if `x < 0`.
+///
+/// ```
+/// // C(1) = 1 bit, C(3) = 2 bits.
+/// assert!((bcc_info::awgn_capacity(1.0) - 1.0).abs() < 1e-12);
+/// assert!((bcc_info::awgn_capacity(3.0) - 2.0).abs() < 1e-12);
+/// ```
+pub fn awgn_capacity(x: f64) -> f64 {
+    assert!(x >= 0.0, "received SNR must be non-negative, got {x}");
+    log2_1p(x)
+}
+
+/// Sum-rate constraint of a two-user Gaussian MAC with *independent* inputs:
+/// `I(X_a, X_b; Y) = C(snr_a + snr_b)`.
+pub fn mac_sum_capacity(snr_a: f64, snr_b: f64) -> f64 {
+    awgn_capacity(snr_a + snr_b)
+}
+
+/// Sum-rate constraint of a two-user Gaussian MAC whose inputs have
+/// correlation coefficient `rho ∈ [0, 1]`:
+/// `C(snr_a + snr_b + 2ρ√(snr_a·snr_b))`.
+///
+/// Used only by the Gaussian-restricted HBC outer-bound heuristic (the paper
+/// leaves the optimal joint distribution open — see DESIGN.md §2).
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[0, 1]`.
+pub fn mac_sum_capacity_correlated(snr_a: f64, snr_b: f64, rho: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho), "correlation out of range: {rho}");
+    awgn_capacity(snr_a + snr_b + 2.0 * rho * (snr_a * snr_b).sqrt())
+}
+
+/// Per-user constraint of a correlated-input Gaussian MAC:
+/// `I(X_a; Y | X_b) = C(snr_a (1 − ρ²))`.
+pub fn mac_individual_capacity_correlated(snr_a: f64, rho: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho), "correlation out of range: {rho}");
+    awgn_capacity(snr_a * (1.0 - rho * rho))
+}
+
+/// Mutual information of one transmitter observed by **two** receivers with
+/// independent noise: `I(X; Y_1, Y_2) = C(snr_1 + snr_2)` (maximum-ratio
+/// combining of the two looks). This is the cut `S₁ = {a}` term in
+/// Theorems 4 and 6.
+pub fn two_receiver_capacity(snr_1: f64, snr_2: f64) -> f64 {
+    awgn_capacity(snr_1 + snr_2)
+}
+
+/// Capacity of the **BPSK-input** real AWGN channel `y = √snr·x + z`,
+/// `x ∈ {±1}` equiprobable, `z ~ N(0, 1)`, in bits per channel use:
+///
+/// ```text
+/// C_bpsk(snr) = 1 − E_z[ log2(1 + e^{−2·snr − 2·√snr·z}) ]
+/// ```
+///
+/// evaluated by adaptive Simpson quadrature over the Gaussian density.
+/// This is the modulation-constrained ceiling the symbol-level simulators
+/// operate under — it saturates at 1 bit/use instead of growing like
+/// `C(x)`.
+///
+/// # Panics
+///
+/// Panics if `snr < 0`.
+pub fn bpsk_awgn_capacity(snr: f64) -> f64 {
+    assert!(snr >= 0.0, "SNR must be non-negative, got {snr}");
+    if snr == 0.0 {
+        return 0.0;
+    }
+    let sqrt_snr = snr.sqrt();
+    let integrand = |z: f64| {
+        let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let exponent = -2.0 * snr - 2.0 * sqrt_snr * z;
+        // log2(1 + e^exponent), stable for large |exponent|.
+        let log_term = if exponent > 30.0 {
+            exponent / std::f64::consts::LN_2
+        } else {
+            exponent.exp().ln_1p() / std::f64::consts::LN_2
+        };
+        pdf * log_term
+    };
+    let loss = bcc_num::quadrature::adaptive_simpson(integrand, -10.0, 10.0, 1e-12, 48);
+    (1.0 - loss).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn capacity_reference_points() {
+        assert_eq!(awgn_capacity(0.0), 0.0);
+        assert!(approx_eq(awgn_capacity(1.0), 1.0, 1e-12));
+        assert!(approx_eq(awgn_capacity(15.0), 4.0, 1e-12));
+    }
+
+    #[test]
+    fn capacity_is_monotone_and_concave() {
+        let xs = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+        for w in xs.windows(2) {
+            assert!(awgn_capacity(w[1]) > awgn_capacity(w[0]));
+        }
+        // Concavity: midpoint value above chord.
+        let (a, b) = (1.0, 9.0);
+        let mid = awgn_capacity(0.5 * (a + b));
+        let chord = 0.5 * (awgn_capacity(a) + awgn_capacity(b));
+        assert!(mid > chord);
+    }
+
+    #[test]
+    fn mac_sum_dominates_individuals() {
+        let (sa, sb) = (3.0, 5.0);
+        let sum = mac_sum_capacity(sa, sb);
+        assert!(sum > awgn_capacity(sa).max(awgn_capacity(sb)));
+        assert!(sum < awgn_capacity(sa) + awgn_capacity(sb));
+    }
+
+    #[test]
+    fn correlated_mac_limits() {
+        let (sa, sb) = (2.0, 8.0);
+        // rho = 0 reduces to independent case.
+        assert!(approx_eq(
+            mac_sum_capacity_correlated(sa, sb, 0.0),
+            mac_sum_capacity(sa, sb),
+            1e-12
+        ));
+        // rho = 1 gives coherent combining.
+        assert!(approx_eq(
+            mac_sum_capacity_correlated(sa, sb, 1.0),
+            awgn_capacity(sa + sb + 2.0 * (sa * sb).sqrt()),
+            1e-12
+        ));
+        // Individual term vanishes at full correlation.
+        assert_eq!(mac_individual_capacity_correlated(sa, 1.0), 0.0);
+    }
+
+    #[test]
+    fn two_receiver_combining_beats_single() {
+        assert!(two_receiver_capacity(1.0, 2.0) > awgn_capacity(2.0));
+        assert!(approx_eq(
+            two_receiver_capacity(1.0, 2.0),
+            awgn_capacity(3.0),
+            1e-12
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_snr_rejected() {
+        let _ = awgn_capacity(-0.5);
+    }
+
+    #[test]
+    fn bpsk_capacity_reference_value() {
+        // BI-AWGN capacity at Es/N0 = 0 dB is ≈ 0.4859 bits.
+        assert!(approx_eq(bpsk_awgn_capacity(1.0), 0.4859, 2e-3));
+        assert_eq!(bpsk_awgn_capacity(0.0), 0.0);
+    }
+
+    #[test]
+    fn bpsk_capacity_saturates_at_one_bit() {
+        let c = bpsk_awgn_capacity(100.0);
+        assert!(c > 0.999 && c <= 1.0, "c = {c}");
+        // And is monotone.
+        assert!(bpsk_awgn_capacity(0.5) < bpsk_awgn_capacity(2.0));
+    }
+
+    #[test]
+    fn bpsk_below_unconstrained_capacity() {
+        // Real AWGN with power snr and unit noise: C = ½·log2(1+snr).
+        for &snr in &[0.25f64, 1.0, 4.0, 16.0] {
+            let shannon = 0.5 * (1.0 + snr).log2();
+            let bpsk = bpsk_awgn_capacity(snr);
+            assert!(bpsk <= shannon.min(1.0) + 1e-9, "snr={snr}: {bpsk} vs {shannon}");
+        }
+    }
+
+    #[test]
+    fn soft_decisions_beat_hard_decisions() {
+        // Hard-quantised BPSK over the same real channel is a BSC with
+        // p = Q(√snr); soft decoding keeps strictly more information.
+        use crate::discrete::Pmf;
+        use crate::Dmc;
+        for &snr in &[0.5f64, 1.0, 4.0] {
+            let p = bcc_num::special::q_function(snr.sqrt());
+            let hard = Dmc::bsc(p).mutual_information(&Pmf::uniform(2));
+            let soft = bpsk_awgn_capacity(snr);
+            assert!(soft > hard, "snr={snr}: soft {soft} <= hard {hard}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Information-theoretic primitives for the bidirectional relay workspace.
+//!
+//! The bounds in Kim–Mitran–Tarokh are stated as mutual-information
+//! expressions; this crate supplies the machinery to evaluate them:
+//!
+//! * [`units`] — explicit bit/nat conversions.
+//! * [`entropy`] — entropy, KL divergence and friends over discrete
+//!   distributions.
+//! * [`discrete`] — validated PMFs, joint PMFs and exact mutual-information
+//!   computation for finite alphabets.
+//! * [`channels`] — discrete memoryless channels (BSC, BEC, Z-channel,
+//!   quantised binary-input AWGN) as stochastic matrices.
+//! * [`blahut`] — the Blahut–Arimoto algorithm for DMC capacity, used to
+//!   cross-check closed-form capacities and to handle channels with no
+//!   closed form.
+//! * [`gaussian`] — the AWGN capacity function `C(x) = log2(1+x)` from
+//!   Section IV of the paper, plus multiple-access helpers.
+//! * [`typicality`] — weak-typicality tests used by the simulation crate to
+//!   mirror the paper's jointly-typical decoding arguments at finite block
+//!   length.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blahut;
+pub mod channels;
+pub mod discrete;
+pub mod entropy;
+pub mod gaussian;
+pub mod typicality;
+pub mod units;
+
+pub use channels::Dmc;
+pub use discrete::{JointPmf, Pmf};
+pub use gaussian::awgn_capacity;

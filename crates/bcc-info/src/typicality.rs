@@ -1,0 +1,166 @@
+//! Weak typicality at finite block length.
+//!
+//! The achievability proofs in the paper (Theorems 2, 3, 5) use
+//! jointly-typical decoding with ε-weakly-typical sets `A_ε^(ℓ)`. The
+//! symbol-level simulator mirrors that style of decoding at small block
+//! lengths; this module provides the typicality predicates.
+
+use crate::discrete::{JointPmf, Pmf};
+
+/// Empirical per-symbol self-information of `seq` under `pmf`, in bits:
+/// `-(1/n) log2 p(x₁…xₙ)`.
+///
+/// Returns `+inf` if any symbol has zero probability.
+///
+/// # Panics
+///
+/// Panics if `seq` is empty or contains an out-of-alphabet symbol.
+pub fn empirical_rate(pmf: &Pmf, seq: &[usize]) -> f64 {
+    assert!(!seq.is_empty(), "empty sequence");
+    let mut total = 0.0;
+    for &s in seq {
+        assert!(s < pmf.len(), "symbol {s} outside alphabet of size {}", pmf.len());
+        let p = pmf.prob(s);
+        if p == 0.0 {
+            return f64::INFINITY;
+        }
+        total -= p.log2();
+    }
+    let _ = total;
+    // Recompute correctly: sum of -log2 p(x_i) over the sequence.
+    let sum: f64 = seq.iter().map(|&s| -pmf.prob(s).log2()).sum();
+    sum / seq.len() as f64
+}
+
+/// `true` if `seq` is ε-weakly typical for `pmf`:
+/// `| -(1/n) log2 p(x^n) - H(X) | ≤ ε`.
+pub fn is_typical(pmf: &Pmf, seq: &[usize], eps: f64) -> bool {
+    (empirical_rate(pmf, seq) - pmf.entropy()).abs() <= eps
+}
+
+/// `true` if the pair `(xs, ys)` is jointly ε-weakly typical for `joint`:
+/// all three conditions (on `x`, on `y`, and on the pair) must hold, as in
+/// the standard definition of the jointly typical set.
+///
+/// # Panics
+///
+/// Panics if the sequences have different or zero lengths, or contain
+/// out-of-alphabet symbols.
+pub fn is_jointly_typical(joint: &JointPmf, xs: &[usize], ys: &[usize], eps: f64) -> bool {
+    assert_eq!(xs.len(), ys.len(), "sequence length mismatch");
+    assert!(!xs.is_empty(), "empty sequences");
+    let n = xs.len() as f64;
+
+    let px = joint.marginal_x();
+    let py = joint.marginal_y();
+    let hx = crate::entropy::entropy_bits(&px);
+    let hy = crate::entropy::entropy_bits(&py);
+    let hxy = joint.joint_entropy();
+
+    let mut lx = 0.0;
+    let mut ly = 0.0;
+    let mut lxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        assert!(x < joint.nx() && y < joint.ny(), "symbol outside alphabet");
+        let pxv = px[x];
+        let pyv = py[y];
+        let pxyv = joint.prob(x, y);
+        if pxv == 0.0 || pyv == 0.0 || pxyv == 0.0 {
+            return false;
+        }
+        lx -= pxv.log2();
+        ly -= pyv.log2();
+        lxy -= pxyv.log2();
+    }
+    (lx / n - hx).abs() <= eps && (ly / n - hy).abs() <= eps && (lxy / n - hxy).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_iid(pmf: &Pmf, n: usize, rng: &mut StdRng) -> Vec<usize> {
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                for i in 0..pmf.len() {
+                    acc += pmf.prob(i);
+                    if u < acc {
+                        return i;
+                    }
+                }
+                pmf.len() - 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_sequences_always_typical() {
+        // Under a uniform PMF every sequence has exactly rate log2(k).
+        let pmf = Pmf::uniform(4);
+        let seq = vec![0, 1, 2, 3, 0, 0, 3];
+        assert_eq!(empirical_rate(&pmf, &seq), 2.0);
+        assert!(is_typical(&pmf, &seq, 1e-9));
+    }
+
+    #[test]
+    fn skewed_sequence_not_typical_for_skewed_source() {
+        // All-1 sequence under Bernoulli(0.1): rate = -log2(0.1) ≈ 3.32,
+        // entropy ≈ 0.469 → far from typical.
+        let pmf = Pmf::bernoulli(0.1);
+        let seq = vec![1; 50];
+        assert!(!is_typical(&pmf, &seq, 0.5));
+    }
+
+    #[test]
+    fn long_iid_sequences_become_typical_aep() {
+        let pmf = Pmf::bernoulli(0.3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = 0;
+        let trials = 100;
+        for _ in 0..trials {
+            let seq = sample_iid(&pmf, 2000, &mut rng);
+            if is_typical(&pmf, &seq, 0.05) {
+                hits += 1;
+            }
+        }
+        // AEP: overwhelmingly typical at n = 2000.
+        assert!(hits >= 95, "only {hits}/{trials} typical");
+    }
+
+    #[test]
+    fn zero_probability_symbol_is_atypical() {
+        let pmf = Pmf::bernoulli(0.0); // symbol 1 has probability 0
+        assert_eq!(empirical_rate(&pmf, &[1]), f64::INFINITY);
+        assert!(!is_typical(&pmf, &[0, 1, 0], 10.0));
+    }
+
+    #[test]
+    fn joint_typicality_of_correlated_pairs() {
+        // X uniform bit, Y = X through BSC(0.1).
+        let input = Pmf::uniform(2);
+        let rows = vec![vec![0.9, 0.1], vec![0.1, 0.9]];
+        let joint = JointPmf::from_input_and_channel(&input, &rows);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5000;
+        let xs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let ys: Vec<usize> = xs
+            .iter()
+            .map(|&x| if rng.gen::<f64>() < 0.1 { 1 - x } else { x })
+            .collect();
+        assert!(is_jointly_typical(&joint, &xs, &ys, 0.05));
+        // An independent y-sequence should fail the joint condition.
+        let ys_indep: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        assert!(!is_jointly_typical(&joint, &xs, &ys_indep, 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let joint = JointPmf::new(2, 2, vec![0.25; 4]).unwrap();
+        let _ = is_jointly_typical(&joint, &[0, 1], &[0], 0.1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Bit/nat unit conversions.
+//!
+//! Everything in the public API of this workspace is measured in **bits per
+//! channel use** (the paper's `log2` convention). Internal derivations
+//! occasionally produce nats; these helpers make each conversion explicit
+//! and greppable instead of scattering `* LN_2` factors around.
+
+use std::f64::consts::LN_2;
+
+/// Converts nats to bits.
+///
+/// ```
+/// assert!((bcc_info::units::nats_to_bits(std::f64::consts::LN_2) - 1.0).abs() < 1e-12);
+/// ```
+pub fn nats_to_bits(nats: f64) -> f64 {
+    nats / LN_2
+}
+
+/// Converts bits to nats.
+pub fn bits_to_nats(bits: f64) -> f64 {
+    bits * LN_2
+}
+
+/// A data rate in bits per channel use.
+///
+/// Thin wrapper used at API boundaries where confusing a rate with, say, an
+/// SNR would be easy. Construct with [`Rate::bits`] and read back with
+/// [`Rate::as_bits`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// A rate of zero.
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Creates a rate from bits per channel use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is negative or NaN.
+    pub fn bits(bits: f64) -> Self {
+        assert!(bits >= 0.0, "rate must be non-negative, got {bits}");
+        Rate(bits)
+    }
+
+    /// Creates a rate from nats per channel use.
+    pub fn nats(nats: f64) -> Self {
+        Rate::bits(nats_to_bits(nats))
+    }
+
+    /// Rate in bits per channel use.
+    pub fn as_bits(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in nats per channel use.
+    pub fn as_nats(self) -> f64 {
+        bits_to_nats(self.0)
+    }
+}
+
+impl std::ops::Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        iter.fold(Rate::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Rate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} bit/use", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Rate::bits(1.5);
+        assert!((Rate::nats(r.as_nats()).as_bits() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_nat_is_1_44_bits() {
+        assert!((nats_to_bits(1.0) - 1.4426950408889634).abs() < 1e-12);
+        assert!((bits_to_nats(1.0) - LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_add_and_sum() {
+        let total: Rate = [0.5, 0.25, 0.25].into_iter().map(Rate::bits).sum();
+        assert_eq!(total, Rate::bits(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let _ = Rate::bits(-0.1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rate::bits(0.75).to_string(), "0.7500 bit/use");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the information-theory substrate.
+
+use bcc_info::blahut;
+use bcc_info::discrete::{JointPmf, Pmf};
+use bcc_info::entropy::{entropy_bits, kl_divergence_bits};
+use bcc_info::Dmc;
+use proptest::prelude::*;
+
+/// Strategy producing a normalised probability vector of length 2..=6.
+fn pmf_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, 2..=6).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= s;
+        }
+        v
+    })
+}
+
+/// Strategy producing a random DMC with the given input count and 2..=5
+/// outputs.
+fn dmc(inputs: usize) -> impl Strategy<Value = Dmc> {
+    (2usize..=5).prop_flat_map(move |outputs| {
+        prop::collection::vec(prop::collection::vec(0.01f64..1.0, outputs), inputs).prop_map(
+            |rows| {
+                let rows = rows
+                    .into_iter()
+                    .map(|mut r| {
+                        let s: f64 = r.iter().sum();
+                        for x in &mut r {
+                            *x /= s;
+                        }
+                        // Renormalise exactly against fp drift.
+                        let s2: f64 = r.iter().sum();
+                        let last = r.len() - 1;
+                        r[last] += 1.0 - s2;
+                        r
+                    })
+                    .collect();
+                Dmc::new(rows)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn entropy_bounds(v in pmf_vec()) {
+        let h = entropy_bits(&v);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (v.len() as f64).log2() + 1e-9, "H = {h} over {} outcomes", v.len());
+    }
+
+    #[test]
+    fn kl_nonnegative(p in pmf_vec(), q in pmf_vec()) {
+        prop_assume!(p.len() == q.len());
+        let d = kl_divergence_bits(&p, &q);
+        prop_assert!(d >= -1e-12, "Gibbs violated: {d}");
+    }
+
+    #[test]
+    fn mutual_information_bounds(v in pmf_vec(), ch in dmc(4)) {
+        prop_assume!(v.len() <= 4);
+        // Pad the input to 4 symbols with zero mass so alphabets line up.
+        let mut probs = v.clone();
+        probs.resize(4, 0.0);
+        let input = Pmf::new(probs).unwrap();
+        let mi = ch.mutual_information(&input);
+        let hx = input.entropy();
+        let hy = entropy_bits(&JointPmf::from_input_and_channel(&input, ch.rows()).marginal_y());
+        prop_assert!(mi >= -1e-12);
+        prop_assert!(mi <= hx + 1e-9, "I = {mi} > H(X) = {hx}");
+        prop_assert!(mi <= hy + 1e-9, "I = {mi} > H(Y) = {hy}");
+    }
+
+    #[test]
+    fn data_processing_inequality(input_p in 0.05f64..0.95, ch1 in dmc(2)) {
+        prop_assume!(ch1.num_outputs() == 2);
+        // Cascade with a BSC degrades information.
+        let input = Pmf::bernoulli(input_p);
+        let direct = ch1.mutual_information(&input);
+        let degraded = ch1.cascade(&Dmc::bsc(0.2)).mutual_information(&input);
+        prop_assert!(degraded <= direct + 1e-9, "DPI violated: {degraded} > {direct}");
+    }
+
+    #[test]
+    fn blahut_capacity_dominates_any_input(ch in dmc(3)) {
+        let cap = blahut::capacity(&ch, 1e-9, 5000);
+        for p in [Pmf::uniform(3), Pmf::new(vec![0.6, 0.3, 0.1]).unwrap()] {
+            let mi = ch.mutual_information(&p);
+            prop_assert!(
+                cap.capacity >= mi - 1e-6,
+                "capacity {} below achievable MI {mi}",
+                cap.capacity
+            );
+        }
+    }
+
+    #[test]
+    fn bsc_capacity_symmetric_in_p(p in 0.0f64..=1.0) {
+        let c1 = Dmc::bsc(p).mutual_information(&Pmf::uniform(2));
+        let c2 = Dmc::bsc(1.0 - p).mutual_information(&Pmf::uniform(2));
+        prop_assert!((c1 - c2).abs() < 1e-9);
+    }
+}

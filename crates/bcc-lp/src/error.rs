@@ -1,0 +1,51 @@
+//! Error type for the LP solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a linear program cannot be solved to a finite optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint set is empty (phase-1 simplex terminated with a
+    /// positive artificial-variable sum).
+    Infeasible,
+    /// The objective is unbounded over the feasible region (a column with
+    /// negative reduced cost has no blocking row in the ratio test).
+    Unbounded,
+    /// The iteration limit was reached — with Bland's rule this indicates a
+    /// numerical-tolerance problem rather than cycling.
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LpError::IterationLimit.to_string(),
+            "simplex iteration limit reached"
+        );
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

@@ -1,0 +1,176 @@
+//! A small, dependency-free dense linear-programming solver.
+//!
+//! In the Gaussian evaluation of the bidirectional relay protocols (Section
+//! IV of Kim–Mitran–Tarokh), every rate constraint of Theorems 2–6 is
+//! *linear* in the rate pair `(R_a, R_b)` **and** in the phase durations
+//! `Δ_ℓ` jointly. Finding optimal time allocations and tracing achievable
+//! rate regions therefore reduces to a stream of small linear programs —
+//! this crate solves them exactly with a two-phase primal simplex method
+//! using Bland's anti-cycling rule.
+//!
+//! The solver is deliberately dense and simple: the workspace's LPs have at
+//! most a dozen variables and constraints, so asymptotics are irrelevant but
+//! *robustness* (degeneracy, redundant rows, infeasibility detection) is
+//! not.
+//!
+//! # Example
+//!
+//! Maximize `3x + 5y` subject to `x ≤ 4`, `2y ≤ 12`, `3x + 2y ≤ 18`
+//! (the textbook Wyndor Glass problem; optimum 36 at `(2, 6)`):
+//!
+//! ```
+//! use bcc_lp::{Problem, Relation};
+//!
+//! # fn main() -> Result<(), bcc_lp::LpError> {
+//! let mut p = Problem::maximize(&[3.0, 5.0]);
+//! p.subject_to(&[1.0, 0.0], Relation::Le, 4.0);
+//! p.subject_to(&[0.0, 2.0], Relation::Le, 12.0);
+//! p.subject_to(&[3.0, 2.0], Relation::Le, 18.0);
+//! let sol = p.solve()?;
+//! assert!((sol.objective - 36.0).abs() < 1e-9);
+//! assert!((sol.x[0] - 2.0).abs() < 1e-9);
+//! assert!((sol.x[1] - 6.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! All decision variables are constrained to be non-negative, which matches
+//! every use in this workspace (rates, phase durations, probabilities).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+
+pub use error::LpError;
+pub use problem::{Problem, Relation, Sense};
+pub use simplex::Solution;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-8, "{a} != {b}");
+    }
+
+    #[test]
+    fn wyndor_glass() {
+        let mut p = Problem::maximize(&[3.0, 5.0]);
+        p.subject_to(&[1.0, 0.0], Relation::Le, 4.0);
+        p.subject_to(&[0.0, 2.0], Relation::Le, 12.0);
+        p.subject_to(&[3.0, 2.0], Relation::Le, 18.0);
+        let s = p.solve().expect("feasible");
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // minimize 0.12x + 0.15y s.t. 60x + 60y >= 300, 12x + 6y >= 36,
+        // 10x + 30y >= 90  (classic diet problem; optimum 0.66 at (3, 2)).
+        let mut p = Problem::minimize(&[0.12, 0.15]);
+        p.subject_to(&[60.0, 60.0], Relation::Ge, 300.0);
+        p.subject_to(&[12.0, 6.0], Relation::Ge, 36.0);
+        p.subject_to(&[10.0, 30.0], Relation::Ge, 90.0);
+        let s = p.solve().expect("feasible");
+        assert_close(s.objective, 0.66);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn equality_constraint_simplex_share() {
+        // maximize x + 2y + 3z s.t. x + y + z = 1  →  z = 1, objective 3.
+        let mut p = Problem::maximize(&[1.0, 2.0, 3.0]);
+        p.subject_to(&[1.0, 1.0, 1.0], Relation::Eq, 1.0);
+        let s = p.solve().expect("feasible");
+        assert_close(s.objective, 3.0);
+        assert_close(s.x[2], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::maximize(&[1.0]);
+        p.subject_to(&[1.0], Relation::Le, 1.0);
+        p.subject_to(&[1.0], Relation::Ge, 2.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.subject_to(&[1.0, -1.0], Relation::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x - y <= -1 with x,y >= 0 means y >= x + 1.
+        let mut p = Problem::maximize(&[1.0, -1.0]);
+        p.subject_to(&[1.0, -1.0], Relation::Le, -1.0);
+        p.subject_to(&[1.0, 0.0], Relation::Le, 5.0);
+        p.subject_to(&[0.0, 1.0], Relation::Le, 10.0);
+        let s = p.solve().expect("feasible");
+        // best is x=5, y=6 → objective -1.
+        assert_close(s.objective, -1.0);
+    }
+
+    #[test]
+    fn degenerate_beale_terminates() {
+        // Beale's classic cycling example — Bland's rule must terminate.
+        let mut p = Problem::maximize(&[0.75, -150.0, 0.02, -6.0]);
+        p.subject_to(&[0.25, -60.0, -1.0 / 25.0, 9.0], Relation::Le, 0.0);
+        p.subject_to(&[0.5, -90.0, -1.0 / 50.0, 3.0], Relation::Le, 0.0);
+        p.subject_to(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let s = p.solve().expect("feasible");
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // Duplicate equality constraints must not break phase 1.
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.subject_to(&[1.0, 1.0], Relation::Eq, 1.0);
+        p.subject_to(&[1.0, 1.0], Relation::Eq, 1.0);
+        p.subject_to(&[2.0, 2.0], Relation::Eq, 2.0);
+        let s = p.solve().expect("feasible");
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn zero_objective_is_feasibility_check() {
+        let mut p = Problem::maximize(&[0.0, 0.0]);
+        p.subject_to(&[1.0, 1.0], Relation::Ge, 1.0);
+        p.subject_to(&[1.0, 1.0], Relation::Le, 2.0);
+        let s = p.solve().expect("feasible");
+        assert_close(s.objective, 0.0);
+        let x = s.x;
+        assert!(x[0] + x[1] >= 1.0 - 1e-9 && x[0] + x[1] <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn phase_duration_shape_lp() {
+        // A miniature of the paper's TDBC sum-rate LP:
+        // maximize Ra + Rb over (Ra, Rb, d1, d2, d3):
+        //   Ra <= d1 * 2.0              (relay decodes a)
+        //   Ra <= d1 * 0.5 + d3 * 1.0   (b decodes a)
+        //   Rb <= d2 * 1.5
+        //   Rb <= d2 * 0.5 + d3 * 2.0
+        //   d1 + d2 + d3 = 1
+        let mut p = Problem::maximize(&[1.0, 1.0, 0.0, 0.0, 0.0]);
+        p.subject_to(&[1.0, 0.0, -2.0, 0.0, 0.0], Relation::Le, 0.0);
+        p.subject_to(&[1.0, 0.0, -0.5, 0.0, -1.0], Relation::Le, 0.0);
+        p.subject_to(&[0.0, 1.0, 0.0, -1.5, 0.0], Relation::Le, 0.0);
+        p.subject_to(&[0.0, 1.0, 0.0, -0.5, -2.0], Relation::Le, 0.0);
+        p.subject_to(&[0.0, 0.0, 1.0, 1.0, 1.0], Relation::Eq, 1.0);
+        let s = p.solve().expect("feasible");
+        // Durations sum to 1 and rates satisfy constraints.
+        assert_close(s.x[2] + s.x[3] + s.x[4], 1.0);
+        assert!(s.objective > 0.0);
+        assert!(s.x[0] <= 2.0 * s.x[2] + 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! LP problem construction (the user-facing builder).
+
+use crate::error::LpError;
+use crate::simplex::{self, Solution};
+
+/// Direction of optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relation of a linear constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub coeffs: Vec<f64>,
+    pub rel: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+///
+/// Build with [`Problem::maximize`] / [`Problem::minimize`], add constraint
+/// rows with [`Problem::subject_to`], then call [`Problem::solve`]. The
+/// builder is non-consuming, so parameter sweeps can clone a template
+/// problem and append scenario-specific rows.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    sense: Sense,
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+impl Problem {
+    /// Creates a maximization problem with the given objective coefficients
+    /// (one per decision variable; all variables are `≥ 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite values.
+    pub fn maximize(objective: &[f64]) -> Self {
+        Problem::new(Sense::Maximize, objective)
+    }
+
+    /// Creates a minimization problem. See [`Problem::maximize`].
+    pub fn minimize(objective: &[f64]) -> Self {
+        Problem::new(Sense::Minimize, objective)
+    }
+
+    /// Creates a problem with an explicit [`Sense`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite values.
+    pub fn new(sense: Sense, objective: &[f64]) -> Self {
+        assert!(!objective.is_empty(), "objective must have at least one variable");
+        assert!(
+            objective.iter().all(|c| c.is_finite()),
+            "objective coefficients must be finite"
+        );
+        Problem {
+            sense,
+            objective: objective.to_vec(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds the constraint `coeffs · x  rel  rhs`.
+    ///
+    /// Returns `&mut self` so constraints can be chained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the number of variables, or if
+    /// any coefficient or the right-hand side is non-finite.
+    pub fn subject_to(&mut self, coeffs: &[f64], rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.objective.len(),
+            "constraint arity mismatch: {} coefficients for {} variables",
+            coeffs.len(),
+            self.objective.len()
+        );
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "constraint entries must be finite"
+        );
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
+        self
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — no point satisfies all constraints.
+    /// * [`LpError::Unbounded`] — the objective can grow without limit.
+    /// * [`LpError::IterationLimit`] — numerical breakdown (should not occur
+    ///   on well-scaled inputs).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        // Internally everything is a maximization; flip the sign for
+        // minimization and flip the optimum back afterwards.
+        let obj: Vec<f64> = match self.sense {
+            Sense::Maximize => self.objective.clone(),
+            Sense::Minimize => self.objective.iter().map(|c| -c).collect(),
+        };
+        let mut sol = simplex::solve_max(&obj, &self.rows)?;
+        if self.sense == Sense::Minimize {
+            sol.objective = -sol.objective;
+        }
+        Ok(sol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_counts() {
+        let mut p = Problem::maximize(&[1.0, 2.0]);
+        assert_eq!(p.num_vars(), 2);
+        p.subject_to(&[1.0, 0.0], Relation::Le, 1.0)
+            .subject_to(&[0.0, 1.0], Relation::Le, 1.0);
+        assert_eq!(p.num_constraints(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut p = Problem::maximize(&[1.0, 2.0]);
+        p.subject_to(&[1.0], Relation::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_objective_panics() {
+        let _ = Problem::maximize(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rhs_panics() {
+        let mut p = Problem::maximize(&[1.0]);
+        p.subject_to(&[1.0], Relation::Le, f64::NAN);
+    }
+
+    #[test]
+    fn clone_for_sweep() {
+        let mut template = Problem::maximize(&[1.0, 1.0]);
+        template.subject_to(&[1.0, 1.0], Relation::Le, 1.0);
+        for cap in [0.2, 0.5, 0.9] {
+            let mut p = template.clone();
+            p.subject_to(&[1.0, 0.0], Relation::Le, cap);
+            let s = p.solve().expect("feasible");
+            assert!((s.objective - 1.0).abs() < 1e-9);
+        }
+    }
+}

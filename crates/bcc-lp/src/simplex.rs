@@ -1,0 +1,357 @@
+//! Two-phase dense primal simplex with Bland's rule.
+//!
+//! The implementation follows the classic tableau formulation:
+//!
+//! 1. Normalise every row to a non-negative right-hand side.
+//! 2. Add a slack variable per `≤` row, a surplus variable per `≥` row, and
+//!    an artificial variable per `≥`/`=` row.
+//! 3. **Phase 1** minimises the sum of artificials; a positive optimum means
+//!    the program is infeasible. Artificials stuck in the basis at level
+//!    zero are pivoted out (or their rows dropped as redundant).
+//! 4. **Phase 2** optimises the true objective with artificial columns
+//!    barred from entering.
+//!
+//! Bland's smallest-index rule guarantees termination even on degenerate
+//! problems (e.g. the Beale cycling example in the crate tests), at the cost
+//! of a few extra pivots — irrelevant at this problem scale.
+
+use crate::error::LpError;
+use crate::problem::{Relation, Row};
+
+/// Numerical tolerance for reduced costs, ratio tests and feasibility.
+const TOL: f64 = 1e-9;
+/// Hard pivot budget; Bland's rule terminates long before this on any sane
+/// input, so hitting it signals numerical breakdown.
+const MAX_PIVOTS: usize = 100_000;
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal values of the decision variables (structural variables only,
+    /// in the order they were declared).
+    pub x: Vec<f64>,
+    /// Objective value at `x`, in the problem's original sense.
+    pub objective: f64,
+    /// Total simplex pivots across both phases (diagnostic).
+    pub pivots: usize,
+}
+
+struct Tableau {
+    /// `rows × cols` coefficient grid; the last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Number of columns excluding the RHS.
+    ncols: usize,
+    /// Column index where artificial variables start (`== ncols` if none).
+    art_start: usize,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> f64 {
+        self.a[r][self.ncols]
+    }
+
+    /// Gauss–Jordan pivot on (`row`, `col`), updating `extra` objective rows
+    /// alongside the constraint rows.
+    fn pivot(&mut self, row: usize, col: usize, extra: &mut [Vec<f64>]) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > TOL, "pivot on near-zero element");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        // Make the pivot element exactly 1 to limit drift.
+        self.a[row][col] = 1.0;
+        let pivot_row = self.a[row].clone();
+        for (r, arow) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = arow[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (v, p) in arow.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            arow[col] = 0.0;
+        }
+        for orow in extra.iter_mut() {
+            let factor = orow[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (v, p) in orow.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            orow[col] = 0.0;
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    /// Bland ratio test: smallest non-negative ratio, ties broken by the
+    /// smallest basic-variable index. Returns `None` if the column is
+    /// unbounded below.
+    fn ratio_test(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+        for r in 0..self.basis.len() {
+            let coef = self.a[r][col];
+            if coef > TOL {
+                let ratio = self.rhs(r) / coef;
+                let key = (ratio, self.basis[r]);
+                match best {
+                    None => best = Some((key.0, key.1, r)),
+                    Some((br, bv, _)) => {
+                        if ratio < br - TOL || (ratio < br + TOL && self.basis[r] < bv) {
+                            best = Some((key.0, key.1, r));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, r)| r)
+    }
+
+    /// Runs simplex iterations on the objective row `obj` (reduced-cost
+    /// convention: entry `< -TOL` means the column improves a maximization).
+    /// Columns `>= col_limit` are barred from entering.
+    fn optimize(&mut self, obj: &mut Vec<f64>, col_limit: usize) -> Result<(), LpError> {
+        loop {
+            if self.pivots > MAX_PIVOTS {
+                return Err(LpError::IterationLimit);
+            }
+            // Bland entering rule: smallest index with negative reduced cost.
+            let entering = (0..col_limit).find(|&j| obj[j] < -TOL);
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            let Some(row) = self.ratio_test(col) else {
+                return Err(LpError::Unbounded);
+            };
+            let mut extra = [std::mem::take(obj)];
+            self.pivot(row, col, &mut extra);
+            *obj = std::mem::replace(&mut extra[0], Vec::new());
+        }
+    }
+}
+
+/// Solves `maximize c·x  s.t. rows, x ≥ 0`.
+pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
+    let nstruct = c.len();
+    // Classify rows and count auxiliary columns.
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    struct Norm {
+        coeffs: Vec<f64>,
+        rhs: f64,
+        rel: Relation,
+    }
+    let norm: Vec<Norm> = rows
+        .iter()
+        .map(|r| {
+            let mut coeffs = r.coeffs.clone();
+            let mut rhs = r.rhs;
+            let mut rel = r.rel;
+            if rhs < 0.0 {
+                for v in &mut coeffs {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+                rel = match rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            match rel {
+                Relation::Le => n_slack += 1,
+                Relation::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Relation::Eq => n_art += 1,
+            }
+            Norm { coeffs, rhs, rel }
+        })
+        .collect();
+
+    let slack_start = nstruct;
+    let art_start = nstruct + n_slack;
+    let ncols = nstruct + n_slack + n_art;
+    let m = norm.len();
+
+    let mut t = Tableau {
+        a: vec![vec![0.0; ncols + 1]; m],
+        basis: vec![usize::MAX; m],
+        ncols,
+        art_start,
+        pivots: 0,
+    };
+
+    let mut next_slack = slack_start;
+    let mut next_art = art_start;
+    for (i, row) in norm.iter().enumerate() {
+        t.a[i][..nstruct].copy_from_slice(&row.coeffs);
+        t.a[i][ncols] = row.rhs;
+        match row.rel {
+            Relation::Le => {
+                t.a[i][next_slack] = 1.0;
+                t.basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                t.a[i][next_slack] = -1.0;
+                next_slack += 1;
+                t.a[i][next_art] = 1.0;
+                t.basis[i] = next_art;
+                next_art += 1;
+            }
+            Relation::Eq => {
+                t.a[i][next_art] = 1.0;
+                t.basis[i] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    // ---- Phase 1: minimise the artificial sum (skip if no artificials).
+    if n_art > 0 {
+        // Maximize -(sum of artificials): reduced-cost row starts as
+        // +1 on artificial columns, then price out the artificial basis.
+        let mut w = vec![0.0; ncols + 1];
+        for j in art_start..ncols {
+            w[j] = 1.0;
+        }
+        for (r, &b) in t.basis.iter().enumerate() {
+            if b >= art_start {
+                let arow = t.a[r].clone();
+                for (wj, aj) in w.iter_mut().zip(&arow) {
+                    *wj -= aj;
+                }
+            }
+        }
+        // Artificials may not re-enter during phase 1 either.
+        t.optimize(&mut w, art_start)?;
+        let infeas = -w[ncols];
+        if infeas > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining zero-level artificials out of the basis.
+        let mut r = 0;
+        while r < t.basis.len() {
+            if t.basis[r] >= t.art_start {
+                // Find any non-artificial column with a nonzero entry.
+                let col = (0..t.art_start).find(|&j| t.a[r][j].abs() > 1e-7);
+                match col {
+                    Some(j) => {
+                        let mut extra: [Vec<f64>; 1] = [std::mem::take(&mut w)];
+                        t.pivot(r, j, &mut extra);
+                        w = std::mem::replace(&mut extra[0], Vec::new());
+                        r += 1;
+                    }
+                    None => {
+                        // Redundant row: every structural/slack coefficient is
+                        // ~0 and the RHS is ~0 (else phase 1 would be
+                        // positive). Drop it.
+                        t.a.remove(r);
+                        t.basis.remove(r);
+                    }
+                }
+            } else {
+                r += 1;
+            }
+        }
+    }
+
+    // ---- Phase 2: optimise the true objective.
+    let mut obj = vec![0.0; ncols + 1];
+    for (j, &cj) in c.iter().enumerate() {
+        obj[j] = -cj;
+    }
+    // Price out basic variables with nonzero objective coefficients.
+    for (r, &b) in t.basis.iter().enumerate() {
+        if obj[b] != 0.0 {
+            let factor = obj[b];
+            let arow = t.a[r].clone();
+            for (oj, aj) in obj.iter_mut().zip(&arow) {
+                *oj -= factor * aj;
+            }
+            obj[b] = 0.0;
+        }
+    }
+    t.optimize(&mut obj, t.art_start)?;
+
+    // Extract structural solution.
+    let mut x = vec![0.0; nstruct];
+    for (r, &b) in t.basis.iter().enumerate() {
+        if b < nstruct {
+            x[b] = t.rhs(r).max(0.0);
+        }
+    }
+    let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    Ok(Solution {
+        x,
+        objective,
+        pivots: t.pivots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::{Problem, Relation};
+
+    #[test]
+    fn pivots_reported() {
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.subject_to(&[1.0, 0.0], Relation::Le, 1.0);
+        p.subject_to(&[0.0, 1.0], Relation::Le, 1.0);
+        let s = p.solve().expect("feasible");
+        assert!(s.pivots >= 2);
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_is_feasible_and_optimal_on_simplex_face() {
+        // maximize x0 on the probability simplex of dim 4.
+        let mut p = Problem::maximize(&[1.0, 0.0, 0.0, 0.0]);
+        p.subject_to(&[1.0, 1.0, 1.0, 1.0], Relation::Eq, 1.0);
+        let s = p.solve().expect("feasible");
+        assert!((s.objective - 1.0).abs() < 1e-9);
+        assert!((s.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_relations_mixed() {
+        // maximize x + y s.t. x + y <= 10, x >= 2, y = 3 → x=7,y=3.
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.subject_to(&[1.0, 1.0], Relation::Le, 10.0);
+        p.subject_to(&[1.0, 0.0], Relation::Ge, 2.0);
+        p.subject_to(&[0.0, 1.0], Relation::Eq, 3.0);
+        let s = p.solve().expect("feasible");
+        assert!((s.objective - 10.0).abs() < 1e-9);
+        assert!((s.x[0] - 7.0).abs() < 1e-9);
+        assert!((s.x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ge_bound_binds_from_below() {
+        // minimize x s.t. x >= 4.25.
+        let mut p = Problem::minimize(&[1.0]);
+        p.subject_to(&[1.0], Relation::Ge, 4.25);
+        let s = p.solve().expect("feasible");
+        assert!((s.objective - 4.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_equality() {
+        // maximize x s.t. x - y = 0, y <= 2 → x = 2.
+        let mut p = Problem::maximize(&[1.0, 0.0]);
+        p.subject_to(&[1.0, -1.0], Relation::Eq, 0.0);
+        p.subject_to(&[0.0, 1.0], Relation::Le, 2.0);
+        let s = p.solve().expect("feasible");
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+}

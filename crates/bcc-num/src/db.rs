@@ -1,0 +1,161 @@
+//! Decibel ⇄ linear conversions.
+//!
+//! The paper's evaluation section (Section IV) specifies all powers and
+//! channel gains in decibels (`P = 15 dB`, `G_ab = 0 dB`, …). Mixing up a dB
+//! figure with a linear power ratio is the classic bug in this kind of code,
+//! so the [`Db`] newtype makes the unit explicit at the type level.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A power ratio expressed in decibels.
+///
+/// `Db(x)` represents the linear power ratio `10^(x/10)`.
+///
+/// ```
+/// use bcc_num::Db;
+///
+/// assert_eq!(Db::new(0.0).to_linear(), 1.0);
+/// assert!((Db::new(10.0).to_linear() - 10.0).abs() < 1e-12);
+/// assert!((Db::from_linear(100.0).value() - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Db(f64);
+
+impl Db {
+    /// Creates a dB value.
+    pub const fn new(db: f64) -> Self {
+        Db(db)
+    }
+
+    /// Converts a linear power ratio to dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is negative (a power ratio cannot be negative;
+    /// `0.0` maps to `-inf` dB which is allowed).
+    pub fn from_linear(linear: f64) -> Self {
+        assert!(
+            linear >= 0.0,
+            "linear power ratio must be non-negative, got {linear}"
+        );
+        Db(10.0 * linear.log10())
+    }
+
+    /// The raw dB value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to a linear power ratio `10^(dB/10)`.
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts to a linear *amplitude* ratio `10^(dB/20)`.
+    pub fn to_amplitude(self) -> f64 {
+        10f64.powf(self.0 / 20.0)
+    }
+}
+
+// dB values add when the underlying linear quantities multiply, which is
+// exactly how cascaded gains compose; exposing `Add`/`Sub` (not `Mul`) keeps
+// the operator semantics physical.
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dB", self.0)
+    }
+}
+
+impl From<Db> for f64 {
+    fn from(db: Db) -> f64 {
+        db.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn zero_db_is_unity() {
+        assert_eq!(Db::new(0.0).to_linear(), 1.0);
+        assert_eq!(Db::new(0.0).to_amplitude(), 1.0);
+    }
+
+    #[test]
+    fn linear_roundtrip() {
+        for &x in &[0.001, 0.5, 1.0, 3.1622776601683795, 100.0] {
+            let db = Db::from_linear(x);
+            assert!(approx_eq(db.to_linear(), x, 1e-12), "roundtrip {x}");
+        }
+    }
+
+    #[test]
+    fn negative_db_attenuates() {
+        let g = Db::new(-7.0).to_linear();
+        assert!(g < 1.0 && g > 0.0);
+        assert!(approx_eq(g, 0.19952623149688797, 1e-12));
+    }
+
+    #[test]
+    fn addition_is_linear_multiplication() {
+        let a = Db::new(3.0);
+        let b = Db::new(7.0);
+        assert!(approx_eq(
+            (a + b).to_linear(),
+            a.to_linear() * b.to_linear(),
+            1e-12
+        ));
+        assert!(approx_eq(
+            (a - b).to_linear(),
+            a.to_linear() / b.to_linear(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn amplitude_is_sqrt_of_power() {
+        let d = Db::new(13.0);
+        assert!(approx_eq(d.to_amplitude().powi(2), d.to_linear(), 1e-12));
+    }
+
+    #[test]
+    fn zero_linear_is_minus_infinity() {
+        assert_eq!(Db::from_linear(0.0).value(), f64::NEG_INFINITY);
+        assert_eq!(Db::from_linear(0.0).to_linear(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_linear_panics() {
+        let _ = Db::from_linear(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Db::new(15.0).to_string(), "15 dB");
+    }
+}

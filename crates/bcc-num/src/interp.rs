@@ -1,0 +1,130 @@
+//! Piecewise-linear interpolation over sampled curves.
+//!
+//! Sweep binaries sample sum-rate curves on coarse grids; these helpers
+//! evaluate between samples and locate sign changes (protocol crossovers)
+//! without re-solving LPs.
+
+/// Piecewise-linear interpolation of `(x, y)` samples at `x`.
+///
+/// Samples must be strictly increasing in `x`. Outside the range the
+/// boundary value is returned (constant extrapolation — the conservative
+/// choice for rate curves).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `x` values are not strictly increasing.
+///
+/// ```
+/// let pts = [(0.0, 0.0), (2.0, 4.0)];
+/// assert_eq!(bcc_num::interp::lerp(&pts, 1.0), 2.0);
+/// assert_eq!(bcc_num::interp::lerp(&pts, -1.0), 0.0);
+/// ```
+pub fn lerp(points: &[(f64, f64)], x: f64) -> f64 {
+    assert!(!points.is_empty(), "need at least one sample");
+    assert!(
+        points.windows(2).all(|w| w[1].0 > w[0].0),
+        "x values must be strictly increasing"
+    );
+    if x <= points[0].0 {
+        return points[0].1;
+    }
+    if x >= points[points.len() - 1].0 {
+        return points[points.len() - 1].1;
+    }
+    let idx = points.partition_point(|p| p.0 <= x);
+    let (x0, y0) = points[idx - 1];
+    let (x1, y1) = points[idx];
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// All `x` locations where the piecewise-linear interpolants of two
+/// sampled curves cross (sign changes of their difference), in order.
+///
+/// # Panics
+///
+/// Panics if the grids differ or are not strictly increasing.
+pub fn crossings(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "curves must share a grid");
+    assert!(
+        a.iter().zip(b).all(|(p, q)| p.0 == q.0),
+        "curves must share a grid"
+    );
+    let mut out = Vec::new();
+    for i in 1..a.len() {
+        let d0 = a[i - 1].1 - b[i - 1].1;
+        let d1 = a[i].1 - b[i].1;
+        if d0 == 0.0 {
+            out.push(a[i - 1].0);
+            continue;
+        }
+        if d0.signum() != d1.signum() && d1 != 0.0 {
+            // Linear root of the difference on [x0, x1].
+            let t = d0 / (d0 - d1);
+            out.push(a[i - 1].0 + t * (a[i].0 - a[i - 1].0));
+        }
+    }
+    // The final sample can be an exact tie.
+    if let (Some(pa), Some(pb)) = (a.last(), b.last()) {
+        if pa.1 == pb.1 && a.len() > 1 {
+            out.push(pa.0);
+        }
+    }
+    out.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_hits_samples_exactly() {
+        let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)];
+        for &(x, y) in &pts {
+            assert_eq!(lerp(&pts, x), y);
+        }
+        assert_eq!(lerp(&pts, 0.5), 2.0);
+        assert_eq!(lerp(&pts, 1.5), 2.5);
+    }
+
+    #[test]
+    fn constant_extrapolation() {
+        let pts = [(0.0, 1.0), (1.0, 3.0)];
+        assert_eq!(lerp(&pts, -5.0), 1.0);
+        assert_eq!(lerp(&pts, 5.0), 3.0);
+    }
+
+    #[test]
+    fn crossing_of_two_lines() {
+        // y = x and y = 2 - x cross at x = 1.
+        let grid: Vec<f64> = (0..=4).map(|i| i as f64 * 0.5).collect();
+        let a: Vec<(f64, f64)> = grid.iter().map(|&x| (x, x)).collect();
+        let b: Vec<(f64, f64)> = grid.iter().map(|&x| (x, 2.0 - x)).collect();
+        let c = crossings(&a, &b);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossing_for_parallel_curves() {
+        let grid: Vec<f64> = (0..=3).map(f64::from).collect();
+        let a: Vec<(f64, f64)> = grid.iter().map(|&x| (x, x)).collect();
+        let b: Vec<(f64, f64)> = grid.iter().map(|&x| (x, x + 1.0)).collect();
+        assert!(crossings(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn multiple_crossings_detected() {
+        // sin-like flip-flop: difference alternates sign each step.
+        let a = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0)];
+        let b = [(0.0, 0.5), (1.0, 0.5), (2.0, 0.5), (3.0, 0.5)];
+        let c = crossings(&a, &b);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_grid_rejected() {
+        let _ = lerp(&[(1.0, 0.0), (0.0, 1.0)], 0.5);
+    }
+}

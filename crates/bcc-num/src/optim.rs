@@ -1,0 +1,196 @@
+//! Scalar optimisation routines.
+//!
+//! The phase-duration optimisation in `bcc-core` is a linear program and is
+//! handled by `bcc-lp`, but several smaller jobs in the workspace need
+//! one-dimensional optimisation:
+//!
+//! * locating SNR *crossover points* between protocols (root finding on the
+//!   sum-rate difference) — [`bisect_root`];
+//! * maximising unimodal functions such as the sum rate over a relay
+//!   position — [`golden_section_max`];
+//! * coarse-to-fine sweeps — [`grid_max`] and [`refine_max`].
+
+/// Result of a scalar maximisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarMax {
+    /// Argument achieving the (approximate) maximum.
+    pub x: f64,
+    /// Function value at [`x`](ScalarMax::x).
+    pub value: f64,
+}
+
+/// Golden-section search for the maximum of a *unimodal* `f` on `[a, b]`.
+///
+/// Runs until the bracket is shorter than `tol` or 200 iterations have
+/// elapsed. For non-unimodal functions the result is a local maximum.
+///
+/// # Panics
+///
+/// Panics if `b < a` or `tol <= 0`.
+///
+/// ```
+/// let m = bcc_num::optim::golden_section_max(|x| -(x - 2.0) * (x - 2.0), 0.0, 5.0, 1e-10);
+/// assert!((m.x - 2.0).abs() < 1e-8);
+/// ```
+pub fn golden_section_max<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> ScalarMax {
+    assert!(b >= a, "invalid bracket [{a}, {b}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (a, b);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..200 {
+        if (b - a).abs() < tol {
+            break;
+        }
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    ScalarMax { x, value: f(x) }
+}
+
+/// Bisection root finding for a continuous `f` with a sign change on
+/// `[a, b]`.
+///
+/// Returns `None` if `f(a)` and `f(b)` have the same (nonzero) sign.
+///
+/// ```
+/// let r = bcc_num::optim::bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+/// assert!((r - 2f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn bisect_root<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Option<f64> {
+    assert!(b >= a, "invalid bracket [{a}, {b}]");
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Some(a);
+    }
+    if fb == 0.0 {
+        return Some(b);
+    }
+    if fa.signum() == fb.signum() {
+        return None;
+    }
+    for _ in 0..500 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a) < tol {
+            return Some(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+/// Evaluates `f` on `n+1` equally spaced points of `[a, b]` and returns the
+/// best. Robust against multi-modality; use [`refine_max`] to polish.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `b < a`.
+pub fn grid_max<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> ScalarMax {
+    assert!(n > 0, "grid needs at least one interval");
+    assert!(b >= a, "invalid interval [{a}, {b}]");
+    let mut best = ScalarMax {
+        x: a,
+        value: f(a),
+    };
+    for i in 1..=n {
+        let x = a + (b - a) * i as f64 / n as f64;
+        let v = f(x);
+        if v > best.value {
+            best = ScalarMax { x, value: v };
+        }
+    }
+    best
+}
+
+/// Coarse grid scan followed by golden-section polish in the winning cell.
+///
+/// Handles multi-modal objectives better than golden-section alone while
+/// remaining cheap. `n` is the coarse grid resolution.
+pub fn refine_max<F: Fn(f64) -> f64 + Copy>(f: F, a: f64, b: f64, n: usize, tol: f64) -> ScalarMax {
+    let coarse = grid_max(f, a, b, n);
+    let w = (b - a) / n as f64;
+    let lo = (coarse.x - w).max(a);
+    let hi = (coarse.x + w).min(b);
+    let fine = golden_section_max(f, lo, hi, tol);
+    if fine.value >= coarse.value {
+        fine
+    } else {
+        coarse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn golden_section_quadratic() {
+        let m = golden_section_max(|x| 3.0 - (x - 1.25) * (x - 1.25), -10.0, 10.0, 1e-12);
+        assert!(approx_eq(m.x, 1.25, 1e-6));
+        assert!(approx_eq(m.value, 3.0, 1e-10));
+    }
+
+    #[test]
+    fn golden_section_boundary_maximum() {
+        // Monotone increasing: max at right edge.
+        let m = golden_section_max(|x| x, 0.0, 4.0, 1e-10);
+        assert!(approx_eq(m.x, 4.0, 1e-6));
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-13).expect("bracketed");
+        assert!(approx_eq(r, std::f64::consts::SQRT_2, 1e-10));
+    }
+
+    #[test]
+    fn bisect_rejects_same_sign() {
+        assert!(bisect_root(|x| x * x + 1.0, -1.0, 1.0, 1e-10).is_none());
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect_root(|x| x, 0.0, 1.0, 1e-10), Some(0.0));
+        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, 1e-10), Some(1.0));
+    }
+
+    #[test]
+    fn grid_then_refine_beats_grid() {
+        // Two peaks; the higher one is off-grid.
+        let f = |x: f64| (-((x - 0.31) * 8.0).powi(2)).exp() + 0.5 * (-((x - 2.0) * 8.0).powi(2)).exp();
+        let coarse = grid_max(f, 0.0, 3.0, 10);
+        let refined = refine_max(f, 0.0, 3.0, 10, 1e-12);
+        assert!(refined.value >= coarse.value);
+        assert!(approx_eq(refined.x, 0.31, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn grid_zero_intervals_panics() {
+        let _ = grid_max(|x| x, 0.0, 1.0, 0);
+    }
+}

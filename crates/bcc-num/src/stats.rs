@@ -1,0 +1,433 @@
+//! Streaming statistics for Monte-Carlo experiments.
+//!
+//! Everything here is deterministic given its inputs; randomness lives in
+//! the simulators (`bcc-sim`). [`RunningStats`] uses Welford's algorithm so
+//! million-sample runs do not lose precision to catastrophic cancellation.
+
+use std::fmt;
+
+/// Streaming mean/variance accumulator (Welford).
+///
+/// ```
+/// use bcc_num::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.len(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` if no observations have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean. Returns `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (divides by `n-1`). `NaN` for fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by `n`). `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided normal-approximation confidence interval for the mean at
+    /// confidence level `level` (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `(0, 1)`.
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        let z = crate::special::q_inv((1.0 - level) / 2.0);
+        let half = z * self.std_error();
+        ConfidenceInterval {
+            lo: self.mean() - half,
+            hi: self.mean() + half,
+            level,
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A two-sided confidence interval produced by
+/// [`RunningStats::confidence_interval`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Confidence level in `(0,1)`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// `true` if `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Interval half-width.
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+}
+
+impl fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}, {:.6}] @ {:.0}%", self.lo, self.hi, self.level * 100.0)
+    }
+}
+
+/// Empirical cumulative distribution function over a stored sample.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples; NaNs are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "ECDF samples must not be NaN");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x) = P[X <= x]` under the empirical measure.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical `p`-quantile (inverse CDF, lower interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample");
+        assert!((0.0..=1.0).contains(&p), "quantile level out of range: {p}");
+        if p == 1.0 {
+            return *self.sorted.last().expect("non-empty");
+        }
+        let idx = (p * self.sorted.len() as f64).floor() as usize;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+}
+
+/// Fixed-bin histogram over a closed range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Adds an observation; out-of-range values are tallied separately.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations pushed (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Count of observations at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Normalised density estimate per bin (integrates to the in-range
+    /// fraction of the sample).
+    pub fn density(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let n = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / (n * w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let s: RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!(approx_eq(s.mean(), mean, 1e-12));
+        assert!(approx_eq(s.sample_variance(), var, 1e-12));
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = RunningStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.sample_variance().is_nan());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert!(s.sample_variance().is_nan());
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let (left, right) = xs.split_at(123);
+        let mut a: RunningStats = left.iter().copied().collect();
+        let b: RunningStats = right.iter().copied().collect();
+        a.merge(&b);
+        let all: RunningStats = xs.iter().copied().collect();
+        assert_eq!(a.len(), all.len());
+        assert!(approx_eq(a.mean(), all.mean(), 1e-12));
+        assert!(approx_eq(a.sample_variance(), all.sample_variance(), 1e-12));
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn confidence_interval_contains_mean() {
+        let s: RunningStats = (0..100).map(|i| i as f64).collect();
+        let ci = s.confidence_interval(0.95);
+        assert!(ci.contains(s.mean()));
+        assert!(ci.half_width() > 0.0);
+        // 99% interval is wider than 90%.
+        assert!(s.confidence_interval(0.99).half_width() > s.confidence_interval(0.90).half_width());
+    }
+
+    #[test]
+    fn ecdf_basic() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(100.0), 1.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ecdf_rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0);
+        h.push(11.0);
+        assert_eq!(h.counts(), &[1; 10]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 12);
+    }
+
+    #[test]
+    fn histogram_density_normalisation() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..1000 {
+            h.push((i as f64 + 0.5) / 1000.0);
+        }
+        let total_mass: f64 = h.density().iter().map(|d| d * 0.25).sum();
+        assert!(approx_eq(total_mass, 1.0, 1e-12));
+    }
+}

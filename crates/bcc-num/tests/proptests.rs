@@ -1,0 +1,135 @@
+//! Property-based tests for the numerical substrate.
+
+use bcc_num::{approx_eq, complex::Complex64, db::Db, special, stats::RunningStats, Matrix};
+use proptest::prelude::*;
+
+fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_filter("in range", move |x| range.contains(x))
+}
+
+proptest! {
+    #[test]
+    fn complex_mul_commutative(
+        a in -1e6f64..1e6, b in -1e6f64..1e6,
+        c in -1e6f64..1e6, d in -1e6f64..1e6,
+    ) {
+        let z = Complex64::new(a, b);
+        let w = Complex64::new(c, d);
+        let zw = z * w;
+        let wz = w * z;
+        prop_assert!(approx_eq(zw.re, wz.re, 1e-9));
+        prop_assert!(approx_eq(zw.im, wz.im, 1e-9));
+    }
+
+    #[test]
+    fn complex_norm_multiplicative(
+        a in -1e3f64..1e3, b in -1e3f64..1e3,
+        c in -1e3f64..1e3, d in -1e3f64..1e3,
+    ) {
+        let z = Complex64::new(a, b);
+        let w = Complex64::new(c, d);
+        prop_assert!(approx_eq((z * w).norm(), z.norm() * w.norm(), 1e-9));
+    }
+
+    #[test]
+    fn complex_conj_distributes_over_mul(
+        a in -1e3f64..1e3, b in -1e3f64..1e3,
+        c in -1e3f64..1e3, d in -1e3f64..1e3,
+    ) {
+        let z = Complex64::new(a, b);
+        let w = Complex64::new(c, d);
+        let lhs = (z * w).conj();
+        let rhs = z.conj() * w.conj();
+        prop_assert!(approx_eq(lhs.re, rhs.re, 1e-9));
+        prop_assert!(approx_eq(lhs.im, rhs.im, 1e-9));
+    }
+
+    #[test]
+    fn db_roundtrip(x in 1e-9f64..1e9) {
+        let db = Db::from_linear(x);
+        prop_assert!(approx_eq(db.to_linear(), x, 1e-9));
+    }
+
+    #[test]
+    fn db_add_is_linear_mul(a in -60f64..60.0, b in -60f64..60.0) {
+        let da = Db::new(a);
+        let db_ = Db::new(b);
+        prop_assert!(approx_eq(
+            (da + db_).to_linear(),
+            da.to_linear() * db_.to_linear(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn q_function_monotone_decreasing(x in -6f64..6.0, dx in 0.01f64..3.0) {
+        prop_assert!(special::q_function(x) > special::q_function(x + dx));
+    }
+
+    #[test]
+    fn q_symmetry(x in 0f64..6.0) {
+        prop_assert!(approx_eq(
+            special::q_function(-x),
+            1.0 - special::q_function(x),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn log2_1p_concave_increasing(x in 0f64..1e6, y in 0f64..1e6) {
+        // Increasing:
+        if x < y {
+            prop_assert!(special::log2_1p(x) <= special::log2_1p(y));
+        }
+        // Subadditive on non-negatives (consequence of concavity + f(0)=0):
+        prop_assert!(
+            special::log2_1p(x + y) <= special::log2_1p(x) + special::log2_1p(y) + 1e-12
+        );
+    }
+
+    #[test]
+    fn binary_entropy_symmetric(p in 0f64..=1.0) {
+        prop_assert!(approx_eq(
+            special::binary_entropy(p),
+            special::binary_entropy(1.0 - p),
+            1e-9
+        ));
+        prop_assert!(special::binary_entropy(p) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential(
+        xs in prop::collection::vec(finite_f64(-1e6..1e6), 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let (l, r) = xs.split_at(split);
+        let mut a: RunningStats = l.iter().copied().collect();
+        let b: RunningStats = r.iter().copied().collect();
+        a.merge(&b);
+        let whole: RunningStats = xs.iter().copied().collect();
+        prop_assert_eq!(a.len(), whole.len());
+        prop_assert!(approx_eq(a.mean(), whole.mean(), 1e-6));
+    }
+
+    #[test]
+    fn matrix_solve_residual(
+        entries in prop::collection::vec(-10f64..10.0, 9),
+        rhs in prop::collection::vec(-10f64..10.0, 3),
+    ) {
+        let m = Matrix::from_rows(&[&entries[0..3], &entries[3..6], &entries[6..9]]);
+        if let Some(x) = m.solve(&rhs) {
+            let back = m.mul_vec(&x);
+            for (bi, ri) in back.iter().zip(&rhs) {
+                // Residual scaled by matrix magnitude.
+                prop_assert!(approx_eq(*bi, *ri, 1e-5), "residual too large: {} vs {}", bi, ri);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_transpose_preserves_det(entries in prop::collection::vec(-5f64..5.0, 9)) {
+        let m = Matrix::from_rows(&[&entries[0..3], &entries[3..6], &entries[6..9]]);
+        prop_assert!(approx_eq(m.det(), m.transpose().det(), 1e-6));
+    }
+}

@@ -1,0 +1,213 @@
+//! ASCII line/scatter charts.
+//!
+//! Renders multiple [`Series`] onto a character canvas with axes, tick
+//! labels and a legend. Each series gets a distinct glyph; overlapping
+//! points show the later series' glyph.
+
+use crate::series::Series;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// A chart builder.
+///
+/// ```
+/// use bcc_plot::{Chart, Series};
+///
+/// let s = Series::from_points("line", (0..10).map(|i| (i as f64, i as f64)).collect());
+/// let out = Chart::new(40, 10).title("demo").add(s).render();
+/// assert!(out.contains("demo"));
+/// assert!(out.contains('*'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    width: usize,
+    height: usize,
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates a chart with an interior canvas of `width × height`
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 10` or `height < 4` (too small to render).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 10 && height >= 4, "canvas too small: {width}x{height}");
+        Chart {
+            width,
+            height,
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the title line.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = t.into();
+        self
+    }
+
+    /// Sets the x-axis label.
+    pub fn x_label(mut self, l: impl Into<String>) -> Self {
+        self.x_label = l.into();
+        self
+    }
+
+    /// Sets the y-axis label.
+    pub fn y_label(mut self, l: impl Into<String>) -> Self {
+        self.y_label = l.into();
+        self
+    }
+
+    /// Adds a series.
+    pub fn add(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders to a multi-line string.
+    ///
+    /// Empty charts (no finite points) render a placeholder note.
+    pub fn render(&self) -> String {
+        // Global bounds across series.
+        let mut bounds: Option<(f64, f64, f64, f64)> = None;
+        for s in &self.series {
+            if let Some((x0, x1, y0, y1)) = s.bounds() {
+                bounds = Some(match bounds {
+                    None => (x0, x1, y0, y1),
+                    Some((a, b, c, d)) => (a.min(x0), b.max(x1), c.min(y0), d.max(y1)),
+                });
+            }
+        }
+        let Some((x0, x1, y0, y1)) = bounds else {
+            return format!("{} <no data>\n", self.title);
+        };
+        // Avoid zero spans.
+        let (x0, x1) = if x0 == x1 { (x0 - 0.5, x1 + 0.5) } else { (x0, x1) };
+        let (y0, y1) = if y0 == y1 { (y0 - 0.5, y1 + 0.5) } else { (y0, y1) };
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                canvas[row][cx.min(self.width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("  {}\n", self.title));
+        }
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("  {}\n", self.y_label));
+        }
+        let y_ticks = [y1, 0.5 * (y0 + y1), y0];
+        for (r, row) in canvas.iter().enumerate() {
+            let tick = if r == 0 {
+                format!("{:>9.3} ", y_ticks[0])
+            } else if r == self.height / 2 {
+                format!("{:>9.3} ", y_ticks[1])
+            } else if r == self.height - 1 {
+                format!("{:>9.3} ", y_ticks[2])
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&tick);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(10));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>10} {:<width$.3}{:>8.3}\n",
+            "",
+            x0,
+            x1,
+            width = self.width - 7
+        ));
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("{:>width$}\n", self.x_label, width = 11 + self.width / 2));
+        }
+        // Legend.
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, slope: f64) -> Series {
+        Series::from_points(
+            name,
+            (0..20).map(|i| (i as f64, slope * i as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let out = Chart::new(40, 10)
+            .title("Sum rates")
+            .x_label("P [dB]")
+            .y_label("bits/use")
+            .add(line("MABC", 1.0))
+            .add(line("TDBC", 2.0))
+            .render();
+        assert!(out.contains("Sum rates"));
+        assert!(out.contains("P [dB]"));
+        assert!(out.contains("bits/use"));
+        assert!(out.contains("* MABC"));
+        assert!(out.contains("o TDBC"));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let out = Chart::new(40, 10).title("empty").render();
+        assert!(out.contains("<no data>"));
+    }
+
+    #[test]
+    fn increasing_series_touches_corners() {
+        let out = Chart::new(40, 10).add(line("up", 1.0)).render();
+        let rows: Vec<&str> = out.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows.len(), 10);
+        // First canvas row (top) holds the max point at the right edge;
+        // last canvas row holds the min at the left edge.
+        assert!(rows[0].trim_end().ends_with('*'));
+        let bottom = rows[9];
+        let after_axis = &bottom[bottom.find('|').unwrap() + 1..];
+        assert_eq!(after_axis.chars().next(), Some('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = Series::from_points("flat", vec![(0.0, 1.0), (1.0, 1.0)]);
+        let out = Chart::new(40, 10).add(s).render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let _ = Chart::new(5, 2);
+    }
+}

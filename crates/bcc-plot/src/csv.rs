@@ -1,0 +1,104 @@
+//! Minimal CSV writing (RFC-4180-style quoting, no dependencies).
+
+use crate::series::Series;
+use std::io::{self, Write};
+
+/// Quotes a field if it contains a comma, quote or newline.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes rows of string fields as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_rows<W: Write>(mut w: W, rows: &[Vec<String>]) -> io::Result<()> {
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|f| quote(f)).collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes a group of series sharing an x-grid as one CSV table with header
+/// `x, <name1>, <name2>, …`. Series are sampled by index; rows are emitted
+/// up to the longest series, with empty cells where a series is shorter.
+/// The x value is taken from the first series that has that index.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `series` is empty.
+pub fn write_series<W: Write>(w: W, x_name: &str, series: &[Series]) -> io::Result<()> {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut rows = Vec::with_capacity(n + 1);
+    let mut header = vec![x_name.to_string()];
+    header.extend(series.iter().map(|s| s.name.clone()));
+    rows.push(header);
+    for i in 0..n {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0));
+        let mut row = vec![x.map_or(String::new(), |v| format!("{v}"))];
+        for s in series {
+            row.push(
+                s.points
+                    .get(i)
+                    .map_or(String::new(), |p| format!("{}", p.1)),
+            );
+        }
+        rows.push(row);
+    }
+    write_rows(w, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut buf = Vec::new();
+        write_rows(
+            &mut buf,
+            &[
+                vec!["a".into(), "b".into()],
+                vec!["1".into(), "2".into()],
+            ],
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut buf = Vec::new();
+        write_rows(&mut buf, &[vec!["a,b".into(), "say \"hi\"".into()]]).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "\"a,b\",\"say \"\"hi\"\"\"\n"
+        );
+    }
+
+    #[test]
+    fn series_table() {
+        let s1 = Series::from_points("u", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let s2 = Series::from_points("v", vec![(0.0, 3.0)]);
+        let mut buf = Vec::new();
+        write_series(&mut buf, "x", &[s1, s2]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "x,u,v");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,");
+    }
+}

@@ -1,0 +1,168 @@
+//! Categorical ASCII heatmaps.
+//!
+//! Renders a 2-D grid of category labels (e.g. "which protocol wins at
+//! (relay position, power)") as a character map with axis ticks and a
+//! legend — the workspace's stand-in for a colour-coded phase diagram.
+
+use std::collections::BTreeMap;
+
+/// A categorical 2-D map builder.
+///
+/// ```
+/// use bcc_plot::heatmap::CategoryMap;
+///
+/// let mut m = CategoryMap::new(3, 2, 0.0, 1.0, 0.0, 10.0);
+/// m.set(0, 0, "A");
+/// m.set(2, 1, "B");
+/// let s = m.render();
+/// assert!(s.contains('A') || s.contains('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CategoryMap {
+    cols: usize,
+    rows: usize,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+    cells: Vec<Option<String>>,
+}
+
+impl CategoryMap {
+    /// Creates an empty `cols × rows` map covering `[x0, x1] × [y0, y1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or a range is empty.
+    pub fn new(cols: usize, rows: usize, x0: f64, x1: f64, y0: f64, y1: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "map dimensions must be positive");
+        assert!(x1 > x0 && y1 > y0, "axis ranges must be non-empty");
+        CategoryMap {
+            cols,
+            rows,
+            x0,
+            x1,
+            y0,
+            y1,
+            cells: vec![None; cols * rows],
+        }
+    }
+
+    /// Number of grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The x-coordinate of the centre of column `c`.
+    pub fn x_of(&self, c: usize) -> f64 {
+        self.x0 + (self.x1 - self.x0) * (c as f64 + 0.5) / self.cols as f64
+    }
+
+    /// The y-coordinate of the centre of row `r` (row 0 is the bottom).
+    pub fn y_of(&self, r: usize) -> f64 {
+        self.y0 + (self.y1 - self.y0) * (r as f64 + 0.5) / self.rows as f64
+    }
+
+    /// Sets the category of cell `(col, row)` (row 0 at the bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, col: usize, row: usize, category: impl Into<String>) {
+        assert!(col < self.cols && row < self.rows, "cell out of range");
+        self.cells[row * self.cols + col] = Some(category.into());
+    }
+
+    /// The category of cell `(col, row)`, if set.
+    pub fn get(&self, col: usize, row: usize) -> Option<&str> {
+        self.cells[row * self.cols + col].as_deref()
+    }
+
+    /// Renders the map with one glyph per distinct category (first letter,
+    /// uniquified by case/digits) and a legend.
+    pub fn render(&self) -> String {
+        // Assign glyphs in first-appearance order.
+        let mut glyphs: BTreeMap<String, char> = BTreeMap::new();
+        let palette: Vec<char> = ('A'..='Z').chain('a'..='z').chain('0'..='9').collect();
+        for cell in self.cells.iter().flatten() {
+            let next = palette[glyphs.len() % palette.len()];
+            glyphs.entry(cell.clone()).or_insert(next);
+        }
+        let mut out = String::new();
+        for r in (0..self.rows).rev() {
+            out.push_str(&format!("{:>8.2} |", self.y_of(r)));
+            for c in 0..self.cols {
+                let ch = self
+                    .get(c, r)
+                    .map(|cat| glyphs[cat])
+                    .unwrap_or('.');
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(self.cols)));
+        out.push_str(&format!(
+            "{:>8}  {:<width$.2}{:>6.2}\n",
+            "",
+            self.x0,
+            self.x1,
+            width = self.cols.saturating_sub(4).max(1)
+        ));
+        for (cat, g) in &glyphs {
+            out.push_str(&format!("    {g} = {cat}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_map_to_cell_centres() {
+        let m = CategoryMap::new(10, 5, 0.0, 1.0, -10.0, 10.0);
+        assert!((m.x_of(0) - 0.05).abs() < 1e-12);
+        assert!((m.x_of(9) - 0.95).abs() < 1e-12);
+        assert!((m.y_of(0) + 8.0).abs() < 1e-12);
+        assert!((m.y_of(4) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_categories_distinct_glyphs() {
+        let mut m = CategoryMap::new(4, 1, 0.0, 1.0, 0.0, 1.0);
+        m.set(0, 0, "MABC");
+        m.set(1, 0, "TDBC");
+        m.set(2, 0, "HBC");
+        m.set(3, 0, "MABC");
+        let s = m.render();
+        assert!(s.contains("= MABC"));
+        assert!(s.contains("= TDBC"));
+        assert!(s.contains("= HBC"));
+        // Row line: three distinct glyphs, first == last.
+        let row_line = s.lines().next().unwrap();
+        let cells: Vec<char> = row_line.chars().skip_while(|&c| c != '|').skip(1).collect();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0], cells[3]);
+        assert_ne!(cells[0], cells[1]);
+    }
+
+    #[test]
+    fn unset_cells_render_dots() {
+        let m = CategoryMap::new(3, 1, 0.0, 1.0, 0.0, 1.0);
+        assert!(m.render().lines().next().unwrap().contains("..."));
+        assert_eq!(m.get(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_set_panics() {
+        let mut m = CategoryMap::new(2, 2, 0.0, 1.0, 0.0, 1.0);
+        m.set(2, 0, "x");
+    }
+}

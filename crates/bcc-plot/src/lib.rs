@@ -1,0 +1,26 @@
+//! Terminal-friendly reporting: ASCII charts, CSV files and aligned
+//! tables.
+//!
+//! The benchmark binaries regenerate the paper's figures as (a) CSV series
+//! suitable for gnuplot/matplotlib, and (b) ASCII charts rendered straight
+//! into the terminal/EXPERIMENTS.md, so the reproduction is inspectable
+//! without any plotting stack.
+//!
+//! * [`series`] — named `(x, y)` data series.
+//! * [`ascii`] — multi-series line/scatter charts on a character canvas.
+//! * [`csv`] — minimal CSV writing (no external dependency).
+//! * [`table`] — aligned text tables for protocol comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod csv;
+pub mod heatmap;
+pub mod series;
+pub mod table;
+
+pub use ascii::Chart;
+pub use heatmap::CategoryMap;
+pub use series::Series;
+pub use table::Table;

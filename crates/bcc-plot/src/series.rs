@@ -1,0 +1,92 @@
+//! Named data series.
+
+/// A named sequence of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display name (legend entry / CSV column).
+    pub name: String,
+    /// The points, in insertion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Creates a series from points.
+    pub fn from_points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `(min x, max x, min y, max y)` over the series, or `None` if empty
+    /// or containing non-finite values only.
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let finite: Vec<_> = self
+            .points
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let mut b = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for (x, y) in finite {
+            b.0 = b.0.min(*x);
+            b.1 = b.1.max(*x);
+            b.2 = b.2.min(*y);
+            b.3 = b.3.max(*y);
+        }
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut s = Series::new("demo");
+        assert!(s.is_empty());
+        s.push(1.0, 2.0);
+        s.push(3.0, -1.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let s = Series::from_points("b", vec![(0.0, 5.0), (2.0, -1.0), (1.0, 3.0)]);
+        assert_eq!(s.bounds(), Some((0.0, 2.0, -1.0, 5.0)));
+    }
+
+    #[test]
+    fn bounds_skip_non_finite() {
+        let s = Series::from_points("n", vec![(f64::NAN, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.bounds(), Some((1.0, 1.0, 2.0, 2.0)));
+        let empty = Series::new("e");
+        assert_eq!(empty.bounds(), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Aligned plain-text tables.
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use bcc_plot::Table;
+///
+/// let mut t = Table::new(vec!["protocol".into(), "sum rate".into()]);
+/// t.row(vec!["MABC".into(), "1.583".into()]);
+/// let s = t.render();
+/// assert!(s.contains("MABC"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let parts: Vec<String> = (0..ncols)
+                .map(|i| format!("{:<width$}", cells[i], width = widths[i]))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment() {
+        let mut t = Table::new(vec!["p".into(), "value".into()]);
+        t.row(vec!["MABC".into(), "1.0".into()]);
+        t.row(vec!["x".into(), "22.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // All lines equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[0].contains("| p    |"));
+    }
+
+    #[test]
+    fn markdown_compatible_separator() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.lines().nth(1).unwrap().starts_with("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["h".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

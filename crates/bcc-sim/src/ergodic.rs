@@ -1,0 +1,144 @@
+//! Ergodic (fading-averaged) rates under quasi-static Rayleigh fading.
+//!
+//! Each Monte-Carlo trial draws one independent unit-mean fade per link,
+//! scales the path-loss gains, re-runs the LP sum-rate optimisation of
+//! `bcc-core` on the faded network (full CSI, as the paper assumes), and
+//! averages. For direct transmission the result has a closed form —
+//! `E[C(P·G_ab·X)]` with `X ~ Exp(1)` — evaluated by Gauss–Laguerre
+//! quadrature in `bcc-num`, which pins the whole pipeline down in tests.
+
+use crate::mc::{McConfig, McEstimate};
+use bcc_channel::fading::FadingModel;
+use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::protocol::Protocol;
+
+/// Ergodic sum-rate estimate of `protocol` over i.i.d. per-link fading.
+///
+/// The network's gains are treated as the path-loss component; `fading`
+/// multiplies each link's power gain by an independent unit-mean draw per
+/// trial.
+pub fn ergodic_sum_rate(
+    net: &GaussianNetwork,
+    protocol: Protocol,
+    fading: FadingModel,
+    cfg: &McConfig,
+) -> McEstimate {
+    cfg.run(|rng, _| {
+        let faded = net.state().faded(
+            fading.sample_power(rng),
+            fading.sample_power(rng),
+            fading.sample_power(rng),
+        );
+        GaussianNetwork::new(net.power(), faded)
+            .max_sum_rate(protocol)
+            .map(|s| s.sum_rate)
+            .unwrap_or(0.0)
+    })
+}
+
+/// Per-trial optimal sum rates (the raw sample, for outage analysis).
+pub fn sum_rate_samples(
+    net: &GaussianNetwork,
+    protocol: Protocol,
+    fading: FadingModel,
+    cfg: &McConfig,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(cfg.trials);
+    for i in 0..cfg.trials {
+        let mut rng = cfg.trial_rng(i);
+        let faded = net.state().faded(
+            fading.sample_power(&mut rng),
+            fading.sample_power(&mut rng),
+            fading.sample_power(&mut rng),
+        );
+        let v = GaussianNetwork::new(net.power(), faded)
+            .max_sum_rate(protocol)
+            .map(|s| s.sum_rate)
+            .unwrap_or(0.0);
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_channel::ChannelState;
+    use bcc_num::quadrature::ergodic_rayleigh_capacity;
+
+    fn fig4_net(p_db: f64) -> GaussianNetwork {
+        GaussianNetwork::new(
+            10f64.powf(p_db / 10.0),
+            ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795),
+        )
+    }
+
+    #[test]
+    fn dt_ergodic_matches_gauss_laguerre() {
+        // DT sum rate per draw = C(P·Gab·X), X ~ Exp(1); its mean is the
+        // closed-form ergodic Rayleigh capacity.
+        let net = fig4_net(10.0);
+        let cfg = McConfig::new(20_000, 99);
+        let est = ergodic_sum_rate(&net, Protocol::DirectTransmission, FadingModel::Rayleigh, &cfg);
+        let expected = ergodic_rayleigh_capacity(net.power() * net.state().gab());
+        let ci = est.confidence(0.999);
+        assert!(
+            ci.contains(expected),
+            "MC {} vs quadrature {expected} (CI {ci})",
+            est.mean()
+        );
+    }
+
+    #[test]
+    fn no_fading_reduces_to_deterministic_optimum() {
+        let net = fig4_net(5.0);
+        let cfg = McConfig::new(10, 1);
+        for proto in Protocol::ALL {
+            let est = ergodic_sum_rate(&net, proto, FadingModel::None, &cfg);
+            let exact = net.max_sum_rate(proto).unwrap().sum_rate;
+            assert!(
+                (est.mean() - exact).abs() < 1e-9,
+                "{proto}: {} vs {exact}",
+                est.mean()
+            );
+            assert!(est.stats.population_variance() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn hbc_ergodic_dominates_components() {
+        let net = fig4_net(10.0);
+        let cfg = McConfig::new(400, 5);
+        let hbc = ergodic_sum_rate(&net, Protocol::Hbc, FadingModel::Rayleigh, &cfg);
+        let mabc = ergodic_sum_rate(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg);
+        let tdbc = ergodic_sum_rate(&net, Protocol::Tdbc, FadingModel::Rayleigh, &cfg);
+        // Same seeds → same fades → trial-wise dominance, hence mean-wise.
+        assert!(hbc.mean() >= mabc.mean() - 1e-9);
+        assert!(hbc.mean() >= tdbc.mean() - 1e-9);
+    }
+
+    #[test]
+    fn ergodic_rate_below_no_fading_rate_jensen() {
+        // C is concave in the gains and the fade is unit-mean, so fading
+        // cannot help the ergodic DT rate (Jensen).
+        let net = fig4_net(10.0);
+        let cfg = McConfig::new(20_000, 17);
+        let faded = ergodic_sum_rate(&net, Protocol::DirectTransmission, FadingModel::Rayleigh, &cfg);
+        let unfaded = net
+            .max_sum_rate(Protocol::DirectTransmission)
+            .unwrap()
+            .sum_rate;
+        assert!(faded.mean() < unfaded);
+    }
+
+    #[test]
+    fn samples_match_run_statistics() {
+        let net = fig4_net(0.0);
+        let cfg = McConfig::new(200, 3);
+        let samples = sum_rate_samples(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg);
+        let est = ergodic_sum_rate(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - est.mean()).abs() < 1e-12);
+        assert_eq!(samples.len(), 200);
+    }
+}

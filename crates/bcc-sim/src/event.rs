@@ -1,0 +1,183 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! Time is `f64` slots; events are user-defined payloads ordered by
+//! (time, insertion sequence) so simultaneous events fire in FIFO order —
+//! determinism matters because every experiment must be reproducible from
+//! its seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue.
+///
+/// ```
+/// use bcc_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "later");
+/// q.schedule(1.0, "sooner");
+/// assert_eq!(q.pop(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop(), Some((2.0, "later")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or earlier than the current time (causality).
+    pub fn schedule(&mut self, time: f64, payload: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a relative `delay`.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.payload)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        q.schedule_in(2.5, ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn causality_enforced() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(4.0, ());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared Monte-Carlo driver.
+//!
+//! Every stochastic experiment in the workspace runs through
+//! [`McConfig::run`], which fixes seeding policy (one master seed, one
+//! deterministic child stream per trial) so results are reproducible and
+//! trials are independent regardless of how much randomness each consumes.
+
+use bcc_num::stats::{ConfidenceInterval, RunningStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a Monte-Carlo estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Master seed; child trial `i` uses a stream derived from
+    /// `(seed, i)`.
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            trials: 10_000,
+            seed: 0xBCC0_0001,
+        }
+    }
+}
+
+/// The outcome of a Monte-Carlo estimate.
+#[derive(Debug, Clone)]
+pub struct McEstimate {
+    /// Accumulated statistics of the per-trial values.
+    pub stats: RunningStats,
+}
+
+impl McEstimate {
+    /// Point estimate (sample mean).
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Normal-approximation confidence interval at `level`.
+    pub fn confidence(&self, level: f64) -> ConfidenceInterval {
+        self.stats.confidence_interval(level)
+    }
+}
+
+impl McConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        McConfig { trials, seed }
+    }
+
+    /// Runs `trial(rng, i)` for each trial index with its own deterministic
+    /// RNG stream and aggregates the returned values.
+    pub fn run<F: FnMut(&mut StdRng, usize) -> f64>(&self, mut trial: F) -> McEstimate {
+        let mut stats = RunningStats::new();
+        for i in 0..self.trials {
+            let mut rng = self.trial_rng(i);
+            stats.push(trial(&mut rng, i));
+        }
+        McEstimate { stats }
+    }
+
+    /// The deterministic RNG stream of trial `i`.
+    pub fn trial_rng(&self, i: usize) -> StdRng {
+        // SplitMix-style mixing of (seed, i) into a child seed.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        StdRng::seed_from_u64(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn reproducible_across_runs() {
+        let cfg = McConfig::new(500, 42);
+        let a = cfg.run(|rng, _| rng.gen::<f64>());
+        let b = cfg.run(|rng, _| rng.gen::<f64>());
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = McConfig::new(500, 1).run(|rng, _| rng.gen::<f64>());
+        let b = McConfig::new(500, 2).run(|rng, _| rng.gen::<f64>());
+        assert_ne!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn trial_streams_are_independent_of_consumption() {
+        // Trial i's stream must not depend on how much randomness trial
+        // i-1 consumed.
+        let cfg = McConfig::new(3, 7);
+        let mut heavy = Vec::new();
+        cfg.run(|rng, i| {
+            if i == 0 {
+                for _ in 0..1000 {
+                    let _: f64 = rng.gen();
+                }
+            }
+            let v = rng.gen::<f64>();
+            heavy.push(v);
+            v
+        });
+        let mut light = Vec::new();
+        cfg.run(|rng, _| {
+            let v = rng.gen::<f64>();
+            light.push(v);
+            v
+        });
+        assert_eq!(heavy[1..], light[1..], "later trials must be unaffected");
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let est = McConfig::new(200_000, 3).run(|rng, _| rng.gen::<f64>());
+        assert!((est.mean() - 0.5).abs() < 0.005);
+        assert!(est.confidence(0.99).contains(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = McConfig::new(0, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Outage analysis under quasi-static fading.
+//!
+//! In a quasi-static fade the channel is constant over a protocol block;
+//! a target sum rate `R` is in **outage** when the realised channel cannot
+//! support it even with optimal time allocation. This module estimates
+//! outage probabilities and ε-outage rates (the largest rate whose outage
+//! probability stays below ε) from the Monte-Carlo samples produced by
+//! [`crate::ergodic`].
+
+use crate::ergodic::sum_rate_samples;
+use crate::mc::McConfig;
+use bcc_channel::fading::FadingModel;
+use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::protocol::Protocol;
+use bcc_num::stats::Ecdf;
+
+/// Outage statistics of one protocol at one network.
+#[derive(Debug, Clone)]
+pub struct OutageProfile {
+    ecdf: Ecdf,
+}
+
+impl OutageProfile {
+    /// Estimates the sum-rate distribution of `protocol` under `fading`.
+    pub fn estimate(
+        net: &GaussianNetwork,
+        protocol: Protocol,
+        fading: FadingModel,
+        cfg: &McConfig,
+    ) -> Self {
+        OutageProfile {
+            ecdf: Ecdf::new(sum_rate_samples(net, protocol, fading, cfg)),
+        }
+    }
+
+    /// Builds a profile from explicit sum-rate samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` contains NaN (propagated from [`Ecdf::new`]).
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        OutageProfile {
+            ecdf: Ecdf::new(samples),
+        }
+    }
+
+    /// `P[optimal sum rate < target]` — the outage probability of
+    /// operating at `target` bits/use.
+    pub fn outage_probability(&self, target: f64) -> f64 {
+        // Strictly-less via the left limit of the ECDF: use target minus an
+        // epsilon-width that is negligible at rate scales.
+        self.ecdf.eval(target - 1e-12)
+    }
+
+    /// The ε-outage sum rate: the largest rate supported in all but an
+    /// `eps` fraction of fades (the ECDF's `eps`-quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is outside `[0, 1]`.
+    pub fn outage_rate(&self, eps: f64) -> f64 {
+        self.ecdf.quantile(eps)
+    }
+
+    /// Number of Monte-Carlo samples behind the profile.
+    pub fn samples(&self) -> usize {
+        self.ecdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_channel::ChannelState;
+
+    fn fig4_net(p_db: f64) -> GaussianNetwork {
+        GaussianNetwork::new(
+            10f64.powf(p_db / 10.0),
+            ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795),
+        )
+    }
+
+    fn profile(proto: Protocol) -> OutageProfile {
+        OutageProfile::estimate(
+            &fig4_net(10.0),
+            proto,
+            FadingModel::Rayleigh,
+            &McConfig::new(4000, 21),
+        )
+    }
+
+    #[test]
+    fn outage_probability_is_monotone_in_target() {
+        let p = profile(Protocol::Mabc);
+        let p1 = p.outage_probability(0.5);
+        let p2 = p.outage_probability(1.5);
+        let p3 = p.outage_probability(3.0);
+        assert!(p1 <= p2 && p2 <= p3);
+        assert!(p.outage_probability(0.0) == 0.0, "rate 0 never in outage");
+        assert!(p.outage_probability(1e9) == 1.0);
+    }
+
+    #[test]
+    fn outage_rate_inverts_outage_probability() {
+        let p = profile(Protocol::Tdbc);
+        for eps in [0.05, 0.1, 0.5] {
+            let r = p.outage_rate(eps);
+            // At the eps-quantile rate, outage prob is ~eps (within the
+            // empirical resolution).
+            let prob = p.outage_probability(r);
+            assert!(
+                (prob - eps).abs() <= 0.02,
+                "eps={eps}: outage({r}) = {prob}"
+            );
+        }
+    }
+
+    #[test]
+    fn hbc_outage_rate_dominates() {
+        // Same MC seeds → same fades → HBC's per-trial optimum dominates,
+        // so every quantile dominates too.
+        let hbc = profile(Protocol::Hbc);
+        let mabc = profile(Protocol::Mabc);
+        let tdbc = profile(Protocol::Tdbc);
+        for eps in [0.05, 0.25, 0.5, 0.9] {
+            assert!(hbc.outage_rate(eps) >= mabc.outage_rate(eps) - 1e-9, "eps={eps}");
+            assert!(hbc.outage_rate(eps) >= tdbc.outage_rate(eps) - 1e-9, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn no_fading_profile_is_degenerate() {
+        let net = fig4_net(10.0);
+        let p = OutageProfile::estimate(
+            &net,
+            Protocol::Mabc,
+            FadingModel::None,
+            &McConfig::new(50, 1),
+        );
+        let exact = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        // Outage jumps from 0 to 1 exactly at the deterministic rate.
+        assert_eq!(p.outage_probability(exact - 1e-6), 0.0);
+        assert_eq!(p.outage_probability(exact + 1e-6), 1.0);
+    }
+
+    #[test]
+    fn from_samples_roundtrip() {
+        let p = OutageProfile::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.samples(), 4);
+        assert_eq!(p.outage_probability(2.5), 0.5);
+        assert_eq!(p.outage_rate(0.5), 3.0);
+    }
+}

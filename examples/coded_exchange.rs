@@ -1,0 +1,54 @@
+//! A literal coded bidirectional exchange, end to end.
+//!
+//! ```bash
+//! cargo run --example coded_exchange --release
+//! ```
+//!
+//! Runs the two operational layers of the reproduction:
+//!
+//! 1. **Symbol level** — the MABC protocol with Hamming(7,4)-coded BPSK, a
+//!    joint-ML multiple-access decoder at the relay, XOR re-encoding and
+//!    side-information stripping (the Theorem-2 scheme made literal).
+//! 2. **Packet level** — XOR relaying vs plain forwarding on erasure
+//!    links, against the LP throughput bound.
+
+use bcc::channel::ChannelState;
+use bcc::plot::Table;
+use bcc::sim::packet::{simulate_exchange, ErasureNetwork, RelayScheme};
+use bcc::sim::symbol::{run_mabc_exchange, SymbolSimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- Symbol level.
+    println!("symbol-level MABC exchange (Hamming(7,4) + BPSK):\n");
+    let mut table = Table::new(vec!["P [dB]".into(), "pair error rate".into()]);
+    for p_db in [0.0, 4.0, 8.0, 12.0] {
+        let cfg = SymbolSimConfig {
+            power: 10f64.powf(p_db / 10.0),
+            state: ChannelState::new(0.2, 1.0, 1.0),
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = run_mabc_exchange(&cfg, 1500, &mut rng);
+        table.row(vec![format!("{p_db}"), format!("{:.4}", r.error_rate())]);
+    }
+    println!("{}", table.render());
+
+    // ---- Packet level.
+    println!("packet-level relaying on erasure links (q_ar = 0.8, q_br = 0.6):\n");
+    let net = ErasureNetwork::new(0.3, 0.8, 0.6);
+    let bound = net.xor_relay_bound();
+    let mut rng = StdRng::seed_from_u64(7);
+    let xor = simulate_exchange(&net, RelayScheme::XorNetworkCoding, 10_000, &mut rng);
+    let mut rng = StdRng::seed_from_u64(7);
+    let fwd = simulate_exchange(&net, RelayScheme::PlainForwarding, 10_000, &mut rng);
+    println!("  LP sum-throughput bound : {bound:.4} packets/slot");
+    println!("  XOR network coding      : {:.4} packets/slot", xor.sum_throughput);
+    println!("  plain forwarding        : {:.4} packets/slot", fwd.sum_throughput);
+    println!(
+        "  network-coding gain     : {:.1}%",
+        (xor.sum_throughput / fwd.sum_throughput - 1.0) * 100.0
+    );
+    assert!(xor.sum_throughput <= bound);
+    assert!(xor.sum_throughput > fwd.sum_throughput);
+}

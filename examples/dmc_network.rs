@@ -1,0 +1,125 @@
+//! The general discrete-memoryless-channel form of the bounds (paper
+//! Sections II–III), on an all-binary network.
+//!
+//! ```bash
+//! cargo run --example dmc_network
+//! ```
+//!
+//! Part 1: every link is a BSC and the multiple-access phase is the XOR
+//! channel `y_r = x_a ⊕ x_b ⊕ e` — the "cleanest" MAC for network coding,
+//! since its one-bit output carries exactly the XOR the relay wants to
+//! broadcast. Sweeping the direct-link quality reproduces the paper's
+//! low-vs-high SNR reversal in its discrete guise.
+//!
+//! Part 2: with *asymmetric* broadcast channels (a Z-channel toward one
+//! terminal, the mirrored Z toward the other), different relay input
+//! biases favour different rate corners — exactly the situation where the
+//! paper's time-sharing variable `Q` buys real rate pairs.
+
+use bcc::core::discrete::DiscreteNetwork;
+use bcc::core::optimizer;
+use bcc::core::region::{hull_max_ra, RateRegion};
+use bcc::info::{Dmc, Pmf};
+use bcc::plot::Table;
+
+fn main() {
+    // ---- Part 1: MABC/TDBC reversal in the direct-link quality.
+    let uniform = (Pmf::uniform(2), Pmf::uniform(2), Pmf::uniform(2));
+    println!("binary bidirectional relay: BSC links + XOR MAC");
+    println!("(uplinks/downlinks BSC(0.05), MAC noise 0.02)\n");
+    let mut table = Table::new(vec![
+        "p_direct".into(),
+        "MABC".into(),
+        "TDBC".into(),
+        "HBC".into(),
+        "winner".into(),
+    ]);
+    for p_direct in [0.5, 0.3, 0.1, 0.01] {
+        let net = DiscreteNetwork::binary_symmetric(p_direct, 0.05, 0.05, 0.02);
+        let (pa, pb, pr) = &uniform;
+        let mabc = optimizer::max_sum_rate(&net.mabc_constraints(pa, pb, pr))
+            .expect("LP")
+            .objective;
+        let tdbc = optimizer::max_sum_rate(&net.tdbc_inner_constraints(pa, pb, pr))
+            .expect("LP")
+            .objective;
+        let hbc = optimizer::max_sum_rate(&net.hbc_inner_constraints(pa, pb, pr))
+            .expect("LP")
+            .objective;
+        let winner = if mabc >= tdbc { "MABC" } else { "TDBC" };
+        table.row(vec![
+            format!("{p_direct}"),
+            format!("{mabc:.4}"),
+            format!("{tdbc:.4}"),
+            format!("{hbc:.4}"),
+            winner.into(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("a useless direct link (p = 0.5) favours MABC's joint MAC phase; a clean");
+    println!("one favours TDBC's side information — the discrete face of the paper's");
+    println!("low/high-SNR observation.\n");
+
+    // ---- Part 2: time sharing (Q) with asymmetric broadcast channels.
+    // r→a is a Z-channel (symbol 1 may flip to 0), r→b the mirrored Z:
+    // a relay input biased toward 0 protects the r→a link, biased toward 1
+    // protects r→b. No single bias serves both corners.
+    let z_to_a = Dmc::z_channel(0.85);
+    let z_to_b = Dmc::new(vec![vec![0.15, 0.85], vec![0.0, 1.0]]);
+    let xor_mac = DiscreteNetwork::binary_symmetric(0.3, 0.05, 0.05, 0.05).mac_to_relay;
+    let net = DiscreteNetwork::new(
+        xor_mac,
+        Dmc::bsc(0.05),
+        Dmc::bsc(0.3),
+        Dmc::bsc(0.05),
+        Dmc::bsc(0.3),
+        z_to_a,
+        z_to_b,
+    );
+    let biased_low = (Pmf::uniform(2), Pmf::uniform(2), Pmf::bernoulli(0.2));
+    let biased_high = (Pmf::uniform(2), Pmf::uniform(2), Pmf::bernoulli(0.8));
+    let inputs = vec![uniform.clone(), biased_low.clone(), biased_high.clone()];
+    let hull = net.mabc_time_sharing_boundary(&inputs, 16);
+
+    println!("time-sharing hull over relay-input biases {{0.5, 0.2, 0.8}}");
+    println!("(Z-channel r→a, mirrored Z r→b: no single bias serves both corners)\n");
+    let mut t2 = Table::new(vec![
+        "Rb".into(),
+        "uniform only".into(),
+        "bias 0.2".into(),
+        "bias 0.8".into(),
+        "Q-hull".into(),
+    ]);
+    let region_of = |i: &(Pmf, Pmf, Pmf)| {
+        RateRegion::new(vec![net.mabc_constraints(&i.0, &i.1, &i.2)], "fixed")
+    };
+    let rb_max = hull.iter().map(|p| p.rb).fold(0.0, f64::max);
+    let mut q_gain = false;
+    for k in 0..=4 {
+        let rb = rb_max * k as f64 / 4.0;
+        let vals: Vec<f64> = inputs
+            .iter()
+            .map(|i| region_of(i).max_ra_given_rb(rb).unwrap_or(0.0))
+            .collect();
+        let hull_ra = hull_max_ra(&hull, rb).unwrap_or(0.0);
+        if hull_ra > vals.iter().cloned().fold(0.0, f64::max) + 1e-6 {
+            q_gain = true;
+        }
+        t2.row(vec![
+            format!("{rb:.4}"),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+            format!("{:.4}", vals[2]),
+            format!("{hull_ra:.4}"),
+        ]);
+    }
+    println!("{}", t2.render());
+    if q_gain {
+        println!("the Q-hull strictly exceeds every fixed input at some Rb — time sharing pays.");
+    } else {
+        println!("finding: even under strong Z-channel asymmetry the capacity-achieving");
+        println!("relay input stays near uniform (Z(0.85) optimum ≈ 0.38), so the uniform");
+        println!("region already contains both biased ones and Q adds nothing — matching");
+        println!("the paper's |Q| = 1 evaluation being WLOG for (near-)symmetric channels.");
+    }
+}

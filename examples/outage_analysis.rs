@@ -1,0 +1,52 @@
+//! Outage analysis under Rayleigh fading — what a cellular operator would
+//! actually quote (the paper's quasi-static fading model, taken to its
+//! operational conclusion).
+//!
+//! ```bash
+//! cargo run --example outage_analysis --release
+//! ```
+//!
+//! Estimates, for each protocol at the Fig. 4 gains: the ergodic sum rate,
+//! the 5%- and 10%-outage sum rates, and the outage probability of
+//! operating at half the no-fading optimum.
+
+use bcc::channel::fading::FadingModel;
+use bcc::core::gaussian::GaussianNetwork;
+use bcc::core::protocol::Protocol;
+use bcc::num::Db;
+use bcc::plot::Table;
+use bcc::sim::ergodic::ergodic_sum_rate;
+use bcc::sim::outage::OutageProfile;
+use bcc::sim::McConfig;
+
+fn main() {
+    let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+    let cfg = McConfig::new(3000, 20260609);
+
+    println!("Rayleigh fading, P = 10 dB, {} ({} trials)\n", net.state(), cfg.trials);
+    let mut table = Table::new(vec![
+        "protocol".into(),
+        "no-fading".into(),
+        "ergodic".into(),
+        "5%-outage".into(),
+        "10%-outage".into(),
+        "P[outage @ half rate]".into(),
+    ]);
+    for proto in Protocol::ALL {
+        let exact = net.max_sum_rate(proto).expect("LP").sum_rate;
+        let erg = ergodic_sum_rate(&net, proto, FadingModel::Rayleigh, &cfg);
+        let profile = OutageProfile::estimate(&net, proto, FadingModel::Rayleigh, &cfg);
+        table.row(vec![
+            proto.name().into(),
+            format!("{exact:.4}"),
+            format!("{:.4}", erg.mean()),
+            format!("{:.4}", profile.outage_rate(0.05)),
+            format!("{:.4}", profile.outage_rate(0.10)),
+            format!("{:.4}", profile.outage_probability(exact / 2.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("note: ergodic < no-fading for every protocol (Jensen), and HBC");
+    println!("dominates MABC/TDBC at every quantile because it subsumes them");
+    println!("fade-by-fade.");
+}

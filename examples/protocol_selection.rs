@@ -1,0 +1,61 @@
+//! Adaptive protocol selection across an SNR range — the system design
+//! question the paper's Fig. 4 answers qualitatively.
+//!
+//! ```bash
+//! cargo run --example protocol_selection
+//! ```
+//!
+//! For the Fig. 4 gains, prints the winning protocol per power level,
+//! locates the exact MABC/TDBC crossover by bisection, and traces the two
+//! rate-region boundaries just below and above it to show the regions
+//! swapping dominance.
+
+use bcc::core::comparison::{sum_rate_crossover_db, SumRateComparison};
+use bcc::core::gaussian::GaussianNetwork;
+use bcc::core::protocol::{Bound, Protocol};
+use bcc::num::Db;
+use bcc::plot::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = GaussianNetwork::from_db(Db::new(0.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+
+    let mut table = Table::new(vec![
+        "P [dB]".into(),
+        "winner".into(),
+        "sum rate".into(),
+        "runner-up".into(),
+        "margin [%]".into(),
+    ]);
+    for p_db in (-10..=25).step_by(5) {
+        let n = net.with_power_db(Db::new(p_db as f64));
+        let cmp = SumRateComparison::evaluate(&n)?;
+        let mut ranked = cmp.solutions.clone();
+        ranked.sort_by(|a, b| b.sum_rate.partial_cmp(&a.sum_rate).expect("finite"));
+        table.row(vec![
+            format!("{p_db}"),
+            ranked[0].protocol.name().into(),
+            format!("{:.4}", ranked[0].sum_rate),
+            ranked[1].protocol.name().into(),
+            format!("{:.1}", (ranked[0].sum_rate / ranked[1].sum_rate - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    match sum_rate_crossover_db(&net, Protocol::Mabc, Protocol::Tdbc, -10.0, 25.0)? {
+        Some(p) => {
+            println!("MABC/TDBC crossover: P = {:.3} dB", p.value());
+            for offset in [-5.0, 5.0] {
+                let n = net.with_power_db(Db::new(p.value() + offset));
+                let mabc = n.region(Protocol::Mabc, Bound::Inner);
+                let tdbc = n.region(Protocol::Tdbc, Bound::Inner);
+                println!(
+                    "  P = crossover {offset:+} dB: MABC sum {:.4}, TDBC sum {:.4}",
+                    mabc.max_sum_rate()?,
+                    tdbc.max_sum_rate()?
+                );
+            }
+        }
+        None => println!("no crossover in the scanned range"),
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Relay-selection diversity — the multi-relay extension in action.
+//!
+//! ```bash
+//! cargo run --example relay_diversity --release
+//! ```
+//!
+//! With several candidate relays and quasi-static Rayleigh fading, picking
+//! the instantaneously best relay (full CSI, as the paper assumes) buys
+//! both ergodic rate and — much more dramatically — outage performance.
+
+use bcc::channel::fading::FadingModel;
+use bcc::core::protocol::Protocol;
+use bcc::core::selection::RelayCandidates;
+use bcc::num::stats::Ecdf;
+use bcc::plot::Table;
+use bcc::sim::selection::{selection_rate_samples, sample_mean};
+use bcc::sim::McConfig;
+
+fn main() {
+    let power = 10.0; // 10 dB over unit noise
+    let cfg = McConfig::new(2000, 99);
+
+    println!("MABC through the best of N relays (Rayleigh, P = 10 dB):\n");
+    let mut table = Table::new(vec![
+        "N relays".into(),
+        "ergodic".into(),
+        "10%-outage".into(),
+        "1%-outage".into(),
+    ]);
+    for n in [1usize, 2, 4, 8] {
+        let candidates = RelayCandidates::new(0.2, vec![(1.0, 1.0); n]);
+        let samples = selection_rate_samples(
+            &candidates,
+            Protocol::Mabc,
+            power,
+            FadingModel::Rayleigh,
+            &cfg,
+        );
+        let ecdf = Ecdf::new(samples.clone());
+        table.row(vec![
+            format!("{n}"),
+            format!("{:.4}", sample_mean(&samples)),
+            format!("{:.4}", ecdf.quantile(0.10)),
+            format!("{:.4}", ecdf.quantile(0.01)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("the deep-fade quantiles improve far faster than the mean — the");
+    println!("signature of selection diversity.");
+}

@@ -1,0 +1,54 @@
+//! # Bidirectional Coded Cooperation (BCC)
+//!
+//! A Rust reproduction of **Kim, Mitran, Tarokh — "Performance Bounds for
+//! Bidirectional Coded Cooperation Protocols"** (ICDCS 2007; IEEE Trans.
+//! Inf. Theory 54(11):5235–5240, 2008).
+//!
+//! Two terminals `a` and `b` exchange messages over a shared half-duplex
+//! wireless channel with the help of a relay `r`. The paper analyses three
+//! decode-and-forward protocols — MABC (2 phases), TDBC (3 phases) and HBC
+//! (4 phases) — and derives capacity inner/outer bounds for each, then
+//! evaluates them on the AWGN channel with path loss.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`num`] | complex numbers, dB units, special functions, statistics |
+//! | [`lp`] | dense two-phase simplex LP solver |
+//! | [`info`] | entropies, mutual information, DMCs, Blahut–Arimoto |
+//! | [`channel`] | gains, path loss, Rayleigh fading, AWGN simulation |
+//! | [`coding`] | GF(2) codes, XOR network coding, random binning |
+//! | [`core`] | **the paper's bounds** (Theorems 2–6), regions, optimizers |
+//! | [`sim`] | Monte-Carlo outage/ergodic + packet/symbol simulators |
+//! | [`plot`] | ASCII charts, CSV and aligned-table writers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bcc::core::gaussian::GaussianNetwork;
+//! use bcc::core::protocol::Protocol;
+//! use bcc::num::Db;
+//!
+//! // Fig. 4 setup of the paper: P = 10 dB, Gab = -7 dB, Gar = 0 dB,
+//! // Gbr = 5 dB.
+//! let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+//!
+//! // Optimal achievable sum rate of each protocol, optimised over phase
+//! // durations by linear programming:
+//! for proto in Protocol::ALL {
+//!     let sr = net.max_sum_rate(proto).unwrap();
+//!     println!("{proto}: {:.3} bits/use", sr.sum_rate);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use bcc_channel as channel;
+pub use bcc_coding as coding;
+pub use bcc_core as core;
+pub use bcc_info as info;
+pub use bcc_lp as lp;
+pub use bcc_num as num;
+pub use bcc_plot as plot;
+pub use bcc_sim as sim;

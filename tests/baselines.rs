@@ -1,0 +1,107 @@
+//! Integration tests for the baselines beyond the paper's theorems
+//! (naive four-phase forwarding, amplify-and-forward) and their
+//! relationship to the coded protocols.
+
+use bcc::core::bounds::{af, mabc, naive};
+use bcc::core::gaussian::GaussianNetwork;
+use bcc::core::optimizer;
+use bcc::core::protocol::Protocol;
+use bcc::num::interp::crossings;
+use bcc::num::Db;
+
+fn fig4(p_db: f64) -> GaussianNetwork {
+    GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
+}
+
+#[test]
+fn coded_relaying_always_beats_naive_forwarding() {
+    for p_db in [-10.0, 0.0, 10.0, 20.0, 30.0] {
+        let net = fig4(p_db);
+        let naive_sr = optimizer::max_sum_rate(&naive::capacity_constraints(
+            net.power(),
+            &net.state(),
+        ))
+        .unwrap()
+        .objective;
+        let coded = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        assert!(
+            coded >= naive_sr - 1e-9,
+            "P={p_db}: MABC {coded} < naive {naive_sr}"
+        );
+        // HBC dominates the naive scheme too (it contains MABC).
+        let hbc = net.max_sum_rate(Protocol::Hbc).unwrap().sum_rate;
+        assert!(hbc >= naive_sr - 1e-9);
+    }
+}
+
+#[test]
+fn df_af_crossover_is_in_the_high_snr_regime() {
+    // Sample both curves on a grid and locate the DF/AF crossover by
+    // interpolation: it must exist and sit well above 10 dB at Fig. 4
+    // gains.
+    let grid: Vec<f64> = (-10..=30).map(f64::from).collect();
+    let df: Vec<(f64, f64)> = grid
+        .iter()
+        .map(|&p| {
+            let net = fig4(p);
+            (
+                p,
+                optimizer::max_sum_rate(&mabc::capacity_constraints(net.power(), &net.state()))
+                    .unwrap()
+                    .objective,
+            )
+        })
+        .collect();
+    let af_curve: Vec<(f64, f64)> = grid
+        .iter()
+        .map(|&p| {
+            let net = fig4(p);
+            (p, af::achievable_rates(net.power(), &net.state()).sum_rate())
+        })
+        .collect();
+    let cross = crossings(&df, &af_curve);
+    assert!(!cross.is_empty(), "DF/AF crossover must exist");
+    assert!(
+        cross[0] > 10.0 && cross[0] < 25.0,
+        "crossover at {} dB outside the expected band",
+        cross[0]
+    );
+    // DF above at low SNR, AF above at high SNR.
+    assert!(df[0].1 > af_curve[0].1);
+    assert!(df.last().unwrap().1 < af_curve.last().unwrap().1);
+}
+
+#[test]
+fn af_respects_every_hop_capacity() {
+    for p_db in [0.0, 10.0, 20.0] {
+        let net = fig4(p_db);
+        let r = af::achievable_rates(net.power(), &net.state());
+        let half = 0.5;
+        assert!(r.ra <= half * bcc::info::awgn_capacity(net.snr_ar()) + 1e-9);
+        assert!(r.ra <= half * bcc::info::awgn_capacity(net.snr_br()) + 1e-9);
+        assert!(r.rb <= half * bcc::info::awgn_capacity(net.snr_br()) + 1e-9);
+        assert!(r.rb <= half * bcc::info::awgn_capacity(net.snr_ar()) + 1e-9);
+    }
+}
+
+#[test]
+fn naive_region_embeds_into_mabc_region() {
+    // Any naive-feasible (ra, rb, Δ) maps to an MABC-feasible point with
+    // merged phases — spot-check across a grid of operating points.
+    let net = fig4(10.0);
+    let naive_set = naive::capacity_constraints(net.power(), &net.state());
+    let mabc_set = mabc::capacity_constraints(net.power(), &net.state());
+    let durations = [0.3, 0.25, 0.25, 0.2];
+    let merged = [durations[0] + durations[2], durations[1] + durations[3]];
+    for i in 0..12 {
+        for j in 0..12 {
+            let (ra, rb) = (i as f64 * 0.2, j as f64 * 0.2);
+            if naive_set.all_satisfied(ra, rb, &durations, 1e-12) {
+                assert!(
+                    mabc_set.all_satisfied(ra, rb, &merged, 1e-9),
+                    "naive point ({ra},{rb}) escaped MABC with merged phases"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Integration tests pinning the paper's headline claims (DESIGN.md F1-F3)
+//! across crate boundaries. These are the tests a reviewer would read to
+//! decide whether the reproduction holds.
+
+use bcc::core::comparison::{hbc_outside_competitor_outer_bounds, sum_rate_crossover_db};
+use bcc::core::gaussian::GaussianNetwork;
+use bcc::core::protocol::{Bound, Protocol};
+use bcc::num::Db;
+
+/// Fig. 4 network (see DESIGN.md for the gain-caption reading).
+fn fig4(p_db: f64) -> GaussianNetwork {
+    GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
+}
+
+#[test]
+fn f1_hbc_sum_rate_dominates_everywhere() {
+    // F1: HBC ≥ max(MABC, TDBC) for every power; strictly greater somewhere.
+    let mut strict = false;
+    for p_int in -10..=25 {
+        let net = fig4(p_int as f64);
+        let hbc = net.max_sum_rate(Protocol::Hbc).unwrap().sum_rate;
+        let mabc = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        let tdbc = net.max_sum_rate(Protocol::Tdbc).unwrap().sum_rate;
+        assert!(hbc >= mabc - 1e-8, "P={p_int}: HBC {hbc} < MABC {mabc}");
+        assert!(hbc >= tdbc - 1e-8, "P={p_int}: HBC {hbc} < TDBC {tdbc}");
+        if hbc > mabc.max(tdbc) + 1e-6 {
+            strict = true;
+        }
+    }
+    assert!(strict, "HBC must be strictly better in some regime (paper Fig. 3)");
+}
+
+#[test]
+fn f2_mabc_tdbc_snr_reversal() {
+    // F2: MABC dominates at low SNR, TDBC at high SNR, with a crossover.
+    let net = fig4(0.0);
+    let low = fig4(0.0);
+    let high = fig4(20.0);
+    let sr = |n: &GaussianNetwork, p| n.max_sum_rate(p).unwrap().sum_rate;
+    assert!(sr(&low, Protocol::Mabc) > sr(&low, Protocol::Tdbc));
+    assert!(sr(&high, Protocol::Tdbc) > sr(&high, Protocol::Mabc));
+    let cross = sum_rate_crossover_db(&net, Protocol::Mabc, Protocol::Tdbc, -10.0, 25.0)
+        .unwrap()
+        .expect("a crossover exists at Fig. 4 gains");
+    assert!(
+        cross.value() > 0.0 && cross.value() < 20.0,
+        "crossover {cross} should sit between the two panels of Fig. 4"
+    );
+}
+
+#[test]
+fn f3_hbc_escapes_both_outer_bounds_at_high_snr() {
+    // F3: at P = 10 dB, some HBC achievable points lie outside the outer
+    // bounds of both MABC and TDBC — the paper's most surprising claim.
+    let violations = hbc_outside_competitor_outer_bounds(&fig4(10.0), 48).unwrap();
+    let outside_mabc = violations.iter().any(|v| v.victim == Protocol::Mabc);
+    let outside_tdbc = violations.iter().any(|v| v.victim == Protocol::Tdbc);
+    assert!(outside_mabc, "no HBC point escaped the MABC outer bound");
+    assert!(outside_tdbc, "no HBC point escaped the TDBC outer bound");
+}
+
+#[test]
+fn mabc_region_is_exactly_its_capacity() {
+    // Theorem 2: inner = outer for MABC.
+    let net = fig4(10.0);
+    let inner = net.region(Protocol::Mabc, Bound::Inner);
+    let outer = net.region(Protocol::Mabc, Bound::Outer);
+    assert!(inner.contains_region(&outer, 24).unwrap());
+    assert!(outer.contains_region(&inner, 24).unwrap());
+    assert!(net.capacity_region(Protocol::Mabc).is_some());
+    assert!(net.capacity_region(Protocol::Tdbc).is_none(), "TDBC capacity is open");
+}
+
+#[test]
+fn inner_bounds_inside_outer_bounds() {
+    for p_db in [0.0, 10.0] {
+        let net = fig4(p_db);
+        for proto in [Protocol::Tdbc, Protocol::Hbc] {
+            let inner = net.region(proto, Bound::Inner);
+            let outer = net.region(proto, Bound::Outer);
+            assert!(
+                outer.contains_region(&inner, 24).unwrap(),
+                "{proto} inner escaped its outer bound at P = {p_db} dB"
+            );
+        }
+    }
+}
+
+#[test]
+fn relayed_protocols_beat_dt_when_relay_helps() {
+    // With both relay links much stronger than the direct link, every
+    // relayed protocol must beat direct transmission.
+    let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-10.0), Db::new(5.0), Db::new(5.0));
+    let dt = net.max_sum_rate(Protocol::DirectTransmission).unwrap().sum_rate;
+    for proto in Protocol::RELAYED {
+        let sr = net.max_sum_rate(proto).unwrap().sum_rate;
+        assert!(sr > dt, "{proto}: {sr} should beat DT {dt}");
+    }
+}
+
+#[test]
+fn tdbc_dominates_dt_exactly_when_relay_advantaged() {
+    // In the paper's "interesting case" (G_ab ≤ G_ar, G_br), TDBC with
+    // Δ3 = 0 degenerates to DT, so its optimum dominates DT.
+    for (gab, gar, gbr) in [(0.0, 5.0, 5.0), (-7.0, 0.0, 5.0), (-3.0, -3.0, 10.0)] {
+        let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(gab), Db::new(gar), Db::new(gbr));
+        assert!(net.state().relay_advantaged());
+        let dt = net.max_sum_rate(Protocol::DirectTransmission).unwrap().sum_rate;
+        let tdbc = net.max_sum_rate(Protocol::Tdbc).unwrap().sum_rate;
+        assert!(tdbc >= dt - 1e-8, "TDBC {tdbc} < DT {dt} at ({gab},{gar},{gbr})");
+    }
+    // But NOT in general: Theorem 3 makes the relay decode both messages
+    // (decode-and-forward), so with dead relay links the relay-decoding
+    // constraints strangle TDBC while DT is unaffected. This is a real
+    // property of DF protocols, not a bug.
+    let dead_relay =
+        GaussianNetwork::from_db(Db::new(10.0), Db::new(0.0), Db::new(-20.0), Db::new(-20.0));
+    let dt = dead_relay
+        .max_sum_rate(Protocol::DirectTransmission)
+        .unwrap()
+        .sum_rate;
+    let tdbc = dead_relay.max_sum_rate(Protocol::Tdbc).unwrap().sum_rate;
+    assert!(
+        tdbc < dt,
+        "a decode-and-forward relay with dead links must hurt: TDBC {tdbc} vs DT {dt}"
+    );
+}
+
+#[test]
+fn swapping_terminals_swaps_rates() {
+    // The protocols are symmetric in (a ↔ b, G_ar ↔ G_br).
+    let net = fig4(10.0);
+    let swapped = GaussianNetwork::new(net.power(), net.state().swapped());
+    for proto in Protocol::ALL {
+        let orig = net.max_sum_rate(proto).unwrap();
+        let swap = swapped.max_sum_rate(proto).unwrap();
+        assert!(
+            (orig.sum_rate - swap.sum_rate).abs() < 1e-8,
+            "{proto}: sum rate must be invariant under terminal swap"
+        );
+        // The sum-rate LP can have non-unique optima (DT's is a whole
+        // face), so individual rates need not swap — but the mirrored
+        // point must be achievable in the swapped network.
+        let region = swapped.region(proto, Bound::Inner);
+        assert!(
+            region.contains((orig.rb - 1e-6).max(0.0), (orig.ra - 1e-6).max(0.0)),
+            "{proto}: mirrored optimum not achievable after swap"
+        );
+    }
+}
+
+#[test]
+fn paper_fig4_sum_rate_values_are_locked() {
+    // Regression lock on the reproduced Fig. 4 optima (bits/use). These are
+    // *our* computed values, recorded in EXPERIMENTS.md; the test guards
+    // against silent regressions of the bound formulas.
+    let net = fig4(10.0);
+    let expect = [
+        (Protocol::DirectTransmission, 1.5827),
+        (Protocol::Mabc, 3.3053),
+        (Protocol::Tdbc, 3.0570),
+        (Protocol::Hbc, 3.3313),
+    ];
+    for (proto, val) in expect {
+        let sr = net.max_sum_rate(proto).unwrap().sum_rate;
+        assert!(
+            (sr - val).abs() < 5e-4,
+            "{proto}: {sr:.4} drifted from locked value {val}"
+        );
+    }
+}

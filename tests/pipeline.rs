@@ -1,0 +1,101 @@
+//! End-to-end pipeline tests: the stochastic simulators against the
+//! analytic machinery they are supposed to validate.
+
+use bcc::channel::fading::FadingModel;
+use bcc::channel::ChannelState;
+use bcc::core::gaussian::GaussianNetwork;
+use bcc::core::protocol::Protocol;
+use bcc::num::quadrature::ergodic_rayleigh_capacity;
+use bcc::sim::ergodic::ergodic_sum_rate;
+use bcc::sim::outage::OutageProfile;
+use bcc::sim::packet::{simulate_exchange, ErasureNetwork, RelayScheme};
+use bcc::sim::symbol::{run_mabc_exchange, SymbolSimConfig};
+use bcc::sim::McConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fig4(p_db: f64) -> GaussianNetwork {
+    GaussianNetwork::new(
+        10f64.powf(p_db / 10.0),
+        ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795),
+    )
+}
+
+#[test]
+fn ergodic_dt_agrees_with_quadrature() {
+    let net = fig4(10.0);
+    let est = ergodic_sum_rate(
+        &net,
+        Protocol::DirectTransmission,
+        FadingModel::Rayleigh,
+        &McConfig::new(30_000, 1),
+    );
+    let exact = ergodic_rayleigh_capacity(net.power() * net.state().gab());
+    assert!(
+        est.confidence(0.999).contains(exact),
+        "MC {} vs quadrature {exact}",
+        est.mean()
+    );
+}
+
+#[test]
+fn packet_throughput_below_bound_and_beats_forwarding() {
+    let net = ErasureNetwork::new(0.3, 0.8, 0.6);
+    let bound = net.xor_relay_bound();
+    let mut rng = StdRng::seed_from_u64(100);
+    let xor = simulate_exchange(&net, RelayScheme::XorNetworkCoding, 5000, &mut rng);
+    let mut rng = StdRng::seed_from_u64(100);
+    let fwd = simulate_exchange(&net, RelayScheme::PlainForwarding, 5000, &mut rng);
+    assert!(xor.sum_throughput <= bound + 1e-12);
+    assert!(xor.sum_throughput > fwd.sum_throughput);
+    // The stop-and-wait scheme with these link qualities lands in a known
+    // band below the bound.
+    assert!(xor.sum_throughput > 0.85 * bound, "{} vs {bound}", xor.sum_throughput);
+}
+
+#[test]
+fn symbol_level_waterfall_is_monotone() {
+    let mut last = f64::INFINITY;
+    for p_db in [0.0, 5.0, 10.0] {
+        let cfg = SymbolSimConfig {
+            power: 10f64.powf(p_db / 10.0),
+            state: ChannelState::new(0.2, 1.0, 1.0),
+        };
+        let mut rng = StdRng::seed_from_u64(55);
+        let r = run_mabc_exchange(&cfg, 1200, &mut rng);
+        assert!(
+            r.error_rate() <= last + 0.02,
+            "error rate rose with SNR at {p_db} dB"
+        );
+        last = r.error_rate();
+    }
+    assert!(last < 0.01, "high-SNR exchange should be near error-free: {last}");
+}
+
+#[test]
+fn outage_rates_ordered_by_quantile() {
+    let profile = OutageProfile::estimate(
+        &fig4(10.0),
+        Protocol::Hbc,
+        FadingModel::Rayleigh,
+        &McConfig::new(2000, 9),
+    );
+    let r05 = profile.outage_rate(0.05);
+    let r10 = profile.outage_rate(0.10);
+    let r50 = profile.outage_rate(0.50);
+    assert!(r05 <= r10 && r10 <= r50, "quantiles must be monotone: {r05} {r10} {r50}");
+    // The ergodic mean sits between the median and the no-fading optimum.
+    let exact = fig4(10.0).max_sum_rate(Protocol::Hbc).unwrap().sum_rate;
+    assert!(r50 < exact);
+}
+
+#[test]
+fn ergodic_ordering_matches_deterministic_ordering_at_high_snr() {
+    // At 20 dB the deterministic ordering is TDBC > MABC; the fading
+    // average preserves it (checked with shared fade streams).
+    let net = fig4(20.0);
+    let cfg = McConfig::new(3000, 31);
+    let tdbc = ergodic_sum_rate(&net, Protocol::Tdbc, FadingModel::Rayleigh, &cfg);
+    let mabc = ergodic_sum_rate(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg);
+    assert!(tdbc.mean() > mabc.mean());
+}

@@ -1,0 +1,96 @@
+//! Property-based integration tests: structural invariants of the bounds
+//! over random channel states and powers.
+
+use bcc::core::gaussian::GaussianNetwork;
+use bcc::core::protocol::{Bound, Protocol};
+use bcc::num::Db;
+use proptest::prelude::*;
+
+fn random_network() -> impl Strategy<Value = GaussianNetwork> {
+    // Powers -10..20 dB, gains -15..15 dB.
+    (
+        -10.0f64..20.0,
+        -15.0f64..15.0,
+        -15.0f64..15.0,
+        -15.0f64..15.0,
+    )
+        .prop_map(|(p, gab, gar, gbr)| {
+            GaussianNetwork::from_db(Db::new(p), Db::new(gab), Db::new(gar), Db::new(gbr))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hbc_dominates_special_cases(net in random_network()) {
+        let hbc = net.max_sum_rate(Protocol::Hbc).unwrap().sum_rate;
+        let mabc = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        let tdbc = net.max_sum_rate(Protocol::Tdbc).unwrap().sum_rate;
+        prop_assert!(hbc >= mabc - 1e-7, "HBC {hbc} < MABC {mabc}");
+        prop_assert!(hbc >= tdbc - 1e-7, "HBC {hbc} < TDBC {tdbc}");
+    }
+
+    #[test]
+    fn tdbc_dominates_dt_in_the_interesting_case(net in random_network()) {
+        // Only guaranteed when both relay links are at least as strong as
+        // the direct link (the decode-and-forward relay otherwise becomes
+        // the bottleneck — see tests/paper_claims.rs).
+        prop_assume!(net.state().relay_advantaged());
+        let tdbc = net.max_sum_rate(Protocol::Tdbc).unwrap().sum_rate;
+        let dt = net.max_sum_rate(Protocol::DirectTransmission).unwrap().sum_rate;
+        prop_assert!(tdbc >= dt - 1e-7);
+    }
+
+    #[test]
+    fn sum_rate_monotone_in_power(net in random_network(), boost in 0.1f64..10.0) {
+        let bigger = net.with_power(net.power() * (1.0 + boost));
+        for proto in Protocol::ALL {
+            let lo = net.max_sum_rate(proto).unwrap().sum_rate;
+            let hi = bigger.max_sum_rate(proto).unwrap().sum_rate;
+            prop_assert!(hi >= lo - 1e-7, "{proto}: power up, rate down ({lo} -> {hi})");
+        }
+    }
+
+    #[test]
+    fn optimum_point_is_in_region(net in random_network()) {
+        for proto in Protocol::ALL {
+            let sol = net.max_sum_rate(proto).unwrap();
+            let region = net.region(proto, Bound::Inner);
+            // Slightly shrunk to absorb LP tolerance.
+            prop_assert!(
+                region.contains((sol.ra - 1e-6).max(0.0), (sol.rb - 1e-6).max(0.0)),
+                "{proto}: optimal point outside its own region"
+            );
+        }
+    }
+
+    #[test]
+    fn terminal_swap_symmetry(net in random_network()) {
+        let swapped = GaussianNetwork::new(net.power(), net.state().swapped());
+        for proto in Protocol::ALL {
+            let a = net.max_sum_rate(proto).unwrap().sum_rate;
+            let b = swapped.max_sum_rate(proto).unwrap().sum_rate;
+            prop_assert!((a - b).abs() < 1e-7, "{proto}: {a} vs swapped {b}");
+        }
+    }
+
+    #[test]
+    fn outer_bound_sum_rate_dominates_inner(net in random_network()) {
+        for proto in [Protocol::Tdbc, Protocol::Hbc] {
+            let inner = net.region(proto, Bound::Inner).max_sum_rate().unwrap();
+            let outer = net.region(proto, Bound::Outer).max_sum_rate().unwrap();
+            prop_assert!(outer >= inner - 1e-7, "{proto}: outer {outer} < inner {inner}");
+        }
+    }
+
+    #[test]
+    fn boundary_points_achievable_and_maximal(net in random_network()) {
+        let region = net.region(Protocol::Tdbc, Bound::Inner);
+        let pts = region.boundary(8).unwrap();
+        for p in pts {
+            prop_assert!(region.contains((p.ra - 1e-6).max(0.0), (p.rb - 1e-6).max(0.0)));
+            prop_assert!(!region.contains(p.ra + 1e-3, p.rb + 1e-3));
+        }
+    }
+}

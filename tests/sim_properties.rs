@@ -1,0 +1,106 @@
+//! Deterministic (seeded) property-style integration tests of the
+//! simulators: bound compliance and ordering facts across a grid of
+//! configurations.
+
+use bcc::channel::fading::FadingModel;
+use bcc::channel::ChannelState;
+use bcc::core::gaussian::GaussianNetwork;
+use bcc::core::protocol::Protocol;
+use bcc::sim::ergodic::sum_rate_samples;
+use bcc::sim::packet::{simulate_exchange, ErasureNetwork, RelayScheme};
+use bcc::sim::McConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn packet_throughput_never_exceeds_bound_across_grid() {
+    for (i, &(q_ab, q_ar, q_br)) in [
+        (0.1, 0.9, 0.9),
+        (0.5, 0.7, 0.3),
+        (0.9, 0.4, 0.8),
+        (0.0, 0.6, 0.6),
+        (1.0, 1.0, 1.0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let net = ErasureNetwork::new(q_ab, q_ar, q_br);
+        let bound = net.xor_relay_bound();
+        for scheme in [RelayScheme::XorNetworkCoding, RelayScheme::PlainForwarding] {
+            let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+            let r = simulate_exchange(&net, scheme, 2000, &mut rng);
+            assert!(
+                r.sum_throughput <= bound + 1e-9,
+                "config {i} {scheme:?}: {} > bound {bound}",
+                r.sum_throughput
+            );
+            assert_eq!(r.pairs_delivered, 2000);
+        }
+    }
+}
+
+#[test]
+fn overhearing_never_hurts_across_grid() {
+    for (i, &(q_ab, q_ar, q_br)) in
+        [(0.2, 0.8, 0.8), (0.6, 0.5, 0.9), (0.9, 0.9, 0.3)].iter().enumerate()
+    {
+        let net = ErasureNetwork::new(q_ab, q_ar, q_br);
+        let mut rng = StdRng::seed_from_u64(2000 + i as u64);
+        let with = simulate_exchange(&net, RelayScheme::XorWithOverhearing, 3000, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2000 + i as u64);
+        let without = simulate_exchange(&net, RelayScheme::XorNetworkCoding, 3000, &mut rng);
+        // Statistically, side information can only help; allow a small
+        // stochastic slack since RNG streams diverge.
+        assert!(
+            with.sum_throughput >= without.sum_throughput - 0.015,
+            "config {i}: overhearing {} vs plain {}",
+            with.sum_throughput,
+            without.sum_throughput
+        );
+    }
+}
+
+#[test]
+fn per_fade_sum_rates_never_exceed_no_fading_envelope_scaled() {
+    // Each per-fade optimum is itself a valid optimum for the faded
+    // channel; sanity: with fades clipped at their mean (None model),
+    // every sample equals the deterministic value.
+    let net = GaussianNetwork::new(10.0, ChannelState::new(0.2, 1.0, 3.16));
+    let cfg = McConfig::new(50, 7);
+    for proto in Protocol::ALL {
+        let exact = net.max_sum_rate(proto).unwrap().sum_rate;
+        let samples = sum_rate_samples(&net, proto, FadingModel::None, &cfg);
+        for s in samples {
+            assert!((s - exact).abs() < 1e-9, "{proto}");
+        }
+    }
+}
+
+#[test]
+fn rayleigh_samples_span_above_and_below_the_mean() {
+    // Fading creates genuine spread: some fades beat the path-loss-only
+    // channel (constructive), some fall below.
+    let net = GaussianNetwork::new(10.0, ChannelState::new(0.2, 1.0, 3.16));
+    let cfg = McConfig::new(500, 11);
+    let exact = net.max_sum_rate(Protocol::Hbc).unwrap().sum_rate;
+    let samples = sum_rate_samples(&net, Protocol::Hbc, FadingModel::Rayleigh, &cfg);
+    let above = samples.iter().filter(|&&s| s > exact).count();
+    let below = samples.iter().filter(|&&s| s < exact).count();
+    assert!(above > 25, "only {above}/500 fades above the deterministic rate");
+    assert!(below > 250, "only {below}/500 fades below (Jensen skew expected)");
+}
+
+#[test]
+fn protocol_dominance_holds_per_fade_not_just_on_average() {
+    // HBC ≥ MABC and HBC ≥ TDBC for every single fade realisation
+    // (identical fade streams per trial index).
+    let net = GaussianNetwork::new(10.0, ChannelState::new(0.2, 1.0, 3.16));
+    let cfg = McConfig::new(200, 13);
+    let hbc = sum_rate_samples(&net, Protocol::Hbc, FadingModel::Rayleigh, &cfg);
+    let mabc = sum_rate_samples(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg);
+    let tdbc = sum_rate_samples(&net, Protocol::Tdbc, FadingModel::Rayleigh, &cfg);
+    for i in 0..hbc.len() {
+        assert!(hbc[i] >= mabc[i] - 1e-8, "trial {i}: HBC < MABC");
+        assert!(hbc[i] >= tdbc[i] - 1e-8, "trial {i}: HBC < TDBC");
+    }
+}
