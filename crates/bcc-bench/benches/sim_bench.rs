@@ -55,5 +55,10 @@ fn bench_fading_mc(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_packet_exchange, bench_symbol_exchange, bench_fading_mc);
+criterion_group!(
+    benches,
+    bench_packet_exchange,
+    bench_symbol_exchange,
+    bench_fading_mc
+);
 criterion_main!(benches);

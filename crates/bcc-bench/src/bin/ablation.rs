@@ -11,13 +11,11 @@
 //!   simplex grid over phase durations — accuracy and runtime of the
 //!   design choice "regions as LPs".
 
-use bcc_bench::{fig4_network, results_dir};
+use bcc_bench::{fig4_network, results_dir, FIG4_GAINS_DB};
 use bcc_core::constraint::{ConstraintSet, RateConstraint};
-use bcc_core::gaussian::GaussianNetwork;
 use bcc_core::optimizer;
-use bcc_core::protocol::{Bound, Protocol};
+use bcc_core::prelude::*;
 use bcc_info::awgn_capacity;
-use bcc_num::Db;
 use bcc_plot::{csv, Series, Table};
 use std::fs::File;
 use std::time::Instant;
@@ -28,11 +26,31 @@ fn tdbc_inner_no_side_info(power: f64, net: &GaussianNetwork) -> ConstraintSet {
     let c_ar = awgn_capacity(power * s.gar());
     let c_br = awgn_capacity(power * s.gbr());
     let mut set = ConstraintSet::new(3, "TDBC inner, side information ablated");
-    set.push(RateConstraint::new(1.0, 0.0, vec![c_ar, 0.0, 0.0], "relay decodes Wa"));
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![c_ar, 0.0, 0.0],
+        "relay decodes Wa",
+    ));
     // b must get everything from the relay broadcast.
-    set.push(RateConstraint::new(1.0, 0.0, vec![0.0, 0.0, c_br], "b decodes Wa (no side info)"));
-    set.push(RateConstraint::new(0.0, 1.0, vec![0.0, c_br, 0.0], "relay decodes Wb"));
-    set.push(RateConstraint::new(0.0, 1.0, vec![0.0, 0.0, c_ar], "a decodes Wb (no side info)"));
+    set.push(RateConstraint::new(
+        1.0,
+        0.0,
+        vec![0.0, 0.0, c_br],
+        "b decodes Wa (no side info)",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, c_br, 0.0],
+        "relay decodes Wb",
+    ));
+    set.push(RateConstraint::new(
+        0.0,
+        1.0,
+        vec![0.0, 0.0, c_ar],
+        "a decodes Wb (no side info)",
+    ));
     set
 }
 
@@ -45,10 +63,19 @@ fn ablation_side_info() {
         "SI gain [%]".into(),
     ]);
     let mut series = vec![Series::new("TDBC"), Series::new("TDBC no-SI")];
-    for p_int in (-10..=25).step_by(5) {
-        let p_db = p_int as f64;
+    // Full TDBC through the batch evaluator; the ablated bound stays a
+    // hand-built constraint set (it deletes Theorem-3 terms no scenario
+    // can express).
+    let (gab, gar, gbr) = FIG4_GAINS_DB;
+    let base = GaussianNetwork::from_db(Db::new(0.0), Db::new(gab), Db::new(gar), Db::new(gbr));
+    let sweep = Scenario::power_sweep_db(base, (-10..=25).step_by(5).map(|p| p as f64))
+        .protocols([Protocol::Tdbc])
+        .build()
+        .sweep()
+        .expect("LP");
+    for (i, &p_db) in sweep.xs.iter().enumerate() {
         let net = fig4_network(p_db);
-        let full = net.max_sum_rate(Protocol::Tdbc).expect("LP").sum_rate;
+        let full = sweep.series(Protocol::Tdbc).expect("evaluated").solutions[i].sum_rate;
         let ablated = optimizer::max_sum_rate(&tdbc_inner_no_side_info(net.power(), &net))
             .expect("LP")
             .objective;
@@ -77,14 +104,27 @@ fn ablation_asymmetry() {
         "Δ4 (bc)".into(),
         "sum rate".into(),
     ]);
-    for skew_db in [-12.0, -6.0, 0.0, 6.0, 12.0] {
-        let net = GaussianNetwork::from_db(
-            Db::new(10.0),
-            Db::new(-7.0),
-            Db::new(skew_db / 2.0),
-            Db::new(-skew_db / 2.0),
-        );
-        let sol = net.max_sum_rate(Protocol::Hbc).expect("LP");
+    let skews = [-12.0, -6.0, 0.0, 6.0, 12.0];
+    let sweep = Scenario::networks(
+        "relay-link skew [dB]",
+        skews.map(|skew_db: f64| {
+            (
+                skew_db,
+                GaussianNetwork::from_db(
+                    Db::new(10.0),
+                    Db::new(-7.0),
+                    Db::new(skew_db / 2.0),
+                    Db::new(-skew_db / 2.0),
+                ),
+            )
+        }),
+    )
+    .protocols([Protocol::Hbc])
+    .build()
+    .sweep()
+    .expect("LP");
+    for (i, &skew_db) in sweep.xs.iter().enumerate() {
+        let sol = &sweep.series(Protocol::Hbc).expect("evaluated").solutions[i];
         table.row(vec![
             format!("{skew_db}"),
             format!("{:.3}", sol.durations[0]),
@@ -102,7 +142,14 @@ fn grid_sum_rate(set: &ConstraintSet, steps: usize) -> f64 {
     let l = set.num_phases();
     let mut best: f64 = 0.0;
     // Enumerate compositions of `steps` into l parts.
-    fn rec(set: &ConstraintSet, remaining: usize, parts: &mut Vec<usize>, l: usize, steps: usize, best: &mut f64) {
+    fn rec(
+        set: &ConstraintSet,
+        remaining: usize,
+        parts: &mut Vec<usize>,
+        l: usize,
+        steps: usize,
+        best: &mut f64,
+    ) {
         if parts.len() == l - 1 {
             parts.push(remaining);
             let durations: Vec<f64> = parts.iter().map(|&p| p as f64 / steps as f64).collect();
@@ -158,7 +205,10 @@ fn ablation_lp_vs_grid() {
         let t1 = Instant::now();
         let fine = grid_sum_rate(set, 24);
         let grid_time = t1.elapsed();
-        assert!(exact >= coarse - 1e-9 && exact >= fine - 1e-9, "grid beat the LP?!");
+        assert!(
+            exact >= coarse - 1e-9 && exact >= fine - 1e-9,
+            "grid beat the LP?!"
+        );
         table.row(vec![
             proto.name().into(),
             format!("{exact:.5}"),
@@ -183,11 +233,7 @@ fn baselines() {
         "coded/naive".into(),
         "DF/AF".into(),
     ]);
-    let mut series = vec![
-        Series::new("naive"),
-        Series::new("AF"),
-        Series::new("MABC"),
-    ];
+    let mut series = vec![Series::new("naive"), Series::new("AF"), Series::new("MABC")];
     for p_int in (-10..=25).step_by(5) {
         let p_db = p_int as f64;
         let net = fig4_network(p_db);

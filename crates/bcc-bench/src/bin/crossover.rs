@@ -1,24 +1,26 @@
 //! E-X1 — the paper's low-vs-high SNR protocol reversal.
 //!
-//! Sweeps the transmit power at the Fig. 4 gains and reports each
+//! Runs one power-sweep `Scenario` at the Fig. 4 gains and reports each
 //! protocol's optimal sum rate, then locates the exact MABC/TDBC crossover
 //! power by bisection and the band where HBC is *strictly* better than
 //! both special cases (the paper's Fig. 3 observation that HBC "does not
 //! reduce to either protocol in general").
 
-use bcc_bench::{fig4_network, results_dir};
-use bcc_core::comparison::{sum_rate_crossover_db, SumRateComparison};
-use bcc_core::protocol::Protocol;
+use bcc_bench::{fig4_network, results_dir, sweep_series};
+use bcc_core::comparison::sum_rate_crossover_db;
+use bcc_core::prelude::*;
 use bcc_plot::{csv, Series, Table};
 use std::fs::File;
 
 fn main() {
     let net = fig4_network(0.0);
 
-    let mut series: Vec<Series> = Protocol::ALL
-        .iter()
-        .map(|p| Series::new(p.name()))
-        .collect();
+    let sweep = Scenario::power_sweep_db(net, (-10..=25).map(f64::from))
+        .build()
+        .sweep()
+        .expect("LP solvable");
+
+    let mut series = sweep_series(&sweep);
     let mut best = Series::new("best");
     let mut table = Table::new(vec![
         "P [dB]".into(),
@@ -28,27 +30,20 @@ fn main() {
         "HBC".into(),
         "winner".into(),
     ]);
-    let mut hbc_strict_band: Vec<f64> = Vec::new();
-    for p_int in -10..=25 {
-        let p_db = p_int as f64;
-        let n = net.with_power_db(bcc_num::Db::new(p_db));
-        let cmp = SumRateComparison::evaluate(&n).expect("LP solvable");
+    for (i, &p_db) in sweep.xs.iter().enumerate() {
         let mut row = vec![format!("{p_db}")];
-        for (i, proto) in Protocol::ALL.iter().enumerate() {
-            let sr = cmp.get(*proto).sum_rate;
-            series[i].push(p_db, sr);
-            row.push(format!("{sr:.4}"));
+        for proto in Protocol::ALL {
+            row.push(format!(
+                "{:.4}",
+                sweep.series(proto).expect("all protocols").solutions[i].sum_rate
+            ));
         }
-        let hbc = cmp.get(Protocol::Hbc).sum_rate;
-        let mabc = cmp.get(Protocol::Mabc).sum_rate;
-        let tdbc = cmp.get(Protocol::Tdbc).sum_rate;
-        if hbc > mabc.max(tdbc) + 1e-6 {
-            hbc_strict_band.push(p_db);
-        }
-        best.push(p_db, cmp.best().sum_rate);
-        row.push(cmp.best().protocol.name().to_string());
+        let winner = sweep.winner(i);
+        best.push(p_db, sweep.series(winner).unwrap().solutions[i].sum_rate);
+        row.push(winner.name().to_string());
         table.row(row);
     }
+    series.push(best);
     println!("== E-X1: optimal sum rates vs transmit power (Fig. 4 gains) ==");
     println!("{}", table.render());
 
@@ -58,6 +53,7 @@ fn main() {
         Some(p) => println!("MABC/TDBC sum-rate crossover at P = {:.3} dB", p.value()),
         None => println!("no MABC/TDBC crossover in [-10, 25] dB"),
     }
+    let hbc_strict_band = sweep.strict_wins(Protocol::Hbc, 1e-6);
     if let (Some(lo), Some(hi)) = (hbc_strict_band.first(), hbc_strict_band.last()) {
         println!(
             "HBC strictly beats both special cases for P ∈ [{lo}, {hi}] dB \

@@ -8,104 +8,86 @@
 //! * **Sweep B (relay position)** — relay at `d ∈ (0, 1)` on the a–b line
 //!   with path-loss exponent γ = 3 (G_ab normalised to 0 dB).
 //!
-//! Shape claims checked here (and recorded in EXPERIMENTS.md):
-//! HBC ≥ max(MABC, TDBC) everywhere, strictly greater somewhere; DT is the
-//! floor once the relay links are stronger than the direct link.
+//! Both sweeps run through the batch `Scenario` evaluator — the same code
+//! path the test-suite pins down. Shape claims checked here (and recorded
+//! in EXPERIMENTS.md): HBC ≥ max(MABC, TDBC) everywhere, strictly greater
+//! somewhere; DT is the floor once the relay links are stronger than the
+//! direct link.
 
-use bcc_bench::{fig3_symmetric_network, results_dir, FIG3_POWER_DB};
-use bcc_channel::topology::LineNetwork;
-use bcc_core::gaussian::GaussianNetwork;
-use bcc_core::protocol::Protocol;
-use bcc_num::Db;
+use bcc_bench::{sweep_series, FIG3_GAB_DB, FIG3_POWER_DB};
+use bcc_core::prelude::*;
 use bcc_plot::{csv, Chart, Series, Table};
 use std::fs::File;
 
-fn sweep(
-    label: &str,
-    x_name: &str,
-    xs: &[f64],
-    net_of: impl Fn(f64) -> GaussianNetwork,
-) -> Vec<Series> {
-    let mut series: Vec<Series> = Protocol::ALL
-        .iter()
-        .map(|p| Series::new(p.name()))
-        .collect();
+fn report(label: &str, sweep: &SweepResult) -> Vec<Series> {
+    let series = sweep_series(sweep);
     let mut table = Table::new(
-        std::iter::once(x_name.to_string())
+        std::iter::once(sweep.x_name.clone())
             .chain(Protocol::ALL.iter().map(|p| p.name().to_string()))
             .collect(),
     );
-    for &x in xs {
-        let net = net_of(x);
+    for (i, &x) in sweep.xs.iter().enumerate() {
         let mut row = vec![format!("{x:.2}")];
-        for (i, proto) in Protocol::ALL.iter().enumerate() {
-            let sr = net
-                .max_sum_rate(*proto)
-                .expect("sum-rate LP solvable")
-                .sum_rate;
-            series[i].push(x, sr);
-            row.push(format!("{sr:.4}"));
+        for proto in Protocol::ALL {
+            row.push(format!(
+                "{:.4}",
+                sweep.series(proto).expect("all protocols").solutions[i].sum_rate
+            ));
         }
         table.row(row);
     }
     println!("== Fig. 3 {label} ==");
     println!("{}", table.render());
-    println!(
-        "{}",
-        Chart::new(64, 18)
-            .title(format!("Fig. 3 {label}: optimal sum rate (P = {FIG3_POWER_DB} dB)"))
-            .x_label(x_name)
-            .y_label("sum rate [bits/use]")
-            .add(series[0].clone())
-            .add(series[1].clone())
-            .add(series[2].clone())
-            .add(series[3].clone())
-            .render()
-    );
+    let mut chart = Chart::new(64, 18)
+        .title(format!(
+            "Fig. 3 {label}: optimal sum rate (P = {FIG3_POWER_DB} dB)"
+        ))
+        .x_label(&sweep.x_name)
+        .y_label("sum rate [bits/use]");
+    for s in &series {
+        chart = chart.add(s.clone());
+    }
+    println!("{}", chart.render());
     series
 }
 
-fn check_shape(series: &[Series]) {
-    // Order matches Protocol::ALL: DT, MABC, TDBC, HBC.
-    let (mabc, tdbc, hbc) = (&series[1], &series[2], &series[3]);
-    let mut strictly_better = 0usize;
-    for i in 0..hbc.len() {
-        let h = hbc.points[i].1;
-        let m = mabc.points[i].1;
-        let t = tdbc.points[i].1;
+fn check_shape(sweep: &SweepResult) {
+    let strictly_better = sweep.strict_wins(Protocol::Hbc, 1e-6).len();
+    for i in 0..sweep.len() {
+        let h = sweep.series(Protocol::Hbc).unwrap().solutions[i].sum_rate;
+        let m = sweep.series(Protocol::Mabc).unwrap().solutions[i].sum_rate;
+        let t = sweep.series(Protocol::Tdbc).unwrap().solutions[i].sum_rate;
         assert!(h >= m - 1e-8 && h >= t - 1e-8, "HBC dominated at index {i}");
-        if h > m.max(t) + 1e-6 {
-            strictly_better += 1;
-        }
     }
     println!(
         "shape check: HBC >= max(MABC,TDBC) at all {} points; strictly greater at {}\n",
-        hbc.len(),
+        sweep.len(),
         strictly_better
     );
 }
 
 fn main() {
     // ---- Sweep A: symmetric relay gains (E-F3a).
-    let xs_a: Vec<f64> = (0..=30).map(|g| g as f64).collect();
-    let series_a = sweep("sweep A (G_ar = G_br)", "relay gain [dB]", &xs_a, |g| {
-        fig3_symmetric_network(g)
-    });
-    check_shape(&series_a);
-    let f = File::create(results_dir().join("fig3_symmetric.csv")).expect("create csv");
+    let sweep_a =
+        Scenario::symmetric_gain_sweep_db(FIG3_POWER_DB, FIG3_GAB_DB, (0..=30).map(f64::from))
+            .build()
+            .sweep()
+            .expect("sum-rate LPs solvable");
+    let series_a = report("sweep A (G_ar = G_br)", &sweep_a);
+    check_shape(&sweep_a);
+    let f = File::create(bcc_bench::results_dir().join("fig3_symmetric.csv")).expect("create csv");
     csv::write_series(f, "relay_gain_db", &series_a).expect("write csv");
 
     // ---- Sweep B: relay position on the a-b line (E-F3b).
-    let xs_b: Vec<f64> = (1..=19).map(|i| i as f64 / 20.0).collect();
-    let series_b = sweep("sweep B (relay position, γ = 3)", "relay position d", &xs_b, |d| {
-        GaussianNetwork::new(
-            Db::new(FIG3_POWER_DB).to_linear(),
-            LineNetwork::new(d, 3.0).channel_state(),
-        )
-    });
-    check_shape(&series_b);
-    let f = File::create(results_dir().join("fig3_position.csv")).expect("create csv");
+    let sweep_b =
+        Scenario::relay_position_sweep(FIG3_POWER_DB, 3.0, (1..=19).map(|i| i as f64 / 20.0))
+            .build()
+            .sweep()
+            .expect("sum-rate LPs solvable");
+    let series_b = report("sweep B (relay position, γ = 3)", &sweep_b);
+    check_shape(&sweep_b);
+    let f = File::create(bcc_bench::results_dir().join("fig3_position.csv")).expect("create csv");
     csv::write_series(f, "relay_position", &series_b).expect("write csv");
 
-    println!("CSV written to {}", results_dir().display());
+    println!("CSV written to {}", bcc_bench::results_dir().display());
 }

@@ -2,7 +2,9 @@
 //! outer bounds at P = 0 dB (top panel) and P = 10 dB (bottom panel),
 //! gains `G_ab = −7 dB, G_ar = 0 dB, G_br = 5 dB`.
 //!
-//! Regions traced (each as an `R_b → max R_a` boundary):
+//! Each panel is one single-point `Scenario` whose evaluator traces every
+//! protocol's bounds (capacity protocols once, open protocols inner +
+//! outer):
 //!
 //! * DT capacity, MABC capacity (Theorem 2 — inner = outer),
 //! * TDBC achievable (Theorem 3) and TDBC outer (Theorem 4),
@@ -16,40 +18,40 @@
 
 use bcc_bench::{fig4_network, results_dir, FIG4_POWERS_DB};
 use bcc_core::comparison::hbc_outside_competitor_outer_bounds;
-use bcc_core::protocol::{Bound, Protocol};
-use bcc_core::region::RateRegion;
+use bcc_core::prelude::*;
 use bcc_plot::{csv, Chart, Series};
 use std::fs::File;
 
 const BOUNDARY_POINTS: usize = 48;
 
-fn boundary_series(region: &RateRegion, name: &str) -> Series {
-    let pts = region.boundary(BOUNDARY_POINTS).expect("boundary trace");
-    // Fig. 4 plots Ra on x and Rb on y.
-    Series::from_points(name, pts.into_iter().map(|p| (p.ra, p.rb)).collect())
+fn trace_label(t: &RegionTrace) -> String {
+    if t.is_capacity {
+        format!("{} capacity", t.protocol.name())
+    } else if t.protocol == Protocol::Hbc && t.bound == Bound::Outer {
+        "HBC outer (Gaussian-restricted)".to_string()
+    } else {
+        format!("{} {}", t.protocol.name(), t.bound)
+    }
 }
 
 fn panel(p_db: f64) -> Vec<Series> {
     let net = fig4_network(p_db);
-    println!(
-        "== Fig. 4 panel: P = {p_db} dB ({}) ==",
-        net.state()
-    );
-    let mut series = vec![
-        boundary_series(
-            &net.region(Protocol::DirectTransmission, Bound::Inner),
-            "DT capacity",
-        ),
-        boundary_series(&net.region(Protocol::Mabc, Bound::Inner), "MABC capacity"),
-        boundary_series(&net.region(Protocol::Tdbc, Bound::Inner), "TDBC inner"),
-        boundary_series(&net.region(Protocol::Tdbc, Bound::Outer), "TDBC outer"),
-        boundary_series(&net.region(Protocol::Hbc, Bound::Inner), "HBC inner"),
-    ];
-    // The Gaussian-restricted Thm-6 family (union over rho).
-    series.push(boundary_series(
-        &net.region(Protocol::Hbc, Bound::Outer),
-        "HBC outer (Gaussian-restricted)",
-    ));
+    println!("== Fig. 4 panel: P = {p_db} dB ({}) ==", net.state());
+    let regions = Scenario::at(net)
+        .build()
+        .regions(BOUNDARY_POINTS)
+        .expect("boundary trace");
+    let series: Vec<Series> = regions[0]
+        .traces
+        .iter()
+        .map(|t| {
+            // Fig. 4 plots Ra on x and Rb on y.
+            Series::from_points(
+                trace_label(t),
+                t.boundary.iter().map(|p| (p.ra, p.rb)).collect(),
+            )
+        })
+        .collect();
 
     let mut chart = Chart::new(64, 20)
         .title(format!("Fig. 4: rate regions at P = {p_db} dB"))
@@ -75,10 +77,8 @@ fn panel(p_db: f64) -> Vec<Series> {
 fn main() {
     for p_db in FIG4_POWERS_DB {
         let series = panel(p_db);
-        let f = File::create(
-            results_dir().join(format!("fig4_regions_p{}db.csv", p_db as i64)),
-        )
-        .expect("create csv");
+        let f = File::create(results_dir().join(format!("fig4_regions_p{}db.csv", p_db as i64)))
+            .expect("create csv");
         // Region boundaries do not share an x-grid; store as (name, ra, rb)
         // triples instead.
         let mut rows = vec![vec![
@@ -98,8 +98,7 @@ fn main() {
     println!("== E-X2: HBC achievable points vs MABC/TDBC outer bounds ==");
     for p_db in [0.0, 10.0] {
         let net = fig4_network(p_db);
-        let violations =
-            hbc_outside_competitor_outer_bounds(&net, 64).expect("violation scan");
+        let violations = hbc_outside_competitor_outer_bounds(&net, 64).expect("violation scan");
         let mabc = violations
             .iter()
             .filter(|v| v.victim == Protocol::Mabc)
@@ -112,7 +111,10 @@ fn main() {
             "P = {p_db:>4} dB: {mabc} boundary points outside MABC outer, {tdbc} outside TDBC outer"
         );
         if let Some(v) = violations.first() {
-            println!("  example witness: {} outside {} outer bound", v.witness, v.victim);
+            println!(
+                "  example witness: {} outside {} outer bound",
+                v.witness, v.victim
+            );
         }
     }
     println!("\nCSV written to {}", results_dir().display());

@@ -2,16 +2,14 @@
 //!
 //! Sweeps relay position × transmit power and records the sum-rate-optimal
 //! protocol at each grid point, rendering a categorical "phase diagram" of
-//! the design space. The paper's individual observations (MABC near the
-//! terminals / at low SNR, TDBC mid-span / at high SNR, an HBC wedge in
-//! between) appear as regions of this single map.
+//! the design space. Each power row is one relay-position `Scenario`; the
+//! batched evaluator supplies every per-point comparison. The paper's
+//! individual observations (MABC near the terminals / at low SNR, TDBC
+//! mid-span / at high SNR, an HBC wedge in between) appear as regions of
+//! this single map.
 
 use bcc_bench::results_dir;
-use bcc_channel::topology::LineNetwork;
-use bcc_core::comparison::SumRateComparison;
-use bcc_core::gaussian::GaussianNetwork;
-use bcc_core::protocol::Protocol;
-use bcc_num::Db;
+use bcc_core::prelude::*;
 use bcc_plot::{csv, CategoryMap};
 use std::fs::File;
 
@@ -29,20 +27,19 @@ fn main() {
     ]];
     let mut hbc_strict_cells = 0usize;
     for r in 0..rows {
-        for c in 0..cols {
-            let d = map.x_of(c);
-            let p_db = map.y_of(r);
-            let net = GaussianNetwork::new(
-                Db::new(p_db).to_linear(),
-                LineNetwork::new(d, gamma).channel_state(),
-            );
-            let cmp = SumRateComparison::evaluate(&net).expect("LP solvable");
-            let best = cmp.best();
+        let p_db = map.y_of(r);
+        let positions: Vec<f64> = (0..cols).map(|c| map.x_of(c)).collect();
+        let comparisons = Scenario::relay_position_sweep(p_db, gamma, positions)
+            .build()
+            .comparisons()
+            .expect("LP solvable");
+        for (c, cmp) in comparisons.iter().enumerate() {
+            let best = cmp.best().expect("finite optimum");
             // Label HBC specially when it is *strictly* better than both
             // of its special cases (beyond LP tolerance).
-            let mabc = cmp.get(Protocol::Mabc).sum_rate;
-            let tdbc = cmp.get(Protocol::Tdbc).sum_rate;
-            let hbc = cmp.get(Protocol::Hbc).sum_rate;
+            let mabc = cmp.get(Protocol::Mabc).unwrap().sum_rate;
+            let tdbc = cmp.get(Protocol::Tdbc).unwrap().sum_rate;
+            let hbc = cmp.get(Protocol::Hbc).unwrap().sum_rate;
             let strict = hbc > mabc.max(tdbc) + 1e-6;
             let label = if strict {
                 hbc_strict_cells += 1;
@@ -58,7 +55,7 @@ fn main() {
                 best.protocol.name().to_string()
             };
             rows_csv.push(vec![
-                format!("{d:.3}"),
+                format!("{:.3}", cmp.x),
                 format!("{p_db:.2}"),
                 label.clone(),
                 format!("{:.5}", best.sum_rate),

@@ -10,13 +10,12 @@
 //! * **Symbol level**: the end-to-end Hamming-coded MABC exchange BER
 //!   waterfall (Theorem 2's achievability made literal).
 
-use bcc_bench::{fig4_network, results_dir};
+use bcc_bench::{fig4_network, results_dir, FIG4_GAINS_DB};
 use bcc_channel::fading::FadingModel;
-use bcc_core::protocol::Protocol;
+use bcc_core::prelude::*;
 use bcc_num::quadrature::ergodic_rayleigh_capacity;
 use bcc_plot::{csv, Series, Table};
 use bcc_sim::ergodic::ergodic_sum_rate;
-use bcc_sim::outage::OutageProfile;
 use bcc_sim::packet::{simulate_exchange, ErasureNetwork, RelayScheme};
 use bcc_sim::symbol::{run_mabc_exchange, SymbolSimConfig, SymbolSimResult};
 use bcc_sim::McConfig;
@@ -58,7 +57,15 @@ fn validate_packets() {
 
 fn validate_fading() {
     println!("== E-V2: Rayleigh ergodic and 10%-outage sum rates (Fig. 4 gains) ==");
-    let cfg = McConfig::new(5000, 777);
+    // One scenario covers the whole study: the deterministic envelope via
+    // the sweep, the fading quantities via the attached Rayleigh study.
+    let (gab, gar, gbr) = FIG4_GAINS_DB;
+    let base = GaussianNetwork::from_db(Db::new(0.0), Db::new(gab), Db::new(gar), Db::new(gbr));
+    let mut evaluator = Scenario::power_sweep_db(base, [0.0, 10.0, 20.0])
+        .rayleigh(5000, 777)
+        .build();
+    let envelope = evaluator.sweep().expect("LP solvable");
+    let fading = evaluator.outage().expect("LP solvable");
     let mut table = Table::new(vec![
         "P [dB]".into(),
         "protocol".into(),
@@ -70,27 +77,31 @@ fn validate_fading() {
         .iter()
         .map(|p| Series::new(format!("{} ergodic", p.name())))
         .collect();
-    for p_db in [0.0, 10.0, 20.0] {
-        let net = fig4_network(p_db);
-        for (i, proto) in Protocol::ALL.iter().enumerate() {
-            let erg = ergodic_sum_rate(&net, *proto, FadingModel::Rayleigh, &cfg);
-            let out = OutageProfile::estimate(&net, *proto, FadingModel::Rayleigh, &cfg);
-            let exact = net.max_sum_rate(*proto).expect("LP").sum_rate;
-            series[i].push(p_db, erg.mean());
+    for (j, &p_db) in envelope.xs.iter().enumerate() {
+        for (i, &proto) in Protocol::ALL.iter().enumerate() {
+            let erg = fading.ergodic_series(proto)[j].1;
+            let exact = envelope.series(proto).expect("evaluated").solutions[j].sum_rate;
+            series[i].push(p_db, erg);
             table.row(vec![
                 format!("{p_db}"),
                 proto.name().into(),
-                format!("{:.4}", erg.mean()),
-                format!("{:.4}", out.outage_rate(0.1)),
+                format!("{erg:.4}"),
+                format!("{:.4}", fading.outage_rate(proto, j, 0.1)),
                 format!("{exact:.4}"),
             ]);
         }
     }
     println!("{}", table.render());
+    let cfg = McConfig::new(5000, 777);
 
     // Quadrature cross-check for DT.
     let net = fig4_network(10.0);
-    let mc = ergodic_sum_rate(&net, Protocol::DirectTransmission, FadingModel::Rayleigh, &cfg);
+    let mc = ergodic_sum_rate(
+        &net,
+        Protocol::DirectTransmission,
+        FadingModel::Rayleigh,
+        &cfg,
+    );
     let exact = ergodic_rayleigh_capacity(net.power() * net.state().gab());
     println!(
         "DT ergodic cross-check @ P = 10 dB: MC {:.4} vs Gauss-Laguerre {:.4} (|Δ| = {:.4})\n",

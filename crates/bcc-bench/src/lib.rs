@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::scenario::SweepResult;
 use bcc_num::Db;
+use bcc_plot::Series;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -47,6 +49,17 @@ pub fn fig3_symmetric_network(g_db: f64) -> GaussianNetwork {
         Db::new(g_db),
         Db::new(g_db),
     )
+}
+
+/// Converts a batch [`SweepResult`] into one plottable [`Series`] per
+/// evaluated protocol (in evaluation order) — the bridge between
+/// `bcc-core`'s typed results and `bcc-plot`'s chart/CSV writers.
+pub fn sweep_series(sweep: &SweepResult) -> Vec<Series> {
+    sweep
+        .protocols()
+        .iter()
+        .map(|&p| Series::from_points(p.name(), sweep.series_points(p)))
+        .collect()
 }
 
 /// Directory where binaries drop CSV artifacts (`results/` at the
@@ -82,7 +95,10 @@ mod tests {
         assert!((s.gab() - Db::new(-7.0).to_linear()).abs() < 1e-12);
         assert!((s.gar() - 1.0).abs() < 1e-12);
         assert!((s.gbr() - Db::new(5.0).to_linear()).abs() < 1e-12);
-        assert!(s.relay_advantaged(), "Fig. 4 must be in the interesting case");
+        assert!(
+            s.relay_advantaged(),
+            "Fig. 4 must be in the interesting case"
+        );
     }
 
     #[test]
@@ -107,5 +123,20 @@ mod tests {
         let d = results_dir();
         assert!(d.ends_with("results"));
         assert!(d.exists());
+    }
+
+    #[test]
+    fn sweep_series_mirrors_sweep_result() {
+        use bcc_core::scenario::Scenario;
+        let sweep = Scenario::power_sweep_db(fig4_network(0.0), [0.0, 10.0])
+            .build()
+            .sweep()
+            .unwrap();
+        let series = sweep_series(&sweep);
+        assert_eq!(series.len(), Protocol::ALL.len());
+        for (s, p) in series.iter().zip(Protocol::ALL) {
+            assert_eq!(s.name, p.name());
+            assert_eq!(s.points, sweep.series_points(p));
+        }
     }
 }

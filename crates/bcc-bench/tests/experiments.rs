@@ -1,24 +1,25 @@
 //! Tests of the experiment harness itself: the binaries' inner loops
-//! (shared through `bcc-bench`'s lib and `bcc-core::sweep`) must keep
-//! producing the recorded EXPERIMENTS.md shapes.
+//! (shared through `bcc-bench`'s lib and the `Scenario` evaluator of
+//! `bcc-core`) must keep producing the recorded EXPERIMENTS.md shapes.
 
-use bcc_bench::{fig3_symmetric_network, fig4_network, FIG4_POWERS_DB};
-use bcc_core::protocol::Protocol;
-use bcc_core::sweep::{position_sweep, power_sweep, symmetric_gain_sweep};
+use bcc_bench::{fig3_symmetric_network, fig4_network, sweep_series, FIG4_POWERS_DB};
+use bcc_core::prelude::*;
 use bcc_num::interp::crossings;
 
 #[test]
 fn fig3_sweep_a_shape() {
     // DT flat; TDBC ≥ MABC at P = 15 dB and symmetric gains (high-SNR
     // regime); HBC = max of the two everywhere on this sweep.
-    let gains: Vec<f64> = (0..=30).step_by(5).map(f64::from).collect();
-    let r = symmetric_gain_sweep(15.0, 0.0, &gains).unwrap();
-    let dt = r.series(Protocol::DirectTransmission);
+    let sweep = Scenario::symmetric_gain_sweep_db(15.0, 0.0, (0..=30).step_by(5).map(f64::from))
+        .build()
+        .sweep()
+        .unwrap();
+    let dt = sweep.series_points(Protocol::DirectTransmission);
     assert!((dt[0].1 - dt.last().unwrap().1).abs() < 1e-9);
-    for row in &r.rows {
-        let m = row.sum_rates[1];
-        let t = row.sum_rates[2];
-        let h = row.sum_rates[3];
+    for i in 0..sweep.len() {
+        let m = sweep.series(Protocol::Mabc).unwrap().solutions[i].sum_rate;
+        let t = sweep.series(Protocol::Tdbc).unwrap().solutions[i].sum_rate;
+        let h = sweep.series(Protocol::Hbc).unwrap().solutions[i].sum_rate;
         assert!(t >= m - 1e-9, "TDBC must dominate MABC at 15 dB symmetric");
         assert!((h - t.max(m)).abs() < 1e-6);
     }
@@ -26,14 +27,16 @@ fn fig3_sweep_a_shape() {
 
 #[test]
 fn fig3_sweep_b_has_mabc_tdbc_hbc_zones() {
-    let positions: Vec<f64> = (1..=19).map(|k| k as f64 / 20.0).collect();
-    let r = position_sweep(15.0, 3.0, &positions).unwrap();
-    let winners: Vec<Protocol> = r.rows.iter().map(|row| row.winner).collect();
+    let sweep = Scenario::relay_position_sweep(15.0, 3.0, (1..=19).map(|k| k as f64 / 20.0))
+        .build()
+        .sweep()
+        .unwrap();
+    let winners = sweep.winners();
     assert!(winners.contains(&Protocol::Mabc), "MABC zone missing");
     assert!(winners.contains(&Protocol::Tdbc) || winners.contains(&Protocol::Hbc));
     // HBC strictly wins somewhere (the wedge of EXPERIMENTS.md E-F3).
     assert!(
-        !r.strict_wins(Protocol::Hbc, 1e-6).is_empty(),
+        !sweep.strict_wins(Protocol::Hbc, 1e-6).is_empty(),
         "HBC strict band missing from sweep B"
     );
     // DT never wins once the relay is in play on this geometry.
@@ -44,11 +47,12 @@ fn fig3_sweep_b_has_mabc_tdbc_hbc_zones() {
 fn crossover_location_locked() {
     // EXPERIMENTS.md records the MABC/TDBC crossover at ≈ 13.7 dB; lock
     // it to ±0.5 dB via the sweep + interpolation path.
-    let net = fig4_network(0.0);
-    let grid: Vec<f64> = (-10..=25).map(f64::from).collect();
-    let r = power_sweep(&net, &grid).unwrap();
-    let mabc = r.series(Protocol::Mabc);
-    let tdbc = r.series(Protocol::Tdbc);
+    let sweep = Scenario::power_sweep_db(fig4_network(0.0), (-10..=25).map(f64::from))
+        .build()
+        .sweep()
+        .unwrap();
+    let mabc = sweep.series_points(Protocol::Mabc);
+    let tdbc = sweep.series_points(Protocol::Tdbc);
     let cross = crossings(&mabc, &tdbc);
     assert_eq!(cross.len(), 1, "exactly one crossover expected: {cross:?}");
     assert!(
@@ -62,9 +66,12 @@ fn crossover_location_locked() {
 fn fig4_panel_powers_bracket_the_crossover() {
     // The two Fig. 4 panels (0 and 10 dB) must sit on the same side or
     // below the crossover so the paper's "low SNR" panel shows MABC ahead.
-    let low = fig4_network(FIG4_POWERS_DB[0]);
-    let mabc = low.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
-    let tdbc = low.max_sum_rate(Protocol::Tdbc).unwrap().sum_rate;
+    let cmp = Scenario::at(fig4_network(FIG4_POWERS_DB[0]))
+        .build()
+        .compare()
+        .unwrap();
+    let mabc = cmp.get(Protocol::Mabc).unwrap().sum_rate;
+    let tdbc = cmp.get(Protocol::Tdbc).unwrap().sum_rate;
     assert!(mabc > tdbc);
 }
 
@@ -74,4 +81,18 @@ fn fig3_network_constructor_normalisation() {
     // All gains 0 dB → all SNRs equal the power.
     assert!((net.snr_ab() - net.snr_ar()).abs() < 1e-9);
     assert!((net.snr_ar() - net.snr_br()).abs() < 1e-9);
+}
+
+#[test]
+fn plot_bridge_round_trips_fig3_series() {
+    // The binaries plot through sweep_series(); its output must agree with
+    // the typed result it was derived from.
+    let sweep = Scenario::symmetric_gain_sweep_db(15.0, 0.0, [0.0, 15.0, 30.0])
+        .build()
+        .sweep()
+        .unwrap();
+    for s in sweep_series(&sweep) {
+        assert_eq!(s.points.len(), 3);
+        assert!(s.points.iter().all(|(_, y)| y.is_finite()));
+    }
 }

@@ -7,8 +7,8 @@
 //! [`AwgnChannel`] owns the noise power so tests can also run off-nominal
 //! noise floors.
 
-use crate::gain::LinkGain;
 use crate::fading::complex_gaussian;
+use crate::gain::LinkGain;
 use bcc_num::Complex64;
 use rand::Rng;
 
@@ -48,12 +48,7 @@ impl AwgnChannel {
 
     /// Receives one symbol from a single transmitter:
     /// `y = g·x + z`.
-    pub fn receive<R: Rng + ?Sized>(
-        &self,
-        gain: LinkGain,
-        x: Complex64,
-        rng: &mut R,
-    ) -> Complex64 {
+    pub fn receive<R: Rng + ?Sized>(&self, gain: LinkGain, x: Complex64, rng: &mut R) -> Complex64 {
         gain.apply(x) + self.sample_noise(rng)
     }
 
@@ -124,7 +119,11 @@ mod tests {
             signal.push(y.norm_sqr());
         }
         // E|y|^2 = P G + N0 = 5 + 1 = 6.
-        assert!((signal.mean() - 6.0).abs() < 0.1, "mean power {}", signal.mean());
+        assert!(
+            (signal.mean() - 6.0).abs() < 0.1,
+            "mean power {}",
+            signal.mean()
+        );
     }
 
     #[test]

@@ -21,7 +21,6 @@ use bcc_num::Db;
 /// use bcc_channel::ChannelState;
 /// use bcc_num::Db;
 ///
-
 /// // Fig. 4 of the paper: Gab = −7 dB, Gar = 0 dB, Gbr = 5 dB.
 /// let cs = ChannelState::from_db(Db::new(-7.0), Db::new(0.0), Db::new(5.0));
 /// assert!((cs.gar() - 1.0).abs() < 1e-12);

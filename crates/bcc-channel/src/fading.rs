@@ -119,11 +119,7 @@ mod tests {
     fn rician_unit_mean_power_any_k() {
         for &k in &[0.0, 1.0, 5.0, 20.0] {
             let s = power_stats(FadingModel::Rician { k }, 100_000, 7);
-            assert!(
-                (s.mean() - 1.0).abs() < 0.02,
-                "K={k}: mean {}",
-                s.mean()
-            );
+            assert!((s.mean() - 1.0).abs() < 0.02, "K={k}: mean {}", s.mean());
         }
     }
 
@@ -131,7 +127,10 @@ mod tests {
     fn rician_variance_shrinks_with_k() {
         let v0 = power_stats(FadingModel::Rician { k: 0.0 }, 50_000, 3).sample_variance();
         let v10 = power_stats(FadingModel::Rician { k: 10.0 }, 50_000, 3).sample_variance();
-        assert!(v10 < v0, "K=10 variance {v10} should be below K=0 variance {v0}");
+        assert!(
+            v10 < v0,
+            "K=10 variance {v10} should be below K=0 variance {v0}"
+        );
     }
 
     #[test]

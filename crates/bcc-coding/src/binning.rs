@@ -66,15 +66,13 @@ impl BinPartition {
     /// bin is empty. Ties resolve to the smallest index (an error event in
     /// the random-coding analysis).
     pub fn decode_with_score<F: Fn(usize) -> f64>(&self, bin: u32, score: F) -> Option<usize> {
-        self.bin_members(bin)
-            .into_iter()
-            .max_by(|&x, &y| {
-                score(x)
-                    .partial_cmp(&score(y))
-                    .expect("scores must not be NaN")
-                    // stable preference for smaller index on ties
-                    .then(y.cmp(&x))
-            })
+        self.bin_members(bin).into_iter().max_by(|&x, &y| {
+            score(x)
+                .partial_cmp(&score(y))
+                .expect("scores must not be NaN")
+                // stable preference for smaller index on ties
+                .then(y.cmp(&x))
+        })
     }
 
     /// Expected bin size `n_messages / n_bins` — the list size the side
@@ -122,9 +120,7 @@ mod tests {
         // Perfect side information: the scorer peaks at the true message.
         for truth in 0..64usize {
             let decoded = p
-                .decode_with_score(p.bin_of(truth), |w| {
-                    -((w as f64 - truth as f64).abs())
-                })
+                .decode_with_score(p.bin_of(truth), |w| -((w as f64 - truth as f64).abs()))
                 .expect("bin non-empty");
             assert_eq!(decoded, truth);
         }

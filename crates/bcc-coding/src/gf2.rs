@@ -202,11 +202,11 @@ impl BitMatrix {
         assert_eq!(b.len(), self.rows, "rhs length mismatch");
         // Augment and reduce.
         let mut aug = BitMatrix::zeros(self.rows, self.cols + 1);
-        for i in 0..self.rows {
+        for (i, &bi) in b.iter().enumerate() {
             for j in 0..self.cols {
                 aug.set(i, j, self.get(i, j));
             }
-            aug.set(i, self.cols, b[i]);
+            aug.set(i, self.cols, bi);
         }
         aug.row_reduce();
         // Check consistency and back-substitute (free variables = 0).
@@ -221,8 +221,8 @@ impl BitMatrix {
                 }
                 Some(j) => {
                     let mut v = aug.get(i, self.cols);
-                    for jj in j + 1..self.cols {
-                        v ^= aug.get(i, jj) & x[jj];
+                    for (jj, &xj) in x.iter().enumerate().skip(j + 1) {
+                        v ^= aug.get(i, jj) & xj;
                     }
                     x[j] = v;
                 }

@@ -144,7 +144,8 @@ mod tests {
     fn network_coding_saves_vs_routing() {
         // Broadcast cost is max(Ra, Rb), routing cost would be Ra + Rb.
         let g = MessageGroup::for_rates(20, 0.4, 0.3);
-        let routing_bits = (20.0 * 0.4f64).exp2().floor().log2() + (20.0 * 0.3f64).exp2().floor().log2();
+        let routing_bits =
+            (20.0 * 0.4f64).exp2().floor().log2() + (20.0 * 0.3f64).exp2().floor().log2();
         assert!(g.broadcast_bits() < routing_bits);
     }
 

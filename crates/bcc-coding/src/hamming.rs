@@ -65,13 +65,13 @@ impl Hamming74 {
     pub fn decode(&self, received: &[u8]) -> Vec<u8> {
         let syn = self.syndrome(received);
         let mut corrected = received.to_vec();
-        if syn.iter().any(|&s| s == 1) {
+        if syn.contains(&1) {
             // The syndrome equals the parity-check column of the errored
             // position; find and flip it.
-            for pos in 0..7 {
+            for (pos, bit) in corrected.iter_mut().enumerate() {
                 let col: Vec<u8> = (0..3).map(|r| self.parity.get(r, pos)).collect();
                 if col == syn {
-                    corrected[pos] ^= 1;
+                    *bit ^= 1;
                     break;
                 }
             }
@@ -91,7 +91,11 @@ mod tests {
         for m in 0..16u8 {
             let msg: Vec<u8> = (0..4).map(|i| (m >> i) & 1).collect();
             let cw = code.encode(&msg);
-            assert_eq!(code.syndrome(&cw), vec![0, 0, 0], "codeword {m} not in null space");
+            assert_eq!(
+                code.syndrome(&cw),
+                vec![0, 0, 0],
+                "codeword {m} not in null space"
+            );
         }
     }
 

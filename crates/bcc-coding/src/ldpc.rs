@@ -64,11 +64,11 @@ impl LdpcCode {
         let n = parity.cols();
         let mut check_neighbors = vec![Vec::new(); m];
         let mut bit_neighbors = vec![Vec::new(); n];
-        for r in 0..m {
-            for c in 0..n {
+        for (r, row_neighbors) in check_neighbors.iter_mut().enumerate() {
+            for (c, col_neighbors) in bit_neighbors.iter_mut().enumerate() {
                 if parity.get(r, c) == 1 {
-                    check_neighbors[r].push(c);
-                    bit_neighbors[c].push(r);
+                    row_neighbors.push(c);
+                    col_neighbors.push(r);
                 }
             }
         }
@@ -138,10 +138,12 @@ impl LdpcCode {
             }
             // If nothing crossed the majority threshold, flip the single
             // worst bit to avoid stalling.
-            if self.parity.mul_vec(&word) == self.parity.mul_vec(received)
-                && word == *received
-            {
-                if let Some(bit) = unsat.iter().enumerate().max_by_key(|(_, &u)| u).map(|(b, _)| b)
+            if self.parity.mul_vec(&word) == self.parity.mul_vec(received) && word == *received {
+                if let Some(bit) = unsat
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &u)| u)
+                    .map(|(b, _)| b)
                 {
                     word[bit] ^= 1;
                 }

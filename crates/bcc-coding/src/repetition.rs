@@ -35,7 +35,7 @@ impl RepetitionCode {
     /// Encodes a bit string by repeating each bit `n` times.
     pub fn encode(&self, bits: &[u8]) -> Vec<u8> {
         bits.iter()
-            .flat_map(|&b| std::iter::repeat(b).take(self.n))
+            .flat_map(|&b| std::iter::repeat_n(b, self.n))
             .collect()
     }
 

@@ -117,7 +117,10 @@ mod tests {
         let df = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s))
             .unwrap()
             .objective;
-        assert!(df > af * 1.2, "DF {df} should clearly beat AF {af} at low SNR");
+        assert!(
+            df > af * 1.2,
+            "DF {df} should clearly beat AF {af} at low SNR"
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
         };
         let lo = rel_gap(1.0);
         let hi = rel_gap(1000.0);
-        assert!(hi < lo, "relative DF-AF gap should shrink with SNR: {lo} -> {hi}");
+        assert!(
+            hi < lo,
+            "relative DF-AF gap should shrink with SNR: {lo} -> {hi}"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// Panics if `power < 0` or `rho ∉ [0, 1]`.
 pub fn outer_constraints_with_rho(power: f64, state: &ChannelState, rho: f64) -> ConstraintSet {
     assert!(power >= 0.0, "transmit power must be non-negative");
-    assert!((0.0..=1.0).contains(&rho), "correlation out of range: {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "correlation out of range: {rho}"
+    );
     let c_ab = awgn_capacity(power * state.gab());
     let c_ar = awgn_capacity(power * state.gar());
     let c_br = awgn_capacity(power * state.gbr());
@@ -94,8 +97,7 @@ pub fn outer_constraints_with_rho(power: f64, state: &ChannelState, rho: f64) ->
     let c_b_cut = two_receiver_capacity(power * state.gbr(), power * state.gab());
     let c_ar_rho = mac_individual_capacity_correlated(power * state.gar(), rho);
     let c_br_rho = mac_individual_capacity_correlated(power * state.gbr(), rho);
-    let c_mac_rho =
-        mac_sum_capacity_correlated(power * state.gar(), power * state.gbr(), rho);
+    let c_mac_rho = mac_sum_capacity_correlated(power * state.gar(), power * state.gbr(), rho);
 
     let mut set = ConstraintSet::new(4, format!("HBC outer (Thm 6, Gaussian, ρ={rho:.3})"));
     set.push(RateConstraint::new(

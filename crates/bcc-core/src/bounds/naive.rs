@@ -78,10 +78,7 @@ mod tests {
             let coded = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s))
                 .unwrap()
                 .objective;
-            assert!(
-                coded >= naive - 1e-9,
-                "P={p}: MABC {coded} < naive {naive}"
-            );
+            assert!(coded >= naive - 1e-9, "P={p}: MABC {coded} < naive {naive}");
         }
     }
 
@@ -105,7 +102,10 @@ mod tests {
             let c1 = awgn_capacity(2.0 * p * 2.0);
             let c2 = awgn_capacity(p * 2.0);
             let closed_form = 4.0 * c1 / (c1 + 2.0 * c2);
-            assert!((gain - closed_form).abs() < 1e-8, "P={p}: {gain} vs {closed_form}");
+            assert!(
+                (gain - closed_form).abs() < 1e-8,
+                "P={p}: {gain} vs {closed_form}"
+            );
             assert!(gain > 4.0 / 3.0 && gain < 2.0, "P={p}: gain {gain}");
             assert!(gain <= last_gain, "gain must decrease with P");
             last_gain = gain;

@@ -1,45 +1,66 @@
-//! Protocol comparison utilities: best-protocol selection, SNR crossovers
-//! and the paper's dominance claims.
+//! Protocol comparison utilities: SNR crossovers and the paper's
+//! dominance claims.
 //!
 //! Section IV observes that (i) MABC beats TDBC at low SNR while TDBC wins
 //! at high SNR (Fig. 4), and (ii) the HBC achievable region sometimes
 //! contains points **outside the outer bounds** of both MABC and TDBC.
 //! This module turns those observations into queryable functions.
+//!
+//! Point comparisons themselves now live in the batch API —
+//! [`ComparisonResult`](crate::scenario::ComparisonResult), produced by
+//! [`Scenario::at`](crate::scenario::Scenario::at) — and the legacy
+//! [`SumRateComparison`] is kept only as a deprecated shim over it.
 
 use crate::error::CoreError;
 use crate::gaussian::{GaussianNetwork, SumRateSolution};
 use crate::protocol::{Bound, Protocol};
 use crate::region::RatePoint;
+use crate::scenario::Scenario;
 use bcc_num::optim::bisect_root;
 use bcc_num::Db;
 
 /// Sum-rate comparison of all protocols at one network.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::at(net).build().compare()` (re-exported via `bcc::prelude`)"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct SumRateComparison {
     /// Per-protocol optima, in [`Protocol::ALL`] order.
     pub solutions: Vec<SumRateSolution>,
 }
 
+#[allow(deprecated)]
 impl SumRateComparison {
-    /// Evaluates every protocol at `net`.
+    /// Evaluates every protocol at `net` (through the batch evaluator, so
+    /// the shim and the new API share one code path).
     ///
     /// # Errors
     ///
     /// Propagates LP failures.
     pub fn evaluate(net: &GaussianNetwork) -> Result<Self, CoreError> {
+        let cmp = Scenario::at(*net).build().compare()?;
         let solutions = Protocol::ALL
             .iter()
-            .map(|&p| net.max_sum_rate(p))
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(|&p| cmp.get(p).expect("all protocols evaluated").clone())
+            .collect();
         Ok(SumRateComparison { solutions })
     }
 
-    /// The winning protocol and its optimum.
+    /// The winning protocol and its optimum, skipping non-finite entries
+    /// (an LP returning NaN must not crash a whole sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if *every* protocol's optimum is non-finite; prefer
+    /// [`ComparisonResult::best`](crate::scenario::ComparisonResult::best),
+    /// which returns a [`CoreError`] in that case.
     pub fn best(&self) -> &SumRateSolution {
         self.solutions
             .iter()
+            .filter(|s| s.sum_rate.is_finite())
             .max_by(|x, y| x.sum_rate.partial_cmp(&y.sum_rate).expect("finite rates"))
-            .expect("non-empty")
+            .expect("every protocol optimum was non-finite")
     }
 
     /// The solution for a specific protocol.
@@ -111,10 +132,7 @@ pub fn hbc_outside_competitor_outer_bounds(
         // Probe strictly achievable points (tiny inward shrink).
         let ra = (pt.ra - 1e-9).max(0.0);
         let rb = (pt.rb - 1e-9).max(0.0);
-        for (victim, outer) in [
-            (Protocol::Mabc, &mabc_outer),
-            (Protocol::Tdbc, &tdbc_outer),
-        ] {
+        for (victim, outer) in [(Protocol::Mabc, &mabc_outer), (Protocol::Tdbc, &tdbc_outer)] {
             if !outer.contains(ra, rb) {
                 out.push(OuterBoundViolation {
                     victim,
@@ -127,6 +145,7 @@ pub fn hbc_outside_competitor_outer_bounds(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -134,12 +153,7 @@ mod tests {
         // Fig. 4 gains: Gab = −7 dB, Gar = 0 dB, Gbr = 5 dB (the unique
         // assignment of the caption's {0, 5, −7} consistent with the
         // paper's "interesting case" Gab ≤ Gar ≤ Gbr).
-        GaussianNetwork::from_db(
-            Db::new(p_db),
-            Db::new(-7.0),
-            Db::new(0.0),
-            Db::new(5.0),
-        )
+        GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
     }
 
     #[test]
@@ -162,6 +176,23 @@ mod tests {
         for p in Protocol::ALL {
             assert_eq!(cmp.get(p).protocol, p);
         }
+    }
+
+    #[test]
+    fn best_skips_non_finite_entries() {
+        // A poisoned comparison (NaN sum rate) must not panic best(); the
+        // finite runner-up wins instead.
+        let mut cmp = SumRateComparison::evaluate(&fig4_net(10.0)).unwrap();
+        let winner = cmp.best().protocol;
+        let idx = cmp
+            .solutions
+            .iter()
+            .position(|s| s.protocol == winner)
+            .unwrap();
+        cmp.solutions[idx].sum_rate = f64::NAN;
+        let second = cmp.best();
+        assert_ne!(second.protocol, winner);
+        assert!(second.sum_rate.is_finite());
     }
 
     #[test]
@@ -193,10 +224,7 @@ mod tests {
     fn no_crossover_when_one_protocol_dominates() {
         // Symmetric strong relay links, dead direct link: TDBC can never
         // beat MABC (side information is worthless), so no sign change.
-        let net = GaussianNetwork::new(
-            1.0,
-            bcc_channel::ChannelState::new(1e-9, 10.0, 10.0),
-        );
+        let net = GaussianNetwork::new(1.0, bcc_channel::ChannelState::new(1e-9, 10.0, 10.0));
         let cross =
             sum_rate_crossover_db(&net, Protocol::Mabc, Protocol::Tdbc, -10.0, 20.0).unwrap();
         assert!(cross.is_none());
@@ -215,7 +243,11 @@ mod tests {
         let net = fig4_net(10.0);
         let hbc = net.region(Protocol::Hbc, Bound::Inner);
         for v in &violations {
-            assert!(hbc.contains(v.witness.ra, v.witness.rb), "witness {}", v.witness);
+            assert!(
+                hbc.contains(v.witness.ra, v.witness.rb),
+                "witness {}",
+                v.witness
+            );
         }
     }
 }

@@ -11,6 +11,7 @@
 //! [`ConstraintSet`] is a list of such rows plus the phase count; `bcc-lp`
 //! turns them into LP rows with decision variables `(R_a, R_b, Δ_1..Δ_L)`.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// One linear rate constraint `ra·R_a + rb·R_b ≤ Σ_ℓ Δ_ℓ·phase_coefs[ℓ]`.
@@ -24,7 +25,11 @@ pub struct RateConstraint {
     /// the protocol's phase count.
     pub phase_coefs: Vec<f64>,
     /// Human-readable provenance, e.g. `"Thm 3: relay decodes Wa (phase 1)"`.
-    pub label: String,
+    ///
+    /// Stored as a `Cow` so the (static) theorem labels cost no allocation
+    /// per constraint-set build — the sets are rebuilt at every grid point
+    /// of a batched sweep.
+    pub label: Cow<'static, str>,
 }
 
 impl RateConstraint {
@@ -34,7 +39,12 @@ impl RateConstraint {
     ///
     /// Panics if any coefficient is non-finite or negative (all the paper's
     /// information coefficients are non-negative mutual informations).
-    pub fn new(ra: f64, rb: f64, phase_coefs: Vec<f64>, label: impl Into<String>) -> Self {
+    pub fn new(
+        ra: f64,
+        rb: f64,
+        phase_coefs: Vec<f64>,
+        label: impl Into<Cow<'static, str>>,
+    ) -> Self {
         assert!(
             ra.is_finite() && rb.is_finite() && ra >= 0.0 && rb >= 0.0,
             "rate coefficients must be finite and non-negative"
@@ -101,7 +111,11 @@ impl fmt::Display for RateConstraint {
             f,
             "{} ≤ {}   [{}]",
             lhs.join(" + "),
-            if rhs.is_empty() { "0".to_string() } else { rhs.join(" + ") },
+            if rhs.is_empty() {
+                "0".to_string()
+            } else {
+                rhs.join(" + ")
+            },
             self.label
         )
     }
@@ -113,7 +127,7 @@ pub struct ConstraintSet {
     num_phases: usize,
     constraints: Vec<RateConstraint>,
     /// Descriptive name, e.g. `"MABC capacity (Thm 2)"`.
-    pub name: String,
+    pub name: Cow<'static, str>,
 }
 
 impl ConstraintSet {
@@ -122,7 +136,7 @@ impl ConstraintSet {
     /// # Panics
     ///
     /// Panics if `num_phases == 0`.
-    pub fn new(num_phases: usize, name: impl Into<String>) -> Self {
+    pub fn new(num_phases: usize, name: impl Into<Cow<'static, str>>) -> Self {
         assert!(num_phases > 0, "need at least one phase");
         ConstraintSet {
             num_phases,

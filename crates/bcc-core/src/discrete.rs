@@ -144,8 +144,8 @@ impl DiscreteNetwork {
                     self.mac_to_relay.rows()[idx].clone()
                 })
                 .collect();
-            total += cond.prob(c)
-                * JointPmf::from_input_and_channel(msg, &rows).mutual_information();
+            total +=
+                cond.prob(c) * JointPmf::from_input_and_channel(msg, &rows).mutual_information();
         }
         total
     }
@@ -160,8 +160,7 @@ impl DiscreteNetwork {
             }
         }
         let product = Pmf::new(joint_input).expect("product of PMFs is a PMF");
-        JointPmf::from_input_and_channel(&product, self.mac_to_relay.rows())
-            .mutual_information()
+        JointPmf::from_input_and_channel(&product, self.mac_to_relay.rows()).mutual_information()
     }
 
     /// Theorem 2 (MABC capacity region) for this network at the given
@@ -173,11 +172,36 @@ impl DiscreteNetwork {
         let i_ra = self.r_to_a.mutual_information(pr);
         let i_rb = self.r_to_b.mutual_information(pr);
         let mut set = ConstraintSet::new(2, "MABC capacity (Thm 2, DMC)");
-        set.push(RateConstraint::new(1.0, 0.0, vec![i_a, 0.0], "relay decodes Wa"));
-        set.push(RateConstraint::new(1.0, 0.0, vec![0.0, i_rb], "b decodes broadcast"));
-        set.push(RateConstraint::new(0.0, 1.0, vec![i_b, 0.0], "relay decodes Wb"));
-        set.push(RateConstraint::new(0.0, 1.0, vec![0.0, i_ra], "a decodes broadcast"));
-        set.push(RateConstraint::new(1.0, 1.0, vec![i_sum, 0.0], "MAC sum at relay"));
+        set.push(RateConstraint::new(
+            1.0,
+            0.0,
+            vec![i_a, 0.0],
+            "relay decodes Wa",
+        ));
+        set.push(RateConstraint::new(
+            1.0,
+            0.0,
+            vec![0.0, i_rb],
+            "b decodes broadcast",
+        ));
+        set.push(RateConstraint::new(
+            0.0,
+            1.0,
+            vec![i_b, 0.0],
+            "relay decodes Wb",
+        ));
+        set.push(RateConstraint::new(
+            0.0,
+            1.0,
+            vec![0.0, i_ra],
+            "a decodes broadcast",
+        ));
+        set.push(RateConstraint::new(
+            1.0,
+            1.0,
+            vec![i_sum, 0.0],
+            "MAC sum at relay",
+        ));
         set
     }
 
@@ -190,14 +214,24 @@ impl DiscreteNetwork {
         let i_ra = self.r_to_a.mutual_information(pr);
         let i_rb = self.r_to_b.mutual_information(pr);
         let mut set = ConstraintSet::new(3, "TDBC achievable (Thm 3, DMC)");
-        set.push(RateConstraint::new(1.0, 0.0, vec![i_ar, 0.0, 0.0], "relay decodes Wa"));
+        set.push(RateConstraint::new(
+            1.0,
+            0.0,
+            vec![i_ar, 0.0, 0.0],
+            "relay decodes Wa",
+        ));
         set.push(RateConstraint::new(
             1.0,
             0.0,
             vec![i_ab, 0.0, i_rb],
             "b decodes Wa from side info + bins",
         ));
-        set.push(RateConstraint::new(0.0, 1.0, vec![0.0, i_br, 0.0], "relay decodes Wb"));
+        set.push(RateConstraint::new(
+            0.0,
+            1.0,
+            vec![0.0, i_br, 0.0],
+            "relay decodes Wb",
+        ));
         set.push(RateConstraint::new(
             0.0,
             1.0,
@@ -374,7 +408,10 @@ mod tests {
             let tdbc = optimizer::max_sum_rate(&net.tdbc_inner_constraints(&pa, &pb, &pr))
                 .unwrap()
                 .objective;
-            assert!(hbc >= mabc - 1e-9 && hbc >= tdbc - 1e-9, "({pd},{pr_},{pm})");
+            assert!(
+                hbc >= mabc - 1e-9 && hbc >= tdbc - 1e-9,
+                "({pd},{pr_},{pm})"
+            );
         }
     }
 
@@ -390,7 +427,10 @@ mod tests {
         let skew = optimizer::max_sum_rate(&net.mabc_constraints(&biased, &biased, &pr))
             .unwrap()
             .objective;
-        assert!(sym > skew, "uniform {sym} must beat biased {skew} on symmetric links");
+        assert!(
+            sym > skew,
+            "uniform {sym} must beat biased {skew} on symmetric links"
+        );
     }
 
     #[test]
@@ -406,13 +446,11 @@ mod tests {
         let hull = net.mabc_time_sharing_boundary(&inputs, 12);
         assert!(!hull.is_empty());
         for (pa, pb, pr) in &inputs {
-            let region = crate::region::RateRegion::new(
-                vec![net.mabc_constraints(pa, pb, pr)],
-                "member",
-            );
+            let region =
+                crate::region::RateRegion::new(vec![net.mabc_constraints(pa, pb, pr)], "member");
             for pt in region.boundary(6).unwrap() {
-                let hull_ra = crate::region::hull_max_ra(&hull, pt.rb)
-                    .expect("rb within hull range");
+                let hull_ra =
+                    crate::region::hull_max_ra(&hull, pt.rb).expect("rb within hull range");
                 assert!(
                     hull_ra >= pt.ra - 1e-7,
                     "hull {hull_ra} lost member point {pt}"

@@ -22,6 +22,12 @@ pub enum CoreError {
         /// The requested rate (bits per channel use).
         rate: f64,
     },
+    /// Every candidate in a comparison produced a non-finite optimum, so no
+    /// winner can be selected. Carries the sum rates actually seen.
+    NoFiniteOptimum {
+        /// What was being compared (e.g. a scenario grid-point label).
+        context: String,
+    },
 }
 
 impl CoreError {
@@ -40,7 +46,13 @@ impl fmt::Display for CoreError {
                 write!(f, "linear program failed during {context}: {source}")
             }
             CoreError::RateUnachievable { rate } => {
-                write!(f, "rate {rate} bits/use is unachievable for any time allocation")
+                write!(
+                    f,
+                    "rate {rate} bits/use is unachievable for any time allocation"
+                )
+            }
+            CoreError::NoFiniteOptimum { context } => {
+                write!(f, "no candidate produced a finite optimum during {context}")
             }
         }
     }
@@ -50,7 +62,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Lp { source, .. } => Some(source),
-            CoreError::RateUnachievable { .. } => None,
+            CoreError::RateUnachievable { .. } | CoreError::NoFiniteOptimum { .. } => None,
         }
     }
 }

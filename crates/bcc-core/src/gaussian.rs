@@ -119,10 +119,26 @@ impl GaussianNetwork {
     ///
     /// Propagates LP failures (not expected for valid inputs).
     pub fn max_sum_rate(&self, protocol: Protocol) -> Result<SumRateSolution, CoreError> {
+        self.max_sum_rate_with(protocol, &mut bcc_lp::Workspace::new())
+    }
+
+    /// [`GaussianNetwork::max_sum_rate`] reusing `ws` for LP scratch memory
+    /// — the batch entry point used by the
+    /// [`Scenario`](crate::scenario::Scenario) evaluator and the fading
+    /// Monte-Carlo loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (not expected for valid inputs).
+    pub fn max_sum_rate_with(
+        &self,
+        protocol: Protocol,
+        ws: &mut bcc_lp::Workspace,
+    ) -> Result<SumRateSolution, CoreError> {
         // All inner bounds are single sets.
         let sets = self.constraint_sets(protocol, Bound::Inner);
         debug_assert_eq!(sets.len(), 1, "inner bounds are singletons");
-        let pt: SchedulePoint = optimizer::max_sum_rate(&sets[0])?;
+        let pt: SchedulePoint = optimizer::max_sum_rate_with(&sets[0], ws)?;
         Ok(SumRateSolution {
             protocol,
             sum_rate: pt.objective,

@@ -23,20 +23,23 @@
 //! durations jointly**, and regions/optimal schedules are computed exactly
 //! by linear programming ([`bcc_lp`]).
 //!
+//! The batch entry point is the [`scenario`] module: describe a grid of
+//! operating points with the builder-style [`scenario::Scenario`], compile
+//! it into an [`scenario::Evaluator`], and get typed sweep / comparison /
+//! region / outage results back — all figures, benches and tests run
+//! through that one code path.
+//!
 //! # Example: reproduce a Fig. 4 point
 //!
 //! ```
-//! use bcc_core::gaussian::GaussianNetwork;
-//! use bcc_core::protocol::Protocol;
-//! use bcc_num::Db;
+//! use bcc_core::prelude::*;
 //!
 //! let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
-//! let hbc = net.max_sum_rate(Protocol::Hbc).unwrap();
-//! let mabc = net.max_sum_rate(Protocol::Mabc).unwrap();
-//! let tdbc = net.max_sum_rate(Protocol::Tdbc).unwrap();
+//! let cmp = Scenario::at(net).build().compare().unwrap();
+//! let hbc = cmp.get(Protocol::Hbc).unwrap();
 //! // HBC subsumes both two- and three-phase protocols:
-//! assert!(hbc.sum_rate >= mabc.sum_rate - 1e-9);
-//! assert!(hbc.sum_rate >= tdbc.sum_rate - 1e-9);
+//! assert!(hbc.sum_rate >= cmp.get(Protocol::Mabc).unwrap().sum_rate - 1e-9);
+//! assert!(hbc.sum_rate >= cmp.get(Protocol::Tdbc).unwrap().sum_rate - 1e-9);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,10 +54,27 @@ pub mod gaussian;
 pub mod optimizer;
 pub mod protocol;
 pub mod region;
+pub mod scenario;
 pub mod selection;
 pub mod sweep;
 
 pub use error::CoreError;
 pub use gaussian::GaussianNetwork;
-pub use protocol::{Bound, Protocol};
+pub use protocol::{Bound, Protocol, ProtocolMap};
 pub use region::{RatePoint, RateRegion};
+pub use scenario::{Evaluator, Scenario};
+
+/// One-stop imports for the batch evaluation API.
+pub mod prelude {
+    pub use crate::error::CoreError;
+    pub use crate::gaussian::{GaussianNetwork, SumRateSolution};
+    pub use crate::protocol::{Bound, Protocol, ProtocolMap};
+    pub use crate::region::{RatePoint, RateRegion};
+    pub use crate::scenario::{
+        ComparisonResult, Evaluator, FadingSpec, GridPoint, OutageResult, ProtocolSeries,
+        RegionResult, RegionTrace, Scenario, SweepResult,
+    };
+    pub use bcc_channel::fading::FadingModel;
+    pub use bcc_channel::ChannelState;
+    pub use bcc_num::Db;
+}

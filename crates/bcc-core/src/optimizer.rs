@@ -9,7 +9,7 @@
 
 use crate::constraint::ConstraintSet;
 use crate::error::CoreError;
-use bcc_lp::{Problem, Relation};
+use bcc_lp::{Problem, Relation, Workspace};
 
 /// An optimal operating point of one protocol bound.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +75,28 @@ fn extract(set: &ConstraintSet, sol: bcc_lp::Solution) -> SchedulePoint {
 /// Panics if a weight is negative (the region is unbounded in negative
 /// directions by `R ≥ 0`, so such queries are ill-posed).
 pub fn max_weighted(set: &ConstraintSet, wa: f64, wb: f64) -> Result<SchedulePoint, CoreError> {
+    max_weighted_with(set, wa, wb, &mut Workspace::new())
+}
+
+/// [`max_weighted`] reusing `ws` for the solver's scratch memory.
+///
+/// Batch drivers (the `Scenario` evaluator, Monte-Carlo fading loops)
+/// should keep one workspace alive across calls so the simplex tableau is
+/// allocated once per batch instead of once per LP.
+///
+/// # Errors
+///
+/// Same as [`max_weighted`].
+///
+/// # Panics
+///
+/// Panics if a weight is negative (see [`max_weighted`]).
+pub fn max_weighted_with(
+    set: &ConstraintSet,
+    wa: f64,
+    wb: f64,
+    ws: &mut Workspace,
+) -> Result<SchedulePoint, CoreError> {
     assert!(wa >= 0.0 && wb >= 0.0, "weights must be non-negative");
     let l = set.num_phases();
     let mut obj = vec![0.0; 2 + l];
@@ -82,7 +104,7 @@ pub fn max_weighted(set: &ConstraintSet, wa: f64, wb: f64) -> Result<SchedulePoi
     obj[1] = wb;
     let p = base_problem(set, &obj);
     let sol = p
-        .solve()
+        .solve_with(ws)
         .map_err(|e| CoreError::lp(format!("{} weighted-rate", set.name), e))?;
     Ok(extract(set, sol))
 }
@@ -90,6 +112,14 @@ pub fn max_weighted(set: &ConstraintSet, wa: f64, wb: f64) -> Result<SchedulePoi
 /// Maximises the sum rate `R_a + R_b` (the paper's Fig. 3 quantity).
 pub fn max_sum_rate(set: &ConstraintSet) -> Result<SchedulePoint, CoreError> {
     max_weighted(set, 1.0, 1.0)
+}
+
+/// [`max_sum_rate`] reusing `ws` for the solver's scratch memory.
+pub fn max_sum_rate_with(
+    set: &ConstraintSet,
+    ws: &mut Workspace,
+) -> Result<SchedulePoint, CoreError> {
+    max_weighted_with(set, 1.0, 1.0, ws)
 }
 
 /// Maximises `R_a` subject to `R_b = rb` — the boundary-tracing query.
@@ -175,7 +205,7 @@ pub fn binding_constraints<'a>(
             let slack = c.rhs(&point.durations) - c.lhs(point.ra, point.rb);
             slack.abs() <= tol
         })
-        .map(|c| c.label.as_str())
+        .map(|c| c.label.as_ref())
         .collect()
 }
 

@@ -57,6 +57,17 @@ impl Protocol {
     /// The relay-assisted protocols (everything except direct transmission).
     pub const RELAYED: [Protocol; 3] = [Protocol::Mabc, Protocol::Tdbc, Protocol::Hbc];
 
+    /// This protocol's position in [`Protocol::ALL`] — a dense index for
+    /// constant-time keyed storage (see [`ProtocolMap`]).
+    pub const fn index(self) -> usize {
+        match self {
+            Protocol::DirectTransmission => 0,
+            Protocol::Mabc => 1,
+            Protocol::Tdbc => 2,
+            Protocol::Hbc => 3,
+        }
+    }
+
     /// Number of phases `L` (durations `Δ_1..Δ_L` sum to one).
     pub fn num_phases(self) -> usize {
         match self {
@@ -102,16 +113,15 @@ impl Protocol {
     /// transmission.
     pub fn has_side_information(self) -> bool {
         self.uses_relay()
-            && self.phases().iter().any(|p| {
-                p.can_hear(NodeId::B, NodeId::A) || p.can_hear(NodeId::A, NodeId::B)
-            })
+            && self
+                .phases()
+                .iter()
+                .any(|p| p.can_hear(NodeId::B, NodeId::A) || p.can_hear(NodeId::A, NodeId::B))
     }
 
     /// `true` if the protocol uses the relay at all.
     pub fn uses_relay(self) -> bool {
-        self.phases()
-            .iter()
-            .any(|p| p.is_transmitting(NodeId::R))
+        self.phases().iter().any(|p| p.is_transmitting(NodeId::R))
     }
 
     /// Renders the protocol's schedule as an ASCII diagram in the style of
@@ -129,7 +139,11 @@ impl Protocol {
         for node in NodeId::ALL {
             out.push_str(&format!("  {}:  ", node));
             for p in &phases {
-                out.push_str(if p.is_transmitting(node) { "███  " } else { "·    " });
+                out.push_str(if p.is_transmitting(node) {
+                    "███  "
+                } else {
+                    "·    "
+                });
             }
             out.push('\n');
         }
@@ -140,6 +154,64 @@ impl Protocol {
 impl fmt::Display for Protocol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())
+    }
+}
+
+/// A dense map from [`Protocol`] to `T` with O(1) lookup.
+///
+/// The result types of the `Scenario`/`Evaluator` API store per-protocol
+/// series in one of these instead of position-searching `Protocol::ALL`
+/// on every access.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProtocolMap<T> {
+    slots: [Option<T>; 4],
+}
+
+impl<T> ProtocolMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        ProtocolMap {
+            slots: [None, None, None, None],
+        }
+    }
+
+    /// Inserts (or replaces) the entry for `protocol`, returning the old
+    /// value if any.
+    pub fn insert(&mut self, protocol: Protocol, value: T) -> Option<T> {
+        self.slots[protocol.index()].replace(value)
+    }
+
+    /// The entry for `protocol`, if present.
+    pub fn get(&self, protocol: Protocol) -> Option<&T> {
+        self.slots[protocol.index()].as_ref()
+    }
+
+    /// Mutable access to the entry for `protocol`, if present.
+    pub fn get_mut(&mut self, protocol: Protocol) -> Option<&mut T> {
+        self.slots[protocol.index()].as_mut()
+    }
+
+    /// `true` if `protocol` has an entry.
+    pub fn contains(&self, protocol: Protocol) -> bool {
+        self.slots[protocol.index()].is_some()
+    }
+
+    /// Number of populated entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` if no protocol has an entry.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Iterates populated `(protocol, value)` pairs in [`Protocol::ALL`]
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Protocol, &T)> {
+        Protocol::ALL
+            .into_iter()
+            .filter_map(|p| self.slots[p.index()].as_ref().map(|v| (p, v)))
     }
 }
 
@@ -227,5 +299,29 @@ mod tests {
         assert_eq!(Protocol::Mabc.to_string(), "MABC");
         assert_eq!(Bound::Inner.to_string(), "inner");
         assert_eq!(Bound::Outer.to_string(), "outer");
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, p) in Protocol::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn protocol_map_basic_operations() {
+        let mut m: ProtocolMap<u32> = ProtocolMap::new();
+        assert!(m.is_empty());
+        assert!(m.insert(Protocol::Hbc, 4).is_none());
+        assert!(m.insert(Protocol::Mabc, 2).is_none());
+        assert_eq!(m.insert(Protocol::Mabc, 20), Some(2));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(Protocol::Mabc), Some(&20));
+        assert!(m.get(Protocol::Tdbc).is_none());
+        assert!(m.contains(Protocol::Hbc));
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs, vec![(Protocol::Mabc, &20), (Protocol::Hbc, &4)]);
+        *m.get_mut(Protocol::Hbc).unwrap() += 1;
+        assert_eq!(m.get(Protocol::Hbc), Some(&5));
     }
 }

@@ -56,7 +56,10 @@ impl RateRegion {
     ///
     /// Panics if `sets` is empty.
     pub fn new(sets: Vec<ConstraintSet>, name: impl Into<String>) -> Self {
-        assert!(!sets.is_empty(), "a region needs at least one constraint set");
+        assert!(
+            !sets.is_empty(),
+            "a region needs at least one constraint set"
+        );
         RateRegion {
             sets,
             name: name.into(),
@@ -231,8 +234,7 @@ pub fn time_sharing_hull(points: &[RatePoint]) -> Vec<RatePoint> {
     };
     let mut hull: Vec<RatePoint> = Vec::new();
     for p in pts {
-        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) >= -1e-12
-        {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], &p) >= -1e-12 {
             hull.pop();
         }
         hull.push(p);
@@ -263,7 +265,11 @@ pub fn hull_max_ra(hull: &[RatePoint], rb: f64) -> Option<f64> {
     let mut best: f64 = 0.0;
     for w in hull.windows(2) {
         let (p, q) = (&w[0], &w[1]);
-        let (lo, hi) = if p.rb <= q.rb { (p.rb, q.rb) } else { (q.rb, p.rb) };
+        let (lo, hi) = if p.rb <= q.rb {
+            (p.rb, q.rb)
+        } else {
+            (q.rb, p.rb)
+        };
         if rb >= lo - 1e-12 && rb <= hi + 1e-12 {
             let t = if (q.rb - p.rb).abs() < 1e-15 {
                 0.0
@@ -353,10 +359,14 @@ mod tests {
         let s = fig4_state();
         let inner = RateRegion::new(vec![tdbc::inner_constraints(p, &s)], "TDBC inner");
         let outer = RateRegion::new(vec![tdbc::outer_constraints(p, &s)], "TDBC outer");
-        assert!(outer.contains_region(&inner, 25).expect("containment check"));
+        assert!(outer
+            .contains_region(&inner, 25)
+            .expect("containment check"));
         // And generally not vice versa (the outer bound is strictly larger
         // at this channel).
-        assert!(!inner.contains_region(&outer, 25).expect("containment check"));
+        assert!(!inner
+            .contains_region(&outer, 25)
+            .expect("containment check"));
     }
 
     #[test]
@@ -431,8 +441,9 @@ mod tests {
             RatePoint::new(0.5, 0.5), // strictly inside the segment hull
         ];
         let hull = time_sharing_hull(&pts);
-        assert!(!hull.iter().any(|p| approx_eq(p.ra, 0.5, 1e-12)
-            && approx_eq(p.rb, 0.5, 1e-12)));
+        assert!(!hull
+            .iter()
+            .any(|p| approx_eq(p.ra, 0.5, 1e-12) && approx_eq(p.rb, 0.5, 1e-12)));
     }
 
     #[test]

@@ -1,0 +1,1029 @@
+//! The unified batch-evaluation API: declare *what* to evaluate with a
+//! builder-style [`Scenario`], compile it into an [`Evaluator`], and run
+//! every figure/bench/test workload through one code path.
+//!
+//! The paper's deliverable is *comparing* protocols across operating
+//! points — SNR sweeps (Fig. 3), relay-position sweeps (Fig. 4),
+//! fading/outage studies — and before this module every consumer
+//! hand-rolled its own loop over
+//! [`GaussianNetwork::max_sum_rate`]. A scenario instead captures
+//!
+//! * a **grid**: one network, a power sweep, a symmetric-relay-gain sweep,
+//!   a relay-position sweep, or an arbitrary `(x, network)` list;
+//! * a **protocol set** (default: all four);
+//! * a **bound selection** (default: achievable/inner);
+//! * an optional **fading distribution** with a trial budget and seed;
+//!
+//! and the compiled evaluator runs the whole grid *batched*: one
+//! [`bcc_lp::Workspace`] is reused across every LP in the run, so the
+//! simplex tableau and reduced-cost rows are allocated once per batch
+//! instead of once per solve. Results come back as typed values —
+//! [`SweepResult`], [`ComparisonResult`], [`RegionResult`],
+//! [`OutageResult`] — with per-protocol series keyed by [`Protocol`]
+//! (constant-time lookup, no `Protocol::ALL` position searches).
+//!
+//! # Example: a Fig. 3 relay-position sweep
+//!
+//! ```
+//! use bcc_core::prelude::*;
+//!
+//! let sweep = Scenario::relay_position_sweep(15.0, 3.0, (1..=19).map(|k| k as f64 / 20.0))
+//!     .build()
+//!     .sweep()
+//!     .unwrap();
+//! // HBC strictly wins somewhere mid-span (the paper's wedge):
+//! assert!(!sweep.strict_wins(Protocol::Hbc, 1e-6).is_empty());
+//! // DT ignores the relay position entirely:
+//! let dt = sweep.series(Protocol::DirectTransmission).unwrap();
+//! assert!((dt.sum_rates()[0] - dt.sum_rates()[18]).abs() < 1e-8);
+//! ```
+
+use crate::bounds;
+use crate::error::CoreError;
+use crate::gaussian::{GaussianNetwork, SumRateSolution};
+use crate::protocol::{Bound, Protocol, ProtocolMap};
+use crate::region::{RatePoint, RateRegion};
+use bcc_channel::fading::FadingModel;
+use bcc_channel::topology::LineNetwork;
+use bcc_num::Db;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mixes `(seed, k)` into a decorrelated child seed (SplitMix64
+/// finalisation). This is the workspace-wide seeding policy: all
+/// Monte-Carlo drivers derive per-trial streams through this function so
+/// trial `i` is independent of how much randomness trial `i - 1` consumed.
+pub fn mix_seed(seed: u64, k: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// The deterministic RNG stream of trial `k` under master seed `seed`.
+pub fn trial_stream(seed: u64, k: u64) -> StdRng {
+    StdRng::seed_from_u64(mix_seed(seed, k))
+}
+
+/// A quasi-static fading study attached to a scenario: `trials`
+/// independent per-link fades per grid point, drawn from `model` with the
+/// deterministic seeding policy of [`trial_stream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadingSpec {
+    /// The per-link fading distribution (unit mean power).
+    pub model: FadingModel,
+    /// Monte-Carlo trials per grid point.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// One point of a scenario grid: the swept coordinate and the network to
+/// evaluate there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// The swept parameter value (dB, position, … per the axis label).
+    pub x: f64,
+    /// The network at this point.
+    pub net: GaussianNetwork,
+}
+
+/// Declarative description of a batch evaluation (see the module docs).
+///
+/// Construct with one of the grid constructors, refine with the chained
+/// builder methods, then [`Scenario::build`] the [`Evaluator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    x_name: String,
+    points: Vec<GridPoint>,
+    protocols: Vec<Protocol>,
+    bound: Bound,
+    fading: Option<FadingSpec>,
+}
+
+impl Scenario {
+    fn from_points(x_name: impl Into<String>, points: Vec<GridPoint>) -> Self {
+        assert!(
+            !points.is_empty(),
+            "a scenario needs at least one grid point"
+        );
+        Scenario {
+            x_name: x_name.into(),
+            points,
+            protocols: Protocol::ALL.to_vec(),
+            bound: Bound::Inner,
+            fading: None,
+        }
+    }
+
+    /// A single-point scenario at `net` (comparisons, region panels).
+    pub fn at(net: GaussianNetwork) -> Self {
+        Scenario::from_points("network", vec![GridPoint { x: 0.0, net }])
+    }
+
+    /// Sweeps the transmit power (dB) at `base`'s gains — the SNR axis of
+    /// the paper's crossover study (E-X1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers_db` is empty.
+    pub fn power_sweep_db(base: GaussianNetwork, powers_db: impl IntoIterator<Item = f64>) -> Self {
+        let points = powers_db
+            .into_iter()
+            .map(|p| GridPoint {
+                x: p,
+                net: base.with_power_db(Db::new(p)),
+            })
+            .collect();
+        Scenario::from_points("power [dB]", points)
+    }
+
+    /// Sweeps symmetric relay gains `G_ar = G_br` (dB) at fixed power and
+    /// direct gain — Fig. 3 sweep A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains_db` is empty.
+    pub fn symmetric_gain_sweep_db(
+        power_db: f64,
+        gab_db: f64,
+        gains_db: impl IntoIterator<Item = f64>,
+    ) -> Self {
+        let points = gains_db
+            .into_iter()
+            .map(|g| GridPoint {
+                x: g,
+                net: GaussianNetwork::from_db(
+                    Db::new(power_db),
+                    Db::new(gab_db),
+                    Db::new(g),
+                    Db::new(g),
+                ),
+            })
+            .collect();
+        Scenario::from_points("relay gain [dB]", points)
+    }
+
+    /// Sweeps the relay position on the a–b line with path-loss exponent
+    /// `gamma` — Fig. 3 sweep B.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty or contains values outside `(0, 1)`
+    /// (propagated from [`LineNetwork::new`]).
+    pub fn relay_position_sweep(
+        power_db: f64,
+        gamma: f64,
+        positions: impl IntoIterator<Item = f64>,
+    ) -> Self {
+        let power = Db::new(power_db).to_linear();
+        let points = positions
+            .into_iter()
+            .map(|d| GridPoint {
+                x: d,
+                net: GaussianNetwork::new(power, LineNetwork::new(d, gamma).channel_state()),
+            })
+            .collect();
+        Scenario::from_points("relay position", points)
+    }
+
+    /// An arbitrary `(x, network)` grid under a caller-chosen axis label —
+    /// the escape hatch for geometries the named constructors don't cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn networks(
+        x_name: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, GaussianNetwork)>,
+    ) -> Self {
+        let points = points
+            .into_iter()
+            .map(|(x, net)| GridPoint { x, net })
+            .collect();
+        Scenario::from_points(x_name, points)
+    }
+
+    /// Restricts the evaluation to `protocols` (default: all four).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocols` is empty or contains duplicates.
+    pub fn protocols(mut self, protocols: impl IntoIterator<Item = Protocol>) -> Self {
+        let protocols: Vec<Protocol> = protocols.into_iter().collect();
+        assert!(!protocols.is_empty(), "need at least one protocol");
+        let mut seen = ProtocolMap::new();
+        for &p in &protocols {
+            assert!(seen.insert(p, ()).is_none(), "duplicate protocol {p}");
+        }
+        self.protocols = protocols;
+        self
+    }
+
+    /// Selects which side of each bound to evaluate (default:
+    /// [`Bound::Inner`], the achievable side).
+    pub fn bound(mut self, bound: Bound) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Attaches a quasi-static fading study (enables
+    /// [`Evaluator::outage`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn fading(mut self, model: FadingModel, trials: usize, seed: u64) -> Self {
+        assert!(trials > 0, "need at least one fading trial");
+        self.fading = Some(FadingSpec {
+            model,
+            trials,
+            seed,
+        });
+        self
+    }
+
+    /// Shorthand for Rayleigh fading (the paper's model).
+    pub fn rayleigh(self, trials: usize, seed: u64) -> Self {
+        self.fading(FadingModel::Rayleigh, trials, seed)
+    }
+
+    /// Compiles the scenario into a reusable [`Evaluator`].
+    pub fn build(self) -> Evaluator {
+        Evaluator {
+            scenario: self,
+            ws: bcc_lp::Workspace::new(),
+        }
+    }
+}
+
+/// The compiled form of a [`Scenario`]: owns the LP workspace that is
+/// reused across every solve in the batch.
+#[derive(Debug)]
+pub struct Evaluator {
+    scenario: Scenario,
+    ws: bcc_lp::Workspace,
+}
+
+impl Evaluator {
+    /// The grid being evaluated.
+    pub fn points(&self) -> &[GridPoint] {
+        &self.scenario.points
+    }
+
+    /// The swept-axis label.
+    pub fn x_name(&self) -> &str {
+        &self.scenario.x_name
+    }
+
+    /// The protocols being evaluated, in evaluation order.
+    pub fn protocols(&self) -> &[Protocol] {
+        &self.scenario.protocols
+    }
+
+    /// Optimal sum rate of `protocol` at `net` under the scenario's bound
+    /// selection, through the shared workspace.
+    fn solve_point(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+    ) -> Result<SumRateSolution, CoreError> {
+        if self.scenario.bound == Bound::Inner {
+            return net.max_sum_rate_with(protocol, &mut self.ws);
+        }
+        // Outer bounds can be set *families* (HBC's ρ-family); the bound's
+        // sum rate is the maximum over the family.
+        let sets =
+            bounds::constraint_sets(protocol, self.scenario.bound, net.power(), &net.state());
+        let mut best: Option<SumRateSolution> = None;
+        for set in &sets {
+            let pt = crate::optimizer::max_sum_rate_with(set, &mut self.ws)?;
+            if best.as_ref().is_none_or(|b| pt.objective > b.sum_rate) {
+                best = Some(SumRateSolution {
+                    protocol,
+                    sum_rate: pt.objective,
+                    ra: pt.ra,
+                    rb: pt.rb,
+                    durations: pt.durations,
+                });
+            }
+        }
+        Ok(best.expect("constraint families are non-empty"))
+    }
+
+    /// Runs the batched sum-rate evaluation over the whole grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures; returns [`CoreError::NoFiniteOptimum`] if
+    /// every protocol's optimum at some grid point is non-finite.
+    pub fn sweep(&mut self) -> Result<SweepResult, CoreError> {
+        let npoints = self.scenario.points.len();
+        let protocols = self.scenario.protocols.clone();
+        let mut series: ProtocolMap<ProtocolSeries> = ProtocolMap::new();
+        for &p in &protocols {
+            series.insert(
+                p,
+                ProtocolSeries {
+                    protocol: p,
+                    solutions: Vec::with_capacity(npoints),
+                },
+            );
+        }
+        let mut winners = Vec::with_capacity(npoints);
+        for i in 0..npoints {
+            let GridPoint { x, net } = self.scenario.points[i];
+            let mut winner: Option<(Protocol, f64)> = None;
+            for &p in &protocols {
+                let sol = self.solve_point(&net, p)?;
+                if sol.sum_rate.is_finite() && winner.is_none_or(|(_, best)| sol.sum_rate > best) {
+                    winner = Some((p, sol.sum_rate));
+                }
+                series
+                    .get_mut(p)
+                    .expect("series pre-populated")
+                    .solutions
+                    .push(sol);
+            }
+            let (w, _) = winner.ok_or_else(|| CoreError::NoFiniteOptimum {
+                context: format!("{} sweep at x = {x}", self.scenario.x_name),
+            })?;
+            winners.push(w);
+        }
+        Ok(SweepResult {
+            x_name: self.scenario.x_name.clone(),
+            xs: self.scenario.points.iter().map(|p| p.x).collect(),
+            protocols,
+            series,
+            winners,
+        })
+    }
+
+    /// Evaluates one [`ComparisonResult`] per grid point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures.
+    pub fn comparisons(&mut self) -> Result<Vec<ComparisonResult>, CoreError> {
+        let protocols = self.scenario.protocols.clone();
+        let points = self.scenario.points.clone();
+        points
+            .into_iter()
+            .map(|GridPoint { x, net }| {
+                let mut solutions = ProtocolMap::new();
+                for &p in &protocols {
+                    solutions.insert(p, self.solve_point(&net, p)?);
+                }
+                Ok(ComparisonResult {
+                    x,
+                    net,
+                    protocols: protocols.clone(),
+                    solutions,
+                })
+            })
+            .collect()
+    }
+
+    /// Evaluates the comparison at the scenario's single grid point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has more than one grid point (use
+    /// [`Evaluator::comparisons`] for grids).
+    pub fn compare(&mut self) -> Result<ComparisonResult, CoreError> {
+        assert_eq!(
+            self.scenario.points.len(),
+            1,
+            "compare() is for single-point scenarios; use comparisons() on a grid"
+        );
+        Ok(self.comparisons()?.remove(0))
+    }
+
+    /// Traces the rate-region boundaries of every selected protocol at
+    /// every grid point, for both the inner and (where distinct) outer
+    /// bounds.
+    ///
+    /// For capacity protocols (DT, MABC — Theorem 2) only the capacity
+    /// region is traced, labelled with [`Bound::Inner`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from boundary tracing.
+    pub fn regions(&mut self, resolution: usize) -> Result<Vec<RegionResult>, CoreError> {
+        let protocols = self.scenario.protocols.clone();
+        self.scenario
+            .points
+            .clone()
+            .into_iter()
+            .map(|GridPoint { x, net }| {
+                let mut traces = Vec::new();
+                for &p in &protocols {
+                    let capacity = net.capacity_region(p).is_some();
+                    let sides: &[Bound] = if capacity {
+                        &[Bound::Inner]
+                    } else {
+                        &[Bound::Inner, Bound::Outer]
+                    };
+                    for &b in sides {
+                        let region = net.region(p, b);
+                        traces.push(RegionTrace {
+                            protocol: p,
+                            bound: b,
+                            is_capacity: capacity,
+                            name: region.name.clone(),
+                            boundary: region.boundary(resolution)?,
+                        });
+                    }
+                }
+                Ok(RegionResult { x, net, traces })
+            })
+            .collect()
+    }
+
+    /// Runs the scenario's fading study: per grid point and trial, one
+    /// i.i.d. fade per link (shared across protocols, so per-fade dominance
+    /// relations survive into the samples), then the optimal sum rate of
+    /// each protocol on the faded network.
+    ///
+    /// Grid points use decorrelated seed streams derived from the spec's
+    /// master seed; a single-point scenario reproduces the classic
+    /// `McConfig`-style stream of `trial_stream(seed, trial)` exactly.
+    ///
+    /// LP failures on a faded draw count as rate 0 (a fade so deep the
+    /// protocol is unusable), matching the Monte-Carlo convention of
+    /// `bcc-sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has no fading spec (see
+    /// [`Scenario::fading`]).
+    pub fn outage(&mut self) -> Result<OutageResult, CoreError> {
+        let spec = self
+            .scenario
+            .fading
+            .expect("scenario has no fading model; attach one with Scenario::fading(...)");
+        let protocols = self.scenario.protocols.clone();
+        let points = self.scenario.points.clone();
+        let single = points.len() == 1;
+        let mut samples: ProtocolMap<Vec<Vec<f64>>> = ProtocolMap::new();
+        for &p in &protocols {
+            samples.insert(p, vec![Vec::with_capacity(spec.trials); points.len()]);
+        }
+        for (j, GridPoint { net, .. }) in points.iter().enumerate() {
+            // Keep the classic single-point stream bit-compatible with
+            // `McConfig::trial_rng`; decorrelate additional points.
+            let point_seed = if single {
+                spec.seed
+            } else {
+                mix_seed(spec.seed, j as u64)
+            };
+            for trial in 0..spec.trials {
+                let mut rng = trial_stream(point_seed, trial as u64);
+                let faded = net.state().faded(
+                    spec.model.sample_power(&mut rng),
+                    spec.model.sample_power(&mut rng),
+                    spec.model.sample_power(&mut rng),
+                );
+                let faded_net = GaussianNetwork::new(net.power(), faded);
+                for &p in &protocols {
+                    let rate = faded_net
+                        .max_sum_rate_with(p, &mut self.ws)
+                        .map(|s| s.sum_rate)
+                        .unwrap_or(0.0);
+                    samples.get_mut(p).expect("pre-populated")[j].push(rate);
+                }
+            }
+        }
+        Ok(OutageResult {
+            x_name: self.scenario.x_name.clone(),
+            xs: points.iter().map(|p| p.x).collect(),
+            spec,
+            protocols,
+            samples,
+        })
+    }
+}
+
+/// One protocol's column of a [`SweepResult`]: the full
+/// [`SumRateSolution`] at every grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSeries {
+    /// The protocol this series belongs to.
+    pub protocol: Protocol,
+    /// One solution per grid point, in grid order.
+    pub solutions: Vec<SumRateSolution>,
+}
+
+impl ProtocolSeries {
+    /// The optimal sum rates, in grid order.
+    pub fn sum_rates(&self) -> Vec<f64> {
+        self.solutions.iter().map(|s| s.sum_rate).collect()
+    }
+}
+
+/// The output of [`Evaluator::sweep`]: per-protocol series over the grid,
+/// keyed by [`Protocol`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Human-readable name of the swept parameter.
+    pub x_name: String,
+    /// The grid coordinates, in sweep order.
+    pub xs: Vec<f64>,
+    /// The protocols evaluated, in evaluation order.
+    protocols: Vec<Protocol>,
+    series: ProtocolMap<ProtocolSeries>,
+    winners: Vec<Protocol>,
+}
+
+impl SweepResult {
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` if the sweep is empty (never produced by an evaluator).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The protocols evaluated, in evaluation order.
+    pub fn protocols(&self) -> &[Protocol] {
+        &self.protocols
+    }
+
+    /// The series of `protocol`, or `None` if it was not part of the
+    /// scenario. Constant-time: series are keyed by protocol, not searched.
+    pub fn series(&self, protocol: Protocol) -> Option<&ProtocolSeries> {
+        self.series.get(protocol)
+    }
+
+    /// The series of `protocol` as `(x, sum_rate)` pairs — the shape the
+    /// plotting crate consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocol` was not part of the scenario.
+    pub fn series_points(&self, protocol: Protocol) -> Vec<(f64, f64)> {
+        let s = self
+            .series
+            .get(protocol)
+            .unwrap_or_else(|| panic!("{protocol} was not part of the scenario"));
+        self.xs
+            .iter()
+            .zip(&s.solutions)
+            .map(|(&x, sol)| (x, sol.sum_rate))
+            .collect()
+    }
+
+    /// The sum-rate-optimal protocol at grid point `i` (ties go to the
+    /// earlier protocol in evaluation order).
+    pub fn winner(&self, i: usize) -> Protocol {
+        self.winners[i]
+    }
+
+    /// The winning protocol at every grid point.
+    pub fn winners(&self) -> &[Protocol] {
+        &self.winners
+    }
+
+    /// Grid coordinates where `protocol` is strictly better than every
+    /// other evaluated protocol by more than `margin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocol` was not part of the scenario.
+    pub fn strict_wins(&self, protocol: Protocol, margin: f64) -> Vec<f64> {
+        let own = self
+            .series
+            .get(protocol)
+            .unwrap_or_else(|| panic!("{protocol} was not part of the scenario"));
+        (0..self.len())
+            .filter(|&i| {
+                let mine = own.solutions[i].sum_rate;
+                self.protocols.iter().filter(|&&p| p != protocol).all(|&p| {
+                    let other = self.series.get(p).expect("evaluated").solutions[i].sum_rate;
+                    mine > other + margin
+                })
+            })
+            .map(|i| self.xs[i])
+            .collect()
+    }
+}
+
+/// The output of [`Evaluator::compare`]: every protocol's optimum at one
+/// grid point, keyed by [`Protocol`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonResult {
+    /// The grid coordinate this comparison was evaluated at.
+    pub x: f64,
+    /// The network it was evaluated on.
+    pub net: GaussianNetwork,
+    protocols: Vec<Protocol>,
+    solutions: ProtocolMap<SumRateSolution>,
+}
+
+impl ComparisonResult {
+    /// The solution of `protocol`, or `None` if it was not evaluated.
+    pub fn get(&self, protocol: Protocol) -> Option<&SumRateSolution> {
+        self.solutions.get(protocol)
+    }
+
+    /// Iterates the solutions in evaluation order.
+    pub fn solutions(&self) -> impl Iterator<Item = &SumRateSolution> {
+        self.protocols.iter().filter_map(|&p| self.solutions.get(p))
+    }
+
+    /// The winning protocol's solution, ignoring non-finite optima.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoFiniteOptimum`] if every evaluated optimum is
+    /// NaN or infinite (a numerically broken batch must not panic a whole
+    /// sweep).
+    pub fn best(&self) -> Result<&SumRateSolution, CoreError> {
+        self.solutions()
+            .filter(|s| s.sum_rate.is_finite())
+            .max_by(|a, b| {
+                a.sum_rate
+                    .partial_cmp(&b.sum_rate)
+                    .expect("finite rates compare")
+            })
+            .ok_or_else(|| CoreError::NoFiniteOptimum {
+                context: format!("comparison at x = {}", self.x),
+            })
+    }
+
+    /// The finite solutions ranked best-first.
+    pub fn ranked(&self) -> Vec<&SumRateSolution> {
+        let mut v: Vec<&SumRateSolution> = self
+            .solutions()
+            .filter(|s| s.sum_rate.is_finite())
+            .collect();
+        v.sort_by(|a, b| {
+            b.sum_rate
+                .partial_cmp(&a.sum_rate)
+                .expect("finite rates compare")
+        });
+        v
+    }
+}
+
+/// One traced rate-region boundary inside a [`RegionResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionTrace {
+    /// The protocol.
+    pub protocol: Protocol,
+    /// Which side of the bound the trace follows.
+    pub bound: Bound,
+    /// `true` if inner = outer for this protocol (Theorem 2 capacity).
+    pub is_capacity: bool,
+    /// The region's descriptive name (e.g. `"TDBC outer"`).
+    pub name: String,
+    /// Boundary points, `R_b` swept from 0 to its maximum.
+    pub boundary: Vec<RatePoint>,
+}
+
+/// The output of [`Evaluator::regions`] at one grid point: boundary traces
+/// of every selected protocol's bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionResult {
+    /// The grid coordinate.
+    pub x: f64,
+    /// The network the regions belong to.
+    pub net: GaussianNetwork,
+    /// All traces, in (protocol, inner-then-outer) order.
+    pub traces: Vec<RegionTrace>,
+}
+
+impl RegionResult {
+    /// The trace of `(protocol, bound)`, if present. For capacity
+    /// protocols the single capacity trace is stored under
+    /// [`Bound::Inner`].
+    pub fn get(&self, protocol: Protocol, bound: Bound) -> Option<&RegionTrace> {
+        self.traces
+            .iter()
+            .find(|t| t.protocol == protocol && t.bound == bound)
+    }
+
+    /// Rebuilds the [`RateRegion`] of one trace (for membership queries).
+    pub fn region(&self, protocol: Protocol, bound: Bound) -> RateRegion {
+        self.net.region(protocol, bound)
+    }
+}
+
+/// The output of [`Evaluator::outage`]: per-protocol, per-grid-point
+/// Monte-Carlo sum-rate samples under quasi-static fading, with ergodic
+/// and ε-outage summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageResult {
+    /// Human-readable name of the swept parameter.
+    pub x_name: String,
+    /// The grid coordinates.
+    pub xs: Vec<f64>,
+    /// The fading specification the samples were drawn under.
+    pub spec: FadingSpec,
+    protocols: Vec<Protocol>,
+    /// `samples[protocol][point][trial]`.
+    samples: ProtocolMap<Vec<Vec<f64>>>,
+}
+
+impl OutageResult {
+    /// The protocols evaluated, in evaluation order.
+    pub fn protocols(&self) -> &[Protocol] {
+        &self.protocols
+    }
+
+    /// The raw per-trial sum rates of `protocol` at grid point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocol` was not part of the scenario or `i` is out of
+    /// range.
+    pub fn samples(&self, protocol: Protocol, i: usize) -> &[f64] {
+        &self.samples.get(protocol).expect("protocol evaluated")[i]
+    }
+
+    /// Consumes the result, returning `protocol`'s per-grid-point sample
+    /// vectors without copying (for adapters that only need one
+    /// protocol's raw samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocol` was not part of the scenario.
+    pub fn into_samples(mut self, protocol: Protocol) -> Vec<Vec<f64>> {
+        self.samples
+            .get_mut(protocol)
+            .map(std::mem::take)
+            .expect("protocol evaluated")
+    }
+
+    /// Ergodic (fading-averaged) sum rate of `protocol` at each grid
+    /// point, as `(x, mean)` pairs.
+    pub fn ergodic_series(&self, protocol: Protocol) -> Vec<(f64, f64)> {
+        self.xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let s = self.samples(protocol, i);
+                (x, s.iter().sum::<f64>() / s.len() as f64)
+            })
+            .collect()
+    }
+
+    /// The ε-outage sum rate of `protocol` at each grid point: the largest
+    /// rate supported in all but an `eps` fraction of fades.
+    pub fn outage_rate_series(&self, protocol: Protocol, eps: f64) -> Vec<(f64, f64)> {
+        self.xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, self.outage_rate(protocol, i, eps)))
+            .collect()
+    }
+
+    /// The ε-outage sum rate of `protocol` at grid point `i`.
+    pub fn outage_rate(&self, protocol: Protocol, i: usize, eps: f64) -> f64 {
+        self.profile(protocol, i).quantile(eps)
+    }
+
+    /// The empirical sum-rate distribution of `protocol` at grid point `i`
+    /// (build once, then query any number of quantiles/probabilities).
+    pub fn profile(&self, protocol: Protocol, i: usize) -> bcc_num::stats::Ecdf {
+        bcc_num::stats::Ecdf::new(self.samples(protocol, i).to_vec())
+    }
+
+    /// `P[optimal sum rate < target]` for `protocol` at grid point `i`.
+    pub fn outage_probability(&self, protocol: Protocol, i: usize, target: f64) -> f64 {
+        let s = self.samples(protocol, i);
+        s.iter().filter(|&&v| v < target).count() as f64 / s.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_channel::ChannelState;
+
+    fn fig4_net(p_db: f64) -> GaussianNetwork {
+        GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_max_sum_rate() {
+        let base = fig4_net(0.0);
+        let powers: Vec<f64> = vec![-5.0, 0.0, 5.0, 10.0];
+        let sweep = Scenario::power_sweep_db(base, powers.clone())
+            .build()
+            .sweep()
+            .unwrap();
+        assert_eq!(sweep.len(), 4);
+        for (i, &p) in powers.iter().enumerate() {
+            let net = base.with_power_db(Db::new(p));
+            for proto in Protocol::ALL {
+                let direct = net.max_sum_rate(proto).unwrap();
+                let batched = &sweep.series(proto).unwrap().solutions[i];
+                assert!(
+                    (direct.sum_rate - batched.sum_rate).abs() < 1e-12,
+                    "{proto} at {p} dB: {} vs {}",
+                    direct.sum_rate,
+                    batched.sum_rate
+                );
+                assert_eq!(direct.durations.len(), batched.durations.len());
+            }
+        }
+    }
+
+    #[test]
+    fn winner_is_max_of_series() {
+        let sweep = Scenario::power_sweep_db(fig4_net(0.0), vec![0.0, 10.0, 20.0])
+            .build()
+            .sweep()
+            .unwrap();
+        for i in 0..sweep.len() {
+            let w = sweep.winner(i);
+            let best = sweep.series(w).unwrap().solutions[i].sum_rate;
+            for p in Protocol::ALL {
+                assert!(best >= sweep.series(p).unwrap().solutions[i].sum_rate - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_subset_only_evaluates_selection() {
+        let sweep = Scenario::power_sweep_db(fig4_net(0.0), vec![0.0, 10.0])
+            .protocols([Protocol::Mabc, Protocol::Tdbc])
+            .build()
+            .sweep()
+            .unwrap();
+        assert!(sweep.series(Protocol::Hbc).is_none());
+        assert!(sweep.series(Protocol::Mabc).is_some());
+        assert_eq!(sweep.protocols(), &[Protocol::Mabc, Protocol::Tdbc]);
+        // Winners restricted to the selection.
+        for i in 0..sweep.len() {
+            assert!(matches!(sweep.winner(i), Protocol::Mabc | Protocol::Tdbc));
+        }
+    }
+
+    #[test]
+    fn position_sweep_mirror_symmetric() {
+        let sweep = Scenario::relay_position_sweep(15.0, 3.0, vec![0.25, 0.5, 0.75])
+            .build()
+            .sweep()
+            .unwrap();
+        for p in Protocol::ALL {
+            let s = sweep.series(p).unwrap().sum_rates();
+            assert!((s[0] - s[2]).abs() < 1e-8, "{p} not mirror symmetric");
+        }
+    }
+
+    #[test]
+    fn outer_bound_sweep_dominates_inner_sweep() {
+        let xs = vec![0.0, 10.0];
+        let inner = Scenario::power_sweep_db(fig4_net(0.0), xs.clone())
+            .build()
+            .sweep()
+            .unwrap();
+        let outer = Scenario::power_sweep_db(fig4_net(0.0), xs)
+            .bound(Bound::Outer)
+            .build()
+            .sweep()
+            .unwrap();
+        for p in Protocol::ALL {
+            let i = inner.series(p).unwrap().sum_rates();
+            let o = outer.series(p).unwrap().sum_rates();
+            for k in 0..i.len() {
+                assert!(o[k] >= i[k] - 1e-7, "{p}: outer {} < inner {}", o[k], i[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn compare_matches_direct_evaluation() {
+        let net = fig4_net(10.0);
+        let cmp = Scenario::at(net).build().compare().unwrap();
+        for p in Protocol::ALL {
+            let direct = net.max_sum_rate(p).unwrap().sum_rate;
+            assert!((cmp.get(p).unwrap().sum_rate - direct).abs() < 1e-12);
+        }
+        let best = cmp.best().unwrap();
+        assert!(matches!(
+            best.protocol,
+            Protocol::Hbc | Protocol::DirectTransmission
+        ));
+        let ranked = cmp.ranked();
+        assert_eq!(ranked.len(), 4);
+        assert!(ranked.windows(2).all(|w| w[0].sum_rate >= w[1].sum_rate));
+    }
+
+    #[test]
+    fn regions_trace_capacity_once_and_bounds_twice() {
+        let results = Scenario::at(fig4_net(10.0)).build().regions(16).unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.get(Protocol::Mabc, Bound::Inner).unwrap().is_capacity);
+        assert!(r.get(Protocol::Mabc, Bound::Outer).is_none());
+        assert!(!r.get(Protocol::Hbc, Bound::Inner).unwrap().is_capacity);
+        assert!(r.get(Protocol::Hbc, Bound::Outer).is_some());
+        // DT + MABC capacity traces, TDBC/HBC inner + outer.
+        assert_eq!(r.traces.len(), 6);
+        for t in &r.traces {
+            assert_eq!(t.boundary.len(), 17, "{}: n+1 boundary points", t.name);
+        }
+    }
+
+    #[test]
+    fn outage_samples_preserve_per_fade_dominance() {
+        let out = Scenario::at(fig4_net(10.0))
+            .rayleigh(60, 42)
+            .build()
+            .outage()
+            .unwrap();
+        let hbc = out.samples(Protocol::Hbc, 0);
+        let mabc = out.samples(Protocol::Mabc, 0);
+        let tdbc = out.samples(Protocol::Tdbc, 0);
+        assert_eq!(hbc.len(), 60);
+        for i in 0..hbc.len() {
+            assert!(hbc[i] >= mabc[i] - 1e-8, "trial {i}");
+            assert!(hbc[i] >= tdbc[i] - 1e-8, "trial {i}");
+        }
+        // Quantiles are monotone in eps.
+        let q10 = out.outage_rate(Protocol::Hbc, 0, 0.10);
+        let q50 = out.outage_rate(Protocol::Hbc, 0, 0.50);
+        assert!(q10 <= q50);
+        // Probability inverts rate approximately.
+        assert!(out.outage_probability(Protocol::Hbc, 0, q50) <= 0.55);
+    }
+
+    #[test]
+    fn outage_without_fading_has_zero_spread() {
+        let out = Scenario::at(fig4_net(5.0))
+            .fading(FadingModel::None, 8, 1)
+            .build()
+            .outage()
+            .unwrap();
+        let exact = fig4_net(5.0).max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        for &s in out.samples(Protocol::Mabc, 0) {
+            assert!((s - exact).abs() < 1e-9);
+        }
+        let erg = out.ergodic_series(Protocol::Mabc);
+        assert!((erg[0].1 - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn networks_axis_escape_hatch() {
+        let pts = vec![
+            (
+                1.0,
+                GaussianNetwork::new(1.0, ChannelState::new(0.5, 1.0, 1.0)),
+            ),
+            (
+                2.0,
+                GaussianNetwork::new(2.0, ChannelState::new(0.5, 1.0, 1.0)),
+            ),
+        ];
+        let mut ev = Scenario::networks("custom", pts).build();
+        assert_eq!(ev.x_name(), "custom");
+        let sweep = ev.sweep().unwrap();
+        assert_eq!(sweep.xs, vec![1.0, 2.0]);
+        // More power, no smaller sum rate.
+        for p in Protocol::ALL {
+            let s = sweep.series(p).unwrap().sum_rates();
+            assert!(s[1] >= s[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn seeding_policy_is_deterministic_and_decorrelated() {
+        assert_eq!(mix_seed(1, 0), mix_seed(1, 0));
+        assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+        assert_ne!(mix_seed(1, 0), mix_seed(2, 0));
+        let a = Scenario::at(fig4_net(0.0))
+            .rayleigh(20, 9)
+            .build()
+            .outage()
+            .unwrap();
+        let b = Scenario::at(fig4_net(0.0))
+            .rayleigh(20, 9)
+            .build()
+            .outage()
+            .unwrap();
+        assert_eq!(a.samples(Protocol::Hbc, 0), b.samples(Protocol::Hbc, 0));
+    }
+
+    #[test]
+    fn strict_wins_respects_margin() {
+        let sweep = Scenario::relay_position_sweep(15.0, 3.0, (1..=19).map(|k| k as f64 / 20.0))
+            .build()
+            .sweep()
+            .unwrap();
+        let wins = sweep.strict_wins(Protocol::Hbc, 1e-6);
+        assert!(!wins.is_empty(), "HBC strict band must exist at P = 15 dB");
+        assert!(wins.iter().all(|&d| (0.2..=0.8).contains(&d)));
+        // An absurd margin kills every win.
+        assert!(sweep.strict_wins(Protocol::Hbc, 100.0).is_empty());
+    }
+}

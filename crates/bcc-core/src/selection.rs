@@ -112,10 +112,7 @@ mod tests {
     use super::*;
 
     fn candidates() -> RelayCandidates {
-        RelayCandidates::new(
-            0.2,
-            vec![(1.0, 3.16), (0.5, 0.5), (3.16, 1.0)],
-        )
+        RelayCandidates::new(0.2, vec![(1.0, 3.16), (0.5, 0.5), (3.16, 1.0)])
     }
 
     #[test]
@@ -139,8 +136,16 @@ mod tests {
         // whichever is chosen, the value matches.
         let c = candidates();
         let sel = c.select(Protocol::Mabc, 10.0).unwrap();
-        let v0 = c.network(0, 10.0).max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
-        let v2 = c.network(2, 10.0).max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
+        let v0 = c
+            .network(0, 10.0)
+            .max_sum_rate(Protocol::Mabc)
+            .unwrap()
+            .sum_rate;
+        let v2 = c
+            .network(2, 10.0)
+            .max_sum_rate(Protocol::Mabc)
+            .unwrap()
+            .sum_rate;
         assert!((v0 - v2).abs() < 1e-9);
         assert!((sel.solution.sum_rate - v0).abs() < 1e-9);
         assert_ne!(sel.relay_index, 1, "the weak middle relay can never win");

@@ -1,78 +1,22 @@
-//! Structured parameter sweeps — the inner loops of Figs. 3 and 4 as
-//! reusable, tested utilities.
+//! Deprecated sweep shims.
 //!
-//! Each sweep evaluates every protocol's optimal sum rate across one
-//! scalar parameter and returns a tidy [`SweepResult`] that the plotting
-//! crate and the experiment binaries consume. Keeping the loops here (with
-//! tests) rather than inline in the binaries means the figures and the
-//! test-suite exercise the *same* code path.
+//! The free functions that used to hold the Fig. 3 / Fig. 4 inner loops
+//! now delegate to the batch API: build the equivalent
+//! [`Scenario`](crate::scenario::Scenario) and run its
+//! [`Evaluator`](crate::scenario::Evaluator). Only the function
+//! *signatures* are preserved — the result type changed with the API
+//! redesign: the old row-based `SweepResult` (`rows`, `SweepRow`,
+//! `series() -> Vec<(f64, f64)>`) is gone, and these wrappers return the
+//! new [`scenario::SweepResult`](crate::scenario::SweepResult) (series
+//! keyed by `Protocol`; use `series_points` for `(x, y)` pairs). New code
+//! should construct scenarios directly — the builder composes with
+//! protocol subsets, bound selection and fading, which these wrappers
+//! cannot express.
 
-use crate::comparison::SumRateComparison;
 use crate::error::CoreError;
 use crate::gaussian::GaussianNetwork;
-use crate::protocol::Protocol;
-use bcc_channel::topology::LineNetwork;
-use bcc_num::Db;
-
-/// One row of a sweep: the parameter value and each protocol's optimum.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepRow {
-    /// The swept parameter value (dB, position, … per the sweep's doc).
-    pub x: f64,
-    /// Optimal sum rates in [`Protocol::ALL`] order.
-    pub sum_rates: Vec<f64>,
-    /// The winning protocol at this point.
-    pub winner: Protocol,
-}
-
-/// The output of a sweep.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepResult {
-    /// Human-readable name of the swept parameter.
-    pub x_name: String,
-    /// The rows, in sweep order.
-    pub rows: Vec<SweepRow>,
-}
-
-impl SweepResult {
-    /// The series of one protocol as `(x, sum_rate)` pairs.
-    pub fn series(&self, protocol: Protocol) -> Vec<(f64, f64)> {
-        let idx = Protocol::ALL
-            .iter()
-            .position(|&p| p == protocol)
-            .expect("protocol in ALL");
-        self.rows.iter().map(|r| (r.x, r.sum_rates[idx])).collect()
-    }
-
-    /// Parameter intervals (as grid-point values) where `protocol` is
-    /// strictly better than every other protocol by more than `margin`.
-    pub fn strict_wins(&self, protocol: Protocol, margin: f64) -> Vec<f64> {
-        let idx = Protocol::ALL
-            .iter()
-            .position(|&p| p == protocol)
-            .expect("protocol in ALL");
-        self.rows
-            .iter()
-            .filter(|r| {
-                let own = r.sum_rates[idx];
-                r.sum_rates
-                    .iter()
-                    .enumerate()
-                    .all(|(j, &v)| j == idx || own > v + margin)
-            })
-            .map(|r| r.x)
-            .collect()
-    }
-}
-
-fn evaluate(x: f64, net: &GaussianNetwork) -> Result<SweepRow, CoreError> {
-    let cmp = SumRateComparison::evaluate(net)?;
-    Ok(SweepRow {
-        x,
-        sum_rates: cmp.solutions.iter().map(|s| s.sum_rate).collect(),
-        winner: cmp.best().protocol,
-    })
-}
+use crate::scenario::Scenario;
+pub use crate::scenario::{ProtocolSeries, SweepResult};
 
 /// Sweeps the transmit power (dB) at fixed gains — the E-X1 axis.
 ///
@@ -83,16 +27,15 @@ fn evaluate(x: f64, net: &GaussianNetwork) -> Result<SweepRow, CoreError> {
 /// # Panics
 ///
 /// Panics if `powers_db` is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::power_sweep_db(net, powers).build().sweep()`"
+)]
 pub fn power_sweep(net: &GaussianNetwork, powers_db: &[f64]) -> Result<SweepResult, CoreError> {
     assert!(!powers_db.is_empty(), "need at least one power point");
-    let rows = powers_db
-        .iter()
-        .map(|&p| evaluate(p, &net.with_power_db(Db::new(p))))
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(SweepResult {
-        x_name: "power [dB]".into(),
-        rows,
-    })
+    Scenario::power_sweep_db(*net, powers_db.iter().copied())
+        .build()
+        .sweep()
 }
 
 /// Sweeps symmetric relay gains `G_ar = G_br` (dB) at fixed power and
@@ -105,28 +48,19 @@ pub fn power_sweep(net: &GaussianNetwork, powers_db: &[f64]) -> Result<SweepResu
 /// # Panics
 ///
 /// Panics if `gains_db` is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::symmetric_gain_sweep_db(power, gab, gains).build().sweep()`"
+)]
 pub fn symmetric_gain_sweep(
     power_db: f64,
     gab_db: f64,
     gains_db: &[f64],
 ) -> Result<SweepResult, CoreError> {
     assert!(!gains_db.is_empty(), "need at least one gain point");
-    let rows = gains_db
-        .iter()
-        .map(|&g| {
-            let net = GaussianNetwork::from_db(
-                Db::new(power_db),
-                Db::new(gab_db),
-                Db::new(g),
-                Db::new(g),
-            );
-            evaluate(g, &net)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(SweepResult {
-        x_name: "relay gain [dB]".into(),
-        rows,
-    })
+    Scenario::symmetric_gain_sweep_db(power_db, gab_db, gains_db.iter().copied())
+        .build()
+        .sweep()
 }
 
 /// Sweeps the relay position on the a–b line with path-loss exponent
@@ -139,32 +73,27 @@ pub fn symmetric_gain_sweep(
 /// # Panics
 ///
 /// Panics if `positions` is empty or contains values outside `(0, 1)`
-/// (propagated from [`LineNetwork::new`]).
+/// (propagated from [`bcc_channel::topology::LineNetwork::new`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Scenario::relay_position_sweep(power, gamma, positions).build().sweep()`"
+)]
 pub fn position_sweep(
     power_db: f64,
     gamma: f64,
     positions: &[f64],
 ) -> Result<SweepResult, CoreError> {
     assert!(!positions.is_empty(), "need at least one position");
-    let rows = positions
-        .iter()
-        .map(|&d| {
-            let net = GaussianNetwork::new(
-                Db::new(power_db).to_linear(),
-                LineNetwork::new(d, gamma).channel_state(),
-            );
-            evaluate(d, &net)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(SweepResult {
-        x_name: "relay position".into(),
-        rows,
-    })
+    Scenario::relay_position_sweep(power_db, gamma, positions.iter().copied())
+        .build()
+        .sweep()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::protocol::Protocol;
     use bcc_channel::ChannelState;
 
     fn fig4_net() -> GaussianNetwork {
@@ -175,15 +104,17 @@ mod tests {
     }
 
     #[test]
-    fn power_sweep_shapes() {
-        let r = power_sweep(&fig4_net(), &[-5.0, 0.0, 5.0, 10.0]).unwrap();
-        assert_eq!(r.rows.len(), 4);
-        for row in &r.rows {
-            assert_eq!(row.sum_rates.len(), Protocol::ALL.len());
-        }
+    fn power_sweep_shim_matches_scenario() {
+        let grid = [-5.0, 0.0, 5.0, 10.0];
+        let shim = power_sweep(&fig4_net(), &grid).unwrap();
+        let direct = Scenario::power_sweep_db(fig4_net(), grid)
+            .build()
+            .sweep()
+            .unwrap();
+        assert_eq!(shim, direct);
         // Monotone in power for every protocol.
         for proto in Protocol::ALL {
-            let s = r.series(proto);
+            let s = shim.series_points(proto);
             for w in s.windows(2) {
                 assert!(w[1].1 >= w[0].1 - 1e-9, "{proto} not monotone");
             }
@@ -191,52 +122,27 @@ mod tests {
     }
 
     #[test]
-    fn winner_matches_max_column() {
-        let r = power_sweep(&fig4_net(), &[0.0, 10.0, 20.0]).unwrap();
-        for row in &r.rows {
-            let idx = Protocol::ALL.iter().position(|&p| p == row.winner).unwrap();
-            let best = row.sum_rates.iter().cloned().fold(f64::MIN, f64::max);
-            assert!((row.sum_rates[idx] - best).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn position_sweep_mirror_symmetric() {
-        let r = position_sweep(15.0, 3.0, &[0.25, 0.5, 0.75]).unwrap();
-        // Sum rates at d and 1-d coincide for every protocol (swap
-        // symmetry of the line network).
-        for (i, proto) in Protocol::ALL.iter().enumerate() {
-            let _ = proto;
-            assert!(
-                (r.rows[0].sum_rates[i] - r.rows[2].sum_rates[i]).abs() < 1e-8,
-                "asymmetry at protocol index {i}"
-            );
-        }
-    }
-
-    #[test]
-    fn hbc_strict_band_detected_in_position_sweep() {
-        // Fig. 3 sweep B showed HBC strictly winning around d = 0.3/0.7.
-        let positions: Vec<f64> = (1..=19).map(|k| k as f64 / 20.0).collect();
-        let r = position_sweep(15.0, 3.0, &positions).unwrap();
-        let wins = r.strict_wins(Protocol::Hbc, 1e-6);
-        assert!(!wins.is_empty(), "HBC strict band must exist at P = 15 dB");
-        assert!(wins.iter().all(|&d| (0.2..=0.8).contains(&d)));
-    }
-
-    #[test]
     fn symmetric_gain_sweep_tdbc_catches_dt() {
         // At G_ar = G_br = G_ab (0 dB), TDBC degenerates to DT exactly.
         let r = symmetric_gain_sweep(15.0, 0.0, &[0.0]).unwrap();
-        let dt = r.series(Protocol::DirectTransmission)[0].1;
-        let tdbc = r.series(Protocol::Tdbc)[0].1;
+        let dt = r.series_points(Protocol::DirectTransmission)[0].1;
+        let tdbc = r.series_points(Protocol::Tdbc)[0].1;
         assert!((dt - tdbc).abs() < 1e-8);
     }
 
     #[test]
     fn dt_flat_in_relay_gain() {
         let r = symmetric_gain_sweep(15.0, 0.0, &[0.0, 10.0, 20.0]).unwrap();
-        let s = r.series(Protocol::DirectTransmission);
+        let s = r.series_points(Protocol::DirectTransmission);
         assert!((s[0].1 - s[2].1).abs() < 1e-9, "DT must ignore relay gains");
+    }
+
+    #[test]
+    fn position_sweep_shim_finds_hbc_band() {
+        // Fig. 3 sweep B showed HBC strictly winning around d = 0.3/0.7.
+        let positions: Vec<f64> = (1..=19).map(|k| k as f64 / 20.0).collect();
+        let r = position_sweep(15.0, 3.0, &positions).unwrap();
+        let wins = r.strict_wins(Protocol::Hbc, 1e-6);
+        assert!(!wins.is_empty(), "HBC strict band must exist at P = 15 dB");
     }
 }

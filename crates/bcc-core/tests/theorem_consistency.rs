@@ -38,7 +38,11 @@ fn mabc_sum_rate_closed_form_when_mac_binds() {
     let c2 = awgn_capacity(p * 1.5);
     let expect = c1 * 2.0 * c2 / (c1 + 2.0 * c2);
     let sol = optimizer::max_sum_rate(&mabc::capacity_constraints(p, &s)).unwrap();
-    assert!((sol.objective - expect).abs() < 1e-8, "{} vs {expect}", sol.objective);
+    assert!(
+        (sol.objective - expect).abs() < 1e-8,
+        "{} vs {expect}",
+        sol.objective
+    );
 }
 
 #[test]
@@ -54,7 +58,11 @@ fn tdbc_sum_rate_closed_form_dead_direct_link() {
     assert!((sol.objective - 2.0 * c / 3.0).abs() < 1e-8);
     // And the durations split evenly.
     for d in &sol.durations {
-        assert!((d - 1.0 / 3.0).abs() < 1e-6, "durations {:?}", sol.durations);
+        assert!(
+            (d - 1.0 / 3.0).abs() < 1e-6,
+            "durations {:?}",
+            sol.durations
+        );
     }
 }
 
@@ -69,8 +77,12 @@ fn hbc_weighted_optima_dominate_both_embeddings_for_all_weights() {
         let wa = k as f64 / 10.0;
         let wb = 1.0 - wa;
         let h = optimizer::max_weighted(&hbc_set, wa, wb).unwrap().objective;
-        let m = optimizer::max_weighted(&mabc_set, wa, wb).unwrap().objective;
-        let t = optimizer::max_weighted(&tdbc_set, wa, wb).unwrap().objective;
+        let m = optimizer::max_weighted(&mabc_set, wa, wb)
+            .unwrap()
+            .objective;
+        let t = optimizer::max_weighted(&tdbc_set, wa, wb)
+            .unwrap()
+            .objective;
         assert!(h >= m - 1e-8, "w=({wa},{wb}): HBC {h} < MABC {m}");
         assert!(h >= t - 1e-8, "w=({wa},{wb}): HBC {h} < TDBC {t}");
     }
@@ -84,9 +96,7 @@ fn theorem2_constraint_coefficients_match_primitives() {
     let rows = set.constraints();
     assert!((rows[0].phase_coefs[0] - awgn_capacity(p * s.gar())).abs() < 1e-12);
     assert!((rows[1].phase_coefs[1] - awgn_capacity(p * s.gbr())).abs() < 1e-12);
-    assert!(
-        (rows[4].phase_coefs[0] - mac_sum_capacity(p * s.gar(), p * s.gbr())).abs() < 1e-12
-    );
+    assert!((rows[4].phase_coefs[0] - mac_sum_capacity(p * s.gar(), p * s.gbr())).abs() < 1e-12);
 }
 
 #[test]
@@ -119,9 +129,7 @@ fn hbc_outer_family_rho_zero_matches_tdbc_style_cuts() {
     let set = hbc::outer_constraints_with_rho(p, &s, 0.0);
     let rows = set.constraints();
     assert!((rows[0].phase_coefs[2] - awgn_capacity(p * s.gar())).abs() < 1e-12);
-    assert!(
-        (rows[4].phase_coefs[2] - mac_sum_capacity(p * s.gar(), p * s.gbr())).abs() < 1e-12
-    );
+    assert!((rows[4].phase_coefs[2] - mac_sum_capacity(p * s.gar(), p * s.gbr())).abs() < 1e-12);
 }
 
 #[test]

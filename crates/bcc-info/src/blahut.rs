@@ -37,9 +37,9 @@ pub fn capacity(channel: &Dmc, tol: f64, max_iter: usize) -> BlahutResult {
         iterations = it + 1;
         // q(y) = Σ_x p(x) W(y|x)
         let mut q = vec![0.0; ny];
-        for x in 0..nx {
-            for y in 0..ny {
-                q[y] += p[x] * channel.transition(x, y);
+        for (x, &px) in p.iter().enumerate() {
+            for (y, qy) in q.iter_mut().enumerate() {
+                *qy += px * channel.transition(x, y);
             }
         }
         // D(x) = Σ_y W(y|x) log2( W(y|x) / q(y) )

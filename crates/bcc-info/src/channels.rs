@@ -71,11 +71,11 @@ impl Dmc {
     ///
     /// Panics if `eps ∉ [0, 1]`.
     pub fn bec(eps: f64) -> Self {
-        assert!((0.0..=1.0).contains(&eps), "erasure prob out of range: {eps}");
-        Dmc::new(vec![
-            vec![1.0 - eps, 0.0, eps],
-            vec![0.0, 1.0 - eps, eps],
-        ])
+        assert!(
+            (0.0..=1.0).contains(&eps),
+            "erasure prob out of range: {eps}"
+        );
+        Dmc::new(vec![vec![1.0 - eps, 0.0, eps], vec![0.0, 1.0 - eps, eps]])
     }
 
     /// Z-channel: input 0 is noiseless, input 1 flips with probability `p`.

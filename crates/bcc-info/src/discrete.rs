@@ -168,7 +168,11 @@ impl JointPmf {
     /// Panics if `channel_rows.len() != input.len()` or rows have unequal
     /// lengths.
     pub fn from_input_and_channel(input: &Pmf, channel_rows: &[Vec<f64>]) -> Self {
-        assert_eq!(channel_rows.len(), input.len(), "channel row count mismatch");
+        assert_eq!(
+            channel_rows.len(),
+            input.len(),
+            "channel row count mismatch"
+        );
         let ny = channel_rows.first().map_or(0, |r| r.len());
         assert!(ny > 0, "channel must have at least one output");
         assert!(
@@ -244,10 +248,7 @@ mod tests {
     #[test]
     fn pmf_validation() {
         assert!(Pmf::new(vec![0.5, 0.5]).is_ok());
-        assert!(matches!(
-            Pmf::new(vec![]),
-            Err(DistributionError::Empty)
-        ));
+        assert!(matches!(Pmf::new(vec![]), Err(DistributionError::Empty)));
         assert!(matches!(
             Pmf::new(vec![0.5, 0.6]),
             Err(DistributionError::NotNormalised { .. })

@@ -47,14 +47,20 @@ pub fn mac_sum_capacity(snr_a: f64, snr_b: f64) -> f64 {
 ///
 /// Panics if `rho` is outside `[0, 1]`.
 pub fn mac_sum_capacity_correlated(snr_a: f64, snr_b: f64, rho: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "correlation out of range: {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "correlation out of range: {rho}"
+    );
     awgn_capacity(snr_a + snr_b + 2.0 * rho * (snr_a * snr_b).sqrt())
 }
 
 /// Per-user constraint of a correlated-input Gaussian MAC:
 /// `I(X_a; Y | X_b) = C(snr_a (1 − ρ²))`.
 pub fn mac_individual_capacity_correlated(snr_a: f64, rho: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "correlation out of range: {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "correlation out of range: {rho}"
+    );
     awgn_capacity(snr_a * (1.0 - rho * rho))
 }
 
@@ -191,7 +197,10 @@ mod tests {
         for &snr in &[0.25f64, 1.0, 4.0, 16.0] {
             let shannon = 0.5 * (1.0 + snr).log2();
             let bpsk = bpsk_awgn_capacity(snr);
-            assert!(bpsk <= shannon.min(1.0) + 1e-9, "snr={snr}: {bpsk} vs {shannon}");
+            assert!(
+                bpsk <= shannon.min(1.0) + 1e-9,
+                "snr={snr}: {bpsk} vs {shannon}"
+            );
         }
     }
 

@@ -19,7 +19,11 @@ pub fn empirical_rate(pmf: &Pmf, seq: &[usize]) -> f64 {
     assert!(!seq.is_empty(), "empty sequence");
     let mut total = 0.0;
     for &s in seq {
-        assert!(s < pmf.len(), "symbol {s} outside alphabet of size {}", pmf.len());
+        assert!(
+            s < pmf.len(),
+            "symbol {s} outside alphabet of size {}",
+            pmf.len()
+        );
         let p = pmf.prob(s);
         if p == 0.0 {
             return f64::INFINITY;

@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn one_nat_is_1_44_bits() {
-        assert!((nats_to_bits(1.0) - 1.4426950408889634).abs() < 1e-12);
+        assert!((nats_to_bits(1.0) - std::f64::consts::LOG2_E).abs() < 1e-12);
         assert!((bits_to_nats(1.0) - LN_2).abs() < 1e-12);
     }
 

@@ -35,8 +35,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
         assert_eq!(
             LpError::IterationLimit.to_string(),
             "simplex iteration limit reached"

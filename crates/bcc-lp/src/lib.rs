@@ -46,7 +46,7 @@ mod simplex;
 
 pub use error::LpError;
 pub use problem::{Problem, Relation, Sense};
-pub use simplex::Solution;
+pub use simplex::{Solution, Workspace};
 
 #[cfg(test)]
 mod tests {

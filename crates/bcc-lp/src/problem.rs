@@ -1,7 +1,7 @@
 //! LP problem construction (the user-facing builder).
 
 use crate::error::LpError;
-use crate::simplex::{self, Solution};
+use crate::simplex::{self, Solution, Workspace};
 
 /// Direction of optimisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,7 +65,10 @@ impl Problem {
     ///
     /// Panics if `objective` is empty or contains non-finite values.
     pub fn new(sense: Sense, objective: &[f64]) -> Self {
-        assert!(!objective.is_empty(), "objective must have at least one variable");
+        assert!(
+            !objective.is_empty(),
+            "objective must have at least one variable"
+        );
         assert!(
             objective.iter().all(|c| c.is_finite()),
             "objective coefficients must be finite"
@@ -115,7 +118,7 @@ impl Problem {
         self
     }
 
-    /// Solves the program.
+    /// Solves the program with a throwaway [`Workspace`].
     ///
     /// # Errors
     ///
@@ -124,13 +127,26 @@ impl Problem {
     /// * [`LpError::IterationLimit`] — numerical breakdown (should not occur
     ///   on well-scaled inputs).
     pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&mut Workspace::new())
+    }
+
+    /// Solves the program reusing `ws` for all scratch memory.
+    ///
+    /// Batch workloads (parameter sweeps, Monte-Carlo fading trials) should
+    /// keep one workspace alive across solves: the tableau and reduced-cost
+    /// buffers are then allocated once instead of once per LP.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_with(&self, ws: &mut Workspace) -> Result<Solution, LpError> {
         // Internally everything is a maximization; flip the sign for
         // minimization and flip the optimum back afterwards.
         let obj: Vec<f64> = match self.sense {
             Sense::Maximize => self.objective.clone(),
             Sense::Minimize => self.objective.iter().map(|c| -c).collect(),
         };
-        let mut sol = simplex::solve_max(&obj, &self.rows)?;
+        let mut sol = simplex::solve_max(&obj, &self.rows, ws)?;
         if self.sense == Sense::Minimize {
             sol.objective = -sol.objective;
         }

@@ -14,6 +14,11 @@
 //! Bland's smallest-index rule guarantees termination even on degenerate
 //! problems (e.g. the Beale cycling example in the crate tests), at the cost
 //! of a few extra pivots — irrelevant at this problem scale.
+//!
+//! All scratch memory (the tableau, the basis, the reduced-cost rows) lives
+//! in a caller-supplied [`Workspace`] so batched workloads — the `Scenario`
+//! evaluator in `bcc-core` solves thousands of near-identical LPs per sweep
+//! — pay for the buffers once instead of once per solve.
 
 use crate::error::LpError;
 use crate::problem::{Relation, Row};
@@ -36,11 +41,42 @@ pub struct Solution {
     pub pivots: usize,
 }
 
-struct Tableau {
-    /// `rows × cols` coefficient grid; the last column is the RHS.
+/// Reusable solver scratch memory.
+///
+/// A default-constructed workspace is empty; buffers grow to fit the first
+/// problem solved through it and are reused (not shrunk) afterwards. One
+/// workspace serves any number of sequential solves of any sizes; it is
+/// `Send`, so batch drivers can move it into worker threads.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Tableau rows, each `ncols + 1` wide (the last column is the RHS).
     a: Vec<Vec<f64>>,
+    /// Spare tableau rows retained from earlier, larger solves.
+    spare: Vec<Vec<f64>>,
     /// Basic variable (column index) of each row.
     basis: Vec<usize>,
+    /// Phase-2 reduced-cost row.
+    obj: Vec<f64>,
+    /// Phase-1 reduced-cost row.
+    w: Vec<f64>,
+    /// Per-row effective relation after RHS sign normalisation.
+    rels: Vec<Relation>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+struct Tableau<'ws> {
+    /// `rows × cols` coefficient grid; the last column is the RHS.
+    a: &'ws mut Vec<Vec<f64>>,
+    /// Overflow store for rows dropped as redundant (keeps their buffers).
+    spare: &'ws mut Vec<Vec<f64>>,
+    /// Basic variable (column index) of each row.
+    basis: &'ws mut Vec<usize>,
     /// Number of columns excluding the RHS.
     ncols: usize,
     /// Column index where artificial variables start (`== ncols` if none).
@@ -48,14 +84,14 @@ struct Tableau {
     pivots: usize,
 }
 
-impl Tableau {
+impl Tableau<'_> {
     fn rhs(&self, r: usize) -> f64 {
         self.a[r][self.ncols]
     }
 
     /// Gauss–Jordan pivot on (`row`, `col`), updating `extra` objective rows
     /// alongside the constraint rows.
-    fn pivot(&mut self, row: usize, col: usize, extra: &mut [Vec<f64>]) {
+    fn pivot(&mut self, row: usize, col: usize, extra: &mut [&mut Vec<f64>]) {
         let piv = self.a[row][col];
         debug_assert!(piv.abs() > TOL, "pivot on near-zero element");
         let inv = 1.0 / piv;
@@ -64,7 +100,7 @@ impl Tableau {
         }
         // Make the pivot element exactly 1 to limit drift.
         self.a[row][col] = 1.0;
-        let pivot_row = self.a[row].clone();
+        let pivot_row = std::mem::take(&mut self.a[row]);
         for (r, arow) in self.a.iter_mut().enumerate() {
             if r == row {
                 continue;
@@ -88,6 +124,7 @@ impl Tableau {
             }
             orow[col] = 0.0;
         }
+        self.a[row] = pivot_row;
         self.basis[row] = col;
         self.pivots += 1;
     }
@@ -131,61 +168,65 @@ impl Tableau {
             let Some(row) = self.ratio_test(col) else {
                 return Err(LpError::Unbounded);
             };
-            let mut extra = [std::mem::take(obj)];
-            self.pivot(row, col, &mut extra);
-            *obj = std::mem::replace(&mut extra[0], Vec::new());
+            self.pivot(row, col, &mut [&mut *obj]);
         }
     }
 }
 
-/// Solves `maximize c·x  s.t. rows, x ≥ 0`.
-pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
+/// Resizes `buf` to `rows` rows of `width` zeros, reusing prior row
+/// allocations (including rows parked in `spare`).
+fn reset_grid(buf: &mut Vec<Vec<f64>>, spare: &mut Vec<Vec<f64>>, rows: usize, width: usize) {
+    if buf.len() > rows {
+        spare.extend(buf.drain(rows..));
+    }
+    while buf.len() < rows {
+        buf.push(spare.pop().unwrap_or_default());
+    }
+    for row in buf.iter_mut() {
+        row.clear();
+        row.resize(width, 0.0);
+    }
+}
+
+/// Solves `maximize c·x  s.t. rows, x ≥ 0` using `ws` for scratch memory.
+pub(crate) fn solve_max(c: &[f64], rows: &[Row], ws: &mut Workspace) -> Result<Solution, LpError> {
     let nstruct = c.len();
-    // Classify rows and count auxiliary columns.
+    // Classify rows (after RHS sign normalisation) and count aux columns.
     let mut n_slack = 0;
     let mut n_art = 0;
-    struct Norm {
-        coeffs: Vec<f64>,
-        rhs: f64,
-        rel: Relation,
+    ws.rels.clear();
+    for r in rows {
+        let mut rel = r.rel;
+        if r.rhs < 0.0 {
+            rel = match rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        match rel {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+        ws.rels.push(rel);
     }
-    let norm: Vec<Norm> = rows
-        .iter()
-        .map(|r| {
-            let mut coeffs = r.coeffs.clone();
-            let mut rhs = r.rhs;
-            let mut rel = r.rel;
-            if rhs < 0.0 {
-                for v in &mut coeffs {
-                    *v = -*v;
-                }
-                rhs = -rhs;
-                rel = match rel {
-                    Relation::Le => Relation::Ge,
-                    Relation::Ge => Relation::Le,
-                    Relation::Eq => Relation::Eq,
-                };
-            }
-            match rel {
-                Relation::Le => n_slack += 1,
-                Relation::Ge => {
-                    n_slack += 1;
-                    n_art += 1;
-                }
-                Relation::Eq => n_art += 1,
-            }
-            Norm { coeffs, rhs, rel }
-        })
-        .collect();
 
     let slack_start = nstruct;
     let art_start = nstruct + n_slack;
     let ncols = nstruct + n_slack + n_art;
-    let m = norm.len();
+    let m = rows.len();
 
+    reset_grid(&mut ws.a, &mut ws.spare, m, ncols + 1);
+    ws.basis.clear();
+    ws.basis.resize(m, usize::MAX);
     let mut t = Tableau {
-        a: vec![vec![0.0; ncols + 1]; m],
-        basis: vec![usize::MAX; m],
+        a: &mut ws.a,
+        spare: &mut ws.spare,
+        basis: &mut ws.basis,
         ncols,
         art_start,
         pivots: 0,
@@ -193,10 +234,14 @@ pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
 
     let mut next_slack = slack_start;
     let mut next_art = art_start;
-    for (i, row) in norm.iter().enumerate() {
-        t.a[i][..nstruct].copy_from_slice(&row.coeffs);
-        t.a[i][ncols] = row.rhs;
-        match row.rel {
+    for (i, row) in rows.iter().enumerate() {
+        let flip = row.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for (dst, &src) in t.a[i][..nstruct].iter_mut().zip(&row.coeffs) {
+            *dst = sign * src;
+        }
+        t.a[i][ncols] = sign * row.rhs;
+        match ws.rels[i] {
             Relation::Le => {
                 t.a[i][next_slack] = 1.0;
                 t.basis[i] = next_slack;
@@ -221,20 +266,21 @@ pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
     if n_art > 0 {
         // Maximize -(sum of artificials): reduced-cost row starts as
         // +1 on artificial columns, then price out the artificial basis.
-        let mut w = vec![0.0; ncols + 1];
-        for j in art_start..ncols {
-            w[j] = 1.0;
+        let w = &mut ws.w;
+        w.clear();
+        w.resize(ncols + 1, 0.0);
+        for wj in w[art_start..ncols].iter_mut() {
+            *wj = 1.0;
         }
         for (r, &b) in t.basis.iter().enumerate() {
             if b >= art_start {
-                let arow = t.a[r].clone();
-                for (wj, aj) in w.iter_mut().zip(&arow) {
+                for (wj, aj) in w.iter_mut().zip(t.a[r].iter()) {
                     *wj -= aj;
                 }
             }
         }
         // Artificials may not re-enter during phase 1 either.
-        t.optimize(&mut w, art_start)?;
+        t.optimize(w, art_start)?;
         let infeas = -w[ncols];
         if infeas > 1e-7 {
             return Err(LpError::Infeasible);
@@ -247,16 +293,15 @@ pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
                 let col = (0..t.art_start).find(|&j| t.a[r][j].abs() > 1e-7);
                 match col {
                     Some(j) => {
-                        let mut extra: [Vec<f64>; 1] = [std::mem::take(&mut w)];
-                        t.pivot(r, j, &mut extra);
-                        w = std::mem::replace(&mut extra[0], Vec::new());
+                        t.pivot(r, j, &mut [&mut *w]);
                         r += 1;
                     }
                     None => {
                         // Redundant row: every structural/slack coefficient is
                         // ~0 and the RHS is ~0 (else phase 1 would be
-                        // positive). Drop it.
-                        t.a.remove(r);
+                        // positive). Drop it (parking the buffer for reuse).
+                        let dropped = t.a.remove(r);
+                        t.spare.push(dropped);
                         t.basis.remove(r);
                     }
                 }
@@ -267,7 +312,9 @@ pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
     }
 
     // ---- Phase 2: optimise the true objective.
-    let mut obj = vec![0.0; ncols + 1];
+    let obj = &mut ws.obj;
+    obj.clear();
+    obj.resize(ncols + 1, 0.0);
     for (j, &cj) in c.iter().enumerate() {
         obj[j] = -cj;
     }
@@ -275,14 +322,13 @@ pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
     for (r, &b) in t.basis.iter().enumerate() {
         if obj[b] != 0.0 {
             let factor = obj[b];
-            let arow = t.a[r].clone();
-            for (oj, aj) in obj.iter_mut().zip(&arow) {
+            for (oj, aj) in obj.iter_mut().zip(t.a[r].iter()) {
                 *oj -= factor * aj;
             }
             obj[b] = 0.0;
         }
     }
-    t.optimize(&mut obj, t.art_start)?;
+    t.optimize(obj, t.art_start)?;
 
     // Extract structural solution.
     let mut x = vec![0.0; nstruct];
@@ -302,6 +348,7 @@ pub(crate) fn solve_max(c: &[f64], rows: &[Row]) -> Result<Solution, LpError> {
 #[cfg(test)]
 mod tests {
     use crate::problem::{Problem, Relation};
+    use crate::Workspace;
 
     #[test]
     fn pivots_reported() {
@@ -353,5 +400,54 @@ mod tests {
         p.subject_to(&[0.0, 1.0], Relation::Le, 2.0);
         let s = p.solve().expect("feasible");
         assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_matches_fresh_solves() {
+        // Solving problems of different sizes through one workspace must
+        // give identical results to fresh per-solve workspaces.
+        let mut ws = Workspace::new();
+        let problems: Vec<Problem> = (1..6)
+            .map(|k| {
+                let n = k + 1;
+                let mut p = Problem::maximize(&vec![1.0; n]);
+                p.subject_to(&vec![1.0; n], Relation::Eq, k as f64);
+                for j in 0..n {
+                    let mut row = vec![0.0; n];
+                    row[j] = 1.0;
+                    p.subject_to(&row, Relation::Le, 1.0);
+                }
+                p
+            })
+            .collect();
+        // Interleave growing and shrinking problem sizes.
+        for &i in &[0usize, 4, 1, 3, 0, 2, 4, 0] {
+            let reused = problems[i].solve_with(&mut ws).expect("feasible");
+            let fresh = problems[i].solve().expect("feasible");
+            assert_eq!(reused.x, fresh.x);
+            assert_eq!(reused.objective, fresh.objective);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_after_infeasible_and_redundant_rows() {
+        let mut ws = Workspace::new();
+        let mut bad = Problem::maximize(&[1.0]);
+        bad.subject_to(&[1.0], Relation::Le, 1.0);
+        bad.subject_to(&[1.0], Relation::Ge, 2.0);
+        assert!(bad.solve_with(&mut ws).is_err());
+
+        // Redundant equalities shrink the tableau mid-solve; the workspace
+        // must recover for the next problem.
+        let mut red = Problem::maximize(&[1.0, 1.0]);
+        red.subject_to(&[1.0, 1.0], Relation::Eq, 1.0);
+        red.subject_to(&[1.0, 1.0], Relation::Eq, 1.0);
+        let s = red.solve_with(&mut ws).expect("feasible");
+        assert!((s.objective - 1.0).abs() < 1e-9);
+
+        let mut ok = Problem::maximize(&[2.0]);
+        ok.subject_to(&[1.0], Relation::Le, 3.0);
+        let s = ok.solve_with(&mut ws).expect("feasible");
+        assert!((s.objective - 6.0).abs() < 1e-9);
     }
 }

@@ -24,9 +24,7 @@ fn intersect(l1: &Line, l2: &Line) -> Option<(f64, f64)> {
 }
 
 fn feasible(x: f64, y: f64, cons: &[Line]) -> bool {
-    x >= -1e-7
-        && y >= -1e-7
-        && cons.iter().all(|l| l.a * x + l.b * y <= l.rhs + 1e-6)
+    x >= -1e-7 && y >= -1e-7 && cons.iter().all(|l| l.a * x + l.b * y <= l.rhs + 1e-6)
 }
 
 /// Brute-force optimum over all candidate vertices; `None` if the region is
@@ -34,8 +32,16 @@ fn feasible(x: f64, y: f64, cons: &[Line]) -> bool {
 fn brute_force(obj: (f64, f64), cons: &[Line]) -> Option<f64> {
     let mut lines: Vec<Line> = cons.to_vec();
     // Axes x >= 0, y >= 0 expressed as boundaries.
-    lines.push(Line { a: 1.0, b: 0.0, rhs: 0.0 });
-    lines.push(Line { a: 0.0, b: 1.0, rhs: 0.0 });
+    lines.push(Line {
+        a: 1.0,
+        b: 0.0,
+        rhs: 0.0,
+    });
+    lines.push(Line {
+        a: 0.0,
+        b: 1.0,
+        rhs: 0.0,
+    });
     let mut best: Option<f64> = None;
     for i in 0..lines.len() {
         for j in i + 1..lines.len() {

@@ -152,6 +152,7 @@ impl Mul<Complex64> for f64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
     }

@@ -290,7 +290,9 @@ mod tests {
     fn solve_requires_pivoting() {
         // Zero on the diagonal: only solvable with row swaps.
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        let x = a.solve(&[5.0, 7.0]).expect("permutation matrix is nonsingular");
+        let x = a
+            .solve(&[5.0, 7.0])
+            .expect("permutation matrix is nonsingular");
         assert!(approx_eq(x[0], 7.0, 1e-12));
         assert!(approx_eq(x[1], 5.0, 1e-12));
     }

@@ -111,10 +111,7 @@ pub fn bisect_root<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Option<
 pub fn grid_max<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> ScalarMax {
     assert!(n > 0, "grid needs at least one interval");
     assert!(b >= a, "invalid interval [{a}, {b}]");
-    let mut best = ScalarMax {
-        x: a,
-        value: f(a),
-    };
+    let mut best = ScalarMax { x: a, value: f(a) };
     for i in 1..=n {
         let x = a + (b - a) * i as f64 / n as f64;
         let v = f(x);
@@ -181,7 +178,8 @@ mod tests {
     #[test]
     fn grid_then_refine_beats_grid() {
         // Two peaks; the higher one is off-grid.
-        let f = |x: f64| (-((x - 0.31) * 8.0).powi(2)).exp() + 0.5 * (-((x - 2.0) * 8.0).powi(2)).exp();
+        let f =
+            |x: f64| (-((x - 0.31) * 8.0).powi(2)).exp() + 0.5 * (-((x - 2.0) * 8.0).powi(2)).exp();
         let coarse = grid_max(f, 0.0, 3.0, 10);
         let refined = refine_max(f, 0.0, 3.0, 10, 1e-12);
         assert!(refined.value >= coarse.value);

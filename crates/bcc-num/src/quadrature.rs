@@ -26,7 +26,17 @@ pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_d
     let fb = f(b);
     let m = 0.5 * (a + b);
     let fm = f(m);
-    simpson_rec(&f, a, b, fa, fm, fb, simpson_rule(a, b, fa, fm, fb), tol, max_depth)
+    simpson_rec(
+        &f,
+        a,
+        b,
+        fa,
+        fm,
+        fb,
+        simpson_rule(a, b, fa, fm, fb),
+        tol,
+        max_depth,
+    )
 }
 
 fn simpson_rule(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
@@ -73,7 +83,10 @@ fn simpson_rec<F: Fn(f64) -> f64>(
 /// Panics if `n == 0` or `n > 128` (the Newton initialisation is only tuned
 /// for practical orders).
 pub fn gauss_laguerre_nodes(n: usize) -> (Vec<f64>, Vec<f64>) {
-    assert!(n >= 1 && n <= 128, "unsupported Gauss-Laguerre order {n}");
+    assert!(
+        (1..=128).contains(&n),
+        "unsupported Gauss-Laguerre order {n}"
+    );
     let mut nodes = Vec::with_capacity(n);
     let mut weights = Vec::with_capacity(n);
     let nf = n as f64;

@@ -115,7 +115,10 @@ impl RunningStats {
     ///
     /// Panics if `level` is not in `(0, 1)`.
     pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
-        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must be in (0,1)"
+        );
         let z = crate::special::q_inv((1.0 - level) / 2.0);
         let half = z * self.std_error();
         ConfidenceInterval {
@@ -188,7 +191,13 @@ impl ConfidenceInterval {
 
 impl fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.6}, {:.6}] @ {:.0}%", self.lo, self.hi, self.level * 100.0)
+        write!(
+            f,
+            "[{:.6}, {:.6}] @ {:.0}%",
+            self.lo,
+            self.hi,
+            self.level * 100.0
+        )
     }
 }
 
@@ -205,7 +214,10 @@ impl Ecdf {
     ///
     /// Panics if any sample is NaN.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|x| !x.is_nan()), "ECDF samples must not be NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF samples must not be NaN"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         Ecdf { sorted: samples }
     }
@@ -326,7 +338,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0)
+            .collect();
         let s: RunningStats = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
@@ -386,7 +400,9 @@ mod tests {
         assert!(ci.contains(s.mean()));
         assert!(ci.half_width() > 0.0);
         // 99% interval is wider than 90%.
-        assert!(s.confidence_interval(0.99).half_width() > s.confidence_interval(0.90).half_width());
+        assert!(
+            s.confidence_interval(0.99).half_width() > s.confidence_interval(0.90).half_width()
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Chart {
     ///
     /// Panics if `width < 10` or `height < 4` (too small to render).
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width >= 10 && height >= 4, "canvas too small: {width}x{height}");
+        assert!(
+            width >= 10 && height >= 4,
+            "canvas too small: {width}x{height}"
+        );
         Chart {
             width,
             height,
@@ -67,6 +70,7 @@ impl Chart {
     }
 
     /// Adds a series.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, s: Series) -> Self {
         self.series.push(s);
         self
@@ -90,8 +94,16 @@ impl Chart {
             return format!("{} <no data>\n", self.title);
         };
         // Avoid zero spans.
-        let (x0, x1) = if x0 == x1 { (x0 - 0.5, x1 + 0.5) } else { (x0, x1) };
-        let (y0, y1) = if y0 == y1 { (y0 - 0.5, y1 + 0.5) } else { (y0, y1) };
+        let (x0, x1) = if x0 == x1 {
+            (x0 - 0.5, x1 + 0.5)
+        } else {
+            (x0, x1)
+        };
+        let (y0, y1) = if y0 == y1 {
+            (y0 - 0.5, y1 + 0.5)
+        } else {
+            (y0, y1)
+        };
 
         let mut canvas = vec![vec![' '; self.width]; self.height];
         for (si, s) in self.series.iter().enumerate() {
@@ -142,7 +154,11 @@ impl Chart {
             width = self.width - 7
         ));
         if !self.x_label.is_empty() {
-            out.push_str(&format!("{:>width$}\n", self.x_label, width = 11 + self.width / 2));
+            out.push_str(&format!(
+                "{:>width$}\n",
+                self.x_label,
+                width = 11 + self.width / 2
+            ));
         }
         // Legend.
         for (si, s) in self.series.iter().enumerate() {

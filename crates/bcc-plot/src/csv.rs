@@ -45,9 +45,7 @@ pub fn write_series<W: Write>(w: W, x_name: &str, series: &[Series]) -> io::Resu
     header.extend(series.iter().map(|s| s.name.clone()));
     rows.push(header);
     for i in 0..n {
-        let x = series
-            .iter()
-            .find_map(|s| s.points.get(i).map(|p| p.0));
+        let x = series.iter().find_map(|s| s.points.get(i).map(|p| p.0));
         let mut row = vec![x.map_or(String::new(), |v| format!("{v}"))];
         for s in series {
             row.push(
@@ -70,10 +68,7 @@ mod tests {
         let mut buf = Vec::new();
         write_rows(
             &mut buf,
-            &[
-                vec!["a".into(), "b".into()],
-                vec!["1".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]],
         )
         .unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");

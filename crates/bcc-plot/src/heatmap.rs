@@ -97,10 +97,7 @@ impl CategoryMap {
         for r in (0..self.rows).rev() {
             out.push_str(&format!("{:>8.2} |", self.y_of(r)));
             for c in 0..self.cols {
-                let ch = self
-                    .get(c, r)
-                    .map(|cat| glyphs[cat])
-                    .unwrap_or('.');
+                let ch = self.get(c, r).map(|cat| glyphs[cat]).unwrap_or('.');
                 out.push(ch);
             }
             out.push('\n');

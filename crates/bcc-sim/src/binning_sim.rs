@@ -44,8 +44,7 @@ impl BinningConfig {
     /// The Slepian–Wolf-style budget: `n·(1 − h₂(p_ab))` bits of side
     /// information.
     pub fn side_information_bits(&self) -> f64 {
-        self.block_length as f64
-            * (1.0 - bcc_num::special::binary_entropy(self.side_crossover))
+        self.block_length as f64 * (1.0 - bcc_num::special::binary_entropy(self.side_crossover))
     }
 }
 
@@ -92,7 +91,11 @@ pub fn run_binning_decode<R: Rng + ?Sized>(
     for _ in 0..trials {
         // Fresh random codebook per trial (the random-coding ensemble).
         let codebook: Vec<Vec<u8>> = (0..cfg.num_messages)
-            .map(|_| (0..cfg.block_length).map(|_| rng.gen_range(0..2u8)).collect())
+            .map(|_| {
+                (0..cfg.block_length)
+                    .map(|_| rng.gen_range(0..2u8))
+                    .collect()
+            })
             .collect();
         let partition = BinPartition::random(cfg.num_messages, cfg.num_bins, rng);
         let truth = rng.gen_range(0..cfg.num_messages);
@@ -169,15 +172,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // Plenty of bins (small lists): easy.
         let easy = run_binning_decode(
-            &BinningConfig { num_bins: 256, ..base },
+            &BinningConfig {
+                num_bins: 256,
+                ..base
+            },
             200,
             &mut rng,
         );
         // One bin: decode from side info alone among all 1024 messages —
         // still fine because n(1-h2(0.05)) ≈ 45 bits >> 10 bits needed.
-        let one_bin = run_binning_decode(&BinningConfig { num_bins: 1, ..base }, 200, &mut rng);
+        let one_bin = run_binning_decode(
+            &BinningConfig {
+                num_bins: 1,
+                ..base
+            },
+            200,
+            &mut rng,
+        );
         assert!(easy.error_rate() < 0.05, "easy case: {}", easy.error_rate());
-        assert!(one_bin.error_rate() < 0.05, "one-bin case: {}", one_bin.error_rate());
+        assert!(
+            one_bin.error_rate() < 0.05,
+            "one-bin case: {}",
+            one_bin.error_rate()
+        );
 
         // Now starve the side information (p → 0.5): one bin must fail.
         let starved = BinningConfig {

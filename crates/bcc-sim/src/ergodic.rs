@@ -11,6 +11,8 @@ use crate::mc::{McConfig, McEstimate};
 use bcc_channel::fading::FadingModel;
 use bcc_core::gaussian::GaussianNetwork;
 use bcc_core::protocol::Protocol;
+use bcc_core::scenario::Scenario;
+use bcc_num::stats::RunningStats;
 
 /// Ergodic sum-rate estimate of `protocol` over i.i.d. per-link fading.
 ///
@@ -23,41 +25,32 @@ pub fn ergodic_sum_rate(
     fading: FadingModel,
     cfg: &McConfig,
 ) -> McEstimate {
-    cfg.run(|rng, _| {
-        let faded = net.state().faded(
-            fading.sample_power(rng),
-            fading.sample_power(rng),
-            fading.sample_power(rng),
-        );
-        GaussianNetwork::new(net.power(), faded)
-            .max_sum_rate(protocol)
-            .map(|s| s.sum_rate)
-            .unwrap_or(0.0)
-    })
+    let stats: RunningStats = sum_rate_samples(net, protocol, fading, cfg)
+        .into_iter()
+        .collect();
+    McEstimate { stats }
 }
 
 /// Per-trial optimal sum rates (the raw sample, for outage analysis).
+///
+/// Thin front over the batch evaluator: a single-point
+/// [`Scenario`] with this fading spec draws the *same* fade streams
+/// (`trial_stream(seed, trial)`), so there is exactly one fade-drawing
+/// code path in the workspace.
 pub fn sum_rate_samples(
     net: &GaussianNetwork,
     protocol: Protocol,
     fading: FadingModel,
     cfg: &McConfig,
 ) -> Vec<f64> {
-    let mut out = Vec::with_capacity(cfg.trials);
-    for i in 0..cfg.trials {
-        let mut rng = cfg.trial_rng(i);
-        let faded = net.state().faded(
-            fading.sample_power(&mut rng),
-            fading.sample_power(&mut rng),
-            fading.sample_power(&mut rng),
-        );
-        let v = GaussianNetwork::new(net.power(), faded)
-            .max_sum_rate(protocol)
-            .map(|s| s.sum_rate)
-            .unwrap_or(0.0);
-        out.push(v);
-    }
-    out
+    let out = Scenario::at(*net)
+        .protocols([protocol])
+        .fading(fading, cfg.trials, cfg.seed)
+        .build()
+        .outage()
+        .expect("fading evaluation maps LP failures to rate 0");
+    let mut samples = out.into_samples(protocol);
+    samples.swap_remove(0)
 }
 
 #[cfg(test)]
@@ -79,7 +72,12 @@ mod tests {
         // closed-form ergodic Rayleigh capacity.
         let net = fig4_net(10.0);
         let cfg = McConfig::new(20_000, 99);
-        let est = ergodic_sum_rate(&net, Protocol::DirectTransmission, FadingModel::Rayleigh, &cfg);
+        let est = ergodic_sum_rate(
+            &net,
+            Protocol::DirectTransmission,
+            FadingModel::Rayleigh,
+            &cfg,
+        );
         let expected = ergodic_rayleigh_capacity(net.power() * net.state().gab());
         let ci = est.confidence(0.999);
         assert!(
@@ -123,7 +121,12 @@ mod tests {
         // cannot help the ergodic DT rate (Jensen).
         let net = fig4_net(10.0);
         let cfg = McConfig::new(20_000, 17);
-        let faded = ergodic_sum_rate(&net, Protocol::DirectTransmission, FadingModel::Rayleigh, &cfg);
+        let faded = ergodic_sum_rate(
+            &net,
+            Protocol::DirectTransmission,
+            FadingModel::Rayleigh,
+            &cfg,
+        );
         let unfaded = net
             .max_sum_rate(Protocol::DirectTransmission)
             .unwrap()

@@ -7,7 +7,6 @@
 
 use bcc_num::stats::{ConfidenceInterval, RunningStats};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Configuration for a Monte-Carlo estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,16 +68,12 @@ impl McConfig {
         McEstimate { stats }
     }
 
-    /// The deterministic RNG stream of trial `i`.
+    /// The deterministic RNG stream of trial `i` — the workspace-wide
+    /// seeding policy shared with the `Scenario` evaluator, so a
+    /// single-point scenario and a classic `McConfig` run see identical
+    /// fade streams.
     pub fn trial_rng(&self, i: usize) -> StdRng {
-        // SplitMix-style mixing of (seed, i) into a child seed.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        StdRng::seed_from_u64(z)
+        bcc_core::scenario::trial_stream(self.seed, i as u64)
     }
 }
 

@@ -123,8 +123,14 @@ mod tests {
         let mabc = profile(Protocol::Mabc);
         let tdbc = profile(Protocol::Tdbc);
         for eps in [0.05, 0.25, 0.5, 0.9] {
-            assert!(hbc.outage_rate(eps) >= mabc.outage_rate(eps) - 1e-9, "eps={eps}");
-            assert!(hbc.outage_rate(eps) >= tdbc.outage_rate(eps) - 1e-9, "eps={eps}");
+            assert!(
+                hbc.outage_rate(eps) >= mabc.outage_rate(eps) - 1e-9,
+                "eps={eps}"
+            );
+            assert!(
+                hbc.outage_rate(eps) >= tdbc.outage_rate(eps) - 1e-9,
+                "eps={eps}"
+            );
         }
     }
 

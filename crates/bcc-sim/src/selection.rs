@@ -125,7 +125,10 @@ mod tests {
             let c = symmetric_candidates(n);
             let v = ergodic_selection_rate(&c, Protocol::Mabc, 10.0, FadingModel::Rayleigh, &cfg)
                 .mean();
-            assert!(v >= last, "ergodic rate must grow with candidates: {v} < {last}");
+            assert!(
+                v >= last,
+                "ergodic rate must grow with candidates: {v} < {last}"
+            );
             last = v;
         }
     }

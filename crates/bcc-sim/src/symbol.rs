@@ -86,9 +86,9 @@ pub fn run_mabc_exchange<R: Rng + ?Sized>(
 
         // ---- Phase 1: superposed MAC transmission, 7 symbols.
         let mut y_r = Vec::with_capacity(7);
-        for k in 0..7 {
-            let xa = bpsk(codewords[wa as usize][k], cfg.power);
-            let xb = bpsk(codewords[wb as usize][k], cfg.power);
+        for (&ca, &cb) in codewords[wa as usize].iter().zip(&codewords[wb as usize]) {
+            let xa = bpsk(ca, cfg.power);
+            let xb = bpsk(cb, cfg.power);
             y_r.push(channel.receive_mac(g_ar, xa, g_br, xb, rng));
         }
         // Joint ML over all (ma, mb) pairs: minimise Σ |y - ga·s(ca) -
@@ -229,37 +229,36 @@ pub fn run_tdbc_exchange<R: Rng + ?Sized>(
 
         // b decodes wa: hypotheses over wa, combining the direct phase-1
         // look with the XOR broadcast (b knows wb).
-        let decode_with_combining =
-            |y_direct: &[Complex64],
-             g_direct: LinkGain,
-             y_bc: &[Complex64],
-             g_bc: LinkGain,
-             own: u8| {
-                let mut best = 0u8;
-                let mut best_metric = f64::INFINITY;
-                for hyp in 0..16u8 {
-                    let cw_direct = &codewords[hyp as usize];
-                    let cw_bc = &codewords[(hyp ^ own) as usize];
-                    let mut metric = 0.0;
-                    if use_side_information {
-                        metric += y_direct
-                            .iter()
-                            .zip(cw_direct)
-                            .map(|(&y, &bit)| (y - g_direct.apply(bpsk(bit, cfg.power))).norm_sqr())
-                            .sum::<f64>();
-                    }
-                    metric += y_bc
+        let decode_with_combining = |y_direct: &[Complex64],
+                                     g_direct: LinkGain,
+                                     y_bc: &[Complex64],
+                                     g_bc: LinkGain,
+                                     own: u8| {
+            let mut best = 0u8;
+            let mut best_metric = f64::INFINITY;
+            for hyp in 0..16u8 {
+                let cw_direct = &codewords[hyp as usize];
+                let cw_bc = &codewords[(hyp ^ own) as usize];
+                let mut metric = 0.0;
+                if use_side_information {
+                    metric += y_direct
                         .iter()
-                        .zip(cw_bc)
-                        .map(|(&y, &bit)| (y - g_bc.apply(bpsk(bit, cfg.power))).norm_sqr())
+                        .zip(cw_direct)
+                        .map(|(&y, &bit)| (y - g_direct.apply(bpsk(bit, cfg.power))).norm_sqr())
                         .sum::<f64>();
-                    if metric < best_metric {
-                        best_metric = metric;
-                        best = hyp;
-                    }
                 }
-                best
-            };
+                metric += y_bc
+                    .iter()
+                    .zip(cw_bc)
+                    .map(|(&y, &bit)| (y - g_bc.apply(bpsk(bit, cfg.power))).norm_sqr())
+                    .sum::<f64>();
+                if metric < best_metric {
+                    best_metric = metric;
+                    best = hyp;
+                }
+            }
+            best
+        };
         let wa_at_b = decode_with_combining(&y_b1, g_ab, &y_b3, g_br, wb);
         let wb_at_a = decode_with_combining(&y_a2, g_ab, &y_a3, g_ar, wa);
 
@@ -303,7 +302,11 @@ mod tests {
             rates[0] > rates[1] && rates[1] > rates[2],
             "waterfall violated: {rates:?}"
         );
-        assert!(rates[0] > 0.05, "low SNR should be unreliable: {}", rates[0]);
+        assert!(
+            rates[0] > 0.05,
+            "low SNR should be unreliable: {}",
+            rates[0]
+        );
     }
 
     #[test]

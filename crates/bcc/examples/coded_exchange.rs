@@ -43,8 +43,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let fwd = simulate_exchange(&net, RelayScheme::PlainForwarding, 10_000, &mut rng);
     println!("  LP sum-throughput bound : {bound:.4} packets/slot");
-    println!("  XOR network coding      : {:.4} packets/slot", xor.sum_throughput);
-    println!("  plain forwarding        : {:.4} packets/slot", fwd.sum_throughput);
+    println!(
+        "  XOR network coding      : {:.4} packets/slot",
+        xor.sum_throughput
+    );
+    println!(
+        "  plain forwarding        : {:.4} packets/slot",
+        fwd.sum_throughput
+    );
     println!(
         "  network-coding gain     : {:.1}%",
         (xor.sum_throughput / fwd.sum_throughput - 1.0) * 100.0

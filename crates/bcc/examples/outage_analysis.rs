@@ -1,0 +1,51 @@
+//! Outage analysis under Rayleigh fading — what a cellular operator would
+//! actually quote (the paper's quasi-static fading model, taken to its
+//! operational conclusion).
+//!
+//! ```bash
+//! cargo run --example outage_analysis --release
+//! ```
+//!
+//! One single-point `Scenario` with an attached Rayleigh study estimates,
+//! for each protocol at the Fig. 4 gains: the ergodic sum rate, the 5%-
+//! and 10%-outage sum rates, and the outage probability of operating at
+//! half the no-fading optimum.
+
+use bcc::plot::Table;
+use bcc::prelude::*;
+
+fn main() {
+    let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+    let trials = 3000;
+    let mut evaluator = Scenario::at(net).rayleigh(trials, 20260609).build();
+    let exact = evaluator.compare().expect("LP");
+    let outage = evaluator.outage().expect("LP");
+
+    println!(
+        "Rayleigh fading, P = 10 dB, {} ({trials} trials)\n",
+        net.state()
+    );
+    let mut table = Table::new(vec![
+        "protocol".into(),
+        "no-fading".into(),
+        "ergodic".into(),
+        "5%-outage".into(),
+        "10%-outage".into(),
+        "P[outage @ half rate]".into(),
+    ]);
+    for proto in Protocol::ALL {
+        let envelope = exact.get(proto).expect("evaluated").sum_rate;
+        table.row(vec![
+            proto.name().into(),
+            format!("{envelope:.4}"),
+            format!("{:.4}", outage.ergodic_series(proto)[0].1),
+            format!("{:.4}", outage.outage_rate(proto, 0, 0.05)),
+            format!("{:.4}", outage.outage_rate(proto, 0, 0.10)),
+            format!("{:.4}", outage.outage_probability(proto, 0, envelope / 2.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("note: ergodic < no-fading for every protocol (Jensen), and HBC");
+    println!("dominates MABC/TDBC at every quantile because it subsumes them");
+    println!("fade-by-fade.");
+}

@@ -5,20 +5,21 @@
 //! cargo run --example protocol_selection
 //! ```
 //!
-//! For the Fig. 4 gains, prints the winning protocol per power level,
-//! locates the exact MABC/TDBC crossover by bisection, and traces the two
-//! rate-region boundaries just below and above it to show the regions
-//! swapping dominance.
+//! Runs one power-sweep `Scenario` at the Fig. 4 gains, prints the winning
+//! protocol per power level, locates the exact MABC/TDBC crossover by
+//! bisection, and traces the two rate-region boundaries just below and
+//! above it to show the regions swapping dominance.
 
-use bcc::core::comparison::{sum_rate_crossover_db, SumRateComparison};
-use bcc::core::gaussian::GaussianNetwork;
-use bcc::core::protocol::{Bound, Protocol};
-use bcc::num::Db;
+use bcc::core::comparison::sum_rate_crossover_db;
 use bcc::plot::Table;
+use bcc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = GaussianNetwork::from_db(Db::new(0.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
 
+    let comparisons = Scenario::power_sweep_db(net, (-10..=25).step_by(5).map(|p| p as f64))
+        .build()
+        .comparisons()?;
     let mut table = Table::new(vec![
         "P [dB]".into(),
         "winner".into(),
@@ -26,17 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "runner-up".into(),
         "margin [%]".into(),
     ]);
-    for p_db in (-10..=25).step_by(5) {
-        let n = net.with_power_db(Db::new(p_db as f64));
-        let cmp = SumRateComparison::evaluate(&n)?;
-        let mut ranked = cmp.solutions.clone();
-        ranked.sort_by(|a, b| b.sum_rate.partial_cmp(&a.sum_rate).expect("finite"));
+    for cmp in &comparisons {
+        let ranked = cmp.ranked();
         table.row(vec![
-            format!("{p_db}"),
+            format!("{}", cmp.x),
             ranked[0].protocol.name().into(),
             format!("{:.4}", ranked[0].sum_rate),
             ranked[1].protocol.name().into(),
-            format!("{:.1}", (ranked[0].sum_rate / ranked[1].sum_rate - 1.0) * 100.0),
+            format!(
+                "{:.1}",
+                (ranked[0].sum_rate / ranked[1].sum_rate - 1.0) * 100.0
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -5,15 +5,12 @@
 //! ```
 //!
 //! Sets up the paper's Fig. 4 network (P = 10 dB, G_ab = −7 dB,
-//! G_ar = 0 dB, G_br = 5 dB), prints each protocol's schedule diagram,
-//! optimal sum rate and time allocation, and checks the two structural
-//! facts the paper proves: MABC's region is exactly its capacity, and HBC
-//! subsumes both special cases.
+//! G_ar = 0 dB, G_br = 5 dB) as a single-point `Scenario`, prints each
+//! protocol's schedule diagram, optimal sum rate and time allocation, and
+//! checks the two structural facts the paper proves: MABC's region is
+//! exactly its capacity, and HBC subsumes both special cases.
 
-use bcc::core::comparison::SumRateComparison;
-use bcc::core::gaussian::GaussianNetwork;
-use bcc::core::protocol::Protocol;
-use bcc::num::Db;
+use bcc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = GaussianNetwork::from_db(
@@ -28,11 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", proto.schedule_diagram());
     }
 
-    let cmp = SumRateComparison::evaluate(&net)?;
+    let cmp = Scenario::at(net).build().compare()?;
     println!("optimal sum rates (phase durations optimised by LP):");
-    for sol in &cmp.solutions {
-        let durations: Vec<String> =
-            sol.durations.iter().map(|d| format!("{d:.3}")).collect();
+    for sol in cmp.solutions() {
+        let durations: Vec<String> = sol.durations.iter().map(|d| format!("{d:.3}")).collect();
         println!(
             "  {:<5} {:.4} bits/use   Ra = {:.4}, Rb = {:.4}, Δ = [{}]",
             sol.protocol.name(),
@@ -42,13 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             durations.join(", ")
         );
     }
-    let best = cmp.best();
-    println!("\nwinner: {} at {:.4} bits/use", best.protocol, best.sum_rate);
+    let best = cmp.best()?;
+    println!(
+        "\nwinner: {} at {:.4} bits/use",
+        best.protocol, best.sum_rate
+    );
 
     // The structural facts:
-    let hbc = cmp.get(Protocol::Hbc).sum_rate;
-    assert!(hbc >= cmp.get(Protocol::Mabc).sum_rate - 1e-9);
-    assert!(hbc >= cmp.get(Protocol::Tdbc).sum_rate - 1e-9);
+    let hbc = cmp.get(Protocol::Hbc).expect("evaluated").sum_rate;
+    assert!(hbc >= cmp.get(Protocol::Mabc).expect("evaluated").sum_rate - 1e-9);
+    assert!(hbc >= cmp.get(Protocol::Tdbc).expect("evaluated").sum_rate - 1e-9);
     println!("verified: HBC ≥ MABC and HBC ≥ TDBC (HBC subsumes both)");
     Ok(())
 }

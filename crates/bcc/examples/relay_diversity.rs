@@ -13,7 +13,7 @@ use bcc::core::protocol::Protocol;
 use bcc::core::selection::RelayCandidates;
 use bcc::num::stats::Ecdf;
 use bcc::plot::Table;
-use bcc::sim::selection::{selection_rate_samples, sample_mean};
+use bcc::sim::selection::{sample_mean, selection_rate_samples};
 use bcc::sim::McConfig;
 
 fn main() {

@@ -5,34 +5,33 @@
 //! cargo run --example relay_placement
 //! ```
 //!
-//! Sweeps the relay along the line between the terminals with path-loss
-//! exponent γ = 3 and asks, per position: which protocol maximises the
-//! sum rate, and where should an operator actually place the relay?
+//! One relay-position `Scenario` sweeps the relay along the line between
+//! the terminals with path-loss exponent γ = 3 and asks, per position:
+//! which protocol maximises the sum rate, and where should an operator
+//! actually place the relay?
 
-use bcc::channel::topology::LineNetwork;
-use bcc::core::comparison::SumRateComparison;
-use bcc::core::gaussian::GaussianNetwork;
-use bcc::num::Db;
 use bcc::plot::{Chart, Series};
+use bcc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let power = Db::new(10.0).to_linear();
     let gamma = 3.0;
+
+    let sweep = Scenario::relay_position_sweep(10.0, gamma, (1..=19).map(|i| i as f64 / 20.0))
+        .build()
+        .sweep()?;
 
     let mut best_series = Series::new("best protocol sum rate");
     let mut best_position = (0.0, f64::MIN);
     println!("relay position sweep (P = 10 dB, γ = {gamma}):\n");
     println!("{:>6}  {:>8}  {:<6}", "d", "sum rate", "winner");
-    for i in 1..=19 {
-        let d = i as f64 / 20.0;
-        let net = GaussianNetwork::new(power, LineNetwork::new(d, gamma).channel_state());
-        let cmp = SumRateComparison::evaluate(&net)?;
-        let best = cmp.best();
-        best_series.push(d, best.sum_rate);
-        if best.sum_rate > best_position.1 {
-            best_position = (d, best.sum_rate);
+    for (i, &d) in sweep.xs.iter().enumerate() {
+        let winner = sweep.winner(i);
+        let rate = sweep.series(winner).expect("evaluated").solutions[i].sum_rate;
+        best_series.push(d, rate);
+        if rate > best_position.1 {
+            best_position = (d, rate);
         }
-        println!("{d:>6.2}  {:>8.4}  {:<6}", best.sum_rate, best.protocol.name());
+        println!("{d:>6.2}  {rate:>8.4}  {:<6}", winner.name());
     }
     println!(
         "\noptimal placement: d = {:.2} ({:.4} bits/use)",

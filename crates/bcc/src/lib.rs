@@ -1,0 +1,89 @@
+//! # Bidirectional Coded Cooperation (BCC)
+//!
+//! A Rust reproduction of **Kim, Mitran, Tarokh — "Performance Bounds for
+//! Bidirectional Coded Cooperation Protocols"** (ICDCS 2007; IEEE Trans.
+//! Inf. Theory 54(11):5235–5240, 2008).
+//!
+//! Two terminals `a` and `b` exchange messages over a shared half-duplex
+//! wireless channel with the help of a relay `r`. The paper analyses three
+//! decode-and-forward protocols — MABC (2 phases), TDBC (3 phases) and HBC
+//! (4 phases) — and derives capacity inner/outer bounds for each, then
+//! evaluates them on the AWGN channel with path loss.
+//!
+//! # Quickstart: the `Scenario` builder
+//!
+//! The canonical entry point is [`prelude::Scenario`]: describe a grid of
+//! operating points (one network, a power sweep, a relay-position sweep,
+//! …), a protocol set, a bound selection and an optional fading study;
+//! `build()` compiles it into an evaluator that runs the whole grid
+//! batched (one reused LP workspace) and returns typed results.
+//!
+//! ```
+//! use bcc::prelude::*;
+//!
+//! // Fig. 4 setup of the paper: P = 10 dB, Gab = -7 dB, Gar = 0 dB,
+//! // Gbr = 5 dB.
+//! let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+//!
+//! // Compare every protocol at this one operating point:
+//! let cmp = Scenario::at(net).build().compare().unwrap();
+//! for sol in cmp.solutions() {
+//!     println!("{}: {:.3} bits/use", sol.protocol, sol.sum_rate);
+//! }
+//! assert_eq!(cmp.best().unwrap().protocol, Protocol::Hbc);
+//!
+//! // Sweep the transmit power over the paper's Fig. 4 range — the MABC →
+//! // TDBC reversal shows up as a change of winner along the grid:
+//! let sweep = Scenario::power_sweep_db(net, (-10..=25).map(f64::from))
+//!     .protocols([Protocol::Mabc, Protocol::Tdbc])
+//!     .build()
+//!     .sweep()
+//!     .unwrap();
+//! assert_eq!(sweep.winners().first(), Some(&Protocol::Mabc));
+//! assert_eq!(sweep.winners().last(), Some(&Protocol::Tdbc));
+//! ```
+//!
+//! Attach a fading model for outage/ergodic studies:
+//!
+//! ```
+//! use bcc::prelude::*;
+//!
+//! let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+//! let outage = Scenario::at(net).rayleigh(200, 42).build().outage().unwrap();
+//! let ergodic = outage.ergodic_series(Protocol::Hbc)[0].1;
+//! let ten_pct = outage.outage_rate(Protocol::Hbc, 0, 0.10);
+//! assert!(ten_pct < ergodic, "deep fades pull the 10%-outage rate below the mean");
+//! ```
+//!
+//! # Workspace layout
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`num`] | complex numbers, dB units, special functions, statistics |
+//! | [`lp`] | dense two-phase simplex LP solver with reusable workspaces |
+//! | [`info`] | entropies, mutual information, DMCs, Blahut–Arimoto |
+//! | [`channel`] | gains, path loss, Rayleigh fading, AWGN simulation |
+//! | [`coding`] | GF(2) codes, XOR network coding, random binning |
+//! | [`core`] | **the paper's bounds** (Theorems 2–6), regions, the `Scenario` API |
+//! | [`sim`] | Monte-Carlo outage/ergodic + packet/symbol simulators |
+//! | [`plot`] | ASCII charts, CSV and aligned-table writers |
+
+#![forbid(unsafe_code)]
+
+pub use bcc_channel as channel;
+pub use bcc_coding as coding;
+pub use bcc_core as core;
+pub use bcc_info as info;
+pub use bcc_lp as lp;
+pub use bcc_num as num;
+pub use bcc_plot as plot;
+pub use bcc_sim as sim;
+
+/// One-stop imports for the batch evaluation API (the workspace's
+/// canonical entry point) plus the types most workloads touch.
+pub mod prelude {
+    pub use bcc_core::prelude::*;
+    pub use bcc_sim::McConfig;
+}

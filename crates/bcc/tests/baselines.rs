@@ -17,12 +17,10 @@ fn fig4(p_db: f64) -> GaussianNetwork {
 fn coded_relaying_always_beats_naive_forwarding() {
     for p_db in [-10.0, 0.0, 10.0, 20.0, 30.0] {
         let net = fig4(p_db);
-        let naive_sr = optimizer::max_sum_rate(&naive::capacity_constraints(
-            net.power(),
-            &net.state(),
-        ))
-        .unwrap()
-        .objective;
+        let naive_sr =
+            optimizer::max_sum_rate(&naive::capacity_constraints(net.power(), &net.state()))
+                .unwrap()
+                .objective;
         let coded = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
         assert!(
             coded >= naive_sr - 1e-9,
@@ -56,7 +54,10 @@ fn df_af_crossover_is_in_the_high_snr_regime() {
         .iter()
         .map(|&p| {
             let net = fig4(p);
-            (p, af::achievable_rates(net.power(), &net.state()).sum_rate())
+            (
+                p,
+                af::achievable_rates(net.power(), &net.state()).sum_rate(),
+            )
         })
         .collect();
     let cross = crossings(&df, &af_curve);

@@ -60,10 +60,7 @@ fn perfect_channels_hit_combinatorial_limits() {
 fn dmc_regions_work_with_generic_region_machinery() {
     let net = DiscreteNetwork::binary_symmetric(0.1, 0.05, 0.08, 0.12);
     let (pa, pb, pr) = uniform();
-    let region = RateRegion::new(
-        vec![net.mabc_constraints(&pa, &pb, &pr)],
-        "DMC MABC",
-    );
+    let region = RateRegion::new(vec![net.mabc_constraints(&pa, &pb, &pr)], "DMC MABC");
     let boundary = region.boundary(16).unwrap();
     assert!(boundary.len() >= 2);
     // All boundary points inside, scaled-up points outside.
@@ -81,14 +78,8 @@ fn degraded_channels_shrink_the_region() {
     let (pa, pb, pr) = uniform();
     let clean = DiscreteNetwork::binary_symmetric(0.2, 0.02, 0.02, 0.02);
     let noisy = DiscreteNetwork::binary_symmetric(0.2, 0.2, 0.2, 0.2);
-    let clean_region = RateRegion::new(
-        vec![clean.mabc_constraints(&pa, &pb, &pr)],
-        "clean",
-    );
-    let noisy_region = RateRegion::new(
-        vec![noisy.mabc_constraints(&pa, &pb, &pr)],
-        "noisy",
-    );
+    let clean_region = RateRegion::new(vec![clean.mabc_constraints(&pa, &pb, &pr)], "clean");
+    let noisy_region = RateRegion::new(vec![noisy.mabc_constraints(&pa, &pb, &pr)], "noisy");
     assert!(clean_region.contains_region(&noisy_region, 12).unwrap());
     assert!(!noisy_region.contains_region(&clean_region, 12).unwrap());
 }
@@ -115,13 +106,19 @@ fn z_channel_broadcast_rewards_biased_relay_input() {
     let bad = optimizer::max_sum_rate(&net.mabc_constraints(&pa, &pb, &Pmf::bernoulli(0.95)))
         .unwrap()
         .objective;
-    assert!(good > bad, "bias 0.4 ({good}) should beat bias 0.95 ({bad})");
+    assert!(
+        good > bad,
+        "bias 0.4 ({good}) should beat bias 0.95 ({bad})"
+    );
 }
 
 #[test]
 fn hull_api_composes_with_dmc_boundaries() {
     let net = DiscreteNetwork::binary_symmetric(0.15, 0.05, 0.1, 0.1);
-    let inputs = vec![uniform(), (Pmf::bernoulli(0.3), Pmf::uniform(2), Pmf::uniform(2))];
+    let inputs = vec![
+        uniform(),
+        (Pmf::bernoulli(0.3), Pmf::uniform(2), Pmf::uniform(2)),
+    ];
     let hull = net.mabc_time_sharing_boundary(&inputs, 10);
     // Hull is a valid Pareto frontier: sorted in ra, decreasing rb.
     for w in hull.windows(2) {

@@ -50,7 +50,11 @@ fn packet_throughput_below_bound_and_beats_forwarding() {
     assert!(xor.sum_throughput > fwd.sum_throughput);
     // The stop-and-wait scheme with these link qualities lands in a known
     // band below the bound.
-    assert!(xor.sum_throughput > 0.85 * bound, "{} vs {bound}", xor.sum_throughput);
+    assert!(
+        xor.sum_throughput > 0.85 * bound,
+        "{} vs {bound}",
+        xor.sum_throughput
+    );
 }
 
 #[test]
@@ -69,7 +73,10 @@ fn symbol_level_waterfall_is_monotone() {
         );
         last = r.error_rate();
     }
-    assert!(last < 0.01, "high-SNR exchange should be near error-free: {last}");
+    assert!(
+        last < 0.01,
+        "high-SNR exchange should be near error-free: {last}"
+    );
 }
 
 #[test]
@@ -83,7 +90,10 @@ fn outage_rates_ordered_by_quantile() {
     let r05 = profile.outage_rate(0.05);
     let r10 = profile.outage_rate(0.10);
     let r50 = profile.outage_rate(0.50);
-    assert!(r05 <= r10 && r10 <= r50, "quantiles must be monotone: {r05} {r10} {r50}");
+    assert!(
+        r05 <= r10 && r10 <= r50,
+        "quantiles must be monotone: {r05} {r10} {r50}"
+    );
     // The ergodic mean sits between the median and the no-fading optimum.
     let exact = fig4(10.0).max_sum_rate(Protocol::Hbc).unwrap().sum_rate;
     assert!(r50 < exact);

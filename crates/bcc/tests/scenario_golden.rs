@@ -1,0 +1,175 @@
+//! Golden tests for the `Scenario`/`Evaluator` batch API: the paper's
+//! Fig. 3 / Fig. 4 sum-rate values and the MABC↔TDBC SNR crossover, all
+//! evaluated through the batch code path, plus a property test that
+//! batched results equal point-by-point evaluation exactly.
+
+use bcc::num::interp::crossings;
+use bcc::prelude::*;
+use proptest::prelude::*;
+
+fn fig4(p_db: f64) -> GaussianNetwork {
+    GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
+}
+
+#[test]
+fn golden_fig4_sum_rates_through_scenario() {
+    // Regression lock on the reproduced Fig. 4 optima at P = 10 dB
+    // (bits/use, recorded in EXPERIMENTS.md), now pinned through the batch
+    // evaluator instead of per-protocol calls.
+    let cmp = Scenario::at(fig4(10.0)).build().compare().unwrap();
+    let expect = [
+        (Protocol::DirectTransmission, 1.5827),
+        (Protocol::Mabc, 3.3053),
+        (Protocol::Tdbc, 3.0570),
+        (Protocol::Hbc, 3.3313),
+    ];
+    for (proto, val) in expect {
+        let sr = cmp.get(proto).unwrap().sum_rate;
+        assert!(
+            (sr - val).abs() < 5e-4,
+            "{proto}: {sr:.4} drifted from locked value {val}"
+        );
+    }
+    assert_eq!(cmp.best().unwrap().protocol, Protocol::Hbc);
+}
+
+#[test]
+fn golden_fig3_symmetric_gain_values() {
+    // Fig. 3 sweep A (P = 15 dB, G_ab = 0 dB, G_ar = G_br swept): locked
+    // values at 0/10/20/30 dB relay gain.
+    let sweep = Scenario::symmetric_gain_sweep_db(15.0, 0.0, [0.0, 10.0, 20.0, 30.0])
+        .build()
+        .sweep()
+        .unwrap();
+    let golden = [
+        // (grid index, protocol, locked sum rate)
+        (0, Protocol::DirectTransmission, 5.0278),
+        (0, Protocol::Mabc, 3.7600),
+        (0, Protocol::Tdbc, 5.0278), // TDBC degenerates to DT at 0 dB
+        (1, Protocol::Mabc, 5.9660),
+        (1, Protocol::Tdbc, 6.9392),
+        (2, Protocol::Mabc, 8.1834),
+        (3, Protocol::DirectTransmission, 5.0278), // DT flat in relay gain
+    ];
+    for (i, proto, val) in golden {
+        let sr = sweep.series(proto).unwrap().solutions[i].sum_rate;
+        assert!(
+            (sr - val).abs() < 5e-4,
+            "{proto} at index {i}: {sr:.4} drifted from locked value {val}"
+        );
+    }
+    // HBC equals max(MABC, TDBC) on the whole symmetric-gain sweep.
+    for i in 0..sweep.len() {
+        let h = sweep.series(Protocol::Hbc).unwrap().solutions[i].sum_rate;
+        let m = sweep.series(Protocol::Mabc).unwrap().solutions[i].sum_rate;
+        let t = sweep.series(Protocol::Tdbc).unwrap().solutions[i].sum_rate;
+        assert!((h - m.max(t)).abs() < 1e-6, "index {i}");
+    }
+}
+
+#[test]
+fn golden_fig3_position_values_and_hbc_wedge() {
+    // Fig. 3 sweep B (P = 15 dB, γ = 3): locked values at d = 0.3 (inside
+    // the HBC wedge) and d = 0.5 (midpoint).
+    let sweep = Scenario::relay_position_sweep(15.0, 3.0, [0.3, 0.5])
+        .build()
+        .sweep()
+        .unwrap();
+    let golden = [
+        (0, Protocol::Mabc, 6.3778),
+        (0, Protocol::Tdbc, 6.3291),
+        (0, Protocol::Hbc, 6.4681), // strictly above both: the wedge
+        (1, Protocol::Mabc, 5.7512),
+        (1, Protocol::Tdbc, 6.7396),
+        (1, Protocol::Hbc, 6.7396),
+    ];
+    for (i, proto, val) in golden {
+        let sr = sweep.series(proto).unwrap().solutions[i].sum_rate;
+        assert!(
+            (sr - val).abs() < 5e-4,
+            "{proto} at index {i}: {sr:.4} drifted from locked value {val}"
+        );
+    }
+    assert_eq!(sweep.winner(0), Protocol::Hbc);
+    assert_eq!(sweep.strict_wins(Protocol::Hbc, 1e-3), vec![0.3]);
+}
+
+#[test]
+fn golden_mabc_tdbc_crossover_through_scenario() {
+    // The MABC↔TDBC SNR crossover at the Fig. 4 gains sits at ≈ 13.7 dB
+    // (EXPERIMENTS.md); locate it from the batched power sweep.
+    let sweep = Scenario::power_sweep_db(fig4(0.0), (-10..=25).map(f64::from))
+        .build()
+        .sweep()
+        .unwrap();
+    let cross = crossings(
+        &sweep.series_points(Protocol::Mabc),
+        &sweep.series_points(Protocol::Tdbc),
+    );
+    assert_eq!(cross.len(), 1, "exactly one crossover expected: {cross:?}");
+    assert!(
+        (cross[0] - 13.7).abs() < 0.5,
+        "crossover drifted: {} dB",
+        cross[0]
+    );
+    // Winners flip across the crossover.
+    let below = sweep.xs.iter().position(|&x| x == 10.0).unwrap();
+    let above = sweep.xs.iter().position(|&x| x == 20.0).unwrap();
+    let m = sweep.series(Protocol::Mabc).unwrap().sum_rates();
+    let t = sweep.series(Protocol::Tdbc).unwrap().sum_rates();
+    assert!(m[below] > t[below]);
+    assert!(t[above] > m[above]);
+}
+
+fn random_network() -> impl Strategy<Value = GaussianNetwork> {
+    (
+        -10.0f64..20.0,
+        -15.0f64..15.0,
+        -15.0f64..15.0,
+        -15.0f64..15.0,
+    )
+        .prop_map(|(p, gab, gar, gbr)| {
+            GaussianNetwork::from_db(Db::new(p), Db::new(gab), Db::new(gar), Db::new(gbr))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batched_sweep_equals_point_by_point(
+        net in random_network(),
+        powers in prop::collection::vec(-10.0f64..25.0, 1..6),
+    ) {
+        // The whole point of the batch evaluator: sharing the LP workspace
+        // across grid points must not change any result, bit for bit.
+        let sweep = Scenario::power_sweep_db(net, powers.clone())
+            .build()
+            .sweep()
+            .unwrap();
+        for (i, &p_db) in powers.iter().enumerate() {
+            let point_net = net.with_power_db(Db::new(p_db));
+            for proto in Protocol::ALL {
+                let direct = point_net.max_sum_rate(proto).unwrap();
+                let batched = &sweep.series(proto).unwrap().solutions[i];
+                prop_assert_eq!(&direct, batched,
+                    "batched result diverged at {} dB for {}", p_db, proto);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_outage_equals_sim_samples(net in random_network()) {
+        // Single-point scenarios share the exact fade streams with the
+        // classic bcc-sim Monte-Carlo driver.
+        use bcc::channel::fading::FadingModel;
+        use bcc::sim::ergodic::sum_rate_samples;
+        let out = Scenario::at(net).rayleigh(25, 77).build().outage().unwrap();
+        let cfg = McConfig::new(25, 77);
+        for proto in Protocol::ALL {
+            let scenario_samples = out.samples(proto, 0);
+            let sim_samples = sum_rate_samples(&net, proto, FadingModel::Rayleigh, &cfg);
+            prop_assert_eq!(scenario_samples, &sim_samples[..], "{} streams diverged", proto);
+        }
+    }
+}

@@ -41,8 +41,9 @@ fn packet_throughput_never_exceeds_bound_across_grid() {
 
 #[test]
 fn overhearing_never_hurts_across_grid() {
-    for (i, &(q_ab, q_ar, q_br)) in
-        [(0.2, 0.8, 0.8), (0.6, 0.5, 0.9), (0.9, 0.9, 0.3)].iter().enumerate()
+    for (i, &(q_ab, q_ar, q_br)) in [(0.2, 0.8, 0.8), (0.6, 0.5, 0.9), (0.9, 0.9, 0.3)]
+        .iter()
+        .enumerate()
     {
         let net = ErasureNetwork::new(q_ab, q_ar, q_br);
         let mut rng = StdRng::seed_from_u64(2000 + i as u64);
@@ -86,8 +87,14 @@ fn rayleigh_samples_span_above_and_below_the_mean() {
     let samples = sum_rate_samples(&net, Protocol::Hbc, FadingModel::Rayleigh, &cfg);
     let above = samples.iter().filter(|&&s| s > exact).count();
     let below = samples.iter().filter(|&&s| s < exact).count();
-    assert!(above > 25, "only {above}/500 fades above the deterministic rate");
-    assert!(below > 250, "only {below}/500 fades below (Jensen skew expected)");
+    assert!(
+        above > 25,
+        "only {above}/500 fades above the deterministic rate"
+    );
+    assert!(
+        below > 250,
+        "only {below}/500 fades below (Jensen skew expected)"
+    );
 }
 
 #[test]

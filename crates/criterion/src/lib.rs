@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Vendors the subset of the criterion 0.5 API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_with_input` / `finish`, [`BenchmarkId`] and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a warm-up, then a fixed wall-clock
+//! budget of timed batches, reporting the fastest observed per-iteration
+//! time (the most noise-robust point statistic). Good enough to compare
+//! hot paths locally and to smoke-run in CI; not a statistics suite.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching criterion's for convenience in bench code.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Measures closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Best observed nanoseconds per iteration.
+    best_ns: f64,
+    /// Total iterations executed while measuring.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration.
+        let start = Instant::now();
+        let mut batch: u64 = 1;
+        while start.elapsed() < WARMUP {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        // Timed batches.
+        let mut best = f64::INFINITY;
+        let mut iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(dt);
+            iters += batch;
+        }
+        self.best_ns = best;
+        self.iters = iters;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the simplified runner's budget is
+    /// time-based, so the requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifies the benchmark by its parameter value alone.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identifies the benchmark by a function name and parameter.
+    pub fn new(function: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.best_ns >= 1_000_000.0 {
+        println!(
+            "{name:<48} {:>12.3} ms/iter  ({} iters)",
+            b.best_ns / 1e6,
+            b.iters
+        );
+    } else if b.best_ns >= 1_000.0 {
+        println!(
+            "{name:<48} {:>12.3} us/iter  ({} iters)",
+            b.best_ns / 1e3,
+            b.iters
+        );
+    } else {
+        println!(
+            "{name:<48} {:>12.1} ns/iter  ({} iters)",
+            b.best_ns, b.iters
+        );
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.best_ns > 0.0 && b.best_ns.is_finite());
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of the `proptest` 1.x API used by the workspace test suites:
+//! the [`Strategy`] trait with `prop_map` / `prop_filter` / `prop_flat_map`,
+//! range and tuple strategies, `collection::vec`, `sample::subsequence`,
+//! `num::f64::NORMAL`, [`ProptestConfig`] and the `proptest!` /
+//! `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports the sampled inputs via the
+//!   ordinary assert message instead of a minimised counterexample.
+//! * **Deterministic seeding** — the RNG seed is derived from the test's
+//!   module path and name, so runs are reproducible without a regression
+//!   file.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+pub mod collection;
+pub mod num;
+pub mod sample;
+
+/// How many rejected samples a filter tolerates before giving up.
+const MAX_REJECTS: u32 = 10_000;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (resampling up to an internal limit).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Builds a second strategy from each produced value and samples it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected {MAX_REJECTS} samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F2);
+
+/// Test-run configuration (subset of the upstream struct).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives the cases of one property test (used by the `proptest!` macro).
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded deterministically from the test's name.
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+            cases: config.cases,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// Samples one value from `strategy`.
+    pub fn sample<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.sample(&mut self.rng)
+    }
+}
+
+/// The macro/namespace prelude (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines property tests over sampled inputs.
+///
+/// Supports the upstream surface used in this workspace: an optional
+/// leading `#![proptest_config(...)]`, then `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __runner = $crate::TestRunner::new(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__runner.cases() {
+                $(let $arg = __runner.sample(&($strat));)+
+                // A block so `prop_assume!` can `continue` to the next case.
+                {
+                    $body
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(pair in (0f64..1.0, 5u8..=9), n in 1usize..4) {
+            let (a, b) = pair;
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_filter_flat_map(v in (1usize..4).prop_flat_map(|n| crate::collection::vec(0f64..1.0, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_runner() {
+        let cfg = ProptestConfig::with_cases(8);
+        let mut r1 = crate::TestRunner::new(&cfg, "t");
+        let mut r2 = crate::TestRunner::new(&cfg, "t");
+        for _ in 0..20 {
+            assert_eq!(r1.sample(&(0u64..1000)), r2.sample(&(0u64..1000)));
+        }
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let cfg = ProptestConfig::default();
+        let mut r = crate::TestRunner::new(&cfg, "f");
+        let s = (0i32..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(r.sample(&s) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Numeric strategies (`prop::num`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing finite, non-NaN, non-subnormal `f64`s of either
+    /// sign across many orders of magnitude (log-uniform magnitude in
+    /// `[1e-9, 1e9]`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    /// See [`NormalF64`].
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            let exponent: f64 = rng.gen_range(-9.0..9.0);
+            let mantissa: f64 = rng.gen_range(1.0..10.0);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            sign * mantissa * 10f64.powf(exponent)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::{ProptestConfig, TestRunner};
+
+        #[test]
+        fn normal_values_are_finite_and_varied() {
+            let mut r = TestRunner::new(&ProptestConfig::default(), "n");
+            let mut pos = 0;
+            for _ in 0..200 {
+                let x = r.sample(&NORMAL);
+                assert!(x.is_finite() && x != 0.0);
+                if x > 0.0 {
+                    pos += 1;
+                }
+            }
+            assert!(pos > 50 && pos < 150, "both signs produced: {pos}/200");
+        }
+    }
+}

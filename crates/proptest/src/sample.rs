@@ -1,0 +1,53 @@
+//! Sampling strategies over existing collections (`prop::sample`).
+
+use crate::collection::SizeRange;
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Strategy producing order-preserving subsequences of `values` whose
+/// length is drawn from `size` (clamped to the collection length).
+pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<T> {
+        let n = self.size.sample(rng).min(self.values.len());
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        idx.sort_unstable();
+        idx.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProptestConfig, TestRunner};
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut r = TestRunner::new(&ProptestConfig::default(), "sub");
+        let base = vec![1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            let s = r.sample(&subsequence(base.clone(), 1..=3));
+            assert!((1..=3).contains(&s.len()));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            assert_eq!(s, sorted, "order preserved");
+        }
+    }
+}
