@@ -1,0 +1,96 @@
+//! Reader for the `BENCH_evaluator.json` artifact that `bench-report`
+//! emits and CI trends.
+//!
+//! The artifact is plain JSON written by `bench-report` itself, so this
+//! module does not implement a general JSON parser — only the exact shape
+//! the writer produces: a `"scenarios"` array of flat objects keyed by a
+//! `"name"` string with numeric fields. That is enough for the CI
+//! regression gate (compare one field of one scenario against a committed
+//! baseline) without a serde dependency the offline build cannot have.
+
+/// Extracts numeric `field` from the scenario object whose `"name"` equals
+/// `name`, or `None` if the scenario or field is absent / malformed.
+///
+/// ```
+/// let json = r#"{ "scenarios": [
+///   { "name": "fig3_sweep", "points": 3001, "serial_ms": 240.125 },
+///   { "name": "outage_10k", "points": 1, "serial_ms": 900.5 }
+/// ] }"#;
+/// assert_eq!(
+///     bcc_bench::benchjson::scenario_field(json, "fig3_sweep", "serial_ms"),
+///     Some(240.125)
+/// );
+/// assert_eq!(
+///     bcc_bench::benchjson::scenario_field(json, "outage_10k", "points"),
+///     Some(1.0)
+/// );
+/// assert_eq!(bcc_bench::benchjson::scenario_field(json, "nope", "points"), None);
+/// ```
+pub fn scenario_field(json: &str, name: &str, field: &str) -> Option<f64> {
+    let tag = format!("\"name\": \"{name}\"");
+    let start = json.find(&tag)? + tag.len();
+    // The scenario object is flat, so its fields end at the next `}`.
+    let object = &json[start..start + json[start..].find('}')?];
+    let key = format!("\"{field}\":");
+    let after = &object[object.find(&key)? + key.len()..];
+    let number: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    number.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": 1,
+  "threads": { "available": 4, "parallel": 4 },
+  "scenarios": [
+    { "name": "fig3_sweep", "points": 3001, "trials": 0, "serial_ms": 240.125, "parallel_ms": 80.042, "speedup": 3.000 },
+    { "name": "outage_10k", "points": 1, "trials": 10000, "serial_ms": 900.500, "parallel_ms": 300.167, "speedup": 3.000 }
+  ]
+}"#;
+
+    #[test]
+    fn reads_fields_per_scenario() {
+        assert_eq!(
+            scenario_field(SAMPLE, "fig3_sweep", "serial_ms"),
+            Some(240.125)
+        );
+        assert_eq!(
+            scenario_field(SAMPLE, "fig3_sweep", "parallel_ms"),
+            Some(80.042)
+        );
+        assert_eq!(
+            scenario_field(SAMPLE, "outage_10k", "trials"),
+            Some(10000.0)
+        );
+        assert_eq!(scenario_field(SAMPLE, "outage_10k", "speedup"), Some(3.0));
+    }
+
+    #[test]
+    fn missing_scenario_or_field_is_none() {
+        assert_eq!(
+            scenario_field(SAMPLE, "crossover_search", "serial_ms"),
+            None
+        );
+        assert_eq!(scenario_field(SAMPLE, "fig3_sweep", "nonsense"), None);
+        assert_eq!(scenario_field("", "fig3_sweep", "serial_ms"), None);
+        assert_eq!(scenario_field("{ garbage", "fig3_sweep", "serial_ms"), None);
+    }
+
+    #[test]
+    fn field_lookup_stays_inside_the_named_object() {
+        // `parallel_ms` exists only in the *second* scenario here; asking
+        // the first must not leak across the object boundary.
+        let json = r#"{ "scenarios": [
+            { "name": "a", "serial_ms": 1.5 },
+            { "name": "b", "serial_ms": 2.5, "parallel_ms": 0.5 }
+        ] }"#;
+        assert_eq!(scenario_field(json, "a", "parallel_ms"), None);
+        assert_eq!(scenario_field(json, "b", "parallel_ms"), Some(0.5));
+    }
+}

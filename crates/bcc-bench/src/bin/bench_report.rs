@@ -1,0 +1,315 @@
+//! bench-report — times the canonical evaluation scenarios in serial and
+//! parallel modes and writes the machine-readable `BENCH_evaluator.json`
+//! that CI uploads and trends.
+//!
+//! Three workloads cover the engine's hot paths at production scale:
+//!
+//! * **`fig3_sweep`** — the paper's Fig. 3 symmetric-gain sweep on a
+//!   60 001-point grid (every protocol, ~240k LP solves);
+//! * **`crossover_search`** — the E-X1 power sweep (17 501 points) plus the
+//!   bisection locating the ≈13.7 dB MABC/TDBC crossover;
+//! * **`outage_10k`** — a 10 000-trial Rayleigh outage study at the
+//!   Fig. 4 operating point (~40k LP solves on faded networks).
+//!
+//! Serial numbers pin the evaluator to one worker
+//! (`Scenario::threads(1)`); parallel numbers use the ambient policy
+//! (`BCC_THREADS` or available parallelism). Results are bit-identical in
+//! both modes — asserted here on every run — so the report measures wall
+//! time only.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-report [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! `--out` defaults to `results/BENCH_evaluator.json`. With `--check`, the
+//! run exits non-zero if the Fig. 3 sweep's wall time regressed more than
+//! 25% against the committed baseline (serial and parallel each) — the CI
+//! bench job's regression gate. The factor is overridable via
+//! `BCC_BENCH_TOLERANCE` (≥ 1.0) for runners slower than the baseline
+//! machine. Refresh the baseline by copying a trusted run's
+//! `BENCH_evaluator.json` over `ci/bench_baseline.json`.
+
+use bcc_bench::{benchjson, fig4_network, results_dir, FIG3_GAB_DB, FIG3_POWER_DB};
+use bcc_core::comparison::sum_rate_crossover_db;
+use bcc_core::prelude::*;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Default regression tolerance of `--check`: measured wall time may
+/// exceed the baseline by at most this factor. Override with
+/// `BCC_BENCH_TOLERANCE` when the gate runs on hardware meaningfully
+/// slower than the machine that produced the committed baseline (the
+/// baseline measures *code on a runner class*, not code alone).
+const TOLERANCE: f64 = 1.25;
+
+fn tolerance() -> f64 {
+    std::env::var("BCC_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 1.0)
+        .unwrap_or(TOLERANCE)
+}
+
+/// Timing repetitions per mode; the minimum is reported (robust against
+/// scheduler noise on shared CI runners).
+const REPS: usize = 3;
+
+struct Timing {
+    name: &'static str,
+    points: usize,
+    trials: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl Timing {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn fig3_scenario() -> Scenario {
+    Scenario::symmetric_gain_sweep_db(
+        FIG3_POWER_DB,
+        FIG3_GAB_DB,
+        (0..=60_000).map(|k| f64::from(k) * 0.0005),
+    )
+}
+
+fn crossover_scenario() -> Scenario {
+    Scenario::power_sweep_db(
+        fig4_network(0.0),
+        (0..=17_500).map(|k| -10.0 + f64::from(k) * 0.002),
+    )
+}
+
+fn outage_scenario() -> Scenario {
+    Scenario::at(fig4_network(10.0)).rayleigh(10_000, 0xBCC0_0001)
+}
+
+fn time_fig3(parallel_threads: usize) -> Timing {
+    let points = fig3_scenario().build().points().len();
+    let serial_sweep = fig3_scenario()
+        .threads(1)
+        .build()
+        .sweep()
+        .expect("solvable");
+    let parallel_sweep = fig3_scenario()
+        .threads(parallel_threads)
+        .build()
+        .sweep()
+        .expect("solvable");
+    assert_eq!(
+        serial_sweep, parallel_sweep,
+        "parallel sweep must be bit-identical"
+    );
+    let serial_ms = best_ms(REPS, || {
+        fig3_scenario()
+            .threads(1)
+            .build()
+            .sweep()
+            .expect("solvable");
+    });
+    let parallel_ms = best_ms(REPS, || {
+        fig3_scenario()
+            .threads(parallel_threads)
+            .build()
+            .sweep()
+            .expect("solvable");
+    });
+    Timing {
+        name: "fig3_sweep",
+        points,
+        trials: 0,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+fn time_crossover(parallel_threads: usize) -> Timing {
+    let net = fig4_network(0.0);
+    let points = crossover_scenario().build().points().len();
+    let run = |threads: usize| {
+        let sweep = crossover_scenario()
+            .threads(threads)
+            .build()
+            .sweep()
+            .expect("solvable");
+        let crossing = sum_rate_crossover_db(&net, Protocol::Mabc, Protocol::Tdbc, -10.0, 25.0)
+            .expect("solvable")
+            .expect("the paper's crossover exists in this range");
+        assert!(
+            (crossing.value() - 13.7).abs() < 0.5,
+            "crossover drifted: {}",
+            crossing.value()
+        );
+        sweep
+    };
+    assert_eq!(run(1), run(parallel_threads));
+    let serial_ms = best_ms(REPS, || {
+        run(1);
+    });
+    let parallel_ms = best_ms(REPS, || {
+        run(parallel_threads);
+    });
+    Timing {
+        name: "crossover_search",
+        points,
+        trials: 0,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+fn time_outage(parallel_threads: usize) -> Timing {
+    let serial = outage_scenario().threads(1).build().outage().expect("runs");
+    let parallel = outage_scenario()
+        .threads(parallel_threads)
+        .build()
+        .outage()
+        .expect("runs");
+    assert_eq!(serial, parallel, "parallel outage must be bit-identical");
+    let serial_ms = best_ms(REPS, || {
+        outage_scenario().threads(1).build().outage().expect("runs");
+    });
+    let parallel_ms = best_ms(REPS, || {
+        outage_scenario()
+            .threads(parallel_threads)
+            .build()
+            .outage()
+            .expect("runs");
+    });
+    Timing {
+        name: "outage_10k",
+        points: 1,
+        trials: 10_000,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n");
+    out.push_str(&format!(
+        "  \"threads\": {{ \"available\": {available}, \"parallel\": {parallel} }},\n"
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"points\": {}, \"trials\": {}, \
+             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            t.name,
+            t.points,
+            t.trials,
+            t.serial_ms,
+            t.parallel_ms,
+            t.speedup(),
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Applies the `--check` gate to one field of the Fig. 3 scenario.
+/// Returns an error message on regression.
+fn check_field(baseline: &str, timing: &Timing, field: &str, measured: f64) -> Result<(), String> {
+    let Some(base) = benchjson::scenario_field(baseline, timing.name, field) else {
+        return Err(format!(
+            "baseline has no \"{field}\" for scenario \"{}\"",
+            timing.name
+        ));
+    };
+    let tolerance = tolerance();
+    let allowed = base * tolerance;
+    if measured > allowed {
+        return Err(format!(
+            "{} {field} regressed: {measured:.1} ms > {allowed:.1} ms \
+             (baseline {base:.1} ms × {tolerance})",
+            timing.name
+        ));
+    }
+    println!(
+        "check ok: {} {field} {measured:.1} ms within {allowed:.1} ms (baseline {base:.1} ms)",
+        timing.name
+    );
+    Ok(())
+}
+
+fn main() {
+    let mut out_path: Option<PathBuf> = None;
+    let mut check_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            "--check" => {
+                check_path = Some(PathBuf::from(args.next().expect("--check needs a path")));
+            }
+            other => {
+                eprintln!("usage: bench-report [--out PATH] [--check BASELINE.json]");
+                panic!("unknown argument {other:?}");
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| results_dir().join("BENCH_evaluator.json"));
+
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let parallel = bcc_num::par::thread_count();
+    println!("bench-report: {available} hardware threads, parallel mode uses {parallel}\n");
+
+    let timings = [
+        time_fig3(parallel),
+        time_crossover(parallel),
+        time_outage(parallel),
+    ];
+    for t in &timings {
+        println!(
+            "{:<18} {:>6} pts {:>6} trials  serial {:>9.1} ms  parallel {:>9.1} ms  speedup {:.2}x",
+            t.name,
+            t.points,
+            t.trials,
+            t.serial_ms,
+            t.parallel_ms,
+            t.speedup()
+        );
+    }
+
+    let json = render_json(available, parallel, &timings);
+    std::fs::write(&out_path, &json).expect("write BENCH_evaluator.json");
+    println!("\nreport written to {}", out_path.display());
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+        let fig3 = &timings[0];
+        let mut failures = Vec::new();
+        for (field, measured) in [
+            ("serial_ms", fig3.serial_ms),
+            ("parallel_ms", fig3.parallel_ms),
+        ] {
+            if let Err(msg) = check_field(&baseline, fig3, field, measured) {
+                failures.push(msg);
+            }
+        }
+        if !failures.is_empty() {
+            for msg in &failures {
+                eprintln!("REGRESSION: {msg}");
+            }
+            std::process::exit(1);
+        }
+        println!("bench check passed against {}", baseline_path.display());
+    }
+}

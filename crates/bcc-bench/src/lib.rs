@@ -24,6 +24,8 @@ use bcc_plot::Series;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod benchjson;
+
 /// Fig. 3 transmit power: `P = 15 dB`.
 pub const FIG3_POWER_DB: f64 = 15.0;
 /// Fig. 3 direct-link gain normalisation: `G_ab = 0 dB`.

@@ -32,15 +32,15 @@ fn fig3_sweep_b_has_mabc_tdbc_hbc_zones() {
         .sweep()
         .unwrap();
     let winners = sweep.winners();
-    assert!(winners.contains(&Protocol::Mabc), "MABC zone missing");
-    assert!(winners.contains(&Protocol::Tdbc) || winners.contains(&Protocol::Hbc));
+    assert!(winners.contains(&Some(Protocol::Mabc)), "MABC zone missing");
+    assert!(winners.contains(&Some(Protocol::Tdbc)) || winners.contains(&Some(Protocol::Hbc)));
     // HBC strictly wins somewhere (the wedge of EXPERIMENTS.md E-F3).
     assert!(
         !sweep.strict_wins(Protocol::Hbc, 1e-6).is_empty(),
         "HBC strict band missing from sweep B"
     );
     // DT never wins once the relay is in play on this geometry.
-    assert!(!winners.contains(&Protocol::DirectTransmission));
+    assert!(!winners.contains(&Some(Protocol::DirectTransmission)));
 }
 
 #[test]

@@ -37,6 +37,21 @@ impl CoreError {
             source,
         }
     }
+
+    /// `true` if the underlying linear program declared the point
+    /// *infeasible* — the one LP failure that describes the input rather
+    /// than the solver, so batch drivers record it per grid point and move
+    /// on instead of aborting the whole sweep (see
+    /// [`SweepResult::skipped`](crate::scenario::SweepResult::skipped)).
+    pub fn is_infeasible(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Lp {
+                source: LpError::Infeasible,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for CoreError {

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::region::{RatePoint, RateRegion};
     pub use crate::scenario::{
         ComparisonResult, Evaluator, FadingSpec, GridPoint, OutageResult, ProtocolSeries,
-        RegionResult, RegionTrace, Scenario, SweepResult,
+        RegionResult, RegionTrace, Scenario, SkippedSolve, SweepResult,
     };
     pub use bcc_channel::fading::FadingModel;
     pub use bcc_channel::ChannelState;

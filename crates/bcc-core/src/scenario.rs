@@ -14,13 +14,26 @@
 //! * a **bound selection** (default: achievable/inner);
 //! * an optional **fading distribution** with a trial budget and seed;
 //!
-//! and the compiled evaluator runs the whole grid *batched*: one
-//! [`bcc_lp::Workspace`] is reused across every LP in the run, so the
-//! simplex tableau and reduced-cost rows are allocated once per batch
-//! instead of once per solve. Results come back as typed values —
-//! [`SweepResult`], [`ComparisonResult`], [`RegionResult`],
-//! [`OutageResult`] — with per-protocol series keyed by [`Protocol`]
-//! (constant-time lookup, no `Protocol::ALL` position searches).
+//! and the compiled evaluator runs the whole grid *batched and parallel*:
+//! grid points (and fading trials) fan out over a scoped worker pool
+//! ([`bcc_num::par`]), each worker reusing one private
+//! [`bcc_lp::Workspace`] across all its LP solves, so the simplex tableau
+//! and reduced-cost rows are allocated once per worker instead of once
+//! per solve. Results come back as typed values — [`SweepResult`],
+//! [`ComparisonResult`], [`RegionResult`], [`OutageResult`] — with
+//! per-protocol series keyed by [`Protocol`] (constant-time lookup, no
+//! `Protocol::ALL` position searches).
+//!
+//! # Parallelism & determinism
+//!
+//! Every evaluator method produces **bit-identical results at any worker
+//! count**: each grid point's LP solves depend only on that point (the
+//! LP solver's output is independent of workspace history), and fading
+//! trials draw from decorrelated per-trial streams
+//! ([`trial_stream`]) rather than one sequential RNG. The worker count
+//! comes from [`Scenario::threads`] if set, else the `BCC_THREADS`
+//! environment variable, else the machine's available parallelism —
+//! `BCC_THREADS=1` is a drop-in serial oracle for any run.
 //!
 //! # Example: a Fig. 3 relay-position sweep
 //!
@@ -45,7 +58,7 @@ use crate::protocol::{Bound, Protocol, ProtocolMap};
 use crate::region::{RatePoint, RateRegion};
 use bcc_channel::fading::FadingModel;
 use bcc_channel::topology::LineNetwork;
-use bcc_num::Db;
+use bcc_num::{par, Db};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -100,6 +113,7 @@ pub struct Scenario {
     protocols: Vec<Protocol>,
     bound: Bound,
     fading: Option<FadingSpec>,
+    threads: Option<usize>,
 }
 
 impl Scenario {
@@ -114,6 +128,7 @@ impl Scenario {
             protocols: Protocol::ALL.to_vec(),
             bound: Bound::Inner,
             fading: None,
+            threads: None,
         }
     }
 
@@ -249,21 +264,79 @@ impl Scenario {
         self.fading(FadingModel::Rayleigh, trials, seed)
     }
 
+    /// Pins the evaluator's worker count (default: the global policy —
+    /// `BCC_THREADS` if set, else the machine's available parallelism).
+    ///
+    /// Results are bit-identical at every worker count; this knob only
+    /// trades wall time, so benches and the determinism suite can flip
+    /// between serial and parallel inside one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.threads = Some(threads);
+        self
+    }
+
     /// Compiles the scenario into a reusable [`Evaluator`].
     pub fn build(self) -> Evaluator {
-        Evaluator {
-            scenario: self,
-            ws: bcc_lp::Workspace::new(),
+        Evaluator { scenario: self }
+    }
+
+    /// Optimal sum rate of `protocol` at `net` under this scenario's bound
+    /// selection, solved through `ws` (each parallel worker owns one).
+    fn solve_point_with(
+        &self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+        ws: &mut bcc_lp::Workspace,
+    ) -> Result<SumRateSolution, CoreError> {
+        if self.bound == Bound::Inner {
+            return net.max_sum_rate_with(protocol, ws);
         }
+        // Outer bounds can be set *families* (HBC's ρ-family); the bound's
+        // sum rate is the maximum over the family.
+        let sets = bounds::constraint_sets(protocol, self.bound, net.power(), &net.state());
+        let mut best: Option<SumRateSolution> = None;
+        for set in &sets {
+            let pt = crate::optimizer::max_sum_rate_with(set, ws)?;
+            if best.as_ref().is_none_or(|b| pt.objective > b.sum_rate) {
+                best = Some(SumRateSolution {
+                    protocol,
+                    sum_rate: pt.objective,
+                    ra: pt.ra,
+                    rb: pt.rb,
+                    durations: pt.durations,
+                });
+            }
+        }
+        Ok(best.expect("constraint families are non-empty"))
     }
 }
 
-/// The compiled form of a [`Scenario`]: owns the LP workspace that is
-/// reused across every solve in the batch.
+/// Sorts one grid-point solve into the batch policy of
+/// [`Evaluator::sweep`]: success and *infeasibility* both let the batch
+/// continue (the latter recorded per point as [`SkippedSolve`]), while any
+/// other failure — unbounded, iteration limit — still aborts, because it
+/// describes the solver rather than the input.
+fn classify_solve(
+    result: Result<SumRateSolution, CoreError>,
+) -> Result<Result<SumRateSolution, CoreError>, CoreError> {
+    match result {
+        Ok(sol) => Ok(Ok(sol)),
+        Err(e) if e.is_infeasible() => Ok(Err(e)),
+        Err(e) => Err(e),
+    }
+}
+
+/// The compiled form of a [`Scenario`]: the handle the batch drivers run
+/// through. Each run fans its grid out over scoped worker threads, one
+/// reusable [`bcc_lp::Workspace`] per worker.
 #[derive(Debug)]
 pub struct Evaluator {
     scenario: Scenario,
-    ws: bcc_lp::Workspace,
 }
 
 impl Evaluator {
@@ -282,45 +355,47 @@ impl Evaluator {
         &self.scenario.protocols
     }
 
-    /// Optimal sum rate of `protocol` at `net` under the scenario's bound
-    /// selection, through the shared workspace.
-    fn solve_point(
-        &mut self,
-        net: &GaussianNetwork,
-        protocol: Protocol,
-    ) -> Result<SumRateSolution, CoreError> {
-        if self.scenario.bound == Bound::Inner {
-            return net.max_sum_rate_with(protocol, &mut self.ws);
-        }
-        // Outer bounds can be set *families* (HBC's ρ-family); the bound's
-        // sum rate is the maximum over the family.
-        let sets =
-            bounds::constraint_sets(protocol, self.scenario.bound, net.power(), &net.state());
-        let mut best: Option<SumRateSolution> = None;
-        for set in &sets {
-            let pt = crate::optimizer::max_sum_rate_with(set, &mut self.ws)?;
-            if best.as_ref().is_none_or(|b| pt.objective > b.sum_rate) {
-                best = Some(SumRateSolution {
-                    protocol,
-                    sum_rate: pt.objective,
-                    ra: pt.ra,
-                    rb: pt.rb,
-                    durations: pt.durations,
-                });
-            }
-        }
-        Ok(best.expect("constraint families are non-empty"))
+    /// The effective worker count: the scenario's [`Scenario::threads`]
+    /// override if set, else the global policy of
+    /// [`bcc_num::par::thread_count`] (`BCC_THREADS`, then available
+    /// parallelism).
+    pub fn thread_count(&self) -> usize {
+        self.scenario
+            .threads
+            .unwrap_or_else(bcc_num::par::thread_count)
     }
 
-    /// Runs the batched sum-rate evaluation over the whole grid.
+    /// Runs the batched sum-rate evaluation over the whole grid, grid
+    /// points fanned across the worker pool.
+    ///
+    /// A grid point whose LP is *infeasible* does not abort the batch: the
+    /// affected protocol's entry becomes a NaN placeholder and the solve is
+    /// recorded in [`SweepResult::skipped`], so one degenerate gain
+    /// combination cannot kill a 10k-point sweep. (Well-posed Gaussian
+    /// scenarios never trigger this — rate 0 is always achievable — but
+    /// batch robustness must not depend on every input being well-posed.)
     ///
     /// # Errors
     ///
-    /// Propagates LP failures; returns [`CoreError::NoFiniteOptimum`] if
-    /// every protocol's optimum at some grid point is non-finite.
+    /// Propagates non-infeasibility LP failures; returns
+    /// [`CoreError::NoFiniteOptimum`] if every protocol's optimum at some
+    /// grid point is non-finite without any solve having been skipped.
     pub fn sweep(&mut self) -> Result<SweepResult, CoreError> {
-        let npoints = self.scenario.points.len();
-        let protocols = self.scenario.protocols.clone();
+        let threads = self.thread_count();
+        let sc = &self.scenario;
+        let protocols = sc.protocols.clone();
+        let npoints = sc.points.len();
+
+        // One row per grid point: each protocol's solution or recorded skip.
+        let rows: Vec<Vec<Result<SumRateSolution, CoreError>>> =
+            par::try_par_map_range(threads, npoints, bcc_lp::Workspace::new, |ws, i| {
+                let net = &sc.points[i].net;
+                sc.protocols
+                    .iter()
+                    .map(|&p| classify_solve(sc.solve_point_with(net, p, ws)))
+                    .collect()
+            })?;
+
         let mut series: ProtocolMap<ProtocolSeries> = ProtocolMap::new();
         for &p in &protocols {
             series.insert(
@@ -332,11 +407,31 @@ impl Evaluator {
             );
         }
         let mut winners = Vec::with_capacity(npoints);
-        for i in 0..npoints {
-            let GridPoint { x, net } = self.scenario.points[i];
+        let mut skipped = Vec::new();
+        for (i, row) in rows.into_iter().enumerate() {
+            let x = sc.points[i].x;
             let mut winner: Option<(Protocol, f64)> = None;
-            for &p in &protocols {
-                let sol = self.solve_point(&net, p)?;
+            let mut any_skip = false;
+            for (&p, outcome) in protocols.iter().zip(row) {
+                let sol = match outcome {
+                    Ok(sol) => sol,
+                    Err(error) => {
+                        any_skip = true;
+                        skipped.push(SkippedSolve {
+                            index: i,
+                            x,
+                            protocol: p,
+                            error,
+                        });
+                        SumRateSolution {
+                            protocol: p,
+                            sum_rate: f64::NAN,
+                            ra: f64::NAN,
+                            rb: f64::NAN,
+                            durations: Vec::new(),
+                        }
+                    }
+                };
                 if sol.sum_rate.is_finite() && winner.is_none_or(|(_, best)| sol.sum_rate > best) {
                     winner = Some((p, sol.sum_rate));
                 }
@@ -346,43 +441,48 @@ impl Evaluator {
                     .solutions
                     .push(sol);
             }
-            let (w, _) = winner.ok_or_else(|| CoreError::NoFiniteOptimum {
-                context: format!("{} sweep at x = {x}", self.scenario.x_name),
-            })?;
-            winners.push(w);
+            match winner {
+                Some((w, _)) => winners.push(Some(w)),
+                None if any_skip => winners.push(None),
+                None => {
+                    return Err(CoreError::NoFiniteOptimum {
+                        context: format!("{} sweep at x = {x}", sc.x_name),
+                    })
+                }
+            }
         }
         Ok(SweepResult {
-            x_name: self.scenario.x_name.clone(),
-            xs: self.scenario.points.iter().map(|p| p.x).collect(),
+            x_name: sc.x_name.clone(),
+            xs: sc.points.iter().map(|p| p.x).collect(),
             protocols,
             series,
             winners,
+            skipped,
         })
     }
 
-    /// Evaluates one [`ComparisonResult`] per grid point.
+    /// Evaluates one [`ComparisonResult`] per grid point, points fanned
+    /// across the worker pool.
     ///
     /// # Errors
     ///
     /// Propagates LP failures.
     pub fn comparisons(&mut self) -> Result<Vec<ComparisonResult>, CoreError> {
-        let protocols = self.scenario.protocols.clone();
-        let points = self.scenario.points.clone();
-        points
-            .into_iter()
-            .map(|GridPoint { x, net }| {
-                let mut solutions = ProtocolMap::new();
-                for &p in &protocols {
-                    solutions.insert(p, self.solve_point(&net, p)?);
-                }
-                Ok(ComparisonResult {
-                    x,
-                    net,
-                    protocols: protocols.clone(),
-                    solutions,
-                })
+        let threads = self.thread_count();
+        let sc = &self.scenario;
+        par::try_par_map_range(threads, sc.points.len(), bcc_lp::Workspace::new, |ws, i| {
+            let GridPoint { x, net } = sc.points[i];
+            let mut solutions = ProtocolMap::new();
+            for &p in &sc.protocols {
+                solutions.insert(p, sc.solve_point_with(&net, p, ws)?);
+            }
+            Ok(ComparisonResult {
+                x,
+                net,
+                protocols: sc.protocols.clone(),
+                solutions,
             })
-            .collect()
+        })
     }
 
     /// Evaluates the comparison at the scenario's single grid point.
@@ -415,14 +515,16 @@ impl Evaluator {
     ///
     /// Propagates LP failures from boundary tracing.
     pub fn regions(&mut self, resolution: usize) -> Result<Vec<RegionResult>, CoreError> {
-        let protocols = self.scenario.protocols.clone();
-        self.scenario
-            .points
-            .clone()
-            .into_iter()
-            .map(|GridPoint { x, net }| {
+        let threads = self.thread_count();
+        let sc = &self.scenario;
+        par::try_par_map_range(
+            threads,
+            sc.points.len(),
+            || (),
+            |(), i| {
+                let GridPoint { x, net } = sc.points[i];
                 let mut traces = Vec::new();
-                for &p in &protocols {
+                for &p in &sc.protocols {
                     let capacity = net.capacity_region(p).is_some();
                     let sides: &[Bound] = if capacity {
                         &[Bound::Inner]
@@ -441,8 +543,8 @@ impl Evaluator {
                     }
                 }
                 Ok(RegionResult { x, net, traces })
-            })
-            .collect()
+            },
+        )
     }
 
     /// Runs the scenario's fading study: per grid point and trial, one
@@ -467,40 +569,63 @@ impl Evaluator {
             .scenario
             .fading
             .expect("scenario has no fading model; attach one with Scenario::fading(...)");
-        let protocols = self.scenario.protocols.clone();
-        let points = self.scenario.points.clone();
+        let threads = self.thread_count();
+        let sc = &self.scenario;
+        let protocols = sc.protocols.clone();
+        let points = &sc.points;
         let single = points.len() == 1;
-        let mut samples: ProtocolMap<Vec<Vec<f64>>> = ProtocolMap::new();
-        for &p in &protocols {
-            samples.insert(p, vec![Vec::with_capacity(spec.trials); points.len()]);
-        }
-        for (j, GridPoint { net, .. }) in points.iter().enumerate() {
-            // Keep the classic single-point stream bit-compatible with
-            // `McConfig::trial_rng`; decorrelate additional points.
-            let point_seed = if single {
-                spec.seed
-            } else {
-                mix_seed(spec.seed, j as u64)
-            };
-            for trial in 0..spec.trials {
-                let mut rng = trial_stream(point_seed, trial as u64);
+        let trials = spec.trials;
+
+        // Fan the full `point × trial` grid across the workers (a
+        // single-point 10k-trial study must still parallelise). Job `k` is
+        // point `k / trials`, trial `k % trials`; the per-trial seed
+        // streams make every job independent, so the fan-out is exactly
+        // the serial loop flattened.
+        let rows: Vec<Vec<f64>> = par::par_map_range(
+            threads,
+            points.len() * trials,
+            bcc_lp::Workspace::new,
+            |ws, k| {
+                let GridPoint { net, .. } = points[k / trials];
+                // Keep the classic single-point stream bit-compatible with
+                // `McConfig::trial_rng`; decorrelate additional points.
+                let point_seed = if single {
+                    spec.seed
+                } else {
+                    mix_seed(spec.seed, (k / trials) as u64)
+                };
+                let mut rng = trial_stream(point_seed, (k % trials) as u64);
                 let faded = net.state().faded(
                     spec.model.sample_power(&mut rng),
                     spec.model.sample_power(&mut rng),
                     spec.model.sample_power(&mut rng),
                 );
                 let faded_net = GaussianNetwork::new(net.power(), faded);
-                for &p in &protocols {
-                    let rate = faded_net
-                        .max_sum_rate_with(p, &mut self.ws)
-                        .map(|s| s.sum_rate)
-                        .unwrap_or(0.0);
-                    samples.get_mut(p).expect("pre-populated")[j].push(rate);
-                }
+                protocols
+                    .iter()
+                    .map(|&p| {
+                        // An LP failure on a faded draw counts as rate 0 (a
+                        // fade so deep the protocol is unusable).
+                        faded_net
+                            .max_sum_rate_with(p, ws)
+                            .map(|s| s.sum_rate)
+                            .unwrap_or(0.0)
+                    })
+                    .collect()
+            },
+        );
+
+        let mut samples: ProtocolMap<Vec<Vec<f64>>> = ProtocolMap::new();
+        for &p in &protocols {
+            samples.insert(p, vec![Vec::with_capacity(trials); points.len()]);
+        }
+        for (k, row) in rows.into_iter().enumerate() {
+            for (&p, rate) in protocols.iter().zip(row) {
+                samples.get_mut(p).expect("pre-populated")[k / trials].push(rate);
             }
         }
         Ok(OutageResult {
-            x_name: self.scenario.x_name.clone(),
+            x_name: sc.x_name.clone(),
             xs: points.iter().map(|p| p.x).collect(),
             spec,
             protocols,
@@ -526,6 +651,21 @@ impl ProtocolSeries {
     }
 }
 
+/// One LP solve that [`Evaluator::sweep`] recorded as skipped instead of
+/// aborting the batch: `protocol`'s program at grid point `index` was
+/// infeasible. Its slot in the protocol's series holds a NaN placeholder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedSolve {
+    /// Grid-point index into [`SweepResult::xs`].
+    pub index: usize,
+    /// The swept coordinate at that index.
+    pub x: f64,
+    /// The protocol whose LP was infeasible there.
+    pub protocol: Protocol,
+    /// The recorded solver error.
+    pub error: CoreError,
+}
+
 /// The output of [`Evaluator::sweep`]: per-protocol series over the grid,
 /// keyed by [`Protocol`].
 #[derive(Debug, Clone, PartialEq)]
@@ -537,7 +677,8 @@ pub struct SweepResult {
     /// The protocols evaluated, in evaluation order.
     protocols: Vec<Protocol>,
     series: ProtocolMap<ProtocolSeries>,
-    winners: Vec<Protocol>,
+    winners: Vec<Option<Protocol>>,
+    skipped: Vec<SkippedSolve>,
 }
 
 impl SweepResult {
@@ -582,13 +723,38 @@ impl SweepResult {
 
     /// The sum-rate-optimal protocol at grid point `i` (ties go to the
     /// earlier protocol in evaluation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every protocol at point `i` was skipped as infeasible
+    /// (use [`SweepResult::try_winner`] on sweeps with skips).
     pub fn winner(&self, i: usize) -> Protocol {
+        self.winners[i].unwrap_or_else(|| {
+            panic!("every protocol at grid point {i} was skipped as infeasible; see skipped()")
+        })
+    }
+
+    /// The sum-rate-optimal protocol at grid point `i`, or `None` if every
+    /// protocol there was skipped as infeasible.
+    pub fn try_winner(&self, i: usize) -> Option<Protocol> {
         self.winners[i]
     }
 
-    /// The winning protocol at every grid point.
-    pub fn winners(&self) -> &[Protocol] {
+    /// The winning protocol at every grid point (`None` where every
+    /// protocol was skipped as infeasible).
+    pub fn winners(&self) -> &[Option<Protocol>] {
         &self.winners
+    }
+
+    /// The LP solves recorded as skipped (infeasible points) instead of
+    /// aborting the batch — empty for every well-posed Gaussian scenario.
+    pub fn skipped(&self) -> &[SkippedSolve] {
+        &self.skipped
+    }
+
+    /// `true` if every `(protocol, grid point)` solve succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
     }
 
     /// Grid coordinates where `protocol` is strictly better than every
@@ -1012,6 +1178,61 @@ mod tests {
             .outage()
             .unwrap();
         assert_eq!(a.samples(Protocol::Hbc, 0), b.samples(Protocol::Hbc, 0));
+    }
+
+    #[test]
+    fn thread_override_does_not_change_results() {
+        let scenario = Scenario::power_sweep_db(fig4_net(0.0), (-4..=12).map(f64::from));
+        let serial = scenario.clone().threads(1).build().sweep().unwrap();
+        for threads in [2, 3, 8] {
+            let par = scenario.clone().threads(threads).build().sweep().unwrap();
+            assert_eq!(serial, par, "sweep differs at {threads} threads");
+        }
+        assert!(serial.is_complete());
+        assert!(serial.skipped().is_empty());
+        assert_eq!(serial.try_winner(0), Some(serial.winner(0)));
+    }
+
+    #[test]
+    fn outage_thread_override_bit_identical() {
+        let scenario = Scenario::at(fig4_net(10.0)).rayleigh(40, 77);
+        let serial = scenario.clone().threads(1).build().outage().unwrap();
+        let par = scenario.threads(4).build().outage().unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn classify_solve_skips_only_infeasible() {
+        let sol = SumRateSolution {
+            protocol: Protocol::Mabc,
+            sum_rate: 1.0,
+            ra: 0.5,
+            rb: 0.5,
+            durations: vec![0.5, 0.5],
+        };
+        assert!(matches!(classify_solve(Ok(sol)), Ok(Ok(_))));
+        // Infeasibility is recorded, not propagated...
+        let infeasible = CoreError::Lp {
+            context: "test".into(),
+            source: bcc_lp::LpError::Infeasible,
+        };
+        assert!(matches!(classify_solve(Err(infeasible)), Ok(Err(e)) if e.is_infeasible()));
+        // ...while solver breakdowns still abort the batch.
+        let unbounded = CoreError::Lp {
+            context: "test".into(),
+            source: bcc_lp::LpError::Unbounded,
+        };
+        assert!(classify_solve(Err(unbounded)).is_err());
+        let no_opt = CoreError::NoFiniteOptimum {
+            context: "test".into(),
+        };
+        assert!(classify_solve(Err(no_opt)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Scenario::at(fig4_net(0.0)).threads(0);
     }
 
     #[test]

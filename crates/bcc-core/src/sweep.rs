@@ -2,7 +2,7 @@
 //!
 //! The free functions that used to hold the Fig. 3 / Fig. 4 inner loops
 //! now delegate to the batch API: build the equivalent
-//! [`Scenario`](crate::scenario::Scenario) and run its
+//! [`Scenario`](crate::scenario) and run its
 //! [`Evaluator`](crate::scenario::Evaluator). Only the function
 //! *signatures* are preserved — the result type changed with the API
 //! redesign: the old row-based `SweepResult` (`rows`, `SweepRow`,

@@ -15,6 +15,9 @@
 //!   (used for closed-form ergodic-rate cross-checks over Rayleigh fading).
 //! * [`optim`] — scalar optimisation: golden-section search, bisection and
 //!   grid refinement.
+//! * [`par`] — chunked, order-preserving data parallelism over scoped
+//!   worker threads (`par_map_indexed`), the engine behind the parallel
+//!   `Scenario` evaluator and Monte-Carlo drivers.
 //! * [`linalg`] — a minimal dense matrix type with LU solve, used by tests
 //!   and by the Blahut–Arimoto helper in `bcc-info`.
 //!
@@ -40,6 +43,7 @@ pub mod db;
 pub mod interp;
 pub mod linalg;
 pub mod optim;
+pub mod par;
 pub mod quadrature;
 pub mod special;
 pub mod stats;

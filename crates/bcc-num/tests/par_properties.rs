@@ -1,0 +1,80 @@
+//! Property-based tests for the parallel map engine: for *any* input and
+//! *any* worker count, `par_map_indexed` must behave exactly like the
+//! serial `map` — order preserved, every item visited once, empty and
+//! singleton inputs included.
+
+use bcc_num::par;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_map_equals_serial_map(
+        items in prop::collection::vec(-1e9f64..1e9, 0..80),
+        threads in 1usize..12,
+    ) {
+        let expect: Vec<f64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.mul_add(2.0, i as f64))
+            .collect();
+        let got = par::par_map_indexed_with(threads, &items, || (), |(), i, &x| {
+            x.mul_add(2.0, i as f64)
+        });
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_and_slice_engines_agree(n in 0usize..200, threads in 1usize..12) {
+        let items: Vec<usize> = (0..n).collect();
+        let via_slice = par::par_map_indexed_with(threads, &items, || (), |(), _, &x| x * x);
+        let via_range = par::par_map_range(threads, n, || (), |(), i| i * i);
+        prop_assert_eq!(via_slice, via_range);
+    }
+
+    #[test]
+    fn worker_state_does_not_leak_into_results(
+        n in 0usize..120,
+        threads in 1usize..9,
+    ) {
+        // A stateful counter per worker must not perturb per-item output.
+        let got = par::par_map_range(threads, n, || 0u64, |calls, i| {
+            *calls += 1;
+            i as u64
+        });
+        prop_assert_eq!(got, (0..n as u64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn try_map_reports_the_serial_error(
+        n in 1usize..100,
+        bad in 0usize..100,
+        threads in 1usize..9,
+    ) {
+        // Serial semantics: the error with the lowest index wins.
+        let res: Result<Vec<usize>, usize> =
+            par::try_par_map_range(threads, n, || (), |(), i| {
+                if i >= bad { Err(i) } else { Ok(i) }
+            });
+        if bad < n {
+            prop_assert_eq!(res.unwrap_err(), bad);
+        } else {
+            prop_assert_eq!(res.unwrap(), (0..n).collect::<Vec<usize>>());
+        }
+    }
+}
+
+#[test]
+fn empty_input_all_worker_counts() {
+    let empty: Vec<f64> = Vec::new();
+    for threads in 1..10 {
+        assert!(par::par_map_indexed_with(threads, &empty, || (), |(), _, &x| x).is_empty());
+    }
+}
+
+#[test]
+fn singleton_input_all_worker_counts() {
+    for threads in 1..10 {
+        let got = par::par_map_indexed_with(threads, &[7.5f64], || (), |(), i, &x| (i, x * 2.0));
+        assert_eq!(got, vec![(0, 15.0)]);
+    }
+}

@@ -23,7 +23,7 @@ pub fn ergodic_selection_rate(
     fading: FadingModel,
     cfg: &McConfig,
 ) -> McEstimate {
-    cfg.run(|rng, _| {
+    cfg.run_par(|rng, _| {
         let direct = fading.sample_power(rng);
         let fades: Vec<(f64, f64)> = (0..candidates.len())
             .map(|_| (fading.sample_power(rng), fading.sample_power(rng)))
@@ -46,7 +46,7 @@ pub fn ergodic_fixed_relay_rate(
     fading: FadingModel,
     cfg: &McConfig,
 ) -> McEstimate {
-    cfg.run(|rng, _| {
+    cfg.run_par(|rng, _| {
         let direct = fading.sample_power(rng);
         let fades: Vec<(f64, f64)> = (0..candidates.len())
             .map(|_| (fading.sample_power(rng), fading.sample_power(rng)))
@@ -68,22 +68,17 @@ pub fn selection_rate_samples(
     fading: FadingModel,
     cfg: &McConfig,
 ) -> Vec<f64> {
-    let mut out = Vec::with_capacity(cfg.trials);
-    for i in 0..cfg.trials {
-        let mut rng = cfg.trial_rng(i);
-        let direct = fading.sample_power(&mut rng);
+    cfg.samples_par(|rng, _| {
+        let direct = fading.sample_power(rng);
         let fades: Vec<(f64, f64)> = (0..candidates.len())
-            .map(|_| (fading.sample_power(&mut rng), fading.sample_power(&mut rng)))
+            .map(|_| (fading.sample_power(rng), fading.sample_power(rng)))
             .collect();
         let faded = candidates.faded(direct, &fades);
-        out.push(
-            faded
-                .select(protocol, power)
-                .map(|s| s.solution.sum_rate)
-                .unwrap_or(0.0),
-        );
-    }
-    out
+        faded
+            .select(protocol, power)
+            .map(|s| s.solution.sum_rate)
+            .unwrap_or(0.0)
+    })
 }
 
 /// Convenience: mean of a sample (used by the diversity tests).

@@ -39,8 +39,8 @@
 //!     .build()
 //!     .sweep()
 //!     .unwrap();
-//! assert_eq!(sweep.winners().first(), Some(&Protocol::Mabc));
-//! assert_eq!(sweep.winners().last(), Some(&Protocol::Tdbc));
+//! assert_eq!(sweep.winner(0), Protocol::Mabc);
+//! assert_eq!(sweep.winner(sweep.len() - 1), Protocol::Tdbc);
 //! ```
 //!
 //! Attach a fading model for outage/ergodic studies:

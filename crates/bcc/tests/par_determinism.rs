@@ -1,0 +1,78 @@
+//! The parallel-evaluation determinism suite: every batch driver must
+//! produce **bit-identical** output at every worker count. This is the
+//! contract that makes `BCC_THREADS=1` a drop-in oracle for any parallel
+//! run — and what lets the bench harness compare serial and parallel
+//! modes as pure wall-time. Worker counts are pinned through the
+//! `Scenario::threads` builder here; the `BCC_THREADS` env-var route is
+//! covered by `par_env.rs` in its own process (mutating the environment
+//! of a multi-threaded test binary is not safe).
+//!
+//! (All assertions here are exact `==` on full result values, not
+//! tolerance comparisons: the parallel engine reorders *scheduling*, never
+//! arithmetic.)
+
+use bcc::prelude::*;
+use bcc_sim::ergodic::sum_rate_samples;
+use bcc_sim::McConfig;
+use rand::Rng;
+
+fn fig4_net(p_db: f64) -> GaussianNetwork {
+    GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
+}
+
+fn sweep_scenario() -> Scenario {
+    Scenario::power_sweep_db(fig4_net(0.0), (-10..=25).map(f64::from))
+}
+
+fn outage_scenario() -> Scenario {
+    Scenario::symmetric_gain_sweep_db(15.0, 0.0, [0.0, 10.0, 20.0]).rayleigh(60, 0xDEAD_BEEF)
+}
+
+#[test]
+fn sweep_bit_identical_across_worker_counts() {
+    let serial = sweep_scenario().threads(1).build().sweep().unwrap();
+    for threads in [2, 8] {
+        let par = sweep_scenario().threads(threads).build().sweep().unwrap();
+        assert_eq!(serial, par, "sweep at {threads} workers");
+    }
+}
+
+#[test]
+fn outage_bit_identical_across_worker_counts() {
+    let serial = outage_scenario().threads(1).build().outage().unwrap();
+    for threads in [2, 8] {
+        let par = outage_scenario().threads(threads).build().outage().unwrap();
+        assert_eq!(serial, par, "outage at {threads} workers");
+        for p in Protocol::ALL {
+            for j in 0..3 {
+                assert_eq!(serial.samples(p, j), par.samples(p, j));
+            }
+        }
+    }
+}
+
+#[test]
+fn comparisons_and_regions_bit_identical_across_worker_counts() {
+    let grid = || Scenario::power_sweep_db(fig4_net(0.0), [0.0, 5.0, 10.0]);
+    let cmp1 = grid().threads(1).build().comparisons().unwrap();
+    let reg1 = grid().threads(1).build().regions(12).unwrap();
+    for threads in [2, 8] {
+        assert_eq!(cmp1, grid().threads(threads).build().comparisons().unwrap());
+        assert_eq!(reg1, grid().threads(threads).build().regions(12).unwrap());
+    }
+}
+
+#[test]
+fn monte_carlo_samples_identical_serial_and_parallel() {
+    // The bcc-sim fading front-end rides the same engine: per-trial seed
+    // streams make the fan-out invisible in the samples.
+    let net = fig4_net(10.0);
+    let cfg = McConfig::new(300, 21);
+    let a = sum_rate_samples(&net, Protocol::Hbc, FadingModel::Rayleigh, &cfg);
+    let b = sum_rate_samples(&net, Protocol::Hbc, FadingModel::Rayleigh, &cfg);
+    assert_eq!(a, b);
+    // And a raw run/run_par pair on the shared driver.
+    let serial = cfg.run(|rng, _| rng.gen::<f64>());
+    let par = cfg.run_par(|rng, _| rng.gen::<f64>());
+    assert_eq!(serial.mean(), par.mean());
+}

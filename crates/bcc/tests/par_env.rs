@@ -1,0 +1,52 @@
+//! The `BCC_THREADS` half of the determinism suite, isolated in its own
+//! test binary: `std::env::set_var` racing a concurrent `getenv` (which
+//! `par::thread_count` performs on every batch) is undefined behavior on
+//! glibc, so the env-mutating assertions must be the *only* test in their
+//! process — libtest then has nothing to run them in parallel with.
+//! Builder-override determinism lives in `par_determinism.rs`.
+
+use bcc::prelude::*;
+
+fn fig4_net(p_db: f64) -> GaussianNetwork {
+    GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
+}
+
+fn sweep_scenario() -> Scenario {
+    Scenario::power_sweep_db(fig4_net(0.0), (-10..=25).map(f64::from))
+}
+
+fn outage_scenario() -> Scenario {
+    Scenario::symmetric_gain_sweep_db(15.0, 0.0, [0.0, 10.0, 20.0]).rayleigh(60, 0xDEAD_BEEF)
+}
+
+/// `BCC_THREADS` must steer the ambient worker count without changing any
+/// result.
+#[test]
+fn bcc_threads_env_var_is_respected_and_result_invariant() {
+    let baseline_sweep = sweep_scenario().threads(1).build().sweep().unwrap();
+    let baseline_outage = outage_scenario().threads(1).build().outage().unwrap();
+    let previous = std::env::var("BCC_THREADS").ok();
+    for setting in ["1", "2", "8"] {
+        std::env::set_var("BCC_THREADS", setting);
+        let mut ev = sweep_scenario().build();
+        assert_eq!(
+            ev.thread_count(),
+            setting.parse::<usize>().unwrap(),
+            "BCC_THREADS={setting} not picked up"
+        );
+        assert_eq!(
+            baseline_sweep,
+            ev.sweep().unwrap(),
+            "sweep under BCC_THREADS={setting}"
+        );
+        assert_eq!(
+            baseline_outage,
+            outage_scenario().build().outage().unwrap(),
+            "outage under BCC_THREADS={setting}"
+        );
+    }
+    match previous {
+        Some(v) => std::env::set_var("BCC_THREADS", v),
+        None => std::env::remove_var("BCC_THREADS"),
+    }
+}

@@ -4,7 +4,7 @@ use crate::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Lengths accepted by [`vec`]: an exact `usize` or a (half-open or
+/// Lengths accepted by [`vec()`]: an exact `usize` or a (half-open or
 /// inclusive) `usize` range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -55,7 +55,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
