@@ -10,6 +10,7 @@
 //! | `crossover` | E-X1 | MABC/TDBC low-vs-high SNR reversal |
 //! | `ablation` | E-A1, E-A2 | side-information & LP-vs-grid ablations |
 //! | `validate` | E-V1, E-V2 | packet/symbol/fading validations |
+//! | `dmt` | E-D1, E-D2 | finite-SNR DMT sweep & optimum power allocation |
 //!
 //! This library crate carries the paper's canonical parameter sets and the
 //! output-directory convention so the binaries agree on both.
@@ -62,6 +63,56 @@ pub fn sweep_series(sweep: &SweepResult) -> Vec<Series> {
         .iter()
         .map(|&p| Series::from_points(p.name(), sweep.series_points(p)))
         .collect()
+}
+
+/// Canonical configuration of the finite-SNR DMT / power-allocation study
+/// (E-D1/E-D2) — one source of truth shared by the `dmt` binary and the
+/// workspace golden tests, so the pinned slopes and the published JSON
+/// describe the same experiment.
+pub mod dmtstudy {
+    use bcc_channel::ChannelState;
+    use bcc_core::prelude::*;
+
+    /// SNR grid of the DMT sweep (per-node power in dB, noise unit).
+    pub const SNR_GRID_DB: [f64; 6] = [0.0, 4.0, 8.0, 12.0, 16.0, 20.0];
+    /// Multiplexing gains `r` of the sweep (sum-rate targets
+    /// `r·log2(1+SNR)`).
+    pub const GAINS: [f64; 3] = [0.1, 0.25, 0.5];
+    /// Default Monte-Carlo trials per grid point (the binary's
+    /// `--trials` overrides it; golden tests use a reduced count).
+    pub const TRIALS: usize = 4000;
+    /// Master seed of the study.
+    pub const SEED: u64 = 0xD117_0001;
+    /// Outage level ε of the allocation search.
+    pub const EPS: f64 = 0.1;
+    /// Common per-node power (dB) of the allocation study's budget.
+    pub const ALLOC_POWER_DB: f64 = 10.0;
+
+    /// The study's channel: fully symmetric unit gains, so the direct and
+    /// relay links carry the same average SNR, relay-aided protocols get
+    /// their diversity from path *multiplicity* alone, and the symmetric-
+    /// case allocation golden test is exact by symmetry.
+    pub fn state() -> ChannelState {
+        ChannelState::new(1.0, 1.0, 1.0)
+    }
+
+    /// The DMT sweep scenario at `trials` Monte-Carlo trials per point.
+    pub fn dmt_scenario(trials: usize) -> Scenario {
+        Scenario::power_sweep_db(GaussianNetwork::new(1.0, state()), SNR_GRID_DB)
+            .multiplexing_gains(GAINS)
+            .rayleigh(trials, SEED)
+    }
+
+    /// The power-allocation scenario at `trials` trials.
+    pub fn allocation_scenario(trials: usize) -> Scenario {
+        Scenario::at(GaussianNetwork::from_db(
+            Db::new(ALLOC_POWER_DB),
+            Db::new(0.0),
+            Db::new(0.0),
+            Db::new(0.0),
+        ))
+        .rayleigh(trials, SEED)
+    }
 }
 
 /// Directory where binaries drop CSV artifacts (`results/` at the

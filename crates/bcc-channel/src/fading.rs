@@ -33,6 +33,31 @@ pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> Complex6
     Complex64::new(s * standard_normal(rng), s * standard_normal(rng))
 }
 
+/// One `Gamma(shape, 1)` draw via the Marsaglia–Tsang squeeze method
+/// (shape ≥ 1), the standard rejection sampler: `d = shape − 1/3`,
+/// `c = 1/√(9d)`, accept `d·(1 + c·x)³` for a standard-normal `x` with the
+/// cheap squeeze `u < 1 − 0.0331·x⁴` and the exact log test as fallback.
+fn gamma_standard<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape >= 1.0, "Marsaglia–Tsang needs shape >= 1");
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
 /// Block-fading models for one link.
 ///
 /// Every model is normalised to **unit mean power** so it can scale a
@@ -49,6 +74,15 @@ pub enum FadingModel {
         /// Line-of-sight to scattered power ratio (linear, ≥ 0).
         k: f64,
     },
+    /// Nakagami-m fading: power `|h|² ~ Gamma(m, 1/m)` (unit mean,
+    /// variance `1/m`), amplitude phase uniform. `m = 1` **is** Rayleigh —
+    /// the sampler special-cases it to draw the identical `CN(0,1)`
+    /// amplitude from the identical RNG stream — `m = 1/2` is one-sided
+    /// Gaussian, and `m → ∞` approaches no fading.
+    Nakagami {
+        /// Shape parameter (≥ 1/2, the Nakagami constraint).
+        m: f64,
+    },
 }
 
 impl FadingModel {
@@ -63,12 +97,49 @@ impl FadingModel {
                 let scatter = complex_gaussian(rng, 1.0 / (k + 1.0));
                 Complex64::new(los, 0.0) + scatter
             }
+            FadingModel::Nakagami { m } => {
+                assert!(
+                    m.is_finite() && m >= 0.5,
+                    "Nakagami shape must be finite and >= 1/2, got {m}"
+                );
+                if m == 1.0 {
+                    // Exactly Rayleigh — same draws from the same stream, so
+                    // seeded experiments are bit-identical across the two
+                    // spellings of the model.
+                    return complex_gaussian(rng, 1.0);
+                }
+                // Gamma(m, 1/m) power. For 1/2 <= m < 1 use the boost
+                // Gamma(m) = Gamma(m + 1) · U^{1/m}.
+                let g = if m >= 1.0 {
+                    gamma_standard(rng, m)
+                } else {
+                    let boost = gamma_standard(rng, m + 1.0);
+                    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1], ln-safe
+                    boost * u.powf(1.0 / m)
+                };
+                let power = g / m;
+                let theta = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+                Complex64::new(theta.cos(), theta.sin()) * power.sqrt()
+            }
         }
     }
 
     /// Samples one *power* fade `|h|²` (unit mean).
     pub fn sample_power<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.sample_amplitude(rng).norm_sqr()
+    }
+
+    /// The analytic variance of the power fade `|h|²` (its mean is 1 for
+    /// every model): 0 for no fading, 1 for Rayleigh,
+    /// `(1 + 2K)/(1 + K)²` for Rician-K and `1/m` for Nakagami-m. The
+    /// sampler property tests pin the empirical moments against this.
+    pub fn power_variance(&self) -> f64 {
+        match *self {
+            FadingModel::None => 0.0,
+            FadingModel::Rayleigh => 1.0,
+            FadingModel::Rician { k } => (1.0 + 2.0 * k) / ((1.0 + k) * (1.0 + k)),
+            FadingModel::Nakagami { m } => 1.0 / m,
+        }
     }
 }
 
@@ -131,6 +202,87 @@ mod tests {
             v10 < v0,
             "K=10 variance {v10} should be below K=0 variance {v0}"
         );
+    }
+
+    #[test]
+    fn all_samplers_match_analytic_power_moments() {
+        // Satellite property test: for every fading family, the empirical
+        // mean and variance of |g|² over seeded draws match the analytic
+        // moments (mean 1, variance FadingModel::power_variance).
+        let models = [
+            FadingModel::None,
+            FadingModel::Rayleigh,
+            FadingModel::Rician { k: 0.0 },
+            FadingModel::Rician { k: 3.0 },
+            FadingModel::Rician { k: 12.0 },
+            FadingModel::Nakagami { m: 0.5 },
+            FadingModel::Nakagami { m: 1.0 },
+            FadingModel::Nakagami { m: 2.5 },
+            FadingModel::Nakagami { m: 6.0 },
+        ];
+        for model in models {
+            let s = power_stats(model, 150_000, 0xFAD0);
+            let var = model.power_variance();
+            assert!(
+                (s.mean() - 1.0).abs() < 0.02,
+                "{model:?}: mean {}",
+                s.mean()
+            );
+            // Variance tolerance scales with the distribution's spread
+            // (heavier tails need more slack at fixed sample size).
+            let tol = 0.03 + 0.05 * var;
+            assert!(
+                (s.sample_variance() - var).abs() < tol,
+                "{model:?}: variance {} vs analytic {var}",
+                s.sample_variance()
+            );
+        }
+    }
+
+    #[test]
+    fn nakagami_m1_is_bit_identical_to_rayleigh() {
+        // Under the same seed stream, m = 1 Nakagami must reproduce the
+        // Rayleigh draws exactly — distribution-identity by construction.
+        let mut ray = StdRng::seed_from_u64(77);
+        let mut nak = StdRng::seed_from_u64(77);
+        for _ in 0..1000 {
+            let r = FadingModel::Rayleigh.sample_amplitude(&mut ray);
+            let n = FadingModel::Nakagami { m: 1.0 }.sample_amplitude(&mut nak);
+            assert_eq!(r, n);
+        }
+    }
+
+    #[test]
+    fn nakagami_power_cdf_matches_gamma() {
+        // m = 2: |h|² ~ Gamma(2, 1/2), so P[X < x] = 1 − e^{−2x}(1 + 2x).
+        let mut rng = StdRng::seed_from_u64(31);
+        let model = FadingModel::Nakagami { m: 2.0 };
+        let n = 120_000;
+        for x in [0.5, 1.0, 2.0] {
+            let below =
+                (0..n).filter(|_| model.sample_power(&mut rng) < x).count() as f64 / n as f64;
+            let exact = 1.0 - (-2.0 * x).exp() * (1.0 + 2.0 * x);
+            assert!(
+                (below - exact).abs() < 0.01,
+                "P[X<{x}] = {below} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn nakagami_variance_shrinks_with_m() {
+        let v_half = power_stats(FadingModel::Nakagami { m: 0.5 }, 60_000, 3).sample_variance();
+        let v1 = power_stats(FadingModel::Nakagami { m: 1.0 }, 60_000, 3).sample_variance();
+        let v8 = power_stats(FadingModel::Nakagami { m: 8.0 }, 60_000, 3).sample_variance();
+        assert!(v_half > v1, "m=1/2 must fade harder than Rayleigh");
+        assert!(v8 < v1, "m=8 must fade less than Rayleigh");
+    }
+
+    #[test]
+    #[should_panic(expected = "Nakagami shape")]
+    fn nakagami_sub_half_shape_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = FadingModel::Nakagami { m: 0.3 }.sample_power(&mut rng);
     }
 
     #[test]

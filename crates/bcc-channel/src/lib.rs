@@ -14,7 +14,9 @@
 //! * [`gain`] — complex amplitude gains and reciprocity.
 //! * [`topology`] — node geometry → path-loss gains (line networks for the
 //!   relay-placement experiments).
-//! * [`fading`] — Rayleigh/Rician quasi-static block fading.
+//! * [`power`] — per-node transmit powers under a total-power budget
+//!   (the allocation axis of the finite-SNR DMT studies).
+//! * [`fading`] — Rayleigh/Rician/Nakagami-m quasi-static block fading.
 //! * [`awgn`] — complex AWGN sampling and channel application.
 //! * [`halfduplex`] — node identities, per-phase transmit sets, and
 //!   violation checking shared by the protocol definitions and simulators.
@@ -27,7 +29,9 @@ pub mod csi;
 pub mod fading;
 pub mod gain;
 pub mod halfduplex;
+pub mod power;
 pub mod topology;
 
 pub use csi::ChannelState;
 pub use halfduplex::NodeId;
+pub use power::PowerSplit;

@@ -1,0 +1,263 @@
+//! Per-node transmit powers under a total-power constraint.
+//!
+//! The paper evaluates every bound with a *common* per-node power `P`
+//! (noise normalised to 1). Power-allocation studies — Yi & Kim's
+//! finite-SNR diversity–multiplexing work in particular — instead fix the
+//! network's **total** power budget and ask how to split it between the
+//! terminals and the relay. [`PowerSplit`] carries that split; the bound
+//! builders in `bcc-core` evaluate each mutual-information term with the
+//! *transmitting* node's power, so a symmetric split reproduces the
+//! paper's formulas exactly.
+
+use bcc_num::Db;
+
+/// Per-node transmit powers `(p_a, p_b, p_r)` of the three-node network.
+///
+/// All values are **linear** powers against unit-variance noise. The type
+/// does not itself enforce a budget — it *describes* one point of the
+/// allocation simplex; search routines (e.g.
+/// `Evaluator::allocation` in `bcc-core`) hold [`PowerSplit::total`]
+/// fixed while moving along [`PowerSplit::relay_share`] and
+/// [`PowerSplit::terminal_balance`].
+///
+/// ```
+/// use bcc_channel::PowerSplit;
+///
+/// // The paper's convention: every node transmits with P = 10.
+/// let sym = PowerSplit::symmetric(10.0);
+/// assert_eq!(sym.total(), 30.0);
+/// assert!(sym.is_symmetric());
+///
+/// // Same budget, 60% of it at the relay, terminals imbalanced 3:1.
+/// let skew = PowerSplit::from_shares(30.0, 0.6, 0.75);
+/// assert!((skew.p_r() - 18.0).abs() < 1e-12);
+/// assert!((skew.p_a() - 9.0).abs() < 1e-12);
+/// assert!((skew.p_b() - 3.0).abs() < 1e-12);
+/// assert!((skew.total() - sym.total()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSplit {
+    p_a: f64,
+    p_b: f64,
+    p_r: f64,
+}
+
+impl PowerSplit {
+    /// Creates a split from the three per-node powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any power is negative, NaN or infinite.
+    pub fn new(p_a: f64, p_b: f64, p_r: f64) -> Self {
+        for (name, p) in [("p_a", p_a), ("p_b", p_b), ("p_r", p_r)] {
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "transmit power {name} must be finite and non-negative, got {p}"
+            );
+        }
+        PowerSplit { p_a, p_b, p_r }
+    }
+
+    /// The paper's setting: every node transmits with the same power `p`.
+    pub fn symmetric(p: f64) -> Self {
+        PowerSplit::new(p, p, p)
+    }
+
+    /// An even three-way split of the budget `total` (`total / 3` each) —
+    /// the natural baseline of an allocation study.
+    pub fn uniform(total: f64) -> Self {
+        PowerSplit::symmetric(total / 3.0)
+    }
+
+    /// Builds a split from a budget and two simplex coordinates: the relay
+    /// takes `relay_share · total`, and the terminals divide the remainder
+    /// with `a` taking the `terminal_balance` fraction.
+    ///
+    /// `relay_share = 1/3`, `terminal_balance = 1/2` is
+    /// [`PowerSplit::uniform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total < 0` or either share is outside `[0, 1]`.
+    pub fn from_shares(total: f64, relay_share: f64, terminal_balance: f64) -> Self {
+        assert!(
+            total.is_finite() && total >= 0.0,
+            "total power must be finite and non-negative, got {total}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&relay_share),
+            "relay share out of [0, 1]: {relay_share}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&terminal_balance),
+            "terminal balance out of [0, 1]: {terminal_balance}"
+        );
+        let p_r = total * relay_share;
+        let rest = total - p_r;
+        PowerSplit::new(
+            rest * terminal_balance,
+            rest * (1.0 - terminal_balance),
+            p_r,
+        )
+    }
+
+    /// Terminal `a`'s transmit power.
+    pub fn p_a(&self) -> f64 {
+        self.p_a
+    }
+
+    /// Terminal `b`'s transmit power.
+    pub fn p_b(&self) -> f64 {
+        self.p_b
+    }
+
+    /// The relay's transmit power.
+    pub fn p_r(&self) -> f64 {
+        self.p_r
+    }
+
+    /// The total budget `p_a + p_b + p_r`.
+    pub fn total(&self) -> f64 {
+        self.p_a + self.p_b + self.p_r
+    }
+
+    /// The relay's fraction of the budget (`1/3` for a uniform split; `0`
+    /// for a zero-budget split, by convention).
+    pub fn relay_share(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.p_r / t
+        }
+    }
+
+    /// Terminal `a`'s fraction of the terminal budget (`1/2` when the
+    /// terminals are balanced; `1/2` for a zero terminal budget, by
+    /// convention).
+    pub fn terminal_balance(&self) -> f64 {
+        let t = self.p_a + self.p_b;
+        if t == 0.0 {
+            0.5
+        } else {
+            self.p_a / t
+        }
+    }
+
+    /// `true` if all three nodes transmit with exactly the same power.
+    pub fn is_symmetric(&self) -> bool {
+        self.p_a == self.p_b && self.p_b == self.p_r
+    }
+
+    /// The common per-node power, or `None` if the split is asymmetric.
+    pub fn common(&self) -> Option<f64> {
+        if self.is_symmetric() {
+            Some(self.p_a)
+        } else {
+            None
+        }
+    }
+
+    /// Swaps the terminal powers (pairs with
+    /// [`ChannelState::swapped`](crate::ChannelState::swapped) for
+    /// symmetry tests).
+    pub fn swapped(&self) -> Self {
+        PowerSplit {
+            p_a: self.p_b,
+            p_b: self.p_a,
+            p_r: self.p_r,
+        }
+    }
+
+    /// Every power multiplied by `factor` (an SNR-axis move that preserves
+    /// the split's shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled powers are invalid (negative or non-finite
+    /// `factor`).
+    pub fn scaled(&self, factor: f64) -> Self {
+        PowerSplit::new(self.p_a * factor, self.p_b * factor, self.p_r * factor)
+    }
+}
+
+impl std::fmt::Display for PowerSplit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Pa={:.3} dB, Pb={:.3} dB, Pr={:.3} dB",
+            Db::from_linear(self.p_a).value(),
+            Db::from_linear(self.p_b).value(),
+            Db::from_linear(self.p_r).value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_num::approx_eq;
+
+    #[test]
+    fn symmetric_round_trip() {
+        let s = PowerSplit::symmetric(4.0);
+        assert_eq!(s.common(), Some(4.0));
+        assert!(s.is_symmetric());
+        assert!(approx_eq(s.total(), 12.0, 1e-12));
+        assert!(approx_eq(s.relay_share(), 1.0 / 3.0, 1e-12));
+        assert!(approx_eq(s.terminal_balance(), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn shares_round_trip() {
+        let s = PowerSplit::from_shares(30.0, 0.4, 0.7);
+        assert!(approx_eq(s.relay_share(), 0.4, 1e-12));
+        assert!(approx_eq(s.terminal_balance(), 0.7, 1e-12));
+        assert!(approx_eq(s.total(), 30.0, 1e-12));
+        assert_eq!(s.common(), None);
+    }
+
+    #[test]
+    fn uniform_is_even_three_way() {
+        let u = PowerSplit::uniform(30.0);
+        assert!(u.is_symmetric());
+        assert!(approx_eq(u.p_a(), 10.0, 1e-12));
+        assert_eq!(u, PowerSplit::from_shares(30.0, 1.0 / 3.0, 0.5).scaled(1.0));
+    }
+
+    #[test]
+    fn swap_is_involution_and_preserves_relay() {
+        let s = PowerSplit::new(1.0, 2.0, 3.0);
+        assert_eq!(s.swapped().swapped(), s);
+        assert_eq!(s.swapped().p_a(), 2.0);
+        assert_eq!(s.swapped().p_r(), 3.0);
+    }
+
+    #[test]
+    fn zero_budget_conventions() {
+        let z = PowerSplit::new(0.0, 0.0, 0.0);
+        assert_eq!(z.relay_share(), 0.0);
+        assert_eq!(z.terminal_balance(), 0.5);
+        assert!(z.is_symmetric());
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let s = PowerSplit::from_shares(10.0, 0.6, 0.8).scaled(3.0);
+        assert!(approx_eq(s.total(), 30.0, 1e-12));
+        assert!(approx_eq(s.relay_share(), 0.6, 1e-12));
+        assert!(approx_eq(s.terminal_balance(), 0.8, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_power_rejected() {
+        let _ = PowerSplit::new(1.0, -0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "relay share out of")]
+    fn bad_share_rejected() {
+        let _ = PowerSplit::from_shares(1.0, 1.2, 0.5);
+    }
+}

@@ -12,7 +12,7 @@
 //! the strategy.
 
 use crate::constraint::{ConstraintSet, RateConstraint};
-use bcc_channel::ChannelState;
+use bcc_channel::{ChannelState, PowerSplit};
 use bcc_info::awgn_capacity;
 
 /// Builds the DT capacity constraints at power `power` and channel `state`.
@@ -22,18 +22,27 @@ use bcc_info::awgn_capacity;
 /// Panics if `power < 0`.
 pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     assert!(power >= 0.0, "transmit power must be non-negative");
-    let c_ab = awgn_capacity(power * state.gab());
+    capacity_constraints_split(&PowerSplit::symmetric(power), state)
+}
+
+/// [`capacity_constraints`] with per-node powers: each direction of the
+/// direct link is evaluated at the *transmitting* terminal's power (the
+/// relay's allocation is wasted on DT, which is exactly what a power-
+/// allocation search should discover).
+pub fn capacity_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
+    let c_a = awgn_capacity(powers.p_a() * state.gab());
+    let c_b = awgn_capacity(powers.p_b() * state.gab());
     let mut set = ConstraintSet::new(2, "DT capacity");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ab, 0.0],
+        vec![c_a, 0.0],
         "DT: b decodes Wa (phase 1 direct link)",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_ab],
+        vec![0.0, c_b],
         "DT: a decodes Wb (phase 2 direct link)",
     ));
     set
@@ -71,6 +80,25 @@ mod tests {
         let set = capacity_constraints(15.0, &state);
         assert!(set.all_satisfied(2.0, 2.0, &[0.5, 0.5], 1e-9));
         assert!(!set.all_satisfied(2.1, 2.0, &[0.5, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn split_reduces_to_symmetric_at_equal_powers() {
+        let state = ChannelState::new(2.0, 1.0, 1.0);
+        assert_eq!(
+            capacity_constraints_split(&PowerSplit::symmetric(5.0), &state),
+            capacity_constraints(5.0, &state)
+        );
+    }
+
+    #[test]
+    fn split_uses_transmitter_power_per_direction() {
+        let state = ChannelState::new(1.0, 1.0, 1.0);
+        let set = capacity_constraints_split(&PowerSplit::new(3.0, 15.0, 100.0), &state);
+        // Phase 1 (a transmits) sees p_a, phase 2 (b transmits) sees p_b;
+        // the relay power never appears.
+        assert!(approx_eq(set.constraints()[0].phase_coefs[0], 2.0, 1e-12));
+        assert!(approx_eq(set.constraints()[1].phase_coefs[1], 4.0, 1e-12));
     }
 
     #[test]

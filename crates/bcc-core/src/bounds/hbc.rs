@@ -25,7 +25,7 @@
 //! true converse.
 
 use crate::constraint::{ConstraintSet, RateConstraint};
-use bcc_channel::ChannelState;
+use bcc_channel::{ChannelState, PowerSplit};
 use bcc_info::awgn_capacity;
 use bcc_info::gaussian::{
     mac_individual_capacity_correlated, mac_sum_capacity, mac_sum_capacity_correlated,
@@ -39,40 +39,51 @@ use bcc_info::gaussian::{
 /// Panics if `power < 0`.
 pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     assert!(power >= 0.0, "transmit power must be non-negative");
-    let c_ab = awgn_capacity(power * state.gab());
-    let c_ar = awgn_capacity(power * state.gar());
-    let c_br = awgn_capacity(power * state.gbr());
-    let c_mac = mac_sum_capacity(power * state.gar(), power * state.gbr());
+    inner_constraints_split(&PowerSplit::symmetric(power), state)
+}
+
+/// [`inner_constraints`] with per-node powers: terminal phases (1–3) see
+/// `p_a`/`p_b`, the relay broadcast (phase 4) sees `p_r`.
+pub fn inner_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
+    let snr_ar = powers.p_a() * state.gar();
+    let snr_br = powers.p_b() * state.gbr();
+    let c_a_ab = awgn_capacity(powers.p_a() * state.gab());
+    let c_b_ab = awgn_capacity(powers.p_b() * state.gab());
+    let c_a_ar = awgn_capacity(snr_ar);
+    let c_b_br = awgn_capacity(snr_br);
+    let c_r_ar = awgn_capacity(powers.p_r() * state.gar());
+    let c_r_br = awgn_capacity(powers.p_r() * state.gbr());
+    let c_mac = mac_sum_capacity(snr_ar, snr_br);
 
     let mut set = ConstraintSet::new(4, "HBC achievable (Thm 5)");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ar, 0.0, c_ar, 0.0],
+        vec![c_a_ar, 0.0, c_a_ar, 0.0],
         "Thm 5: relay decodes Wa (phases 1 and 3)",
     ));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ab, 0.0, 0.0, c_br],
+        vec![c_a_ab, 0.0, 0.0, c_r_br],
         "Thm 5: b decodes Wa from side info + broadcast",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_br, c_br, 0.0],
+        vec![0.0, c_b_br, c_b_br, 0.0],
         "Thm 5: relay decodes Wb (phases 2 and 3)",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_ab, 0.0, c_ar],
+        vec![0.0, c_b_ab, 0.0, c_r_ar],
         "Thm 5: a decodes Wb from side info + broadcast",
     ));
     set.push(RateConstraint::new(
         1.0,
         1.0,
-        vec![c_ar, c_br, c_mac, 0.0],
+        vec![c_a_ar, c_b_br, c_mac, 0.0],
         "Thm 5: relay sum rate across phases 1-3",
     ));
     set
@@ -86,18 +97,36 @@ pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// Panics if `power < 0` or `rho ∉ [0, 1]`.
 pub fn outer_constraints_with_rho(power: f64, state: &ChannelState, rho: f64) -> ConstraintSet {
     assert!(power >= 0.0, "transmit power must be non-negative");
+    outer_constraints_with_rho_split(&PowerSplit::symmetric(power), state, rho)
+}
+
+/// [`outer_constraints_with_rho`] with per-node powers.
+///
+/// # Panics
+///
+/// Panics if `rho ∉ [0, 1]`.
+pub fn outer_constraints_with_rho_split(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    rho: f64,
+) -> ConstraintSet {
     assert!(
         (0.0..=1.0).contains(&rho),
         "correlation out of range: {rho}"
     );
-    let c_ab = awgn_capacity(power * state.gab());
-    let c_ar = awgn_capacity(power * state.gar());
-    let c_br = awgn_capacity(power * state.gbr());
-    let c_a_cut = two_receiver_capacity(power * state.gar(), power * state.gab());
-    let c_b_cut = two_receiver_capacity(power * state.gbr(), power * state.gab());
-    let c_ar_rho = mac_individual_capacity_correlated(power * state.gar(), rho);
-    let c_br_rho = mac_individual_capacity_correlated(power * state.gbr(), rho);
-    let c_mac_rho = mac_sum_capacity_correlated(power * state.gar(), power * state.gbr(), rho);
+    let snr_ar = powers.p_a() * state.gar();
+    let snr_br = powers.p_b() * state.gbr();
+    let c_a_ab = awgn_capacity(powers.p_a() * state.gab());
+    let c_b_ab = awgn_capacity(powers.p_b() * state.gab());
+    let c_a_ar = awgn_capacity(snr_ar);
+    let c_b_br = awgn_capacity(snr_br);
+    let c_r_ar = awgn_capacity(powers.p_r() * state.gar());
+    let c_r_br = awgn_capacity(powers.p_r() * state.gbr());
+    let c_a_cut = two_receiver_capacity(snr_ar, powers.p_a() * state.gab());
+    let c_b_cut = two_receiver_capacity(snr_br, powers.p_b() * state.gab());
+    let c_ar_rho = mac_individual_capacity_correlated(snr_ar, rho);
+    let c_br_rho = mac_individual_capacity_correlated(snr_br, rho);
+    let c_mac_rho = mac_sum_capacity_correlated(snr_ar, snr_br, rho);
 
     let mut set = ConstraintSet::new(4, format!("HBC outer (Thm 6, Gaussian, ρ={rho:.3})"));
     set.push(RateConstraint::new(
@@ -109,7 +138,7 @@ pub fn outer_constraints_with_rho(power: f64, state: &ChannelState, rho: f64) ->
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ab, 0.0, 0.0, c_br],
+        vec![c_a_ab, 0.0, 0.0, c_r_br],
         "Thm 6: cut {a,r} — b's total information about Wa",
     ));
     set.push(RateConstraint::new(
@@ -121,13 +150,13 @@ pub fn outer_constraints_with_rho(power: f64, state: &ChannelState, rho: f64) ->
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_ab, 0.0, c_ar],
+        vec![0.0, c_b_ab, 0.0, c_r_ar],
         "Thm 6: cut {b,r} — a's total information about Wb",
     ));
     set.push(RateConstraint::new(
         1.0,
         1.0,
-        vec![c_ar, c_br, c_mac_rho, 0.0],
+        vec![c_a_ar, c_b_br, c_mac_rho, 0.0],
         "Thm 6: relay decodes both (sum rate, phases 1-3)",
     ));
     set
@@ -145,11 +174,25 @@ pub fn outer_constraint_family(
     state: &ChannelState,
     grid: usize,
 ) -> Vec<ConstraintSet> {
+    assert!(power >= 0.0, "transmit power must be non-negative");
+    outer_constraint_family_split(&PowerSplit::symmetric(power), state, grid)
+}
+
+/// [`outer_constraint_family`] with per-node powers.
+///
+/// # Panics
+///
+/// Panics if `grid < 2`.
+pub fn outer_constraint_family_split(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    grid: usize,
+) -> Vec<ConstraintSet> {
     assert!(grid >= 2, "need at least the two endpoint correlations");
     (0..grid)
         .map(|i| {
             let rho = i as f64 / (grid - 1) as f64;
-            outer_constraints_with_rho(power, state, rho)
+            outer_constraints_with_rho_split(powers, state, rho)
         })
         .collect()
 }
@@ -227,6 +270,42 @@ mod tests {
                         "inner point ({ra},{rb}) escapes ρ=0 outer member"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn split_reduces_to_symmetric_at_equal_powers() {
+        let s = fig4_state();
+        let sym = PowerSplit::symmetric(10.0);
+        assert_eq!(
+            inner_constraints_split(&sym, &s),
+            inner_constraints(10.0, &s)
+        );
+        assert_eq!(
+            outer_constraints_with_rho_split(&sym, &s, 0.4),
+            outer_constraints_with_rho(10.0, &s, 0.4)
+        );
+    }
+
+    #[test]
+    fn split_mabc_embedding_survives_asymmetric_powers() {
+        // Δ = (0, 0, δ, 1−δ) must reproduce the split MABC region too.
+        let s = fig4_state();
+        let powers = PowerSplit::new(3.0, 11.0, 19.0);
+        let hbc = inner_constraints_split(&powers, &s);
+        let mabc = crate::bounds::mabc::capacity_constraints_split(&powers, &s);
+        let delta = 0.55;
+        let d_hbc = [0.0, 0.0, delta, 1.0 - delta];
+        let d_mabc = [delta, 1.0 - delta];
+        for i in 0..15 {
+            for j in 0..15 {
+                let (ra, rb) = (i as f64 * 0.15, j as f64 * 0.15);
+                assert_eq!(
+                    hbc.all_satisfied(ra, rb, &d_hbc, 1e-12),
+                    mabc.all_satisfied(ra, rb, &d_mabc, 1e-12),
+                    "({ra},{rb})"
+                );
             }
         }
     }

@@ -23,7 +23,7 @@
 //! [`relaxed_outer_constraints`] exposes that variant.
 
 use crate::constraint::{ConstraintSet, RateConstraint};
-use bcc_channel::ChannelState;
+use bcc_channel::{ChannelState, PowerSplit};
 use bcc_info::awgn_capacity;
 use bcc_info::gaussian::mac_sum_capacity;
 
@@ -34,9 +34,19 @@ use bcc_info::gaussian::mac_sum_capacity;
 /// Panics if `power < 0`.
 pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     assert!(power >= 0.0, "transmit power must be non-negative");
-    let c_ar = awgn_capacity(power * state.gar());
-    let c_br = awgn_capacity(power * state.gbr());
-    let c_mac = mac_sum_capacity(power * state.gar(), power * state.gbr());
+    capacity_constraints_split(&PowerSplit::symmetric(power), state)
+}
+
+/// [`capacity_constraints`] with per-node powers: the MAC-phase terms see
+/// the terminals' powers, the broadcast-phase terms the relay's.
+pub fn capacity_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
+    let snr_ar = powers.p_a() * state.gar();
+    let snr_br = powers.p_b() * state.gbr();
+    let c_ar = awgn_capacity(snr_ar);
+    let c_br = awgn_capacity(snr_br);
+    let c_bc_b = awgn_capacity(powers.p_r() * state.gbr());
+    let c_bc_a = awgn_capacity(powers.p_r() * state.gar());
+    let c_mac = mac_sum_capacity(snr_ar, snr_br);
 
     let mut set = ConstraintSet::new(2, "MABC capacity (Thm 2)");
     set.push(RateConstraint::new(
@@ -48,7 +58,7 @@ pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![0.0, c_br],
+        vec![0.0, c_bc_b],
         "Thm 2: b decodes broadcast (cut {a,r})",
     ));
     set.push(RateConstraint::new(
@@ -60,7 +70,7 @@ pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_ar],
+        vec![0.0, c_bc_a],
         "Thm 2: a decodes broadcast (cut {b,r})",
     ));
     set.push(RateConstraint::new(
@@ -163,6 +173,25 @@ mod tests {
             .constraints()
             .iter()
             .all(|c| !(c.ra == 1.0 && c.rb == 1.0)));
+    }
+
+    #[test]
+    fn split_reduces_to_symmetric_at_equal_powers() {
+        let s = fig4_state();
+        assert_eq!(
+            capacity_constraints_split(&PowerSplit::symmetric(7.0), &s),
+            capacity_constraints(7.0, &s)
+        );
+    }
+
+    #[test]
+    fn silent_relay_kills_broadcast_rows_only() {
+        // p_r = 0: the MAC-phase rows survive, the broadcast rows collapse.
+        let s = fig4_state();
+        let set = capacity_constraints_split(&PowerSplit::new(10.0, 10.0, 0.0), &s);
+        assert!(set.constraints()[0].phase_coefs[0] > 0.0, "MAC row alive");
+        assert_eq!(set.constraints()[1].phase_coefs[1], 0.0, "b broadcast dead");
+        assert_eq!(set.constraints()[3].phase_coefs[1], 0.0, "a broadcast dead");
     }
 
     #[test]

@@ -35,9 +35,27 @@ pub mod tdbc;
 
 use crate::constraint::ConstraintSet;
 use crate::protocol::{Bound, Protocol};
-use bcc_channel::ChannelState;
+use bcc_channel::{ChannelState, PowerSplit};
 
-/// Dispatches to the right theorem for `(protocol, bound)`.
+/// Dispatches to the right theorem for `(protocol, bound)` at the paper's
+/// common per-node power `P` — shorthand for [`constraint_sets_split`]
+/// with a symmetric split.
+///
+/// # Panics
+///
+/// Panics if `power < 0`.
+pub fn constraint_sets(
+    protocol: Protocol,
+    bound: Bound,
+    power: f64,
+    state: &ChannelState,
+) -> Vec<ConstraintSet> {
+    assert!(power >= 0.0, "transmit power must be non-negative");
+    constraint_sets_split(protocol, bound, &PowerSplit::symmetric(power), state)
+}
+
+/// Dispatches to the right theorem for `(protocol, bound)` with per-node
+/// transmit powers — the entry point of the power-allocation studies.
 ///
 /// For [`Protocol::Hbc`] with [`Bound::Outer`] this returns the
 /// **ρ-family** of Gaussian-restricted Theorem-6 sets (the region is their
@@ -45,19 +63,19 @@ use bcc_channel::ChannelState;
 /// declines to evaluate the HBC outer bound numerically because the optimal
 /// joint phase-3 input distribution is unknown — see DESIGN.md §2 for why
 /// the Gaussian-restricted family is reported instead.
-pub fn constraint_sets(
+pub fn constraint_sets_split(
     protocol: Protocol,
     bound: Bound,
-    power: f64,
+    powers: &PowerSplit,
     state: &ChannelState,
 ) -> Vec<ConstraintSet> {
     match (protocol, bound) {
-        (Protocol::DirectTransmission, _) => vec![dt::capacity_constraints(power, state)],
-        (Protocol::Mabc, _) => vec![mabc::capacity_constraints(power, state)],
-        (Protocol::Tdbc, Bound::Inner) => vec![tdbc::inner_constraints(power, state)],
-        (Protocol::Tdbc, Bound::Outer) => vec![tdbc::outer_constraints(power, state)],
-        (Protocol::Hbc, Bound::Inner) => vec![hbc::inner_constraints(power, state)],
-        (Protocol::Hbc, Bound::Outer) => hbc::outer_constraint_family(power, state, 33),
+        (Protocol::DirectTransmission, _) => vec![dt::capacity_constraints_split(powers, state)],
+        (Protocol::Mabc, _) => vec![mabc::capacity_constraints_split(powers, state)],
+        (Protocol::Tdbc, Bound::Inner) => vec![tdbc::inner_constraints_split(powers, state)],
+        (Protocol::Tdbc, Bound::Outer) => vec![tdbc::outer_constraints_split(powers, state)],
+        (Protocol::Hbc, Bound::Inner) => vec![hbc::inner_constraints_split(powers, state)],
+        (Protocol::Hbc, Bound::Outer) => hbc::outer_constraint_family_split(powers, state, 33),
     }
 }
 

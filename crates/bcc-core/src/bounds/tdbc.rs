@@ -20,7 +20,7 @@
 //! `R_a + R_b ≤ Δ₁·C(P·G_ar) + Δ₂·C(P·G_br)` is added (relay decodes both).
 
 use crate::constraint::{ConstraintSet, RateConstraint};
-use bcc_channel::ChannelState;
+use bcc_channel::{ChannelState, PowerSplit};
 use bcc_info::awgn_capacity;
 use bcc_info::gaussian::two_receiver_capacity;
 
@@ -31,33 +31,42 @@ use bcc_info::gaussian::two_receiver_capacity;
 /// Panics if `power < 0`.
 pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     assert!(power >= 0.0, "transmit power must be non-negative");
-    let c_ab = awgn_capacity(power * state.gab());
-    let c_ar = awgn_capacity(power * state.gar());
-    let c_br = awgn_capacity(power * state.gbr());
+    inner_constraints_split(&PowerSplit::symmetric(power), state)
+}
+
+/// [`inner_constraints`] with per-node powers: phase-1 terms see `p_a`,
+/// phase-2 terms `p_b`, and the relay's bin broadcast `p_r`.
+pub fn inner_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
+    let c_a_ab = awgn_capacity(powers.p_a() * state.gab());
+    let c_b_ab = awgn_capacity(powers.p_b() * state.gab());
+    let c_a_ar = awgn_capacity(powers.p_a() * state.gar());
+    let c_b_br = awgn_capacity(powers.p_b() * state.gbr());
+    let c_r_ar = awgn_capacity(powers.p_r() * state.gar());
+    let c_r_br = awgn_capacity(powers.p_r() * state.gbr());
 
     let mut set = ConstraintSet::new(3, "TDBC achievable (Thm 3)");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ar, 0.0, 0.0],
+        vec![c_a_ar, 0.0, 0.0],
         "Thm 3: relay decodes Wa (phase 1)",
     ));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ab, 0.0, c_br],
+        vec![c_a_ab, 0.0, c_r_br],
         "Thm 3: b decodes Wa from side info + bin broadcast",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_br, 0.0],
+        vec![0.0, c_b_br, 0.0],
         "Thm 3: relay decodes Wb (phase 2)",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_ab, c_ar],
+        vec![0.0, c_b_ab, c_r_ar],
         "Thm 3: a decodes Wb from side info + bin broadcast",
     ));
     set
@@ -70,11 +79,20 @@ pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// Panics if `power < 0`.
 pub fn outer_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     assert!(power >= 0.0, "transmit power must be non-negative");
-    let c_ab = awgn_capacity(power * state.gab());
-    let c_ar = awgn_capacity(power * state.gar());
-    let c_br = awgn_capacity(power * state.gbr());
-    let c_a_cut = two_receiver_capacity(power * state.gar(), power * state.gab());
-    let c_b_cut = two_receiver_capacity(power * state.gbr(), power * state.gab());
+    outer_constraints_split(&PowerSplit::symmetric(power), state)
+}
+
+/// [`outer_constraints`] with per-node powers (cut terms at the
+/// transmitting node's power, relay broadcast at `p_r`).
+pub fn outer_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
+    let c_a_ab = awgn_capacity(powers.p_a() * state.gab());
+    let c_b_ab = awgn_capacity(powers.p_b() * state.gab());
+    let c_a_ar = awgn_capacity(powers.p_a() * state.gar());
+    let c_b_br = awgn_capacity(powers.p_b() * state.gbr());
+    let c_r_ar = awgn_capacity(powers.p_r() * state.gar());
+    let c_r_br = awgn_capacity(powers.p_r() * state.gbr());
+    let c_a_cut = two_receiver_capacity(powers.p_a() * state.gar(), powers.p_a() * state.gab());
+    let c_b_cut = two_receiver_capacity(powers.p_b() * state.gbr(), powers.p_b() * state.gab());
 
     let mut set = ConstraintSet::new(3, "TDBC outer (Thm 4)");
     set.push(RateConstraint::new(
@@ -86,7 +104,7 @@ pub fn outer_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ab, 0.0, c_br],
+        vec![c_a_ab, 0.0, c_r_br],
         "Thm 4: cut {a,r} — b's total information about Wa",
     ));
     set.push(RateConstraint::new(
@@ -98,13 +116,13 @@ pub fn outer_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_ab, c_ar],
+        vec![0.0, c_b_ab, c_r_ar],
         "Thm 4: cut {b,r} — a's total information about Wb",
     ));
     set.push(RateConstraint::new(
         1.0,
         1.0,
-        vec![c_ar, c_br, 0.0],
+        vec![c_a_ar, c_b_br, 0.0],
         "Thm 4: relay decodes both messages (sum rate)",
     ));
     set
@@ -190,6 +208,41 @@ mod tests {
         assert!(outer.constraints()[0].phase_coefs[0] >= inner.constraints()[0].phase_coefs[0]);
         // Row 2 similarly for b.
         assert!(outer.constraints()[2].phase_coefs[1] >= inner.constraints()[2].phase_coefs[1]);
+    }
+
+    #[test]
+    fn split_reduces_to_symmetric_at_equal_powers() {
+        let s = fig4_state();
+        let sym = PowerSplit::symmetric(10.0);
+        assert_eq!(
+            inner_constraints_split(&sym, &s),
+            inner_constraints(10.0, &s)
+        );
+        assert_eq!(
+            outer_constraints_split(&sym, &s),
+            outer_constraints(10.0, &s)
+        );
+    }
+
+    #[test]
+    fn split_inner_implies_split_outer_pointwise() {
+        // The Thm 3 ⊆ Thm 4 containment must survive asymmetric powers.
+        let s = fig4_state();
+        let powers = PowerSplit::new(4.0, 12.0, 20.0);
+        let inner = inner_constraints_split(&powers, &s);
+        let outer = outer_constraints_split(&powers, &s);
+        let d = [0.4, 0.3, 0.3];
+        for i in 0..20 {
+            for j in 0..20 {
+                let (ra, rb) = (i as f64 * 0.2, j as f64 * 0.2);
+                if inner.all_satisfied(ra, rb, &d, 1e-12) {
+                    assert!(
+                        outer.all_satisfied(ra, rb, &d, 1e-9),
+                        "split inner point ({ra},{rb}) escapes outer"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

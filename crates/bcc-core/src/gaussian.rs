@@ -9,10 +9,17 @@ use crate::error::CoreError;
 use crate::optimizer::{self, SchedulePoint};
 use crate::protocol::{Bound, Protocol};
 use crate::region::RateRegion;
-use bcc_channel::ChannelState;
+use bcc_channel::{ChannelState, PowerSplit};
 use bcc_num::Db;
 
-/// A Gaussian three-node network: power `P` and gains `(G_ab, G_ar, G_br)`.
+/// A Gaussian three-node network: per-node powers and gains
+/// `(G_ab, G_ar, G_br)`.
+///
+/// The paper's setting is a *common* per-node power `P`
+/// ([`GaussianNetwork::new`]); power-allocation studies attach an
+/// asymmetric [`PowerSplit`] via [`GaussianNetwork::with_powers`], and
+/// every bound evaluates each information term at the transmitting node's
+/// power.
 ///
 /// ```
 /// use bcc_core::gaussian::GaussianNetwork;
@@ -27,7 +34,7 @@ use bcc_num::Db;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaussianNetwork {
-    power: f64,
+    powers: PowerSplit,
     state: ChannelState,
 }
 
@@ -47,7 +54,8 @@ pub struct SumRateSolution {
 }
 
 impl GaussianNetwork {
-    /// Creates a network from linear power and a channel state.
+    /// Creates a network from a common per-node linear power and a channel
+    /// state (the paper's convention).
     ///
     /// # Panics
     ///
@@ -57,7 +65,16 @@ impl GaussianNetwork {
             power.is_finite() && power >= 0.0,
             "transmit power must be finite and non-negative, got {power}"
         );
-        GaussianNetwork { power, state }
+        GaussianNetwork {
+            powers: PowerSplit::symmetric(power),
+            state,
+        }
+    }
+
+    /// Creates a network with an explicit per-node power split — the
+    /// power-allocation constructor.
+    pub fn with_powers(powers: PowerSplit, state: ChannelState) -> Self {
+        GaussianNetwork { powers, state }
     }
 
     /// Creates a network from dB quantities (the paper's convention).
@@ -65,9 +82,21 @@ impl GaussianNetwork {
         GaussianNetwork::new(power.to_linear(), ChannelState::from_db(gab, gar, gbr))
     }
 
-    /// Per-node transmit power (linear).
+    /// The common per-node transmit power (linear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network carries an asymmetric [`PowerSplit`] — there
+    /// is no single "the power" then; use [`GaussianNetwork::powers`].
     pub fn power(&self) -> f64 {
-        self.power
+        self.powers
+            .common()
+            .expect("asymmetric power split has no common per-node power; use powers()")
+    }
+
+    /// The per-node transmit powers.
+    pub fn powers(&self) -> PowerSplit {
+        self.powers
     }
 
     /// The channel gains.
@@ -75,9 +104,24 @@ impl GaussianNetwork {
         self.state
     }
 
-    /// Same gains, different power — the SNR-sweep constructor.
+    /// Same powers, different gains — how a quasi-static fading
+    /// realisation is applied to a base network.
+    pub fn with_state(&self, state: ChannelState) -> Self {
+        GaussianNetwork {
+            powers: self.powers,
+            state,
+        }
+    }
+
+    /// Same gains, common per-node power — the SNR-sweep constructor.
     pub fn with_power(&self, power: f64) -> Self {
         GaussianNetwork::new(power, self.state)
+    }
+
+    /// Same gains, different power split — the allocation-sweep
+    /// constructor.
+    pub fn with_split(&self, powers: PowerSplit) -> Self {
+        GaussianNetwork::with_powers(powers, self.state)
     }
 
     /// Same gains, power given in dB.
@@ -91,7 +135,7 @@ impl GaussianNetwork {
         protocol: Protocol,
         bound: Bound,
     ) -> Vec<crate::constraint::ConstraintSet> {
-        bounds::constraint_sets(protocol, bound, self.power, &self.state)
+        bounds::constraint_sets_split(protocol, bound, &self.powers, &self.state)
     }
 
     /// The rate region of `(protocol, bound)`.
@@ -148,19 +192,33 @@ impl GaussianNetwork {
         })
     }
 
-    /// Received SNR of the `a`–`r` link (`P·G_ar`).
+    /// Received SNR of the `a → r` link (`p_a·G_ar`).
     pub fn snr_ar(&self) -> f64 {
-        self.power * self.state.gar()
+        self.powers.p_a() * self.state.gar()
     }
 
-    /// Received SNR of the `b`–`r` link (`P·G_br`).
+    /// Received SNR of the `b → r` link (`p_b·G_br`).
     pub fn snr_br(&self) -> f64 {
-        self.power * self.state.gbr()
+        self.powers.p_b() * self.state.gbr()
     }
 
-    /// Received SNR of the direct link (`P·G_ab`).
+    /// Received SNR of the `a → b` direct link (`p_a·G_ab`).
     pub fn snr_ab(&self) -> f64 {
-        self.power * self.state.gab()
+        self.powers.p_a() * self.state.gab()
+    }
+
+    /// Received SNR of the `b → a` direct link (`p_b·G_ab`).
+    pub fn snr_ba(&self) -> f64 {
+        self.powers.p_b() * self.state.gab()
+    }
+
+    /// The network's reference SNR: mean per-node power against unit
+    /// noise (`total / 3`), which equals `P` in the paper's symmetric
+    /// setting. Finite-SNR DMT targets are rates `r·log2(1 + SNR_ref)`,
+    /// so allocation studies that hold [`PowerSplit::total`] fixed compare
+    /// splits at a fixed reference SNR.
+    pub fn reference_snr(&self) -> f64 {
+        self.powers.total() / 3.0
     }
 }
 
@@ -239,6 +297,58 @@ mod tests {
             assert!(approx_eq(total, 1.0, 1e-8), "{proto} durations");
             assert_eq!(sol.durations.len(), proto.num_phases());
         }
+    }
+
+    #[test]
+    fn asymmetric_split_round_trip_and_power_panic() {
+        let split = PowerSplit::new(2.0, 6.0, 12.0);
+        let net = GaussianNetwork::with_powers(split, ChannelState::new(1.0, 2.0, 3.0));
+        assert_eq!(net.powers(), split);
+        assert!(approx_eq(net.snr_ab(), 2.0, 1e-12));
+        assert!(approx_eq(net.snr_ba(), 6.0, 1e-12));
+        assert!(approx_eq(net.snr_ar(), 4.0, 1e-12));
+        assert!(approx_eq(net.snr_br(), 18.0, 1e-12));
+        assert!(approx_eq(net.reference_snr(), 20.0 / 3.0, 1e-12));
+        let r = std::panic::catch_unwind(|| net.power());
+        assert!(r.is_err(), "power() must refuse an asymmetric split");
+    }
+
+    #[test]
+    fn with_state_preserves_powers() {
+        let split = PowerSplit::from_shares(30.0, 0.5, 0.25);
+        let net = GaussianNetwork::with_powers(split, ChannelState::new(1.0, 1.0, 1.0));
+        let faded = net.with_state(net.state().faded(0.5, 2.0, 1.0));
+        assert_eq!(faded.powers(), split);
+        assert!(approx_eq(faded.state().gab(), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn symmetric_split_matches_common_power_solutions() {
+        // The split path at equal powers must reproduce the paper's
+        // common-power results exactly.
+        let state = ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795);
+        let classic = GaussianNetwork::new(10.0, state);
+        let split = GaussianNetwork::with_powers(PowerSplit::symmetric(10.0), state);
+        for proto in Protocol::ALL {
+            let a = classic.max_sum_rate(proto).unwrap();
+            let b = split.max_sum_rate(proto).unwrap();
+            assert_eq!(a, b, "{proto}");
+        }
+    }
+
+    #[test]
+    fn relay_power_is_useless_to_direct_transmission() {
+        let state = ChannelState::new(1.0, 1.0, 1.0);
+        let all_at_relay = GaussianNetwork::with_powers(PowerSplit::new(0.0, 0.0, 30.0), state);
+        let dt = all_at_relay
+            .max_sum_rate(Protocol::DirectTransmission)
+            .unwrap();
+        assert!(approx_eq(dt.sum_rate, 0.0, 1e-9));
+        let at_terminals = GaussianNetwork::with_powers(PowerSplit::new(15.0, 15.0, 0.0), state);
+        let dt2 = at_terminals
+            .max_sum_rate(Protocol::DirectTransmission)
+            .unwrap();
+        assert!(dt2.sum_rate > 3.9, "C(15) ≈ 4 bits split over two phases");
     }
 
     #[test]

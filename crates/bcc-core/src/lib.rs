@@ -49,6 +49,7 @@ pub mod bounds;
 pub mod comparison;
 pub mod constraint;
 pub mod discrete;
+pub mod dmt;
 pub mod error;
 pub mod gaussian;
 pub mod optimizer;
@@ -58,6 +59,7 @@ pub mod scenario;
 pub mod selection;
 pub mod sweep;
 
+pub use dmt::{Allocation, AllocationResult, DmtResult};
 pub use error::CoreError;
 pub use gaussian::GaussianNetwork;
 pub use protocol::{Bound, Protocol, ProtocolMap};
@@ -66,6 +68,7 @@ pub use scenario::{Evaluator, Scenario};
 
 /// One-stop imports for the batch evaluation API.
 pub mod prelude {
+    pub use crate::dmt::{Allocation, AllocationResult, DmtResult};
     pub use crate::error::CoreError;
     pub use crate::gaussian::{GaussianNetwork, SumRateSolution};
     pub use crate::protocol::{Bound, Protocol, ProtocolMap};
@@ -75,6 +78,6 @@ pub mod prelude {
         RegionResult, RegionTrace, Scenario, SkippedSolve, SweepResult,
     };
     pub use bcc_channel::fading::FadingModel;
-    pub use bcc_channel::ChannelState;
+    pub use bcc_channel::{ChannelState, PowerSplit};
     pub use bcc_num::Db;
 }

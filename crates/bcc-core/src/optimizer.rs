@@ -114,6 +114,54 @@ pub fn max_sum_rate(set: &ConstraintSet) -> Result<SchedulePoint, CoreError> {
     max_weighted(set, 1.0, 1.0)
 }
 
+/// Maximises the sum rate subject to per-user QoS floors `R_a ≥ ra_min`,
+/// `R_b ≥ rb_min`.
+///
+/// Unlike the unconstrained queries this LP **can be infeasible** — a
+/// floor above what the bound supports at any time allocation — and that
+/// is a statement about the operating point, not the solver: the returned
+/// [`CoreError`] satisfies [`CoreError::is_infeasible`], so batch sweeps
+/// record it per grid point ([`SweepResult::skipped`]) instead of
+/// aborting.
+///
+/// [`SweepResult::skipped`]: crate::scenario::SweepResult::skipped
+///
+/// # Errors
+///
+/// Returns an infeasibility error when the floors are unachievable;
+/// propagates other LP failures.
+///
+/// # Panics
+///
+/// Panics if a floor is negative or non-finite.
+pub fn max_sum_rate_with_floor(
+    set: &ConstraintSet,
+    ra_min: f64,
+    rb_min: f64,
+    ws: &mut Workspace,
+) -> Result<SchedulePoint, CoreError> {
+    assert!(
+        ra_min.is_finite() && rb_min.is_finite() && ra_min >= 0.0 && rb_min >= 0.0,
+        "rate floors must be finite and non-negative"
+    );
+    let l = set.num_phases();
+    let n = 2 + l;
+    let mut obj = vec![0.0; n];
+    obj[0] = 1.0;
+    obj[1] = 1.0;
+    let mut p = base_problem(set, &obj);
+    let mut ra_row = vec![0.0; n];
+    ra_row[0] = 1.0;
+    p.subject_to(&ra_row, Relation::Ge, ra_min);
+    let mut rb_row = vec![0.0; n];
+    rb_row[1] = 1.0;
+    p.subject_to(&rb_row, Relation::Ge, rb_min);
+    let sol = p
+        .solve_with(ws)
+        .map_err(|e| CoreError::lp(format!("{} sum-rate with QoS floor", set.name), e))?;
+    Ok(extract(set, sol))
+}
+
 /// [`max_sum_rate`] reusing `ws` for the solver's scratch memory.
 pub fn max_sum_rate_with(
     set: &ConstraintSet,
@@ -147,6 +195,16 @@ pub fn max_ra_given_rb(set: &ConstraintSet, rb: f64) -> Result<SchedulePoint, Co
 /// Maximises the symmetric (max–min fair) rate: the largest `t` with
 /// `(R_a, R_b) = (t', t'')`, `t' ≥ t`, `t'' ≥ t` achievable.
 pub fn max_min_rate(set: &ConstraintSet) -> Result<SchedulePoint, CoreError> {
+    max_min_rate_with(set, &mut Workspace::new())
+}
+
+/// [`max_min_rate`] reusing `ws` for the solver's scratch memory — the
+/// batch entry point of the equal-rate outage studies (the power-
+/// allocation search solves one of these per fade draw).
+pub fn max_min_rate_with(
+    set: &ConstraintSet,
+    ws: &mut Workspace,
+) -> Result<SchedulePoint, CoreError> {
     // Extra variable t appended after the durations.
     let l = set.num_phases();
     let n = 2 + l + 1;
@@ -177,7 +235,7 @@ pub fn max_min_rate(set: &ConstraintSet) -> Result<SchedulePoint, CoreError> {
     rb_row[n - 1] = -1.0;
     p.subject_to(&rb_row, Relation::Ge, 0.0);
     let sol = p
-        .solve()
+        .solve_with(ws)
         .map_err(|e| CoreError::lp(format!("{} max-min", set.name), e))?;
     Ok(SchedulePoint {
         ra: sol.x[0],
@@ -292,6 +350,30 @@ mod tests {
         let err = max_ra_given_rb(&set, 100.0).unwrap_err();
         assert!(matches!(err, CoreError::RateUnachievable { .. }));
         assert!(!is_achievable(&set, 0.0, 100.0));
+    }
+
+    #[test]
+    fn feasible_floor_binds_or_is_slack() {
+        let set = mabc::capacity_constraints(10.0, &fig4_state());
+        let free = max_sum_rate(&set).expect("solvable");
+        let mut ws = Workspace::new();
+        // A floor below the free optimum's components changes nothing.
+        let gentle = max_sum_rate_with_floor(&set, 0.1, 0.1, &mut ws).expect("feasible");
+        assert!(approx_eq(gentle.objective, free.objective, 1e-8));
+        // A floor between the free optimum's Ra and the achievable maximum
+        // forces Ra up without costing feasibility.
+        let ra_max = max_weighted(&set, 1.0, 0.0).expect("solvable").ra;
+        let push = 0.5 * (free.ra + ra_max);
+        let forced = max_sum_rate_with_floor(&set, push, 0.0, &mut ws).expect("feasible");
+        assert!(forced.ra >= push - 1e-8);
+        assert!(forced.objective <= free.objective + 1e-8);
+    }
+
+    #[test]
+    fn impossible_floor_reports_infeasible() {
+        let set = mabc::capacity_constraints(1.0, &fig4_state());
+        let err = max_sum_rate_with_floor(&set, 50.0, 50.0, &mut Workspace::new()).unwrap_err();
+        assert!(err.is_infeasible(), "{err}");
     }
 
     #[test]

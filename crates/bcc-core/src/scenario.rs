@@ -58,6 +58,7 @@ use crate::protocol::{Bound, Protocol, ProtocolMap};
 use crate::region::{RatePoint, RateRegion};
 use bcc_channel::fading::FadingModel;
 use bcc_channel::topology::LineNetwork;
+use bcc_channel::{ChannelState, PowerSplit};
 use bcc_num::{par, Db};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,12 +109,15 @@ pub struct GridPoint {
 /// builder methods, then [`Scenario::build`] the [`Evaluator`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    x_name: String,
-    points: Vec<GridPoint>,
-    protocols: Vec<Protocol>,
-    bound: Bound,
-    fading: Option<FadingSpec>,
-    threads: Option<usize>,
+    pub(crate) x_name: String,
+    pub(crate) points: Vec<GridPoint>,
+    pub(crate) protocols: Vec<Protocol>,
+    pub(crate) bound: Bound,
+    pub(crate) fading: Option<FadingSpec>,
+    pub(crate) threads: Option<usize>,
+    pub(crate) multiplexing_gains: Vec<f64>,
+    pub(crate) power_grid: Vec<PowerSplit>,
+    pub(crate) rate_floor: Option<(f64, f64)>,
 }
 
 impl Scenario {
@@ -129,6 +133,9 @@ impl Scenario {
             bound: Bound::Inner,
             fading: None,
             threads: None,
+            multiplexing_gains: Vec::new(),
+            power_grid: Vec::new(),
+            rate_floor: None,
         }
     }
 
@@ -203,6 +210,32 @@ impl Scenario {
         Scenario::from_points("relay position", points)
     }
 
+    /// Sweeps the relay's share of a fixed total power budget at balanced
+    /// terminals — the 1-D slice of the allocation simplex that the
+    /// finite-SNR power-allocation studies walk. `x` is the relay share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relay_shares` is empty or contains values outside
+    /// `[0, 1]` (propagated from [`PowerSplit::from_shares`]).
+    pub fn power_split_sweep(
+        state: ChannelState,
+        total_power: f64,
+        relay_shares: impl IntoIterator<Item = f64>,
+    ) -> Self {
+        let points = relay_shares
+            .into_iter()
+            .map(|share| GridPoint {
+                x: share,
+                net: GaussianNetwork::with_powers(
+                    PowerSplit::from_shares(total_power, share, 0.5),
+                    state,
+                ),
+            })
+            .collect();
+        Scenario::from_points("relay power share", points)
+    }
+
     /// An arbitrary `(x, network)` grid under a caller-chosen axis label —
     /// the escape hatch for geometries the named constructors don't cover.
     ///
@@ -264,6 +297,80 @@ impl Scenario {
         self.fading(FadingModel::Rayleigh, trials, seed)
     }
 
+    /// Attaches multiplexing gains for finite-SNR DMT estimation
+    /// (enables [`Evaluator::dmt`]): at a grid point with reference SNR
+    /// `ρ`, gain `r` targets the sum rate `r·log2(1 + ρ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains` is empty or contains a non-finite or non-positive
+    /// value.
+    pub fn multiplexing_gains(mut self, gains: impl IntoIterator<Item = f64>) -> Self {
+        let gains: Vec<f64> = gains.into_iter().collect();
+        assert!(!gains.is_empty(), "need at least one multiplexing gain");
+        for &r in &gains {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "multiplexing gains must be finite and positive, got {r}"
+            );
+        }
+        self.multiplexing_gains = gains;
+        self
+    }
+
+    /// Attaches candidate power splits for the allocation search
+    /// ([`Evaluator::allocation`] seeds its golden-section polish from the
+    /// best of these; an empty grid falls back to a built-in coarse grid
+    /// of relay shares at balanced terminals).
+    ///
+    /// All candidates must share one total — the search moves along the
+    /// allocation simplex of a fixed budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `splits` is empty or the totals disagree beyond 1e-9
+    /// relative.
+    pub fn power_grid(mut self, splits: impl IntoIterator<Item = PowerSplit>) -> Self {
+        let splits: Vec<PowerSplit> = splits.into_iter().collect();
+        assert!(!splits.is_empty(), "need at least one candidate split");
+        let total = splits[0].total();
+        for s in &splits {
+            assert!(
+                (s.total() - total).abs() <= 1e-9 * (1.0 + total),
+                "power grid must share one total budget: {} vs {total}",
+                s.total()
+            );
+        }
+        self.power_grid = splits;
+        self
+    }
+
+    /// Imposes per-user QoS floors `R_a ≥ ra_min`, `R_b ≥ rb_min` on every
+    /// sum-rate solve of [`Evaluator::sweep`] / [`Evaluator::comparisons`].
+    ///
+    /// Floors make grid points *genuinely infeasible* when the operating
+    /// point cannot support them — those solves are recorded in
+    /// [`SweepResult::skipped`] with NaN placeholders rather than aborting
+    /// the batch (`comparisons`/`compare` still propagate the error, as
+    /// single-point queries have no batch to protect).
+    ///
+    /// The fading studies ([`Evaluator::outage`], [`Evaluator::dmt`],
+    /// [`Evaluator::allocation`]) solve the *unconstrained* optimum and
+    /// **panic** if a floor is attached, rather than silently ignoring
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a floor is negative or non-finite.
+    pub fn rate_floor(mut self, ra_min: f64, rb_min: f64) -> Self {
+        assert!(
+            ra_min.is_finite() && rb_min.is_finite() && ra_min >= 0.0 && rb_min >= 0.0,
+            "rate floors must be finite and non-negative"
+        );
+        self.rate_floor = Some((ra_min, rb_min));
+        self
+    }
+
     /// Pins the evaluator's worker count (default: the global policy —
     /// `BCC_THREADS` if set, else the machine's available parallelism).
     ///
@@ -286,22 +393,39 @@ impl Scenario {
     }
 
     /// Optimal sum rate of `protocol` at `net` under this scenario's bound
-    /// selection, solved through `ws` (each parallel worker owns one).
+    /// selection and optional QoS floor, solved through `ws` (each
+    /// parallel worker owns one).
     fn solve_point_with(
         &self,
         net: &GaussianNetwork,
         protocol: Protocol,
         ws: &mut bcc_lp::Workspace,
     ) -> Result<SumRateSolution, CoreError> {
-        if self.bound == Bound::Inner {
+        if self.bound == Bound::Inner && self.rate_floor.is_none() {
             return net.max_sum_rate_with(protocol, ws);
         }
         // Outer bounds can be set *families* (HBC's ρ-family); the bound's
-        // sum rate is the maximum over the family.
-        let sets = bounds::constraint_sets(protocol, self.bound, net.power(), &net.state());
+        // sum rate is the maximum over the family. With a QoS floor,
+        // individual members may be infeasible — the family is infeasible
+        // only if every member is.
+        let sets = bounds::constraint_sets_split(protocol, self.bound, &net.powers(), &net.state());
         let mut best: Option<SumRateSolution> = None;
+        let mut infeasible: Option<CoreError> = None;
         for set in &sets {
-            let pt = crate::optimizer::max_sum_rate_with(set, ws)?;
+            let solved = match self.rate_floor {
+                Some((ra_min, rb_min)) => {
+                    crate::optimizer::max_sum_rate_with_floor(set, ra_min, rb_min, ws)
+                }
+                None => crate::optimizer::max_sum_rate_with(set, ws),
+            };
+            let pt = match solved {
+                Ok(pt) => pt,
+                Err(e) if e.is_infeasible() => {
+                    infeasible = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if best.as_ref().is_none_or(|b| pt.objective > b.sum_rate) {
                 best = Some(SumRateSolution {
                     protocol,
@@ -312,7 +436,10 @@ impl Scenario {
                 });
             }
         }
-        Ok(best.expect("constraint families are non-empty"))
+        match best {
+            Some(sol) => Ok(sol),
+            None => Err(infeasible.expect("constraint families are non-empty")),
+        }
     }
 }
 
@@ -336,7 +463,7 @@ fn classify_solve(
 /// reusable [`bcc_lp::Workspace`] per worker.
 #[derive(Debug)]
 pub struct Evaluator {
-    scenario: Scenario,
+    pub(crate) scenario: Scenario,
 }
 
 impl Evaluator {
@@ -565,13 +692,36 @@ impl Evaluator {
     /// Panics if the scenario has no fading spec (see
     /// [`Scenario::fading`]).
     pub fn outage(&mut self) -> Result<OutageResult, CoreError> {
+        let (spec, samples) = self.fading_sum_rate_samples();
+        let sc = &self.scenario;
+        Ok(OutageResult {
+            x_name: sc.x_name.clone(),
+            xs: sc.points.iter().map(|p| p.x).collect(),
+            spec,
+            protocols: sc.protocols.clone(),
+            samples,
+        })
+    }
+
+    /// The shared Monte-Carlo core of [`Evaluator::outage`] and
+    /// [`Evaluator::dmt`]: per grid point and trial, one i.i.d. fade per
+    /// link, then every selected protocol's optimal sum rate on the faded
+    /// network, fanned across the worker pool as a flat `point × trial`
+    /// grid. Returns `samples[protocol][point][trial]`.
+    pub(crate) fn fading_sum_rate_samples(&self) -> (FadingSpec, ProtocolMap<Vec<Vec<f64>>>) {
+        assert!(
+            self.scenario.rate_floor.is_none(),
+            "rate_floor applies to sweep()/comparisons() only; fading studies \
+             (outage/dmt/allocation) solve the unconstrained optimum, so a floored \
+             scenario would silently misreport outage — remove the floor"
+        );
         let spec = self
             .scenario
             .fading
             .expect("scenario has no fading model; attach one with Scenario::fading(...)");
         let threads = self.thread_count();
         let sc = &self.scenario;
-        let protocols = sc.protocols.clone();
+        let protocols = &sc.protocols;
         let points = &sc.points;
         let single = points.len() == 1;
         let trials = spec.trials;
@@ -595,12 +745,11 @@ impl Evaluator {
                     mix_seed(spec.seed, (k / trials) as u64)
                 };
                 let mut rng = trial_stream(point_seed, (k % trials) as u64);
-                let faded = net.state().faded(
+                let faded_net = net.with_state(net.state().faded(
                     spec.model.sample_power(&mut rng),
                     spec.model.sample_power(&mut rng),
                     spec.model.sample_power(&mut rng),
-                );
-                let faded_net = GaussianNetwork::new(net.power(), faded);
+                ));
                 protocols
                     .iter()
                     .map(|&p| {
@@ -616,7 +765,7 @@ impl Evaluator {
         );
 
         let mut samples: ProtocolMap<Vec<Vec<f64>>> = ProtocolMap::new();
-        for &p in &protocols {
+        for &p in protocols {
             samples.insert(p, vec![Vec::with_capacity(trials); points.len()]);
         }
         for (k, row) in rows.into_iter().enumerate() {
@@ -624,13 +773,7 @@ impl Evaluator {
                 samples.get_mut(p).expect("pre-populated")[k / trials].push(rate);
             }
         }
-        Ok(OutageResult {
-            x_name: sc.x_name.clone(),
-            xs: points.iter().map(|p| p.x).collect(),
-            spec,
-            protocols,
-            samples,
-        })
+        (spec, samples)
     }
 }
 
@@ -1159,6 +1302,67 @@ mod tests {
         for p in Protocol::ALL {
             let s = sweep.series(p).unwrap().sum_rates();
             assert!(s[1] >= s[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_split_sweep_uniform_point_matches_symmetric_network() {
+        // relay share 1/3 at balance 1/2 is the paper's symmetric setting.
+        let state = ChannelState::new(1.0, 2.0, 2.0);
+        let sweep = Scenario::power_split_sweep(state, 30.0, vec![1.0 / 3.0, 0.6])
+            .build()
+            .sweep()
+            .unwrap();
+        let classic = GaussianNetwork::new(10.0, state);
+        for p in Protocol::ALL {
+            let direct = classic.max_sum_rate(p).unwrap().sum_rate;
+            let batched = sweep.series(p).unwrap().sum_rates()[0];
+            assert!(
+                (direct - batched).abs() < 1e-12,
+                "{p}: {direct} vs {batched}"
+            );
+        }
+        // Starving the terminals (60% at the relay) cannot help DT.
+        let dt = sweep
+            .series(Protocol::DirectTransmission)
+            .unwrap()
+            .sum_rates();
+        assert!(dt[1] < dt[0]);
+    }
+
+    #[test]
+    fn rate_floor_below_optimum_changes_nothing() {
+        let scenario = Scenario::power_sweep_db(fig4_net(0.0), vec![5.0, 10.0]);
+        let free = scenario.clone().build().sweep().unwrap();
+        let floored = scenario.rate_floor(1e-6, 1e-6).build().sweep().unwrap();
+        assert!(floored.is_complete());
+        for p in Protocol::ALL {
+            let a = free.series(p).unwrap().sum_rates();
+            let b = floored.series(p).unwrap().sum_rates();
+            for k in 0..a.len() {
+                assert!((a[k] - b[k]).abs() < 1e-9, "{p} point {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_rate_floor_is_recorded_not_fatal() {
+        // At −20 dB nothing supports a 2-bit-per-user floor; at 25 dB the
+        // relay protocols do. The batch must survive and record the skips.
+        let sweep = Scenario::power_sweep_db(fig4_net(0.0), vec![-20.0, 25.0])
+            .rate_floor(2.0, 2.0)
+            .build()
+            .sweep()
+            .unwrap();
+        assert!(!sweep.is_complete());
+        assert_eq!(sweep.try_winner(0), None, "all protocols skipped");
+        assert!(sweep.try_winner(1).is_some(), "high power is feasible");
+        for p in Protocol::ALL {
+            let s = &sweep.series(p).unwrap().solutions[0];
+            assert!(s.sum_rate.is_nan(), "{p} placeholder");
+        }
+        for skip in sweep.skipped() {
+            assert!(skip.error.is_infeasible());
         }
     }
 

@@ -61,6 +61,26 @@ proptest! {
             prop_assert_eq!(res.unwrap(), (0..n).collect::<Vec<usize>>());
         }
     }
+
+    #[test]
+    fn try_map_lowest_index_wins_for_scattered_failures(
+        n in 1usize..120,
+        fail_raw in prop::collection::vec(0usize..120, 0..12),
+        threads in 1usize..9,
+    ) {
+        // Failures injected at arbitrary (non-contiguous) indices: the
+        // reported error must still be the one the serial loop would hit
+        // first — the minimum failing index — at every worker count.
+        let fail: std::collections::BTreeSet<usize> = fail_raw.into_iter().collect();
+        let res: Result<Vec<usize>, usize> =
+            par::try_par_map_range(threads, n, || (), |(), i| {
+                if fail.contains(&i) { Err(i) } else { Ok(i * 2) }
+            });
+        match fail.iter().copied().find(|&i| i < n) {
+            Some(first) => prop_assert_eq!(res.unwrap_err(), first),
+            None => prop_assert_eq!(res.unwrap(), (0..n).map(|i| i * 2).collect::<Vec<usize>>()),
+        }
+    }
 }
 
 #[test]

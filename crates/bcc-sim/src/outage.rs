@@ -12,6 +12,7 @@ use crate::mc::McConfig;
 use bcc_channel::fading::FadingModel;
 use bcc_core::gaussian::GaussianNetwork;
 use bcc_core::protocol::Protocol;
+use bcc_num::special::log2_1p;
 use bcc_num::stats::Ecdf;
 
 /// Outage statistics of one protocol at one network.
@@ -62,10 +63,55 @@ impl OutageProfile {
         self.ecdf.quantile(eps)
     }
 
+    /// Outage probabilities at a batch of targets (one ECDF lookup each —
+    /// build the profile once, sweep the rate axis for free).
+    pub fn outage_curve(&self, targets: &[f64]) -> Vec<f64> {
+        targets
+            .iter()
+            .map(|&t| self.outage_probability(t))
+            .collect()
+    }
+
     /// Number of Monte-Carlo samples behind the profile.
     pub fn samples(&self) -> usize {
         self.ecdf.len()
     }
+}
+
+/// Monte-Carlo outage probability of operating at multiplexing gain `r`:
+/// the fraction of fades whose optimal sum rate falls short of the
+/// finite-SNR DMT target `r·log2(1 + SNR_ref)`, with `SNR_ref` the
+/// network's [`reference SNR`](GaussianNetwork::reference_snr).
+///
+/// This is the **simulator-side twin** of the batch evaluator's
+/// `Evaluator::dmt` outage estimate: same target convention, same
+/// per-trial fade streams for a given seed, but driven through the
+/// classic `McConfig` path — the cross-validation suite holds the two
+/// against each other under *different* seeds to check statistical
+/// agreement.
+///
+/// # Panics
+///
+/// Panics if `r` is non-positive/non-finite or the network's reference
+/// SNR is zero.
+pub fn finite_snr_outage(
+    net: &GaussianNetwork,
+    protocol: Protocol,
+    fading: FadingModel,
+    cfg: &McConfig,
+    r: f64,
+) -> f64 {
+    assert!(
+        r.is_finite() && r > 0.0,
+        "multiplexing gain must be finite and positive, got {r}"
+    );
+    let snr = net.reference_snr();
+    assert!(
+        snr > 0.0,
+        "finite-SNR outage needs a positive reference SNR"
+    );
+    let target = r * log2_1p(snr);
+    OutageProfile::estimate(net, protocol, fading, cfg).outage_probability(target)
 }
 
 #[cfg(test)]
@@ -147,6 +193,42 @@ mod tests {
         // Outage jumps from 0 to 1 exactly at the deterministic rate.
         assert_eq!(p.outage_probability(exact - 1e-6), 0.0);
         assert_eq!(p.outage_probability(exact + 1e-6), 1.0);
+    }
+
+    #[test]
+    fn finite_snr_outage_monotone_in_gain() {
+        let net = fig4_net(10.0);
+        let cfg = McConfig::new(1500, 33);
+        let lo = finite_snr_outage(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg, 0.1);
+        let hi = finite_snr_outage(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg, 0.6);
+        assert!(lo <= hi, "higher multiplexing gain cannot fade out less");
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn finite_snr_outage_respects_fading_model() {
+        // Nakagami m=4 fades far less than Rayleigh: outage at a mid-range
+        // target must drop.
+        let net = fig4_net(5.0);
+        let cfg = McConfig::new(1500, 8);
+        let ray = finite_snr_outage(&net, Protocol::Tdbc, FadingModel::Rayleigh, &cfg, 0.5);
+        let nak = finite_snr_outage(
+            &net,
+            Protocol::Tdbc,
+            FadingModel::Nakagami { m: 4.0 },
+            &cfg,
+            0.5,
+        );
+        assert!(
+            nak < ray,
+            "Nakagami m=4 outage {nak} should be below Rayleigh {ray}"
+        );
+    }
+
+    #[test]
+    fn outage_curve_matches_pointwise_probabilities() {
+        let p = OutageProfile::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.outage_curve(&[0.5, 2.5, 9.0]), vec![0.0, 0.5, 1.0]);
     }
 
     #[test]

@@ -55,6 +55,24 @@
 //! assert!(ten_pct < ergodic, "deep fades pull the 10%-outage rate below the mean");
 //! ```
 //!
+//! Or ask the finite-SNR DMT questions — outage vs multiplexing gain over
+//! an SNR grid, and the outage-optimal split of a total power budget:
+//!
+//! ```
+//! use bcc::prelude::*;
+//!
+//! let net = GaussianNetwork::from_db(Db::new(0.0), Db::new(0.0), Db::new(0.0), Db::new(0.0));
+//! let dmt = Scenario::power_sweep_db(net, [0.0, 10.0])
+//!     .protocols([Protocol::Tdbc])
+//!     .multiplexing_gains([0.25])
+//!     .rayleigh(200, 7)
+//!     .build()
+//!     .dmt()
+//!     .unwrap();
+//! let out = dmt.outage(Protocol::Tdbc, 0);
+//! assert!(out[1] <= out[0], "outage falls with SNR at fixed r");
+//! ```
+//!
 //! # Workspace layout
 //!
 //! This facade crate re-exports the workspace members:

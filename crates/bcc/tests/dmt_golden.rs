@@ -1,0 +1,140 @@
+//! Golden tests for the finite-SNR DMT / power-allocation layer.
+//!
+//! These pin the headline *shapes* of the `dmt` study binary
+//! (`cargo run --release -p bcc-bench --bin dmt`) on the same canonical
+//! configuration (`bcc_bench::dmtstudy`), at a reduced trial count so the
+//! suite stays test-budget friendly:
+//!
+//! * at low multiplexing gain, direct transmission's finite-SNR diversity
+//!   slope sits near its single-path value, while the protocols that
+//!   exploit the overheard direct link (TDBC, HBC) fall markedly faster —
+//!   the relay-aided diversity advantage;
+//! * MABC, which never uses the direct link, gains *no* diversity over DT;
+//! * on the fully symmetric channel the outage-optimal power split
+//!   degenerates to balanced terminals (uniform in `a`/`b`), and the
+//!   search never falls below the uniform baseline it always scores.
+
+use bcc::prelude::*;
+use bcc_bench::dmtstudy;
+
+/// Trials per grid point for the golden runs (the binary defaults to
+/// 4000; the pinned bands below carry the extra Monte-Carlo slack).
+const TRIALS: usize = 2500;
+
+#[test]
+fn low_multiplexing_diversity_slopes_rank_protocols() {
+    let dmt = dmtstudy::dmt_scenario(TRIALS).build().dmt().unwrap();
+    // gains[0] = 0.1 is the low-multiplexing column.
+    assert_eq!(dmt.gains[0], 0.1);
+    let fit = |p| {
+        dmt.diversity_fit(p, 0)
+            .unwrap_or_else(|| panic!("{p:?} slope must be defined at r = 0.1"))
+    };
+    let dt = fit(Protocol::DirectTransmission);
+    let mabc = fit(Protocol::Mabc);
+    let tdbc = fit(Protocol::Tdbc);
+    let hbc = fit(Protocol::Hbc);
+
+    // Reference run (4000 trials): DT 0.48, MABC 0.54, TDBC 0.87, HBC 0.85.
+    assert!((0.25..=0.75).contains(&dt), "DT slope {dt}");
+    assert!((0.25..=0.85).contains(&mabc), "MABC slope {mabc}");
+    assert!((0.55..=1.30).contains(&tdbc), "TDBC slope {tdbc}");
+    assert!((0.55..=1.30).contains(&hbc), "HBC slope {hbc}");
+    // The relay-aided protocols with direct-link side information beat DT
+    // by a clear margin; MABC (no direct link) does not.
+    assert!(
+        tdbc > dt + 0.2 && hbc > dt + 0.2,
+        "relay-aided diversity advantage missing: DT {dt}, TDBC {tdbc}, HBC {hbc}"
+    );
+    assert!(
+        mabc < tdbc - 0.15,
+        "MABC {mabc} must trail TDBC {tdbc}: it never hears the direct link"
+    );
+}
+
+#[test]
+fn diversity_slopes_decrease_with_multiplexing_gain() {
+    // The DMT tradeoff itself: more multiplexing, less diversity.
+    let dmt = dmtstudy::dmt_scenario(TRIALS).build().dmt().unwrap();
+    for p in [Protocol::DirectTransmission, Protocol::Hbc] {
+        let low = dmt.diversity_fit(p, 0).expect("defined at r = 0.1");
+        let high = dmt.diversity_fit(p, 2).expect("defined at r = 0.5");
+        assert!(
+            high < low,
+            "{p}: slope at r = 0.5 ({high}) must be below r = 0.1 ({low})"
+        );
+    }
+}
+
+#[test]
+fn dmt_outage_levels_match_reference_run() {
+    // Pin a few absolute outage levels (±4σ-ish bands around the
+    // 4000-trial reference run) so a silent rescaling of targets or SNRs
+    // cannot pass the shape tests above.
+    let dmt = dmtstudy::dmt_scenario(TRIALS).build().dmt().unwrap();
+    // DT at r = 0.5: reference 0.3285 (0 dB) and 0.0848 (20 dB).
+    let dt = dmt.outage(Protocol::DirectTransmission, 2);
+    assert!(
+        (dt[0] - 0.3285).abs() < 0.04,
+        "DT outage at 0 dB: {}",
+        dt[0]
+    );
+    assert!(
+        (dt[5] - 0.0848).abs() < 0.025,
+        "DT outage at 20 dB: {}",
+        dt[5]
+    );
+    // Analytic cross-check: DT outage = P[Exp(1) < ((1+SNR)^r − 1)/SNR].
+    for (k, &snr) in dmt.snrs.iter().enumerate() {
+        let g = ((1.0 + snr).powf(0.5) - 1.0) / snr;
+        let exact = 1.0 - (-g).exp();
+        assert!(
+            (dt[k] - exact).abs() < 0.04,
+            "DT outage at point {k}: MC {} vs analytic {exact}",
+            dt[k]
+        );
+    }
+}
+
+#[test]
+fn symmetric_channel_allocation_degenerates_to_uniform_balance() {
+    let alloc = dmtstudy::allocation_scenario(1500)
+        .build()
+        .allocation(dmtstudy::EPS)
+        .unwrap();
+    for a in alloc.entries() {
+        let balance = a.split.terminal_balance();
+        assert!(
+            (balance - 0.5).abs() < 0.12,
+            "{}: terminal balance {balance} should degenerate to 1/2 on a symmetric channel",
+            a.protocol
+        );
+        assert!(
+            a.value >= a.uniform_value,
+            "{}: search fell below the uniform baseline",
+            a.protocol
+        );
+        assert!(
+            (a.split.total() - alloc.total_power).abs() < 1e-9 * alloc.total_power,
+            "{}: budget violated",
+            a.protocol
+        );
+    }
+    // Protocol-specific physics: DT starves the relay; MABC (whose relay
+    // must broadcast everything) keeps a markedly larger relay share than
+    // the side-information protocols.
+    let dt = alloc.get(Protocol::DirectTransmission).unwrap();
+    assert!(
+        dt.split.relay_share() < 0.1,
+        "DT relay share {}",
+        dt.split.relay_share()
+    );
+    let mabc = alloc.get(Protocol::Mabc).unwrap();
+    let tdbc = alloc.get(Protocol::Tdbc).unwrap();
+    assert!(
+        mabc.split.relay_share() > tdbc.split.relay_share(),
+        "MABC relay share {} should exceed TDBC's {}",
+        mabc.split.relay_share(),
+        tdbc.split.relay_share()
+    );
+}
