@@ -40,5 +40,108 @@ fn bench_two_phase(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simplex_scaling, bench_two_phase);
+criterion_group!(
+    benches,
+    bench_simplex_scaling,
+    bench_two_phase,
+    bench_warm_vs_cold,
+    bench_reusable_rebuild,
+    bench_kernel_vs_simplex
+);
 criterion_main!(benches);
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    // The sweep-shaped LP of the workspace hot loop: same structure every
+    // solve, drifting coefficients. Warm starts should price the previous
+    // basis instead of pivoting from scratch.
+    let mk = |k: usize| {
+        let t = 1.0 + 1e-4 * k as f64;
+        let mut p = Problem::maximize(&[1.0, 1.0, 0.0, 0.0]);
+        p.subject_to(&[1.0, 0.0, -1.9 * t, 0.0], Relation::Le, 0.0);
+        p.subject_to(&[1.0, 0.0, 0.0, -0.8 * t], Relation::Le, 0.0);
+        p.subject_to(&[0.0, 1.0, -1.1 * t, 0.0], Relation::Le, 0.0);
+        p.subject_to(&[0.0, 1.0, 0.0, -2.3 * t], Relation::Le, 0.0);
+        p.subject_to(&[0.0, 0.0, 1.0, 1.0], Relation::Le, 1.0);
+        p
+    };
+    let problems: Vec<Problem> = (0..64).map(mk).collect();
+    c.bench_function("sweep_shaped_sequence/cold", |b| {
+        let mut ws = bcc_lp::Workspace::new();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % problems.len();
+            black_box(problems[k].solve_with(&mut ws).unwrap().objective)
+        })
+    });
+    c.bench_function("sweep_shaped_sequence/warm", |b| {
+        let mut ws = bcc_lp::Workspace::new();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % problems.len();
+            black_box(problems[k].solve_warm_with(&mut ws).unwrap().objective)
+        })
+    });
+}
+
+fn bench_reusable_rebuild(c: &mut Criterion) {
+    // Problem::reset + pooled subject_to: the zero-allocation rebuild path
+    // measured against building a fresh Problem each time.
+    let obj = [1.0, 1.0, 0.0, 0.0];
+    let rows: [[f64; 4]; 5] = [
+        [1.0, 0.0, -1.9, 0.0],
+        [1.0, 0.0, 0.0, -0.8],
+        [0.0, 1.0, -1.1, 0.0],
+        [0.0, 1.0, 0.0, -2.3],
+        [0.0, 0.0, 1.0, 1.0],
+    ];
+    c.bench_function("problem_rebuild/fresh", |b| {
+        b.iter(|| {
+            let mut p = Problem::maximize(&obj);
+            for r in &rows {
+                p.subject_to(r, Relation::Le, 1.0);
+            }
+            black_box(p.num_constraints())
+        })
+    });
+    c.bench_function("problem_rebuild/reset_pooled", |b| {
+        let mut p = Problem::maximize(&obj);
+        b.iter(|| {
+            p.reset(bcc_lp::Sense::Maximize, &obj);
+            for r in &rows {
+                p.subject_to(r, Relation::Le, 1.0);
+            }
+            black_box(p.num_constraints())
+        })
+    });
+}
+
+fn bench_kernel_vs_simplex(c: &mut Criterion) {
+    // The same sum-rate queries answered by the closed-form kernel and by
+    // the general simplex — the measured gap is what the automatic
+    // dispatch in `SolveCtx::sum_rate` buys per grid point.
+    use bcc_core::prelude::*;
+    use bcc_core::{kernel, optimizer};
+    let net = GaussianNetwork::from_db(
+        bcc_num::Db::new(15.0),
+        bcc_num::Db::new(0.0),
+        bcc_num::Db::new(10.0),
+        bcc_num::Db::new(10.0),
+    );
+    for proto in [Protocol::Mabc, Protocol::Tdbc] {
+        let name = format!("{proto:?}").to_lowercase();
+        c.bench_function(&format!("sum_rate_kernel/{name}"), |b| {
+            b.iter(|| black_box(kernel::max_sum_rate(&net, proto).unwrap().sum_rate))
+        });
+        let set = net.constraint_sets(proto, Bound::Inner).remove(0);
+        c.bench_function(&format!("sum_rate_simplex/{name}"), |b| {
+            let mut ws = bcc_lp::Workspace::new();
+            b.iter(|| {
+                black_box(
+                    optimizer::max_sum_rate_with(&set, &mut ws)
+                        .unwrap()
+                        .objective,
+                )
+            })
+        });
+    }
+}

@@ -76,9 +76,12 @@ fn ablation_side_info() {
     for (i, &p_db) in sweep.xs.iter().enumerate() {
         let net = fig4_network(p_db);
         let full = sweep.series(Protocol::Tdbc).expect("evaluated").solutions[i].sum_rate;
-        let ablated = optimizer::max_sum_rate(&tdbc_inner_no_side_info(net.power(), &net))
-            .expect("LP")
-            .objective;
+        let ablated = optimizer::max_sum_rate(&tdbc_inner_no_side_info(
+            net.power().expect("symmetric network"),
+            &net,
+        ))
+        .expect("LP")
+        .objective;
         series[0].push(p_db, full);
         series[1].push(p_db, ablated);
         table.row(vec![
@@ -238,7 +241,7 @@ fn baselines() {
         let p_db = p_int as f64;
         let net = fig4_network(p_db);
         let s = net.state();
-        let p = net.power();
+        let p = net.power().expect("symmetric network");
         let naive_sr = optimizer::max_sum_rate(&naive::capacity_constraints(p, &s))
             .expect("LP")
             .objective;

@@ -1,21 +1,28 @@
 //! bench-report — times the canonical evaluation scenarios in serial and
 //! parallel modes and writes the machine-readable `BENCH_evaluator.json`
-//! that CI uploads and trends.
+//! (schema 2) that CI uploads and trends.
 //!
 //! Three workloads cover the engine's hot paths at production scale:
 //!
 //! * **`fig3_sweep`** — the paper's Fig. 3 symmetric-gain sweep on a
-//!   60 001-point grid (every protocol, ~240k LP solves);
+//!   60 001-point grid (every protocol, ~240k solves);
 //! * **`crossover_search`** — the E-X1 power sweep (17 501 points) plus the
 //!   bisection locating the ≈13.7 dB MABC/TDBC crossover;
 //! * **`outage_10k`** — a 10 000-trial Rayleigh outage study at the
-//!   Fig. 4 operating point (~40k LP solves on faded networks).
+//!   Fig. 4 operating point (~40k solves on faded networks).
 //!
 //! Serial numbers pin the evaluator to one worker
 //! (`Scenario::threads(1)`); parallel numbers use the ambient policy
 //! (`BCC_THREADS` or available parallelism). Results are bit-identical in
 //! both modes — asserted here on every run — so the report measures wall
 //! time only.
+//!
+//! Beyond wall time, each scenario records the **solver-mix counters** of
+//! one serial run: simplex `pivots`, `warm_hits` (solves served from a
+//! remembered basis), `kernel_hits` (solves served by the closed-form
+//! two-phase kernel, no LP at all) and `allocs_per_point` (heap
+//! allocations per grid point/trial, measured by a counting global
+//! allocator — the zero-allocation hot-loop regression canary).
 //!
 //! Usage:
 //!
@@ -25,8 +32,12 @@
 //!
 //! `--out` defaults to `results/BENCH_evaluator.json`. With `--check`, the
 //! run exits non-zero if the Fig. 3 sweep's wall time regressed more than
-//! 25% against the committed baseline (serial and parallel each) — the CI
-//! bench job's regression gate. The factor is overridable via
+//! 15% against the committed baseline (serial and parallel each), **or if
+//! a fast path silently turned off**: `kernel_hits == 0` on the Fig. 3
+//! sweep, or `warm_hits == 0` summed across all scenarios (fig3's own
+//! warm path is legitimately idle — only HBC reaches the simplex there
+//! and its symmetric-sweep optima are degenerate). The factor is
+//! overridable via
 //! `BCC_BENCH_TOLERANCE` (≥ 1.0) for runners slower than the baseline
 //! machine. Refresh the baseline by copying a trusted run's
 //! `BENCH_evaluator.json` over `ci/bench_baseline.json`.
@@ -34,15 +45,46 @@
 use bcc_bench::{benchjson, fig4_network, results_dir, FIG3_GAB_DB, FIG3_POWER_DB};
 use bcc_core::comparison::sum_rate_crossover_db;
 use bcc_core::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
+
+/// Counts every heap allocation the process performs, so the report can
+/// state allocations *per grid point* for each workload and CI can catch a
+/// change that silently reintroduces per-point allocation into the hot
+/// loops.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Default regression tolerance of `--check`: measured wall time may
 /// exceed the baseline by at most this factor. Override with
 /// `BCC_BENCH_TOLERANCE` when the gate runs on hardware meaningfully
 /// slower than the machine that produced the committed baseline (the
 /// baseline measures *code on a runner class*, not code alone).
-const TOLERANCE: f64 = 1.25;
+const TOLERANCE: f64 = 1.15;
 
 fn tolerance() -> f64 {
     std::env::var("BCC_BENCH_TOLERANCE")
@@ -56,12 +98,22 @@ fn tolerance() -> f64 {
 /// scheduler noise on shared CI runners).
 const REPS: usize = 3;
 
+/// Solver-mix counters of one serial run of a scenario.
+#[derive(Clone, Copy)]
+struct SolveMix {
+    pivots: u64,
+    warm_hits: u64,
+    kernel_hits: u64,
+    allocs_per_point: f64,
+}
+
 struct Timing {
     name: &'static str,
     points: usize,
     trials: usize,
     serial_ms: f64,
     parallel_ms: f64,
+    mix: SolveMix,
 }
 
 impl Timing {
@@ -78,6 +130,24 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Runs `f` once, returning the solver-mix counter deltas normalised by
+/// `units` (grid points or trials).
+fn measure_mix(units: usize, f: impl FnOnce()) -> SolveMix {
+    let lp0 = bcc_lp::stats::snapshot();
+    let k0 = bcc_core::kernel::kernel_hits();
+    let a0 = ALLOCS.load(Relaxed);
+    f();
+    let lp = bcc_lp::stats::snapshot().delta_since(&lp0);
+    let kernel_hits = bcc_core::kernel::kernel_hits() - k0;
+    let allocs = ALLOCS.load(Relaxed) - a0;
+    SolveMix {
+        pivots: lp.pivots,
+        warm_hits: lp.warm_hits,
+        kernel_hits,
+        allocs_per_point: allocs as f64 / units.max(1) as f64,
+    }
 }
 
 fn fig3_scenario() -> Scenario {
@@ -115,6 +185,13 @@ fn time_fig3(parallel_threads: usize) -> Timing {
         serial_sweep, parallel_sweep,
         "parallel sweep must be bit-identical"
     );
+    let mix = measure_mix(points, || {
+        fig3_scenario()
+            .threads(1)
+            .build()
+            .sweep()
+            .expect("solvable");
+    });
     let serial_ms = best_ms(REPS, || {
         fig3_scenario()
             .threads(1)
@@ -135,6 +212,7 @@ fn time_fig3(parallel_threads: usize) -> Timing {
         trials: 0,
         serial_ms,
         parallel_ms,
+        mix,
     }
 }
 
@@ -158,6 +236,9 @@ fn time_crossover(parallel_threads: usize) -> Timing {
         sweep
     };
     assert_eq!(run(1), run(parallel_threads));
+    let mix = measure_mix(points, || {
+        run(1);
+    });
     let serial_ms = best_ms(REPS, || {
         run(1);
     });
@@ -170,6 +251,7 @@ fn time_crossover(parallel_threads: usize) -> Timing {
         trials: 0,
         serial_ms,
         parallel_ms,
+        mix,
     }
 }
 
@@ -181,6 +263,9 @@ fn time_outage(parallel_threads: usize) -> Timing {
         .outage()
         .expect("runs");
     assert_eq!(serial, parallel, "parallel outage must be bit-identical");
+    let mix = measure_mix(10_000, || {
+        outage_scenario().threads(1).build().outage().expect("runs");
+    });
     let serial_ms = best_ms(REPS, || {
         outage_scenario().threads(1).build().outage().expect("runs");
     });
@@ -197,11 +282,12 @@ fn time_outage(parallel_threads: usize) -> Timing {
         trials: 10_000,
         serial_ms,
         parallel_ms,
+        mix,
     }
 }
 
 fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n");
     out.push_str(&format!(
         "  \"threads\": {{ \"available\": {available}, \"parallel\": {parallel} }},\n"
     ));
@@ -209,13 +295,19 @@ fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String 
     for (i, t) in timings.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"points\": {}, \"trials\": {}, \
-             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }}{}\n",
+             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"pivots\": {}, \"warm_hits\": {}, \"kernel_hits\": {}, \
+             \"allocs_per_point\": {:.3} }}{}\n",
             t.name,
             t.points,
             t.trials,
             t.serial_ms,
             t.parallel_ms,
             t.speedup(),
+            t.mix.pivots,
+            t.mix.warm_hits,
+            t.mix.kernel_hits,
+            t.mix.allocs_per_point,
             if i + 1 < timings.len() { "," } else { "" }
         ));
     }
@@ -277,13 +369,18 @@ fn main() {
     ];
     for t in &timings {
         println!(
-            "{:<18} {:>6} pts {:>6} trials  serial {:>9.1} ms  parallel {:>9.1} ms  speedup {:.2}x",
+            "{:<18} {:>6} pts {:>6} trials  serial {:>9.1} ms  parallel {:>9.1} ms  \
+             speedup {:.2}x  pivots {:>8}  warm {:>7}  kernel {:>7}  allocs/pt {:>7.2}",
             t.name,
             t.points,
             t.trials,
             t.serial_ms,
             t.parallel_ms,
-            t.speedup()
+            t.speedup(),
+            t.mix.pivots,
+            t.mix.warm_hits,
+            t.mix.kernel_hits,
+            t.mix.allocs_per_point,
         );
     }
 
@@ -303,6 +400,34 @@ fn main() {
             if let Err(msg) = check_field(&baseline, fig3, field, measured) {
                 failures.push(msg);
             }
+        }
+        // A fast path going quiet is a silent perf loss even when wall
+        // time hasn't (yet) tripped the timing gate on a fast runner. On
+        // the fig3 sweep the closed-form kernel carries DT/MABC/TDBC
+        // (HBC's symmetric-sweep optima are degenerate, so its warm path
+        // is legitimately idle there); the warm-start path must fire on
+        // the workloads where the simplex is actually in play.
+        if fig3.mix.kernel_hits == 0 {
+            failures.push(
+                "fig3_sweep kernel_hits == 0: the closed-form kernel never fired \
+                 (silently disabled?)"
+                    .to_string(),
+            );
+        } else {
+            println!(
+                "check ok: fig3_sweep kernel_hits = {}",
+                fig3.mix.kernel_hits
+            );
+        }
+        let warm_total: u64 = timings.iter().map(|t| t.mix.warm_hits).sum();
+        if warm_total == 0 {
+            failures.push(
+                "warm_hits == 0 across every scenario: the warm-start fast path \
+                 never fired (silently disabled?)"
+                    .to_string(),
+            );
+        } else {
+            println!("check ok: warm_hits across scenarios = {warm_total}");
         }
         if !failures.is_empty() {
             for msg in &failures {

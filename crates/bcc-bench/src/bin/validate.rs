@@ -102,7 +102,8 @@ fn validate_fading() {
         FadingModel::Rayleigh,
         &cfg,
     );
-    let exact = ergodic_rayleigh_capacity(net.power() * net.state().gab());
+    let exact =
+        ergodic_rayleigh_capacity(net.power().expect("symmetric network") * net.state().gab());
     println!(
         "DT ergodic cross-check @ P = 10 dB: MC {:.4} vs Gauss-Laguerre {:.4} (|Δ| = {:.4})\n",
         mc.mean(),

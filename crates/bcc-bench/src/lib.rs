@@ -158,7 +158,7 @@ mod tests {
     fn fig3_network_is_symmetric() {
         let net = fig3_symmetric_network(10.0);
         assert_eq!(net.state().gar(), net.state().gbr());
-        assert!((net.power() - Db::new(15.0).to_linear()).abs() < 1e-9);
+        assert!((net.power().expect("symmetric network") - Db::new(15.0).to_linear()).abs() < 1e-9);
     }
 
     #[test]

@@ -13,7 +13,6 @@
 
 use crate::constraint::{ConstraintSet, RateConstraint};
 use bcc_channel::{ChannelState, PowerSplit};
-use bcc_info::awgn_capacity;
 
 /// Builds the DT capacity constraints at power `power` and channel `state`.
 ///
@@ -30,22 +29,41 @@ pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// relay's allocation is wasted on DT, which is exactly what a power-
 /// allocation search should discover).
 pub fn capacity_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
-    let c_a = awgn_capacity(powers.p_a() * state.gab());
-    let c_b = awgn_capacity(powers.p_b() * state.gab());
-    let mut set = ConstraintSet::new(2, "DT capacity");
+    let mut set = ConstraintSet::new(2, "");
+    capacity_constraints_split_into(powers, state, &mut set);
+    set
+}
+
+/// [`capacity_constraints_split`] rebuilding `set` in place (arena reuse —
+/// no heap allocation after warm-up).
+pub fn capacity_constraints_split_into(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    set: &mut ConstraintSet,
+) {
+    capacity_constraints_from_caps_into(&crate::bounds::LinkCaps::compute(powers, state), set)
+}
+
+/// [`capacity_constraints_split_into`] from precomputed link capacities.
+pub fn capacity_constraints_from_caps_into(
+    caps: &crate::bounds::LinkCaps,
+    set: &mut ConstraintSet,
+) {
+    let c_a = caps.c_a_ab;
+    let c_b = caps.c_b_ab;
+    set.reset(2, "DT capacity");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a, 0.0],
+        [c_a, 0.0],
         "DT: b decodes Wa (phase 1 direct link)",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b],
+        [0.0, c_b],
         "DT: a decodes Wb (phase 2 direct link)",
     ));
-    set
 }
 
 #[cfg(test)]

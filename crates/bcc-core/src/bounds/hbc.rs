@@ -28,8 +28,7 @@ use crate::constraint::{ConstraintSet, RateConstraint};
 use bcc_channel::{ChannelState, PowerSplit};
 use bcc_info::awgn_capacity;
 use bcc_info::gaussian::{
-    mac_individual_capacity_correlated, mac_sum_capacity, mac_sum_capacity_correlated,
-    two_receiver_capacity,
+    mac_individual_capacity_correlated, mac_sum_capacity_correlated, two_receiver_capacity,
 };
 
 /// Builds the Theorem-5 achievable constraints.
@@ -45,48 +44,62 @@ pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// [`inner_constraints`] with per-node powers: terminal phases (1–3) see
 /// `p_a`/`p_b`, the relay broadcast (phase 4) sees `p_r`.
 pub fn inner_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
-    let snr_ar = powers.p_a() * state.gar();
-    let snr_br = powers.p_b() * state.gbr();
-    let c_a_ab = awgn_capacity(powers.p_a() * state.gab());
-    let c_b_ab = awgn_capacity(powers.p_b() * state.gab());
-    let c_a_ar = awgn_capacity(snr_ar);
-    let c_b_br = awgn_capacity(snr_br);
-    let c_r_ar = awgn_capacity(powers.p_r() * state.gar());
-    let c_r_br = awgn_capacity(powers.p_r() * state.gbr());
-    let c_mac = mac_sum_capacity(snr_ar, snr_br);
+    let mut set = ConstraintSet::new(4, "");
+    inner_constraints_split_into(powers, state, &mut set);
+    set
+}
 
-    let mut set = ConstraintSet::new(4, "HBC achievable (Thm 5)");
+/// [`inner_constraints_split`] rebuilding `set` in place (arena reuse —
+/// no heap allocation after warm-up).
+pub fn inner_constraints_split_into(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    set: &mut ConstraintSet,
+) {
+    inner_constraints_from_caps_into(&crate::bounds::LinkCaps::compute(powers, state), set)
+}
+
+/// [`inner_constraints_split_into`] from precomputed link capacities.
+pub fn inner_constraints_from_caps_into(caps: &crate::bounds::LinkCaps, set: &mut ConstraintSet) {
+    let c_a_ab = caps.c_a_ab;
+    let c_b_ab = caps.c_b_ab;
+    let c_a_ar = caps.c_a_ar;
+    let c_b_br = caps.c_b_br;
+    let c_r_ar = caps.c_r_ar;
+    let c_r_br = caps.c_r_br;
+    let c_mac = caps.c_mac;
+
+    set.reset(4, "HBC achievable (Thm 5)");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_ar, 0.0, c_a_ar, 0.0],
+        [c_a_ar, 0.0, c_a_ar, 0.0],
         "Thm 5: relay decodes Wa (phases 1 and 3)",
     ));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_ab, 0.0, 0.0, c_r_br],
+        [c_a_ab, 0.0, 0.0, c_r_br],
         "Thm 5: b decodes Wa from side info + broadcast",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_br, c_b_br, 0.0],
+        [0.0, c_b_br, c_b_br, 0.0],
         "Thm 5: relay decodes Wb (phases 2 and 3)",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_ab, 0.0, c_r_ar],
+        [0.0, c_b_ab, 0.0, c_r_ar],
         "Thm 5: a decodes Wb from side info + broadcast",
     ));
     set.push(RateConstraint::new(
         1.0,
         1.0,
-        vec![c_a_ar, c_b_br, c_mac, 0.0],
+        [c_a_ar, c_b_br, c_mac, 0.0],
         "Thm 5: relay sum rate across phases 1-3",
     ));
-    set
 }
 
 /// One member of the Gaussian-restricted Theorem-6 family at phase-3 input
@@ -110,6 +123,24 @@ pub fn outer_constraints_with_rho_split(
     state: &ChannelState,
     rho: f64,
 ) -> ConstraintSet {
+    let mut set = ConstraintSet::new(4, "");
+    outer_constraints_with_rho_split_into(powers, state, rho, &mut set);
+    set
+}
+
+/// [`outer_constraints_with_rho_split`] rebuilding `set` in place (arena
+/// reuse — the formatted family name is written into the set's existing
+/// name buffer, so steady-state rebuilds perform no heap allocation).
+///
+/// # Panics
+///
+/// Panics if `rho ∉ [0, 1]`.
+pub fn outer_constraints_with_rho_split_into(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    rho: f64,
+    set: &mut ConstraintSet,
+) {
     assert!(
         (0.0..=1.0).contains(&rho),
         "correlation out of range: {rho}"
@@ -128,38 +159,37 @@ pub fn outer_constraints_with_rho_split(
     let c_br_rho = mac_individual_capacity_correlated(snr_br, rho);
     let c_mac_rho = mac_sum_capacity_correlated(snr_ar, snr_br, rho);
 
-    let mut set = ConstraintSet::new(4, format!("HBC outer (Thm 6, Gaussian, ρ={rho:.3})"));
+    set.reset_fmt(4, format_args!("HBC outer (Thm 6, Gaussian, ρ={rho:.3})"));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_cut, 0.0, c_ar_rho, 0.0],
+        [c_a_cut, 0.0, c_ar_rho, 0.0],
         "Thm 6: cut {a} — joint observation + phase-3 MAC",
     ));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_ab, 0.0, 0.0, c_r_br],
+        [c_a_ab, 0.0, 0.0, c_r_br],
         "Thm 6: cut {a,r} — b's total information about Wa",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_cut, c_br_rho, 0.0],
+        [0.0, c_b_cut, c_br_rho, 0.0],
         "Thm 6: cut {b} — joint observation + phase-3 MAC",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_ab, 0.0, c_r_ar],
+        [0.0, c_b_ab, 0.0, c_r_ar],
         "Thm 6: cut {b,r} — a's total information about Wb",
     ));
     set.push(RateConstraint::new(
         1.0,
         1.0,
-        vec![c_a_ar, c_b_br, c_mac_rho, 0.0],
+        [c_a_ar, c_b_br, c_mac_rho, 0.0],
         "Thm 6: relay decodes both (sum rate, phases 1-3)",
     ));
-    set
 }
 
 /// The ρ-grid family whose union approximates the Gaussian-restricted
@@ -195,6 +225,26 @@ pub fn outer_constraint_family_split(
             outer_constraints_with_rho_split(powers, state, rho)
         })
         .collect()
+}
+
+/// [`outer_constraint_family_split`] rebuilding the family inside a
+/// [`ConstraintBuf`](crate::constraint::ConstraintBuf) arena (the caller
+/// must have called [`ConstraintBuf::begin`](crate::constraint::ConstraintBuf::begin)).
+///
+/// # Panics
+///
+/// Panics if `grid < 2`.
+pub fn outer_constraint_family_split_into(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    grid: usize,
+    buf: &mut crate::constraint::ConstraintBuf,
+) {
+    assert!(grid >= 2, "need at least the two endpoint correlations");
+    for i in 0..grid {
+        let rho = i as f64 / (grid - 1) as f64;
+        outer_constraints_with_rho_split_into(powers, state, rho, buf.next_set());
+    }
 }
 
 #[cfg(test)]

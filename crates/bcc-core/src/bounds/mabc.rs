@@ -24,8 +24,6 @@
 
 use crate::constraint::{ConstraintSet, RateConstraint};
 use bcc_channel::{ChannelState, PowerSplit};
-use bcc_info::awgn_capacity;
-use bcc_info::gaussian::mac_sum_capacity;
 
 /// Builds the Theorem-2 capacity region constraints.
 ///
@@ -40,46 +38,63 @@ pub fn capacity_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// [`capacity_constraints`] with per-node powers: the MAC-phase terms see
 /// the terminals' powers, the broadcast-phase terms the relay's.
 pub fn capacity_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
-    let snr_ar = powers.p_a() * state.gar();
-    let snr_br = powers.p_b() * state.gbr();
-    let c_ar = awgn_capacity(snr_ar);
-    let c_br = awgn_capacity(snr_br);
-    let c_bc_b = awgn_capacity(powers.p_r() * state.gbr());
-    let c_bc_a = awgn_capacity(powers.p_r() * state.gar());
-    let c_mac = mac_sum_capacity(snr_ar, snr_br);
+    let mut set = ConstraintSet::new(2, "");
+    capacity_constraints_split_into(powers, state, &mut set);
+    set
+}
 
-    let mut set = ConstraintSet::new(2, "MABC capacity (Thm 2)");
+/// [`capacity_constraints_split`] rebuilding `set` in place (arena reuse —
+/// no heap allocation after warm-up).
+pub fn capacity_constraints_split_into(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    set: &mut ConstraintSet,
+) {
+    capacity_constraints_from_caps_into(&crate::bounds::LinkCaps::compute(powers, state), set)
+}
+
+/// [`capacity_constraints_split_into`] from precomputed link capacities.
+pub fn capacity_constraints_from_caps_into(
+    caps: &crate::bounds::LinkCaps,
+    set: &mut ConstraintSet,
+) {
+    let c_ar = caps.c_a_ar;
+    let c_br = caps.c_b_br;
+    let c_bc_b = caps.c_r_br;
+    let c_bc_a = caps.c_r_ar;
+    let c_mac = caps.c_mac;
+
+    set.reset(2, "MABC capacity (Thm 2)");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_ar, 0.0],
+        [c_ar, 0.0],
         "Thm 2: relay decodes Wa in MAC phase (cut {a})",
     ));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![0.0, c_bc_b],
+        [0.0, c_bc_b],
         "Thm 2: b decodes broadcast (cut {a,r})",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![c_br, 0.0],
+        [c_br, 0.0],
         "Thm 2: relay decodes Wb in MAC phase (cut {b})",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_bc_a],
+        [0.0, c_bc_a],
         "Thm 2: a decodes broadcast (cut {b,r})",
     ));
     set.push(RateConstraint::new(
         1.0,
         1.0,
-        vec![c_mac, 0.0],
+        [c_mac, 0.0],
         "Thm 2: MAC sum rate at relay (cut {a,b})",
     ));
-    set
 }
 
 /// The relaxed outer bound of the remark after Theorem 2 (relay not
@@ -99,6 +114,7 @@ pub fn relaxed_outer_constraints(power: f64, state: &ChannelState) -> Constraint
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bcc_info::awgn_capacity;
     use bcc_num::approx_eq;
 
     fn fig4_state() -> ChannelState {

@@ -33,9 +33,71 @@ pub mod mabc;
 pub mod naive;
 pub mod tdbc;
 
-use crate::constraint::ConstraintSet;
+use crate::constraint::{ConstraintBuf, ConstraintSet};
 use crate::protocol::{Bound, Protocol};
 use bcc_channel::{ChannelState, PowerSplit};
+use bcc_info::awgn_capacity;
+use bcc_info::gaussian::mac_sum_capacity;
+
+/// The seven distinct link capacities every **inner** bound of the four
+/// protocols is assembled from, evaluated once per operating point.
+///
+/// A full-protocol grid point used to evaluate `log2(1 + SNR)` 22 times
+/// across the four builders; these seven values cover all of them
+/// (outer bounds add cut/correlated terms and stay on the direct
+/// builders). [`SolveCtx`](crate::kernel::SolveCtx) memoises one
+/// `LinkCaps` per `(powers, state)`, so the per-point cost across
+/// protocols is paid once. Each field uses exactly the expression the
+/// direct builders use, so cached and uncached builds are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCaps {
+    /// `C(p_a·G_ab)` — a's direct link.
+    pub c_a_ab: f64,
+    /// `C(p_b·G_ab)` — b's direct link.
+    pub c_b_ab: f64,
+    /// `C(p_a·G_ar)` — a's relay uplink.
+    pub c_a_ar: f64,
+    /// `C(p_b·G_br)` — b's relay uplink.
+    pub c_b_br: f64,
+    /// `C(p_r·G_ar)` — relay broadcast towards a.
+    pub c_r_ar: f64,
+    /// `C(p_r·G_br)` — relay broadcast towards b.
+    pub c_r_br: f64,
+    /// `C(p_a·G_ar + p_b·G_br)` — the MAC sum capacity at the relay.
+    pub c_mac: f64,
+}
+
+impl LinkCaps {
+    /// Evaluates the seven capacities at one operating point.
+    pub fn compute(powers: &PowerSplit, state: &ChannelState) -> Self {
+        let snr_ar = powers.p_a() * state.gar();
+        let snr_br = powers.p_b() * state.gbr();
+        LinkCaps {
+            c_a_ab: awgn_capacity(powers.p_a() * state.gab()),
+            c_b_ab: awgn_capacity(powers.p_b() * state.gab()),
+            c_a_ar: awgn_capacity(snr_ar),
+            c_b_br: awgn_capacity(snr_br),
+            c_r_ar: awgn_capacity(powers.p_r() * state.gar()),
+            c_r_br: awgn_capacity(powers.p_r() * state.gbr()),
+            c_mac: mac_sum_capacity(snr_ar, snr_br),
+        }
+    }
+}
+
+/// Builds the inner (achievable) constraint set of `protocol` from
+/// precomputed [`LinkCaps`] — the allocation-free per-point hot path.
+pub fn inner_constraints_from_caps_into(
+    protocol: Protocol,
+    caps: &LinkCaps,
+    set: &mut ConstraintSet,
+) {
+    match protocol {
+        Protocol::DirectTransmission => dt::capacity_constraints_from_caps_into(caps, set),
+        Protocol::Mabc => mabc::capacity_constraints_from_caps_into(caps, set),
+        Protocol::Tdbc => tdbc::inner_constraints_from_caps_into(caps, set),
+        Protocol::Hbc => hbc::inner_constraints_from_caps_into(caps, set),
+    }
+}
 
 /// Dispatches to the right theorem for `(protocol, bound)` at the paper's
 /// common per-node power `P` — shorthand for [`constraint_sets_split`]
@@ -54,6 +116,10 @@ pub fn constraint_sets(
     constraint_sets_split(protocol, bound, &PowerSplit::symmetric(power), state)
 }
 
+/// Grid resolution of the HBC Theorem-6 ρ-family (the region is the union
+/// over the correlation grid).
+const HBC_OUTER_RHO_GRID: usize = 33;
+
 /// Dispatches to the right theorem for `(protocol, bound)` with per-node
 /// transmit powers — the entry point of the power-allocation studies.
 ///
@@ -69,14 +135,44 @@ pub fn constraint_sets_split(
     powers: &PowerSplit,
     state: &ChannelState,
 ) -> Vec<ConstraintSet> {
+    let mut buf = ConstraintBuf::new();
+    constraint_sets_split_into(protocol, bound, powers, state, &mut buf);
+    buf.into_sets()
+}
+
+/// [`constraint_sets_split`] rebuilding the family inside a reusable
+/// [`ConstraintBuf`] arena and returning the built slice — the batch hot
+/// loops' entry point: after the first call through a given arena, no heap
+/// allocation is performed per rebuild.
+pub fn constraint_sets_split_into<'a>(
+    protocol: Protocol,
+    bound: Bound,
+    powers: &PowerSplit,
+    state: &ChannelState,
+    buf: &'a mut ConstraintBuf,
+) -> &'a [ConstraintSet] {
+    buf.begin();
     match (protocol, bound) {
-        (Protocol::DirectTransmission, _) => vec![dt::capacity_constraints_split(powers, state)],
-        (Protocol::Mabc, _) => vec![mabc::capacity_constraints_split(powers, state)],
-        (Protocol::Tdbc, Bound::Inner) => vec![tdbc::inner_constraints_split(powers, state)],
-        (Protocol::Tdbc, Bound::Outer) => vec![tdbc::outer_constraints_split(powers, state)],
-        (Protocol::Hbc, Bound::Inner) => vec![hbc::inner_constraints_split(powers, state)],
-        (Protocol::Hbc, Bound::Outer) => hbc::outer_constraint_family_split(powers, state, 33),
+        (Protocol::DirectTransmission, _) => {
+            dt::capacity_constraints_split_into(powers, state, buf.next_set());
+        }
+        (Protocol::Mabc, _) => {
+            mabc::capacity_constraints_split_into(powers, state, buf.next_set());
+        }
+        (Protocol::Tdbc, Bound::Inner) => {
+            tdbc::inner_constraints_split_into(powers, state, buf.next_set());
+        }
+        (Protocol::Tdbc, Bound::Outer) => {
+            tdbc::outer_constraints_split_into(powers, state, buf.next_set());
+        }
+        (Protocol::Hbc, Bound::Inner) => {
+            hbc::inner_constraints_split_into(powers, state, buf.next_set());
+        }
+        (Protocol::Hbc, Bound::Outer) => {
+            hbc::outer_constraint_family_split_into(powers, state, HBC_OUTER_RHO_GRID, buf);
+        }
     }
+    buf.sets()
 }
 
 #[cfg(test)]

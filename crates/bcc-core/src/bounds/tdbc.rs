@@ -37,39 +37,55 @@ pub fn inner_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// [`inner_constraints`] with per-node powers: phase-1 terms see `p_a`,
 /// phase-2 terms `p_b`, and the relay's bin broadcast `p_r`.
 pub fn inner_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
-    let c_a_ab = awgn_capacity(powers.p_a() * state.gab());
-    let c_b_ab = awgn_capacity(powers.p_b() * state.gab());
-    let c_a_ar = awgn_capacity(powers.p_a() * state.gar());
-    let c_b_br = awgn_capacity(powers.p_b() * state.gbr());
-    let c_r_ar = awgn_capacity(powers.p_r() * state.gar());
-    let c_r_br = awgn_capacity(powers.p_r() * state.gbr());
+    let mut set = ConstraintSet::new(3, "");
+    inner_constraints_split_into(powers, state, &mut set);
+    set
+}
 
-    let mut set = ConstraintSet::new(3, "TDBC achievable (Thm 3)");
+/// [`inner_constraints_split`] rebuilding `set` in place (arena reuse —
+/// no heap allocation after warm-up).
+pub fn inner_constraints_split_into(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    set: &mut ConstraintSet,
+) {
+    inner_constraints_from_caps_into(&crate::bounds::LinkCaps::compute(powers, state), set)
+}
+
+/// [`inner_constraints_split_into`] from precomputed link capacities.
+pub fn inner_constraints_from_caps_into(caps: &crate::bounds::LinkCaps, set: &mut ConstraintSet) {
+    let c_a_ab = caps.c_a_ab;
+    let c_b_ab = caps.c_b_ab;
+    let c_a_ar = caps.c_a_ar;
+    let c_b_br = caps.c_b_br;
+    let c_r_ar = caps.c_r_ar;
+    let c_r_br = caps.c_r_br;
+
+    set.reset(3, "TDBC achievable (Thm 3)");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_ar, 0.0, 0.0],
+        [c_a_ar, 0.0, 0.0],
         "Thm 3: relay decodes Wa (phase 1)",
     ));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_ab, 0.0, c_r_br],
+        [c_a_ab, 0.0, c_r_br],
         "Thm 3: b decodes Wa from side info + bin broadcast",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_br, 0.0],
+        [0.0, c_b_br, 0.0],
         "Thm 3: relay decodes Wb (phase 2)",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_ab, c_r_ar],
+        [0.0, c_b_ab, c_r_ar],
         "Thm 3: a decodes Wb from side info + bin broadcast",
     ));
-    set
 }
 
 /// Builds the Theorem-4 outer-bound constraints.
@@ -85,6 +101,18 @@ pub fn outer_constraints(power: f64, state: &ChannelState) -> ConstraintSet {
 /// [`outer_constraints`] with per-node powers (cut terms at the
 /// transmitting node's power, relay broadcast at `p_r`).
 pub fn outer_constraints_split(powers: &PowerSplit, state: &ChannelState) -> ConstraintSet {
+    let mut set = ConstraintSet::new(3, "");
+    outer_constraints_split_into(powers, state, &mut set);
+    set
+}
+
+/// [`outer_constraints_split`] rebuilding `set` in place (arena reuse —
+/// no heap allocation after warm-up).
+pub fn outer_constraints_split_into(
+    powers: &PowerSplit,
+    state: &ChannelState,
+    set: &mut ConstraintSet,
+) {
     let c_a_ab = awgn_capacity(powers.p_a() * state.gab());
     let c_b_ab = awgn_capacity(powers.p_b() * state.gab());
     let c_a_ar = awgn_capacity(powers.p_a() * state.gar());
@@ -94,38 +122,37 @@ pub fn outer_constraints_split(powers: &PowerSplit, state: &ChannelState) -> Con
     let c_a_cut = two_receiver_capacity(powers.p_a() * state.gar(), powers.p_a() * state.gab());
     let c_b_cut = two_receiver_capacity(powers.p_b() * state.gbr(), powers.p_b() * state.gab());
 
-    let mut set = ConstraintSet::new(3, "TDBC outer (Thm 4)");
+    set.reset(3, "TDBC outer (Thm 4)");
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_cut, 0.0, 0.0],
+        [c_a_cut, 0.0, 0.0],
         "Thm 4: cut {a} — r and b jointly observe phase 1",
     ));
     set.push(RateConstraint::new(
         1.0,
         0.0,
-        vec![c_a_ab, 0.0, c_r_br],
+        [c_a_ab, 0.0, c_r_br],
         "Thm 4: cut {a,r} — b's total information about Wa",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_cut, 0.0],
+        [0.0, c_b_cut, 0.0],
         "Thm 4: cut {b} — r and a jointly observe phase 2",
     ));
     set.push(RateConstraint::new(
         0.0,
         1.0,
-        vec![0.0, c_b_ab, c_r_ar],
+        [0.0, c_b_ab, c_r_ar],
         "Thm 4: cut {b,r} — a's total information about Wb",
     ));
     set.push(RateConstraint::new(
         1.0,
         1.0,
-        vec![c_a_ar, c_b_br, 0.0],
+        [c_a_ar, c_b_br, 0.0],
         "Thm 4: relay decodes both messages (sum rate)",
     ));
-    set
 }
 
 #[cfg(test)]

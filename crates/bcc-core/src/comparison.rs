@@ -6,71 +6,18 @@
 //! contains points **outside the outer bounds** of both MABC and TDBC.
 //! This module turns those observations into queryable functions.
 //!
-//! Point comparisons themselves now live in the batch API —
+//! Point comparisons themselves live in the batch API —
 //! [`ComparisonResult`](crate::scenario::ComparisonResult), produced by
-//! [`Scenario::at`](crate::scenario::Scenario::at) — and the legacy
-//! [`SumRateComparison`] is kept only as a deprecated shim over it.
+//! [`Scenario::at`](crate::scenario::Scenario::at). (The long-deprecated
+//! `SumRateComparison` shim was removed together with the `sweep` module
+//! once every caller had migrated to scenarios.)
 
 use crate::error::CoreError;
-use crate::gaussian::{GaussianNetwork, SumRateSolution};
+use crate::gaussian::GaussianNetwork;
 use crate::protocol::{Bound, Protocol};
 use crate::region::RatePoint;
-use crate::scenario::Scenario;
 use bcc_num::optim::bisect_root;
 use bcc_num::Db;
-
-/// Sum-rate comparison of all protocols at one network.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Scenario::at(net).build().compare()` (re-exported via `bcc::prelude`)"
-)]
-#[derive(Debug, Clone, PartialEq)]
-pub struct SumRateComparison {
-    /// Per-protocol optima, in [`Protocol::ALL`] order.
-    pub solutions: Vec<SumRateSolution>,
-}
-
-#[allow(deprecated)]
-impl SumRateComparison {
-    /// Evaluates every protocol at `net` (through the batch evaluator, so
-    /// the shim and the new API share one code path).
-    ///
-    /// # Errors
-    ///
-    /// Propagates LP failures.
-    pub fn evaluate(net: &GaussianNetwork) -> Result<Self, CoreError> {
-        let cmp = Scenario::at(*net).build().compare()?;
-        let solutions = Protocol::ALL
-            .iter()
-            .map(|&p| cmp.get(p).expect("all protocols evaluated").clone())
-            .collect();
-        Ok(SumRateComparison { solutions })
-    }
-
-    /// The winning protocol and its optimum, skipping non-finite entries
-    /// (an LP returning NaN must not crash a whole sweep).
-    ///
-    /// # Panics
-    ///
-    /// Panics only if *every* protocol's optimum is non-finite; prefer
-    /// [`ComparisonResult::best`](crate::scenario::ComparisonResult::best),
-    /// which returns a [`CoreError`] in that case.
-    pub fn best(&self) -> &SumRateSolution {
-        self.solutions
-            .iter()
-            .filter(|s| s.sum_rate.is_finite())
-            .max_by(|x, y| x.sum_rate.partial_cmp(&y.sum_rate).expect("finite rates"))
-            .expect("every protocol optimum was non-finite")
-    }
-
-    /// The solution for a specific protocol.
-    pub fn get(&self, protocol: Protocol) -> &SumRateSolution {
-        self.solutions
-            .iter()
-            .find(|s| s.protocol == protocol)
-            .expect("all protocols evaluated")
-    }
-}
 
 /// Finds the transmit power (in dB) at which `lhs` and `rhs` achieve equal
 /// optimal sum rate, searching `[lo_db, hi_db]` by bisection on the
@@ -145,7 +92,6 @@ pub fn hbc_outside_competitor_outer_bounds(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -154,45 +100,6 @@ mod tests {
         // assignment of the caption's {0, 5, −7} consistent with the
         // paper's "interesting case" Gab ≤ Gar ≤ Gbr).
         GaussianNetwork::from_db(Db::new(p_db), Db::new(-7.0), Db::new(0.0), Db::new(5.0))
-    }
-
-    #[test]
-    fn best_is_never_worse_than_components() {
-        let cmp = SumRateComparison::evaluate(&fig4_net(10.0)).unwrap();
-        let best = cmp.best().sum_rate;
-        for s in &cmp.solutions {
-            assert!(best >= s.sum_rate);
-        }
-        // HBC generalises MABC and TDBC, so the best is always ≥ HBC;
-        // since HBC is in the list, best sum rate == HBC or DT.
-        let hbc = cmp.get(Protocol::Hbc).sum_rate;
-        let dt = cmp.get(Protocol::DirectTransmission).sum_rate;
-        assert!(best <= hbc.max(dt) + 1e-9);
-    }
-
-    #[test]
-    fn get_returns_requested_protocol() {
-        let cmp = SumRateComparison::evaluate(&fig4_net(0.0)).unwrap();
-        for p in Protocol::ALL {
-            assert_eq!(cmp.get(p).protocol, p);
-        }
-    }
-
-    #[test]
-    fn best_skips_non_finite_entries() {
-        // A poisoned comparison (NaN sum rate) must not panic best(); the
-        // finite runner-up wins instead.
-        let mut cmp = SumRateComparison::evaluate(&fig4_net(10.0)).unwrap();
-        let winner = cmp.best().protocol;
-        let idx = cmp
-            .solutions
-            .iter()
-            .position(|s| s.protocol == winner)
-            .unwrap();
-        cmp.solutions[idx].sum_rate = f64::NAN;
-        let second = cmp.best();
-        assert_ne!(second.protocol, winner);
-        assert!(second.sum_rate.is_finite());
     }
 
     #[test]

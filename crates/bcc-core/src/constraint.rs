@@ -10,9 +10,183 @@
 //! (bits per channel use, already evaluated at the channel state). A
 //! [`ConstraintSet`] is a list of such rows plus the phase count; `bcc-lp`
 //! turns them into LP rows with decision variables `(R_a, R_b, Δ_1..Δ_L)`.
+//!
+//! # Allocation discipline
+//!
+//! Constraint sets are rebuilt at **every grid point** of a batched sweep
+//! and at every fade draw of a Monte-Carlo study, so their representation
+//! is allocation-free after warm-up: phase coefficients live inline in a
+//! fixed-capacity [`PhaseVec`] (every protocol in this workspace has at
+//! most [`MAX_PHASES`] phases), labels are `Cow`-borrowed `&'static str`
+//! theorem IDs, and batch drivers rebuild sets in place through a
+//! reusable [`ConstraintBuf`] arena via the bounds module's `*_into`
+//! builders instead of collecting fresh `Vec<ConstraintSet>`s.
 
 use std::borrow::Cow;
 use std::fmt;
+use std::fmt::Write as _;
+
+/// The largest phase count of any protocol in the workspace (HBC's four);
+/// [`PhaseVec`] stores coefficients inline up to this arity.
+pub const MAX_PHASES: usize = 4;
+
+/// A fixed-capacity inline vector of per-phase values (`f64`, at most
+/// [`MAX_PHASES`] entries).
+///
+/// Dereferences to `&[f64]`, so indexing, iteration and slice methods all
+/// work as they would on a `Vec<f64>` — but construction and cloning never
+/// touch the heap, which is what keeps the sweep/outage/DMT hot loops
+/// allocation-free per point.
+///
+/// ```
+/// use bcc_core::constraint::PhaseVec;
+///
+/// let v = PhaseVec::from([1.0, 2.0]);
+/// assert_eq!(v.len(), 2);
+/// assert_eq!(v[1], 2.0);
+/// assert_eq!(v.iter().sum::<f64>(), 3.0);
+/// ```
+#[derive(Clone, Copy)]
+pub struct PhaseVec {
+    buf: [f64; MAX_PHASES],
+    len: u8,
+}
+
+impl PhaseVec {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        PhaseVec {
+            buf: [0.0; MAX_PHASES],
+            len: 0,
+        }
+    }
+
+    /// A vector of `n` zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PHASES`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n <= MAX_PHASES, "phase arity {n} exceeds {MAX_PHASES}");
+        PhaseVec {
+            buf: [0.0; MAX_PHASES],
+            len: n as u8,
+        }
+    }
+
+    /// Copies a slice into an inline vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() > MAX_PHASES`.
+    pub fn from_slice(s: &[f64]) -> Self {
+        assert!(
+            s.len() <= MAX_PHASES,
+            "phase arity {} exceeds {MAX_PHASES}",
+            s.len()
+        );
+        let mut v = PhaseVec::new();
+        v.buf[..s.len()].copy_from_slice(s);
+        v.len = s.len() as u8;
+        v
+    }
+
+    /// Appends a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is full.
+    pub fn push(&mut self, value: f64) {
+        assert!((self.len as usize) < MAX_PHASES, "PhaseVec full");
+        self.buf[self.len as usize] = value;
+        self.len += 1;
+    }
+
+    /// The values as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl Default for PhaseVec {
+    fn default() -> Self {
+        PhaseVec::new()
+    }
+}
+
+impl std::ops::Deref for PhaseVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for PhaseVec {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        let n = self.len as usize;
+        &mut self.buf[..n]
+    }
+}
+
+impl fmt::Debug for PhaseVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for PhaseVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<f64>> for PhaseVec {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f64]> for PhaseVec {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for PhaseVec {
+    fn from(a: [f64; N]) -> Self {
+        PhaseVec::from_slice(&a)
+    }
+}
+
+impl From<Vec<f64>> for PhaseVec {
+    fn from(v: Vec<f64>) -> Self {
+        PhaseVec::from_slice(&v)
+    }
+}
+
+impl From<&[f64]> for PhaseVec {
+    fn from(s: &[f64]) -> Self {
+        PhaseVec::from_slice(s)
+    }
+}
+
+impl FromIterator<f64> for PhaseVec {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut v = PhaseVec::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<'a> IntoIterator for &'a PhaseVec {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// One linear rate constraint `ra·R_a + rb·R_b ≤ Σ_ℓ Δ_ℓ·phase_coefs[ℓ]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,13 +196,14 @@ pub struct RateConstraint {
     /// Coefficient of `R_b`.
     pub rb: f64,
     /// Information rate contributed by each phase (bits/use); length equals
-    /// the protocol's phase count.
-    pub phase_coefs: Vec<f64>,
+    /// the protocol's phase count. Stored inline ([`PhaseVec`]) so a
+    /// constraint row costs no heap allocation — the sets are rebuilt at
+    /// every grid point of a batched sweep.
+    pub phase_coefs: PhaseVec,
     /// Human-readable provenance, e.g. `"Thm 3: relay decodes Wa (phase 1)"`.
     ///
     /// Stored as a `Cow` so the (static) theorem labels cost no allocation
-    /// per constraint-set build — the sets are rebuilt at every grid point
-    /// of a batched sweep.
+    /// per constraint-set build.
     pub label: Cow<'static, str>,
 }
 
@@ -38,13 +213,15 @@ impl RateConstraint {
     /// # Panics
     ///
     /// Panics if any coefficient is non-finite or negative (all the paper's
-    /// information coefficients are non-negative mutual informations).
+    /// information coefficients are non-negative mutual informations), or
+    /// if the phase arity exceeds [`MAX_PHASES`].
     pub fn new(
         ra: f64,
         rb: f64,
-        phase_coefs: Vec<f64>,
+        phase_coefs: impl Into<PhaseVec>,
         label: impl Into<Cow<'static, str>>,
     ) -> Self {
+        let phase_coefs = phase_coefs.into();
         assert!(
             ra.is_finite() && rb.is_finite() && ra >= 0.0 && rb >= 0.0,
             "rate coefficients must be finite and non-negative"
@@ -135,13 +312,55 @@ impl ConstraintSet {
     ///
     /// # Panics
     ///
-    /// Panics if `num_phases == 0`.
+    /// Panics if `num_phases == 0` or `num_phases > MAX_PHASES`.
     pub fn new(num_phases: usize, name: impl Into<Cow<'static, str>>) -> Self {
         assert!(num_phases > 0, "need at least one phase");
+        assert!(
+            num_phases <= MAX_PHASES,
+            "phase arity {num_phases} exceeds {MAX_PHASES}"
+        );
         ConstraintSet {
             num_phases,
             constraints: Vec::new(),
             name: name.into(),
+        }
+    }
+
+    /// Clears the set back to empty with a new arity and name, retaining
+    /// the row storage — the arena-reuse path of the `*_into` bound
+    /// builders ([`ConstraintBuf`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`ConstraintSet::new`].
+    pub fn reset(&mut self, num_phases: usize, name: impl Into<Cow<'static, str>>) {
+        assert!(num_phases > 0, "need at least one phase");
+        assert!(
+            num_phases <= MAX_PHASES,
+            "phase arity {num_phases} exceeds {MAX_PHASES}"
+        );
+        self.num_phases = num_phases;
+        self.constraints.clear();
+        self.name = name.into();
+    }
+
+    /// [`ConstraintSet::reset`] with a *formatted* name (the HBC ρ-family
+    /// case), writing into the set's existing owned name buffer when there
+    /// is one so steady-state rebuilds stay allocation-free.
+    pub fn reset_fmt(&mut self, num_phases: usize, args: fmt::Arguments<'_>) {
+        assert!(num_phases > 0, "need at least one phase");
+        assert!(
+            num_phases <= MAX_PHASES,
+            "phase arity {num_phases} exceeds {MAX_PHASES}"
+        );
+        self.num_phases = num_phases;
+        self.constraints.clear();
+        match &mut self.name {
+            Cow::Owned(s) => {
+                s.clear();
+                let _ = s.write_fmt(args);
+            }
+            _ => self.name = Cow::Owned(fmt::format(args)),
         }
     }
 
@@ -190,6 +409,53 @@ impl fmt::Display for ConstraintSet {
             writeln!(f, "  {c}")?;
         }
         Ok(())
+    }
+}
+
+/// A reusable arena of [`ConstraintSet`]s for the batch hot loops.
+///
+/// Every call to a bounds `*_into` builder
+/// ([`bounds::constraint_sets_split_into`](crate::bounds::constraint_sets_split_into))
+/// restarts the arena and rebuilds the requested family **in place**:
+/// set slots, their row vectors and (for the HBC ρ-family) their owned
+/// name buffers are all recycled, so after the first grid point a sweep
+/// worker performs no heap allocation to materialise constraint systems.
+#[derive(Debug, Default)]
+pub struct ConstraintBuf {
+    sets: Vec<ConstraintSet>,
+    len: usize,
+}
+
+impl ConstraintBuf {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ConstraintBuf::default()
+    }
+
+    /// Restarts the arena for a new family (retains storage).
+    pub fn begin(&mut self) {
+        self.len = 0;
+    }
+
+    /// Hands out the next set slot (callers must `reset`/`reset_fmt` it).
+    pub fn next_set(&mut self) -> &mut ConstraintSet {
+        if self.len == self.sets.len() {
+            self.sets.push(ConstraintSet::new(1, ""));
+        }
+        let s = &mut self.sets[self.len];
+        self.len += 1;
+        s
+    }
+
+    /// The sets built since the last [`ConstraintBuf::begin`].
+    pub fn sets(&self) -> &[ConstraintSet] {
+        &self.sets[..self.len]
+    }
+
+    /// Consumes the arena into an owned `Vec` of the built sets.
+    pub fn into_sets(mut self) -> Vec<ConstraintSet> {
+        self.sets.truncate(self.len);
+        self.sets
     }
 }
 
@@ -245,5 +511,63 @@ mod tests {
         assert!(s.contains("Δ1"));
         assert!(s.contains("Thm 2 sum"));
         assert!(!s.contains("Δ2"), "zero coefficients are elided: {s}");
+    }
+
+    #[test]
+    fn phase_vec_behaves_like_a_slice() {
+        let v = PhaseVec::from([1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2], 3.0);
+        assert_eq!(v.iter().copied().sum::<f64>(), 6.0);
+        assert_eq!(v.to_vec(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        let mut total = 0.0;
+        for x in &v {
+            total += x;
+        }
+        assert_eq!(total, 6.0);
+        assert_eq!(PhaseVec::zeros(2).as_slice(), &[0.0, 0.0]);
+        assert_eq!(
+            PhaseVec::from_slice(&[4.0, 5.0]),
+            [4.0, 5.0].iter().copied().collect::<PhaseVec>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn phase_vec_rejects_over_capacity() {
+        let _ = PhaseVec::from_slice(&[0.0; 5]);
+    }
+
+    #[test]
+    fn set_reset_reuses_storage() {
+        let mut s = ConstraintSet::new(2, "first");
+        s.push(RateConstraint::new(1.0, 0.0, [1.0, 0.5], "r"));
+        let cap = s.constraints.capacity();
+        s.reset(3, "second");
+        assert_eq!(s.num_phases(), 3);
+        assert!(s.constraints().is_empty());
+        assert_eq!(s.name, "second");
+        assert!(s.constraints.capacity() >= cap, "row storage retained");
+        s.reset_fmt(4, format_args!("rho = {:.3}", 0.25));
+        assert_eq!(s.name, "rho = 0.250");
+        assert_eq!(s.num_phases(), 4);
+    }
+
+    #[test]
+    fn constraint_buf_recycles_slots() {
+        let mut buf = ConstraintBuf::new();
+        buf.begin();
+        buf.next_set().reset(2, "a");
+        buf.next_set().reset(3, "b");
+        assert_eq!(buf.sets().len(), 2);
+        assert_eq!(buf.sets()[1].name, "b");
+        buf.begin();
+        buf.next_set().reset(4, "c");
+        assert_eq!(buf.sets().len(), 1);
+        assert_eq!(buf.sets()[0].name, "c");
+        let owned = buf.into_sets();
+        assert_eq!(owned.len(), 1);
+        assert_eq!(owned[0].num_phases(), 4);
     }
 }

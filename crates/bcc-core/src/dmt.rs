@@ -30,6 +30,7 @@
 
 use crate::error::CoreError;
 use crate::gaussian::GaussianNetwork;
+use crate::kernel::SolveCtx;
 use crate::protocol::{Protocol, ProtocolMap};
 use crate::scenario::{trial_stream, Evaluator, FadingSpec};
 use bcc_channel::PowerSplit;
@@ -443,20 +444,15 @@ impl Evaluator {
         for &protocol in &sc.protocols {
             let objective = |split: PowerSplit| -> f64 {
                 let net = GaussianNetwork::with_powers(split, state);
-                let samples =
-                    par::par_map_range(threads, fades.len(), bcc_lp::Workspace::new, |ws, t| {
-                        let (fab, far, fbr) = fades[t];
-                        let faded = net.with_state(state.faded(fab, far, fbr));
-                        // Equal-rate sum: twice the max–min rate of the
-                        // faded constraint set (inner bound; a deep-fade
-                        // LP failure counts as rate 0).
-                        faded
-                            .constraint_sets(protocol, crate::protocol::Bound::Inner)
-                            .first()
-                            .and_then(|set| crate::optimizer::max_min_rate_with(set, ws).ok())
-                            .map(|pt| 2.0 * pt.objective)
-                            .unwrap_or(0.0)
-                    });
+                let samples = par::par_map_range(threads, fades.len(), SolveCtx::new, |ctx, t| {
+                    let (fab, far, fbr) = fades[t];
+                    let faded = net.with_state(state.faded(fab, far, fbr));
+                    // Equal-rate sum: twice the max–min rate on the faded
+                    // network (closed-form kernel for DT/MABC, warm
+                    // simplex otherwise; a deep-fade LP failure counts as
+                    // rate 0).
+                    ctx.equal_rate_sum(&faded, protocol)
+                });
                 Ecdf::new(samples).quantile(eps)
             };
 

@@ -5,8 +5,9 @@
 //! constraint sets, rate regions and the sum-rate optimum of each protocol.
 
 use crate::bounds;
+use crate::constraint::PhaseVec;
 use crate::error::CoreError;
-use crate::optimizer::{self, SchedulePoint};
+use crate::optimizer::SchedulePoint;
 use crate::protocol::{Bound, Protocol};
 use crate::region::RateRegion;
 use bcc_channel::{ChannelState, PowerSplit};
@@ -49,8 +50,9 @@ pub struct SumRateSolution {
     pub ra: f64,
     /// Rate of `w_b` at the optimum.
     pub rb: f64,
-    /// Optimal phase durations.
-    pub durations: Vec<f64>,
+    /// Optimal phase durations (inline [`PhaseVec`] — extracting a
+    /// solution allocates nothing).
+    pub durations: PhaseVec,
 }
 
 impl GaussianNetwork {
@@ -82,16 +84,13 @@ impl GaussianNetwork {
         GaussianNetwork::new(power.to_linear(), ChannelState::from_db(gab, gar, gbr))
     }
 
-    /// The common per-node transmit power (linear).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the network carries an asymmetric [`PowerSplit`] — there
-    /// is no single "the power" then; use [`GaussianNetwork::powers`].
-    pub fn power(&self) -> f64 {
-        self.powers
-            .common()
-            .expect("asymmetric power split has no common per-node power; use powers()")
+    /// The common per-node transmit power (linear), or `None` if the
+    /// network carries an asymmetric [`PowerSplit`] — there is no single
+    /// "the power" then; use [`GaussianNetwork::powers`] for the per-node
+    /// values. (This used to panic on asymmetric splits; callers that know
+    /// the network is symmetric — the paper's convention — can `expect`.)
+    pub fn power(&self) -> Option<f64> {
+        self.powers.common()
     }
 
     /// The per-node transmit powers.
@@ -179,10 +178,21 @@ impl GaussianNetwork {
         protocol: Protocol,
         ws: &mut bcc_lp::Workspace,
     ) -> Result<SumRateSolution, CoreError> {
-        // All inner bounds are single sets.
+        // Two-phase protocols collapse to the closed-form kernel — no LP.
+        if let Some(sol) = crate::kernel::max_sum_rate(self, protocol) {
+            return Ok(sol);
+        }
+        // All inner bounds are single sets; solve through the same
+        // phase-substituted formulation as the batch hot path so point
+        // queries and sweeps agree bit for bit.
         let sets = self.constraint_sets(protocol, Bound::Inner);
         debug_assert_eq!(sets.len(), 1, "inner bounds are singletons");
-        let pt: SchedulePoint = optimizer::max_sum_rate_with(&sets[0], ws)?;
+        let mut prob = bcc_lp::Problem::maximize(&[0.0]);
+        let mut sol = bcc_lp::Solution::default();
+        let (mut row, mut obj) = (Vec::new(), Vec::new());
+        let pt: SchedulePoint = crate::kernel::lp_sum_rate_parts(
+            &mut prob, ws, &mut sol, &mut row, &mut obj, &sets[0], None,
+        )?;
         Ok(SumRateSolution {
             protocol,
             sum_rate: pt.objective,
@@ -278,7 +288,7 @@ mod tests {
         let net = fig4_net(0.0);
         let boosted = net.with_power_db(Db::new(20.0));
         assert_eq!(net.state(), boosted.state());
-        assert!(approx_eq(boosted.power(), 100.0, 1e-9));
+        assert!(approx_eq(boosted.power().unwrap(), 100.0, 1e-9));
         // Monotonicity: more power, no smaller sum rate.
         for proto in Protocol::ALL {
             let lo = net.max_sum_rate(proto).unwrap().sum_rate;
@@ -300,7 +310,7 @@ mod tests {
     }
 
     #[test]
-    fn asymmetric_split_round_trip_and_power_panic() {
+    fn asymmetric_split_round_trip_and_power_none() {
         let split = PowerSplit::new(2.0, 6.0, 12.0);
         let net = GaussianNetwork::with_powers(split, ChannelState::new(1.0, 2.0, 3.0));
         assert_eq!(net.powers(), split);
@@ -309,8 +319,8 @@ mod tests {
         assert!(approx_eq(net.snr_ar(), 4.0, 1e-12));
         assert!(approx_eq(net.snr_br(), 18.0, 1e-12));
         assert!(approx_eq(net.reference_snr(), 20.0 / 3.0, 1e-12));
-        let r = std::panic::catch_unwind(|| net.power());
-        assert!(r.is_err(), "power() must refuse an asymmetric split");
+        assert_eq!(net.power(), None, "asymmetric split has no common power");
+        assert_eq!(net.with_power(2.0).power(), Some(2.0));
     }
 
     #[test]

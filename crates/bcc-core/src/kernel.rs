@@ -1,0 +1,898 @@
+//! Closed-form fast paths and the zero-allocation batch solve context.
+//!
+//! # Closed forms
+//!
+//! For the **two-phase protocols** — direct transmission and MABC — the
+//! workspace's dominant queries collapse analytically. With phase split
+//! `Δ ∈ [0, 1]` (phase 2 lasts `1 − Δ`), every Theorem-2/DT rate bound is
+//! a line `p·Δ + q·(1 − Δ)`, so
+//!
+//! * `max_sum_rate` maximises a **concave piecewise-linear** function of
+//!   `Δ` — `min(mA(Δ) + mB(Δ), Δ·C_MAC)` for MABC, linear for DT — whose
+//!   maximum sits at a kink or at an analytic crossing point;
+//! * `max_min_rate` maximises `min` of at most five lines, whose maximum
+//!   sits at a pairwise line crossing or an endpoint.
+//!
+//! Both are solved exactly by evaluating a handful of candidate `Δ`s —
+//! tens of flops instead of a simplex run. The kernel is dispatched
+//! automatically by [`SolveCtx`] (and `GaussianNetwork::max_sum_rate`)
+//! whenever no QoS rate floor and no outer-bound ρ-family is in play;
+//! the simplex remains the general fallback for TDBC/HBC (three and four
+//! phases have genuinely multidimensional schedules) and serves as the
+//! proptest oracle for the kernel (`bcc-core/tests/kernel_oracle.rs`).
+//!
+//! # The solve context
+//!
+//! [`SolveCtx`] bundles everything a batch worker needs to evaluate
+//! operating points with **zero heap allocations per point** after
+//! warm-up: a [`bcc_lp::Workspace`] (flat tableau + warm-start bases), a
+//! [`ConstraintBuf`] arena the `*_into` bound builders rebuild in place,
+//! a pooled-row [`Problem`], and a reusable [`Solution`]. The `Scenario`
+//! evaluator, the fading Monte-Carlo fan-outs and the allocation search
+//! all hold one `SolveCtx` per worker thread.
+
+use crate::bounds::{self, LinkCaps};
+use crate::constraint::{ConstraintBuf, ConstraintSet, PhaseVec};
+use crate::error::CoreError;
+use crate::gaussian::{GaussianNetwork, SumRateSolution};
+use crate::optimizer::SchedulePoint;
+use crate::protocol::{Bound, Protocol};
+use bcc_lp::{Problem, Relation, Sense, Solution, Workspace};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Process-wide count of solves served by the closed-form kernel (the
+/// companion of [`bcc_lp::stats`]'s solve counters; `bench-report` reads
+/// deltas of both to report the kernel-vs-simplex mix).
+static KERNEL_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Total solves served by the closed-form kernel since process start.
+pub fn kernel_hits() -> u64 {
+    KERNEL_HITS.load(Relaxed)
+}
+
+/// Upper bound on candidate Δs any closed form enumerates.
+const MAX_CANDS: usize = 16;
+
+/// Fixed-capacity candidate list (keeps the kernel allocation-free).
+struct Cands {
+    buf: [f64; MAX_CANDS],
+    len: usize,
+}
+
+impl Cands {
+    fn new() -> Self {
+        Cands {
+            buf: [0.0; MAX_CANDS],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, d: f64) {
+        if (0.0..=1.0).contains(&d) {
+            debug_assert!(self.len < MAX_CANDS);
+            self.buf[self.len] = d;
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[f64] {
+        &self.buf[..self.len]
+    }
+}
+
+/// The value of the line `p·Δ + q·(1 − Δ)`.
+fn line(p: f64, q: f64, d: f64) -> f64 {
+    p * d + q * (1.0 - d)
+}
+
+/// The crossing of lines `(p1, q1)` and `(p2, q2)` if it exists.
+fn crossing(p1: f64, q1: f64, p2: f64, q2: f64) -> Option<f64> {
+    let denom = (p1 - q1) - (p2 - q2);
+    if denom == 0.0 {
+        return None;
+    }
+    Some((q2 - q1) / denom)
+}
+
+/// Maximises `Δ ↦ min_i(p_i·Δ + q_i·(1 − Δ))` over `[0, 1]`: the maximum
+/// of a concave min-of-lines sits at a pairwise crossing or an endpoint.
+/// Returns `(Δ*, value)` (first-found maximum, so ties resolve
+/// deterministically).
+fn maximize_min_of_lines(lines: &[(f64, f64)]) -> (f64, f64) {
+    let mut cands = Cands::new();
+    cands.push(0.0);
+    cands.push(1.0);
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            if let Some(d) = crossing(lines[i].0, lines[i].1, lines[j].0, lines[j].1) {
+                cands.push(d);
+            }
+        }
+    }
+    let eval = |d: f64| {
+        lines
+            .iter()
+            .map(|&(p, q)| line(p, q, d))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut best = (0.0, f64::NEG_INFINITY);
+    for &d in cands.as_slice() {
+        let v = eval(d);
+        if v > best.1 {
+            best = (d, v);
+        }
+    }
+    best
+}
+
+/// Closed-form `max_sum_rate` for DT, MABC and TDBC; `None` for HBC
+/// (simplex fallback — its four-phase schedule is genuinely
+/// three-dimensional and vertex enumeration stops paying off).
+pub fn max_sum_rate(net: &GaussianNetwork, protocol: Protocol) -> Option<SumRateSolution> {
+    match protocol {
+        Protocol::DirectTransmission | Protocol::Mabc | Protocol::Tdbc => {
+            max_sum_rate_from_caps(&LinkCaps::compute(&net.powers(), &net.state()), protocol)
+        }
+        Protocol::Hbc => None,
+    }
+}
+
+/// Exact closed-form TDBC sum rate by **vertex enumeration** over the
+/// duration simplex.
+///
+/// With `u = min(α·Δ₁, β·Δ₁ + γ·Δ₃)` (a's deliverable rate) and
+/// `v = min(δ·Δ₂, ε·Δ₂ + ζ·Δ₃)`, the sum rate `u + v` is concave
+/// piecewise-linear on the 2-simplex `Δ₁+Δ₂+Δ₃ = 1`, with kinks only on
+/// the two planes where a `min` switches sides. Every linear region is
+/// bounded by (a subset of) **five planes** — the three simplex
+/// boundaries plus the two kink planes — so the maximum is attained at
+/// the intersection of two of them with the simplex: at most 10
+/// candidate vertices, each a cross product away. Evaluating `u + v` at
+/// the candidates is exact (each is a feasible operating point), so the
+/// best candidate *is* the LP optimum.
+fn tdbc_sum_rate_from_caps(caps: &LinkCaps) -> SumRateSolution {
+    let (alpha, beta, gamma) = (caps.c_a_ar, caps.c_a_ab, caps.c_r_br);
+    let (delta, eps, zeta) = (caps.c_b_br, caps.c_b_ab, caps.c_r_ar);
+    let planes: [[f64; 3]; 5] = [
+        [1.0, 0.0, 0.0],             // Δ₁ = 0
+        [0.0, 1.0, 0.0],             // Δ₂ = 0
+        [0.0, 0.0, 1.0],             // Δ₃ = 0
+        [alpha - beta, 0.0, -gamma], // α·Δ₁ = β·Δ₁ + γ·Δ₃
+        [0.0, delta - eps, -zeta],   // δ·Δ₂ = ε·Δ₂ + ζ·Δ₃
+    ];
+    let u = |d: &[f64; 3]| (alpha * d[0]).min(beta * d[0] + gamma * d[2]).max(0.0);
+    let v = |d: &[f64; 3]| (delta * d[1]).min(eps * d[1] + zeta * d[2]).max(0.0);
+    let mut best = (f64::NEG_INFINITY, [0.0, 0.0, 1.0], 0.0, 0.0);
+    for i in 0..planes.len() {
+        for j in i + 1..planes.len() {
+            let (a, b) = (planes[i], planes[j]);
+            // The two planes meet the simplex plane where their cross
+            // product, normalised to unit coordinate sum, lands.
+            let d = [
+                a[1] * b[2] - a[2] * b[1],
+                a[2] * b[0] - a[0] * b[2],
+                a[0] * b[1] - a[1] * b[0],
+            ];
+            let sum = d[0] + d[1] + d[2];
+            let norm = d[0].abs() + d[1].abs() + d[2].abs();
+            if sum.abs() <= 1e-12 * norm || norm == 0.0 {
+                continue; // parallel to the simplex plane (or degenerate)
+            }
+            let d = [d[0] / sum, d[1] / sum, d[2] / sum];
+            if d.iter().any(|&x| !(-1e-9..=1.0 + 1e-9).contains(&x)) {
+                continue; // outside the simplex
+            }
+            let d = [d[0].max(0.0), d[1].max(0.0), d[2].max(0.0)];
+            let (uu, vv) = (u(&d), v(&d));
+            if uu + vv > best.0 {
+                best = (uu + vv, d, uu, vv);
+            }
+        }
+    }
+    SumRateSolution {
+        protocol: Protocol::Tdbc,
+        sum_rate: best.0,
+        ra: best.2,
+        rb: best.3,
+        durations: PhaseVec::from(best.1),
+    }
+}
+
+/// [`max_sum_rate`] from precomputed [`LinkCaps`] (the batch hot path —
+/// one capacity evaluation per point serves every protocol). Covers DT,
+/// MABC and TDBC; HBC returns `None` and falls back to the simplex.
+pub fn max_sum_rate_from_caps(caps: &LinkCaps, protocol: Protocol) -> Option<SumRateSolution> {
+    let sol = match protocol {
+        Protocol::DirectTransmission => {
+            // Sum rate Δ·c_a + (1−Δ)·c_b is linear: all time to the
+            // stronger direction.
+            let (c_a, c_b) = (caps.c_a_ab, caps.c_b_ab);
+            if c_a >= c_b {
+                SumRateSolution {
+                    protocol,
+                    sum_rate: c_a,
+                    ra: c_a,
+                    rb: 0.0,
+                    durations: PhaseVec::from([1.0, 0.0]),
+                }
+            } else {
+                SumRateSolution {
+                    protocol,
+                    sum_rate: c_b,
+                    ra: 0.0,
+                    rb: c_b,
+                    durations: PhaseVec::from([0.0, 1.0]),
+                }
+            }
+        }
+        Protocol::Mabc => {
+            let (a1, a2, b1, b2, s) = (
+                caps.c_a_ar,
+                caps.c_r_br,
+                caps.c_b_br,
+                caps.c_r_ar,
+                caps.c_mac,
+            );
+            let (d, sum) = mabc_sum_rate(a1, a2, b1, b2, s);
+            let ra0 = (d * a1).min((1.0 - d) * a2);
+            let rb0 = (d * b1).min((1.0 - d) * b2);
+            let cap = d * s;
+            let (ra, rb) = if ra0 + rb0 > cap {
+                // The MAC sum row binds: keep R_b at its individual cap
+                // and give R_a the remainder (any split achieving the sum
+                // is optimal; this one is deterministic and feasible).
+                let rb = rb0.min(cap);
+                (cap - rb, rb)
+            } else {
+                (ra0, rb0)
+            };
+            SumRateSolution {
+                protocol,
+                sum_rate: sum,
+                ra,
+                rb,
+                durations: PhaseVec::from([d, 1.0 - d]),
+            }
+        }
+        Protocol::Tdbc => tdbc_sum_rate_from_caps(caps),
+        Protocol::Hbc => return None,
+    };
+    KERNEL_HITS.fetch_add(1, Relaxed);
+    Some(sol)
+}
+
+/// Maximises `f(Δ) = min(mA(Δ) + mB(Δ), Δ·s)` over `[0, 1]` where
+/// `mX(Δ) = min(Δ·x1, (1−Δ)·x2)` — the MABC sum-rate profile. `f` is
+/// concave piecewise-linear; its maximum sits at a kink of `mA + mB`, at a
+/// crossing of `mA + mB` with the MAC line, or at an endpoint.
+fn mabc_sum_rate(a1: f64, a2: f64, b1: f64, b2: f64, s: f64) -> (f64, f64) {
+    let g = |d: f64| (d * a1).min((1.0 - d) * a2) + (d * b1).min((1.0 - d) * b2);
+    let f = |d: f64| g(d).min(d * s);
+    let mut knots = Cands::new();
+    knots.push(0.0);
+    if a1 + a2 > 0.0 {
+        knots.push(a2 / (a1 + a2));
+    }
+    if b1 + b2 > 0.0 {
+        knots.push(b2 / (b1 + b2));
+    }
+    knots.push(1.0);
+    // Candidates: the knots themselves plus, per segment between adjacent
+    // knots (where g is linear), the analytic crossing with the MAC line.
+    let mut cands = Cands::new();
+    let mut sorted = [0.0; MAX_CANDS];
+    let k = knots.as_slice().len();
+    sorted[..k].copy_from_slice(knots.as_slice());
+    sorted[..k].sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite"));
+    for &d in &sorted[..k] {
+        cands.push(d);
+    }
+    for w in sorted[..k].windows(2) {
+        let (l, r) = (w[0], w[1]);
+        if r - l <= 0.0 {
+            continue;
+        }
+        let slope = (g(r) - g(l)) / (r - l);
+        // g(l) + slope·(Δ − l) = s·Δ  ⇒  Δ = (g(l) − slope·l) / (s − slope)
+        if s != slope {
+            let d = (g(l) - slope * l) / (s - slope);
+            if d >= l && d <= r {
+                cands.push(d);
+            }
+        }
+    }
+    let mut best = (0.0, f64::NEG_INFINITY);
+    for &d in cands.as_slice() {
+        let v = f(d);
+        if v > best.1 {
+            best = (d, v);
+        }
+    }
+    best
+}
+
+/// Closed-form `max_min_rate` (largest symmetric rate) for the two-phase
+/// protocols; `None` for TDBC/HBC.
+pub fn max_min_rate(net: &GaussianNetwork, protocol: Protocol) -> Option<SchedulePoint> {
+    match protocol {
+        Protocol::DirectTransmission | Protocol::Mabc => {
+            max_min_rate_from_caps(&LinkCaps::compute(&net.powers(), &net.state()), protocol)
+        }
+        Protocol::Tdbc | Protocol::Hbc => None,
+    }
+}
+
+/// [`max_min_rate`] from precomputed [`LinkCaps`].
+pub fn max_min_rate_from_caps(caps: &LinkCaps, protocol: Protocol) -> Option<SchedulePoint> {
+    let pt = match protocol {
+        Protocol::DirectTransmission => {
+            // t ≤ Δ·c_a, t ≤ (1−Δ)·c_b: optimum where both bind.
+            let (c_a, c_b) = (caps.c_a_ab, caps.c_b_ab);
+            if c_a <= 0.0 || c_b <= 0.0 {
+                SchedulePoint {
+                    ra: 0.0,
+                    rb: 0.0,
+                    durations: PhaseVec::from([0.5, 0.5]),
+                    objective: 0.0,
+                }
+            } else {
+                let d = c_b / (c_a + c_b);
+                let t = c_a * c_b / (c_a + c_b);
+                SchedulePoint {
+                    ra: t,
+                    rb: t,
+                    durations: PhaseVec::from([d, 1.0 - d]),
+                    objective: t,
+                }
+            }
+        }
+        Protocol::Mabc => {
+            // t ≤ mA(Δ), t ≤ mB(Δ), 2t ≤ Δ·s: min of five lines.
+            let (a1, a2, b1, b2, s) = (
+                caps.c_a_ar,
+                caps.c_r_br,
+                caps.c_b_br,
+                caps.c_r_ar,
+                caps.c_mac,
+            );
+            let lines = [(a1, 0.0), (0.0, a2), (b1, 0.0), (0.0, b2), (0.5 * s, 0.0)];
+            let (d, t) = maximize_min_of_lines(&lines);
+            let t = t.max(0.0);
+            SchedulePoint {
+                ra: t,
+                rb: t,
+                durations: PhaseVec::from([d, 1.0 - d]),
+                objective: t,
+            }
+        }
+        Protocol::Tdbc | Protocol::Hbc => return None,
+    };
+    KERNEL_HITS.fetch_add(1, Relaxed);
+    Some(pt)
+}
+
+/// A per-worker batch solve context: LP workspace (flat tableau +
+/// warm-start bases), constraint arena, pooled problem builder and
+/// reusable solution — everything needed to evaluate grid points and fade
+/// draws with zero heap allocations per point after warm-up (see the
+/// module docs).
+#[derive(Debug)]
+pub struct SolveCtx {
+    ws: Workspace,
+    buf: ConstraintBuf,
+    prob: Problem,
+    sol: Solution,
+    row: Vec<f64>,
+    obj: Vec<f64>,
+    /// Per-point capacity memo: the four protocols of one grid point share
+    /// one [`LinkCaps`] evaluation (pure function of the key, so caching
+    /// never changes results).
+    caps: Option<(bcc_channel::PowerSplit, bcc_channel::ChannelState, LinkCaps)>,
+}
+
+impl Default for SolveCtx {
+    fn default() -> Self {
+        SolveCtx {
+            ws: Workspace::new(),
+            // Placeholder shape; every solve `reset`s the problem first.
+            prob: Problem::maximize(&[0.0]),
+            buf: ConstraintBuf::new(),
+            sol: Solution::default(),
+            row: Vec::new(),
+            obj: Vec::new(),
+            caps: None,
+        }
+    }
+}
+
+/// Builds the **phase-substituted** LP rows of `set` into `prob`.
+///
+/// The textbook formulation carries all `L` durations plus the simplex-
+/// share equality `Σ Δ_ℓ = 1`, whose artificial variable forces a phase-1
+/// pass on every solve. The hot path instead substitutes
+/// `Δ_L = 1 − Σ_{ℓ<L} Δ_ℓ`, turning every rate bound
+/// `lhs ≤ Σ c_ℓ Δ_ℓ` into `lhs + Σ_{ℓ<L} (c_L − c_ℓ)·Δ_ℓ ≤ c_L` — all
+/// `≤` rows with non-negative right-hand sides, so the all-slack basis is
+/// feasible and the simplex starts **directly in phase 2** (and the warm
+/// path prices one fewer dimension). Variables are
+/// `(R_a, R_b, Δ_1..Δ_{L−1}, [extras])`; `n` is the total count.
+fn push_constraint_rows(prob: &mut Problem, row: &mut Vec<f64>, set: &ConstraintSet, n: usize) {
+    let l = set.num_phases();
+    for c in set.constraints() {
+        row.clear();
+        row.resize(n, 0.0);
+        row[0] = c.ra;
+        row[1] = c.rb;
+        let c_last = c.phase_coefs[l - 1];
+        for (idx, coef) in c.phase_coefs.iter().take(l - 1).enumerate() {
+            row[2 + idx] = c_last - coef;
+        }
+        prob.subject_to(row, Relation::Le, c_last);
+    }
+    if l > 1 {
+        // Δ_L ≥ 0 ⇔ Σ_{ℓ<L} Δ_ℓ ≤ 1.
+        row.clear();
+        row.resize(n, 0.0);
+        for v in row.iter_mut().skip(2).take(l - 1) {
+            *v = 1.0;
+        }
+        prob.subject_to(row, Relation::Le, 1.0);
+    }
+}
+
+/// Reconstructs the full duration vector from the substituted variables
+/// (`Δ_L = 1 − Σ`, clamped against float dust).
+fn durations_from(x: &[f64], l: usize) -> PhaseVec {
+    let mut d = PhaseVec::from_slice(&x[2..2 + l - 1]);
+    let used: f64 = d.iter().sum();
+    d.push((1.0 - used).max(0.0));
+    d
+}
+
+/// The warm-started sum-rate LP over `set` with optional QoS floors,
+/// operating on explicitly split context parts (so callers can keep the
+/// constraint arena borrowed alongside).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lp_sum_rate_parts(
+    prob: &mut Problem,
+    ws: &mut Workspace,
+    sol: &mut Solution,
+    row: &mut Vec<f64>,
+    obj: &mut Vec<f64>,
+    set: &ConstraintSet,
+    floor: Option<(f64, f64)>,
+) -> Result<SchedulePoint, CoreError> {
+    let l = set.num_phases();
+    let n = 2 + (l - 1);
+    obj.clear();
+    obj.resize(n, 0.0);
+    obj[0] = 1.0;
+    obj[1] = 1.0;
+    prob.reset(Sense::Maximize, obj);
+    push_constraint_rows(prob, row, set, n);
+    if let Some((ra_min, rb_min)) = floor {
+        row.clear();
+        row.resize(n, 0.0);
+        row[0] = 1.0;
+        prob.subject_to(row, Relation::Ge, ra_min);
+        row[0] = 0.0;
+        row[1] = 1.0;
+        prob.subject_to(row, Relation::Ge, rb_min);
+    }
+    prob.solve_warm_into(ws, sol).map_err(|e| {
+        let what = if floor.is_some() {
+            "sum-rate with QoS floor"
+        } else {
+            "sum-rate"
+        };
+        CoreError::lp(format!("{} {what}", set.name), e)
+    })?;
+    Ok(SchedulePoint {
+        ra: sol.x[0],
+        rb: sol.x[1],
+        durations: durations_from(&sol.x, l),
+        objective: sol.objective,
+    })
+}
+
+/// The warm-started max–min LP over `set` on split context parts.
+pub(crate) fn lp_max_min_parts(
+    prob: &mut Problem,
+    ws: &mut Workspace,
+    sol: &mut Solution,
+    row: &mut Vec<f64>,
+    obj: &mut Vec<f64>,
+    set: &ConstraintSet,
+) -> Result<SchedulePoint, CoreError> {
+    let l = set.num_phases();
+    let n = 2 + (l - 1) + 1;
+    obj.clear();
+    obj.resize(n, 0.0);
+    obj[n - 1] = 1.0;
+    prob.reset(Sense::Maximize, obj);
+    push_constraint_rows(prob, row, set, n);
+    // t − R_a ≤ 0, t − R_b ≤ 0 (kept as `≤` rows so the all-slack basis
+    // stays feasible and no phase-1 pass is needed).
+    row.clear();
+    row.resize(n, 0.0);
+    row[0] = -1.0;
+    row[n - 1] = 1.0;
+    prob.subject_to(row, Relation::Le, 0.0);
+    row[0] = 0.0;
+    row[1] = -1.0;
+    prob.subject_to(row, Relation::Le, 0.0);
+    prob.solve_warm_into(ws, sol)
+        .map_err(|e| CoreError::lp(format!("{} max-min", set.name), e))?;
+    Ok(SchedulePoint {
+        ra: sol.x[0],
+        rb: sol.x[1],
+        durations: durations_from(&sol.x, l),
+        objective: sol.objective,
+    })
+}
+
+impl SolveCtx {
+    /// Creates an empty context (buffers grow to fit on first use).
+    pub fn new() -> Self {
+        SolveCtx::default()
+    }
+
+    /// The context's LP workspace (for callers that mix direct
+    /// [`bcc_lp`] use with context solves).
+    pub fn workspace(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+
+    /// Solves `max R_a + R_b` over `set` by warm-started simplex, with
+    /// optional QoS floors `R_a ≥ ra_min`, `R_b ≥ rb_min`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (infeasibility when a floor is
+    /// unachievable).
+    pub fn lp_sum_rate(
+        &mut self,
+        set: &ConstraintSet,
+        floor: Option<(f64, f64)>,
+    ) -> Result<SchedulePoint, CoreError> {
+        let SolveCtx {
+            ws,
+            prob,
+            sol,
+            row,
+            obj,
+            ..
+        } = self;
+        lp_sum_rate_parts(prob, ws, sol, row, obj, set, floor)
+    }
+
+    /// Solves the max–min (symmetric-rate) LP over `set` by warm-started
+    /// simplex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures.
+    pub fn lp_max_min(&mut self, set: &ConstraintSet) -> Result<SchedulePoint, CoreError> {
+        let SolveCtx {
+            ws,
+            prob,
+            sol,
+            row,
+            obj,
+            ..
+        } = self;
+        lp_max_min_parts(prob, ws, sol, row, obj, set)
+    }
+
+    /// Optimal achievable sum rate of `protocol` at `net` — the batch
+    /// sweep/outage/DMT hot path: closed-form kernel for the two-phase
+    /// protocols, warm-started simplex otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (not expected for valid inputs).
+    pub fn sum_rate(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+    ) -> Result<SumRateSolution, CoreError> {
+        let caps = self.link_caps(net);
+        if let Some(sol) = max_sum_rate_from_caps(&caps, protocol) {
+            return Ok(sol);
+        }
+        let SolveCtx {
+            ws,
+            buf,
+            prob,
+            sol,
+            row,
+            obj,
+            ..
+        } = self;
+        buf.begin();
+        bounds::inner_constraints_from_caps_into(protocol, &caps, buf.next_set());
+        let pt = lp_sum_rate_parts(prob, ws, sol, row, obj, &buf.sets()[0], None)?;
+        Ok(SumRateSolution {
+            protocol,
+            sum_rate: pt.objective,
+            ra: pt.ra,
+            rb: pt.rb,
+            durations: pt.durations,
+        })
+    }
+
+    /// The memoised per-point capacity bundle (see [`LinkCaps`]).
+    fn link_caps(&mut self, net: &GaussianNetwork) -> LinkCaps {
+        let powers = net.powers();
+        let state = net.state();
+        if let Some((p, st, caps)) = &self.caps {
+            if *p == powers && *st == state {
+                return *caps;
+            }
+        }
+        let caps = LinkCaps::compute(&powers, &state);
+        self.caps = Some((powers, state, caps));
+        caps
+    }
+
+    /// Sum rate of `(protocol, bound)` with an optional QoS floor — the
+    /// general grid-point solve behind `Evaluator::sweep`: outer bounds
+    /// can be set *families* (HBC's ρ-family, maximised over members), and
+    /// floors can make members — or the whole family — infeasible (the
+    /// family is infeasible only if every member is).
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures; with a floor, an infeasibility error means
+    /// the floor is unachievable at this operating point.
+    pub fn sum_rate_for(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+        bound: Bound,
+        floor: Option<(f64, f64)>,
+    ) -> Result<SumRateSolution, CoreError> {
+        if bound == Bound::Inner && floor.is_none() {
+            return self.sum_rate(net, protocol);
+        }
+        let SolveCtx {
+            ws,
+            buf,
+            prob,
+            sol,
+            row,
+            obj,
+            ..
+        } = self;
+        let sets =
+            bounds::constraint_sets_split_into(protocol, bound, &net.powers(), &net.state(), buf);
+        let mut best: Option<SumRateSolution> = None;
+        let mut infeasible: Option<CoreError> = None;
+        for set in sets {
+            let pt = match lp_sum_rate_parts(prob, ws, sol, row, obj, set, floor) {
+                Ok(pt) => pt,
+                Err(e) if e.is_infeasible() => {
+                    infeasible = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if best.as_ref().is_none_or(|b| pt.objective > b.sum_rate) {
+                best = Some(SumRateSolution {
+                    protocol,
+                    sum_rate: pt.objective,
+                    ra: pt.ra,
+                    rb: pt.rb,
+                    durations: pt.durations,
+                });
+            }
+        }
+        match best {
+            Some(sol) => Ok(sol),
+            None => Err(infeasible.expect("constraint families are non-empty")),
+        }
+    }
+
+    /// The ε-outage allocation objective of one fade draw: twice the
+    /// max–min rate (equal-rate sum) of `protocol` at `net`, with a deep-
+    /// fade LP failure counting as rate 0 (the Monte-Carlo convention).
+    pub fn equal_rate_sum(&mut self, net: &GaussianNetwork, protocol: Protocol) -> f64 {
+        let caps = self.link_caps(net);
+        if let Some(pt) = max_min_rate_from_caps(&caps, protocol) {
+            return 2.0 * pt.objective;
+        }
+        let SolveCtx {
+            ws,
+            buf,
+            prob,
+            sol,
+            row,
+            obj,
+            ..
+        } = self;
+        buf.begin();
+        bounds::inner_constraints_from_caps_into(protocol, &caps, buf.next_set());
+        lp_max_min_parts(prob, ws, sol, row, obj, &buf.sets()[0])
+            .map(|pt| 2.0 * pt.objective)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer;
+    use bcc_channel::{ChannelState, PowerSplit};
+
+    use bcc_num::approx_eq;
+
+    fn net(p: f64, gab: f64, gar: f64, gbr: f64) -> GaussianNetwork {
+        GaussianNetwork::new(p, ChannelState::new(gab, gar, gbr))
+    }
+
+    fn fig4(p: f64) -> GaussianNetwork {
+        net(p, 0.19952623149688797, 1.0, 3.1622776601683795)
+    }
+
+    #[test]
+    fn dt_sum_rate_matches_simplex() {
+        for p in [0.0, 0.5, 10.0, 31.6] {
+            let n = fig4(p);
+            let kernel = max_sum_rate(&n, Protocol::DirectTransmission).unwrap();
+            let sets = n.constraint_sets(Protocol::DirectTransmission, Bound::Inner);
+            let lp = optimizer::max_sum_rate(&sets[0]).unwrap();
+            assert!(
+                approx_eq(kernel.sum_rate, lp.objective, 1e-9),
+                "P={p}: {} vs {}",
+                kernel.sum_rate,
+                lp.objective
+            );
+            assert!(sets[0].all_satisfied(kernel.ra, kernel.rb, &kernel.durations, 1e-9));
+        }
+    }
+
+    #[test]
+    fn mabc_sum_rate_matches_simplex_on_grid() {
+        for p in [0.5, 2.0, 10.0] {
+            for (gar, gbr) in [(1.0, 1.0), (0.2, 5.0), (10.0, 0.01), (3.0, 3.0)] {
+                let n = net(p, 1.0, gar, gbr);
+                let kernel = max_sum_rate(&n, Protocol::Mabc).unwrap();
+                let sets = n.constraint_sets(Protocol::Mabc, Bound::Inner);
+                let lp = optimizer::max_sum_rate(&sets[0]).unwrap();
+                assert!(
+                    approx_eq(kernel.sum_rate, lp.objective, 1e-9),
+                    "P={p} gar={gar} gbr={gbr}: {} vs {}",
+                    kernel.sum_rate,
+                    lp.objective
+                );
+                assert!(
+                    sets[0].all_satisfied(kernel.ra, kernel.rb, &kernel.durations, 1e-9),
+                    "kernel point infeasible at P={p} gar={gar} gbr={gbr}"
+                );
+                let total: f64 = kernel.durations.iter().sum();
+                assert!(approx_eq(total, 1.0, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn mabc_max_min_matches_simplex_on_grid() {
+        for p in [0.5, 2.0, 10.0] {
+            for (gar, gbr) in [(1.0, 1.0), (0.2, 5.0), (4.0, 0.5)] {
+                let n = net(p, 0.5, gar, gbr);
+                let kernel = max_min_rate(&n, Protocol::Mabc).unwrap();
+                let sets = n.constraint_sets(Protocol::Mabc, Bound::Inner);
+                let lp = optimizer::max_min_rate(&sets[0]).unwrap();
+                assert!(
+                    approx_eq(kernel.objective, lp.objective, 1e-9),
+                    "P={p} gar={gar} gbr={gbr}: {} vs {}",
+                    kernel.objective,
+                    lp.objective
+                );
+                assert!(sets[0].all_satisfied(kernel.ra, kernel.rb, &kernel.durations, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn dt_max_min_closed_form() {
+        let n = net(10.0, 1.0, 1.0, 1.0);
+        let kernel = max_min_rate(&n, Protocol::DirectTransmission).unwrap();
+        let sets = n.constraint_sets(Protocol::DirectTransmission, Bound::Inner);
+        let lp = optimizer::max_min_rate(&sets[0]).unwrap();
+        assert!(approx_eq(kernel.objective, lp.objective, 1e-9));
+        // Symmetric caps: split is even, t = C/2.
+        assert!(approx_eq(kernel.durations[0], 0.5, 1e-12));
+    }
+
+    #[test]
+    fn kernel_coverage_matches_dispatch_rules() {
+        let n = fig4(10.0);
+        // Sum rate: everything but HBC has a closed form.
+        assert!(max_sum_rate(&n, Protocol::Tdbc).is_some());
+        assert!(max_sum_rate(&n, Protocol::Hbc).is_none());
+        // Max–min: only the two-phase protocols.
+        assert!(max_min_rate(&n, Protocol::Tdbc).is_none());
+        assert!(max_min_rate(&n, Protocol::Hbc).is_none());
+    }
+
+    #[test]
+    fn tdbc_sum_rate_matches_simplex_on_grid() {
+        for p in [0.5, 2.0, 10.0, 31.6] {
+            for (gab, gar, gbr) in [
+                (0.2, 1.0, 3.16),
+                (1.0, 1.0, 1.0),
+                (1.0, 0.01, 10.0),
+                (0.0, 2.0, 2.0),
+                (5.0, 0.5, 0.5),
+                (1.0, 0.0, 1.0),
+            ] {
+                let n = net(p, gab, gar, gbr);
+                let kernel = max_sum_rate(&n, Protocol::Tdbc).unwrap();
+                let sets = n.constraint_sets(Protocol::Tdbc, Bound::Inner);
+                let lp = optimizer::max_sum_rate(&sets[0]).unwrap();
+                assert!(
+                    approx_eq(kernel.sum_rate, lp.objective, 1e-9),
+                    "P={p} gab={gab} gar={gar} gbr={gbr}: {} vs {}",
+                    kernel.sum_rate,
+                    lp.objective
+                );
+                assert!(
+                    sets[0].all_satisfied(kernel.ra, kernel.rb, &kernel.durations, 1e-9),
+                    "kernel point infeasible at P={p} gab={gab} gar={gar} gbr={gbr}"
+                );
+                let total: f64 = kernel.durations.iter().sum();
+                assert!(approx_eq(total, 1.0, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_power_edge_cases() {
+        let dead = GaussianNetwork::with_powers(
+            PowerSplit::new(0.0, 0.0, 0.0),
+            ChannelState::new(1.0, 1.0, 1.0),
+        );
+        for proto in [Protocol::DirectTransmission, Protocol::Mabc] {
+            let s = max_sum_rate(&dead, proto).unwrap();
+            assert!(approx_eq(s.sum_rate, 0.0, 1e-12), "{proto}");
+            let t = max_min_rate(&dead, proto).unwrap();
+            assert!(approx_eq(t.objective, 0.0, 1e-12), "{proto}");
+        }
+        // Silent relay starves MABC broadcast but not DT.
+        let silent_relay = GaussianNetwork::with_powers(
+            PowerSplit::new(10.0, 10.0, 0.0),
+            ChannelState::new(1.0, 1.0, 1.0),
+        );
+        let s = max_sum_rate(&silent_relay, Protocol::Mabc).unwrap();
+        assert!(approx_eq(s.sum_rate, 0.0, 1e-9), "no broadcast, no rate");
+    }
+
+    #[test]
+    fn ctx_sum_rate_agrees_with_network_queries() {
+        let mut ctx = SolveCtx::new();
+        for p in [1.0, 10.0] {
+            let n = fig4(p);
+            for proto in Protocol::ALL {
+                let a = ctx.sum_rate(&n, proto).unwrap();
+                let b = n.max_sum_rate(proto).unwrap();
+                assert_eq!(a, b, "{proto} at P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ctx_family_maximum_matches_per_member_solves() {
+        let mut ctx = SolveCtx::new();
+        let n = fig4(10.0);
+        let fam = ctx
+            .sum_rate_for(&n, Protocol::Hbc, Bound::Outer, None)
+            .unwrap();
+        let direct: f64 = n
+            .constraint_sets(Protocol::Hbc, Bound::Outer)
+            .iter()
+            .map(|s| optimizer::max_sum_rate(s).unwrap().objective)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(approx_eq(fam.sum_rate, direct, 1e-9));
+    }
+}

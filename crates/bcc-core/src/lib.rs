@@ -52,25 +52,29 @@ pub mod discrete;
 pub mod dmt;
 pub mod error;
 pub mod gaussian;
+pub mod kernel;
 pub mod optimizer;
 pub mod protocol;
 pub mod region;
 pub mod scenario;
 pub mod selection;
-pub mod sweep;
 
+pub use constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
 pub use dmt::{Allocation, AllocationResult, DmtResult};
 pub use error::CoreError;
 pub use gaussian::GaussianNetwork;
+pub use kernel::SolveCtx;
 pub use protocol::{Bound, Protocol, ProtocolMap};
 pub use region::{RatePoint, RateRegion};
 pub use scenario::{Evaluator, Scenario};
 
 /// One-stop imports for the batch evaluation API.
 pub mod prelude {
+    pub use crate::constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
     pub use crate::dmt::{Allocation, AllocationResult, DmtResult};
     pub use crate::error::CoreError;
     pub use crate::gaussian::{GaussianNetwork, SumRateSolution};
+    pub use crate::kernel::SolveCtx;
     pub use crate::protocol::{Bound, Protocol, ProtocolMap};
     pub use crate::region::{RatePoint, RateRegion};
     pub use crate::scenario::{

@@ -7,7 +7,7 @@
 //! optimum over *both* the rates and the time allocation is found in one
 //! LP — no alternating optimisation, no duration grid.
 
-use crate::constraint::ConstraintSet;
+use crate::constraint::{ConstraintSet, PhaseVec};
 use crate::error::CoreError;
 use bcc_lp::{Problem, Relation, Workspace};
 
@@ -18,8 +18,9 @@ pub struct SchedulePoint {
     pub ra: f64,
     /// Rate of message `w_b` (b→a), bits per channel use.
     pub rb: f64,
-    /// Optimal phase durations `Δ_1..Δ_L` (sum to 1).
-    pub durations: Vec<f64>,
+    /// Optimal phase durations `Δ_1..Δ_L` (sum to 1), stored inline
+    /// ([`PhaseVec`]) so extracting a solution allocates nothing.
+    pub durations: PhaseVec,
     /// The achieved objective (meaning depends on the query).
     pub objective: f64,
 }
@@ -58,7 +59,7 @@ fn extract(set: &ConstraintSet, sol: bcc_lp::Solution) -> SchedulePoint {
     SchedulePoint {
         ra: sol.x[0],
         rb: sol.x[1],
-        durations: sol.x[2..2 + l].to_vec(),
+        durations: PhaseVec::from_slice(&sol.x[2..2 + l]),
         objective: sol.objective,
     }
 }
@@ -240,7 +241,7 @@ pub fn max_min_rate_with(
     Ok(SchedulePoint {
         ra: sol.x[0],
         rb: sol.x[1],
-        durations: sol.x[2..2 + l].to_vec(),
+        durations: PhaseVec::from_slice(&sol.x[2..2 + l]),
         objective: sol.objective,
     })
 }
@@ -410,7 +411,7 @@ mod tests {
         let interior = SchedulePoint {
             ra: 0.01,
             rb: 0.01,
-            durations: pt.durations.clone(),
+            durations: pt.durations,
             objective: 0.02,
         };
         assert!(binding_constraints(&set, &interior, 1e-7).is_empty());

@@ -17,9 +17,11 @@
 //! and the compiled evaluator runs the whole grid *batched and parallel*:
 //! grid points (and fading trials) fan out over a scoped worker pool
 //! ([`bcc_num::par`]), each worker reusing one private
-//! [`bcc_lp::Workspace`] across all its LP solves, so the simplex tableau
-//! and reduced-cost rows are allocated once per worker instead of once
-//! per solve. Results come back as typed values — [`SweepResult`],
+//! [`SolveCtx`] batch context — closed-form kernel for the
+//! two-phase protocols, warm-started flat-tableau simplex with a reusable
+//! constraint arena otherwise — so the steady-state hot loop performs no
+//! heap allocation per grid point. Results come back as typed values —
+//! [`SweepResult`],
 //! [`ComparisonResult`], [`RegionResult`], [`OutageResult`] — with
 //! per-protocol series keyed by [`Protocol`] (constant-time lookup, no
 //! `Protocol::ALL` position searches).
@@ -51,9 +53,9 @@
 //! assert!((dt.sum_rates()[0] - dt.sum_rates()[18]).abs() < 1e-8);
 //! ```
 
-use crate::bounds;
 use crate::error::CoreError;
 use crate::gaussian::{GaussianNetwork, SumRateSolution};
+use crate::kernel::SolveCtx;
 use crate::protocol::{Bound, Protocol, ProtocolMap};
 use crate::region::{RatePoint, RateRegion};
 use bcc_channel::fading::FadingModel;
@@ -393,53 +395,17 @@ impl Scenario {
     }
 
     /// Optimal sum rate of `protocol` at `net` under this scenario's bound
-    /// selection and optional QoS floor, solved through `ws` (each
-    /// parallel worker owns one).
+    /// selection and optional QoS floor, solved through `ctx` (each
+    /// parallel worker owns one [`SolveCtx`]: closed-form kernel for the
+    /// two-phase protocols, warm-started zero-allocation simplex
+    /// otherwise).
     fn solve_point_with(
         &self,
         net: &GaussianNetwork,
         protocol: Protocol,
-        ws: &mut bcc_lp::Workspace,
+        ctx: &mut SolveCtx,
     ) -> Result<SumRateSolution, CoreError> {
-        if self.bound == Bound::Inner && self.rate_floor.is_none() {
-            return net.max_sum_rate_with(protocol, ws);
-        }
-        // Outer bounds can be set *families* (HBC's ρ-family); the bound's
-        // sum rate is the maximum over the family. With a QoS floor,
-        // individual members may be infeasible — the family is infeasible
-        // only if every member is.
-        let sets = bounds::constraint_sets_split(protocol, self.bound, &net.powers(), &net.state());
-        let mut best: Option<SumRateSolution> = None;
-        let mut infeasible: Option<CoreError> = None;
-        for set in &sets {
-            let solved = match self.rate_floor {
-                Some((ra_min, rb_min)) => {
-                    crate::optimizer::max_sum_rate_with_floor(set, ra_min, rb_min, ws)
-                }
-                None => crate::optimizer::max_sum_rate_with(set, ws),
-            };
-            let pt = match solved {
-                Ok(pt) => pt,
-                Err(e) if e.is_infeasible() => {
-                    infeasible = Some(e);
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            if best.as_ref().is_none_or(|b| pt.objective > b.sum_rate) {
-                best = Some(SumRateSolution {
-                    protocol,
-                    sum_rate: pt.objective,
-                    ra: pt.ra,
-                    rb: pt.rb,
-                    durations: pt.durations,
-                });
-            }
-        }
-        match best {
-            Some(sol) => Ok(sol),
-            None => Err(infeasible.expect("constraint families are non-empty")),
-        }
+        ctx.sum_rate_for(net, protocol, self.bound, self.rate_floor)
     }
 }
 
@@ -512,15 +478,16 @@ impl Evaluator {
         let sc = &self.scenario;
         let protocols = sc.protocols.clone();
         let npoints = sc.points.len();
+        let nproto = protocols.len();
 
-        // One row per grid point: each protocol's solution or recorded skip.
-        let rows: Vec<Vec<Result<SumRateSolution, CoreError>>> =
-            par::try_par_map_range(threads, npoints, bcc_lp::Workspace::new, |ws, i| {
-                let net = &sc.points[i].net;
-                sc.protocols
-                    .iter()
-                    .map(|&p| classify_solve(sc.solve_point_with(net, p, ws)))
-                    .collect()
+        // Fan the flat `point × protocol` grid across the workers — no
+        // per-point collection vector, so the only steady-state
+        // allocations are the chunked result buffers the scheduler
+        // amortises across many solves.
+        let flat: Vec<Result<SumRateSolution, CoreError>> =
+            par::try_par_map_range(threads, npoints * nproto, SolveCtx::new, |ctx, k| {
+                let net = &sc.points[k / nproto].net;
+                classify_solve(sc.solve_point_with(net, sc.protocols[k % nproto], ctx))
             })?;
 
         let mut series: ProtocolMap<ProtocolSeries> = ProtocolMap::new();
@@ -535,11 +502,13 @@ impl Evaluator {
         }
         let mut winners = Vec::with_capacity(npoints);
         let mut skipped = Vec::new();
-        for (i, row) in rows.into_iter().enumerate() {
+        let mut flat = flat.into_iter();
+        for i in 0..npoints {
             let x = sc.points[i].x;
             let mut winner: Option<(Protocol, f64)> = None;
             let mut any_skip = false;
-            for (&p, outcome) in protocols.iter().zip(row) {
+            for &p in &protocols {
+                let outcome = flat.next().expect("one result per (point, protocol)");
                 let sol = match outcome {
                     Ok(sol) => sol,
                     Err(error) => {
@@ -555,7 +524,7 @@ impl Evaluator {
                             sum_rate: f64::NAN,
                             ra: f64::NAN,
                             rb: f64::NAN,
-                            durations: Vec::new(),
+                            durations: crate::constraint::PhaseVec::new(),
                         }
                     }
                 };
@@ -597,11 +566,11 @@ impl Evaluator {
     pub fn comparisons(&mut self) -> Result<Vec<ComparisonResult>, CoreError> {
         let threads = self.thread_count();
         let sc = &self.scenario;
-        par::try_par_map_range(threads, sc.points.len(), bcc_lp::Workspace::new, |ws, i| {
+        par::try_par_map_range(threads, sc.points.len(), SolveCtx::new, |ctx, i| {
             let GridPoint { x, net } = sc.points[i];
             let mut solutions = ProtocolMap::new();
             for &p in &sc.protocols {
-                solutions.insert(p, sc.solve_point_with(&net, p, ws)?);
+                solutions.insert(p, sc.solve_point_with(&net, p, ctx)?);
             }
             Ok(ComparisonResult {
                 x,
@@ -731,11 +700,8 @@ impl Evaluator {
         // point `k / trials`, trial `k % trials`; the per-trial seed
         // streams make every job independent, so the fan-out is exactly
         // the serial loop flattened.
-        let rows: Vec<Vec<f64>> = par::par_map_range(
-            threads,
-            points.len() * trials,
-            bcc_lp::Workspace::new,
-            |ws, k| {
+        let rows: Vec<Vec<f64>> =
+            par::par_map_range(threads, points.len() * trials, SolveCtx::new, |ctx, k| {
                 let GridPoint { net, .. } = points[k / trials];
                 // Keep the classic single-point stream bit-compatible with
                 // `McConfig::trial_rng`; decorrelate additional points.
@@ -755,14 +721,12 @@ impl Evaluator {
                     .map(|&p| {
                         // An LP failure on a faded draw counts as rate 0 (a
                         // fade so deep the protocol is unusable).
-                        faded_net
-                            .max_sum_rate_with(p, ws)
+                        ctx.sum_rate(&faded_net, p)
                             .map(|s| s.sum_rate)
                             .unwrap_or(0.0)
                     })
                     .collect()
-            },
-        );
+            });
 
         let mut samples: ProtocolMap<Vec<Vec<f64>>> = ProtocolMap::new();
         for &p in protocols {
@@ -1412,7 +1376,7 @@ mod tests {
             sum_rate: 1.0,
             ra: 0.5,
             rb: 0.5,
-            durations: vec![0.5, 0.5],
+            durations: crate::constraint::PhaseVec::from([0.5, 0.5]),
         };
         assert!(matches!(classify_solve(Ok(sol)), Ok(Ok(_))));
         // Infeasibility is recorded, not propagated...

@@ -70,9 +70,26 @@ impl RelayCandidates {
     ///
     /// Propagates LP failures from any candidate evaluation.
     pub fn select(&self, protocol: Protocol, power: f64) -> Result<SelectionResult, CoreError> {
+        self.select_with(protocol, power, &mut crate::kernel::SolveCtx::new())
+    }
+
+    /// [`RelayCandidates::select`] solving every candidate through a
+    /// caller-owned [`SolveCtx`](crate::kernel::SolveCtx) — the batch form
+    /// for Monte-Carlo selection studies, where one context per worker
+    /// makes the per-fade candidate scan allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from any candidate evaluation.
+    pub fn select_with(
+        &self,
+        protocol: Protocol,
+        power: f64,
+        ctx: &mut crate::kernel::SolveCtx,
+    ) -> Result<SelectionResult, CoreError> {
         let mut best: Option<SelectionResult> = None;
         for i in 0..self.relays.len() {
-            let sol = self.network(i, power).max_sum_rate(protocol)?;
+            let sol = ctx.sum_rate(&self.network(i, power), protocol)?;
             let better = match &best {
                 None => true,
                 Some(b) => sol.sum_rate > b.solution.sum_rate,

@@ -43,10 +43,12 @@
 mod error;
 mod problem;
 mod simplex;
+pub mod stats;
 
 pub use error::LpError;
 pub use problem::{Problem, Relation, Sense};
 pub use simplex::{Solution, Workspace};
+pub use stats::LpStats;
 
 #[cfg(test)]
 mod tests {

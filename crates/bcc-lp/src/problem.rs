@@ -35,12 +35,18 @@ pub(crate) struct Row {
 /// Build with [`Problem::maximize`] / [`Problem::minimize`], add constraint
 /// rows with [`Problem::subject_to`], then call [`Problem::solve`]. The
 /// builder is non-consuming, so parameter sweeps can clone a template
-/// problem and append scenario-specific rows.
+/// problem and append scenario-specific rows. Batch drivers that rebuild a
+/// same-shaped program per grid point should keep one `Problem` alive and
+/// [`Problem::reset`] it instead: row buffers are pooled, so steady-state
+/// rebuilding performs no heap allocation.
 #[derive(Debug, Clone)]
 pub struct Problem {
     sense: Sense,
     objective: Vec<f64>,
     rows: Vec<Row>,
+    /// Retired row buffers recycled by [`Problem::reset`] +
+    /// [`Problem::subject_to`].
+    spare: Vec<Row>,
 }
 
 impl Problem {
@@ -77,7 +83,33 @@ impl Problem {
             sense,
             objective: objective.to_vec(),
             rows: Vec::new(),
+            spare: Vec::new(),
         }
+    }
+
+    /// Clears the program back to an empty constraint system with a new
+    /// sense and objective, **recycling** the row buffers — the zero-
+    /// allocation rebuild path for batch drivers that solve one same-shaped
+    /// program per grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite values (same
+    /// contract as [`Problem::new`]).
+    pub fn reset(&mut self, sense: Sense, objective: &[f64]) -> &mut Self {
+        assert!(
+            !objective.is_empty(),
+            "objective must have at least one variable"
+        );
+        assert!(
+            objective.iter().all(|c| c.is_finite()),
+            "objective coefficients must be finite"
+        );
+        self.sense = sense;
+        self.objective.clear();
+        self.objective.extend_from_slice(objective);
+        self.spare.append(&mut self.rows);
+        self
     }
 
     /// Number of decision variables.
@@ -110,11 +142,16 @@ impl Problem {
             coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
             "constraint entries must be finite"
         );
-        self.rows.push(Row {
-            coeffs: coeffs.to_vec(),
+        let mut row = self.spare.pop().unwrap_or(Row {
+            coeffs: Vec::new(),
             rel,
             rhs,
         });
+        row.coeffs.clear();
+        row.coeffs.extend_from_slice(coeffs);
+        row.rel = rel;
+        row.rhs = rhs;
+        self.rows.push(row);
         self
     }
 
@@ -140,17 +177,42 @@ impl Problem {
     ///
     /// Same as [`Problem::solve`].
     pub fn solve_with(&self, ws: &mut Workspace) -> Result<Solution, LpError> {
-        // Internally everything is a maximization; flip the sign for
-        // minimization and flip the optimum back afterwards.
-        let obj: Vec<f64> = match self.sense {
-            Sense::Maximize => self.objective.clone(),
-            Sense::Minimize => self.objective.iter().map(|c| -c).collect(),
-        };
-        let mut sol = simplex::solve_max(&obj, &self.rows, ws)?;
-        if self.sense == Sense::Minimize {
-            sol.objective = -sol.objective;
-        }
-        Ok(sol)
+        let mut out = Solution::default();
+        simplex::solve_sense_into(self.sense, &self.objective, &self.rows, ws, false, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves the program with the workspace's **warm-start fast path**:
+    /// if a recent solve through `ws` had the same shape (variable count
+    /// and per-row relation pattern) and its optimal basis is still — and
+    /// strictly — optimal for this data, the solve skips the simplex
+    /// entirely and prices that basis instead.
+    ///
+    /// The result is always identical to [`Problem::solve_with`]: warm
+    /// acceptance is restricted to strictly nondegenerate optima, where
+    /// the optimal basis is unique, so the fast path cannot steer the
+    /// answer (see the `simplex` module docs for the argument). This is
+    /// what makes it safe inside batch drivers whose work-stealing
+    /// scheduler hands each worker a nondeterministic slice of the grid.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_warm_with(&self, ws: &mut Workspace) -> Result<Solution, LpError> {
+        let mut out = Solution::default();
+        self.solve_warm_into(ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Problem::solve_warm_with`] writing into a caller-owned
+    /// [`Solution`], so steady-state batch loops allocate nothing per
+    /// solve.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_warm_into(&self, ws: &mut Workspace, out: &mut Solution) -> Result<(), LpError> {
+        simplex::solve_sense_into(self.sense, &self.objective, &self.rows, ws, true, out)
     }
 }
 

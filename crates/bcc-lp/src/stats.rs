@@ -1,0 +1,124 @@
+//! Global, lock-free solver counters.
+//!
+//! The batch drivers in this workspace fan LP solves across worker
+//! threads whose private [`Workspace`](crate::Workspace)s are created and
+//! dropped inside the parallel region, so per-workspace counters would be
+//! invisible to the caller. Instead the solver increments a small set of
+//! process-wide relaxed atomics — **once per solve**, not per pivot, so
+//! the cost is a few nanoseconds against a microsecond-scale solve — and
+//! diagnostics like `bench-report` read deltas around a workload:
+//!
+//! ```
+//! use bcc_lp::{Problem, Relation};
+//!
+//! let before = bcc_lp::stats::snapshot();
+//! let mut p = Problem::maximize(&[1.0]);
+//! p.subject_to(&[1.0], Relation::Le, 2.0);
+//! p.solve().unwrap();
+//! let delta = bcc_lp::stats::snapshot().delta_since(&before);
+//! assert_eq!(delta.solves, 1);
+//! ```
+//!
+//! The counters are monotone over the process lifetime (no reset — a
+//! racy reset would corrupt concurrent deltas); consumers subtract
+//! snapshots. Relaxed ordering means a snapshot taken *while* solves are
+//! in flight on other threads may miss their in-progress increments;
+//! deltas around a completed workload on the calling thread are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static SOLVES: AtomicU64 = AtomicU64::new(0);
+static PIVOTS: AtomicU64 = AtomicU64::new(0);
+static WARM_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+static WARM_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide solver counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LpStats {
+    /// Completed solves (successful or not), warm and cold.
+    pub solves: u64,
+    /// Total simplex pivots across all solves (warm hits contribute 0).
+    pub pivots: u64,
+    /// Warm-start candidates evaluated (a matching basis existed).
+    pub warm_attempts: u64,
+    /// Warm-start candidates accepted — the solve skipped the simplex
+    /// entirely and priced the previous optimal basis instead.
+    pub warm_hits: u64,
+}
+
+impl LpStats {
+    /// Counter increments since `earlier` (wrapping, so stale snapshots
+    /// cannot panic).
+    pub fn delta_since(&self, earlier: &LpStats) -> LpStats {
+        LpStats {
+            solves: self.solves.wrapping_sub(earlier.solves),
+            pivots: self.pivots.wrapping_sub(earlier.pivots),
+            warm_attempts: self.warm_attempts.wrapping_sub(earlier.warm_attempts),
+            warm_hits: self.warm_hits.wrapping_sub(earlier.warm_hits),
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> LpStats {
+    LpStats {
+        solves: SOLVES.load(Relaxed),
+        pivots: PIVOTS.load(Relaxed),
+        warm_attempts: WARM_ATTEMPTS.load(Relaxed),
+        warm_hits: WARM_HITS.load(Relaxed),
+    }
+}
+
+/// Records one completed solve (called once per solve by the simplex).
+pub(crate) fn record_solve(pivots: usize, warm_attempted: bool, warm_hit: bool) {
+    SOLVES.fetch_add(1, Relaxed);
+    if pivots > 0 {
+        PIVOTS.fetch_add(pivots as u64, Relaxed);
+    }
+    if warm_attempted {
+        WARM_ATTEMPTS.fetch_add(1, Relaxed);
+    }
+    if warm_hit {
+        WARM_HITS.fetch_add(1, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_wrapping_and_componentwise() {
+        let a = LpStats {
+            solves: 5,
+            pivots: 100,
+            warm_attempts: 2,
+            warm_hits: 1,
+        };
+        let b = LpStats {
+            solves: 9,
+            pivots: 130,
+            warm_attempts: 6,
+            warm_hits: 2,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.solves, 4);
+        assert_eq!(d.pivots, 30);
+        assert_eq!(d.warm_attempts, 4);
+        assert_eq!(d.warm_hits, 1);
+        // Wrapping: a stale "later" snapshot must not panic.
+        let _ = a.delta_since(&b);
+    }
+
+    #[test]
+    fn counters_move_on_solves() {
+        use crate::{Problem, Relation};
+        let before = snapshot();
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.subject_to(&[1.0, 1.0], Relation::Le, 1.0);
+        p.solve().unwrap();
+        let d = snapshot().delta_since(&before);
+        assert!(d.solves >= 1);
+        assert!(d.pivots >= 1);
+    }
+}

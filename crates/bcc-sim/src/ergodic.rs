@@ -78,7 +78,8 @@ mod tests {
             FadingModel::Rayleigh,
             &cfg,
         );
-        let expected = ergodic_rayleigh_capacity(net.power() * net.state().gab());
+        let expected =
+            ergodic_rayleigh_capacity(net.power().expect("symmetric network") * net.state().gab());
         let ci = est.confidence(0.999);
         assert!(
             ci.contains(expected),

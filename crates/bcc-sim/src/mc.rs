@@ -96,15 +96,36 @@ impl McConfig {
     where
         F: Fn(&mut StdRng, usize) -> f64 + Sync,
     {
-        par::par_map_range(
-            par::thread_count(),
-            self.trials,
-            || (),
-            |(), i| {
-                let mut rng = self.trial_rng(i);
-                trial(&mut rng, i)
-            },
-        )
+        self.samples_par_with(|| (), |(), rng, i| trial(rng, i))
+    }
+
+    /// [`McConfig::run_par`] with **per-worker scratch state** built by
+    /// `init` (an LP [`SolveCtx`](bcc_core::kernel::SolveCtx), a decoder
+    /// buffer, …) handed to every trial that worker runs — the
+    /// zero-allocation-per-trial form of the Monte-Carlo fan-out. Trial
+    /// values must not depend on the state's history (the state is scratch
+    /// memory, not an accumulator), which keeps results bit-identical at
+    /// every worker count.
+    pub fn run_par_with<S, I, F>(&self, init: I, trial: F) -> McEstimate
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &mut StdRng, usize) -> f64 + Sync,
+    {
+        let stats: RunningStats = self.samples_par_with(init, trial).into_iter().collect();
+        McEstimate { stats }
+    }
+
+    /// The raw per-trial values of [`McConfig::run_par_with`], in trial
+    /// order.
+    pub fn samples_par_with<S, I, F>(&self, init: I, trial: F) -> Vec<f64>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &mut StdRng, usize) -> f64 + Sync,
+    {
+        par::par_map_range(par::thread_count(), self.trials, init, |state, i| {
+            let mut rng = self.trial_rng(i);
+            trial(state, &mut rng, i)
+        })
     }
 
     /// The deterministic RNG stream of trial `i` — the workspace-wide

@@ -23,14 +23,14 @@ pub fn ergodic_selection_rate(
     fading: FadingModel,
     cfg: &McConfig,
 ) -> McEstimate {
-    cfg.run_par(|rng, _| {
+    cfg.run_par_with(bcc_core::kernel::SolveCtx::new, |ctx, rng, _| {
         let direct = fading.sample_power(rng);
         let fades: Vec<(f64, f64)> = (0..candidates.len())
             .map(|_| (fading.sample_power(rng), fading.sample_power(rng)))
             .collect();
         let faded = candidates.faded(direct, &fades);
         faded
-            .select(protocol, power)
+            .select_with(protocol, power, ctx)
             .map(|s| s.solution.sum_rate)
             .unwrap_or(0.0)
     })
@@ -46,15 +46,13 @@ pub fn ergodic_fixed_relay_rate(
     fading: FadingModel,
     cfg: &McConfig,
 ) -> McEstimate {
-    cfg.run_par(|rng, _| {
+    cfg.run_par_with(bcc_core::kernel::SolveCtx::new, |ctx, rng, _| {
         let direct = fading.sample_power(rng);
         let fades: Vec<(f64, f64)> = (0..candidates.len())
             .map(|_| (fading.sample_power(rng), fading.sample_power(rng)))
             .collect();
         let faded = candidates.faded(direct, &fades);
-        faded
-            .network(index, power)
-            .max_sum_rate(protocol)
+        ctx.sum_rate(&faded.network(index, power), protocol)
             .map(|s| s.sum_rate)
             .unwrap_or(0.0)
     })
@@ -68,14 +66,14 @@ pub fn selection_rate_samples(
     fading: FadingModel,
     cfg: &McConfig,
 ) -> Vec<f64> {
-    cfg.samples_par(|rng, _| {
+    cfg.samples_par_with(bcc_core::kernel::SolveCtx::new, |ctx, rng, _| {
         let direct = fading.sample_power(rng);
         let fades: Vec<(f64, f64)> = (0..candidates.len())
             .map(|_| (fading.sample_power(rng), fading.sample_power(rng)))
             .collect();
         let faded = candidates.faded(direct, &fades);
         faded
-            .select(protocol, power)
+            .select_with(protocol, power, ctx)
             .map(|s| s.solution.sum_rate)
             .unwrap_or(0.0)
     })

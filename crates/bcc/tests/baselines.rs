@@ -17,10 +17,12 @@ fn fig4(p_db: f64) -> GaussianNetwork {
 fn coded_relaying_always_beats_naive_forwarding() {
     for p_db in [-10.0, 0.0, 10.0, 20.0, 30.0] {
         let net = fig4(p_db);
-        let naive_sr =
-            optimizer::max_sum_rate(&naive::capacity_constraints(net.power(), &net.state()))
-                .unwrap()
-                .objective;
+        let naive_sr = optimizer::max_sum_rate(&naive::capacity_constraints(
+            net.power().expect("symmetric network"),
+            &net.state(),
+        ))
+        .unwrap()
+        .objective;
         let coded = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
         assert!(
             coded >= naive_sr - 1e-9,
@@ -44,9 +46,12 @@ fn df_af_crossover_is_in_the_high_snr_regime() {
             let net = fig4(p);
             (
                 p,
-                optimizer::max_sum_rate(&mabc::capacity_constraints(net.power(), &net.state()))
-                    .unwrap()
-                    .objective,
+                optimizer::max_sum_rate(&mabc::capacity_constraints(
+                    net.power().expect("symmetric network"),
+                    &net.state(),
+                ))
+                .unwrap()
+                .objective,
             )
         })
         .collect();
@@ -56,7 +61,8 @@ fn df_af_crossover_is_in_the_high_snr_regime() {
             let net = fig4(p);
             (
                 p,
-                af::achievable_rates(net.power(), &net.state()).sum_rate(),
+                af::achievable_rates(net.power().expect("symmetric network"), &net.state())
+                    .sum_rate(),
             )
         })
         .collect();
@@ -76,7 +82,7 @@ fn df_af_crossover_is_in_the_high_snr_regime() {
 fn af_respects_every_hop_capacity() {
     for p_db in [0.0, 10.0, 20.0] {
         let net = fig4(p_db);
-        let r = af::achievable_rates(net.power(), &net.state());
+        let r = af::achievable_rates(net.power().expect("symmetric network"), &net.state());
         let half = 0.5;
         assert!(r.ra <= half * bcc::info::awgn_capacity(net.snr_ar()) + 1e-9);
         assert!(r.ra <= half * bcc::info::awgn_capacity(net.snr_br()) + 1e-9);
@@ -90,8 +96,10 @@ fn naive_region_embeds_into_mabc_region() {
     // Any naive-feasible (ra, rb, Δ) maps to an MABC-feasible point with
     // merged phases — spot-check across a grid of operating points.
     let net = fig4(10.0);
-    let naive_set = naive::capacity_constraints(net.power(), &net.state());
-    let mabc_set = mabc::capacity_constraints(net.power(), &net.state());
+    let naive_set =
+        naive::capacity_constraints(net.power().expect("symmetric network"), &net.state());
+    let mabc_set =
+        mabc::capacity_constraints(net.power().expect("symmetric network"), &net.state());
     let durations = [0.3, 0.25, 0.25, 0.2];
     let merged = [durations[0] + durations[2], durations[1] + durations[3]];
     for i in 0..12 {

@@ -155,7 +155,10 @@ fn tdbc_dominates_dt_exactly_when_relay_advantaged() {
 fn swapping_terminals_swaps_rates() {
     // The protocols are symmetric in (a ↔ b, G_ar ↔ G_br).
     let net = fig4(10.0);
-    let swapped = GaussianNetwork::new(net.power(), net.state().swapped());
+    let swapped = GaussianNetwork::new(
+        net.power().expect("symmetric network"),
+        net.state().swapped(),
+    );
     for proto in Protocol::ALL {
         let orig = net.max_sum_rate(proto).unwrap();
         let swap = swapped.max_sum_rate(proto).unwrap();

@@ -30,7 +30,8 @@ fn ergodic_dt_agrees_with_quadrature() {
         FadingModel::Rayleigh,
         &McConfig::new(30_000, 1),
     );
-    let exact = ergodic_rayleigh_capacity(net.power() * net.state().gab());
+    let exact =
+        ergodic_rayleigh_capacity(net.power().expect("symmetric network") * net.state().gab());
     assert!(
         est.confidence(0.999).contains(exact),
         "MC {} vs quadrature {exact}",

@@ -44,7 +44,7 @@ proptest! {
 
     #[test]
     fn sum_rate_monotone_in_power(net in random_network(), boost in 0.1f64..10.0) {
-        let bigger = net.with_power(net.power() * (1.0 + boost));
+        let bigger = net.with_power(net.power().expect("symmetric network") * (1.0 + boost));
         for proto in Protocol::ALL {
             let lo = net.max_sum_rate(proto).unwrap().sum_rate;
             let hi = bigger.max_sum_rate(proto).unwrap().sum_rate;
@@ -67,7 +67,7 @@ proptest! {
 
     #[test]
     fn terminal_swap_symmetry(net in random_network()) {
-        let swapped = GaussianNetwork::new(net.power(), net.state().swapped());
+        let swapped = GaussianNetwork::new(net.power().expect("symmetric network"), net.state().swapped());
         for proto in Protocol::ALL {
             let a = net.max_sum_rate(proto).unwrap().sum_rate;
             let b = swapped.max_sum_rate(proto).unwrap().sum_rate;
