@@ -2,14 +2,17 @@
 //! parallel modes and writes the machine-readable `BENCH_evaluator.json`
 //! (schema 2) that CI uploads and trends.
 //!
-//! Three workloads cover the engine's hot paths at production scale:
+//! Four workloads cover the engine's hot paths at production scale:
 //!
 //! * **`fig3_sweep`** — the paper's Fig. 3 symmetric-gain sweep on a
 //!   60 001-point grid (every protocol, ~240k solves);
 //! * **`crossover_search`** — the E-X1 power sweep (17 501 points) plus the
 //!   bisection locating the ≈13.7 dB MABC/TDBC crossover;
 //! * **`outage_10k`** — a 10 000-trial Rayleigh outage study at the
-//!   Fig. 4 operating point (~40k solves on faded networks).
+//!   Fig. 4 operating point (~40k solves on faded networks);
+//! * **`multipair_k3`** — a 4 001-point, three-pair shared-relay sweep
+//!   (sum-rate *and* max–min per pair × protocol, ~96k solves through
+//!   the `point × pair × protocol` fan-out).
 //!
 //! Serial numbers pin the evaluator to one worker
 //! (`Scenario::threads(1)`); parallel numbers use the ambient policy
@@ -134,13 +137,19 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 
 /// Runs `f` once, returning the solver-mix counter deltas normalised by
 /// `units` (grid points or trials).
+///
+/// Every measured workload below pins itself to one worker
+/// (`Scenario::threads(1)`), which runs inline on this thread — so the
+/// *thread-local* solver counters capture it completely while staying
+/// immune to anything else the process may be doing (the same helper the
+/// in-process gate tests use; see `bcc_lp::stats::scoped`). The
+/// allocation counter has no thread-local twin, but the binary is
+/// single-threaded outside the parallel timing runs.
 fn measure_mix(units: usize, f: impl FnOnce()) -> SolveMix {
-    let lp0 = bcc_lp::stats::snapshot();
-    let k0 = bcc_core::kernel::kernel_hits();
+    let k0 = bcc_core::kernel::kernel_hits_local();
     let a0 = ALLOCS.load(Relaxed);
-    f();
-    let lp = bcc_lp::stats::snapshot().delta_since(&lp0);
-    let kernel_hits = bcc_core::kernel::kernel_hits() - k0;
+    let ((), lp) = bcc_lp::stats::scoped(f);
+    let kernel_hits = bcc_core::kernel::kernel_hits_local() - k0;
     let allocs = ALLOCS.load(Relaxed) - a0;
     SolveMix {
         pivots: lp.pivots,
@@ -167,6 +176,18 @@ fn crossover_scenario() -> Scenario {
 
 fn outage_scenario() -> Scenario {
     Scenario::at(fig4_network(10.0)).rayleigh(10_000, 0xBCC0_0001)
+}
+
+/// The K-pair workload: 4 001 power points × the canonical E-M1 study
+/// pairs (`bcc_bench::multipairstudy::pair_set`, so the gate and the
+/// published study measure the same networks) × every protocol,
+/// sum-rate and max–min per pair (the `point × pair × protocol` fan-out
+/// of `MultiPairEvaluator::sweep`).
+fn multipair_scenario() -> MultiPairScenario {
+    MultiPairScenario::power_sweep_db(
+        &bcc_bench::multipairstudy::pair_set(),
+        (0..=4_000).map(|k| f64::from(k) * 0.005),
+    )
 }
 
 fn time_fig3(parallel_threads: usize) -> Timing {
@@ -286,6 +307,56 @@ fn time_outage(parallel_threads: usize) -> Timing {
     }
 }
 
+fn time_multipair(parallel_threads: usize) -> Timing {
+    let ev = multipair_scenario().build();
+    let points = ev.points().len();
+    let units = points * ev.num_pairs();
+    let serial = multipair_scenario()
+        .threads(1)
+        .build()
+        .sweep()
+        .expect("solvable");
+    let parallel = multipair_scenario()
+        .threads(parallel_threads)
+        .build()
+        .sweep()
+        .expect("solvable");
+    assert_eq!(
+        serial, parallel,
+        "parallel multi-pair sweep must be bit-identical"
+    );
+    // Build the evaluator *outside* the measured closure: constructing a
+    // K-pair grid inherently allocates one pair list per point, but the
+    // gated quantity is the solve loop — the evaluator is reusable, so a
+    // long-lived service pays construction once.
+    let mut measured = multipair_scenario().threads(1).build();
+    let mix = measure_mix(units, || {
+        measured.sweep().expect("solvable");
+    });
+    let serial_ms = best_ms(REPS, || {
+        multipair_scenario()
+            .threads(1)
+            .build()
+            .sweep()
+            .expect("solvable");
+    });
+    let parallel_ms = best_ms(REPS, || {
+        multipair_scenario()
+            .threads(parallel_threads)
+            .build()
+            .sweep()
+            .expect("solvable");
+    });
+    Timing {
+        name: "multipair_k3",
+        points,
+        trials: 0,
+        serial_ms,
+        parallel_ms,
+        mix,
+    }
+}
+
 fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
     let mut out = String::from("{\n  \"schema\": 2,\n");
     out.push_str(&format!(
@@ -366,6 +437,7 @@ fn main() {
         time_fig3(parallel),
         time_crossover(parallel),
         time_outage(parallel),
+        time_multipair(parallel),
     ];
     for t in &timings {
         println!(
@@ -428,6 +500,34 @@ fn main() {
             );
         } else {
             println!("check ok: warm_hits across scenarios = {warm_total}");
+        }
+        // The K-pair sweep hot loop must stay allocation-free per
+        // pair-point (warm-up and result assembly amortise to noise on
+        // this grid; 0.05 is far below one allocation per point).
+        let multipair = &timings[3];
+        if multipair.mix.allocs_per_point > 0.05 {
+            failures.push(format!(
+                "multipair_k3 allocs_per_point = {:.3}: the K-pair hot loop \
+                 allocates per pair-point (budget 0.05)",
+                multipair.mix.allocs_per_point
+            ));
+        } else {
+            println!(
+                "check ok: multipair_k3 allocs_per_point = {:.3}",
+                multipair.mix.allocs_per_point
+            );
+        }
+        if multipair.mix.kernel_hits == 0 {
+            failures.push(
+                "multipair_k3 kernel_hits == 0: the closed-form kernel never fired \
+                 on the K-pair sweep (silently disabled?)"
+                    .to_string(),
+            );
+        } else {
+            println!(
+                "check ok: multipair_k3 kernel_hits = {}",
+                multipair.mix.kernel_hits
+            );
         }
         if !failures.is_empty() {
             for msg in &failures {

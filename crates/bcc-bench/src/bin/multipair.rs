@@ -1,0 +1,152 @@
+//! multipair — E-M1/E-M2: the `K`-pair shared-relay study (after Kim,
+//! Smida & Devroye, "Achievable rate regions and outer bounds for a
+//! multi-pair bi-directional relay network").
+//!
+//! * **E-M1 (scheduling sweep)** — for every protocol and both relay
+//!   schedules (equal time-share vs jointly optimised), the network sum
+//!   rate and the fair (max–min per-user) rate of the canonical
+//!   three-pair set over a 0–20 dB SNR grid. Headline shapes: joint
+//!   scheduling dominates time-sharing everywhere, and the gap is widest
+//!   where the pairs are most dissimilar (low SNR, where the
+//!   direct-advantaged pair starves under TDMA).
+//! * **E-M2 (multi-pair outage)** — Rayleigh ε-outage schedule sum rates
+//!   on the same grid, each pair fading through its own decorrelated
+//!   stream.
+//!
+//! Both studies share their configuration with the workspace golden
+//! tests via [`bcc_bench::multipairstudy`]. The CSV written to
+//! `results/MULTIPAIR_study.csv` is long-format:
+//! `power_db, protocol, schedule, sum_rate, fair_rate, outage_rate_eps10`.
+//!
+//! Usage:
+//!
+//! ```text
+//! multipair [--trials N] [--out PATH]
+//! ```
+//!
+//! `--trials` scales the outage study (default 2000; the CI smoke leg
+//! uses 200); `--out` defaults to `results/MULTIPAIR_study.csv`.
+
+use bcc_bench::{multipairstudy, results_dir};
+use bcc_core::prelude::*;
+use bcc_plot::{csv, Chart, Series, Table};
+use std::fs::File;
+use std::path::PathBuf;
+
+fn main() {
+    let mut trials = multipairstudy::TRIALS;
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                trials = args
+                    .next()
+                    .expect("--trials needs a count")
+                    .parse()
+                    .expect("--trials takes an integer");
+                assert!(trials > 0, "--trials must be positive");
+            }
+            "--out" => out_path = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            other => {
+                eprintln!("usage: multipair [--trials N] [--out PATH]");
+                panic!("unknown argument {other:?}");
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| results_dir().join("MULTIPAIR_study.csv"));
+
+    println!(
+        "== E-M1: K = {} pairs, schedules on the {}-point {}-{} dB grid ==\n",
+        multipairstudy::K,
+        multipairstudy::SNR_GRID_DB.len(),
+        multipairstudy::SNR_GRID_DB[0],
+        multipairstudy::SNR_GRID_DB[multipairstudy::SNR_GRID_DB.len() - 1]
+    );
+    let sweep = multipairstudy::sweep_scenario()
+        .build()
+        .sweep()
+        .expect("multi-pair sweep is solvable");
+    let outage = multipairstudy::outage_scenario(trials)
+        .build()
+        .outage()
+        .expect("multi-pair outage runs");
+
+    let mut table = Table::new(vec![
+        "P [dB]".into(),
+        "protocol".into(),
+        "schedule".into(),
+        "sum rate".into(),
+        "fair rate".into(),
+        format!("eps={} outage rate", multipairstudy::EPS),
+    ]);
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "power_db".into(),
+        "protocol".into(),
+        "schedule".into(),
+        "sum_rate".into(),
+        "fair_rate".into(),
+        "outage_rate_eps10".into(),
+    ]];
+    for (i, &p_db) in sweep.xs.iter().enumerate() {
+        for proto in Protocol::ALL {
+            for schedule in SCHEDULES {
+                let sum = sweep.sum_rate(proto, i, schedule);
+                let fair = sweep.fair_rate(proto, i, schedule);
+                let eps_rate =
+                    bcc_num::stats::Ecdf::new(outage.schedule_samples(proto, i, schedule))
+                        .quantile(multipairstudy::EPS);
+                table.row(vec![
+                    format!("{p_db:.0}"),
+                    proto.name().into(),
+                    schedule.to_string(),
+                    format!("{sum:.4}"),
+                    format!("{fair:.4}"),
+                    format!("{eps_rate:.4}"),
+                ]);
+                rows.push(vec![
+                    format!("{p_db}"),
+                    proto.name().into(),
+                    schedule.to_string(),
+                    format!("{sum:.12}"),
+                    format!("{fair:.12}"),
+                    format!("{eps_rate:.12}"),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // Joint-vs-TDMA headline chart for HBC (the dominant protocol).
+    let mut chart = Chart::new(64, 16)
+        .title(format!(
+            "E-M1: HBC sum rate, K = {} (joint vs time-share)",
+            multipairstudy::K
+        ))
+        .x_label("power [dB]")
+        .y_label("sum rate [bits/use]");
+    for schedule in SCHEDULES {
+        chart = chart.add(Series::from_points(
+            schedule.to_string(),
+            sweep.sum_rate_series(Protocol::Hbc, schedule),
+        ));
+    }
+    println!("{}", chart.render());
+
+    // Shape claims (also pinned by the golden tests).
+    for proto in Protocol::ALL {
+        for i in 0..sweep.len() {
+            assert!(
+                sweep.sum_rate(proto, i, Schedule::Joint)
+                    >= sweep.sum_rate(proto, i, Schedule::TimeShare) - 1e-12,
+                "{proto}: joint must dominate time-share"
+            );
+        }
+    }
+
+    csv::write_rows(File::create(&out_path).expect("create CSV"), &rows).expect("write CSV");
+    println!(
+        "E-M2 outage used {trials} trials/point; CSV written to {}",
+        out_path.display()
+    );
+}

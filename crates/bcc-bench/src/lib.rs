@@ -11,6 +11,7 @@
 //! | `ablation` | E-A1, E-A2 | side-information & LP-vs-grid ablations |
 //! | `validate` | E-V1, E-V2 | packet/symbol/fading validations |
 //! | `dmt` | E-D1, E-D2 | finite-SNR DMT sweep & optimum power allocation |
+//! | `multipair` | E-M1, E-M2 | K-pair shared-relay sum-rate/fairness & outage study |
 //!
 //! This library crate carries the paper's canonical parameter sets and the
 //! output-directory convention so the binaries agree on both.
@@ -112,6 +113,50 @@ pub mod dmtstudy {
             Db::new(0.0),
         ))
         .rayleigh(trials, SEED)
+    }
+}
+
+/// Canonical configuration of the multi-pair shared-relay study
+/// (E-M1/E-M2) — one source of truth shared by the `multipair` binary
+/// and the workspace golden tests, so the pinned shapes and the
+/// published CSV describe the same experiment.
+pub mod multipairstudy {
+    use bcc_channel::ChannelState;
+    use bcc_core::prelude::*;
+
+    /// Number of terminal pairs sharing the relay.
+    pub const K: usize = 3;
+    /// SNR grid of the sweep (common per-node power in dB).
+    pub const SNR_GRID_DB: [f64; 6] = [0.0, 4.0, 8.0, 12.0, 16.0, 20.0];
+    /// Default Monte-Carlo trials per grid point of the outage study
+    /// (the binary's `--trials` overrides it; the CI smoke leg runs a
+    /// reduced count).
+    pub const TRIALS: usize = 2000;
+    /// Master seed of the study.
+    pub const SEED: u64 = 0x3BCC_0001;
+    /// Outage level ε quoted by the study.
+    pub const EPS: f64 = 0.1;
+
+    /// The study's three deliberately heterogeneous pairs at unit power:
+    /// one relay-advantaged (the Fig. 4 gains), one fully symmetric, one
+    /// direct-advantaged (a weak relay) — so the time-share/joint gap
+    /// and the per-pair protocol preferences are all visible in one run.
+    pub fn pair_set() -> PairSet {
+        PairSet::new(vec![
+            GaussianNetwork::from_db(Db::new(0.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0)),
+            GaussianNetwork::new(1.0, ChannelState::new(1.0, 1.0, 1.0)),
+            GaussianNetwork::new(1.0, ChannelState::new(1.0, 0.1, 0.1)),
+        ])
+    }
+
+    /// The deterministic sweep scenario (E-M1).
+    pub fn sweep_scenario() -> MultiPairScenario {
+        MultiPairScenario::power_sweep_db(&pair_set(), SNR_GRID_DB)
+    }
+
+    /// The Rayleigh outage scenario (E-M2) at `trials` trials per point.
+    pub fn outage_scenario(trials: usize) -> MultiPairScenario {
+        sweep_scenario().rayleigh(trials, SEED)
     }
 }
 

@@ -84,6 +84,84 @@ fn fig3_network_constructor_normalisation() {
 }
 
 #[test]
+fn multipair_study_shapes() {
+    // The canonical E-M1 study: joint dominates time-share for every
+    // protocol and point, the gap is strict somewhere (heterogeneous
+    // pairs), and on the fully symmetric middle pair HBC's per-pair sum
+    // dominates MABC/TDBC as always.
+    let sweep = bcc_bench::multipairstudy::sweep_scenario()
+        .build()
+        .sweep()
+        .unwrap();
+    assert_eq!(sweep.num_pairs(), bcc_bench::multipairstudy::K);
+    let mut strict_gap = false;
+    for proto in Protocol::ALL {
+        for i in 0..sweep.len() {
+            let joint = sweep.sum_rate(proto, i, Schedule::Joint);
+            let shared = sweep.sum_rate(proto, i, Schedule::TimeShare);
+            assert!(joint >= shared - 1e-12, "{proto} point {i}");
+            strict_gap |= joint > shared + 1e-6;
+        }
+    }
+    for i in 0..sweep.len() {
+        let h = sweep.solution(Protocol::Hbc, i, 1).sum.sum_rate;
+        let m = sweep.solution(Protocol::Mabc, i, 1).sum.sum_rate;
+        assert!(h >= m - 1e-8, "HBC must dominate MABC on pair 1");
+    }
+    assert!(
+        strict_gap,
+        "heterogeneous pairs must open a joint-vs-TDMA gap"
+    );
+}
+
+/// The bench gate's solver-mix assertions (`kernel_hits`, `warm_hits`,
+/// zero-allocation hot loop) are reproducible **in-process** on
+/// miniature versions of the bench-report scenarios, without
+/// `--test-threads=1`: the thread-local counters (`bcc_lp::stats::scoped`,
+/// `kernel_hits_local`) only see this test's own solves even while the
+/// rest of the suite hammers the solver from sibling test threads.
+#[test]
+fn bench_gate_counters_observable_in_process() {
+    // Miniature fig3 sweep: the closed-form kernel must carry
+    // DT/MABC/TDBC (3 of 4 protocols × 201 points), pivots come from
+    // HBC's simplex solves only.
+    let k0 = bcc_core::kernel::kernel_hits_local();
+    let (_, lp) = bcc_lp::stats::scoped(|| {
+        Scenario::symmetric_gain_sweep_db(15.0, 0.0, (0..=200).map(|k| f64::from(k) * 0.15))
+            .threads(1)
+            .build()
+            .sweep()
+            .unwrap()
+    });
+    let kernel = bcc_core::kernel::kernel_hits_local() - k0;
+    assert_eq!(
+        kernel,
+        3 * 201,
+        "kernel must serve the two-phase + TDBC solves"
+    );
+    assert_eq!(lp.solves, 201, "one simplex solve per point (HBC)");
+    assert!(lp.pivots > 0);
+
+    // Miniature crossover sweep: asymmetric gains keep HBC's optima
+    // nondegenerate, so the warm-start path must fire.
+    let (_, lp) = bcc_lp::stats::scoped(|| {
+        Scenario::power_sweep_db(
+            fig4_network(0.0),
+            (0..=300).map(|k| -5.0 + f64::from(k) * 0.05),
+        )
+        .threads(1)
+        .build()
+        .sweep()
+        .unwrap()
+    });
+    assert!(
+        lp.warm_hits > 0,
+        "warm-start path never fired on the crossover mini-sweep: {lp:?}"
+    );
+    assert!(lp.warm_attempts >= lp.warm_hits);
+}
+
+#[test]
 fn plot_bridge_round_trips_fig3_series() {
     // The binaries plot through sweep_series(); its output must agree with
     // the typed result it was derived from.

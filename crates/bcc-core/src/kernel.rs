@@ -45,9 +45,35 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 /// deltas of both to report the kernel-vs-simplex mix).
 static KERNEL_HITS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Calling-thread twin of [`KERNEL_HITS`] (see [`kernel_hits_local`]).
+    static KERNEL_HITS_LOCAL: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Total solves served by the closed-form kernel since process start.
 pub fn kernel_hits() -> u64 {
     KERNEL_HITS.load(Relaxed)
+}
+
+/// Kernel solves performed **on the calling thread** since it started —
+/// the race-free companion of [`kernel_hits`] for in-process assertions.
+///
+/// The global counter is process-wide, so a delta taken around a workload
+/// in one `cargo test` thread also counts kernel hits from concurrently
+/// running tests. A delta of this thread-local counter counts only the
+/// calling thread's own solves; pin the workload to one worker
+/// (`Scenario::threads(1)` — the serial path runs inline on the caller)
+/// for complete capture. See [`bcc_lp::stats::scoped`] for the matching
+/// LP-side helper.
+pub fn kernel_hits_local() -> u64 {
+    KERNEL_HITS_LOCAL.with(std::cell::Cell::get)
+}
+
+/// Records one kernel-served solve on both the global and the
+/// calling-thread counter.
+fn record_kernel_hit() {
+    KERNEL_HITS.fetch_add(1, Relaxed);
+    KERNEL_HITS_LOCAL.with(|c| c.set(c.get() + 1));
 }
 
 /// Upper bound on candidate Δs any closed form enumerates.
@@ -257,7 +283,7 @@ pub fn max_sum_rate_from_caps(caps: &LinkCaps, protocol: Protocol) -> Option<Sum
         Protocol::Tdbc => tdbc_sum_rate_from_caps(caps),
         Protocol::Hbc => return None,
     };
-    KERNEL_HITS.fetch_add(1, Relaxed);
+    record_kernel_hit();
     Some(sol)
 }
 
@@ -367,7 +393,7 @@ pub fn max_min_rate_from_caps(caps: &LinkCaps, protocol: Protocol) -> Option<Sch
         }
         Protocol::Tdbc | Protocol::Hbc => return None,
     };
-    KERNEL_HITS.fetch_add(1, Relaxed);
+    record_kernel_hit();
     Some(pt)
 }
 
@@ -693,13 +719,23 @@ impl SolveCtx {
         }
     }
 
-    /// The ε-outage allocation objective of one fade draw: twice the
-    /// max–min rate (equal-rate sum) of `protocol` at `net`, with a deep-
-    /// fade LP failure counting as rate 0 (the Monte-Carlo convention).
-    pub fn equal_rate_sum(&mut self, net: &GaussianNetwork, protocol: Protocol) -> f64 {
+    /// Optimal achievable equal-rate (max–min) operating point of
+    /// `protocol` at `net` — closed-form kernel for the two-phase
+    /// protocols, warm-started zero-allocation simplex otherwise. The
+    /// multi-pair fair-scheduling aggregates are assembled from these
+    /// per-pair solves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (not expected for valid inputs).
+    pub fn max_min_rate(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+    ) -> Result<SchedulePoint, CoreError> {
         let caps = self.link_caps(net);
         if let Some(pt) = max_min_rate_from_caps(&caps, protocol) {
-            return 2.0 * pt.objective;
+            return Ok(pt);
         }
         let SolveCtx {
             ws,
@@ -713,6 +749,62 @@ impl SolveCtx {
         buf.begin();
         bounds::inner_constraints_from_caps_into(protocol, &caps, buf.next_set());
         lp_max_min_parts(prob, ws, sol, row, obj, &buf.sets()[0])
+    }
+
+    /// Max–min rate of `(protocol, bound)` — the general form of
+    /// [`SolveCtx::max_min_rate`]: outer bounds can be set *families*
+    /// (HBC's ρ-family), maximised over members exactly like
+    /// [`SolveCtx::sum_rate_for`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures.
+    pub fn max_min_for(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+        bound: Bound,
+    ) -> Result<SchedulePoint, CoreError> {
+        if bound == Bound::Inner {
+            return self.max_min_rate(net, protocol);
+        }
+        let SolveCtx {
+            ws,
+            buf,
+            prob,
+            sol,
+            row,
+            obj,
+            ..
+        } = self;
+        let sets =
+            bounds::constraint_sets_split_into(protocol, bound, &net.powers(), &net.state(), buf);
+        let mut best: Option<SchedulePoint> = None;
+        let mut infeasible: Option<CoreError> = None;
+        for set in sets {
+            let pt = match lp_max_min_parts(prob, ws, sol, row, obj, set) {
+                Ok(pt) => pt,
+                Err(e) if e.is_infeasible() => {
+                    infeasible = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if best.as_ref().is_none_or(|b| pt.objective > b.objective) {
+                best = Some(pt);
+            }
+        }
+        match best {
+            Some(pt) => Ok(pt),
+            None => Err(infeasible.expect("constraint families are non-empty")),
+        }
+    }
+
+    /// The ε-outage allocation objective of one fade draw: twice the
+    /// max–min rate (equal-rate sum) of `protocol` at `net`, with a deep-
+    /// fade LP failure counting as rate 0 (the Monte-Carlo convention).
+    pub fn equal_rate_sum(&mut self, net: &GaussianNetwork, protocol: Protocol) -> f64 {
+        self.max_min_rate(net, protocol)
             .map(|pt| 2.0 * pt.objective)
             .unwrap_or(0.0)
     }

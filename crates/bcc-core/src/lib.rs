@@ -53,6 +53,7 @@ pub mod dmt;
 pub mod error;
 pub mod gaussian;
 pub mod kernel;
+pub mod multipair;
 pub mod optimizer;
 pub mod protocol;
 pub mod region;
@@ -64,6 +65,10 @@ pub use dmt::{Allocation, AllocationResult, DmtResult};
 pub use error::CoreError;
 pub use gaussian::GaussianNetwork;
 pub use kernel::SolveCtx;
+pub use multipair::{
+    MultiPairEvaluator, MultiPairOutage, MultiPairResult, MultiPairScenario, PairSet, PairSolution,
+    Schedule,
+};
 pub use protocol::{Bound, Protocol, ProtocolMap};
 pub use region::{RatePoint, RateRegion};
 pub use scenario::{Evaluator, Scenario};
@@ -75,6 +80,10 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::gaussian::{GaussianNetwork, SumRateSolution};
     pub use crate::kernel::SolveCtx;
+    pub use crate::multipair::{
+        MultiPairEvaluator, MultiPairOutage, MultiPairResult, MultiPairScenario, PairSet,
+        PairSolution, Schedule, SCHEDULES,
+    };
     pub use crate::protocol::{Bound, Protocol, ProtocolMap};
     pub use crate::region::{RatePoint, RateRegion};
     pub use crate::scenario::{

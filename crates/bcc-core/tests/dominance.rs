@@ -1,0 +1,205 @@
+//! Protocol- and schedule-dominance property tests.
+//!
+//! Two families of ordering facts hold structurally and were previously
+//! only spot-checked in the `lib.rs` doctest:
+//!
+//! * **Protocol dominance** — HBC's four-phase schedule subsumes MABC
+//!   (`Δ₁ = Δ₂ = 0`) and TDBC (`Δ₃ = 0`), so its achievable sum rate and
+//!   max–min rate dominate both at *every* channel state and power
+//!   split;
+//! * **Schedule dominance** — the jointly optimised multi-pair schedule
+//!   contains the equal-share point, so joint sum and fair rates
+//!   dominate time-sharing for every `K`.
+//!
+//! The multi-pair closed forms (`max_k S_k`, the harmonic fair rate —
+//! see the `bcc_core::multipair` module docs) are additionally pinned
+//! against an **explicitly assembled joint LP** over all `K` pairs'
+//! variables, built directly on `bcc_lp` — the oracle the decoupling
+//! theorem claims to shortcut.
+
+use bcc_channel::{ChannelState, PowerSplit};
+use bcc_core::kernel::SolveCtx;
+use bcc_core::prelude::*;
+use bcc_lp::{Problem, Relation};
+use proptest::prelude::*;
+
+fn random_net(p: (f64, f64, f64), g: (f64, f64, f64)) -> GaussianNetwork {
+    GaussianNetwork::with_powers(
+        PowerSplit::new(p.0, p.1, p.2),
+        ChannelState::new(g.0, g.1, g.2),
+    )
+}
+
+/// Joint `K`-pair sum-rate LP: variables `(R_a^k, R_b^k, Δ_{k,1..L_k})_k`
+/// (plus a trailing `t` when `fair`), every pair's inner-bound rows, one
+/// shared duration budget `Σ_{k,ℓ} Δ_{k,ℓ} = 1`. Returns the optimal
+/// objective — `Σ_k (R_a^k + R_b^k)`, or the common per-user rate `t`.
+fn joint_lp(pairs: &PairSet, protocol: Protocol, fair: bool) -> f64 {
+    let sets: Vec<ConstraintSet> = pairs
+        .iter()
+        .map(|net| {
+            let mut family = net.constraint_sets(protocol, Bound::Inner);
+            assert_eq!(family.len(), 1, "inner bounds are singletons");
+            family.remove(0)
+        })
+        .collect();
+    // Variable layout: per pair, a block (R_a, R_b, Δ_1..Δ_L); then t.
+    let block = 2 + protocol.num_phases();
+    let n = pairs.len() * block + usize::from(fair);
+    let mut objective = vec![0.0; n];
+    if fair {
+        objective[n - 1] = 1.0;
+    } else {
+        for k in 0..pairs.len() {
+            objective[k * block] = 1.0;
+            objective[k * block + 1] = 1.0;
+        }
+    }
+    let mut p = Problem::maximize(&objective);
+    let mut row = vec![0.0; n];
+    for (k, set) in sets.iter().enumerate() {
+        for c in set.constraints() {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            row[k * block] = c.ra;
+            row[k * block + 1] = c.rb;
+            for (l, coef) in c.phase_coefs.iter().enumerate() {
+                row[k * block + 2 + l] = -coef;
+            }
+            p.subject_to(&row, Relation::Le, 0.0);
+        }
+        if fair {
+            // t ≤ R_a^k and t ≤ R_b^k: everyone gets the common rate.
+            for user in 0..2 {
+                row.iter_mut().for_each(|v| *v = 0.0);
+                row[n - 1] = 1.0;
+                row[k * block + user] = -1.0;
+                p.subject_to(&row, Relation::Le, 0.0);
+            }
+        }
+    }
+    // The shared relay serves the pairs orthogonally: one time budget.
+    row.iter_mut().for_each(|v| *v = 0.0);
+    for k in 0..pairs.len() {
+        for l in 0..protocol.num_phases() {
+            row[k * block + 2 + l] = 1.0;
+        }
+    }
+    p.subject_to(&row, Relation::Eq, 1.0);
+    p.solve().expect("joint LP solvable").objective
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hbc_dominates_mabc_and_tdbc_everywhere(
+        p in (0.0f64..40.0, 0.0f64..40.0, 0.0f64..40.0),
+        g in (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0),
+    ) {
+        let net = random_net(p, g);
+        let mut ctx = SolveCtx::new();
+        let hbc_sum = ctx.sum_rate(&net, Protocol::Hbc).unwrap().sum_rate;
+        let hbc_min = ctx.max_min_rate(&net, Protocol::Hbc).unwrap().objective;
+        for proto in [Protocol::Mabc, Protocol::Tdbc] {
+            let sum = ctx.sum_rate(&net, proto).unwrap().sum_rate;
+            prop_assert!(
+                hbc_sum >= sum - 1e-8 * (1.0 + sum),
+                "{proto} sum {sum} beats HBC {hbc_sum} at {net:?}"
+            );
+            let min = ctx.max_min_rate(&net, proto).unwrap().objective;
+            prop_assert!(
+                hbc_min >= min - 1e-8 * (1.0 + min),
+                "{proto} max-min {min} beats HBC {hbc_min} at {net:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_schedule_dominates_time_sharing_for_every_k(
+        k in 1usize..=4,
+        p in (0.1f64..40.0, 0.1f64..40.0, 0.1f64..40.0),
+        g in (0.01f64..10.0, 0.01f64..10.0, 0.01f64..10.0),
+        tilt in 0.1f64..2.0,
+    ) {
+        // K pairs with systematically tilted gains so they are genuinely
+        // heterogeneous (the interesting case for scheduling).
+        let nets: Vec<GaussianNetwork> = (0..k)
+            .map(|i| {
+                let f = tilt.powi(i as i32);
+                random_net(p, (g.0 * f, g.1 / f, g.2 * f))
+            })
+            .collect();
+        let mut ev = Scenario::pairs("network", [(0.0, PairSet::new(nets))]).build();
+        let r = ev.sweep().unwrap();
+        for proto in Protocol::ALL {
+            let joint = r.sum_rate(proto, 0, Schedule::Joint);
+            let shared = r.sum_rate(proto, 0, Schedule::TimeShare);
+            prop_assert!(
+                joint >= shared - 1e-9 * (1.0 + shared),
+                "{proto} K={k}: joint sum {joint} < time-share {shared}"
+            );
+            let joint_fair = r.fair_rate(proto, 0, Schedule::Joint);
+            let shared_fair = r.fair_rate(proto, 0, Schedule::TimeShare);
+            prop_assert!(
+                joint_fair >= shared_fair - 1e-9 * (1.0 + shared_fair),
+                "{proto} K={k}: joint fair {joint_fair} < time-share {shared_fair}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_aggregates_match_joint_lp_oracle(
+        k in 1usize..=3,
+        p in (0.1f64..30.0, 0.1f64..30.0, 0.1f64..30.0),
+        g in (0.01f64..8.0, 0.01f64..8.0, 0.01f64..8.0),
+        tilt in 0.2f64..2.0,
+    ) {
+        let nets: Vec<GaussianNetwork> = (0..k)
+            .map(|i| {
+                let f = tilt.powi(i as i32);
+                random_net((p.0 * f, p.1, p.2 / f), (g.0, g.1 * f, g.2))
+            })
+            .collect();
+        let pairs = PairSet::new(nets);
+        let mut ev = Scenario::pairs("network", [(0.0, pairs.clone())]).build();
+        let r = ev.sweep().unwrap();
+        for proto in Protocol::ALL {
+            let closed = r.sum_rate(proto, 0, Schedule::Joint);
+            let lp = joint_lp(&pairs, proto, false);
+            prop_assert!(
+                (closed - lp).abs() <= 1e-7 * (1.0 + lp.abs()),
+                "{proto} K={k}: closed-form joint sum {closed} vs joint LP {lp}"
+            );
+            let closed_fair = r.fair_rate(proto, 0, Schedule::Joint);
+            let lp_fair = joint_lp(&pairs, proto, true);
+            prop_assert!(
+                (closed_fair - lp_fair).abs() <= 1e-7 * (1.0 + lp_fair.abs()),
+                "{proto} K={k}: closed-form fair {closed_fair} vs joint LP {lp_fair}"
+            );
+        }
+    }
+
+    #[test]
+    fn outer_bounds_dominate_inner_for_multipair_aggregates(
+        p in (0.1f64..30.0, 0.1f64..30.0, 0.1f64..30.0),
+        g in (0.01f64..8.0, 0.01f64..8.0, 0.01f64..8.0),
+    ) {
+        let pairs = PairSet::new(vec![
+            random_net(p, g),
+            random_net((p.1, p.2, p.0), (g.2, g.0, g.1)),
+        ]);
+        let sc = Scenario::pairs("network", [(0.0, pairs)]);
+        let inner = sc.clone().build().sweep().unwrap();
+        let outer = sc.bound(Bound::Outer).build().sweep().unwrap();
+        for proto in Protocol::ALL {
+            for schedule in SCHEDULES {
+                let i = inner.sum_rate(proto, 0, schedule);
+                let o = outer.sum_rate(proto, 0, schedule);
+                prop_assert!(
+                    o >= i - 1e-7 * (1.0 + i),
+                    "{proto} {schedule}: outer {o} < inner {i}"
+                );
+            }
+        }
+    }
+}

@@ -25,12 +25,20 @@
 //! in flight on other threads may miss their in-progress increments;
 //! deltas around a completed workload on the calling thread are exact.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 static SOLVES: AtomicU64 = AtomicU64::new(0);
 static PIVOTS: AtomicU64 = AtomicU64::new(0);
 static WARM_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
 static WARM_HITS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Calling-thread twins of the global counters (see
+    /// [`local_snapshot`]): each solve increments both, so per-thread
+    /// deltas are immune to solves racing in from other threads.
+    static LOCAL: Cell<LpStats> = const { Cell::new(LpStats::zero()) };
+}
 
 /// A snapshot of the process-wide solver counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +55,16 @@ pub struct LpStats {
 }
 
 impl LpStats {
+    /// The all-zero snapshot (`const` so it can seed a thread-local cell).
+    pub const fn zero() -> LpStats {
+        LpStats {
+            solves: 0,
+            pivots: 0,
+            warm_attempts: 0,
+            warm_hits: 0,
+        }
+    }
+
     /// Counter increments since `earlier` (wrapping, so stale snapshots
     /// cannot panic).
     pub fn delta_since(&self, earlier: &LpStats) -> LpStats {
@@ -69,6 +87,42 @@ pub fn snapshot() -> LpStats {
     }
 }
 
+/// Reads the calling thread's private counter values.
+///
+/// The global [`snapshot`] is process-wide, so a delta taken around a
+/// workload also counts solves performed concurrently by *other* threads
+/// — under `cargo test`'s default parallelism, assertions on global
+/// deltas race. This snapshot counts only solves performed **on the
+/// calling thread** since it started, making in-process assertions
+/// exact without `--test-threads=1`. Pin the measured workload to one
+/// worker (e.g. `Scenario::threads(1)` — the serial path of
+/// `bcc_num::par` runs inline on the caller) so every solve lands on
+/// this thread; solves fanned to spawned workers are counted in *their*
+/// thread-locals, not here.
+pub fn local_snapshot() -> LpStats {
+    LOCAL.with(Cell::get)
+}
+
+/// Runs `f` and returns its result together with the calling thread's
+/// counter delta across the call — the race-free scoped form of
+/// [`local_snapshot`] the bench gate's in-process tests are built on:
+///
+/// ```
+/// use bcc_lp::{Problem, Relation};
+///
+/// let (_, delta) = bcc_lp::stats::scoped(|| {
+///     let mut p = Problem::maximize(&[1.0]);
+///     p.subject_to(&[1.0], Relation::Le, 2.0);
+///     p.solve().unwrap()
+/// });
+/// assert_eq!(delta.solves, 1);
+/// ```
+pub fn scoped<R>(f: impl FnOnce() -> R) -> (R, LpStats) {
+    let before = local_snapshot();
+    let result = f();
+    (result, local_snapshot().delta_since(&before))
+}
+
 /// Records one completed solve (called once per solve by the simplex).
 pub(crate) fn record_solve(pivots: usize, warm_attempted: bool, warm_hit: bool) {
     SOLVES.fetch_add(1, Relaxed);
@@ -81,6 +135,15 @@ pub(crate) fn record_solve(pivots: usize, warm_attempted: bool, warm_hit: bool) 
     if warm_hit {
         WARM_HITS.fetch_add(1, Relaxed);
     }
+    LOCAL.with(|c| {
+        let s = c.get();
+        c.set(LpStats {
+            solves: s.solves.wrapping_add(1),
+            pivots: s.pivots.wrapping_add(pivots as u64),
+            warm_attempts: s.warm_attempts.wrapping_add(u64::from(warm_attempted)),
+            warm_hits: s.warm_hits.wrapping_add(u64::from(warm_hit)),
+        });
+    });
 }
 
 #[cfg(test)]
@@ -120,5 +183,49 @@ mod tests {
         let d = snapshot().delta_since(&before);
         assert!(d.solves >= 1);
         assert!(d.pivots >= 1);
+    }
+
+    fn one_solve() {
+        use crate::{Problem, Relation};
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.subject_to(&[1.0, 1.0], Relation::Le, 1.0);
+        p.solve().unwrap();
+    }
+
+    #[test]
+    fn scoped_delta_is_exact_despite_concurrent_solves() {
+        // A noisy peer thread hammers the solver while the scoped
+        // measurement runs; the thread-local delta must still count
+        // exactly the calling thread's own solves.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Relaxed) {
+                    one_solve();
+                }
+            });
+            let ((), d) = scoped(|| {
+                for _ in 0..7 {
+                    one_solve();
+                }
+            });
+            stop.store(true, Relaxed);
+            assert_eq!(d.solves, 7, "scoped counts exactly this thread's solves");
+            assert!(d.pivots >= 7);
+            assert_eq!(d.warm_attempts, 0, "plain Problem::solve never warm-starts");
+        });
+    }
+
+    #[test]
+    fn local_snapshot_ignores_other_threads() {
+        let before = local_snapshot();
+        std::thread::scope(|scope| {
+            scope.spawn(one_solve).join().unwrap();
+        });
+        assert_eq!(
+            local_snapshot().delta_since(&before),
+            LpStats::zero(),
+            "peer-thread solves must not leak into this thread's counters"
+        );
     }
 }

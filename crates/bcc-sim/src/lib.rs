@@ -22,6 +22,10 @@
 //! * [`binning_sim`] — Theorem 3's random binning made operational: the
 //!   relay sends bin indices and the terminal disambiguates with its
 //!   overheard side information (Slepian–Wolf-style threshold exposed).
+//! * [`multipair`] — the `K`-pair outage twin of
+//!   [`bcc_core::multipair`]'s batch evaluator: a serial `McConfig`
+//!   driver with per-pair fade streams, cross-validated against the
+//!   parallel fan-out.
 //! * [`selection`] — relay-selection diversity for the multi-relay
 //!   extension ([`bcc_core::selection`]).
 //!
@@ -35,6 +39,7 @@ pub mod binning_sim;
 pub mod ergodic;
 pub mod event;
 pub mod mc;
+pub mod multipair;
 pub mod outage;
 pub mod packet;
 pub mod selection;

@@ -136,6 +136,106 @@ fn simulator_samples_pinned_across_thread_counts() {
     }
 }
 
+/// The canonical heterogeneous pair set of the multi-pair checks: the
+/// Fig. 4 pair, a fully symmetric pair and a weak-relay pair, truncated
+/// to `k`, all at the common power `p_db`.
+fn multi_pairs(k: usize, p_db: f64) -> PairSet {
+    let p = Db::new(p_db).to_linear();
+    let nets = [
+        fig4_net(p_db),
+        GaussianNetwork::new(p, ChannelState::new(1.0, 1.0, 1.0)),
+        GaussianNetwork::new(p, ChannelState::new(1.0, 0.2, 0.2)),
+    ];
+    PairSet::new(nets[..k].to_vec())
+}
+
+#[test]
+fn multipair_outage_matches_simulator_on_snr_k_grid() {
+    // The evaluator's flattened point×trial fan-out and the serial
+    // McConfig-driven bcc-sim path estimate the same schedule outage
+    // probabilities from independent seeds: a two-sample statistical
+    // check per (SNR, K, protocol, schedule, target) cell.
+    use bcc::sim::multipair::MultiPairProfile;
+    for k in [2usize, 3] {
+        let powers_db = [5.0, 15.0];
+        let scenario = Scenario::pairs(
+            "power [dB]",
+            powers_db.iter().map(|&p| (p, multi_pairs(k, p))),
+        )
+        .rayleigh(TRIALS, EVAL_SEED);
+        let serial = scenario.clone().threads(1).build().outage().unwrap();
+        let parallel = scenario.threads(4).build().outage().unwrap();
+        assert_eq!(serial, parallel, "K={k} outage not thread-invariant");
+
+        for (i, &p_db) in powers_db.iter().enumerate() {
+            let pairs = multi_pairs(k, p_db);
+            let snr = Db::new(p_db).to_linear();
+            let targets = [0.2, 0.5].map(|r| r * (1.0 + snr).log2());
+            for proto in Protocol::ALL {
+                let profile = MultiPairProfile::estimate(
+                    &pairs,
+                    proto,
+                    FadingModel::Rayleigh,
+                    &McConfig::new(TRIALS, SIM_SEED),
+                );
+                for schedule in SCHEDULES {
+                    for &target in &targets {
+                        let from_eval = serial.outage_probability(proto, i, schedule, target);
+                        let from_sim = profile.outage_probability(schedule, target);
+                        let tol = tolerance(from_eval, from_sim, TRIALS);
+                        assert!(
+                            (from_eval - from_sim).abs() <= tol,
+                            "{proto} K={k} at {p_db} dB, {schedule}, target {target:.3}: \
+                             evaluator {from_eval} vs simulator {from_sim} (tol {tol:.4})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[allow(clippy::excessive_precision)] // the pins are full-precision on purpose
+fn multipair_simulator_samples_pinned_across_thread_counts() {
+    // Trusted-run constants for the K = 2 sim path; the CI matrix re-runs
+    // this under BCC_THREADS=1 and BCC_THREADS=4, certifying that the
+    // per-pair stream nesting (`mix_seed(seed, pair)`) is thread-count
+    // independent and stable across processes.
+    use bcc::sim::multipair::multi_pair_samples;
+    let pairs = multi_pairs(2, 10.0);
+    let cfg = McConfig::new(400, 0x5EED_CAFE);
+    let pins = [
+        (
+            Protocol::DirectTransmission,
+            [1.31067685446126569e0, 2.34863042368702191e0],
+            [1.39611742318413290e0, 2.91658001431716363e0],
+        ),
+        (
+            Protocol::Hbc,
+            [2.56987342219996195e0, 2.34863042368702191e0],
+            [2.61293262299798368e0, 2.83275198233149483e0],
+        ),
+    ];
+    for (proto, firsts, means) in pins {
+        let s = multi_pair_samples(&pairs, proto, FadingModel::Rayleigh, &cfg);
+        assert_eq!(s.len(), 2);
+        for pair in 0..2 {
+            assert_eq!(s[pair].len(), 400);
+            assert!(
+                (s[pair][0] - firsts[pair]).abs() < 1e-15,
+                "{proto} pair {pair}: first sample drifted to {:.17e}",
+                s[pair][0]
+            );
+            let m = s[pair].iter().sum::<f64>() / s[pair].len() as f64;
+            assert!(
+                (m - means[pair]).abs() < 1e-13,
+                "{proto} pair {pair}: mean drifted to {m:.17e}"
+            );
+        }
+    }
+}
+
 #[test]
 fn nakagami_outage_cross_validates_between_paths() {
     // The cross-validation must hold for the new fading family too, and
