@@ -1,8 +1,8 @@
 //! bench-report — times the canonical evaluation scenarios in serial and
 //! parallel modes and writes the machine-readable `BENCH_evaluator.json`
-//! (schema 2) that CI uploads and trends.
+//! (schema 3) that CI uploads and trends.
 //!
-//! Four workloads cover the engine's hot paths at production scale:
+//! Five workloads cover the engine's hot paths at production scale:
 //!
 //! * **`fig3_sweep`** — the paper's Fig. 3 symmetric-gain sweep on a
 //!   60 001-point grid (every protocol, ~240k solves);
@@ -12,7 +12,14 @@
 //!   Fig. 4 operating point (~40k solves on faded networks);
 //! * **`multipair_k3`** — a 4 001-point, three-pair shared-relay sweep
 //!   (sum-rate *and* max–min per pair × protocol, ~96k solves through
-//!   the `point × pair × protocol` fan-out).
+//!   the `point × pair × protocol` fan-out);
+//! * **`serve_loadgen`** — the serving layer's canonical load study
+//!   (`bcc_bench::servestudy`): a 40k-query hot-set stream through a
+//!   `bcc-serve` engine, closed loop (throughput + p50/p99/p999 service
+//!   times) and batched drain, plus a 200k-query repeated-state all-hit
+//!   stream. Its gates are direction-aware: `qps` may not drop below
+//!   baseline ÷ tolerance, the repeated stream must hit the cache, and
+//!   serve misses must reach the closed-form kernel.
 //!
 //! Serial numbers pin the evaluator to one worker
 //! (`Scenario::threads(1)`); parallel numbers use the ambient policy
@@ -117,6 +124,9 @@ struct Timing {
     serial_ms: f64,
     parallel_ms: f64,
     mix: SolveMix,
+    /// Scenario-specific metrics rendered verbatim into the JSON object
+    /// (e.g. the serve scenario's throughput and latency quantiles).
+    extra: Vec<(&'static str, f64)>,
 }
 
 impl Timing {
@@ -234,6 +244,7 @@ fn time_fig3(parallel_threads: usize) -> Timing {
         serial_ms,
         parallel_ms,
         mix,
+        extra: Vec::new(),
     }
 }
 
@@ -273,6 +284,7 @@ fn time_crossover(parallel_threads: usize) -> Timing {
         serial_ms,
         parallel_ms,
         mix,
+        extra: Vec::new(),
     }
 }
 
@@ -304,6 +316,7 @@ fn time_outage(parallel_threads: usize) -> Timing {
         serial_ms,
         parallel_ms,
         mix,
+        extra: Vec::new(),
     }
 }
 
@@ -354,21 +367,118 @@ fn time_multipair(parallel_threads: usize) -> Timing {
         serial_ms,
         parallel_ms,
         mix,
+        extra: Vec::new(),
+    }
+}
+
+/// The serving-layer workload (E-S1): the canonical `servestudy` mixed
+/// hot-set stream through a `bcc-serve` engine, closed loop for latency
+/// quantiles and batched for drain throughput, plus the repeated-state
+/// all-hit stream. `serial_ms`/`parallel_ms` time the batched drain of
+/// the mixed stream at 1 vs `parallel_threads` workers (asserted
+/// bit-identical first); the extras carry throughput (`qps`,
+/// `repeated_qps`), latency quantiles and the cache hit counters the
+/// gate asserts on.
+fn time_serve(parallel_threads: usize) -> Timing {
+    use bcc_bench::servestudy;
+    use bcc_serve::{ServedFrom, Server};
+
+    let queries = servestudy::mixed_stream().queries(servestudy::MIXED_QUERIES);
+    let drain_all = |threads: usize| {
+        let mut server = Server::new(&servestudy::config().threads(threads));
+        let mut answers = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(servestudy::BATCH) {
+            for &q in chunk {
+                server.submit(q).expect("queue sized to the batch");
+            }
+            answers.extend(server.drain());
+        }
+        answers
+    };
+    assert_eq!(
+        drain_all(1),
+        drain_all(parallel_threads),
+        "batched serve drains must be bit-identical across worker counts"
+    );
+
+    // Solver mix of one serial closed-loop pass (every solve lands on
+    // this thread, so the thread-local counters capture it completely).
+    let mix = measure_mix(queries.len(), || {
+        let mut server = Server::new(&servestudy::config());
+        for q in &queries {
+            let _ = server.serve(q);
+        }
+    });
+
+    // Closed loop: per-query service times and throughput, plus the
+    // serve-stats delta for the hit-rate extras.
+    let mut server = Server::new(&servestudy::config());
+    let mut latencies_us = Vec::with_capacity(queries.len());
+    let t0 = Instant::now();
+    let ((), serve_delta) = bcc_serve::stats::scoped(|| {
+        for q in &queries {
+            let t = Instant::now();
+            let _ = server.serve(q);
+            latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    });
+    let qps = queries.len() as f64 / t0.elapsed().as_secs_f64();
+    let ecdf = bcc_num::stats::Ecdf::new(latencies_us);
+
+    // Repeated-state stream: the all-hit regime the cache gate watches.
+    let repeated = servestudy::repeated_stream();
+    let mut rep_server = Server::new(&servestudy::config());
+    let t0 = Instant::now();
+    let ((), rep_delta) = bcc_serve::stats::scoped(|| {
+        for k in 0..servestudy::REPEATED_QUERIES {
+            let d = rep_server.serve(&repeated.query(k)).expect("feasible");
+            debug_assert!(k == 0 || d.served_from == ServedFrom::Cache);
+        }
+    });
+    let repeated_qps = servestudy::REPEATED_QUERIES as f64 / t0.elapsed().as_secs_f64();
+
+    let serial_ms = best_ms(REPS, || {
+        drain_all(1);
+    });
+    let parallel_ms = best_ms(REPS, || {
+        drain_all(parallel_threads);
+    });
+    Timing {
+        name: "serve_loadgen",
+        points: queries.len(),
+        trials: servestudy::REPEATED_QUERIES as usize,
+        serial_ms,
+        parallel_ms,
+        mix,
+        extra: vec![
+            ("qps", qps),
+            ("p50_us", ecdf.quantile(0.50)),
+            ("p99_us", ecdf.quantile(0.99)),
+            ("p999_us", ecdf.quantile(0.999)),
+            ("hit_rate", serve_delta.hit_rate()),
+            ("repeated_qps", repeated_qps),
+            ("repeated_cache_hits", rep_delta.cache_hits as f64),
+        ],
     }
 }
 
 fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
-    let mut out = String::from("{\n  \"schema\": 2,\n");
+    let mut out = String::from("{\n  \"schema\": 3,\n");
     out.push_str(&format!(
         "  \"threads\": {{ \"available\": {available}, \"parallel\": {parallel} }},\n"
     ));
     out.push_str("  \"scenarios\": [\n");
     for (i, t) in timings.iter().enumerate() {
+        let extras: String = t
+            .extra
+            .iter()
+            .map(|(k, v)| format!(", \"{k}\": {v:.3}"))
+            .collect();
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"points\": {}, \"trials\": {}, \
              \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
              \"pivots\": {}, \"warm_hits\": {}, \"kernel_hits\": {}, \
-             \"allocs_per_point\": {:.3} }}{}\n",
+             \"allocs_per_point\": {:.3}{} }}{}\n",
             t.name,
             t.points,
             t.trials,
@@ -379,6 +489,7 @@ fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String 
             t.mix.warm_hits,
             t.mix.kernel_hits,
             t.mix.allocs_per_point,
+            extras,
             if i + 1 < timings.len() { "," } else { "" }
         ));
     }
@@ -438,6 +549,7 @@ fn main() {
         time_crossover(parallel),
         time_outage(parallel),
         time_multipair(parallel),
+        time_serve(parallel),
     ];
     for t in &timings {
         println!(
@@ -454,6 +566,11 @@ fn main() {
             t.mix.kernel_hits,
             t.mix.allocs_per_point,
         );
+        if !t.extra.is_empty() {
+            let rendered: Vec<String> =
+                t.extra.iter().map(|(k, v)| format!("{k} {v:.1}")).collect();
+            println!("{:<18} {}", "", rendered.join("  "));
+        }
     }
 
     let json = render_json(available, parallel, &timings);
@@ -527,6 +644,62 @@ fn main() {
             println!(
                 "check ok: multipair_k3 kernel_hits = {}",
                 multipair.mix.kernel_hits
+            );
+        }
+        // Serving-path gates: throughput is higher-is-better (a drop
+        // below baseline/tolerance is the regression), and the two cache
+        // fast-path canaries must fire — repeated-state streams must hit
+        // the cache, and serve misses must reach the closed-form kernel.
+        let serve = &timings[4];
+        let measured_qps = serve
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "qps")
+            .map(|(_, v)| *v)
+            .expect("serve timing records qps");
+        match benchjson::scenario_field(&baseline, serve.name, "qps") {
+            Some(base_qps) => {
+                let floor = base_qps / tolerance();
+                if measured_qps < floor {
+                    failures.push(format!(
+                        "serve_loadgen qps regressed: {measured_qps:.0} q/s < {floor:.0} q/s \
+                         (baseline {base_qps:.0} q/s ÷ {})",
+                        tolerance()
+                    ));
+                } else {
+                    println!(
+                        "check ok: serve_loadgen qps {measured_qps:.0} above {floor:.0} \
+                         (baseline {base_qps:.0})"
+                    );
+                }
+            }
+            None => failures.push("baseline has no \"qps\" for serve_loadgen".to_string()),
+        }
+        let repeated_hits = serve
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "repeated_cache_hits")
+            .map(|(_, v)| *v)
+            .expect("serve timing records repeated_cache_hits");
+        if repeated_hits == 0.0 {
+            failures.push(
+                "serve_loadgen repeated_cache_hits == 0: a repeated-state stream \
+                 never hit the decision cache (quantization or cache broken?)"
+                    .to_string(),
+            );
+        } else {
+            println!("check ok: serve_loadgen repeated_cache_hits = {repeated_hits:.0}");
+        }
+        if serve.mix.kernel_hits == 0 {
+            failures.push(
+                "serve_loadgen kernel_hits == 0: serve misses never reached the \
+                 closed-form kernel (silently disabled?)"
+                    .to_string(),
+            );
+        } else {
+            println!(
+                "check ok: serve_loadgen kernel_hits = {}",
+                serve.mix.kernel_hits
             );
         }
         if !failures.is_empty() {

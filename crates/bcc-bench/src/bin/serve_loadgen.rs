@@ -1,0 +1,186 @@
+//! serve-loadgen — closed-loop load generator for the `bcc-serve` query
+//! engine.
+//!
+//! Drives a deterministic query stream (see `bcc_serve::loadgen`)
+//! through one serving engine in closed loop — each query is submitted
+//! as soon as the previous answer returns, so the measured latencies are
+//! service times, not queueing artefacts — and reports throughput
+//! (queries/sec), the latency distribution (p50/p99/p999 in µs) and the
+//! serve-stats delta (hit rate, kernel vs simplex solves, evictions).
+//! A second pass drains the same stream through the batched `Server`
+//! at the configured batch size for the throughput-oriented number.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve-loadgen [--queries N] [--stream repeated|hotset|fresh]
+//!               [--pool N] [--batch N] [--step-db X] [--capacity N]
+//!               [--seed N] [--out PATH]
+//! ```
+//!
+//! Defaults follow `bcc_bench::servestudy` (hot-set stream, Fig. 4
+//! operating point). Writes `results/SERVE_loadgen.json`.
+
+use bcc_bench::{results_dir, servestudy};
+use bcc_num::stats::Ecdf;
+use bcc_serve::{LoadSpec, QuantSpec, Server, StreamKind};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    queries: u64,
+    stream: String,
+    pool: usize,
+    batch: usize,
+    step_db: f64,
+    capacity: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        queries: servestudy::MIXED_QUERIES,
+        stream: "hotset".to_string(),
+        pool: servestudy::HOTSET_POOL,
+        batch: servestudy::BATCH,
+        step_db: servestudy::STEP_DB,
+        capacity: servestudy::CACHE_CAPACITY,
+        seed: servestudy::SEED,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--queries" => args.queries = take("--queries").parse().expect("integer"),
+            "--stream" => args.stream = take("--stream"),
+            "--pool" => args.pool = take("--pool").parse().expect("integer"),
+            "--batch" => args.batch = take("--batch").parse().expect("integer"),
+            "--step-db" => args.step_db = take("--step-db").parse().expect("number"),
+            "--capacity" => args.capacity = take("--capacity").parse().expect("integer"),
+            "--seed" => args.seed = take("--seed").parse().expect("integer"),
+            "--out" => args.out = Some(PathBuf::from(take("--out"))),
+            other => {
+                eprintln!(
+                    "usage: serve-loadgen [--queries N] [--stream repeated|hotset|fresh] \
+                     [--pool N] [--batch N] [--step-db X] [--capacity N] [--seed N] [--out PATH]"
+                );
+                panic!("unknown argument {other:?}");
+            }
+        }
+    }
+    args
+}
+
+fn spec_for(args: &Args) -> LoadSpec {
+    let kind = match args.stream.as_str() {
+        "repeated" => StreamKind::Repeated,
+        "hotset" => StreamKind::HotSet { pool: args.pool },
+        "fresh" => StreamKind::Fresh,
+        other => panic!("unknown stream kind {other:?} (repeated|hotset|fresh)"),
+    };
+    let mut spec = servestudy::mixed_stream();
+    spec.kind = kind;
+    spec.seed = args.seed;
+    if kind == StreamKind::Repeated {
+        // The all-hit regime measures pure cache latency; a periodic
+        // floor would split it across two keys.
+        spec.floor_every = None;
+    }
+    spec
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = spec_for(&args);
+    let config = servestudy::config()
+        .quant(QuantSpec::db_grid(args.step_db))
+        .cache_capacity(args.capacity)
+        .queue_capacity(args.batch);
+
+    println!(
+        "serve-loadgen: {} queries, stream {}, cache {} entries, {} dB grid",
+        args.queries, args.stream, args.capacity, args.step_db
+    );
+
+    // Closed loop: one query in flight at a time, per-query latency.
+    let mut server = Server::new(&config);
+    let queries = spec.queries(args.queries);
+    let mut latencies_us = Vec::with_capacity(queries.len());
+    let (wall, delta) = {
+        let t0 = Instant::now();
+        let ((), delta) = bcc_serve::stats::scoped(|| {
+            for q in &queries {
+                let t = Instant::now();
+                let _ = server.serve(q);
+                latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+        });
+        (t0.elapsed().as_secs_f64(), delta)
+    };
+    let qps = args.queries as f64 / wall;
+    let ecdf = Ecdf::new(latencies_us);
+    let (p50, p99, p999) = (
+        ecdf.quantile(0.50),
+        ecdf.quantile(0.99),
+        ecdf.quantile(0.999),
+    );
+    println!(
+        "closed loop : {qps:>10.0} q/s  p50 {p50:>7.2} µs  p99 {p99:>7.2} µs  \
+         p999 {p999:>7.2} µs"
+    );
+    println!(
+        "serve stats : hit rate {:.3} ({} hits / {} queries), kernel {}, simplex {}, \
+         evictions {}, infeasible answers included",
+        delta.hit_rate(),
+        delta.cache_hits,
+        delta.queries,
+        delta.kernel_solves,
+        delta.simplex_solves,
+        delta.evictions,
+    );
+
+    // Batched drain of the same stream on a fresh server: throughput of
+    // the admission path at the configured batch size.
+    let mut batched = Server::new(&config);
+    let t0 = Instant::now();
+    for chunk in queries.chunks(args.batch) {
+        for &q in chunk {
+            batched.submit(q).expect("queue sized to the batch");
+        }
+        let answers = batched.drain();
+        assert_eq!(answers.len(), chunk.len());
+    }
+    let batch_wall = t0.elapsed().as_secs_f64();
+    let batch_qps = args.queries as f64 / batch_wall;
+    println!(
+        "batched drain: {batch_qps:>9.0} q/s at batch {}",
+        args.batch
+    );
+
+    let out = args
+        .out
+        .unwrap_or_else(|| results_dir().join("SERVE_loadgen.json"));
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"stream\": \"{}\",\n  \"queries\": {},\n  \
+         \"qps\": {:.1},\n  \"batch_qps\": {:.1},\n  \"p50_us\": {:.3},\n  \
+         \"p99_us\": {:.3},\n  \"p999_us\": {:.3},\n  \"hit_rate\": {:.4},\n  \
+         \"cache_hits\": {},\n  \"kernel_solves\": {},\n  \"simplex_solves\": {},\n  \
+         \"evictions\": {}\n}}\n",
+        args.stream,
+        args.queries,
+        qps,
+        batch_qps,
+        p50,
+        p99,
+        p999,
+        delta.hit_rate(),
+        delta.cache_hits,
+        delta.kernel_solves,
+        delta.simplex_solves,
+        delta.evictions,
+    );
+    std::fs::write(&out, json).expect("write SERVE_loadgen.json");
+    println!("report written to {}", out.display());
+}

@@ -160,6 +160,73 @@ pub mod multipairstudy {
     }
 }
 
+/// Canonical configuration of the serving-layer load study (E-S1). The
+/// `serve-loadgen` binary, the `serve_loadgen` bench-report scenario and
+/// the CI smoke leg all read these constants, so the gated numbers and
+/// the published JSON describe the same workload.
+pub mod servestudy {
+    use bcc_serve::{LoadSpec, QuantSpec, ServeConfig, StreamKind};
+
+    /// Master seed of the study's query streams.
+    pub const SEED: u64 = 0x5E4E_0001;
+    /// Hot-set pool size of the mixed stream — 64 states against a
+    /// 4 096-entry cache, so steady state is hit-dominated with a fresh
+    /// miss now and then from the floor sub-stream.
+    pub const HOTSET_POOL: usize = 64;
+    /// Queries of the mixed (hot-set) closed-loop run.
+    pub const MIXED_QUERIES: u64 = 40_000;
+    /// Queries of the repeated-state (all-hit) closed-loop run.
+    pub const REPEATED_QUERIES: u64 = 200_000;
+    /// Quantization grid step (dB).
+    pub const STEP_DB: f64 = 0.25;
+    /// Decision-cache capacity (entries).
+    pub const CACHE_CAPACITY: usize = 4_096;
+    /// Submission-batch size of the batched-drain throughput runs.
+    pub const BATCH: usize = 1_024;
+    /// Transmit power (dB) of the base operating point.
+    pub const POWER_DB: f64 = 10.0;
+    /// Every n-th mixed query carries this QoS floor, keeping the
+    /// simplex path in play amid kernel traffic.
+    pub const FLOOR_EVERY: u64 = 16;
+    /// The QoS floor `(ra, rb)` of the floored sub-stream.
+    pub const FLOOR: (f64, f64) = (0.05, 0.05);
+
+    /// The study's serve configuration.
+    pub fn config() -> ServeConfig {
+        ServeConfig::default()
+            .quant(QuantSpec::db_grid(STEP_DB))
+            .cache_capacity(CACHE_CAPACITY)
+            .queue_capacity(BATCH)
+    }
+
+    /// Base spec around the Fig. 4 operating point at
+    /// [`POWER_DB`](self::POWER_DB).
+    fn base(kind: StreamKind, seed: u64) -> LoadSpec {
+        let net = super::fig4_network(POWER_DB);
+        LoadSpec::new(kind, seed, net.state(), net.powers())
+    }
+
+    /// The mixed steady-state stream: hot-set draws with a periodic QoS
+    /// floor.
+    pub fn mixed_stream() -> LoadSpec {
+        base(StreamKind::HotSet { pool: HOTSET_POOL }, SEED).floor_every(
+            FLOOR_EVERY,
+            FLOOR.0,
+            FLOOR.1,
+        )
+    }
+
+    /// The repeated-state stream (pure cache-latency regime).
+    pub fn repeated_stream() -> LoadSpec {
+        base(StreamKind::Repeated, SEED ^ 0x0E11)
+    }
+
+    /// The all-miss stream (pure solve-throughput regime).
+    pub fn fresh_stream() -> LoadSpec {
+        base(StreamKind::Fresh, SEED ^ 0xF5)
+    }
+}
+
 /// Directory where binaries drop CSV artifacts (`results/` at the
 /// workspace root, created on demand).
 ///

@@ -719,6 +719,43 @@ impl SolveCtx {
         }
     }
 
+    /// Selects the best protocol at `net` by optimal sum rate — the
+    /// protocol-selection primitive behind the `bcc-serve` query engine.
+    ///
+    /// Every protocol in `protocols` is solved through this context
+    /// ([`SolveCtx::sum_rate_for`]: closed-form kernel where available,
+    /// warm-started simplex otherwise) and the winner is the one with the
+    /// strictly greatest sum rate; ties resolve to the **earliest**
+    /// protocol in `protocols`, so the answer is deterministic. Protocols
+    /// whose LP is infeasible under `floor` are skipped; `Ok(None)` means
+    /// *every* protocol was infeasible (the floor is unachievable at this
+    /// operating point by any strategy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-infeasibility LP failures (not expected for valid
+    /// inputs).
+    pub fn best_sum_rate(
+        &mut self,
+        net: &GaussianNetwork,
+        protocols: &[Protocol],
+        bound: Bound,
+        floor: Option<(f64, f64)>,
+    ) -> Result<Option<SumRateSolution>, CoreError> {
+        let mut best: Option<SumRateSolution> = None;
+        for &protocol in protocols {
+            let sol = match self.sum_rate_for(net, protocol, bound, floor) {
+                Ok(sol) => sol,
+                Err(e) if e.is_infeasible() => continue,
+                Err(e) => return Err(e),
+            };
+            if best.as_ref().is_none_or(|b| sol.sum_rate > b.sum_rate) {
+                best = Some(sol);
+            }
+        }
+        Ok(best)
+    }
+
     /// Optimal achievable equal-rate (max–min) operating point of
     /// `protocol` at `net` — closed-form kernel for the two-phase
     /// protocols, warm-started zero-allocation simplex otherwise. The
@@ -971,6 +1008,73 @@ mod tests {
                 assert_eq!(a, b, "{proto} at P={p}");
             }
         }
+    }
+
+    #[test]
+    fn best_sum_rate_picks_the_argmax_protocol() {
+        let mut ctx = SolveCtx::new();
+        for p in [0.5, 10.0, 31.6] {
+            let n = fig4(p);
+            let best = ctx
+                .best_sum_rate(&n, &Protocol::ALL, Bound::Inner, None)
+                .unwrap()
+                .expect("no floor, always feasible");
+            for proto in Protocol::ALL {
+                let sol = ctx.sum_rate(&n, proto).unwrap();
+                assert!(
+                    best.sum_rate >= sol.sum_rate,
+                    "P={p}: winner {} lost to {proto}",
+                    best.protocol
+                );
+                if proto == best.protocol {
+                    assert_eq!(best, sol, "winner must carry its own solution");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_sum_rate_ties_resolve_to_earliest_protocol() {
+        // A dead network scores 0 for every protocol: the first listed wins.
+        let dead = GaussianNetwork::with_powers(
+            PowerSplit::new(0.0, 0.0, 0.0),
+            ChannelState::new(1.0, 1.0, 1.0),
+        );
+        let mut ctx = SolveCtx::new();
+        let best = ctx
+            .best_sum_rate(&dead, &Protocol::ALL, Bound::Inner, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.protocol, Protocol::DirectTransmission);
+        let best = ctx
+            .best_sum_rate(&dead, &Protocol::RELAYED, Bound::Inner, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.protocol, Protocol::Mabc);
+    }
+
+    #[test]
+    fn best_sum_rate_skips_infeasible_and_reports_total_infeasibility() {
+        let n = fig4(10.0);
+        let mut ctx = SolveCtx::new();
+        // A floor no protocol can reach at P = 10 dB.
+        let none = ctx
+            .best_sum_rate(&n, &Protocol::ALL, Bound::Inner, Some((50.0, 50.0)))
+            .unwrap();
+        assert!(none.is_none(), "absurd floor must be infeasible everywhere");
+        // A floor only the relay-aided protocols can reach: DT is skipped,
+        // the winner still appears.
+        let dt_cap = ctx
+            .sum_rate(&n, Protocol::DirectTransmission)
+            .unwrap()
+            .sum_rate;
+        let floor = (dt_cap * 0.75, dt_cap * 0.75);
+        let best = ctx
+            .best_sum_rate(&n, &Protocol::ALL, Bound::Inner, Some(floor))
+            .unwrap()
+            .expect("relay-aided protocols satisfy the floor");
+        assert_ne!(best.protocol, Protocol::DirectTransmission);
+        assert!(best.ra >= floor.0 - 1e-9 && best.rb >= floor.1 - 1e-9);
     }
 
     #[test]

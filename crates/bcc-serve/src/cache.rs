@@ -1,0 +1,258 @@
+//! The quantized-state decision cache: a bounded, set-associative,
+//! open-addressing table with LRU eviction inside each probe window.
+//!
+//! This generalizes the kernel's per-context `LinkCaps` memo (which
+//! remembers one operating point) into a shared store of *decisions*
+//! keyed by [`QuantKey`]. The table is a flat `Vec` of slots probed
+//! linearly over a window of [`WAYS`] slots anchored at the key's hash —
+//! no per-entry allocation, no pointer chasing, and a worst-case probe
+//! cost of eight comparisons. When a window is full the least-recently
+//! used entry *within that window* is evicted, so occupancy can never
+//! exceed capacity and a hot key is never displaced by cold traffic in a
+//! different window.
+//!
+//! The cache stores [`Outcome`]s, not just decisions: proven QoS
+//! infeasibility at a quantized key is as cacheable as a winning
+//! protocol, and serving it from the cache skips the full per-protocol
+//! feasibility sweep.
+
+use crate::quant::QuantKey;
+use crate::query::DecisionCore;
+
+/// Associativity: how many consecutive slots one key may occupy or probe.
+pub const WAYS: usize = 8;
+
+/// The cached result of solving one quantized query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// The selection succeeded with this winning operating point.
+    Decided(DecisionCore),
+    /// The QoS floor was proven unachievable by every protocol.
+    Infeasible,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: QuantKey,
+    outcome: Outcome,
+    last_used: u64,
+}
+
+/// A bounded LRU cache from quantized query keys to solve outcomes.
+#[derive(Debug)]
+pub struct DecisionCache {
+    slots: Vec<Option<Entry>>,
+    mask: usize,
+    tick: u64,
+    len: usize,
+    evictions: u64,
+}
+
+impl DecisionCache {
+    /// Creates a cache holding at most `capacity` entries (rounded up to
+    /// a power of two, minimum [`WAYS`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(WAYS);
+        DecisionCache {
+            slots: vec![None; cap],
+            mask: cap - 1,
+            tick: 0,
+            len: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The maximum number of entries the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The number of entries currently stored (never exceeds capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How many entries have been evicted to make room since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    ///
+    /// The whole window is probed even past empty slots: eviction can
+    /// punch holes between an anchor and a surviving entry, so an empty
+    /// slot does not prove absence.
+    pub fn get(&mut self, key: &QuantKey) -> Option<Outcome> {
+        let anchor = key.hash64() as usize;
+        for i in 0..WAYS {
+            let idx = (anchor + i) & self.mask;
+            if let Some(entry) = &mut self.slots[idx] {
+                if entry.key == *key {
+                    self.tick += 1;
+                    entry.last_used = self.tick;
+                    return Some(entry.outcome);
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts (or refreshes) `key → outcome`. If the key's probe window
+    /// is full, the least-recently-used entry in the window is evicted.
+    pub fn insert(&mut self, key: QuantKey, outcome: Outcome) {
+        self.tick += 1;
+        let anchor = key.hash64() as usize;
+        let mut empty: Option<usize> = None;
+        let mut lru: usize = anchor & self.mask;
+        let mut lru_used = u64::MAX;
+        for i in 0..WAYS {
+            let idx = (anchor + i) & self.mask;
+            match &self.slots[idx] {
+                Some(entry) => {
+                    if entry.key == key {
+                        self.slots[idx] = Some(Entry {
+                            key,
+                            outcome,
+                            last_used: self.tick,
+                        });
+                        return;
+                    }
+                    if entry.last_used < lru_used {
+                        lru_used = entry.last_used;
+                        lru = idx;
+                    }
+                }
+                None => {
+                    if empty.is_none() {
+                        empty = Some(idx);
+                    }
+                }
+            }
+        }
+        let idx = match empty {
+            Some(idx) => {
+                self.len += 1;
+                idx
+            }
+            None => {
+                self.evictions += 1;
+                lru
+            }
+        };
+        self.slots[idx] = Some(Entry {
+            key,
+            outcome,
+            last_used: self.tick,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantSpec;
+    use crate::query::Query;
+    use bcc_channel::{ChannelState, PowerSplit};
+    use bcc_core::constraint::PhaseVec;
+    use bcc_core::protocol::Protocol;
+
+    fn key_for(gab: f64) -> QuantKey {
+        let q = Query::new(
+            ChannelState::new(gab, 1.0, 1.0),
+            PowerSplit::symmetric(10.0),
+        );
+        QuantSpec::strict().snap_query(&q).0
+    }
+
+    fn outcome(rate: f64) -> Outcome {
+        Outcome::Decided(DecisionCore {
+            protocol: Protocol::DirectTransmission,
+            sum_rate: rate,
+            ra: rate / 2.0,
+            rb: rate / 2.0,
+            durations: PhaseVec::from([1.0, 0.0]),
+        })
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let mut cache = DecisionCache::with_capacity(64);
+        let k = key_for(1.0);
+        assert_eq!(cache.get(&k), None);
+        cache.insert(k, outcome(2.0));
+        assert_eq!(cache.get(&k), Some(outcome(2.0)));
+        // Overwrite refreshes in place, no growth.
+        cache.insert(k, outcome(3.0));
+        assert_eq!(cache.get(&k), Some(outcome(3.0)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_outcomes_are_first_class_citizens() {
+        let mut cache = DecisionCache::with_capacity(64);
+        let k = key_for(0.5);
+        cache.insert(k, Outcome::Infeasible);
+        assert_eq!(cache.get(&k), Some(Outcome::Infeasible));
+    }
+
+    #[test]
+    fn occupancy_is_bounded_and_evictions_are_counted() {
+        let mut cache = DecisionCache::with_capacity(WAYS); // minimum size
+        assert_eq!(cache.capacity(), WAYS);
+        for i in 0..10 * WAYS {
+            cache.insert(key_for(1.0 + i as f64), outcome(i as f64));
+            assert!(cache.len() <= cache.capacity());
+        }
+        // With capacity == WAYS every window is the whole table, so all
+        // inserts past the first WAYS must have evicted.
+        assert_eq!(cache.evictions(), (10 * WAYS - WAYS) as u64);
+        assert_eq!(cache.len(), WAYS);
+    }
+
+    #[test]
+    fn lru_within_window_evicts_the_coldest_entry() {
+        // capacity == WAYS: one shared window, full LRU semantics.
+        let mut cache = DecisionCache::with_capacity(WAYS);
+        let keys: Vec<_> = (0..WAYS).map(|i| key_for(1.0 + i as f64)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            cache.insert(k, outcome(i as f64));
+        }
+        // Touch everything except keys[3], making it the LRU.
+        for (i, &k) in keys.iter().enumerate() {
+            if i != 3 {
+                assert!(cache.get(&k).is_some());
+            }
+        }
+        let newcomer = key_for(100.0);
+        cache.insert(newcomer, outcome(99.0));
+        assert_eq!(cache.get(&keys[3]), None, "the LRU entry was evicted");
+        assert!(cache.get(&newcomer).is_some());
+        for (i, &k) in keys.iter().enumerate() {
+            if i != 3 {
+                assert!(cache.get(&k).is_some(), "hot entry {i} survived");
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_survive_holes_punched_by_eviction() {
+        let mut cache = DecisionCache::with_capacity(WAYS);
+        for i in 0..2 * WAYS {
+            cache.insert(key_for(1.0 + i as f64), outcome(i as f64));
+        }
+        // Everything inserted in the last full round is still findable
+        // even though earlier evictions reordered the window.
+        let mut found = 0;
+        for i in 0..2 * WAYS {
+            if cache.get(&key_for(1.0 + i as f64)).is_some() {
+                found += 1;
+            }
+        }
+        assert_eq!(found, WAYS, "exactly one table's worth survives");
+    }
+}

@@ -1,0 +1,274 @@
+//! The single-threaded serve path: snap → probe the cache → solve on a
+//! miss → cache the outcome.
+//!
+//! [`Engine`] owns one [`SolveCtx`] and one [`DecisionCache`] and
+//! answers queries one at a time — the closed-loop path a latency bench
+//! measures. The batched, parallel path lives in
+//! [`Server`](crate::Server), which shares the same cache discipline but
+//! fans misses across workers.
+
+use crate::cache::{DecisionCache, Outcome};
+use crate::quant::QuantSpec;
+use crate::query::{Decision, DecisionCore, Query, ServeError, ServedFrom};
+use crate::stats::ServeStats;
+use bcc_core::kernel::kernel_hits_local;
+use bcc_core::protocol::Protocol;
+use bcc_core::SolveCtx;
+
+/// Tunables for an [`Engine`] or [`Server`](crate::Server).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// How channel states are snapped to cache keys.
+    pub quant: QuantSpec,
+    /// Decision-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Submission-queue bound (batched path only); a full queue rejects.
+    pub queue_capacity: usize,
+    /// Worker threads for batch drains; `None` follows `BCC_THREADS`.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            quant: QuantSpec::default(),
+            cache_capacity: 65_536,
+            queue_capacity: 8_192,
+            threads: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Replaces the quantization spec.
+    pub fn quant(mut self, quant: QuantSpec) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Replaces the cache capacity.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Replaces the submission-queue bound.
+    pub fn queue_capacity(mut self, entries: usize) -> Self {
+        self.queue_capacity = entries;
+        self
+    }
+
+    /// Pins batch drains to `threads` workers instead of `BCC_THREADS`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+/// What one fresh solve cost, alongside its outcome.
+pub(crate) struct SolvedMiss {
+    pub outcome: Result<Outcome, ServeError>,
+    pub kernel_solves: u64,
+    pub simplex_solves: u64,
+    pub warm_hits: u64,
+    pub pivots: u64,
+}
+
+/// Solves one already-snapped query on `ctx`, counting what the solve
+/// cost (kernel vs simplex, warm hits, pivots) via the thread-local
+/// counters. Shared by the serial engine and the batch workers.
+pub(crate) fn solve_counted(ctx: &mut SolveCtx, snapped: &Query) -> SolvedMiss {
+    let kernel_before = kernel_hits_local();
+    let lp_before = bcc_lp::stats::local_snapshot();
+    let net = snapped.network();
+    let outcome = match ctx.best_sum_rate(&net, &Protocol::ALL, snapped.bound, snapped.floor) {
+        Ok(Some(sol)) => Ok(Outcome::Decided(DecisionCore::from_solution(&sol))),
+        Ok(None) => Ok(Outcome::Infeasible),
+        Err(e) => Err(ServeError::Solver(e)),
+    };
+    let lp = bcc_lp::stats::local_snapshot().delta_since(&lp_before);
+    SolvedMiss {
+        outcome,
+        kernel_solves: kernel_hits_local().wrapping_sub(kernel_before),
+        simplex_solves: lp.solves,
+        warm_hits: lp.warm_hits,
+        pivots: lp.pivots,
+    }
+}
+
+/// The cache-oracle solve: what a fresh context computes for `query`
+/// under `spec`'s quantization, with no cache involved. The
+/// cache-correctness property test compares every cache hit against
+/// this.
+pub fn cold_solve(
+    ctx: &mut SolveCtx,
+    query: &Query,
+    spec: &QuantSpec,
+) -> Result<Option<DecisionCore>, ServeError> {
+    let (_, snapped) = spec.snap_query(query);
+    let net = snapped.network();
+    match ctx.best_sum_rate(&net, &Protocol::ALL, snapped.bound, snapped.floor) {
+        Ok(Some(sol)) => Ok(Some(DecisionCore::from_solution(&sol))),
+        Ok(None) => Ok(None),
+        Err(e) => Err(ServeError::Solver(e)),
+    }
+}
+
+/// A serial protocol-selection engine with a quantized decision cache.
+#[derive(Debug)]
+pub struct Engine {
+    ctx: SolveCtx,
+    cache: DecisionCache,
+    spec: QuantSpec,
+}
+
+impl Engine {
+    /// Creates an engine per `config` (the queue/thread fields are
+    /// ignored here; they configure the batched [`Server`](crate::Server)).
+    pub fn new(config: &ServeConfig) -> Self {
+        Engine {
+            ctx: SolveCtx::new(),
+            cache: DecisionCache::with_capacity(config.cache_capacity),
+            spec: config.quant,
+        }
+    }
+
+    /// The engine's quantization spec.
+    pub fn spec(&self) -> &QuantSpec {
+        &self.spec
+    }
+
+    /// The decision cache (for occupancy/eviction introspection).
+    pub fn cache(&self) -> &DecisionCache {
+        &self.cache
+    }
+
+    /// Mutable cache access for the batched server's probe/commit phases.
+    pub(crate) fn cache_mut(&mut self) -> &mut DecisionCache {
+        &mut self.cache
+    }
+
+    /// Answers one query.
+    ///
+    /// The query is snapped to its quantized key; a cache hit returns the
+    /// stored decision bit-for-bit (tagged [`ServedFrom::Cache`]), a miss
+    /// solves the snapped query on the engine's context, caches the
+    /// outcome — including proven infeasibility — and tags the answer
+    /// [`ServedFrom::Kernel`]. Solver *errors* are returned but never
+    /// cached.
+    pub fn serve(&mut self, query: &Query) -> Result<Decision, ServeError> {
+        let (key, snapped) = self.spec.snap_query(query);
+        let mut delta = ServeStats {
+            queries: 1,
+            ..ServeStats::zero()
+        };
+        let result = match self.cache.get(&key) {
+            Some(outcome) => {
+                delta.cache_hits = 1;
+                match outcome {
+                    Outcome::Decided(core) => Ok(core.tagged(ServedFrom::Cache)),
+                    Outcome::Infeasible => Err(ServeError::Infeasible),
+                }
+            }
+            None => {
+                delta.cache_misses = 1;
+                let evictions_before = self.cache.evictions();
+                let solved = solve_counted(&mut self.ctx, &snapped);
+                delta.kernel_solves = solved.kernel_solves;
+                delta.simplex_solves = solved.simplex_solves;
+                let result = match solved.outcome {
+                    Ok(outcome) => {
+                        self.cache.insert(key, outcome);
+                        match outcome {
+                            Outcome::Decided(core) => Ok(core.tagged(ServedFrom::Kernel)),
+                            Outcome::Infeasible => Err(ServeError::Infeasible),
+                        }
+                    }
+                    Err(e) => Err(e),
+                };
+                delta.evictions = self.cache.evictions().wrapping_sub(evictions_before);
+                result
+            }
+        };
+        crate::stats::record(&delta);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_channel::{ChannelState, PowerSplit};
+
+    fn q(gab: f64) -> Query {
+        Query::new(
+            ChannelState::new(gab, 1.0, 3.16),
+            PowerSplit::symmetric(10.0),
+        )
+    }
+
+    #[test]
+    fn second_serve_of_the_same_state_hits_and_is_bit_identical() {
+        let mut engine = Engine::new(&ServeConfig::default());
+        let d1 = engine.serve(&q(0.2)).unwrap();
+        let d2 = engine.serve(&q(0.2)).unwrap();
+        assert_eq!(d1.served_from, ServedFrom::Kernel);
+        assert_eq!(d2.served_from, ServedFrom::Cache);
+        assert_eq!(d1.sum_rate.to_bits(), d2.sum_rate.to_bits());
+        assert_eq!(d1.ra.to_bits(), d2.ra.to_bits());
+        assert_eq!(d1.rb.to_bits(), d2.rb.to_bits());
+        assert_eq!(d1.protocol, d2.protocol);
+        assert_eq!(d1.durations, d2.durations);
+    }
+
+    #[test]
+    fn nearby_states_share_a_cache_cell_and_thus_an_answer() {
+        let mut engine = Engine::new(&ServeConfig::default());
+        let d1 = engine.serve(&q(0.2)).unwrap();
+        // 0.01 dB away on a 0.25 dB grid: same cell, served from cache.
+        let d2 = engine.serve(&q(0.2 * 1.0023)).unwrap();
+        assert_eq!(d2.served_from, ServedFrom::Cache);
+        assert_eq!(d1.sum_rate.to_bits(), d2.sum_rate.to_bits());
+    }
+
+    #[test]
+    fn strict_mode_never_shares_across_distinct_bits() {
+        let config = ServeConfig::default().quant(QuantSpec::strict());
+        let mut engine = Engine::new(&config);
+        engine.serve(&q(0.2)).unwrap();
+        let d2 = engine.serve(&q(0.2 * 1.0023)).unwrap();
+        assert_eq!(d2.served_from, ServedFrom::Kernel);
+        let d3 = engine.serve(&q(0.2)).unwrap();
+        assert_eq!(d3.served_from, ServedFrom::Cache);
+    }
+
+    #[test]
+    fn infeasible_floors_are_cached_as_infeasible() {
+        let mut engine = Engine::new(&ServeConfig::default());
+        let hopeless = q(0.2).with_floor(50.0, 50.0);
+        assert_eq!(engine.serve(&hopeless), Err(ServeError::Infeasible));
+        let misses_before = engine.cache().len();
+        assert_eq!(engine.serve(&hopeless), Err(ServeError::Infeasible));
+        assert_eq!(
+            engine.cache().len(),
+            misses_before,
+            "the second infeasible serve must not re-solve or re-insert"
+        );
+    }
+
+    #[test]
+    fn serve_moves_the_stats_counters() {
+        let mut engine = Engine::new(&ServeConfig::default());
+        let ((), delta) = crate::stats::scoped(|| {
+            engine.serve(&q(0.3)).unwrap();
+            engine.serve(&q(0.3)).unwrap();
+            engine.serve(&q(0.7)).unwrap();
+        });
+        assert_eq!(delta.queries, 3);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.cache_misses, 2);
+        // A floor-free inner-bound miss sweeps all four protocols:
+        // closed-form kernel where available, LP for the rest.
+        assert!(delta.kernel_solves > 0);
+    }
+}

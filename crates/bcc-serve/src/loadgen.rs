@@ -1,0 +1,193 @@
+//! Deterministic query streams for closed-loop load generation.
+//!
+//! A [`LoadSpec`] describes a reproducible stream of queries around a
+//! base operating point: per-query Rayleigh fades are drawn from
+//! decorrelated [`trial_stream`]s keyed by the query index (the
+//! workspace-wide `mix_seed`/`trial_stream` discipline), so query `k` of
+//! stream `seed` is the same on every run, machine, and thread count —
+//! the property the replay and bench gates are built on.
+//!
+//! Three stream shapes cover the cache's operating envelope:
+//!
+//! * [`StreamKind::Repeated`] — every query is the base point: the
+//!   all-hit regime that measures pure cache latency.
+//! * [`StreamKind::HotSet`] — queries draw uniformly from a fixed pool
+//!   of faded states: the steady-state regime with a tunable hit rate
+//!   (pool size vs cache capacity).
+//! * [`StreamKind::Fresh`] — every query is an independent fade draw:
+//!   the all-miss regime that measures pure solve throughput.
+
+use crate::query::Query;
+use bcc_channel::fading::FadingModel;
+use bcc_channel::{ChannelState, PowerSplit};
+use bcc_core::scenario::{mix_seed, trial_stream};
+use rand::Rng;
+
+/// Decorrelates the hot-set pool member streams from the per-query
+/// selector stream (both are derived from the same user seed).
+const POOL_SALT: u64 = 0x9E37_79B9_0BCC_5E4E;
+
+/// The shape of a generated query stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Every query is the base operating point (all-hit regime).
+    Repeated,
+    /// Queries draw uniformly from a pool of `pool` faded states.
+    HotSet {
+        /// Number of distinct states in the hot set.
+        pool: usize,
+    },
+    /// Every query is an independent fade draw (all-miss regime).
+    Fresh,
+}
+
+/// A deterministic query-stream generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// Stream shape.
+    pub kind: StreamKind,
+    /// Root seed; the whole stream is a pure function of `(spec, k)`.
+    pub seed: u64,
+    /// Mean channel gains the fades multiply.
+    pub state: ChannelState,
+    /// Per-node powers attached to every query.
+    pub powers: PowerSplit,
+    /// When `Some((n, (ra, rb)))`, every `n`-th query carries the QoS
+    /// floor `(ra, rb)` — exercising the simplex path amid kernel
+    /// traffic.
+    pub floor_every: Option<(u64, (f64, f64))>,
+}
+
+impl LoadSpec {
+    /// A stream around `state`/`powers` with no QoS floors.
+    pub fn new(kind: StreamKind, seed: u64, state: ChannelState, powers: PowerSplit) -> Self {
+        LoadSpec {
+            kind,
+            seed,
+            state,
+            powers,
+            floor_every: None,
+        }
+    }
+
+    /// Attaches the floor `(ra, rb)` to every `n`-th query (`n ≥ 1`).
+    pub fn floor_every(mut self, n: u64, ra: f64, rb: f64) -> Self {
+        assert!(n >= 1, "floor period must be at least 1");
+        self.floor_every = Some((n, (ra, rb)));
+        self
+    }
+
+    /// The faded state of hot-set pool member `j`.
+    fn pool_state(&self, j: u64) -> ChannelState {
+        let mut rng = trial_stream(mix_seed(self.seed ^ POOL_SALT, j), 0);
+        self.fade(&mut rng)
+    }
+
+    /// Draws one faded state from `rng` (three independent Rayleigh
+    /// power fades on the mean gains).
+    fn fade<R: Rng>(&self, rng: &mut R) -> ChannelState {
+        let f = FadingModel::Rayleigh;
+        ChannelState::new(
+            self.state.gab() * f.sample_power(rng),
+            self.state.gar() * f.sample_power(rng),
+            self.state.gbr() * f.sample_power(rng),
+        )
+    }
+
+    /// Query `k` of the stream — a pure function of `(self, k)`.
+    pub fn query(&self, k: u64) -> Query {
+        let state = match self.kind {
+            StreamKind::Repeated => self.state,
+            StreamKind::HotSet { pool } => {
+                assert!(pool >= 1, "hot set needs at least one member");
+                let j = trial_stream(self.seed, k).gen_range(0..pool as u64);
+                self.pool_state(j)
+            }
+            StreamKind::Fresh => self.fade(&mut trial_stream(self.seed, k)),
+        };
+        let mut q = Query::new(state, self.powers);
+        if let Some((n, (ra, rb))) = self.floor_every {
+            if k % n == n - 1 {
+                q = q.with_floor(ra, rb);
+            }
+        }
+        q
+    }
+
+    /// The first `n` queries of the stream.
+    pub fn queries(&self, n: u64) -> Vec<Query> {
+        (0..n).map(|k| self.query(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: StreamKind) -> LoadSpec {
+        LoadSpec::new(
+            kind,
+            0xBCC0,
+            ChannelState::new(0.2, 1.0, 3.16),
+            PowerSplit::symmetric(10.0),
+        )
+    }
+
+    #[test]
+    fn streams_are_pure_functions_of_spec_and_index() {
+        for kind in [
+            StreamKind::Repeated,
+            StreamKind::HotSet { pool: 8 },
+            StreamKind::Fresh,
+        ] {
+            let s = spec(kind);
+            for k in [0, 1, 17, 1000] {
+                assert_eq!(s.query(k), s.query(k), "query {k} must be reproducible");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_streams_repeat_and_fresh_streams_do_not() {
+        let rep = spec(StreamKind::Repeated);
+        assert_eq!(rep.query(0), rep.query(999));
+        let fresh = spec(StreamKind::Fresh);
+        assert_ne!(fresh.query(0), fresh.query(1));
+    }
+
+    #[test]
+    fn hot_set_streams_draw_from_exactly_the_pool() {
+        let s = spec(StreamKind::HotSet { pool: 4 });
+        let pool: Vec<ChannelState> = (0..4).map(|j| s.pool_state(j)).collect();
+        let mut seen = [false; 4];
+        for k in 0..200 {
+            let q = s.query(k);
+            let j = pool
+                .iter()
+                .position(|p| *p == q.state)
+                .expect("every query is a pool member");
+            seen[j] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 draws cover a 4-state pool");
+    }
+
+    #[test]
+    fn floors_appear_exactly_every_nth_query() {
+        let s = spec(StreamKind::Repeated).floor_every(5, 0.05, 0.06);
+        for k in 0..20 {
+            let q = s.query(k);
+            if k % 5 == 4 {
+                assert_eq!(q.floor, Some((0.05, 0.06)));
+            } else {
+                assert_eq!(q.floor, None);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_fresh_streams() {
+        let a = spec(StreamKind::Fresh);
+        let b = LoadSpec { seed: 0xBCC1, ..a };
+        assert_ne!(a.query(0), b.query(0));
+    }
+}

@@ -1,0 +1,218 @@
+//! The typed request/response vocabulary of the serving layer.
+//!
+//! A [`Query`] is one user's question — "at this channel state, with this
+//! per-node power budget (and optionally a QoS rate floor), which protocol
+//! should I run and at what rates/schedule?" — and a [`Decision`] is the
+//! engine's answer: the winning [`Protocol`], its optimal operating point,
+//! and a [`ServedFrom`] provenance tag saying whether the answer was
+//! computed fresh through the solve kernel or served from the
+//! quantized-state cache.
+
+use bcc_channel::{ChannelState, PowerSplit};
+use bcc_core::constraint::PhaseVec;
+use bcc_core::gaussian::{GaussianNetwork, SumRateSolution};
+use bcc_core::protocol::{Bound, Protocol};
+use bcc_core::CoreError;
+
+/// One protocol-selection request.
+///
+/// ```
+/// use bcc_channel::{ChannelState, PowerSplit};
+/// use bcc_core::protocol::Bound;
+/// use bcc_serve::Query;
+///
+/// let q = Query::new(ChannelState::new(0.2, 1.0, 3.16), PowerSplit::symmetric(10.0))
+///     .with_floor(0.25, 0.25)
+///     .with_bound(Bound::Inner);
+/// assert_eq!(q.floor, Some((0.25, 0.25)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// The channel state (linear power gains) the decision is for.
+    pub state: ChannelState,
+    /// The per-node power budget/split.
+    pub powers: PowerSplit,
+    /// Optional QoS rate floor `(R_a ≥ ra_min, R_b ≥ rb_min)`; protocols
+    /// that cannot meet it are excluded from selection.
+    pub floor: Option<(f64, f64)>,
+    /// Which bound family to select over (achievable inner by default).
+    pub bound: Bound,
+}
+
+impl Query {
+    /// Creates a query with no QoS floor over the achievable (inner)
+    /// bounds — the common case.
+    pub fn new(state: ChannelState, powers: PowerSplit) -> Self {
+        Query {
+            state,
+            powers,
+            floor: None,
+            bound: Bound::Inner,
+        }
+    }
+
+    /// A query at an existing network's operating point.
+    pub fn for_network(net: &GaussianNetwork) -> Self {
+        Query::new(net.state(), net.powers())
+    }
+
+    /// Attaches a QoS rate floor.
+    pub fn with_floor(mut self, ra_min: f64, rb_min: f64) -> Self {
+        self.floor = Some((ra_min, rb_min));
+        self
+    }
+
+    /// Selects over `bound` instead of the achievable region.
+    pub fn with_bound(mut self, bound: Bound) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// The Gaussian network this query describes.
+    pub fn network(&self) -> GaussianNetwork {
+        GaussianNetwork::with_powers(self.powers, self.state)
+    }
+}
+
+/// Where a [`Decision`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Computed fresh through the [`SolveCtx`](bcc_core::SolveCtx) kernel
+    /// (closed form or warm-started simplex) at the quantized key.
+    Kernel,
+    /// Served from the quantized-state cache — **bit-identical** to the
+    /// kernel decision computed at the same quantized key (the cache
+    /// stores decisions, never re-derives them).
+    Cache,
+}
+
+/// The payload of a decision, without provenance — what the cache stores
+/// and what two serves of the same quantized key share bitwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionCore {
+    /// The winning protocol (ties resolve to the earliest entry of
+    /// [`Protocol::ALL`], so selection is deterministic).
+    pub protocol: Protocol,
+    /// Its optimal sum rate at the quantized operating point.
+    pub sum_rate: f64,
+    /// Rate of `w_a` at the optimum.
+    pub ra: f64,
+    /// Rate of `w_b` at the optimum.
+    pub rb: f64,
+    /// Optimal phase schedule.
+    pub durations: PhaseVec,
+}
+
+impl DecisionCore {
+    /// Builds the core from a winning sum-rate solution.
+    pub fn from_solution(sol: &SumRateSolution) -> Self {
+        DecisionCore {
+            protocol: sol.protocol,
+            sum_rate: sol.sum_rate,
+            ra: sol.ra,
+            rb: sol.rb,
+            durations: sol.durations,
+        }
+    }
+
+    /// Attaches provenance, producing the user-facing [`Decision`].
+    pub fn tagged(self, served_from: ServedFrom) -> Decision {
+        Decision {
+            protocol: self.protocol,
+            sum_rate: self.sum_rate,
+            ra: self.ra,
+            rb: self.rb,
+            durations: self.durations,
+            served_from,
+        }
+    }
+}
+
+/// The engine's answer to a [`Query`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The winning protocol.
+    pub protocol: Protocol,
+    /// Its optimal sum rate at the quantized operating point.
+    pub sum_rate: f64,
+    /// Rate of `w_a` at the optimum.
+    pub ra: f64,
+    /// Rate of `w_b` at the optimum.
+    pub rb: f64,
+    /// Optimal phase schedule of the winner.
+    pub durations: PhaseVec,
+    /// Whether this answer was solved fresh or served from the cache.
+    pub served_from: ServedFrom,
+}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The QoS floor is unachievable by **every** protocol at the
+    /// (quantized) operating point. Infeasibility is a property of the
+    /// quantized key and is cached like any other outcome.
+    Infeasible,
+    /// An unexpected solver failure (not an infeasibility).
+    Solver(CoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Infeasible => {
+                write!(f, "QoS floor unachievable by every protocol")
+            }
+            ServeError::Solver(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Backpressure: the submission queue is full; the query is handed back
+/// to the caller untouched (retry after a drain, or shed it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rejected(pub Query);
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "submission queue full; query rejected")
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let q = Query::new(ChannelState::new(1.0, 2.0, 3.0), PowerSplit::symmetric(5.0));
+        assert_eq!(q.bound, Bound::Inner);
+        assert_eq!(q.floor, None);
+        let q = q.with_floor(0.1, 0.2).with_bound(Bound::Outer);
+        assert_eq!(q.floor, Some((0.1, 0.2)));
+        assert_eq!(q.bound, Bound::Outer);
+        let net = q.network();
+        assert_eq!(net.state(), q.state);
+        assert_eq!(net.powers(), q.powers);
+    }
+
+    #[test]
+    fn decision_core_round_trips_through_tagging() {
+        let sol = SumRateSolution {
+            protocol: Protocol::Mabc,
+            sum_rate: 1.5,
+            ra: 0.75,
+            rb: 0.75,
+            durations: PhaseVec::from([0.4, 0.6]),
+        };
+        let core = DecisionCore::from_solution(&sol);
+        let d = core.tagged(ServedFrom::Cache);
+        assert_eq!(d.protocol, Protocol::Mabc);
+        assert_eq!(d.sum_rate, 1.5);
+        assert_eq!(d.served_from, ServedFrom::Cache);
+        assert_eq!(d.durations, sol.durations);
+    }
+}

@@ -1,0 +1,392 @@
+//! Batched admission: a bounded submission queue drained in parallel.
+//!
+//! [`Server`] wraps an [`Engine`] with the throughput-oriented front
+//! end: callers [`submit`](Server::submit) queries into a bounded queue
+//! (a full queue pushes back with [`Rejected`] instead of growing
+//! without bound), and [`drain`](Server::drain) answers everything
+//! queued in one batch — probing the cache serially, deduplicating
+//! misses by quantized key, fanning the unique misses across the
+//! deterministic parallel engine of [`bcc_num::par`], and committing the
+//! results back into the cache.
+//!
+//! # Determinism
+//!
+//! Drained decision streams are **bit-identical at any worker count**:
+//! the cache probe and commit phases are serial, miss deduplication is
+//! first-seen order, and each solve is a pure function of its snapped
+//! query (contexts accept warm starts only under provable uniqueness,
+//! so solve results are history-independent). Only the *cost* counters
+//! in [`BatchStats`] (`warm_hits`, `pivots`) depend on how misses land
+//! on workers, and those are reported as diagnostics, never used in
+//! answers.
+
+use crate::cache::Outcome;
+use crate::engine::{solve_counted, Engine, ServeConfig};
+use crate::quant::QuantKey;
+use crate::query::{Decision, Query, Rejected, ServeError, ServedFrom};
+use crate::stats::ServeStats;
+use bcc_core::SolveCtx;
+use bcc_num::par::par_map_indexed_with;
+use std::collections::HashMap;
+
+/// What one drained batch cost — the serving-path counterpart of
+/// [`bcc_lp::stats::LpStats`], exposed per batch so bench gates can
+/// assert on kernel/warm behaviour of the serving path itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Queries answered by the drain.
+    pub queries: u64,
+    /// Answers served from the cache, including within-batch duplicates
+    /// of one solved miss.
+    pub cache_hits: u64,
+    /// Unique quantized keys solved fresh.
+    pub solved: u64,
+    /// Answers that reported QoS infeasibility.
+    pub infeasible: u64,
+    /// Closed-form kernel solves across the batch's workers.
+    pub kernel_solves: u64,
+    /// Simplex LP solves across the batch's workers.
+    pub simplex_solves: u64,
+    /// Warm-started simplex solves (scheduling-dependent: which worker
+    /// solves which miss varies with the thread count, so this is a
+    /// diagnostic, not a deterministic quantity).
+    pub warm_hits: u64,
+    /// Simplex pivots (scheduling-dependent, like `warm_hits`).
+    pub pivots: u64,
+}
+
+/// How one submitted query will be answered, planned during the serial
+/// cache-probe pass.
+enum Plan {
+    /// Already cached: answer directly.
+    Hit(Outcome),
+    /// Miss `miss_idx` in the deduplicated solve list; `first` marks the
+    /// batch's first occurrence of the key (tagged `Kernel`; later
+    /// duplicates are cache hits on the shared solve).
+    Solve { miss_idx: usize, first: bool },
+}
+
+/// A batched protocol-selection server over a bounded submission queue.
+#[derive(Debug)]
+pub struct Server {
+    engine: Engine,
+    queue: Vec<Query>,
+    queue_cap: usize,
+    threads: Option<usize>,
+    last_batch: BatchStats,
+}
+
+impl Server {
+    /// Creates a server per `config`.
+    pub fn new(config: &ServeConfig) -> Self {
+        Server {
+            engine: Engine::new(config),
+            queue: Vec::with_capacity(config.queue_capacity.min(8_192)),
+            queue_cap: config.queue_capacity,
+            threads: config.threads,
+            last_batch: BatchStats::default(),
+        }
+    }
+
+    /// The underlying serial engine (also the closed-loop serve path).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Answers one query immediately, bypassing the queue — the
+    /// closed-loop path. Equivalent to [`Engine::serve`].
+    pub fn serve(&mut self, query: &Query) -> Result<Decision, ServeError> {
+        self.engine.serve(query)
+    }
+
+    /// Queries currently queued for the next drain.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stats of the most recent [`drain`](Server::drain) (zeros before
+    /// the first).
+    pub fn last_batch(&self) -> &BatchStats {
+        &self.last_batch
+    }
+
+    /// Enqueues a query for the next drain, or pushes back with
+    /// [`Rejected`] if the queue is at capacity (the query is handed
+    /// back untouched; retry after a drain or shed it).
+    pub fn submit(&mut self, query: Query) -> Result<(), Rejected> {
+        if self.queue.len() >= self.queue_cap {
+            crate::stats::record(&ServeStats {
+                rejects: 1,
+                ..ServeStats::zero()
+            });
+            return Err(Rejected(query));
+        }
+        self.queue.push(query);
+        Ok(())
+    }
+
+    /// Answers every queued query, in submission order.
+    ///
+    /// Misses are deduplicated by quantized key and fanned across
+    /// workers; see the module docs for the determinism contract. The
+    /// batch's cost is recorded in [`last_batch`](Server::last_batch)
+    /// and the process-wide [`stats`](crate::stats).
+    pub fn drain(&mut self) -> Vec<Result<Decision, ServeError>> {
+        let batch: Vec<Query> = std::mem::take(&mut self.queue);
+        if batch.is_empty() {
+            self.last_batch = BatchStats::default();
+            return Vec::new();
+        }
+
+        // Phase 1 (serial): probe the cache, dedup misses by key.
+        let spec = *self.engine.spec();
+        let mut plans = Vec::with_capacity(batch.len());
+        let mut miss_of_key: HashMap<QuantKey, usize> = HashMap::new();
+        let mut miss_keys: Vec<QuantKey> = Vec::new();
+        let mut miss_queries: Vec<Query> = Vec::new();
+        for query in &batch {
+            let (key, snapped) = spec.snap_query(query);
+            if let Some(outcome) = self.engine.cache_mut().get(&key) {
+                plans.push(Plan::Hit(outcome));
+                continue;
+            }
+            match miss_of_key.get(&key) {
+                Some(&miss_idx) => plans.push(Plan::Solve {
+                    miss_idx,
+                    first: false,
+                }),
+                None => {
+                    let miss_idx = miss_queries.len();
+                    miss_of_key.insert(key, miss_idx);
+                    miss_keys.push(key);
+                    miss_queries.push(snapped);
+                    plans.push(Plan::Solve {
+                        miss_idx,
+                        first: true,
+                    });
+                }
+            }
+        }
+
+        // Phase 2 (parallel): solve the unique misses. Results come back
+        // in miss order regardless of scheduling.
+        let threads = self.threads.unwrap_or_else(bcc_num::par::thread_count);
+        let solved = par_map_indexed_with(threads, &miss_queries, SolveCtx::new, |ctx, _, q| {
+            solve_counted(ctx, q)
+        });
+
+        // Phase 3 (serial): commit solved outcomes into the cache in miss
+        // order (solver errors are never cached).
+        let evictions_before = self.engine.cache().evictions();
+        let mut stats = BatchStats {
+            queries: batch.len() as u64,
+            solved: miss_queries.len() as u64,
+            ..BatchStats::default()
+        };
+        for (key, miss) in miss_keys.iter().zip(&solved) {
+            stats.kernel_solves += miss.kernel_solves;
+            stats.simplex_solves += miss.simplex_solves;
+            stats.warm_hits += miss.warm_hits;
+            stats.pivots += miss.pivots;
+            if let Ok(outcome) = miss.outcome {
+                self.engine.cache_mut().insert(*key, outcome);
+            }
+        }
+
+        // Phase 4 (serial): assemble answers in submission order.
+        let responses: Vec<Result<Decision, ServeError>> = plans
+            .into_iter()
+            .map(|plan| {
+                let (outcome, from) = match plan {
+                    Plan::Hit(outcome) => {
+                        stats.cache_hits += 1;
+                        (Ok(outcome), ServedFrom::Cache)
+                    }
+                    Plan::Solve { miss_idx, first } => {
+                        let from = if first {
+                            ServedFrom::Kernel
+                        } else {
+                            stats.cache_hits += 1;
+                            ServedFrom::Cache
+                        };
+                        (solved[miss_idx].outcome.clone(), from)
+                    }
+                };
+                match outcome {
+                    Ok(Outcome::Decided(core)) => Ok(core.tagged(from)),
+                    Ok(Outcome::Infeasible) => {
+                        stats.infeasible += 1;
+                        Err(ServeError::Infeasible)
+                    }
+                    Err(e) => Err(e),
+                }
+            })
+            .collect();
+
+        self.last_batch = stats;
+        crate::stats::record(&ServeStats {
+            queries: stats.queries,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.solved,
+            evictions: self
+                .engine
+                .cache()
+                .evictions()
+                .wrapping_sub(evictions_before),
+            rejects: 0,
+            kernel_solves: stats.kernel_solves,
+            simplex_solves: stats.simplex_solves,
+        });
+        responses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_channel::{ChannelState, PowerSplit};
+
+    fn q(gab: f64) -> Query {
+        Query::new(
+            ChannelState::new(gab, 1.0, 3.16),
+            PowerSplit::symmetric(10.0),
+        )
+    }
+
+    fn decision_bits(d: &Result<Decision, ServeError>) -> Option<(u64, u64, u64, ServedFrom)> {
+        d.as_ref().ok().map(|d| {
+            (
+                d.sum_rate.to_bits(),
+                d.ra.to_bits(),
+                d.rb.to_bits(),
+                d.served_from,
+            )
+        })
+    }
+
+    #[test]
+    fn backpressure_rejects_when_the_queue_is_full() {
+        let config = ServeConfig::default().queue_capacity(2);
+        let mut server = Server::new(&config);
+        server.submit(q(0.1)).unwrap();
+        server.submit(q(0.2)).unwrap();
+        let rejected = server.submit(q(0.3)).unwrap_err();
+        assert_eq!(rejected.0, q(0.3), "the query comes back untouched");
+        assert_eq!(server.queued(), 2);
+        // Draining frees the queue for the retry.
+        let answers = server.drain();
+        assert_eq!(answers.len(), 2);
+        server.submit(rejected.0).unwrap();
+    }
+
+    #[test]
+    fn within_batch_duplicates_share_one_solve() {
+        let mut server = Server::new(&ServeConfig::default());
+        for _ in 0..5 {
+            server.submit(q(0.2)).unwrap();
+        }
+        let answers = server.drain();
+        assert_eq!(answers.len(), 5);
+        let stats = *server.last_batch();
+        assert_eq!(stats.solved, 1, "one unique key, one solve");
+        assert_eq!(stats.cache_hits, 4, "the other four ride along");
+        assert_eq!(answers[0].as_ref().unwrap().served_from, ServedFrom::Kernel);
+        for a in &answers[1..] {
+            assert_eq!(a.as_ref().unwrap().served_from, ServedFrom::Cache);
+            assert_eq!(
+                a.as_ref().unwrap().sum_rate.to_bits(),
+                answers[0].as_ref().unwrap().sum_rate.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn drain_matches_the_serial_engine_bit_for_bit() {
+        let queries: Vec<Query> = (0..40).map(|i| q(0.05 + 0.11 * f64::from(i))).collect();
+        let mut server = Server::new(&ServeConfig::default().threads(4));
+        for &query in &queries {
+            server.submit(query).unwrap();
+        }
+        let batched = server.drain();
+
+        let mut engine = Engine::new(&ServeConfig::default());
+        let serial: Vec<_> = queries.iter().map(|query| engine.serve(query)).collect();
+        for (b, s) in batched.iter().zip(&serial) {
+            assert_eq!(decision_bits(b), decision_bits(s));
+        }
+    }
+
+    #[test]
+    fn drain_is_thread_count_invariant() {
+        let queries: Vec<Query> = (0..64).map(|i| q(0.05 + 0.07 * f64::from(i))).collect();
+        let run = |threads: usize| {
+            let mut server = Server::new(&ServeConfig::default().threads(threads));
+            for &query in &queries {
+                server.submit(query).unwrap();
+            }
+            server.drain()
+        };
+        let one = run(1);
+        let four = run(4);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(decision_bits(a), decision_bits(b));
+        }
+    }
+
+    #[test]
+    fn second_drain_of_the_same_states_is_all_hits() {
+        let mut server = Server::new(&ServeConfig::default());
+        for i in 0..8 {
+            server.submit(q(0.1 + 0.2 * f64::from(i))).unwrap();
+        }
+        server.drain();
+        for i in 0..8 {
+            server.submit(q(0.1 + 0.2 * f64::from(i))).unwrap();
+        }
+        let answers = server.drain();
+        let stats = *server.last_batch();
+        assert_eq!(stats.solved, 0);
+        assert_eq!(stats.cache_hits, 8);
+        for a in &answers {
+            assert_eq!(a.as_ref().unwrap().served_from, ServedFrom::Cache);
+        }
+    }
+
+    #[test]
+    fn batch_stats_expose_kernel_solves_through_the_snapshot() {
+        let mut server = Server::new(&ServeConfig::default().threads(1));
+        for i in 0..6 {
+            server.submit(q(0.3 + 0.25 * f64::from(i))).unwrap();
+        }
+        let (_, delta) = crate::stats::scoped(|| server.drain());
+        assert_eq!(delta.queries, 6);
+        assert_eq!(delta.cache_misses, 6);
+        assert!(
+            delta.kernel_solves > 0,
+            "inner/no-floor misses hit the kernel"
+        );
+        assert_eq!(server.last_batch().kernel_solves, delta.kernel_solves);
+    }
+
+    #[test]
+    fn floored_batches_exercise_the_simplex_and_stay_deterministic() {
+        let queries: Vec<Query> = (0..24)
+            .map(|i| q(0.2 + 0.13 * f64::from(i)).with_floor(0.05, 0.05))
+            .collect();
+        let run = |threads: usize| {
+            let mut server = Server::new(&ServeConfig::default().threads(threads));
+            for &query in &queries {
+                server.submit(query).unwrap();
+            }
+            let answers = server.drain();
+            let stats = *server.last_batch();
+            (answers, stats)
+        };
+        let (one, s1) = run(1);
+        let (four, _) = run(4);
+        assert!(s1.simplex_solves > 0, "floors force LP solves");
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(decision_bits(a), decision_bits(b));
+        }
+    }
+}

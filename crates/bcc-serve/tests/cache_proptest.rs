@@ -1,0 +1,117 @@
+//! Property tests of the quantized-state cache's exactness contract.
+//!
+//! Over random query streams (random states, powers, floors, grid
+//! steps, and deliberately tiny cache capacities that force evictions):
+//!
+//! * every answer served from the cache is **bitwise identical** to what
+//!   a fresh, cold [`SolveCtx`] computes at the same quantized key — the
+//!   cache may change *when* work happens, never *what* the answer is;
+//! * cache occupancy never exceeds capacity, evictions notwithstanding.
+
+use bcc_channel::{ChannelState, PowerSplit};
+use bcc_core::SolveCtx;
+use bcc_serve::{cold_solve, Engine, QuantSpec, Query, ServeConfig, ServeError, ServedFrom};
+use proptest::prelude::*;
+
+/// One randomly-shaped query: gains, symmetric power, and (when the
+/// selector is odd) a QoS floor that ranges from trivial to hopeless.
+fn raw_query() -> impl Strategy<Value = Query> {
+    (
+        (0.01f64..10.0, 0.01f64..10.0, 0.01f64..10.0),
+        0.5f64..40.0,
+        (0u8..4, 0.0f64..2.0, 0.0f64..2.0),
+    )
+        .prop_map(|((gab, gar, gbr), power, (sel, ra, rb))| {
+            let q = Query::new(
+                ChannelState::new(gab, gar, gbr),
+                PowerSplit::symmetric(power),
+            );
+            if sel % 2 == 1 {
+                q.with_floor(ra, rb)
+            } else {
+                q
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exactness contract, end to end: serve a random stream through
+    /// a small cache; every `Cache`-tagged answer must equal a cold
+    /// solve of the same query bit for bit, and cached infeasibility
+    /// must be reported identically hot or cold.
+    #[test]
+    fn cache_hits_equal_cold_solves_bitwise(
+        raw in proptest::collection::vec(raw_query(), 1..50),
+        step_db in 0.05f64..2.0,
+        capacity in 8usize..64,
+        duplicate_stride in 1usize..5,
+    ) {
+        let spec = QuantSpec::db_grid(step_db);
+        let config = ServeConfig::default().quant(spec).cache_capacity(capacity);
+        let mut engine = Engine::new(&config);
+        let mut oracle = SolveCtx::new();
+
+        // Interleave repeats into the stream so hits actually happen.
+        let mut stream: Vec<Query> = Vec::new();
+        for (i, &q) in raw.iter().enumerate() {
+            stream.push(q);
+            if i % duplicate_stride == 0 && i > 0 {
+                stream.push(raw[i / 2]);
+            }
+        }
+
+        let mut hits = 0u32;
+        for query in &stream {
+            let served = engine.serve(query);
+            prop_assert!(engine.cache().len() <= engine.cache().capacity());
+            let from_cache = matches!(&served, Ok(d) if d.served_from == ServedFrom::Cache);
+            // `Engine::serve` doesn't tag provenance on errors, so check
+            // every infeasible answer against the oracle instead.
+            let infeasible = served == Err(ServeError::Infeasible);
+            if !(from_cache || infeasible) {
+                continue;
+            }
+            hits += u32::from(from_cache);
+            match (&served, cold_solve(&mut oracle, query, &spec)) {
+                (Ok(d), Ok(Some(cold))) => {
+                    prop_assert_eq!(d.protocol, cold.protocol);
+                    prop_assert_eq!(d.sum_rate.to_bits(), cold.sum_rate.to_bits());
+                    prop_assert_eq!(d.ra.to_bits(), cold.ra.to_bits());
+                    prop_assert_eq!(d.rb.to_bits(), cold.rb.to_bits());
+                    prop_assert_eq!(d.durations, cold.durations);
+                }
+                (Err(ServeError::Infeasible), Ok(None)) => {}
+                (served, cold) => {
+                    panic!("cache and cold solve disagree: {served:?} vs {cold:?}");
+                }
+            }
+        }
+        // The interleaved repeats guarantee hits whenever the cache is
+        // big enough that nothing was evicted in between.
+        if stream.len() > raw.len() && capacity >= 2 * stream.len() {
+            prop_assert!(hits > 0, "duplicate-bearing stream produced no hits");
+        }
+    }
+
+    /// Occupancy stays bounded under pure insert pressure (mostly-miss
+    /// streams into the smallest caches).
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        raw in proptest::collection::vec(raw_query(), 1..80),
+        capacity in 1usize..32,
+    ) {
+        let config = ServeConfig::default().cache_capacity(capacity);
+        let mut engine = Engine::new(&config);
+        for q in &raw {
+            let _ = engine.serve(q);
+            prop_assert!(
+                engine.cache().len() <= engine.cache().capacity(),
+                "len {} > capacity {}",
+                engine.cache().len(),
+                engine.cache().capacity()
+            );
+        }
+    }
+}
