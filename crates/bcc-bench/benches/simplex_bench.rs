@@ -46,7 +46,8 @@ criterion_group!(
     bench_two_phase,
     bench_warm_vs_cold,
     bench_reusable_rebuild,
-    bench_kernel_vs_simplex
+    bench_kernel_vs_simplex,
+    bench_block_vs_scalar
 );
 criterion_main!(benches);
 
@@ -113,6 +114,59 @@ fn bench_reusable_rebuild(c: &mut Criterion) {
             black_box(p.num_constraints())
         })
     });
+}
+
+fn bench_block_vs_scalar(c: &mut Criterion) {
+    // The SoA lane kernels against a per-point scalar loop over the same
+    // 1024-point grid — the measured gap is what `SolveCtx::solve_block`
+    // buys the blocked sweep paths per grid point. Output is bit-identical
+    // either way (pinned by the batch_differential suite); only the
+    // instruction mix differs.
+    use bcc_core::batch::{self, PointBlock};
+    use bcc_core::kernel;
+    use bcc_core::prelude::*;
+
+    let nets: Vec<GaussianNetwork> = (0..1024)
+        .map(|k| {
+            let p = 1.0 + 40.0 * (k as f64 / 1024.0);
+            GaussianNetwork::with_powers(
+                PowerSplit::new(p, p, 0.5 * p),
+                ChannelState::new(1.0, 1.0 + (k % 7) as f64, 1.0 + (k % 11) as f64),
+            )
+        })
+        .collect();
+    let mut block = PointBlock::new();
+    for n in &nets {
+        block.push_net(n);
+    }
+    block.compute_caps();
+
+    let mut group = c.benchmark_group("sum_rate_1024pt");
+    for proto in Protocol::ALL {
+        let name = format!("{proto:?}").to_lowercase();
+        group.bench_with_input(BenchmarkId::new("block", &name), &proto, |b, &proto| {
+            let mut sums = Vec::with_capacity(nets.len());
+            b.iter(|| {
+                sums.clear();
+                batch::max_sum_rate_block(&block, proto, &mut sums);
+                black_box(sums.last().unwrap().sum_rate)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scalar_loop", &name),
+            &proto,
+            |b, &proto| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for n in &nets {
+                        acc += kernel::max_sum_rate(n, proto).unwrap().sum_rate;
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_kernel_vs_simplex(c: &mut Criterion) {

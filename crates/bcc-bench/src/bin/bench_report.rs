@@ -1,6 +1,6 @@
 //! bench-report — times the canonical evaluation scenarios in serial and
 //! parallel modes and writes the machine-readable `BENCH_evaluator.json`
-//! (schema 3) that CI uploads and trends.
+//! (schema 4) that CI uploads and trends.
 //!
 //! Five workloads cover the engine's hot paths at production scale:
 //!
@@ -30,9 +30,12 @@
 //! Beyond wall time, each scenario records the **solver-mix counters** of
 //! one serial run: simplex `pivots`, `warm_hits` (solves served from a
 //! remembered basis), `kernel_hits` (solves served by the closed-form
-//! two-phase kernel, no LP at all) and `allocs_per_point` (heap
+//! kernels, no LP at all), `batched_points`/`lanes_filled` (points that
+//! rode the SoA lane kernels, and how many landed in full SIMD-width
+//! lanes rather than the scalar tail) and `allocs_per_point` (heap
 //! allocations per grid point/trial, measured by a counting global
-//! allocator — the zero-allocation hot-loop regression canary).
+//! allocator — the zero-allocation hot-loop regression canary). The
+//! report also records the `block_size` the batched paths chunk by.
 //!
 //! Usage:
 //!
@@ -43,11 +46,12 @@
 //! `--out` defaults to `results/BENCH_evaluator.json`. With `--check`, the
 //! run exits non-zero if the Fig. 3 sweep's wall time regressed more than
 //! 15% against the committed baseline (serial and parallel each), **or if
-//! a fast path silently turned off**: `kernel_hits == 0` on the Fig. 3
-//! sweep, or `warm_hits == 0` summed across all scenarios (fig3's own
-//! warm path is legitimately idle — only HBC reaches the simplex there
-//! and its symmetric-sweep optima are degenerate). The factor is
-//! overridable via
+//! a fast path silently turned off**: `kernel_hits == 0` or
+//! `batched_points == 0` on the Fig. 3 sweep (every solve there is
+//! closed-form and must run through the SoA lane kernels), or
+//! `warm_hits == 0` summed across all scenarios (a floor-free inner
+//! sweep never touches the simplex now, so the warm path's canary is the
+//! serve study's floored sub-stream). The factor is overridable via
 //! `BCC_BENCH_TOLERANCE` (≥ 1.0) for runners slower than the baseline
 //! machine. Refresh the baseline by copying a trusted run's
 //! `BENCH_evaluator.json` over `ci/bench_baseline.json`.
@@ -114,6 +118,11 @@ struct SolveMix {
     pivots: u64,
     warm_hits: u64,
     kernel_hits: u64,
+    /// Points solved through the batched SoA lane kernels.
+    batched_points: u64,
+    /// Of those, how many rode in full SIMD-width lanes (the remainder
+    /// is the per-block scalar tail).
+    lanes_filled: u64,
     allocs_per_point: f64,
 }
 
@@ -157,14 +166,20 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 /// single-threaded outside the parallel timing runs.
 fn measure_mix(units: usize, f: impl FnOnce()) -> SolveMix {
     let k0 = bcc_core::kernel::kernel_hits_local();
+    let b0 = bcc_core::batch::stats::batched_points_local();
+    let l0 = bcc_core::batch::stats::lanes_filled_local();
     let a0 = ALLOCS.load(Relaxed);
     let ((), lp) = bcc_lp::stats::scoped(f);
     let kernel_hits = bcc_core::kernel::kernel_hits_local() - k0;
+    let batched_points = bcc_core::batch::stats::batched_points_local() - b0;
+    let lanes_filled = bcc_core::batch::stats::lanes_filled_local() - l0;
     let allocs = ALLOCS.load(Relaxed) - a0;
     SolveMix {
         pivots: lp.pivots,
         warm_hits: lp.warm_hits,
         kernel_hits,
+        batched_points,
+        lanes_filled,
         allocs_per_point: allocs as f64 / units.max(1) as f64,
     }
 }
@@ -463,9 +478,13 @@ fn time_serve(parallel_threads: usize) -> Timing {
 }
 
 fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
-    let mut out = String::from("{\n  \"schema\": 3,\n");
+    let mut out = String::from("{\n  \"schema\": 4,\n");
     out.push_str(&format!(
         "  \"threads\": {{ \"available\": {available}, \"parallel\": {parallel} }},\n"
+    ));
+    out.push_str(&format!(
+        "  \"block_size\": {},\n",
+        bcc_core::batch::DEFAULT_BLOCK
     ));
     out.push_str("  \"scenarios\": [\n");
     for (i, t) in timings.iter().enumerate() {
@@ -478,6 +497,7 @@ fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String 
             "    {{ \"name\": \"{}\", \"points\": {}, \"trials\": {}, \
              \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
              \"pivots\": {}, \"warm_hits\": {}, \"kernel_hits\": {}, \
+             \"batched_points\": {}, \"lanes_filled\": {}, \
              \"allocs_per_point\": {:.3}{} }}{}\n",
             t.name,
             t.points,
@@ -488,6 +508,8 @@ fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String 
             t.mix.pivots,
             t.mix.warm_hits,
             t.mix.kernel_hits,
+            t.mix.batched_points,
+            t.mix.lanes_filled,
             t.mix.allocs_per_point,
             extras,
             if i + 1 < timings.len() { "," } else { "" }
@@ -554,7 +576,8 @@ fn main() {
     for t in &timings {
         println!(
             "{:<18} {:>6} pts {:>6} trials  serial {:>9.1} ms  parallel {:>9.1} ms  \
-             speedup {:.2}x  pivots {:>8}  warm {:>7}  kernel {:>7}  allocs/pt {:>7.2}",
+             speedup {:.2}x  pivots {:>8}  warm {:>7}  kernel {:>7}  batched {:>7}  \
+             lanes {:>7}  allocs/pt {:>7.2}",
             t.name,
             t.points,
             t.trials,
@@ -564,6 +587,8 @@ fn main() {
             t.mix.pivots,
             t.mix.warm_hits,
             t.mix.kernel_hits,
+            t.mix.batched_points,
+            t.mix.lanes_filled,
             t.mix.allocs_per_point,
         );
         if !t.extra.is_empty() {
@@ -591,11 +616,13 @@ fn main() {
             }
         }
         // A fast path going quiet is a silent perf loss even when wall
-        // time hasn't (yet) tripped the timing gate on a fast runner. On
-        // the fig3 sweep the closed-form kernel carries DT/MABC/TDBC
-        // (HBC's symmetric-sweep optima are degenerate, so its warm path
-        // is legitimately idle there); the warm-start path must fire on
-        // the workloads where the simplex is actually in play.
+        // time hasn't (yet) tripped the timing gate on a fast runner. The
+        // closed-form kernel carries all four protocols on the fig3
+        // sweep, and it must run *batched* — a floor-free inner sweep
+        // falling back to per-point scalar solves is a regression even at
+        // identical answers. The warm-start path must still fire on the
+        // workloads where the simplex is actually in play (floored serve
+        // queries).
         if fig3.mix.kernel_hits == 0 {
             failures.push(
                 "fig3_sweep kernel_hits == 0: the closed-form kernel never fired \
@@ -606,6 +633,18 @@ fn main() {
             println!(
                 "check ok: fig3_sweep kernel_hits = {}",
                 fig3.mix.kernel_hits
+            );
+        }
+        if fig3.mix.batched_points == 0 {
+            failures.push(
+                "fig3_sweep batched_points == 0: the sweep fell back to scalar \
+                 per-point solves (batched lane kernels silently disabled?)"
+                    .to_string(),
+            );
+        } else {
+            println!(
+                "check ok: fig3_sweep batched_points = {} (lanes_filled = {})",
+                fig3.mix.batched_points, fig3.mix.lanes_filled
             );
         }
         let warm_total: u64 = timings.iter().map(|t| t.mix.warm_hits).sum();

@@ -122,9 +122,9 @@ fn multipair_study_shapes() {
 /// rest of the suite hammers the solver from sibling test threads.
 #[test]
 fn bench_gate_counters_observable_in_process() {
-    // Miniature fig3 sweep: the closed-form kernel must carry
-    // DT/MABC/TDBC (3 of 4 protocols × 201 points), pivots come from
-    // HBC's simplex solves only.
+    // Miniature fig3 sweep: every protocol has a closed form now, so the
+    // batched lane kernels must carry all 4 protocols × 201 points with
+    // zero simplex solves.
     let k0 = bcc_core::kernel::kernel_hits_local();
     let (_, lp) = bcc_lp::stats::scoped(|| {
         Scenario::symmetric_gain_sweep_db(15.0, 0.0, (0..=200).map(|k| f64::from(k) * 0.15))
@@ -134,29 +134,26 @@ fn bench_gate_counters_observable_in_process() {
             .unwrap()
     });
     let kernel = bcc_core::kernel::kernel_hits_local() - k0;
-    assert_eq!(
-        kernel,
-        3 * 201,
-        "kernel must serve the two-phase + TDBC solves"
-    );
-    assert_eq!(lp.solves, 201, "one simplex solve per point (HBC)");
-    assert!(lp.pivots > 0);
+    assert_eq!(kernel, 4 * 201, "the kernel must serve every solve");
+    assert_eq!(lp.solves, 0, "a floor-free inner sweep never touches LP");
 
-    // Miniature crossover sweep: asymmetric gains keep HBC's optima
-    // nondegenerate, so the warm-start path must fire.
+    // Miniature floored crossover sweep: QoS floors force the simplex,
+    // and repeated solves on one context must fire the warm-start path.
     let (_, lp) = bcc_lp::stats::scoped(|| {
         Scenario::power_sweep_db(
             fig4_network(0.0),
             (0..=300).map(|k| -5.0 + f64::from(k) * 0.05),
         )
+        .rate_floor(0.01, 0.01)
         .threads(1)
         .build()
         .sweep()
         .unwrap()
     });
+    assert!(lp.solves > 0, "floors force LP solves");
     assert!(
         lp.warm_hits > 0,
-        "warm-start path never fired on the crossover mini-sweep: {lp:?}"
+        "warm-start path never fired on the floored mini-sweep: {lp:?}"
     );
     assert!(lp.warm_attempts >= lp.warm_hits);
 }

@@ -14,12 +14,32 @@
 //!   sits at a pairwise line crossing or an endpoint.
 //!
 //! Both are solved exactly by evaluating a handful of candidate `Δ`s —
-//! tens of flops instead of a simplex run. The kernel is dispatched
-//! automatically by [`SolveCtx`] (and `GaussianNetwork::max_sum_rate`)
-//! whenever no QoS rate floor and no outer-bound ρ-family is in play;
-//! the simplex remains the general fallback for TDBC/HBC (three and four
-//! phases have genuinely multidimensional schedules) and serves as the
-//! proptest oracle for the kernel (`bcc-core/tests/kernel_oracle.rs`).
+//! tens of flops instead of a simplex run. The **multi-phase protocols**
+//! follow the same geometry one dimension up: TDBC (sum and max–min) and
+//! HBC (sum) are concave piecewise-linear programs over a 2- or
+//! 3-simplex, solved exactly by enumerating the vertices of the linearity
+//! subdivision (facets × kink planes — a few dozen cross products). The
+//! kernel is dispatched automatically by [`SolveCtx`] (and
+//! `GaussianNetwork::max_sum_rate`) whenever no QoS rate floor and no
+//! outer-bound ρ-family is in play; the simplex remains the fallback for
+//! the HBC max–min, floors and outer families, and serves as the proptest
+//! oracle for every closed form (`bcc-core/tests/kernel_oracle.rs`).
+//!
+//! The closed forms themselves are implemented **once**, as width-generic
+//! lane kernels in [`crate::batch`]; the scalar entry points here are the
+//! width-1 instantiations of those lane bodies, so scalar and batched
+//! answers are bit-identical by construction.
+//!
+//! # The solve API
+//!
+//! The per-worker entry points are consolidated behind one typed request:
+//! a [`SolveRequest`] names the objective ([`Objective::SumRate`] or
+//! [`Objective::MaxMin`]), the protocol, the bound side and an optional
+//! QoS floor, and resolves to a [`SolveOutcome`] through
+//! [`SolveCtx::solve_one`] (scalar), [`SolveCtx::solve_block`] (batched
+//! over a [`crate::batch::PointBlock`]) or [`SolveCtx::solve_best`]
+//! (argmax over protocols). The historical per-query methods
+//! (`sum_rate`, `max_min_rate`, …) remain as thin deprecated wrappers.
 //!
 //! # The solve context
 //!
@@ -76,325 +96,197 @@ fn record_kernel_hit() {
     KERNEL_HITS_LOCAL.with(|c| c.set(c.get() + 1));
 }
 
-/// Upper bound on candidate Δs any closed form enumerates.
-const MAX_CANDS: usize = 16;
-
-/// Fixed-capacity candidate list (keeps the kernel allocation-free).
-struct Cands {
-    buf: [f64; MAX_CANDS],
-    len: usize,
+/// Bulk form of [`record_kernel_hit`] for the block kernels: one update
+/// per block instead of one per point.
+pub(crate) fn record_kernel_hits(n: u64) {
+    KERNEL_HITS.fetch_add(n, Relaxed);
+    KERNEL_HITS_LOCAL.with(|c| c.set(c.get() + n));
 }
 
-impl Cands {
-    fn new() -> Self {
-        Cands {
-            buf: [0.0; MAX_CANDS],
-            len: 0,
-        }
-    }
-
-    fn push(&mut self, d: f64) {
-        if (0.0..=1.0).contains(&d) {
-            debug_assert!(self.len < MAX_CANDS);
-            self.buf[self.len] = d;
-            self.len += 1;
-        }
-    }
-
-    fn as_slice(&self) -> &[f64] {
-        &self.buf[..self.len]
-    }
-}
-
-/// The value of the line `p·Δ + q·(1 − Δ)`.
-fn line(p: f64, q: f64, d: f64) -> f64 {
-    p * d + q * (1.0 - d)
-}
-
-/// The crossing of lines `(p1, q1)` and `(p2, q2)` if it exists.
-fn crossing(p1: f64, q1: f64, p2: f64, q2: f64) -> Option<f64> {
-    let denom = (p1 - q1) - (p2 - q2);
-    if denom == 0.0 {
-        return None;
-    }
-    Some((q2 - q1) / denom)
-}
-
-/// Maximises `Δ ↦ min_i(p_i·Δ + q_i·(1 − Δ))` over `[0, 1]`: the maximum
-/// of a concave min-of-lines sits at a pairwise crossing or an endpoint.
-/// Returns `(Δ*, value)` (first-found maximum, so ties resolve
-/// deterministically).
-fn maximize_min_of_lines(lines: &[(f64, f64)]) -> (f64, f64) {
-    let mut cands = Cands::new();
-    cands.push(0.0);
-    cands.push(1.0);
-    for i in 0..lines.len() {
-        for j in i + 1..lines.len() {
-            if let Some(d) = crossing(lines[i].0, lines[i].1, lines[j].0, lines[j].1) {
-                cands.push(d);
-            }
-        }
-    }
-    let eval = |d: f64| {
-        lines
-            .iter()
-            .map(|&(p, q)| line(p, q, d))
-            .fold(f64::INFINITY, f64::min)
-    };
-    let mut best = (0.0, f64::NEG_INFINITY);
-    for &d in cands.as_slice() {
-        let v = eval(d);
-        if v > best.1 {
-            best = (d, v);
-        }
-    }
-    best
-}
-
-/// Closed-form `max_sum_rate` for DT, MABC and TDBC; `None` for HBC
-/// (simplex fallback — its four-phase schedule is genuinely
-/// three-dimensional and vertex enumeration stops paying off).
+/// Closed-form `max_sum_rate` — covers **all four** protocols (DT and
+/// MABC by 1-D line crossing, TDBC by 2-simplex vertex enumeration, HBC
+/// by 3-simplex vertex enumeration). Always `Some` for valid inputs.
 pub fn max_sum_rate(net: &GaussianNetwork, protocol: Protocol) -> Option<SumRateSolution> {
+    max_sum_rate_from_caps(&LinkCaps::compute(&net.powers(), &net.state()), protocol)
+}
+
+/// [`max_sum_rate`] from precomputed [`LinkCaps`] (the batch hot path —
+/// one capacity evaluation per point serves every protocol). Covers all
+/// four protocols; the `Option` return is kept for API stability (and
+/// for forward-compat with caps whose structure defeats a closed form).
+pub fn max_sum_rate_from_caps(caps: &LinkCaps, protocol: Protocol) -> Option<SumRateSolution> {
+    let sol = crate::batch::sum_rate_one(caps, protocol);
+    record_kernel_hit();
+    Some(sol)
+}
+
+/// Closed-form `max_min_rate` (largest symmetric rate) for DT, MABC and
+/// TDBC; `None` for HBC (its four-phase max–min stays on the simplex —
+/// the query is off the sweep hot path and the 3-simplex tie structure
+/// buys little over a warm-started solve).
+pub fn max_min_rate(net: &GaussianNetwork, protocol: Protocol) -> Option<SchedulePoint> {
     match protocol {
         Protocol::DirectTransmission | Protocol::Mabc | Protocol::Tdbc => {
-            max_sum_rate_from_caps(&LinkCaps::compute(&net.powers(), &net.state()), protocol)
+            max_min_rate_from_caps(&LinkCaps::compute(&net.powers(), &net.state()), protocol)
         }
         Protocol::Hbc => None,
     }
 }
 
-/// Exact closed-form TDBC sum rate by **vertex enumeration** over the
-/// duration simplex.
-///
-/// With `u = min(α·Δ₁, β·Δ₁ + γ·Δ₃)` (a's deliverable rate) and
-/// `v = min(δ·Δ₂, ε·Δ₂ + ζ·Δ₃)`, the sum rate `u + v` is concave
-/// piecewise-linear on the 2-simplex `Δ₁+Δ₂+Δ₃ = 1`, with kinks only on
-/// the two planes where a `min` switches sides. Every linear region is
-/// bounded by (a subset of) **five planes** — the three simplex
-/// boundaries plus the two kink planes — so the maximum is attained at
-/// the intersection of two of them with the simplex: at most 10
-/// candidate vertices, each a cross product away. Evaluating `u + v` at
-/// the candidates is exact (each is a feasible operating point), so the
-/// best candidate *is* the LP optimum.
-fn tdbc_sum_rate_from_caps(caps: &LinkCaps) -> SumRateSolution {
-    let (alpha, beta, gamma) = (caps.c_a_ar, caps.c_a_ab, caps.c_r_br);
-    let (delta, eps, zeta) = (caps.c_b_br, caps.c_b_ab, caps.c_r_ar);
-    let planes: [[f64; 3]; 5] = [
-        [1.0, 0.0, 0.0],             // Δ₁ = 0
-        [0.0, 1.0, 0.0],             // Δ₂ = 0
-        [0.0, 0.0, 1.0],             // Δ₃ = 0
-        [alpha - beta, 0.0, -gamma], // α·Δ₁ = β·Δ₁ + γ·Δ₃
-        [0.0, delta - eps, -zeta],   // δ·Δ₂ = ε·Δ₂ + ζ·Δ₃
-    ];
-    let u = |d: &[f64; 3]| (alpha * d[0]).min(beta * d[0] + gamma * d[2]).max(0.0);
-    let v = |d: &[f64; 3]| (delta * d[1]).min(eps * d[1] + zeta * d[2]).max(0.0);
-    let mut best = (f64::NEG_INFINITY, [0.0, 0.0, 1.0], 0.0, 0.0);
-    for i in 0..planes.len() {
-        for j in i + 1..planes.len() {
-            let (a, b) = (planes[i], planes[j]);
-            // The two planes meet the simplex plane where their cross
-            // product, normalised to unit coordinate sum, lands.
-            let d = [
-                a[1] * b[2] - a[2] * b[1],
-                a[2] * b[0] - a[0] * b[2],
-                a[0] * b[1] - a[1] * b[0],
-            ];
-            let sum = d[0] + d[1] + d[2];
-            let norm = d[0].abs() + d[1].abs() + d[2].abs();
-            if sum.abs() <= 1e-12 * norm || norm == 0.0 {
-                continue; // parallel to the simplex plane (or degenerate)
-            }
-            let d = [d[0] / sum, d[1] / sum, d[2] / sum];
-            if d.iter().any(|&x| !(-1e-9..=1.0 + 1e-9).contains(&x)) {
-                continue; // outside the simplex
-            }
-            let d = [d[0].max(0.0), d[1].max(0.0), d[2].max(0.0)];
-            let (uu, vv) = (u(&d), v(&d));
-            if uu + vv > best.0 {
-                best = (uu + vv, d, uu, vv);
-            }
-        }
-    }
-    SumRateSolution {
-        protocol: Protocol::Tdbc,
-        sum_rate: best.0,
-        ra: best.2,
-        rb: best.3,
-        durations: PhaseVec::from(best.1),
-    }
-}
-
-/// [`max_sum_rate`] from precomputed [`LinkCaps`] (the batch hot path —
-/// one capacity evaluation per point serves every protocol). Covers DT,
-/// MABC and TDBC; HBC returns `None` and falls back to the simplex.
-pub fn max_sum_rate_from_caps(caps: &LinkCaps, protocol: Protocol) -> Option<SumRateSolution> {
-    let sol = match protocol {
-        Protocol::DirectTransmission => {
-            // Sum rate Δ·c_a + (1−Δ)·c_b is linear: all time to the
-            // stronger direction.
-            let (c_a, c_b) = (caps.c_a_ab, caps.c_b_ab);
-            if c_a >= c_b {
-                SumRateSolution {
-                    protocol,
-                    sum_rate: c_a,
-                    ra: c_a,
-                    rb: 0.0,
-                    durations: PhaseVec::from([1.0, 0.0]),
-                }
-            } else {
-                SumRateSolution {
-                    protocol,
-                    sum_rate: c_b,
-                    ra: 0.0,
-                    rb: c_b,
-                    durations: PhaseVec::from([0.0, 1.0]),
-                }
-            }
-        }
-        Protocol::Mabc => {
-            let (a1, a2, b1, b2, s) = (
-                caps.c_a_ar,
-                caps.c_r_br,
-                caps.c_b_br,
-                caps.c_r_ar,
-                caps.c_mac,
-            );
-            let (d, sum) = mabc_sum_rate(a1, a2, b1, b2, s);
-            let ra0 = (d * a1).min((1.0 - d) * a2);
-            let rb0 = (d * b1).min((1.0 - d) * b2);
-            let cap = d * s;
-            let (ra, rb) = if ra0 + rb0 > cap {
-                // The MAC sum row binds: keep R_b at its individual cap
-                // and give R_a the remainder (any split achieving the sum
-                // is optimal; this one is deterministic and feasible).
-                let rb = rb0.min(cap);
-                (cap - rb, rb)
-            } else {
-                (ra0, rb0)
-            };
-            SumRateSolution {
-                protocol,
-                sum_rate: sum,
-                ra,
-                rb,
-                durations: PhaseVec::from([d, 1.0 - d]),
-            }
-        }
-        Protocol::Tdbc => tdbc_sum_rate_from_caps(caps),
-        Protocol::Hbc => return None,
-    };
-    record_kernel_hit();
-    Some(sol)
-}
-
-/// Maximises `f(Δ) = min(mA(Δ) + mB(Δ), Δ·s)` over `[0, 1]` where
-/// `mX(Δ) = min(Δ·x1, (1−Δ)·x2)` — the MABC sum-rate profile. `f` is
-/// concave piecewise-linear; its maximum sits at a kink of `mA + mB`, at a
-/// crossing of `mA + mB` with the MAC line, or at an endpoint.
-fn mabc_sum_rate(a1: f64, a2: f64, b1: f64, b2: f64, s: f64) -> (f64, f64) {
-    let g = |d: f64| (d * a1).min((1.0 - d) * a2) + (d * b1).min((1.0 - d) * b2);
-    let f = |d: f64| g(d).min(d * s);
-    let mut knots = Cands::new();
-    knots.push(0.0);
-    if a1 + a2 > 0.0 {
-        knots.push(a2 / (a1 + a2));
-    }
-    if b1 + b2 > 0.0 {
-        knots.push(b2 / (b1 + b2));
-    }
-    knots.push(1.0);
-    // Candidates: the knots themselves plus, per segment between adjacent
-    // knots (where g is linear), the analytic crossing with the MAC line.
-    let mut cands = Cands::new();
-    let mut sorted = [0.0; MAX_CANDS];
-    let k = knots.as_slice().len();
-    sorted[..k].copy_from_slice(knots.as_slice());
-    sorted[..k].sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite"));
-    for &d in &sorted[..k] {
-        cands.push(d);
-    }
-    for w in sorted[..k].windows(2) {
-        let (l, r) = (w[0], w[1]);
-        if r - l <= 0.0 {
-            continue;
-        }
-        let slope = (g(r) - g(l)) / (r - l);
-        // g(l) + slope·(Δ − l) = s·Δ  ⇒  Δ = (g(l) − slope·l) / (s − slope)
-        if s != slope {
-            let d = (g(l) - slope * l) / (s - slope);
-            if d >= l && d <= r {
-                cands.push(d);
-            }
-        }
-    }
-    let mut best = (0.0, f64::NEG_INFINITY);
-    for &d in cands.as_slice() {
-        let v = f(d);
-        if v > best.1 {
-            best = (d, v);
-        }
-    }
-    best
-}
-
-/// Closed-form `max_min_rate` (largest symmetric rate) for the two-phase
-/// protocols; `None` for TDBC/HBC.
-pub fn max_min_rate(net: &GaussianNetwork, protocol: Protocol) -> Option<SchedulePoint> {
-    match protocol {
-        Protocol::DirectTransmission | Protocol::Mabc => {
-            max_min_rate_from_caps(&LinkCaps::compute(&net.powers(), &net.state()), protocol)
-        }
-        Protocol::Tdbc | Protocol::Hbc => None,
-    }
-}
-
 /// [`max_min_rate`] from precomputed [`LinkCaps`].
 pub fn max_min_rate_from_caps(caps: &LinkCaps, protocol: Protocol) -> Option<SchedulePoint> {
-    let pt = match protocol {
-        Protocol::DirectTransmission => {
-            // t ≤ Δ·c_a, t ≤ (1−Δ)·c_b: optimum where both bind.
-            let (c_a, c_b) = (caps.c_a_ab, caps.c_b_ab);
-            if c_a <= 0.0 || c_b <= 0.0 {
-                SchedulePoint {
-                    ra: 0.0,
-                    rb: 0.0,
-                    durations: PhaseVec::from([0.5, 0.5]),
-                    objective: 0.0,
-                }
-            } else {
-                let d = c_b / (c_a + c_b);
-                let t = c_a * c_b / (c_a + c_b);
-                SchedulePoint {
-                    ra: t,
-                    rb: t,
-                    durations: PhaseVec::from([d, 1.0 - d]),
-                    objective: t,
-                }
-            }
-        }
-        Protocol::Mabc => {
-            // t ≤ mA(Δ), t ≤ mB(Δ), 2t ≤ Δ·s: min of five lines.
-            let (a1, a2, b1, b2, s) = (
-                caps.c_a_ar,
-                caps.c_r_br,
-                caps.c_b_br,
-                caps.c_r_ar,
-                caps.c_mac,
-            );
-            let lines = [(a1, 0.0), (0.0, a2), (b1, 0.0), (0.0, b2), (0.5 * s, 0.0)];
-            let (d, t) = maximize_min_of_lines(&lines);
-            let t = t.max(0.0);
-            SchedulePoint {
-                ra: t,
-                rb: t,
-                durations: PhaseVec::from([d, 1.0 - d]),
-                objective: t,
-            }
-        }
-        Protocol::Tdbc | Protocol::Hbc => return None,
-    };
+    let pt = crate::batch::max_min_one(caps, protocol)?;
     record_kernel_hit();
     Some(pt)
+}
+
+/// The objective a [`SolveRequest`] optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Maximise the sum rate `R_a + R_b`.
+    SumRate,
+    /// Maximise the symmetric rate `min(R_a, R_b)`.
+    MaxMin,
+}
+
+/// A typed solve request: one value naming everything a per-point query
+/// needs — objective, protocol, bound side and optional QoS floor — in
+/// place of the historical family of per-query [`SolveCtx`] methods.
+///
+/// Build one with [`SolveRequest::sum_rate`] or [`SolveRequest::max_min`]
+/// and refine it builder-style:
+///
+/// ```
+/// use bcc_core::kernel::SolveRequest;
+/// use bcc_core::prelude::*;
+///
+/// let req = SolveRequest::sum_rate(Protocol::Hbc)
+///     .with_bound(Bound::Outer)
+///     .with_floor(Some((0.5, 0.5)));
+/// # assert_eq!(req.protocol, Protocol::Hbc);
+/// ```
+///
+/// The floor applies to the [`Objective::SumRate`] objective only (the
+/// max–min objective has no floored form) and is ignored otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRequest {
+    /// What to optimise.
+    pub objective: Objective,
+    /// The protocol whose rate region is being queried.
+    pub protocol: Protocol,
+    /// Inner (achievable) or outer (converse) bound side.
+    pub bound: Bound,
+    /// Optional QoS floor `(ra_min, rb_min)` for the sum-rate objective.
+    pub floor: Option<(f64, f64)>,
+}
+
+impl SolveRequest {
+    /// A sum-rate request over the inner bound with no floor.
+    pub fn sum_rate(protocol: Protocol) -> Self {
+        SolveRequest {
+            objective: Objective::SumRate,
+            protocol,
+            bound: Bound::Inner,
+            floor: None,
+        }
+    }
+
+    /// A max–min (symmetric-rate) request over the inner bound.
+    pub fn max_min(protocol: Protocol) -> Self {
+        SolveRequest {
+            objective: Objective::MaxMin,
+            protocol,
+            bound: Bound::Inner,
+            floor: None,
+        }
+    }
+
+    /// Replaces the bound side.
+    pub fn with_bound(mut self, bound: Bound) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Replaces the QoS floor (sum-rate objective only).
+    pub fn with_floor(mut self, floor: Option<(f64, f64)>) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Whether this request is served by the closed-form batch kernels:
+    /// inner bound, no floor for the sum-rate objective (floors go
+    /// through the LP), and — for max–min — not HBC (whose four-phase
+    /// max–min stays on the simplex).
+    pub fn is_batchable(&self) -> bool {
+        self.bound == Bound::Inner
+            && match self.objective {
+                Objective::SumRate => self.floor.is_none(),
+                Objective::MaxMin => self.protocol != Protocol::Hbc,
+            }
+    }
+}
+
+/// The resolved operating point of one [`SolveRequest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOutcome {
+    /// The protocol that was solved.
+    pub protocol: Protocol,
+    /// The objective that was optimised.
+    pub objective: Objective,
+    /// Rate a → b at the optimum.
+    pub ra: f64,
+    /// Rate b → a at the optimum.
+    pub rb: f64,
+    /// Optimal phase durations.
+    pub durations: PhaseVec,
+    /// Optimal objective value (`ra + rb` for sum rate, the symmetric
+    /// rate `t` for max–min).
+    pub value: f64,
+}
+
+impl SolveOutcome {
+    fn from_sum(sol: SumRateSolution) -> Self {
+        SolveOutcome {
+            protocol: sol.protocol,
+            objective: Objective::SumRate,
+            ra: sol.ra,
+            rb: sol.rb,
+            durations: sol.durations,
+            value: sol.sum_rate,
+        }
+    }
+
+    fn from_mm(protocol: Protocol, pt: SchedulePoint) -> Self {
+        SolveOutcome {
+            protocol,
+            objective: Objective::MaxMin,
+            ra: pt.ra,
+            rb: pt.rb,
+            durations: pt.durations,
+            value: pt.objective,
+        }
+    }
+
+    /// This outcome as the legacy [`SumRateSolution`] record.
+    pub fn sum_rate_solution(&self) -> SumRateSolution {
+        SumRateSolution {
+            protocol: self.protocol,
+            sum_rate: self.value,
+            ra: self.ra,
+            rb: self.rb,
+            durations: self.durations,
+        }
+    }
+
+    /// This outcome as the legacy [`SchedulePoint`] record.
+    pub fn schedule_point(&self) -> SchedulePoint {
+        SchedulePoint {
+            ra: self.ra,
+            rb: self.rb,
+            durations: self.durations,
+            objective: self.value,
+        }
+    }
 }
 
 /// A per-worker batch solve context: LP workspace (flat tableau +
@@ -414,6 +306,10 @@ pub struct SolveCtx {
     /// one [`LinkCaps`] evaluation (pure function of the key, so caching
     /// never changes results).
     caps: Option<(bcc_channel::PowerSplit, bcc_channel::ChannelState, LinkCaps)>,
+    /// Batched-solve scratch, reused across [`SolveCtx::solve_block`]
+    /// calls (amortised to zero allocations per point).
+    scratch_sum: Vec<SumRateSolution>,
+    scratch_pts: Vec<SchedulePoint>,
 }
 
 impl Default for SolveCtx {
@@ -427,6 +323,8 @@ impl Default for SolveCtx {
             row: Vec::new(),
             obj: Vec::new(),
             caps: None,
+            scratch_sum: Vec::new(),
+            scratch_pts: Vec::new(),
         }
     }
 }
@@ -610,14 +508,10 @@ impl SolveCtx {
         lp_max_min_parts(prob, ws, sol, row, obj, set)
     }
 
-    /// Optimal achievable sum rate of `protocol` at `net` — the batch
-    /// sweep/outage/DMT hot path: closed-form kernel for the two-phase
-    /// protocols, warm-started simplex otherwise.
-    ///
-    /// # Errors
-    ///
-    /// Propagates LP failures (not expected for valid inputs).
-    pub fn sum_rate(
+    /// Optimal achievable sum rate of `protocol` at `net` — the scalar
+    /// sweep/outage/DMT hot path: closed-form kernel where available,
+    /// warm-started simplex otherwise.
+    fn sum_rate_impl(
         &mut self,
         net: &GaussianNetwork,
         protocol: Protocol,
@@ -662,16 +556,11 @@ impl SolveCtx {
     }
 
     /// Sum rate of `(protocol, bound)` with an optional QoS floor — the
-    /// general grid-point solve behind `Evaluator::sweep`: outer bounds
-    /// can be set *families* (HBC's ρ-family, maximised over members), and
-    /// floors can make members — or the whole family — infeasible (the
-    /// family is infeasible only if every member is).
-    ///
-    /// # Errors
-    ///
-    /// Propagates LP failures; with a floor, an infeasibility error means
-    /// the floor is unachievable at this operating point.
-    pub fn sum_rate_for(
+    /// general grid-point solve: outer bounds can be set *families*
+    /// (HBC's ρ-family, maximised over members), and floors can make
+    /// members — or the whole family — infeasible (the family is
+    /// infeasible only if every member is).
+    fn sum_rate_for_impl(
         &mut self,
         net: &GaussianNetwork,
         protocol: Protocol,
@@ -679,7 +568,7 @@ impl SolveCtx {
         floor: Option<(f64, f64)>,
     ) -> Result<SumRateSolution, CoreError> {
         if bound == Bound::Inner && floor.is_none() {
-            return self.sum_rate(net, protocol);
+            return self.sum_rate_impl(net, protocol);
         }
         let SolveCtx {
             ws,
@@ -719,53 +608,158 @@ impl SolveCtx {
         }
     }
 
-    /// Selects the best protocol at `net` by optimal sum rate — the
-    /// protocol-selection primitive behind the `bcc-serve` query engine.
+    /// Resolves one [`SolveRequest`] at `net`: closed-form kernel where
+    /// the request [is batchable](SolveRequest::is_batchable),
+    /// warm-started simplex otherwise (outer-bound families are
+    /// maximised over members; a floor is honoured for the sum-rate
+    /// objective and ignored for max–min).
     ///
-    /// Every protocol in `protocols` is solved through this context
-    /// ([`SolveCtx::sum_rate_for`]: closed-form kernel where available,
-    /// warm-started simplex otherwise) and the winner is the one with the
-    /// strictly greatest sum rate; ties resolve to the **earliest**
-    /// protocol in `protocols`, so the answer is deterministic. Protocols
-    /// whose LP is infeasible under `floor` are skipped; `Ok(None)` means
-    /// *every* protocol was infeasible (the floor is unachievable at this
+    /// # Errors
+    ///
+    /// Propagates LP failures; with a floor, an infeasibility error
+    /// means the floor is unachievable at this operating point.
+    pub fn solve_one(
+        &mut self,
+        net: &GaussianNetwork,
+        req: SolveRequest,
+    ) -> Result<SolveOutcome, CoreError> {
+        match req.objective {
+            Objective::SumRate => self
+                .sum_rate_for_impl(net, req.protocol, req.bound, req.floor)
+                .map(SolveOutcome::from_sum),
+            Objective::MaxMin => self
+                .max_min_for_impl(net, req.protocol, req.bound)
+                .map(|pt| SolveOutcome::from_mm(req.protocol, pt)),
+        }
+    }
+
+    /// Resolves one [`SolveRequest`] for **every point of a block**,
+    /// appending outcomes to `out` in block order.
+    ///
+    /// [Batchable](SolveRequest::is_batchable) requests run through the
+    /// SIMD-ready lane kernels of [`crate::batch`] (bit-identical to the
+    /// scalar path); the HBC max–min over the inner bound reuses the
+    /// block's capacity lanes and warm-starts the simplex per point;
+    /// everything else falls back to per-point [`SolveCtx::solve_one`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from the non-batched paths; on error `out`
+    /// may hold outcomes for a prefix of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is batchable (or HBC max–min over the inner
+    /// bound) and [`crate::batch::PointBlock::compute_caps`] has not run
+    /// since the block's last push.
+    pub fn solve_block(
+        &mut self,
+        block: &crate::batch::PointBlock,
+        req: SolveRequest,
+        out: &mut Vec<SolveOutcome>,
+    ) -> Result<(), CoreError> {
+        out.reserve(block.len());
+        if req.is_batchable() {
+            match req.objective {
+                Objective::SumRate => {
+                    self.scratch_sum.clear();
+                    crate::batch::max_sum_rate_block(block, req.protocol, &mut self.scratch_sum);
+                    out.extend(self.scratch_sum.drain(..).map(SolveOutcome::from_sum));
+                }
+                Objective::MaxMin => {
+                    self.scratch_pts.clear();
+                    let covered = crate::batch::max_min_rate_block(
+                        block,
+                        req.protocol,
+                        &mut self.scratch_pts,
+                    );
+                    debug_assert!(covered, "is_batchable excludes HBC max-min");
+                    let protocol = req.protocol;
+                    out.extend(
+                        self.scratch_pts
+                            .drain(..)
+                            .map(|pt| SolveOutcome::from_mm(protocol, pt)),
+                    );
+                }
+            }
+            return Ok(());
+        }
+        if req.objective == Objective::MaxMin && req.bound == Bound::Inner {
+            // HBC max–min (and floored max–min requests): share the
+            // block's capacity lanes, one warm-started LP per point.
+            for i in 0..block.len() {
+                let caps = block.caps(i);
+                let SolveCtx {
+                    ws,
+                    buf,
+                    prob,
+                    sol,
+                    row,
+                    obj,
+                    ..
+                } = self;
+                buf.begin();
+                bounds::inner_constraints_from_caps_into(req.protocol, &caps, buf.next_set());
+                let pt = lp_max_min_parts(prob, ws, sol, row, obj, &buf.sets()[0])?;
+                out.push(SolveOutcome::from_mm(req.protocol, pt));
+            }
+            return Ok(());
+        }
+        for i in 0..block.len() {
+            let outcome = self.solve_one(&block.net(i), req)?;
+            out.push(outcome);
+        }
+        Ok(())
+    }
+
+    /// Selects the best protocol at `net` by optimal objective value —
+    /// the protocol-selection primitive behind the `bcc-serve` query
+    /// engine.
+    ///
+    /// Every protocol in `protocols` is resolved through
+    /// [`SolveCtx::solve_one`] and the winner is the one with the
+    /// strictly greatest value; ties resolve to the **earliest** protocol
+    /// in `protocols`, so the answer is deterministic. Protocols whose LP
+    /// is infeasible under `floor` are skipped; `Ok(None)` means *every*
+    /// protocol was infeasible (the floor is unachievable at this
     /// operating point by any strategy).
     ///
     /// # Errors
     ///
     /// Propagates non-infeasibility LP failures (not expected for valid
     /// inputs).
-    pub fn best_sum_rate(
+    pub fn solve_best(
         &mut self,
         net: &GaussianNetwork,
         protocols: &[Protocol],
+        objective: Objective,
         bound: Bound,
         floor: Option<(f64, f64)>,
-    ) -> Result<Option<SumRateSolution>, CoreError> {
-        let mut best: Option<SumRateSolution> = None;
+    ) -> Result<Option<SolveOutcome>, CoreError> {
+        let mut best: Option<SolveOutcome> = None;
         for &protocol in protocols {
-            let sol = match self.sum_rate_for(net, protocol, bound, floor) {
-                Ok(sol) => sol,
+            let req = SolveRequest {
+                objective,
+                protocol,
+                bound,
+                floor,
+            };
+            let outcome = match self.solve_one(net, req) {
+                Ok(o) => o,
                 Err(e) if e.is_infeasible() => continue,
                 Err(e) => return Err(e),
             };
-            if best.as_ref().is_none_or(|b| sol.sum_rate > b.sum_rate) {
-                best = Some(sol);
+            if best.as_ref().is_none_or(|b| outcome.value > b.value) {
+                best = Some(outcome);
             }
         }
         Ok(best)
     }
 
     /// Optimal achievable equal-rate (max–min) operating point of
-    /// `protocol` at `net` — closed-form kernel for the two-phase
-    /// protocols, warm-started zero-allocation simplex otherwise. The
-    /// multi-pair fair-scheduling aggregates are assembled from these
-    /// per-pair solves.
-    ///
-    /// # Errors
-    ///
-    /// Propagates LP failures (not expected for valid inputs).
-    pub fn max_min_rate(
+    /// `protocol` at `net` — closed-form kernel where available,
+    /// warm-started zero-allocation simplex otherwise.
+    fn max_min_rate_impl(
         &mut self,
         net: &GaussianNetwork,
         protocol: Protocol,
@@ -789,21 +783,17 @@ impl SolveCtx {
     }
 
     /// Max–min rate of `(protocol, bound)` — the general form of
-    /// [`SolveCtx::max_min_rate`]: outer bounds can be set *families*
-    /// (HBC's ρ-family), maximised over members exactly like
-    /// [`SolveCtx::sum_rate_for`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates LP failures.
-    pub fn max_min_for(
+    /// [`SolveCtx::max_min_rate_impl`]: outer bounds can be set
+    /// *families* (HBC's ρ-family), maximised over members exactly like
+    /// [`SolveCtx::sum_rate_for_impl`].
+    fn max_min_for_impl(
         &mut self,
         net: &GaussianNetwork,
         protocol: Protocol,
         bound: Bound,
     ) -> Result<SchedulePoint, CoreError> {
         if bound == Bound::Inner {
-            return self.max_min_rate(net, protocol);
+            return self.max_min_rate_impl(net, protocol);
         }
         let SolveCtx {
             ws,
@@ -836,12 +826,103 @@ impl SolveCtx {
             None => Err(infeasible.expect("constraint families are non-empty")),
         }
     }
+}
+
+/// Thin deprecated wrappers over the consolidated [`SolveRequest`] API —
+/// kept one release for downstream callers; each forwards to the same
+/// private implementation the new entry points use, so behaviour (and
+/// bit patterns) are unchanged.
+impl SolveCtx {
+    /// Optimal achievable sum rate of `protocol` at `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (not expected for valid inputs).
+    #[deprecated(note = "use SolveCtx::solve_one with SolveRequest::sum_rate(protocol)")]
+    pub fn sum_rate(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+    ) -> Result<SumRateSolution, CoreError> {
+        self.sum_rate_impl(net, protocol)
+    }
+
+    /// Sum rate of `(protocol, bound)` with an optional QoS floor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures; with a floor, an infeasibility error means
+    /// the floor is unachievable at this operating point.
+    #[deprecated(
+        note = "use SolveCtx::solve_one with SolveRequest::sum_rate(protocol).with_bound(..).with_floor(..)"
+    )]
+    pub fn sum_rate_for(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+        bound: Bound,
+        floor: Option<(f64, f64)>,
+    ) -> Result<SumRateSolution, CoreError> {
+        self.sum_rate_for_impl(net, protocol, bound, floor)
+    }
+
+    /// Optimal achievable max–min operating point of `protocol` at `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (not expected for valid inputs).
+    #[deprecated(note = "use SolveCtx::solve_one with SolveRequest::max_min(protocol)")]
+    pub fn max_min_rate(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+    ) -> Result<SchedulePoint, CoreError> {
+        self.max_min_rate_impl(net, protocol)
+    }
+
+    /// Max–min rate of `(protocol, bound)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures.
+    #[deprecated(
+        note = "use SolveCtx::solve_one with SolveRequest::max_min(protocol).with_bound(..)"
+    )]
+    pub fn max_min_for(
+        &mut self,
+        net: &GaussianNetwork,
+        protocol: Protocol,
+        bound: Bound,
+    ) -> Result<SchedulePoint, CoreError> {
+        self.max_min_for_impl(net, protocol, bound)
+    }
+
+    /// Selects the best protocol at `net` by optimal sum rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-infeasibility LP failures.
+    #[deprecated(note = "use SolveCtx::solve_best with Objective::SumRate")]
+    pub fn best_sum_rate(
+        &mut self,
+        net: &GaussianNetwork,
+        protocols: &[Protocol],
+        bound: Bound,
+        floor: Option<(f64, f64)>,
+    ) -> Result<Option<SumRateSolution>, CoreError> {
+        Ok(self
+            .solve_best(net, protocols, Objective::SumRate, bound, floor)?
+            .map(|o| o.sum_rate_solution()))
+    }
 
     /// The ε-outage allocation objective of one fade draw: twice the
     /// max–min rate (equal-rate sum) of `protocol` at `net`, with a deep-
     /// fade LP failure counting as rate 0 (the Monte-Carlo convention).
+    #[deprecated(
+        note = "use SolveCtx::solve_one with SolveRequest::max_min(protocol) and map 2·value"
+    )]
     pub fn equal_rate_sum(&mut self, net: &GaussianNetwork, protocol: Protocol) -> f64 {
-        self.max_min_rate(net, protocol)
+        self.max_min_rate_impl(net, protocol)
             .map(|pt| 2.0 * pt.objective)
             .unwrap_or(0.0)
     }
@@ -937,12 +1018,74 @@ mod tests {
     #[test]
     fn kernel_coverage_matches_dispatch_rules() {
         let n = fig4(10.0);
-        // Sum rate: everything but HBC has a closed form.
+        // Sum rate: every protocol has a closed form.
         assert!(max_sum_rate(&n, Protocol::Tdbc).is_some());
-        assert!(max_sum_rate(&n, Protocol::Hbc).is_none());
-        // Max–min: only the two-phase protocols.
-        assert!(max_min_rate(&n, Protocol::Tdbc).is_none());
+        assert!(max_sum_rate(&n, Protocol::Hbc).is_some());
+        // Max–min: everything but HBC.
+        assert!(max_min_rate(&n, Protocol::Tdbc).is_some());
         assert!(max_min_rate(&n, Protocol::Hbc).is_none());
+    }
+
+    #[test]
+    fn hbc_sum_rate_matches_simplex_on_grid() {
+        for p in [0.5, 2.0, 10.0, 31.6] {
+            for (gab, gar, gbr) in [
+                (0.2, 1.0, 3.16),
+                (1.0, 1.0, 1.0),
+                (1.0, 0.01, 10.0),
+                (0.0, 2.0, 2.0),
+                (5.0, 0.5, 0.5),
+                (1.0, 0.0, 1.0),
+                (0.5, 10.0, 0.1),
+            ] {
+                let n = net(p, gab, gar, gbr);
+                let kernel = max_sum_rate(&n, Protocol::Hbc).unwrap();
+                let sets = n.constraint_sets(Protocol::Hbc, Bound::Inner);
+                let lp = optimizer::max_sum_rate(&sets[0]).unwrap();
+                assert!(
+                    approx_eq(kernel.sum_rate, lp.objective, 1e-9),
+                    "P={p} gab={gab} gar={gar} gbr={gbr}: {} vs {}",
+                    kernel.sum_rate,
+                    lp.objective
+                );
+                assert!(
+                    sets[0].all_satisfied(kernel.ra, kernel.rb, &kernel.durations, 1e-9),
+                    "kernel point infeasible at P={p} gab={gab} gar={gar} gbr={gbr}"
+                );
+                assert!(approx_eq(kernel.ra + kernel.rb, kernel.sum_rate, 1e-9));
+                let total: f64 = kernel.durations.iter().sum();
+                assert!(approx_eq(total, 1.0, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn tdbc_max_min_matches_simplex_on_grid() {
+        for p in [0.5, 2.0, 10.0, 31.6] {
+            for (gab, gar, gbr) in [
+                (0.2, 1.0, 3.16),
+                (1.0, 1.0, 1.0),
+                (1.0, 0.01, 10.0),
+                (0.0, 2.0, 2.0),
+                (5.0, 0.5, 0.5),
+                (1.0, 0.0, 1.0),
+            ] {
+                let n = net(p, gab, gar, gbr);
+                let kernel = max_min_rate(&n, Protocol::Tdbc).unwrap();
+                let sets = n.constraint_sets(Protocol::Tdbc, Bound::Inner);
+                let lp = optimizer::max_min_rate(&sets[0]).unwrap();
+                assert!(
+                    approx_eq(kernel.objective, lp.objective, 1e-9),
+                    "P={p} gab={gab} gar={gar} gbr={gbr}: {} vs {}",
+                    kernel.objective,
+                    lp.objective
+                );
+                assert!(
+                    sets[0].all_satisfied(kernel.ra, kernel.rb, &kernel.durations, 1e-9),
+                    "kernel point infeasible at P={p} gab={gab} gar={gar} gbr={gbr}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1003,10 +1146,46 @@ mod tests {
         for p in [1.0, 10.0] {
             let n = fig4(p);
             for proto in Protocol::ALL {
-                let a = ctx.sum_rate(&n, proto).unwrap();
+                let a = ctx
+                    .solve_one(&n, SolveRequest::sum_rate(proto))
+                    .unwrap()
+                    .sum_rate_solution();
                 let b = n.max_sum_rate(proto).unwrap();
                 assert_eq!(a, b, "{proto} at P={p}");
             }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_typed_api() {
+        let mut ctx = SolveCtx::new();
+        let n = fig4(10.0);
+        for proto in Protocol::ALL {
+            let old = ctx.sum_rate(&n, proto).unwrap();
+            let new = ctx
+                .solve_one(&n, SolveRequest::sum_rate(proto))
+                .unwrap()
+                .sum_rate_solution();
+            assert_eq!(old, new, "sum_rate wrapper drifted for {proto}");
+            let old = ctx.sum_rate_for(&n, proto, Bound::Outer, None).unwrap();
+            let new = ctx
+                .solve_one(&n, SolveRequest::sum_rate(proto).with_bound(Bound::Outer))
+                .unwrap()
+                .sum_rate_solution();
+            assert_eq!(old, new, "sum_rate_for wrapper drifted for {proto}");
+            let old = ctx.max_min_for(&n, proto, Bound::Inner).unwrap();
+            let new = ctx
+                .solve_one(&n, SolveRequest::max_min(proto))
+                .unwrap()
+                .schedule_point();
+            assert_eq!(old, new, "max_min_for wrapper drifted for {proto}");
+            let old = ctx.equal_rate_sum(&n, proto);
+            let new = ctx
+                .solve_one(&n, SolveRequest::max_min(proto))
+                .map(|o| 2.0 * o.value)
+                .unwrap_or(0.0);
+            assert_eq!(old.to_bits(), new.to_bits(), "equal_rate_sum drifted");
         }
     }
 
@@ -1016,11 +1195,15 @@ mod tests {
         for p in [0.5, 10.0, 31.6] {
             let n = fig4(p);
             let best = ctx
-                .best_sum_rate(&n, &Protocol::ALL, Bound::Inner, None)
+                .solve_best(&n, &Protocol::ALL, Objective::SumRate, Bound::Inner, None)
                 .unwrap()
-                .expect("no floor, always feasible");
+                .expect("no floor, always feasible")
+                .sum_rate_solution();
             for proto in Protocol::ALL {
-                let sol = ctx.sum_rate(&n, proto).unwrap();
+                let sol = ctx
+                    .solve_one(&n, SolveRequest::sum_rate(proto))
+                    .unwrap()
+                    .sum_rate_solution();
                 assert!(
                     best.sum_rate >= sol.sum_rate,
                     "P={p}: winner {} lost to {proto}",
@@ -1042,12 +1225,24 @@ mod tests {
         );
         let mut ctx = SolveCtx::new();
         let best = ctx
-            .best_sum_rate(&dead, &Protocol::ALL, Bound::Inner, None)
+            .solve_best(
+                &dead,
+                &Protocol::ALL,
+                Objective::SumRate,
+                Bound::Inner,
+                None,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(best.protocol, Protocol::DirectTransmission);
         let best = ctx
-            .best_sum_rate(&dead, &Protocol::RELAYED, Bound::Inner, None)
+            .solve_best(
+                &dead,
+                &Protocol::RELAYED,
+                Objective::SumRate,
+                Bound::Inner,
+                None,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(best.protocol, Protocol::Mabc);
@@ -1059,18 +1254,30 @@ mod tests {
         let mut ctx = SolveCtx::new();
         // A floor no protocol can reach at P = 10 dB.
         let none = ctx
-            .best_sum_rate(&n, &Protocol::ALL, Bound::Inner, Some((50.0, 50.0)))
+            .solve_best(
+                &n,
+                &Protocol::ALL,
+                Objective::SumRate,
+                Bound::Inner,
+                Some((50.0, 50.0)),
+            )
             .unwrap();
         assert!(none.is_none(), "absurd floor must be infeasible everywhere");
         // A floor only the relay-aided protocols can reach: DT is skipped,
         // the winner still appears.
         let dt_cap = ctx
-            .sum_rate(&n, Protocol::DirectTransmission)
+            .solve_one(&n, SolveRequest::sum_rate(Protocol::DirectTransmission))
             .unwrap()
-            .sum_rate;
+            .value;
         let floor = (dt_cap * 0.75, dt_cap * 0.75);
         let best = ctx
-            .best_sum_rate(&n, &Protocol::ALL, Bound::Inner, Some(floor))
+            .solve_best(
+                &n,
+                &Protocol::ALL,
+                Objective::SumRate,
+                Bound::Inner,
+                Some(floor),
+            )
             .unwrap()
             .expect("relay-aided protocols satisfy the floor");
         assert_ne!(best.protocol, Protocol::DirectTransmission);
@@ -1082,8 +1289,12 @@ mod tests {
         let mut ctx = SolveCtx::new();
         let n = fig4(10.0);
         let fam = ctx
-            .sum_rate_for(&n, Protocol::Hbc, Bound::Outer, None)
-            .unwrap();
+            .solve_one(
+                &n,
+                SolveRequest::sum_rate(Protocol::Hbc).with_bound(Bound::Outer),
+            )
+            .unwrap()
+            .sum_rate_solution();
         let direct: f64 = n
             .constraint_sets(Protocol::Hbc, Bound::Outer)
             .iter()

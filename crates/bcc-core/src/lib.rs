@@ -42,9 +42,14 @@
 //! assert!(hbc.sum_rate >= cmp.get(Protocol::Tdbc).unwrap().sum_rate - 1e-9);
 //! ```
 
-#![forbid(unsafe_code)]
+// The default build carries no unsafe code at all; the opt-in `simd`
+// feature needs `unsafe` solely for the runtime-detected
+// `#[target_feature(enable = "avx2")]` wrappers in `batch::simd`.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bounds;
 pub mod comparison;
 pub mod constraint;
@@ -60,11 +65,12 @@ pub mod region;
 pub mod scenario;
 pub mod selection;
 
+pub use batch::PointBlock;
 pub use constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
 pub use dmt::{Allocation, AllocationResult, DmtResult};
 pub use error::CoreError;
 pub use gaussian::GaussianNetwork;
-pub use kernel::SolveCtx;
+pub use kernel::{Objective, SolveCtx, SolveOutcome, SolveRequest};
 pub use multipair::{
     MultiPairEvaluator, MultiPairOutage, MultiPairResult, MultiPairScenario, PairSet, PairSolution,
     Schedule,
@@ -75,11 +81,12 @@ pub use scenario::{Evaluator, Scenario};
 
 /// One-stop imports for the batch evaluation API.
 pub mod prelude {
+    pub use crate::batch::PointBlock;
     pub use crate::constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
     pub use crate::dmt::{Allocation, AllocationResult, DmtResult};
     pub use crate::error::CoreError;
     pub use crate::gaussian::{GaussianNetwork, SumRateSolution};
-    pub use crate::kernel::SolveCtx;
+    pub use crate::kernel::{Objective, SolveCtx, SolveOutcome, SolveRequest};
     pub use crate::multipair::{
         MultiPairEvaluator, MultiPairOutage, MultiPairResult, MultiPairScenario, PairSet,
         PairSolution, Schedule, SCHEDULES,

@@ -72,7 +72,7 @@
 
 use crate::error::CoreError;
 use crate::gaussian::{GaussianNetwork, SumRateSolution};
-use crate::kernel::SolveCtx;
+use crate::kernel::{SolveCtx, SolveOutcome, SolveRequest};
 use crate::optimizer::SchedulePoint;
 use crate::protocol::{Bound, Protocol, ProtocolMap};
 use crate::scenario::{mix_seed, trial_stream, FadingSpec, Scenario};
@@ -417,18 +417,67 @@ impl MultiPairEvaluator {
         let threads = self.thread_count();
         let sc = &self.scenario;
         let (k, nproto) = (sc.k, sc.protocols.len());
-        let jobs = sc.points.len() * k * nproto;
-        let flat: Vec<PairSolution> =
+        let flat: Vec<PairSolution> = if sc.bound == Bound::Inner {
+            // Inner-bound sweeps run the flattened `point × pair` net list
+            // through the SoA lane kernels in [`PointBlock`]-sized jobs;
+            // `solve_block` covers HBC's max–min (no closed form) from the
+            // same capacity lanes via the warm simplex. Bit-identical to
+            // the scalar path at any block size or thread count.
+            let nets = sc.points.len() * k;
+            let bsz = crate::batch::DEFAULT_BLOCK;
+            let nblocks = nets.div_ceil(bsz);
+            let worker = || {
+                (
+                    SolveCtx::new(),
+                    crate::batch::PointBlock::new(),
+                    vec![Vec::<SolveOutcome>::new(); nproto],
+                    vec![Vec::<SolveOutcome>::new(); nproto],
+                )
+            };
+            let blocks: Vec<Vec<PairSolution>> =
+                par::try_par_map_range(threads, nblocks, worker, |(ctx, block, sums, mms), j| {
+                    let lo = j * bsz;
+                    let hi = (lo + bsz).min(nets);
+                    block.clear();
+                    for idx in lo..hi {
+                        block.push_net(sc.points[idx / k].1.get(idx % k));
+                    }
+                    block.compute_caps();
+                    for (pi, &p) in sc.protocols.iter().enumerate() {
+                        sums[pi].clear();
+                        mms[pi].clear();
+                        ctx.solve_block(block, SolveRequest::sum_rate(p), &mut sums[pi])?;
+                        ctx.solve_block(block, SolveRequest::max_min(p), &mut mms[pi])?;
+                    }
+                    // Interleave back to (point, pair, protocol)-major.
+                    let mut out = Vec::with_capacity((hi - lo) * nproto);
+                    for i in 0..hi - lo {
+                        for pi in 0..nproto {
+                            out.push(PairSolution {
+                                sum: sums[pi][i].sum_rate_solution(),
+                                fair: mms[pi][i].schedule_point(),
+                            });
+                        }
+                    }
+                    Ok(out)
+                })?;
+            blocks.into_iter().flatten().collect()
+        } else {
+            let jobs = sc.points.len() * k * nproto;
             par::try_par_map_range(threads, jobs, SolveCtx::new, |ctx, j| {
                 let point = j / (k * nproto);
                 let pair = (j / nproto) % k;
                 let protocol = sc.protocols[j % nproto];
                 let net = sc.points[point].1.get(pair);
-                Ok(PairSolution {
-                    sum: ctx.sum_rate_for(net, protocol, sc.bound, None)?,
-                    fair: ctx.max_min_for(net, protocol, sc.bound)?,
-                })
-            })?;
+                let sum = ctx
+                    .solve_one(net, SolveRequest::sum_rate(protocol).with_bound(sc.bound))?
+                    .sum_rate_solution();
+                let fair = ctx
+                    .solve_one(net, SolveRequest::max_min(protocol).with_bound(sc.bound))?
+                    .schedule_point();
+                Ok(PairSolution { sum, fair })
+            })?
+        };
 
         // Reassemble protocol-major: solutions[protocol][point * K + pair].
         let mut solutions: ProtocolMap<Vec<PairSolution>> = ProtocolMap::new();
@@ -487,14 +536,30 @@ impl MultiPairEvaluator {
         // stream), additional streams decorrelate through `mix_seed`.
         let single = sc.points.len() * k == 1;
 
-        let rows: Vec<Vec<f64>> = par::par_map_range(
-            threads,
-            sc.points.len() * trials,
-            SolveCtx::new,
-            |ctx, j| {
-                let (point, trial) = (j / trials, j % trials);
-                let mut row = Vec::with_capacity(k * nproto);
-                for pair in 0..k {
+        // Fan the flattened `point × trial × pair` fade space across the
+        // workers in [`PointBlock`]-sized chunks; every faded draw is
+        // solved through the closed-form lane kernels (fading always
+        // studies the inner optimum). Per-(point, pair, trial) seed
+        // streams make each flat index independent of its blockmates, so
+        // the blocked fan-out is bit-identical to the serial loop at any
+        // block size or thread count.
+        let total = sc.points.len() * trials * k;
+        let bsz = crate::batch::DEFAULT_BLOCK;
+        let nblocks = total.div_ceil(bsz);
+        let worker = || {
+            (
+                SolveCtx::new(),
+                crate::batch::PointBlock::new(),
+                vec![Vec::<SolveOutcome>::new(); nproto],
+            )
+        };
+        let blocks: Vec<Vec<f64>> =
+            par::par_map_range(threads, nblocks, worker, |(ctx, block, outs), b| {
+                let lo = b * bsz;
+                let hi = (lo + bsz).min(total);
+                block.clear();
+                for m in lo..hi {
+                    let (point, trial, pair) = (m / (trials * k), (m / k) % trials, m % k);
                     let net = sc.points[point].1.get(pair);
                     let stream_seed = if single {
                         spec.seed
@@ -507,27 +572,35 @@ impl MultiPairEvaluator {
                         spec.model.sample_power(&mut rng),
                         spec.model.sample_power(&mut rng),
                     ));
-                    for &p in &sc.protocols {
-                        // A deep-fade LP failure counts as rate 0.
-                        row.push(ctx.sum_rate(&faded, p).map(|s| s.sum_rate).unwrap_or(0.0));
+                    block.push_net(&faded);
+                }
+                block.compute_caps();
+                for (pi, &p) in sc.protocols.iter().enumerate() {
+                    outs[pi].clear();
+                    ctx.solve_block(block, SolveRequest::sum_rate(p), &mut outs[pi])
+                        .expect("closed-form batch solve is infallible");
+                }
+                let mut rates = Vec::with_capacity((hi - lo) * nproto);
+                for i in 0..hi - lo {
+                    for lane in outs.iter() {
+                        rates.push(lane[i].value);
                     }
                 }
-                row
-            },
-        );
+                rates
+            });
 
         let mut samples: ProtocolMap<Vec<Vec<f64>>> = ProtocolMap::new();
         for &p in &sc.protocols {
             samples.insert(p, vec![Vec::with_capacity(trials); sc.points.len() * k]);
         }
-        for (j, row) in rows.into_iter().enumerate() {
-            let point = j / trials;
-            let mut it = row.into_iter();
-            for pair in 0..k {
-                for &p in &sc.protocols {
-                    samples.get_mut(p).expect("pre-populated")[point * k + pair]
-                        .push(it.next().expect("one rate per (pair, protocol)"));
-                }
+        for (m, chunk) in blocks
+            .iter()
+            .flat_map(|block| block.chunks(nproto))
+            .enumerate()
+        {
+            let (point, pair) = (m / (trials * k), m % k);
+            for (&p, &rate) in sc.protocols.iter().zip(chunk) {
+                samples.get_mut(p).expect("pre-populated")[point * k + pair].push(rate);
             }
         }
         Ok(MultiPairOutage {

@@ -53,9 +53,10 @@
 //! assert!((dt.sum_rates()[0] - dt.sum_rates()[18]).abs() < 1e-8);
 //! ```
 
+use crate::batch::PointBlock;
 use crate::error::CoreError;
 use crate::gaussian::{GaussianNetwork, SumRateSolution};
-use crate::kernel::SolveCtx;
+use crate::kernel::{SolveCtx, SolveOutcome, SolveRequest};
 use crate::protocol::{Bound, Protocol, ProtocolMap};
 use crate::region::{RatePoint, RateRegion};
 use bcc_channel::fading::FadingModel;
@@ -120,6 +121,7 @@ pub struct Scenario {
     pub(crate) multiplexing_gains: Vec<f64>,
     pub(crate) power_grid: Vec<PowerSplit>,
     pub(crate) rate_floor: Option<(f64, f64)>,
+    pub(crate) block_size: Option<usize>,
 }
 
 impl Scenario {
@@ -138,6 +140,7 @@ impl Scenario {
             multiplexing_gains: Vec::new(),
             power_grid: Vec::new(),
             rate_floor: None,
+            block_size: None,
         }
     }
 
@@ -389,23 +392,51 @@ impl Scenario {
         self
     }
 
+    /// Overrides the number of grid points per structure-of-arrays batch
+    /// block (see [`crate::batch::PointBlock`]); the default
+    /// ([`crate::batch::DEFAULT_BLOCK`]) balances lane amortisation
+    /// against cache residency. Results are bit-identical at every block
+    /// size — this knob only trades scheduling granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0`.
+    pub fn block_size(mut self, points: usize) -> Self {
+        assert!(points >= 1, "need at least one point per block");
+        self.block_size = Some(points);
+        self
+    }
+
     /// Compiles the scenario into a reusable [`Evaluator`].
     pub fn build(self) -> Evaluator {
         Evaluator { scenario: self }
     }
 
+    /// The effective points-per-block of the batched paths.
+    fn effective_block_size(&self) -> usize {
+        self.block_size.unwrap_or(crate::batch::DEFAULT_BLOCK)
+    }
+
     /// Optimal sum rate of `protocol` at `net` under this scenario's bound
     /// selection and optional QoS floor, solved through `ctx` (each
-    /// parallel worker owns one [`SolveCtx`]: closed-form kernel for the
-    /// two-phase protocols, warm-started zero-allocation simplex
-    /// otherwise).
+    /// parallel worker owns one [`SolveCtx`]: closed-form kernel where
+    /// available, warm-started zero-allocation simplex otherwise).
     fn solve_point_with(
         &self,
         net: &GaussianNetwork,
         protocol: Protocol,
         ctx: &mut SolveCtx,
     ) -> Result<SumRateSolution, CoreError> {
-        ctx.sum_rate_for(net, protocol, self.bound, self.rate_floor)
+        ctx.solve_one(net, self.sum_request(protocol))
+            .map(|o| o.sum_rate_solution())
+    }
+
+    /// The sweep's [`SolveRequest`] for `protocol` under this scenario's
+    /// bound selection and optional QoS floor.
+    fn sum_request(&self, protocol: Protocol) -> SolveRequest {
+        SolveRequest::sum_rate(protocol)
+            .with_bound(self.bound)
+            .with_floor(self.rate_floor)
     }
 }
 
@@ -480,15 +511,58 @@ impl Evaluator {
         let npoints = sc.points.len();
         let nproto = protocols.len();
 
-        // Fan the flat `point × protocol` grid across the workers — no
-        // per-point collection vector, so the only steady-state
-        // allocations are the chunked result buffers the scheduler
-        // amortises across many solves.
-        let flat: Vec<Result<SumRateSolution, CoreError>> =
+        // Inner-bound sweeps without a QoS floor are fully closed-form, so
+        // the grid runs through the SoA lane kernels: one job per
+        // [`PointBlock`], each worker reusing its block and per-protocol
+        // scratch across jobs. Every point is solved independently of its
+        // blockmates, so the results are bit-identical to the scalar path
+        // at any block size or thread count. Outer bounds and floored
+        // sweeps keep the per-point simplex fan-out.
+        let batchable = protocols.iter().all(|&p| sc.sum_request(p).is_batchable());
+        let flat: Vec<Result<SumRateSolution, CoreError>> = if batchable {
+            let bsz = sc.effective_block_size();
+            let nblocks = npoints.div_ceil(bsz);
+            let worker = || {
+                (
+                    SolveCtx::new(),
+                    PointBlock::new(),
+                    vec![Vec::<SolveOutcome>::new(); nproto],
+                )
+            };
+            let blocks: Vec<Vec<Result<SumRateSolution, CoreError>>> =
+                par::try_par_map_range(threads, nblocks, worker, |(ctx, block, outs), j| {
+                    let lo = j * bsz;
+                    let hi = (lo + bsz).min(npoints);
+                    block.clear();
+                    for pt in &sc.points[lo..hi] {
+                        block.push_net(&pt.net);
+                    }
+                    block.compute_caps();
+                    for (pi, &p) in protocols.iter().enumerate() {
+                        outs[pi].clear();
+                        ctx.solve_block(block, sc.sum_request(p), &mut outs[pi])?;
+                    }
+                    // Interleave back to the (point, protocol)-major order
+                    // the assembly loop expects.
+                    let mut flat = Vec::with_capacity((hi - lo) * nproto);
+                    for i in 0..hi - lo {
+                        for lane in outs.iter() {
+                            flat.push(Ok(lane[i].sum_rate_solution()));
+                        }
+                    }
+                    Ok(flat)
+                })?;
+            blocks.into_iter().flatten().collect()
+        } else {
+            // Fan the flat `point × protocol` grid across the workers — no
+            // per-point collection vector, so the only steady-state
+            // allocations are the chunked result buffers the scheduler
+            // amortises across many solves.
             par::try_par_map_range(threads, npoints * nproto, SolveCtx::new, |ctx, k| {
                 let net = &sc.points[k / nproto].net;
                 classify_solve(sc.solve_point_with(net, sc.protocols[k % nproto], ctx))
-            })?;
+            })?
+        };
 
         let mut series: ProtocolMap<ProtocolSeries> = ProtocolMap::new();
         for &p in &protocols {
@@ -695,44 +769,66 @@ impl Evaluator {
         let single = points.len() == 1;
         let trials = spec.trials;
 
-        // Fan the full `point × trial` grid across the workers (a
-        // single-point 10k-trial study must still parallelise). Job `k` is
-        // point `k / trials`, trial `k % trials`; the per-trial seed
-        // streams make every job independent, so the fan-out is exactly
-        // the serial loop flattened.
-        let rows: Vec<Vec<f64>> =
-            par::par_map_range(threads, points.len() * trials, SolveCtx::new, |ctx, k| {
-                let GridPoint { net, .. } = points[k / trials];
-                // Keep the classic single-point stream bit-compatible with
-                // `McConfig::trial_rng`; decorrelate additional points.
-                let point_seed = if single {
-                    spec.seed
-                } else {
-                    mix_seed(spec.seed, (k / trials) as u64)
-                };
-                let mut rng = trial_stream(point_seed, (k % trials) as u64);
-                let faded_net = net.with_state(net.state().faded(
-                    spec.model.sample_power(&mut rng),
-                    spec.model.sample_power(&mut rng),
-                    spec.model.sample_power(&mut rng),
-                ));
-                protocols
-                    .iter()
-                    .map(|&p| {
-                        // An LP failure on a faded draw counts as rate 0 (a
-                        // fade so deep the protocol is unusable).
-                        ctx.sum_rate(&faded_net, p)
-                            .map(|s| s.sum_rate)
-                            .unwrap_or(0.0)
-                    })
+        // Fan the full `point × trial` grid across the workers in
+        // [`PointBlock`]-sized chunks (a single-point 10k-trial study must
+        // still parallelise). Flat index `k` is point `k / trials`, trial
+        // `k % trials`; the per-trial seed streams make every index
+        // independent of its blockmates, so the blocked fan-out is exactly
+        // the serial loop flattened — bit-identical at any block size or
+        // thread count. Fading always solves the unconstrained inner
+        // optimum (the assert above), so every draw takes the closed-form
+        // lane kernels.
+        let total = points.len() * trials;
+        let bsz = sc.effective_block_size();
+        let nblocks = total.div_ceil(bsz);
+        let nproto = protocols.len();
+        let worker = || {
+            (
+                SolveCtx::new(),
+                PointBlock::new(),
+                vec![Vec::<SolveOutcome>::new(); nproto],
+            )
+        };
+        let blocks: Vec<Vec<Vec<f64>>> =
+            par::par_map_range(threads, nblocks, worker, |(ctx, block, outs), j| {
+                let lo = j * bsz;
+                let hi = (lo + bsz).min(total);
+                block.clear();
+                for k in lo..hi {
+                    let GridPoint { net, .. } = points[k / trials];
+                    // Keep the classic single-point stream bit-compatible
+                    // with `McConfig::trial_rng`; decorrelate additional
+                    // points.
+                    let point_seed = if single {
+                        spec.seed
+                    } else {
+                        mix_seed(spec.seed, (k / trials) as u64)
+                    };
+                    let mut rng = trial_stream(point_seed, (k % trials) as u64);
+                    let faded_net = net.with_state(net.state().faded(
+                        spec.model.sample_power(&mut rng),
+                        spec.model.sample_power(&mut rng),
+                        spec.model.sample_power(&mut rng),
+                    ));
+                    block.push_net(&faded_net);
+                }
+                block.compute_caps();
+                for (pi, &p) in protocols.iter().enumerate() {
+                    outs[pi].clear();
+                    ctx.solve_block(block, SolveRequest::sum_rate(p), &mut outs[pi])
+                        .expect("closed-form batch solve is infallible");
+                }
+                (0..hi - lo)
+                    .map(|i| outs.iter().map(|lane| lane[i].value).collect())
                     .collect()
             });
+        let rows = blocks.into_iter().flatten();
 
         let mut samples: ProtocolMap<Vec<Vec<f64>>> = ProtocolMap::new();
         for &p in protocols {
             samples.insert(p, vec![Vec::with_capacity(trials); points.len()]);
         }
-        for (k, row) in rows.into_iter().enumerate() {
+        for (k, row) in rows.enumerate() {
             for (&p, rate) in protocols.iter().zip(row) {
                 samples.get_mut(p).expect("pre-populated")[k / trials].push(rate);
             }

@@ -89,7 +89,10 @@ impl RelayCandidates {
     ) -> Result<SelectionResult, CoreError> {
         let mut best: Option<SelectionResult> = None;
         for i in 0..self.relays.len() {
-            let sol = ctx.sum_rate(&self.network(i, power), protocol)?;
+            let req = crate::kernel::SolveRequest::sum_rate(protocol);
+            let sol = ctx
+                .solve_one(&self.network(i, power), req)?
+                .sum_rate_solution();
             let better = match &best {
                 None => true,
                 Some(b) => sol.sum_rate > b.solution.sum_rate,

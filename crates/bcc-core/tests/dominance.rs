@@ -98,15 +98,27 @@ proptest! {
     ) {
         let net = random_net(p, g);
         let mut ctx = SolveCtx::new();
-        let hbc_sum = ctx.sum_rate(&net, Protocol::Hbc).unwrap().sum_rate;
-        let hbc_min = ctx.max_min_rate(&net, Protocol::Hbc).unwrap().objective;
+        let hbc_sum = ctx
+            .solve_one(&net, SolveRequest::sum_rate(Protocol::Hbc))
+            .unwrap()
+            .value;
+        let hbc_min = ctx
+            .solve_one(&net, SolveRequest::max_min(Protocol::Hbc))
+            .unwrap()
+            .value;
         for proto in [Protocol::Mabc, Protocol::Tdbc] {
-            let sum = ctx.sum_rate(&net, proto).unwrap().sum_rate;
+            let sum = ctx
+                .solve_one(&net, SolveRequest::sum_rate(proto))
+                .unwrap()
+                .value;
             prop_assert!(
                 hbc_sum >= sum - 1e-8 * (1.0 + sum),
                 "{proto} sum {sum} beats HBC {hbc_sum} at {net:?}"
             );
-            let min = ctx.max_min_rate(&net, proto).unwrap().objective;
+            let min = ctx
+                .solve_one(&net, SolveRequest::max_min(proto))
+                .unwrap()
+                .value;
             prop_assert!(
                 hbc_min >= min - 1e-8 * (1.0 + min),
                 "{proto} max-min {min} beats HBC {hbc_min} at {net:?}"

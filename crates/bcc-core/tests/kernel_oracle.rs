@@ -2,8 +2,8 @@
 //! simplex oracle.
 //!
 //! The kernel (`bcc_core::kernel`) answers the hot-loop queries —
-//! `max_sum_rate` for DT/MABC/TDBC and `max_min_rate` for DT/MABC —
-//! analytically, while `bcc_core::optimizer` keeps solving the same
+//! `max_sum_rate` for all four protocols and `max_min_rate` for
+//! DT/MABC/TDBC — analytically, while `bcc_core::optimizer` keeps solving the same
 //! programs through the general cold two-phase simplex. Over random
 //! channel states and per-node power splits the two must agree:
 //!
@@ -182,7 +182,7 @@ fn kernel_handles_extreme_scales() {
     ];
     for (p, gab, gar, gbr) in cases {
         let net = GaussianNetwork::new(p, ChannelState::new(gab, gar, gbr));
-        for proto in [Protocol::DirectTransmission, Protocol::Mabc, Protocol::Tdbc] {
+        for proto in Protocol::ALL {
             let k = kernel::max_sum_rate(&net, proto).expect("covered");
             let sets = net.constraint_sets(proto, Bound::Inner);
             let lp = optimizer::max_sum_rate(&sets[0]).expect("solvable");

@@ -13,7 +13,7 @@ use crate::query::{Decision, DecisionCore, Query, ServeError, ServedFrom};
 use crate::stats::ServeStats;
 use bcc_core::kernel::kernel_hits_local;
 use bcc_core::protocol::Protocol;
-use bcc_core::SolveCtx;
+use bcc_core::{Objective, SolveCtx};
 
 /// Tunables for an [`Engine`] or [`Server`](crate::Server).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,8 +81,16 @@ pub(crate) fn solve_counted(ctx: &mut SolveCtx, snapped: &Query) -> SolvedMiss {
     let kernel_before = kernel_hits_local();
     let lp_before = bcc_lp::stats::local_snapshot();
     let net = snapped.network();
-    let outcome = match ctx.best_sum_rate(&net, &Protocol::ALL, snapped.bound, snapped.floor) {
-        Ok(Some(sol)) => Ok(Outcome::Decided(DecisionCore::from_solution(&sol))),
+    let outcome = match ctx.solve_best(
+        &net,
+        &Protocol::ALL,
+        Objective::SumRate,
+        snapped.bound,
+        snapped.floor,
+    ) {
+        Ok(Some(out)) => Ok(Outcome::Decided(DecisionCore::from_solution(
+            &out.sum_rate_solution(),
+        ))),
         Ok(None) => Ok(Outcome::Infeasible),
         Err(e) => Err(ServeError::Solver(e)),
     };
@@ -107,8 +115,14 @@ pub fn cold_solve(
 ) -> Result<Option<DecisionCore>, ServeError> {
     let (_, snapped) = spec.snap_query(query);
     let net = snapped.network();
-    match ctx.best_sum_rate(&net, &Protocol::ALL, snapped.bound, snapped.floor) {
-        Ok(Some(sol)) => Ok(Some(DecisionCore::from_solution(&sol))),
+    match ctx.solve_best(
+        &net,
+        &Protocol::ALL,
+        Objective::SumRate,
+        snapped.bound,
+        snapped.floor,
+    ) {
+        Ok(Some(out)) => Ok(Some(DecisionCore::from_solution(&out.sum_rate_solution()))),
         Ok(None) => Ok(None),
         Err(e) => Err(ServeError::Solver(e)),
     }

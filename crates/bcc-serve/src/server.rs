@@ -21,12 +21,14 @@
 //! answers.
 
 use crate::cache::Outcome;
-use crate::engine::{solve_counted, Engine, ServeConfig};
+use crate::engine::{solve_counted, Engine, ServeConfig, SolvedMiss};
 use crate::quant::QuantKey;
-use crate::query::{Decision, Query, Rejected, ServeError, ServedFrom};
+use crate::query::{Decision, DecisionCore, Query, Rejected, ServeError, ServedFrom};
 use crate::stats::ServeStats;
-use bcc_core::SolveCtx;
-use bcc_num::par::par_map_indexed_with;
+use bcc_core::batch::{PointBlock, DEFAULT_BLOCK};
+use bcc_core::protocol::Protocol;
+use bcc_core::{SolveCtx, SolveOutcome, SolveRequest};
+use bcc_num::par::{par_map_indexed_with, par_map_range};
 use std::collections::HashMap;
 
 /// What one drained batch cost — the serving-path counterpart of
@@ -171,9 +173,7 @@ impl Server {
         // Phase 2 (parallel): solve the unique misses. Results come back
         // in miss order regardless of scheduling.
         let threads = self.threads.unwrap_or_else(bcc_num::par::thread_count);
-        let solved = par_map_indexed_with(threads, &miss_queries, SolveCtx::new, |ctx, _, q| {
-            solve_counted(ctx, q)
-        });
+        let solved = solve_misses(threads, &miss_queries);
 
         // Phase 3 (serial): commit solved outcomes into the cache in miss
         // order (solver errors are never cached).
@@ -239,6 +239,95 @@ impl Server {
         });
         responses
     }
+}
+
+/// Solves a batch's deduplicated misses, in miss order.
+///
+/// Inner-bound floor-free misses — the overwhelmingly common shape — are
+/// solved through the SoA lane kernels of [`bcc_core::batch`]: the
+/// snapped networks are packed into [`PointBlock`]s, each block solved
+/// for all four protocols at once, and the per-miss argmax replicates
+/// [`SolveCtx::solve_best`] exactly (strict `>`, earliest protocol wins
+/// ties), so decisions stay bit-identical to the serial engine. Floored
+/// or outer-bound misses keep the per-miss simplex path. Each returned
+/// [`SolvedMiss`] carries the same cost accounting as the scalar path
+/// (one kernel solve per protocol; zero simplex solves).
+fn solve_misses(threads: usize, misses: &[Query]) -> Vec<SolvedMiss> {
+    let (mut batchable, mut scalar) = (Vec::new(), Vec::new());
+    for (i, q) in misses.iter().enumerate() {
+        if SolveRequest::sum_rate(Protocol::Hbc)
+            .with_bound(q.bound)
+            .with_floor(q.floor)
+            .is_batchable()
+        {
+            batchable.push(i);
+        } else {
+            scalar.push(i);
+        }
+    }
+
+    let mut solved: Vec<Option<SolvedMiss>> = Vec::new();
+    solved.resize_with(misses.len(), || None);
+
+    let nblocks = batchable.len().div_ceil(DEFAULT_BLOCK);
+    let worker = || {
+        (
+            SolveCtx::new(),
+            PointBlock::new(),
+            vec![Vec::<SolveOutcome>::new(); Protocol::ALL.len()],
+        )
+    };
+    let blocks: Vec<Vec<SolvedMiss>> =
+        par_map_range(threads, nblocks, worker, |(ctx, block, outs), b| {
+            let lo = b * DEFAULT_BLOCK;
+            let hi = (lo + DEFAULT_BLOCK).min(batchable.len());
+            block.clear();
+            for &mi in &batchable[lo..hi] {
+                block.push_net(&misses[mi].network());
+            }
+            block.compute_caps();
+            for (pi, &p) in Protocol::ALL.iter().enumerate() {
+                outs[pi].clear();
+                ctx.solve_block(block, SolveRequest::sum_rate(p), &mut outs[pi])
+                    .expect("closed-form batch solve is infallible");
+            }
+            (0..hi - lo)
+                .map(|i| {
+                    let mut best: Option<&SolveOutcome> = None;
+                    for lane in outs.iter() {
+                        let out = &lane[i];
+                        if best.is_none_or(|b| out.value > b.value) {
+                            best = Some(out);
+                        }
+                    }
+                    let best = best.expect("Protocol::ALL is non-empty");
+                    SolvedMiss {
+                        outcome: Ok(Outcome::Decided(DecisionCore::from_solution(
+                            &best.sum_rate_solution(),
+                        ))),
+                        kernel_solves: Protocol::ALL.len() as u64,
+                        simplex_solves: 0,
+                        warm_hits: 0,
+                        pivots: 0,
+                    }
+                })
+                .collect()
+        });
+    for (&mi, miss) in batchable.iter().zip(blocks.into_iter().flatten()) {
+        solved[mi] = Some(miss);
+    }
+
+    let scalar_solved = par_map_indexed_with(threads, &scalar, SolveCtx::new, |ctx, _, &mi| {
+        solve_counted(ctx, &misses[mi])
+    });
+    for (&mi, miss) in scalar.iter().zip(scalar_solved) {
+        solved[mi] = Some(miss);
+    }
+
+    solved
+        .into_iter()
+        .map(|m| m.expect("every miss solved exactly once"))
+        .collect()
 }
 
 #[cfg(test)]

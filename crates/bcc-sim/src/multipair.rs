@@ -55,8 +55,8 @@ pub fn multi_pair_samples(
                 fading.sample_power(&mut rng),
             ));
             samples[pair].push(
-                ctx.sum_rate(&faded, protocol)
-                    .map(|s| s.sum_rate)
+                ctx.solve_one(&faded, bcc_core::SolveRequest::sum_rate(protocol))
+                    .map(|o| o.value)
                     .unwrap_or(0.0),
             );
         }

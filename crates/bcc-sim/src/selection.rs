@@ -52,9 +52,12 @@ pub fn ergodic_fixed_relay_rate(
             .map(|_| (fading.sample_power(rng), fading.sample_power(rng)))
             .collect();
         let faded = candidates.faded(direct, &fades);
-        ctx.sum_rate(&faded.network(index, power), protocol)
-            .map(|s| s.sum_rate)
-            .unwrap_or(0.0)
+        ctx.solve_one(
+            &faded.network(index, power),
+            bcc_core::SolveRequest::sum_rate(protocol),
+        )
+        .map(|o| o.value)
+        .unwrap_or(0.0)
     })
 }
 
