@@ -1,8 +1,8 @@
 //! bench-report — times the canonical evaluation scenarios in serial and
 //! parallel modes and writes the machine-readable `BENCH_evaluator.json`
-//! (schema 4) that CI uploads and trends.
+//! (schema 5) that CI uploads and trends.
 //!
-//! Five workloads cover the engine's hot paths at production scale:
+//! Six workloads cover the engine's hot paths at production scale:
 //!
 //! * **`fig3_sweep`** — the paper's Fig. 3 symmetric-gain sweep on a
 //!   60 001-point grid (every protocol, ~240k solves);
@@ -10,6 +10,15 @@
 //!   bisection locating the ≈13.7 dB MABC/TDBC crossover;
 //! * **`outage_10k`** — a 10 000-trial Rayleigh outage study at the
 //!   Fig. 4 operating point (~40k solves on faded networks);
+//! * **`deep_outage`** — the importance-sampled deep-tail study
+//!   (`bcc_bench::deepstudy`): a direct-transmission outage near `1e-6`
+//!   resolved by tilted fade streams, escalating a trial ladder until the
+//!   relative error meets the 10% budget (time-to-fixed-relative-error).
+//!   Its extras record the achieved `rel_err`, the trial budget
+//!   `is_trials`, the IS-vs-plain-MC per-trial variance ratio
+//!   `var_ratio`, and the z-score against the closed-form tail; the gate
+//!   requires the 1e-6 tail resolved in fewer trials than plain MC needs
+//!   for 1e-3;
 //! * **`multipair_k3`** — a 4 001-point, three-pair shared-relay sweep
 //!   (sum-rate *and* max–min per pair × protocol, ~96k solves through
 //!   the `point × pair × protocol` fan-out);
@@ -335,6 +344,93 @@ fn time_outage(parallel_threads: usize) -> Timing {
     }
 }
 
+/// The deep-outage workload (`bcc_bench::deepstudy`): escalates the
+/// trial ladder until the importance-sampled DT tail near 1e-6 meets the
+/// 10% relative-error budget, then times that rung serial vs parallel
+/// (bit-identity asserted on the full result first). The extras carry
+/// the quality metrics the gate asserts on: achieved relative error,
+/// the winning trial budget, the per-trial variance advantage over plain
+/// MC (`p(1−p)/var`), and the z-score against the closed-form tail.
+fn time_deep_outage(parallel_threads: usize) -> Timing {
+    use bcc_bench::deepstudy;
+    let spec = deepstudy::deep_spec();
+    let run = |trials: usize, threads: usize| {
+        deepstudy::deep_scenario(trials)
+            .threads(threads)
+            .build()
+            .deep_outage(&spec)
+            .expect("deep-outage study runs")
+    };
+    let cell_of = |res: &bcc_core::DeepOutageResult| *res.cell(Protocol::DirectTransmission, 0, 0);
+
+    // Time to fixed relative error: climb the ladder until the 10%
+    // budget is met (the last rung is reported even if it falls short —
+    // the gate, not the ladder, fails the run then).
+    let mut trials = *deepstudy::TRIAL_LADDER.last().expect("non-empty ladder");
+    let mut serial = None;
+    for &rung in &deepstudy::TRIAL_LADDER {
+        let res = run(rung, 1);
+        let done = cell_of(&res)
+            .rel_error
+            .is_some_and(|r| r <= deepstudy::REL_ERR_TARGET);
+        trials = rung;
+        serial = Some(res);
+        if done {
+            break;
+        }
+    }
+    let serial = serial.expect("ladder is non-empty");
+    let parallel = run(trials, parallel_threads);
+    assert_eq!(
+        cell_of(&serial),
+        cell_of(&parallel),
+        "parallel deep outage must be bit-identical"
+    );
+
+    let cell = cell_of(&serial);
+    let p = cell.probability.expect("tilted estimate resolves");
+    let rel = cell.rel_error.expect("resolved");
+    let exact = bcc_core::analytic_outage(
+        &bcc_bench::fig4_network(deepstudy::POWER_DB),
+        Protocol::DirectTransmission,
+        FadingModel::Rayleigh,
+        serial.target_rate(0, 0),
+    )
+    .and_then(|t| t.exact())
+    .expect("DT Rayleigh tail is closed-form");
+    // Per-trial variance advantage over plain MC at the same target: a
+    // plain indicator has variance p(1−p); the weighted indicator's is
+    // the cell's estimator variance.
+    let var_ratio = p * (1.0 - p) / cell.variance;
+    let abs_z = (p - exact).abs() / (rel * p);
+
+    let mix = measure_mix(trials, || {
+        run(trials, 1);
+    });
+    let serial_ms = best_ms(REPS, || {
+        run(trials, 1);
+    });
+    let parallel_ms = best_ms(REPS, || {
+        run(trials, parallel_threads);
+    });
+    Timing {
+        name: "deep_outage",
+        points: 1,
+        trials,
+        serial_ms,
+        parallel_ms,
+        mix,
+        extra: vec![
+            ("rel_err", rel),
+            ("is_trials", trials as f64),
+            ("var_ratio", var_ratio),
+            ("prob_x1e9", p * 1e9),
+            ("exact_x1e9", exact * 1e9),
+            ("abs_z", abs_z),
+        ],
+    }
+}
+
 fn time_multipair(parallel_threads: usize) -> Timing {
     let ev = multipair_scenario().build();
     let points = ev.points().len();
@@ -478,7 +574,7 @@ fn time_serve(parallel_threads: usize) -> Timing {
 }
 
 fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
-    let mut out = String::from("{\n  \"schema\": 4,\n");
+    let mut out = String::from("{\n  \"schema\": 5,\n");
     out.push_str(&format!(
         "  \"threads\": {{ \"available\": {available}, \"parallel\": {parallel} }},\n"
     ));
@@ -570,6 +666,7 @@ fn main() {
         time_fig3(parallel),
         time_crossover(parallel),
         time_outage(parallel),
+        time_deep_outage(parallel),
         time_multipair(parallel),
         time_serve(parallel),
     ];
@@ -660,7 +757,71 @@ fn main() {
         // The K-pair sweep hot loop must stay allocation-free per
         // pair-point (warm-up and result assembly amortise to noise on
         // this grid; 0.05 is far below one allocation per point).
-        let multipair = &timings[3];
+        let scenario = |name: &str| {
+            timings
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap_or_else(|| panic!("timings include {name}"))
+        };
+        // Deep-outage quality gates: the importance sampler must resolve
+        // its ~1e-6 tail within the 10% relative-error budget, in fewer
+        // trials than plain MC needs for a 1e-3 tail, with a genuine
+        // per-trial variance advantage, and statistically consistent
+        // with the closed-form answer.
+        {
+            use bcc_bench::deepstudy;
+            let deep = scenario("deep_outage");
+            let extra = |key: &str| {
+                deep.extra
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("deep_outage records {key}"))
+            };
+            let rel_err = extra("rel_err");
+            if rel_err > deepstudy::REL_ERR_TARGET {
+                failures.push(format!(
+                    "deep_outage rel_err = {rel_err:.3}: the tilted estimator missed the \
+                     {:.0}% relative-error budget even at the top of the trial ladder",
+                    deepstudy::REL_ERR_TARGET * 100.0
+                ));
+            } else {
+                println!("check ok: deep_outage rel_err = {rel_err:.3}");
+            }
+            if deep.trials >= deepstudy::PLAIN_MC_FLOOR {
+                failures.push(format!(
+                    "deep_outage is_trials = {}: the 1e-6 tail took at least as many \
+                     trials as plain MC needs for 1e-3 ({})",
+                    deep.trials,
+                    deepstudy::PLAIN_MC_FLOOR
+                ));
+            } else {
+                println!(
+                    "check ok: deep_outage is_trials = {} (plain-MC 1e-3 floor {})",
+                    deep.trials,
+                    deepstudy::PLAIN_MC_FLOOR
+                );
+            }
+            let var_ratio = extra("var_ratio");
+            if var_ratio <= 1.0 {
+                failures.push(format!(
+                    "deep_outage var_ratio = {var_ratio:.2}: importance sampling lost its \
+                     per-trial variance advantage over plain MC"
+                ));
+            } else {
+                println!("check ok: deep_outage var_ratio = {var_ratio:.1}");
+            }
+            let abs_z = extra("abs_z");
+            if abs_z > 5.0 {
+                failures.push(format!(
+                    "deep_outage abs_z = {abs_z:.2}: the estimate is more than 5 standard \
+                     errors from the closed-form tail (biased sampler?)"
+                ));
+            } else {
+                println!("check ok: deep_outage abs_z = {abs_z:.2}");
+            }
+        }
+        let multipair = scenario("multipair_k3");
         if multipair.mix.allocs_per_point > 0.05 {
             failures.push(format!(
                 "multipair_k3 allocs_per_point = {:.3}: the K-pair hot loop \
@@ -689,7 +850,7 @@ fn main() {
         // below baseline/tolerance is the regression), and the two cache
         // fast-path canaries must fire — repeated-state streams must hit
         // the cache, and serve misses must reach the closed-form kernel.
-        let serve = &timings[4];
+        let serve = scenario("serve_loadgen");
         let measured_qps = serve
             .extra
             .iter()

@@ -86,7 +86,9 @@ fn validate_fading() {
                 format!("{p_db}"),
                 proto.name().into(),
                 format!("{erg:.4}"),
-                format!("{:.4}", fading.outage_rate(proto, j, 0.1)),
+                fading
+                    .outage_rate(proto, j, 0.1)
+                    .map_or_else(|| "unresolved".into(), |r| format!("{r:.4}")),
                 format!("{exact:.4}"),
             ]);
         }

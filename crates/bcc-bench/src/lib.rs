@@ -116,6 +116,50 @@ pub mod dmtstudy {
     }
 }
 
+/// Canonical configuration of the deep-outage importance-sampling study
+/// (the `deep_outage` bench-report scenario) — a direct-transmission
+/// tail near `1e-6` that plain Monte Carlo cannot resolve, pinned
+/// against the closed-form Rayleigh tail. One source of truth shared by
+/// the bench gate and the CI smoke leg.
+pub mod deepstudy {
+    use bcc_core::prelude::*;
+
+    /// Transmit power \[dB\] placing the DT Rayleigh tail near `1e-6` at
+    /// multiplexing gain [`GAIN`].
+    pub const POWER_DB: f64 = 75.0;
+    /// Multiplexing gain `r` of the finite-SNR target
+    /// `r·log2(1 + SNR_ref)`.
+    pub const GAIN: f64 = 0.1;
+    /// Master seed of the tilted fade streams.
+    pub const SEED: u64 = 0xDEE2_0001;
+    /// Escalating trial budgets; the bench reports the first rung whose
+    /// relative error meets [`REL_ERR_TARGET`] — "time to fixed relative
+    /// error" at the deep target.
+    pub const TRIAL_LADDER: [usize; 4] = [2_500, 5_000, 10_000, 20_000];
+    /// Relative-error budget of the study (10%).
+    pub const REL_ERR_TARGET: f64 = 0.1;
+    /// Trials plain MC would need for ~10% relative error at `p = 1e-3`
+    /// (`(1 − p)/(p·0.1²) ≈ 1e5`). The gate requires the importance
+    /// sampler to resolve its *thousand-fold deeper* `1e-6` tail in
+    /// fewer trials than this.
+    pub const PLAIN_MC_FLOOR: usize = 100_000;
+
+    /// The single-cell deep-outage scenario at `trials` tilted trials.
+    pub fn deep_scenario(trials: usize) -> Scenario {
+        Scenario::at(crate::fig4_network(POWER_DB))
+            .protocols([Protocol::DirectTransmission])
+            .multiplexing_gains([GAIN])
+            .rayleigh(trials, SEED)
+    }
+
+    /// The study's estimator settings: sampling is forced so the bench
+    /// times the tilted kernel path rather than the analytic fast path
+    /// (which would short-circuit the DT cell entirely).
+    pub fn deep_spec() -> DeepSpec {
+        DeepSpec::new().force_sampling(true)
+    }
+}
+
 /// Canonical configuration of the multi-pair shared-relay study
 /// (E-M1/E-M2) — one source of truth shared by the `multipair` binary
 /// and the workspace golden tests, so the pinned shapes and the

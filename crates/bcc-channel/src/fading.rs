@@ -6,6 +6,22 @@
 //! gains; the outage/ergodic experiments in `bcc-sim` draw one
 //! [`FadingModel`] sample per link per block and multiply it onto the
 //! path-loss [`ChannelState`](crate::csi::ChannelState).
+//!
+//! # Importance sampling for deep outage tails
+//!
+//! Plain Monte Carlo cannot resolve outage probabilities below `1/trials`;
+//! the deep-outage engine instead draws fade powers from an
+//! **exponentially tilted** proposal and reweights each trial by its
+//! likelihood ratio. For the gamma-family powers here (Rayleigh is
+//! `Exp(1) = Gamma(1, 1)`, Nakagami-m is `Gamma(m, 1/m)`), an exponential
+//! tilt is exactly a *scale* tilt: the proposal is the same gamma shape
+//! with mean `θ ∈ (0, 1]` instead of 1, pushing mass into the deep-fade
+//! region. To keep the weights bounded (a pure tilt with `θ < 1/2` has an
+//! infinite second moment under the nominal measure — one healthy-fade
+//! outlier would carry unbounded weight), the sampler draws from the
+//! **defensive mixture** `q = α·p + (1−α)·p_θ`, whose weight
+//! `w = p/q ≤ 1/α` by construction. See
+//! [`FadingModel::sample_power_tilted`] and [`PowerTilt`].
 
 use bcc_num::Complex64;
 use rand::Rng;
@@ -85,7 +101,160 @@ pub enum FadingModel {
     },
 }
 
+/// One link's importance-sampling proposal: a scale (exponential) tilt of
+/// the fade *power* toward deep fades, defended by a mixture with the
+/// nominal distribution.
+///
+/// `theta` is the proposal's mean power in `(0, 1]` — `1.0` means "no
+/// tilt" and is guaranteed to consume the RNG stream exactly like
+/// [`FadingModel::sample_power`] with weight exactly `1.0`, so untilted
+/// links in a tilted trial stay bit-identical to a plain run. `alpha` is
+/// the defensive mass kept on the nominal distribution; every
+/// likelihood-ratio weight is bounded by `1/alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerTilt {
+    /// Mean power of the tilted proposal, in `(0, 1]`.
+    pub theta: f64,
+    /// Defensive-mixture mass on the *untilted* distribution, in `(0, 1]`.
+    pub alpha: f64,
+}
+
+impl PowerTilt {
+    /// The default defensive mass: 10% of draws come from the nominal
+    /// distribution, bounding every weight by 10.
+    pub const DEFAULT_ALPHA: f64 = 0.1;
+
+    /// The identity tilt: plain sampling, weight exactly 1.
+    pub const NONE: PowerTilt = PowerTilt {
+        theta: 1.0,
+        alpha: 1.0,
+    };
+
+    /// A tilt toward mean power `theta` with explicit defensive mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta ∈ (0, 1]` and `alpha ∈ (0, 1]`.
+    pub fn new(theta: f64, alpha: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "tilt mean must lie in (0, 1], got {theta}"
+        );
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "defensive mass must lie in (0, 1], got {alpha}"
+        );
+        PowerTilt { theta, alpha }
+    }
+
+    /// A tilt toward mean power `theta` with [`PowerTilt::DEFAULT_ALPHA`].
+    pub fn toward(theta: f64) -> Self {
+        PowerTilt::new(theta, PowerTilt::DEFAULT_ALPHA)
+    }
+
+    /// `true` if this tilt is the identity (no reweighting).
+    pub fn is_identity(&self) -> bool {
+        self.theta == 1.0
+    }
+}
+
+/// Likelihood-ratio weight `p(x)/q(x)` of the defensive mixture
+/// `q = α·p + (1−α)·p_θ` for a `Gamma(m, 1/m)` nominal power: with the
+/// densities' log ratio `t = ln(p_θ/p)(x) = m·(ln(1/θ) − x·(1/θ − 1))`,
+/// the weight is `1/(α + (1−α)·eᵗ)`, evaluated on whichever side of `t = 0`
+/// keeps the exponential from overflowing.
+fn defensive_mixture_weight(m: f64, theta: f64, alpha: f64, x: f64) -> f64 {
+    let t = m * ((1.0 / theta).ln() - x * (1.0 / theta - 1.0));
+    if t >= 0.0 {
+        // Deep-fade side: the tilted density dominates; w ≤ 1.
+        let e = (-t).exp();
+        e / (alpha * e + (1.0 - alpha))
+    } else {
+        // Healthy-fade side: the nominal density dominates; w ≤ 1/α.
+        1.0 / (alpha + (1.0 - alpha) * t.exp())
+    }
+}
+
 impl FadingModel {
+    /// A validated Nakagami-m model.
+    ///
+    /// The enum variant can be constructed with any `m`, but the
+    /// Marsaglia–Tsang sampler (with the `Gamma(m+1)·U^{1/m}` boost for
+    /// `m < 1`) is only correct for `m ≥ 1/2` — which is also the Nakagami
+    /// constraint itself — so invalid shapes must be rejected at
+    /// construction instead of producing silently-wrong draws later.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m` is finite and `m ≥ 1/2`.
+    pub fn nakagami(m: f64) -> Self {
+        assert!(
+            m.is_finite() && m >= 0.5,
+            "Nakagami shape must be finite and >= 1/2, got {m}"
+        );
+        FadingModel::Nakagami { m }
+    }
+
+    /// The gamma shape of this model's *power* distribution
+    /// (`|h|² ~ Gamma(shape, 1/shape)`), if it has one: `1` for Rayleigh,
+    /// `m` for Nakagami-m. `None` for the non-gamma models (no fading,
+    /// Rician), which the tilted sampler and the analytic tails do not
+    /// support.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid Nakagami shape (see [`FadingModel::nakagami`]).
+    pub fn power_shape(&self) -> Option<f64> {
+        match *self {
+            FadingModel::Rayleigh => Some(1.0),
+            FadingModel::Nakagami { m } => {
+                assert!(
+                    m.is_finite() && m >= 0.5,
+                    "Nakagami shape must be finite and >= 1/2, got {m}"
+                );
+                Some(m)
+            }
+            FadingModel::None | FadingModel::Rician { .. } => None,
+        }
+    }
+
+    /// `true` if [`FadingModel::sample_power_tilted`] supports this model.
+    pub fn supports_tilt(&self) -> bool {
+        self.power_shape().is_some()
+    }
+
+    /// Samples one interest-weighted *power* fade from the defensive
+    /// mixture `α·p + (1−α)·p_θ`, returning `(power, weight)` where
+    /// `weight = p(power)/q(power)` is the trial's likelihood ratio.
+    ///
+    /// The estimator contract: for any event `A` and trials drawn through
+    /// this sampler, `E[w·1{x ∈ A}] = P_p[A]` exactly (unnormalized IS),
+    /// and `E[w] = 1`. With the identity tilt the method consumes the RNG
+    /// stream exactly like [`FadingModel::sample_power`] and returns weight
+    /// exactly `1.0`, so a partially tilted trial (only the
+    /// outage-relevant links tilted) is bit-compatible with plain sampling
+    /// on its untilted links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tilt is non-identity and the model has no gamma power
+    /// shape (see [`FadingModel::power_shape`]).
+    pub fn sample_power_tilted<R: Rng + ?Sized>(&self, rng: &mut R, tilt: PowerTilt) -> (f64, f64) {
+        if tilt.is_identity() {
+            return (self.sample_power(rng), 1.0);
+        }
+        let m = self.power_shape().unwrap_or_else(|| {
+            panic!("{self:?} has no gamma power shape; importance tilting is undefined")
+        });
+        // Branch first, then one nominal draw: the tilted component is the
+        // *scaled* nominal draw, so both branches consume identical
+        // randomness and the trial stays a pure function of its stream.
+        let from_tilt = rng.gen::<f64>() >= tilt.alpha;
+        let base = self.sample_power(rng);
+        let x = if from_tilt { tilt.theta * base } else { base };
+        (x, defensive_mixture_weight(m, tilt.theta, tilt.alpha, x))
+    }
+
     /// Samples one complex amplitude fade (unit mean power).
     pub fn sample_amplitude<R: Rng + ?Sized>(&self, rng: &mut R) -> Complex64 {
         match *self {
@@ -133,12 +302,24 @@ impl FadingModel {
     /// every model): 0 for no fading, 1 for Rayleigh,
     /// `(1 + 2K)/(1 + K)²` for Rician-K and `1/m` for Nakagami-m. The
     /// sampler property tests pin the empirical moments against this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range Nakagami shape — `1/m` would otherwise
+    /// report a plausible-looking variance for a model the sampler cannot
+    /// draw from (see [`FadingModel::nakagami`]).
     pub fn power_variance(&self) -> f64 {
         match *self {
             FadingModel::None => 0.0,
             FadingModel::Rayleigh => 1.0,
             FadingModel::Rician { k } => (1.0 + 2.0 * k) / ((1.0 + k) * (1.0 + k)),
-            FadingModel::Nakagami { m } => 1.0 / m,
+            FadingModel::Nakagami { m } => {
+                assert!(
+                    m.is_finite() && m >= 0.5,
+                    "Nakagami shape must be finite and >= 1/2, got {m}"
+                );
+                1.0 / m
+            }
         }
     }
 }
@@ -283,6 +464,149 @@ mod tests {
     fn nakagami_sub_half_shape_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = FadingModel::Nakagami { m: 0.3 }.sample_power(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nakagami shape")]
+    fn nakagami_constructor_rejects_sub_half_shape() {
+        let _ = FadingModel::nakagami(0.49);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nakagami shape")]
+    fn nakagami_constructor_rejects_non_finite_shape() {
+        let _ = FadingModel::nakagami(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nakagami shape")]
+    fn power_variance_rejects_invalid_nakagami() {
+        // Regression: this used to report a plausible 1/m = 10 for a shape
+        // the sampler cannot draw from.
+        let _ = FadingModel::Nakagami { m: 0.1 }.power_variance();
+    }
+
+    #[test]
+    fn nakagami_constructor_moment_regression() {
+        // Satellite regression: every constructor-validated shape (boost
+        // branch included) reproduces the analytic power moments.
+        for m in [0.5, 0.7, 1.0, 3.0] {
+            let model = FadingModel::nakagami(m);
+            let s = power_stats(model, 200_000, 0xBEEF ^ m.to_bits());
+            assert!((s.mean() - 1.0).abs() < 0.02, "m={m}: mean {}", s.mean());
+            let var = model.power_variance();
+            assert!(
+                (s.sample_variance() - var).abs() < 0.03 + 0.05 * var,
+                "m={m}: variance {} vs analytic {var}",
+                s.sample_variance()
+            );
+        }
+    }
+
+    #[test]
+    fn identity_tilt_is_bit_identical_to_plain_sampling() {
+        for model in [FadingModel::Rayleigh, FadingModel::nakagami(2.5)] {
+            let mut plain = StdRng::seed_from_u64(404);
+            let mut tilted = StdRng::seed_from_u64(404);
+            for _ in 0..500 {
+                let x = model.sample_power(&mut plain);
+                let (y, w) = model.sample_power_tilted(&mut tilted, PowerTilt::NONE);
+                assert_eq!(x.to_bits(), y.to_bits());
+                assert_eq!(w, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tilted_weights_are_bounded_and_average_to_one() {
+        // E_q[w] = 1 exactly for the defensive mixture; w ≤ 1/α always.
+        for model in [
+            FadingModel::Rayleigh,
+            FadingModel::nakagami(0.6),
+            FadingModel::nakagami(2.0),
+        ] {
+            let tilt = PowerTilt::toward(0.05);
+            let mut rng = StdRng::seed_from_u64(0x7117);
+            let mut stats = RunningStats::new();
+            for _ in 0..120_000 {
+                let (_, w) = model.sample_power_tilted(&mut rng, tilt);
+                assert!(w > 0.0 && w <= 1.0 / tilt.alpha + 1e-12, "w = {w}");
+                stats.push(w);
+            }
+            let z = (stats.mean() - 1.0) / stats.std_error();
+            assert!(
+                z.abs() < 4.0,
+                "{model:?}: mean weight {} (z = {z})",
+                stats.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn tilted_estimator_recovers_deep_gamma_tail() {
+        // P[Exp(1) < g] with g = 1e-4 is ~1e-4 — far below what 20k plain
+        // trials resolve, but the tilted unnormalized estimator
+        // (1/n)Σ w·1{x<g} nails it to a few percent.
+        let g = 1e-4_f64;
+        let exact = -(-g).exp_m1();
+        let tilt = PowerTilt::toward(g);
+        let mut rng = StdRng::seed_from_u64(0xD3EF);
+        let n = 20_000;
+        let est: f64 = (0..n)
+            .map(|_| {
+                let (x, w) = FadingModel::Rayleigh.sample_power_tilted(&mut rng, tilt);
+                if x < g {
+                    w
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (est / exact - 1.0).abs() < 0.05,
+            "IS estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn tilted_estimator_matches_nakagami_closed_form() {
+        // m = 2: P[X < x] = 1 − e^{−2x}(1 + 2x) ≈ 2x² for small x.
+        let g = 5e-3_f64;
+        let exact = 1.0 - (-2.0 * g).exp() * (1.0 + 2.0 * g);
+        let tilt = PowerTilt::toward(g);
+        let model = FadingModel::nakagami(2.0);
+        let mut rng = StdRng::seed_from_u64(0xACED);
+        let n = 30_000;
+        let est: f64 = (0..n)
+            .map(|_| {
+                let (x, w) = model.sample_power_tilted(&mut rng, tilt);
+                if x < g {
+                    w
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (est / exact - 1.0).abs() < 0.1,
+            "IS estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no gamma power shape")]
+    fn tilting_rician_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ =
+            FadingModel::Rician { k: 3.0 }.sample_power_tilted(&mut rng, PowerTilt::toward(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "tilt mean")]
+    fn power_tilt_rejects_zero_theta() {
+        let _ = PowerTilt::new(0.0, 0.1);
     }
 
     #[test]

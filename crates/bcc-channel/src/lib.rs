@@ -33,5 +33,6 @@ pub mod power;
 pub mod topology;
 
 pub use csi::ChannelState;
+pub use fading::{FadingModel, PowerTilt};
 pub use halfduplex::NodeId;
 pub use power::PowerSplit;

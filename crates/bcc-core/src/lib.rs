@@ -53,6 +53,7 @@ pub mod batch;
 pub mod bounds;
 pub mod comparison;
 pub mod constraint;
+pub mod deep;
 pub mod discrete;
 pub mod dmt;
 pub mod error;
@@ -64,9 +65,11 @@ pub mod protocol;
 pub mod region;
 pub mod scenario;
 pub mod selection;
+pub mod tails;
 
 pub use batch::PointBlock;
 pub use constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
+pub use deep::{DeepCell, DeepOutageResult, DeepSpec, TailSource, TiltSelect};
 pub use dmt::{Allocation, AllocationResult, DmtResult};
 pub use error::CoreError;
 pub use gaussian::GaussianNetwork;
@@ -78,11 +81,13 @@ pub use multipair::{
 pub use protocol::{Bound, Protocol, ProtocolMap};
 pub use region::{RatePoint, RateRegion};
 pub use scenario::{Evaluator, Scenario};
+pub use tails::{analytic_outage, AnalyticTail, TailForm};
 
 /// One-stop imports for the batch evaluation API.
 pub mod prelude {
     pub use crate::batch::PointBlock;
     pub use crate::constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
+    pub use crate::deep::{DeepCell, DeepOutageResult, DeepSpec, TailSource, TiltSelect};
     pub use crate::dmt::{Allocation, AllocationResult, DmtResult};
     pub use crate::error::CoreError;
     pub use crate::gaussian::{GaussianNetwork, SumRateSolution};
@@ -97,7 +102,8 @@ pub mod prelude {
         ComparisonResult, Evaluator, FadingSpec, GridPoint, OutageResult, ProtocolSeries,
         RegionResult, RegionTrace, Scenario, SkippedSolve, SweepResult,
     };
-    pub use bcc_channel::fading::FadingModel;
+    pub use crate::tails::{analytic_outage, AnalyticTail, TailForm};
+    pub use bcc_channel::fading::{FadingModel, PowerTilt};
     pub use bcc_channel::{ChannelState, PowerSplit};
     pub use bcc_num::Db;
 }

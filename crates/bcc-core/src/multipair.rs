@@ -830,15 +830,27 @@ impl MultiPairOutage {
 
     /// `P[schedule sum rate < target]` for `protocol` at grid point
     /// `point`.
+    ///
+    /// `None` means **unresolved**: no trial fell below a positive
+    /// target, so the estimate sits under the `1/trials` resolution
+    /// floor. A non-positive target resolves to `Some(0.0)` exactly.
     pub fn outage_probability(
         &self,
         protocol: Protocol,
         point: usize,
         schedule: Schedule,
         target: f64,
-    ) -> f64 {
+    ) -> Option<f64> {
+        if target <= 0.0 {
+            return Some(0.0);
+        }
         let s = self.schedule_samples(protocol, point, schedule);
-        s.iter().filter(|&&v| v < target).count() as f64 / s.len() as f64
+        let hits = s.iter().filter(|&&v| v < target).count();
+        if hits == 0 {
+            None
+        } else {
+            Some(hits as f64 / s.len() as f64)
+        }
     }
 
     /// Ergodic (fading-averaged) schedule sum rate of `protocol` at grid
@@ -1047,11 +1059,11 @@ mod tests {
         assert!((erg - joint.iter().sum::<f64>() / joint.len() as f64).abs() < 1e-12);
         assert_eq!(
             out.outage_probability(Protocol::Mabc, 0, Schedule::Joint, 0.0),
-            0.0
+            Some(0.0)
         );
         assert_eq!(
             out.outage_probability(Protocol::Mabc, 0, Schedule::Joint, 1e9),
-            1.0
+            Some(1.0)
         );
     }
 

@@ -413,7 +413,7 @@ impl Scenario {
     }
 
     /// The effective points-per-block of the batched paths.
-    fn effective_block_size(&self) -> usize {
+    pub(crate) fn effective_block_size(&self) -> usize {
         self.block_size.unwrap_or(crate::batch::DEFAULT_BLOCK)
     }
 
@@ -1145,8 +1145,9 @@ impl OutageResult {
     }
 
     /// The ε-outage sum rate of `protocol` at each grid point: the largest
-    /// rate supported in all but an `eps` fraction of fades.
-    pub fn outage_rate_series(&self, protocol: Protocol, eps: f64) -> Vec<(f64, f64)> {
+    /// rate supported in all but an `eps` fraction of fades. `None`
+    /// entries sit below the Monte-Carlo resolution floor `1/trials`.
+    pub fn outage_rate_series(&self, protocol: Protocol, eps: f64) -> Vec<(f64, Option<f64>)> {
         self.xs
             .iter()
             .enumerate()
@@ -1154,9 +1155,25 @@ impl OutageResult {
             .collect()
     }
 
-    /// The ε-outage sum rate of `protocol` at grid point `i`.
-    pub fn outage_rate(&self, protocol: Protocol, i: usize, eps: f64) -> f64 {
-        self.profile(protocol, i).quantile(eps)
+    /// The ε-outage sum rate of `protocol` at grid point `i`, or `None`
+    /// when `eps` sits below the resolution floor `1/trials` (the
+    /// empirical quantile there is just the sample minimum — Monte Carlo
+    /// cannot certify it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is outside `[0, 1]`.
+    pub fn outage_rate(&self, protocol: Protocol, i: usize, eps: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&eps),
+            "eps must lie in [0, 1], got {eps}"
+        );
+        let profile = self.profile(protocol, i);
+        if eps < 1.0 / profile.len() as f64 {
+            None
+        } else {
+            Some(profile.quantile(eps))
+        }
     }
 
     /// The empirical sum-rate distribution of `protocol` at grid point `i`
@@ -1166,9 +1183,22 @@ impl OutageResult {
     }
 
     /// `P[optimal sum rate < target]` for `protocol` at grid point `i`.
-    pub fn outage_probability(&self, protocol: Protocol, i: usize, target: f64) -> f64 {
+    ///
+    /// `None` means **unresolved**: no trial fell below a positive target,
+    /// so the estimate sits under the `1/trials` floor (the deep-outage
+    /// evaluator resolves those cells). A non-positive target resolves to
+    /// `Some(0.0)` exactly.
+    pub fn outage_probability(&self, protocol: Protocol, i: usize, target: f64) -> Option<f64> {
+        if target <= 0.0 {
+            return Some(0.0);
+        }
         let s = self.samples(protocol, i);
-        s.iter().filter(|&&v| v < target).count() as f64 / s.len() as f64
+        let hits = s.iter().filter(|&&v| v < target).count();
+        if hits == 0 {
+            None
+        } else {
+            Some(hits as f64 / s.len() as f64)
+        }
     }
 }
 
@@ -1319,12 +1349,12 @@ mod tests {
             assert!(hbc[i] >= mabc[i] - 1e-8, "trial {i}");
             assert!(hbc[i] >= tdbc[i] - 1e-8, "trial {i}");
         }
-        // Quantiles are monotone in eps.
-        let q10 = out.outage_rate(Protocol::Hbc, 0, 0.10);
-        let q50 = out.outage_rate(Protocol::Hbc, 0, 0.50);
+        // Quantiles are monotone in eps (both resolve at 60 trials).
+        let q10 = out.outage_rate(Protocol::Hbc, 0, 0.10).unwrap();
+        let q50 = out.outage_rate(Protocol::Hbc, 0, 0.50).unwrap();
         assert!(q10 <= q50);
         // Probability inverts rate approximately.
-        assert!(out.outage_probability(Protocol::Hbc, 0, q50) <= 0.55);
+        assert!(out.outage_probability(Protocol::Hbc, 0, q50).unwrap() <= 0.55);
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Closed-form deep-outage tails for the Gaussian fading bounds.
+//!
+//! Plain Monte-Carlo outage estimation bottoms out at the resolution floor
+//! `1/trials`; the importance-sampled estimator in [`crate::deep`] goes far
+//! below it, but needs independent cross-checks. This module derives what the
+//! paper's bounds admit in closed form when the fade powers are i.i.d.
+//! Gamma-distributed (Rayleigh is `Gamma(1, 1)`, Nakagami-m is
+//! `Gamma(m, 1/m)` — both unit mean):
+//!
+//! * **DT** (direct transmission) — the sum rate is
+//!   `C(max(P_a, P_b) · G_ab · x_ab)`, a monotone map of the single fade
+//!   `x_ab`, so the outage probability is **exact**:
+//!   `P(m, m·g)` with `g = (2^R − 1) / (max(P_a, P_b) · G_ab)` and `P` the
+//!   regularized lower incomplete gamma function.
+//! * **MABC** (Theorem 2) — closed-form **lower and upper bounds**. The lower
+//!   bound comes from the per-link sum caps `S ≤ C(max(P_a, P_r)·G_ar·x_ar)`
+//!   and `S ≤ C(max(P_b, P_r)·G_br·x_br)` (outage whenever either link fades
+//!   below its threshold); the upper bound from the equal-duration
+//!   achievable schedule plus a union bound. Both decay with diversity
+//!   order `m` (one fade must fail).
+//! * **TDBC** (Theorems 3/4) — **lower bound** by 1-D quadrature of the
+//!   two-receiver cut-set event over the direct fade `x_ab`, and a
+//!   closed-form **upper bound** from three achievable sub-schedules
+//!   (`Δ = (1,0,0)`, `(0,1,0)`, `(⅓,⅓,⅓)`) intersected exactly. Both decay
+//!   with diversity order `2m` — two independent fades must fail — which is
+//!   the `d(r) = 2(1 − r)`-type behaviour of cooperative diversity
+//!   (Azarian/El Gamal/Schniter, cs/0506018) at `m = 1`.
+//! * **HBC** — no usable closed form is implemented; callers fall back to
+//!   importance sampling.
+//!
+//! All bounds are valid for both [`Bound::Inner`] and [`Bound::Outer`]
+//! outage probabilities: lower bounds are derived from outer-bound cut
+//! events (outer ≥ inner rate ⇒ both outage probabilities dominate the cut
+//! event), upper bounds from inner-bound achievable schedules (inner ≤ outer
+//! rate ⇒ both outage probabilities are dominated by the schedule's outage).
+//!
+//! [`Bound::Inner`]: crate::protocol::Bound::Inner
+//! [`Bound::Outer`]: crate::protocol::Bound::Outer
+
+use crate::gaussian::GaussianNetwork;
+use crate::protocol::Protocol;
+use bcc_channel::fading::FadingModel;
+use bcc_num::quadrature::adaptive_simpson;
+use bcc_num::special::{gamma_p, gamma_q, ln_gamma};
+
+/// How an [`AnalyticTail`] value should be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailForm {
+    /// `lo == hi` is the exact outage probability.
+    Exact,
+    /// `lo`/`hi` bracket the outage probability; the truth lies between.
+    Bounds,
+}
+
+/// An analytic outage-tail value: either exact or a `[lo, hi]` sandwich.
+///
+/// Produced by [`analytic_outage`]; consumed by the deep-outage evaluator
+/// (exact fast path) and the golden cross-check tests (sandwich assertions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticTail {
+    /// Whether the tail is exact or a two-sided bound.
+    pub form: TailForm,
+    /// Lower bound on (or exact value of) the outage probability.
+    pub lo: f64,
+    /// Upper bound on (or exact value of) the outage probability.
+    pub hi: f64,
+}
+
+impl AnalyticTail {
+    fn exact_value(p: f64) -> Self {
+        AnalyticTail {
+            form: TailForm::Exact,
+            lo: p,
+            hi: p,
+        }
+    }
+
+    fn bounds(lo: f64, hi: f64) -> Self {
+        let lo = lo.clamp(0.0, 1.0);
+        let hi = hi.clamp(lo, 1.0);
+        AnalyticTail {
+            form: TailForm::Bounds,
+            lo,
+            hi,
+        }
+    }
+
+    /// The exact probability, when the tail is exact.
+    pub fn exact(&self) -> Option<f64> {
+        match self.form {
+            TailForm::Exact => Some(self.lo),
+            TailForm::Bounds => None,
+        }
+    }
+
+    /// Whether `p` lies inside the (slightly widened) bracket.
+    pub fn contains(&self, p: f64, tol: f64) -> bool {
+        p >= self.lo - tol && p <= self.hi + tol
+    }
+}
+
+/// CDF of the unit-mean Gamma fade power with shape `m`: `P[X ≤ x]`.
+///
+/// Returns `None` when `model` has no Gamma-distributed power
+/// ([`FadingModel::Rician`] and [`FadingModel::None`]).
+pub fn fade_power_cdf(model: FadingModel, x: f64) -> Option<f64> {
+    model.power_shape().map(|m| cdf_m(m, x))
+}
+
+/// Survival function of the unit-mean Gamma fade power: `P[X > x]`.
+///
+/// Evaluated directly via the upper regularized gamma function, so it keeps
+/// relative precision in the deep tail where `1 − cdf` would cancel.
+pub fn fade_power_survival(model: FadingModel, x: f64) -> Option<f64> {
+    model.power_shape().map(|m| sf_m(m, x))
+}
+
+fn cdf_m(m: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else if x == f64::INFINITY {
+        1.0
+    } else if m == 1.0 {
+        -(-x).exp_m1()
+    } else {
+        gamma_p(m, m * x)
+    }
+}
+
+fn sf_m(m: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        1.0
+    } else if x == f64::INFINITY {
+        0.0
+    } else if m == 1.0 {
+        (-x).exp()
+    } else {
+        gamma_q(m, m * x)
+    }
+}
+
+/// Fade threshold `tau / (p · g)`, infinite when the link carries no power.
+fn thr(tau: f64, p: f64, g: f64) -> f64 {
+    let denom = p * g;
+    if denom > 0.0 {
+        tau / denom
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// `2^x − 1` without cancellation for small `x`.
+fn exp2_m1(x: f64) -> f64 {
+    (x * std::f64::consts::LN_2).exp_m1()
+}
+
+/// Analytic outage tail of `protocol`'s sum rate at `target` bits/use.
+///
+/// The network's gains are the *mean* gains; the fade powers multiplying
+/// them are i.i.d. unit-mean Gamma draws per link, as produced by
+/// [`FadingModel::sample_power`]. Returns `None` when no analytic form is
+/// implemented (HBC) or the model's power is not Gamma (Rician, no fading).
+///
+/// `target <= 0` is exactly never in outage (rates are non-negative).
+pub fn analytic_outage(
+    net: &GaussianNetwork,
+    protocol: Protocol,
+    model: FadingModel,
+    target: f64,
+) -> Option<AnalyticTail> {
+    assert!(
+        target.is_finite(),
+        "outage target must be finite, got {target}"
+    );
+    let m = model.power_shape()?;
+    if target <= 0.0 {
+        return Some(AnalyticTail::exact_value(0.0));
+    }
+    let powers = net.powers();
+    let (pa, pb, pr) = (powers.p_a(), powers.p_b(), powers.p_r());
+    let state = net.state();
+    let (gab, gar, gbr) = (state.gab(), state.gar(), state.gbr());
+    let tau = exp2_m1(target);
+    match protocol {
+        Protocol::DirectTransmission => {
+            // Sum rate = C(max(pa, pb) · gab · x_ab): outage iff the single
+            // fade drops below the threshold.
+            Some(AnalyticTail::exact_value(cdf_m(
+                m,
+                thr(tau, pa.max(pb), gab),
+            )))
+        }
+        Protocol::Mabc => {
+            let lo = 1.0 - sf_m(m, thr(tau, pa.max(pr), gar)) * sf_m(m, thr(tau, pb.max(pr), gbr));
+            let tau2 = exp2_m1(2.0 * target);
+            let hi_a = 2.0 * cdf_m(m, thr(tau2, pa, gar)) + cdf_m(m, thr(tau2, pr, gbr));
+            let hi_b = 2.0 * cdf_m(m, thr(tau2, pb, gbr)) + cdf_m(m, thr(tau2, pr, gar));
+            Some(AnalyticTail::bounds(lo, hi_a.min(hi_b)))
+        }
+        Protocol::Tdbc => {
+            let lo = tdbc_cut_lower(m, tau, pa, pb, gab, gar, gbr);
+            let tau3 = exp2_m1(3.0 * target);
+            let a1 = thr(tau, pa, gar);
+            let a2 = thr(tau, pa, gab);
+            let b1 = thr(tau, pb, gbr);
+            let b2 = thr(tau, pb, gab);
+            // Two interchangeable relay-path events from the Δ = (⅓,⅓,⅓)
+            // schedule; intersect with whichever gives the tighter bound.
+            let hi_e3 =
+                tdbc_schedule_upper(m, a1, a2, b1, b2, thr(tau3, pa, gar), thr(tau3, pr, gbr));
+            let hi_e4 =
+                tdbc_schedule_upper(m, a1, a2, b1, b2, thr(tau3, pr, gar), thr(tau3, pb, gbr));
+            Some(AnalyticTail::bounds(lo, hi_e3.min(hi_e4)))
+        }
+        Protocol::Hbc => None,
+    }
+}
+
+/// `P[two-receiver cut at a < R  AND  two-receiver cut at b < R]`.
+///
+/// The Theorem-4 cuts are `C(p_a(G_ar·x_ar + G_ab·v))` and
+/// `C(p_b(G_br·x_br + G_ab·v))` with `v = x_ab`; conditioning on `v` the two
+/// events are independent, leaving a 1-D integral over the Gamma density of
+/// `v`. Integrated in `u = v^m` to remove the `v^{m−1}` endpoint singularity
+/// for shapes `m < 1`.
+fn tdbc_cut_lower(m: f64, tau: f64, pa: f64, pb: f64, gab: f64, gar: f64, gbr: f64) -> f64 {
+    // Conditional factor: P[x · gain · p < budget] for one uplink.
+    let cond = |budget: f64, p: f64, gain: f64| -> f64 {
+        if budget <= 0.0 || p <= 0.0 {
+            return if budget > 0.0 { 1.0 } else { 0.0 };
+        }
+        cdf_m(m, thr(budget, p, gain))
+    };
+    if gab == 0.0 || pa.max(pb) == 0.0 {
+        // No direct link (or no terminal power): the cut events decouple.
+        return cond(tau, pa, gar) * cond(tau, pb, gbr);
+    }
+    // Both budgets positive requires v < vmax.
+    let vmax = tau / (gab * pa.max(pb));
+    let vcap = vmax.min(80.0 / m);
+    if vcap <= 0.0 {
+        return 0.0;
+    }
+    let g = |v: f64| cond(tau - pa * gab * v, pa, gar) * cond(tau - pb * gab * v, pb, gbr);
+    // ∫ f_m(v) g(v) dv with f_m(v) = m^m v^{m−1} e^{−mv} / Γ(m), in u = v^m:
+    // v^{m−1} dv = du / m.
+    let scale = (m * m.ln() - ln_gamma(m)).exp() / m;
+    let upper = vcap.powf(m);
+    let integrand = |u: f64| {
+        let v = u.powf(1.0 / m);
+        (-m * v).exp() * g(v)
+    };
+    // Absolute tolerance scaled to the integrand's magnitude so deep tails
+    // (lo ~ 1e-12) keep relative accuracy.
+    let mut peak = 0.0_f64;
+    for i in 0..=32 {
+        peak = peak.max(integrand(upper * f64::from(i) / 32.0));
+    }
+    if peak == 0.0 {
+        return 0.0;
+    }
+    let tol = (peak * upper * 1e-10).max(f64::MIN_POSITIVE);
+    (scale * adaptive_simpson(integrand, 0.0, upper, tol, 48)).clamp(0.0, 1.0)
+}
+
+/// `P[E1 ∩ E2 ∩ E_relay]` for the TDBC achievable sub-schedules, in closed
+/// form.
+///
+/// * `E1 = {x_ar < a1} ∪ {v < a2}` — outage of the `Δ = (1,0,0)` schedule
+///   (`S ≥ min(c_a_ar, c_a_ab)`).
+/// * `E2 = {x_br < b1} ∪ {v < b2}` — outage of `Δ = (0,1,0)`.
+/// * `E_relay = {x_ar < r_ar} ∪ {x_br < r_br}` — outage of `Δ = (⅓,⅓,⅓)`.
+///
+/// `(x_ar, x_br, v)` are independent, so conditioning on which of the three
+/// `v`-regions `[0, min(a2,b2))`, `[min, max)`, `[max, ∞)` holds reduces the
+/// probability to products of fade CDFs via inclusion–exclusion.
+fn tdbc_schedule_upper(m: f64, a1: f64, a2: f64, b1: f64, b2: f64, r_ar: f64, r_br: f64) -> f64 {
+    let f = |x: f64| cdf_m(m, x);
+    let m1 = a2.min(b2);
+    let m2 = a2.max(b2);
+    // v < m1: E1 and E2 hold automatically.
+    let p1 = f(r_ar) + f(r_br) - f(r_ar) * f(r_br);
+    // m1 <= v < m2: the schedule with the larger direct threshold still
+    // holds automatically; the other needs its uplink fade to fail.
+    let p2 = if a2 <= b2 {
+        f(a1.min(r_ar)) + f(a1) * f(r_br) - f(a1.min(r_ar)) * f(r_br)
+    } else {
+        f(b1.min(r_br)) + f(b1) * f(r_ar) - f(b1.min(r_br)) * f(r_ar)
+    };
+    // v >= m2: both uplink fades must fail.
+    let p3 = f(a1.min(r_ar)) * f(b1) + f(a1) * f(b1.min(r_br)) - f(a1.min(r_ar)) * f(b1.min(r_br));
+    let w1 = f(m1);
+    let w2 = f(m2) - w1;
+    let w3 = 1.0 - f(m2);
+    (w1 * p1 + w2 * p2 + w3 * p3).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SolveCtx, SolveRequest};
+    use bcc_channel::ChannelState;
+    use bcc_num::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig4_net(p_db: f64) -> GaussianNetwork {
+        GaussianNetwork::new(
+            10f64.powf(p_db / 10.0),
+            ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795),
+        )
+    }
+
+    #[test]
+    fn dt_tail_matches_rayleigh_closed_form() {
+        for p_db in [0.0, 10.0, 20.0] {
+            let net = fig4_net(p_db);
+            let snr = net.powers().p_a() * net.state().gab();
+            let target = 0.5 * (1.0 + snr).log2();
+            let g = ((1.0 + snr).powf(0.5) - 1.0) / snr;
+            let exact = 1.0 - (-g).exp();
+            let tail = analytic_outage(
+                &net,
+                Protocol::DirectTransmission,
+                FadingModel::Rayleigh,
+                target,
+            )
+            .unwrap();
+            assert_eq!(tail.form, TailForm::Exact);
+            assert!(approx_eq(tail.exact().unwrap(), exact, 1e-12));
+        }
+    }
+
+    #[test]
+    fn dt_tail_nakagami_uses_regularized_gamma() {
+        let net = fig4_net(10.0);
+        let model = FadingModel::nakagami(2.5);
+        let target = 1.0;
+        let snr = net.powers().p_a().max(net.powers().p_b()) * net.state().gab();
+        let g = (2f64.powf(target) - 1.0) / snr;
+        let tail = analytic_outage(&net, Protocol::DirectTransmission, model, target).unwrap();
+        assert!(approx_eq(
+            tail.exact().unwrap(),
+            gamma_p(2.5, 2.5 * g),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn zero_target_is_exactly_never_in_outage() {
+        let net = fig4_net(5.0);
+        for protocol in [Protocol::DirectTransmission, Protocol::Mabc, Protocol::Tdbc] {
+            let tail = analytic_outage(&net, protocol, FadingModel::Rayleigh, 0.0).unwrap();
+            assert_eq!(tail.exact(), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn hbc_and_non_gamma_models_have_no_analytic_tail() {
+        let net = fig4_net(5.0);
+        assert!(analytic_outage(&net, Protocol::Hbc, FadingModel::Rayleigh, 1.0).is_none());
+        assert!(
+            analytic_outage(&net, Protocol::Mabc, FadingModel::Rician { k: 3.0 }, 1.0).is_none()
+        );
+        assert!(analytic_outage(&net, Protocol::Tdbc, FadingModel::None, 1.0).is_none());
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_monotone_in_target() {
+        let net = fig4_net(12.0);
+        for model in [FadingModel::Rayleigh, FadingModel::nakagami(2.0)] {
+            for protocol in [Protocol::Mabc, Protocol::Tdbc] {
+                let mut prev_lo = 0.0;
+                let mut prev_hi = 0.0;
+                for step in 1..=8 {
+                    let target = 0.5 * f64::from(step);
+                    let tail = analytic_outage(&net, protocol, model, target).unwrap();
+                    assert_eq!(tail.form, TailForm::Bounds);
+                    assert!(tail.lo <= tail.hi, "{protocol:?} lo > hi at {target}");
+                    assert!(tail.lo >= prev_lo - 1e-12, "{protocol:?} lo not monotone");
+                    assert!(tail.hi >= prev_hi - 1e-12, "{protocol:?} hi not monotone");
+                    prev_lo = tail.lo;
+                    prev_hi = tail.hi;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tdbc_lower_bound_degenerates_without_direct_link() {
+        let net = GaussianNetwork::new(10.0, ChannelState::new(0.0, 1.0, 2.0));
+        let target = 1.0;
+        let tau = 2f64.powf(target) - 1.0;
+        let powers = net.powers();
+        let expect = (1.0 - (-tau / (powers.p_a() * 1.0)).exp())
+            * (1.0 - (-tau / (powers.p_b() * 2.0)).exp());
+        let tail = analytic_outage(&net, Protocol::Tdbc, FadingModel::Rayleigh, target).unwrap();
+        assert!(approx_eq(tail.lo, expect, 1e-12));
+    }
+
+    #[test]
+    fn tdbc_cut_quadrature_matches_monte_carlo() {
+        // The 1-D quadrature must reproduce a direct MC estimate of the
+        // joint cut event, including the singular-density shape m = 0.6.
+        for (model, seed) in [
+            (FadingModel::Rayleigh, 0x7A11_0001_u64),
+            (FadingModel::nakagami(0.6), 0x7A11_0002),
+            (FadingModel::nakagami(2.5), 0x7A11_0003),
+        ] {
+            let net = fig4_net(6.0);
+            let powers = net.powers();
+            let (pa, pb) = (powers.p_a(), powers.p_b());
+            let state = net.state();
+            let target = 1.2;
+            let tau = 2f64.powf(target) - 1.0;
+            let lo = analytic_outage(&net, Protocol::Tdbc, model, target)
+                .unwrap()
+                .lo;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 200_000u32;
+            let mut hits = 0u32;
+            for _ in 0..trials {
+                let v = model.sample_power(&mut rng);
+                let x_ar = model.sample_power(&mut rng);
+                let x_br = model.sample_power(&mut rng);
+                let cut_a = pa * (state.gar() * x_ar + state.gab() * v);
+                let cut_b = pb * (state.gbr() * x_br + state.gab() * v);
+                if cut_a < tau && cut_b < tau {
+                    hits += 1;
+                }
+            }
+            let p_hat = f64::from(hits) / f64::from(trials);
+            let sigma = (lo * (1.0 - lo) / f64::from(trials)).sqrt();
+            assert!(
+                (p_hat - lo).abs() < 4.0 * sigma + 1e-9,
+                "{model:?}: quadrature {lo} vs MC {p_hat} (sigma {sigma})"
+            );
+        }
+    }
+
+    /// Event-level validation of every bound derivation against the actual
+    /// LP kernel: the lower-bound event must imply outage, and outage must
+    /// imply the upper-bound events, sample by sample.
+    #[test]
+    fn bound_events_bracket_kernel_outage_samplewise() {
+        let mut ctx = SolveCtx::new();
+        for (p_db, target) in [(4.0, 0.8), (10.0, 1.5), (16.0, 2.2)] {
+            let net = fig4_net(p_db);
+            let powers = net.powers();
+            let (pa, pb, pr) = (powers.p_a(), powers.p_b(), powers.p_r());
+            let state = net.state();
+            let (gab, gar, gbr) = (state.gab(), state.gar(), state.gbr());
+            let tau = 2f64.powf(target) - 1.0;
+            let tau2 = 2f64.powf(2.0 * target) - 1.0;
+            let tau3 = 2f64.powf(3.0 * target) - 1.0;
+            let model = FadingModel::Rayleigh;
+            let mut rng = StdRng::seed_from_u64(0xE4E7_0000 ^ p_db.to_bits());
+            for _ in 0..600 {
+                let v = model.sample_power(&mut rng);
+                let x_ar = model.sample_power(&mut rng);
+                let x_br = model.sample_power(&mut rng);
+                let faded = net.with_state(state.faded(v, x_ar, x_br));
+
+                let mabc = ctx
+                    .solve_one(&faded, SolveRequest::sum_rate(Protocol::Mabc))
+                    .unwrap()
+                    .value;
+                let mabc_lo_event =
+                    x_ar < thr(tau, pa.max(pr), gar) || x_br < thr(tau, pb.max(pr), gbr);
+                if mabc_lo_event {
+                    assert!(mabc < target + 1e-9, "MABC lo event but rate {mabc}");
+                }
+                if mabc < target - 1e-9 {
+                    assert!(
+                        x_ar < thr(tau2, pa, gar) || x_br < thr(tau2, pr, gbr),
+                        "MABC outage escaped the hiA event set"
+                    );
+                    assert!(
+                        x_br < thr(tau2, pb, gbr) || x_ar < thr(tau2, pr, gar),
+                        "MABC outage escaped the hiB event set"
+                    );
+                }
+
+                let tdbc = ctx
+                    .solve_one(&faded, SolveRequest::sum_rate(Protocol::Tdbc))
+                    .unwrap()
+                    .value;
+                let cut_event =
+                    pa * (gar * x_ar + gab * v) < tau && pb * (gbr * x_br + gab * v) < tau;
+                if cut_event {
+                    assert!(tdbc < target + 1e-9, "TDBC cut event but rate {tdbc}");
+                }
+                if tdbc < target - 1e-9 {
+                    let e1 = x_ar < thr(tau, pa, gar) || v < thr(tau, pa, gab);
+                    let e2 = x_br < thr(tau, pb, gbr) || v < thr(tau, pb, gab);
+                    let e3 = x_ar < thr(tau3, pa, gar) || x_br < thr(tau3, pr, gbr);
+                    let e4 = x_ar < thr(tau3, pr, gar) || x_br < thr(tau3, pb, gbr);
+                    assert!(e1 && e2 && e3 && e4, "TDBC outage escaped the hi events");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survival_keeps_relative_precision_in_deep_tail() {
+        let s = fade_power_survival(FadingModel::Rayleigh, 40.0).unwrap();
+        assert!(approx_eq(
+            s,
+            (-40f64).exp(),
+            1e-12 * (-40f64).exp().recip().recip()
+        ));
+        assert!(s > 0.0);
+        let s2 = fade_power_survival(FadingModel::nakagami(2.0), 40.0).unwrap();
+        assert!(s2 > 0.0 && s2 < 1e-25);
+    }
+
+    #[test]
+    #[should_panic(expected = "outage target must be finite")]
+    fn non_finite_target_is_rejected() {
+        let net = fig4_net(5.0);
+        analytic_outage(
+            &net,
+            Protocol::DirectTransmission,
+            FadingModel::Rayleigh,
+            f64::NAN,
+        );
+    }
+}

@@ -257,6 +257,132 @@ impl Ecdf {
     }
 }
 
+/// Streaming accumulator for an **importance-sampled tail probability**:
+/// trials arrive as `(likelihood-ratio weight, event indicator)` pairs and
+/// the estimator is the unnormalized mean `p̂ = (1/n) Σ wᵢ·1{eventᵢ}`,
+/// which is unbiased whenever `E_q[w] = 1` (true by construction for the
+/// defensive-mixture tilts in `bcc-channel`). Alongside the estimate it
+/// tracks the diagnostics an IS run must report before its number can be
+/// trusted:
+///
+/// * [`relative_error`](WeightedTailStats::relative_error) — the estimated
+///   relative standard error `se(p̂)/p̂` from the sample variance of `w·1`;
+/// * [`ess`](WeightedTailStats::ess) — Kish effective sample size
+///   `(Σw)²/Σw²`, how many *plain* MC trials the weighted sample is worth;
+/// * [`hits`](WeightedTailStats::hits) — raw event count; zero hits means
+///   the run never reached the tail and the estimate is unresolved
+///   ([`probability`](WeightedTailStats::probability) returns `None`).
+///
+/// Pushes must happen in a deterministic order (trial order) for
+/// bit-identical replay — Welford accumulation is order-dependent.
+///
+/// ```
+/// use bcc_num::stats::WeightedTailStats;
+///
+/// let mut s = WeightedTailStats::new();
+/// for (w, below) in [(0.5, true), (1.0, false), (1.5, true), (1.0, false)] {
+///     s.push(w, below);
+/// }
+/// assert_eq!(s.probability(), Some(0.5)); // (0.5 + 1.5) / 4
+/// assert_eq!(s.hits(), 2);
+/// assert!(s.ess() > 3.0 && s.ess() <= 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeightedTailStats {
+    stats: RunningStats,
+    sum_w: f64,
+    sum_w2: f64,
+    hits: u64,
+}
+
+impl WeightedTailStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WeightedTailStats::default()
+    }
+
+    /// Adds one trial: its likelihood-ratio weight and whether the tail
+    /// event (sum rate below target) occurred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative or not finite.
+    pub fn push(&mut self, weight: f64, below: bool) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "IS weight must be finite and non-negative, got {weight}"
+        );
+        self.stats.push(if below { weight } else { 0.0 });
+        self.sum_w += weight;
+        self.sum_w2 += weight * weight;
+        self.hits += u64::from(below);
+    }
+
+    /// Number of trials pushed.
+    pub fn len(&self) -> u64 {
+        self.stats.len()
+    }
+
+    /// `true` if no trials have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Raw count of trials whose event occurred.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The unnormalized IS estimate `p̂ = (1/n) Σ wᵢ·1{eventᵢ}`, or `None`
+    /// when no trial hit the tail — the weighted analogue of an empirical
+    /// count of zero, where the run's resolution floor has been crossed
+    /// and any number would be extrapolation.
+    pub fn probability(&self) -> Option<f64> {
+        if self.hits == 0 {
+            None
+        } else {
+            Some(self.stats.mean())
+        }
+    }
+
+    /// Estimated relative standard error `se(p̂)/p̂`, or `None` when the
+    /// estimate itself is unresolved (or a single trial leaves the
+    /// variance undefined).
+    pub fn relative_error(&self) -> Option<f64> {
+        let p = self.probability()?;
+        if self.stats.len() < 2 {
+            return None;
+        }
+        Some(self.stats.std_error() / p)
+    }
+
+    /// Kish effective sample size `(Σw)²/Σw²` — degrades from `n` (all
+    /// weights equal) toward 1 as the weights disperse. `0` when empty.
+    pub fn ess(&self) -> f64 {
+        if self.sum_w2 == 0.0 {
+            0.0
+        } else {
+            self.sum_w * self.sum_w / self.sum_w2
+        }
+    }
+
+    /// Mean likelihood-ratio weight — `E_q[w] = 1` in expectation for any
+    /// properly normalised sampler, which the unbiasedness proptests pin.
+    pub fn mean_weight(&self) -> f64 {
+        if self.stats.is_empty() {
+            f64::NAN
+        } else {
+            self.sum_w / self.stats.len() as f64
+        }
+    }
+
+    /// Variance of the per-trial estimator `w·1{event}` (the quantity
+    /// whose `1/n` decay sets the relative error); NaN below two trials.
+    pub fn estimator_variance(&self) -> f64 {
+        self.stats.sample_variance()
+    }
+}
+
 /// Fixed-bin histogram over a closed range.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -421,6 +547,49 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn ecdf_rejects_nan() {
         let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn weighted_tail_plain_mc_reduces_to_counting() {
+        // Unit weights: the IS estimator is exactly the empirical fraction
+        // and the ESS is the full sample size.
+        let mut s = WeightedTailStats::new();
+        for i in 0..100 {
+            s.push(1.0, i % 4 == 0);
+        }
+        assert!(approx_eq(s.probability().unwrap(), 0.25, 1e-12));
+        assert_eq!(s.hits(), 25);
+        assert!(approx_eq(s.ess(), 100.0, 1e-12));
+        assert!(approx_eq(s.mean_weight(), 1.0, 1e-12));
+        let rel = s.relative_error().unwrap();
+        // Binomial: se/p = sqrt((1-p)/(p n)) ≈ 0.1737 (sample variant).
+        assert!((rel - 0.174).abs() < 0.01, "rel err {rel}");
+    }
+
+    #[test]
+    fn weighted_tail_zero_hits_is_unresolved() {
+        let mut s = WeightedTailStats::new();
+        for _ in 0..50 {
+            s.push(1.0, false);
+        }
+        assert_eq!(s.probability(), None);
+        assert_eq!(s.relative_error(), None);
+        assert_eq!(s.hits(), 0);
+    }
+
+    #[test]
+    fn weighted_tail_ess_penalises_weight_spread() {
+        let mut s = WeightedTailStats::new();
+        s.push(1e-3, true);
+        s.push(1.0, true);
+        // (Σw)²/Σw² ≈ 1 when one weight dominates.
+        assert!(s.ess() < 1.01, "ess {}", s.ess());
+    }
+
+    #[test]
+    #[should_panic(expected = "IS weight")]
+    fn weighted_tail_rejects_bad_weight() {
+        WeightedTailStats::new().push(f64::NAN, true);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Importance-sampled deep-outage estimation — the **simulator-side
+//! twin** of the batch evaluator's
+//! [`Evaluator::deep_outage`](bcc_core::deep) engine.
+//!
+//! Plain Monte-Carlo outage estimation ([`crate::outage`]) cannot resolve
+//! probabilities below its `1/trials` floor. This module drives the same
+//! exponentially tilted fade sampler
+//! ([`FadingModel::sample_power_tilted`]) through the classic serial
+//! [`McConfig`] convention: one deterministic child stream per trial, one
+//! [`SolveCtx`] reused across every faded solve, and a weighted tail
+//! estimator
+//! ([`WeightedTailStats`]) in strict
+//! trial order. Under a *shared* seed on a single-cell grid the evaluator
+//! and this driver draw identical streams and reduce in the same order,
+//! so they must agree **bit for bit** — a genuine two-implementation
+//! differential check (see the `deep_outage` integration suite). Under
+//! *independent* seeds they must agree statistically.
+//!
+//! The estimator contract matches the evaluator's: the weighted outage
+//! probability `p̂ = (1/n)·Σ wᵢ·1{rateᵢ < target}` is unbiased for any
+//! tilt, and a cell with zero weighted hits is reported as **unresolved**
+//! (`None`), never as a silently extrapolated zero.
+//!
+//! [`FadingModel::sample_power_tilted`]: bcc_channel::fading::FadingModel::sample_power_tilted
+
+use bcc_channel::fading::{FadingModel, PowerTilt};
+use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::kernel::SolveCtx;
+use bcc_core::protocol::Protocol;
+use bcc_core::scenario::trial_stream;
+use bcc_core::SolveRequest;
+use bcc_num::special::log2_1p;
+use bcc_num::stats::WeightedTailStats;
+
+use crate::mc::McConfig;
+
+/// Per-trial `(optimal sum rate, likelihood-ratio weight)` pairs of
+/// `protocol` under tilted i.i.d. per-link fading, in trial order.
+///
+/// Each trial draws its three fade powers from
+/// `trial_stream(cfg.seed, trial)` in the fixed `(ab, ar, br)` link
+/// order — the same stream discipline as a single-cell evaluator run —
+/// and the trial's weight is the product of the three per-link
+/// defensive-mixture weights. `tilt = [PowerTilt::NONE; 3]` reproduces
+/// the plain [`crate::ergodic::sum_rate_samples`] draws bit for bit with
+/// every weight exactly 1. A deep-fade LP failure counts as rate 0.
+///
+/// # Panics
+///
+/// Panics if `fading` has no Gamma fade power (see
+/// [`FadingModel::supports_tilt`]).
+pub fn deep_sum_rate_samples(
+    net: &GaussianNetwork,
+    protocol: Protocol,
+    fading: FadingModel,
+    tilt: [PowerTilt; 3],
+    cfg: &McConfig,
+) -> Vec<(f64, f64)> {
+    assert!(
+        fading.supports_tilt(),
+        "deep-outage importance sampling needs a Gamma fade power \
+         (Rayleigh or Nakagami-m), got {fading:?}"
+    );
+    let mut ctx = SolveCtx::new();
+    let state = net.state();
+    (0..cfg.trials)
+        .map(|trial| {
+            let mut rng = trial_stream(cfg.seed, trial as u64);
+            let (fab, wab) = fading.sample_power_tilted(&mut rng, tilt[0]);
+            let (far, war) = fading.sample_power_tilted(&mut rng, tilt[1]);
+            let (fbr, wbr) = fading.sample_power_tilted(&mut rng, tilt[2]);
+            let faded = net.with_state(state.faded(fab, far, fbr));
+            let rate = ctx
+                .solve_one(&faded, SolveRequest::sum_rate(protocol))
+                .map(|o| o.value)
+                .unwrap_or(0.0);
+            (rate, wab * war * wbr)
+        })
+        .collect()
+}
+
+/// Weighted outage statistics of one protocol at one network under a
+/// fixed importance tilt.
+///
+/// The profile stores the raw `(rate, weight)` stream; every tail query
+/// re-reduces it in trial order through
+/// [`WeightedTailStats`], so the
+/// reported probability, relative error and effective sample size are
+/// bit-identical to a single-cell evaluator run at the same seed.
+#[derive(Debug, Clone)]
+pub struct WeightedOutageProfile {
+    samples: Vec<(f64, f64)>,
+}
+
+impl WeightedOutageProfile {
+    /// Estimates the weighted sum-rate stream of `protocol` under
+    /// `fading` tilted by `tilt` (see [`deep_sum_rate_samples`]).
+    pub fn estimate(
+        net: &GaussianNetwork,
+        protocol: Protocol,
+        fading: FadingModel,
+        tilt: [PowerTilt; 3],
+        cfg: &McConfig,
+    ) -> Self {
+        WeightedOutageProfile::from_samples(deep_sum_rate_samples(net, protocol, fading, tilt, cfg))
+    }
+
+    /// Builds a profile from explicit `(rate, weight)` pairs in trial
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, a rate is NaN, or a weight is not
+    /// finite and non-negative.
+    pub fn from_samples(samples: Vec<(f64, f64)>) -> Self {
+        assert!(!samples.is_empty(), "need at least one weighted trial");
+        for &(rate, weight) in &samples {
+            assert!(!rate.is_nan(), "sum-rate samples must not be NaN");
+            assert!(
+                weight.is_finite() && weight >= 0.0,
+                "IS weight must be finite and non-negative, got {weight}"
+            );
+        }
+        WeightedOutageProfile { samples }
+    }
+
+    /// Number of Monte-Carlo trials behind the profile.
+    pub fn trials(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The raw per-trial `(rate, weight)` pairs, in trial order.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// The full weighted tail reduction at `target` — probability,
+    /// relative error, ESS and estimator variance in one pass, reduced
+    /// in trial order (the evaluator's exact arithmetic).
+    pub fn tail_stats(&self, target: f64) -> WeightedTailStats {
+        let mut stats = WeightedTailStats::new();
+        for &(rate, weight) in &self.samples {
+            stats.push(weight, rate < target);
+        }
+        stats
+    }
+
+    /// `P[optimal sum rate < target]`, importance-weighted.
+    ///
+    /// `None` means **unresolved**: no weighted trial fell below a
+    /// positive target (see
+    /// [`crate::outage::OutageProfile::outage_probability`] for the
+    /// plain-MC analogue of this contract). A non-positive target
+    /// resolves to `Some(0.0)` exactly.
+    pub fn outage_probability(&self, target: f64) -> Option<f64> {
+        if target <= 0.0 {
+            return Some(0.0);
+        }
+        self.tail_stats(target).probability()
+    }
+
+    /// Estimated relative standard error `se(p̂)/p̂` of the weighted
+    /// outage probability at `target`; `None` when unresolved.
+    pub fn relative_error(&self, target: f64) -> Option<f64> {
+        self.tail_stats(target).relative_error()
+    }
+
+    /// Kish effective sample size `(Σw)²/Σw²` of the weight stream —
+    /// target-independent; ≈ `trials` at identity tilt, smaller under
+    /// aggressive tilting.
+    pub fn ess(&self) -> f64 {
+        self.tail_stats(f64::NEG_INFINITY).ess()
+    }
+}
+
+/// Importance-sampled outage probability of operating at multiplexing
+/// gain `r` — the deep-tail twin of
+/// [`crate::outage::finite_snr_outage`]: same finite-SNR DMT target
+/// `r·log2(1 + SNR_ref)`, same seeding convention, but fades drawn
+/// through `tilt` and hits weighted by the likelihood ratio.
+///
+/// Returns `None` when even the tilted estimate is unresolved (zero
+/// weighted hits).
+///
+/// # Panics
+///
+/// Panics if `r` is non-positive/non-finite, the network's reference SNR
+/// is zero, or `fading` does not support tilting.
+pub fn deep_finite_snr_outage(
+    net: &GaussianNetwork,
+    protocol: Protocol,
+    fading: FadingModel,
+    tilt: [PowerTilt; 3],
+    cfg: &McConfig,
+    r: f64,
+) -> Option<f64> {
+    assert!(
+        r.is_finite() && r > 0.0,
+        "multiplexing gain must be finite and positive, got {r}"
+    );
+    let snr = net.reference_snr();
+    assert!(
+        snr > 0.0,
+        "finite-SNR outage needs a positive reference SNR"
+    );
+    let target = r * log2_1p(snr);
+    WeightedOutageProfile::estimate(net, protocol, fading, tilt, cfg).outage_probability(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ergodic::sum_rate_samples;
+    use bcc_channel::ChannelState;
+    use bcc_num::approx_eq;
+
+    fn fig4_net(p_db: f64) -> GaussianNetwork {
+        GaussianNetwork::new(
+            10f64.powf(p_db / 10.0),
+            ChannelState::new(0.19952623149688797, 1.0, 3.1622776601683795),
+        )
+    }
+
+    #[test]
+    fn identity_tilt_reproduces_plain_stream_bitwise() {
+        let net = fig4_net(10.0);
+        let cfg = McConfig::new(80, 0xD33B_5100);
+        let plain = sum_rate_samples(&net, Protocol::Tdbc, FadingModel::Rayleigh, &cfg);
+        let deep = deep_sum_rate_samples(
+            &net,
+            Protocol::Tdbc,
+            FadingModel::Rayleigh,
+            [PowerTilt::NONE; 3],
+            &cfg,
+        );
+        assert_eq!(deep.len(), plain.len());
+        for (trial, (&(rate, weight), &reference)) in deep.iter().zip(plain.iter()).enumerate() {
+            assert_eq!(rate, reference, "trial {trial}: rate drifted");
+            assert_eq!(weight, 1.0, "trial {trial}: identity weight must be exact");
+        }
+    }
+
+    #[test]
+    fn tilted_estimate_matches_plain_mc_in_overlap_regime() {
+        // At a mid-range target both estimators resolve; the weighted
+        // estimate must sit within a 4σ band of the plain one (computed
+        // from the IS estimator's own relative error).
+        let net = fig4_net(10.0);
+        let target = 0.3 * log2_1p(net.reference_snr());
+        let tilt = [PowerTilt::toward(0.45); 3];
+        let is = WeightedOutageProfile::estimate(
+            &net,
+            Protocol::Mabc,
+            FadingModel::Rayleigh,
+            tilt,
+            &McConfig::new(6000, 0xD33B_5101),
+        );
+        let plain = crate::outage::OutageProfile::estimate(
+            &net,
+            Protocol::Mabc,
+            FadingModel::Rayleigh,
+            &McConfig::new(6000, 0x0714_0001),
+        );
+        let p_is = is
+            .outage_probability(target)
+            .expect("tilted estimate resolves");
+        let p_mc = plain
+            .outage_probability(target)
+            .expect("mid-range target resolves");
+        let rel = is.relative_error(target).expect("resolved");
+        let band = 4.0 * (p_is * rel).hypot((p_mc * (1.0 - p_mc) / 6000.0).sqrt());
+        assert!(
+            (p_is - p_mc).abs() <= band,
+            "IS {p_is} vs plain {p_mc} (band {band:.2e})"
+        );
+        // Tilting spreads the weights, so the ESS must drop below the
+        // trial count but stay well above the defensive floor.
+        assert!(is.ess() < 6000.0 && is.ess() > 600.0, "ess = {}", is.ess());
+    }
+
+    #[test]
+    fn resolves_deep_tail_plain_mc_cannot_touch() {
+        // DT at 55 dB with r = 0.1: outage ~ 1e-5 — invisible to 2000
+        // plain trials, resolved by the tilted stream with honest weights.
+        let net = fig4_net(55.0);
+        let cfg = McConfig::new(2000, 0xD33B_5102);
+        let plain = deep_finite_snr_outage(
+            &net,
+            Protocol::DirectTransmission,
+            FadingModel::Rayleigh,
+            [PowerTilt::NONE; 3],
+            &cfg,
+            0.1,
+        );
+        assert_eq!(plain, None, "plain MC must report unresolved, not 0");
+        let tilted = deep_finite_snr_outage(
+            &net,
+            Protocol::DirectTransmission,
+            FadingModel::Rayleigh,
+            [PowerTilt::toward(1e-4), PowerTilt::NONE, PowerTilt::NONE],
+            &cfg,
+            0.1,
+        )
+        .expect("tilted estimate resolves the deep tail");
+        assert!(
+            tilted > 0.0 && tilted < 1e-3,
+            "deep-tail estimate out of range: {tilted}"
+        );
+    }
+
+    #[test]
+    fn non_positive_target_is_exactly_never_in_outage() {
+        let p = WeightedOutageProfile::from_samples(vec![(1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(p.outage_probability(0.0), Some(0.0));
+        assert_eq!(p.outage_probability(-1.0), Some(0.0));
+        assert_eq!(p.outage_probability(1.5), Some(0.5));
+        assert_eq!(p.outage_probability(0.5), None, "unresolved, not zero");
+        assert!(approx_eq(p.ess(), 2.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "IS weight must be finite and non-negative")]
+    fn negative_weights_rejected() {
+        let _ = WeightedOutageProfile::from_samples(vec![(1.0, -0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "importance sampling needs a Gamma fade power")]
+    fn rician_fading_rejected() {
+        let _ = deep_sum_rate_samples(
+            &fig4_net(10.0),
+            Protocol::Mabc,
+            FadingModel::Rician { k: 3.0 },
+            [PowerTilt::NONE; 3],
+            &McConfig::new(4, 1),
+        );
+    }
+}

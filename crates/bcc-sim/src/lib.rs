@@ -22,6 +22,10 @@
 //! * [`binning_sim`] — Theorem 3's random binning made operational: the
 //!   relay sends bin indices and the terminal disambiguates with its
 //!   overheard side information (Slepian–Wolf-style threshold exposed).
+//! * [`deep`] — the importance-sampled deep-outage twin of
+//!   [`bcc_core::deep`]'s batch engine: tilted fade streams with
+//!   likelihood-ratio weights through the serial `McConfig` driver,
+//!   bit-identical to a single-cell evaluator run at a shared seed.
 //! * [`multipair`] — the `K`-pair outage twin of
 //!   [`bcc_core::multipair`]'s batch evaluator: a serial `McConfig`
 //!   driver with per-pair fade streams, cross-validated against the
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod binning_sim;
+pub mod deep;
 pub mod ergodic;
 pub mod event;
 pub mod mc;

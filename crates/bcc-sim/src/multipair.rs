@@ -167,20 +167,43 @@ impl MultiPairProfile {
     }
 
     /// `P[schedule sum rate < target]`.
-    pub fn outage_probability(&self, schedule: Schedule, target: f64) -> f64 {
+    ///
+    /// `None` means **unresolved** (no trial below a positive target —
+    /// the estimate sits under the `1/trials` floor); a non-positive
+    /// target resolves to `Some(0.0)` exactly, as in
+    /// [`crate::outage::OutageProfile::outage_probability`].
+    pub fn outage_probability(&self, schedule: Schedule, target: f64) -> Option<f64> {
+        if target <= 0.0 {
+            return Some(0.0);
+        }
         // Strictly-less via the left limit of the ECDF, as in
         // [`crate::outage::OutageProfile`].
-        self.profile(schedule).eval(target - 1e-12)
+        let p = self.profile(schedule).eval(target - 1e-12);
+        if p == 0.0 {
+            None
+        } else {
+            Some(p)
+        }
     }
 
     /// The ε-outage schedule sum rate: the largest rate supported in all
-    /// but an `eps` fraction of fades.
+    /// but an `eps` fraction of fades, or `None` when `eps` sits below
+    /// the `1/trials` resolution floor.
     ///
     /// # Panics
     ///
-    /// Panics if `eps` is outside `[0, 1]` (propagated from the ECDF).
-    pub fn outage_rate(&self, schedule: Schedule, eps: f64) -> f64 {
-        self.profile(schedule).quantile(eps)
+    /// Panics if `eps` is outside `[0, 1]`.
+    pub fn outage_rate(&self, schedule: Schedule, eps: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&eps),
+            "eps must lie in [0, 1], got {eps}"
+        );
+        let profile = self.profile(schedule);
+        if eps < 1.0 / profile.len() as f64 {
+            None
+        } else {
+            Some(profile.quantile(eps))
+        }
     }
 
     /// Ergodic (fading-averaged) schedule sum rate, summed in trial
@@ -260,8 +283,13 @@ mod tests {
         assert_eq!(p.schedule_samples(Schedule::TimeShare), vec![1.5, 1.75]);
         assert_eq!(p.schedule_samples(Schedule::Joint), vec![2.0, 3.0]);
         assert_eq!(p.ergodic(Schedule::Joint), 2.5);
-        assert_eq!(p.outage_probability(Schedule::Joint, 2.5), 0.5);
-        assert!(p.outage_rate(Schedule::Joint, 0.0) <= p.outage_rate(Schedule::Joint, 1.0));
+        assert_eq!(p.outage_probability(Schedule::Joint, 2.5), Some(0.5));
+        // eps = 0 sits below the 1/trials floor — unresolved by contract.
+        assert_eq!(p.outage_rate(Schedule::Joint, 0.0), None);
+        assert!(
+            p.outage_rate(Schedule::Joint, 0.5).unwrap()
+                <= p.outage_rate(Schedule::Joint, 1.0).unwrap()
+        );
     }
 
     #[test]
@@ -271,8 +299,10 @@ mod tests {
         let p = MultiPairProfile::estimate(&pairs, Protocol::Hbc, FadingModel::Rayleigh, &cfg);
         for target in [0.5, 1.0, 2.0] {
             assert!(
-                p.outage_probability(Schedule::Joint, target)
-                    <= p.outage_probability(Schedule::TimeShare, target) + 1e-12,
+                p.outage_probability(Schedule::Joint, target).unwrap_or(0.0)
+                    <= p.outage_probability(Schedule::TimeShare, target)
+                        .unwrap_or(0.0)
+                        + 1e-12,
                 "target {target}"
             );
         }

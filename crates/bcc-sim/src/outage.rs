@@ -47,25 +47,54 @@ impl OutageProfile {
 
     /// `P[optimal sum rate < target]` — the outage probability of
     /// operating at `target` bits/use.
-    pub fn outage_probability(&self, target: f64) -> f64 {
+    ///
+    /// Returns `None` when the estimate is **unresolved**: no sample fell
+    /// below a positive target, so all Monte-Carlo can certify is
+    /// `p < 1/samples` — reporting `0.0` there would silently extrapolate
+    /// past the estimator's resolution floor. Use the importance-sampled
+    /// deep-outage path for probabilities below that floor.
+    /// A non-positive target is exactly never in outage (rates are
+    /// non-negative), so it resolves to `Some(0.0)`.
+    pub fn outage_probability(&self, target: f64) -> Option<f64> {
+        if target <= 0.0 {
+            return Some(0.0);
+        }
         // Strictly-less via the left limit of the ECDF: use target minus an
         // epsilon-width that is negligible at rate scales.
-        self.ecdf.eval(target - 1e-12)
+        let p = self.ecdf.eval(target - 1e-12);
+        if p == 0.0 {
+            None
+        } else {
+            Some(p)
+        }
     }
 
     /// The ε-outage sum rate: the largest rate supported in all but an
     /// `eps` fraction of fades (the ECDF's `eps`-quantile).
     ///
+    /// Returns `None` when `eps` sits below the Monte-Carlo resolution
+    /// floor `1/samples` — the empirical quantile there is just the sample
+    /// minimum, which says nothing about the true `eps`-outage rate.
+    ///
     /// # Panics
     ///
     /// Panics if `eps` is outside `[0, 1]`.
-    pub fn outage_rate(&self, eps: f64) -> f64 {
-        self.ecdf.quantile(eps)
+    pub fn outage_rate(&self, eps: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&eps),
+            "eps must lie in [0, 1], got {eps}"
+        );
+        if eps < 1.0 / self.ecdf.len() as f64 {
+            None
+        } else {
+            Some(self.ecdf.quantile(eps))
+        }
     }
 
     /// Outage probabilities at a batch of targets (one ECDF lookup each —
-    /// build the profile once, sweep the rate axis for free).
-    pub fn outage_curve(&self, targets: &[f64]) -> Vec<f64> {
+    /// build the profile once, sweep the rate axis for free). `None`
+    /// entries are unresolved (below the `1/samples` floor).
+    pub fn outage_curve(&self, targets: &[f64]) -> Vec<Option<f64>> {
         targets
             .iter()
             .map(|&t| self.outage_probability(t))
@@ -90,6 +119,9 @@ impl OutageProfile {
 /// against each other under *different* seeds to check statistical
 /// agreement.
 ///
+/// Returns `None` when the probability is unresolved (no trial fell below
+/// the target — see [`OutageProfile::outage_probability`]).
+///
 /// # Panics
 ///
 /// Panics if `r` is non-positive/non-finite or the network's reference
@@ -100,7 +132,7 @@ pub fn finite_snr_outage(
     fading: FadingModel,
     cfg: &McConfig,
     r: f64,
-) -> f64 {
+) -> Option<f64> {
     assert!(
         r.is_finite() && r > 0.0,
         "multiplexing gain must be finite and positive, got {r}"
@@ -138,22 +170,26 @@ mod tests {
     #[test]
     fn outage_probability_is_monotone_in_target() {
         let p = profile(Protocol::Mabc);
-        let p1 = p.outage_probability(0.5);
-        let p2 = p.outage_probability(1.5);
-        let p3 = p.outage_probability(3.0);
+        let p1 = p.outage_probability(0.5).unwrap_or(0.0);
+        let p2 = p.outage_probability(1.5).unwrap_or(0.0);
+        let p3 = p.outage_probability(3.0).unwrap_or(0.0);
         assert!(p1 <= p2 && p2 <= p3);
-        assert!(p.outage_probability(0.0) == 0.0, "rate 0 never in outage");
-        assert!(p.outage_probability(1e9) == 1.0);
+        assert_eq!(
+            p.outage_probability(0.0),
+            Some(0.0),
+            "rate 0 never in outage — resolved exactly"
+        );
+        assert_eq!(p.outage_probability(1e9), Some(1.0));
     }
 
     #[test]
     fn outage_rate_inverts_outage_probability() {
         let p = profile(Protocol::Tdbc);
         for eps in [0.05, 0.1, 0.5] {
-            let r = p.outage_rate(eps);
+            let r = p.outage_rate(eps).expect("eps above the resolution floor");
             // At the eps-quantile rate, outage prob is ~eps (within the
             // empirical resolution).
-            let prob = p.outage_probability(r);
+            let prob = p.outage_probability(r).expect("resolved at quantile");
             assert!(
                 (prob - eps).abs() <= 0.02,
                 "eps={eps}: outage({r}) = {prob}"
@@ -169,14 +205,9 @@ mod tests {
         let mabc = profile(Protocol::Mabc);
         let tdbc = profile(Protocol::Tdbc);
         for eps in [0.05, 0.25, 0.5, 0.9] {
-            assert!(
-                hbc.outage_rate(eps) >= mabc.outage_rate(eps) - 1e-9,
-                "eps={eps}"
-            );
-            assert!(
-                hbc.outage_rate(eps) >= tdbc.outage_rate(eps) - 1e-9,
-                "eps={eps}"
-            );
+            let h = hbc.outage_rate(eps).unwrap();
+            assert!(h >= mabc.outage_rate(eps).unwrap() - 1e-9, "eps={eps}");
+            assert!(h >= tdbc.outage_rate(eps).unwrap() - 1e-9, "eps={eps}");
         }
     }
 
@@ -190,17 +221,30 @@ mod tests {
             &McConfig::new(50, 1),
         );
         let exact = net.max_sum_rate(Protocol::Mabc).unwrap().sum_rate;
-        // Outage jumps from 0 to 1 exactly at the deterministic rate.
-        assert_eq!(p.outage_probability(exact - 1e-6), 0.0);
-        assert_eq!(p.outage_probability(exact + 1e-6), 1.0);
+        // Below the deterministic rate no trial is in outage: 50 trials
+        // can only certify p < 1/50, so the estimate is unresolved rather
+        // than a silently extrapolated 0. Above it, every trial fails.
+        assert_eq!(p.outage_probability(exact - 1e-6), None);
+        assert_eq!(p.outage_probability(exact + 1e-6), Some(1.0));
+    }
+
+    #[test]
+    fn outage_rate_below_resolution_floor_is_unresolved() {
+        let p = OutageProfile::from_samples((0..100).map(f64::from).collect());
+        // 100 samples resolve eps >= 1/100 only.
+        assert_eq!(p.outage_rate(0.005), None);
+        assert!(p.outage_rate(0.01).is_some());
+        assert_eq!(p.outage_rate(0.0), None, "eps = 0 is never certifiable");
     }
 
     #[test]
     fn finite_snr_outage_monotone_in_gain() {
         let net = fig4_net(10.0);
         let cfg = McConfig::new(1500, 33);
-        let lo = finite_snr_outage(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg, 0.1);
-        let hi = finite_snr_outage(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg, 0.6);
+        let lo = finite_snr_outage(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg, 0.1)
+            .unwrap_or(0.0);
+        let hi = finite_snr_outage(&net, Protocol::Mabc, FadingModel::Rayleigh, &cfg, 0.6)
+            .expect("mid-range target resolves");
         assert!(lo <= hi, "higher multiplexing gain cannot fade out less");
         assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
     }
@@ -211,14 +255,16 @@ mod tests {
         // target must drop.
         let net = fig4_net(5.0);
         let cfg = McConfig::new(1500, 8);
-        let ray = finite_snr_outage(&net, Protocol::Tdbc, FadingModel::Rayleigh, &cfg, 0.5);
+        let ray = finite_snr_outage(&net, Protocol::Tdbc, FadingModel::Rayleigh, &cfg, 0.5)
+            .expect("Rayleigh outage resolves at r = 0.5");
         let nak = finite_snr_outage(
             &net,
             Protocol::Tdbc,
             FadingModel::Nakagami { m: 4.0 },
             &cfg,
             0.5,
-        );
+        )
+        .expect("Nakagami outage resolves at r = 0.5");
         assert!(
             nak < ray,
             "Nakagami m=4 outage {nak} should be below Rayleigh {ray}"
@@ -228,14 +274,17 @@ mod tests {
     #[test]
     fn outage_curve_matches_pointwise_probabilities() {
         let p = OutageProfile::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(p.outage_curve(&[0.5, 2.5, 9.0]), vec![0.0, 0.5, 1.0]);
+        assert_eq!(
+            p.outage_curve(&[0.5, 2.5, 9.0]),
+            vec![None, Some(0.5), Some(1.0)]
+        );
     }
 
     #[test]
     fn from_samples_roundtrip() {
         let p = OutageProfile::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(p.samples(), 4);
-        assert_eq!(p.outage_probability(2.5), 0.5);
-        assert_eq!(p.outage_rate(0.5), 3.0);
+        assert_eq!(p.outage_probability(2.5), Some(0.5));
+        assert_eq!(p.outage_rate(0.5), Some(3.0));
     }
 }

@@ -33,15 +33,21 @@ fn main() {
         "10%-outage".into(),
         "P[outage @ half rate]".into(),
     ]);
+    // Below-resolution estimates come back as `None` — print them as the
+    // certified bound rather than a fake zero.
+    let show = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.4}"),
+        None => format!("< {:.1e}", 1.0 / trials as f64),
+    };
     for proto in Protocol::ALL {
         let envelope = exact.get(proto).expect("evaluated").sum_rate;
         table.row(vec![
             proto.name().into(),
             format!("{envelope:.4}"),
             format!("{:.4}", outage.ergodic_series(proto)[0].1),
-            format!("{:.4}", outage.outage_rate(proto, 0, 0.05)),
-            format!("{:.4}", outage.outage_rate(proto, 0, 0.10)),
-            format!("{:.4}", outage.outage_probability(proto, 0, envelope / 2.0)),
+            show(outage.outage_rate(proto, 0, 0.05)),
+            show(outage.outage_rate(proto, 0, 0.10)),
+            show(outage.outage_probability(proto, 0, envelope / 2.0)),
         ]);
     }
     println!("{}", table.render());

@@ -51,7 +51,9 @@
 //! let net = GaussianNetwork::from_db(Db::new(10.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
 //! let outage = Scenario::at(net).rayleigh(200, 42).build().outage().unwrap();
 //! let ergodic = outage.ergodic_series(Protocol::Hbc)[0].1;
-//! let ten_pct = outage.outage_rate(Protocol::Hbc, 0, 0.10);
+//! // `None` would mean the 10% quantile sits below the Monte-Carlo
+//! // resolution floor 1/trials — impossible here (0.10 ≥ 1/200).
+//! let ten_pct = outage.outage_rate(Protocol::Hbc, 0, 0.10).unwrap();
 //! assert!(ten_pct < ergodic, "deep fades pull the 10%-outage rate below the mean");
 //! ```
 //!

@@ -56,8 +56,12 @@ fn evaluator_outage_matches_simulator_on_snr_rate_grid() {
                 &McConfig::new(TRIALS, SIM_SEED),
             );
             for &target in &targets {
-                let from_eval = serial.outage_probability(proto, i, target);
-                let from_sim = profile.outage_probability(target);
+                // Unresolved (below-floor) estimates compare as their
+                // certified upper bound's midpoint 0 — the statistical
+                // tolerance absorbs the difference at these mid-range
+                // targets.
+                let from_eval = serial.outage_probability(proto, i, target).unwrap_or(0.0);
+                let from_sim = profile.outage_probability(target).unwrap_or(0.0);
                 let tol = tolerance(from_eval, from_sim, TRIALS);
                 assert!(
                     (from_eval - from_sim).abs() <= tol,
@@ -91,7 +95,8 @@ fn dmt_outage_matches_finite_snr_simulator() {
                     FadingModel::Rayleigh,
                     &McConfig::new(TRIALS, SIM_SEED),
                     r,
-                );
+                )
+                .unwrap_or(0.0);
                 let tol = tolerance(from_eval, from_sim, TRIALS);
                 assert!(
                     (from_eval - from_sim).abs() <= tol,
@@ -180,8 +185,10 @@ fn multipair_outage_matches_simulator_on_snr_k_grid() {
                 );
                 for schedule in SCHEDULES {
                     for &target in &targets {
-                        let from_eval = serial.outage_probability(proto, i, schedule, target);
-                        let from_sim = profile.outage_probability(schedule, target);
+                        let from_eval = serial
+                            .outage_probability(proto, i, schedule, target)
+                            .unwrap_or(0.0);
+                        let from_sim = profile.outage_probability(schedule, target).unwrap_or(0.0);
                         let tol = tolerance(from_eval, from_sim, TRIALS);
                         assert!(
                             (from_eval - from_sim).abs() <= tol,
@@ -252,8 +259,8 @@ fn nakagami_outage_cross_validates_between_paths() {
     let target = 0.4 * (1.0 + net.reference_snr()).log2();
     for proto in Protocol::ALL {
         let profile = OutageProfile::estimate(&net, proto, m4, &McConfig::new(TRIALS, SIM_SEED));
-        let from_eval = serial.outage_probability(proto, 0, target);
-        let from_sim = profile.outage_probability(target);
+        let from_eval = serial.outage_probability(proto, 0, target).unwrap_or(0.0);
+        let from_sim = profile.outage_probability(target).unwrap_or(0.0);
         let tol = tolerance(from_eval, from_sim, TRIALS);
         assert!(
             (from_eval - from_sim).abs() <= tol,

@@ -88,9 +88,9 @@ fn outage_rates_ordered_by_quantile() {
         FadingModel::Rayleigh,
         &McConfig::new(2000, 9),
     );
-    let r05 = profile.outage_rate(0.05);
-    let r10 = profile.outage_rate(0.10);
-    let r50 = profile.outage_rate(0.50);
+    let r05 = profile.outage_rate(0.05).expect("resolved at 2000 trials");
+    let r10 = profile.outage_rate(0.10).expect("resolved at 2000 trials");
+    let r50 = profile.outage_rate(0.50).expect("resolved at 2000 trials");
     assert!(
         r05 <= r10 && r10 <= r50,
         "quantiles must be monotone: {r05} {r10} {r50}"
