@@ -1,6 +1,6 @@
 //! bench-report — times the canonical evaluation scenarios in serial and
 //! parallel modes and writes the machine-readable `BENCH_evaluator.json`
-//! (schema 5) that CI uploads and trends.
+//! (schema 6) that CI uploads and trends.
 //!
 //! Six workloads cover the engine's hot paths at production scale:
 //!
@@ -26,9 +26,15 @@
 //!   (`bcc_bench::servestudy`): a 40k-query hot-set stream through a
 //!   `bcc-serve` engine, closed loop (throughput + p50/p99/p999 service
 //!   times) and batched drain, plus a 200k-query repeated-state all-hit
-//!   stream. Its gates are direction-aware: `qps` may not drop below
-//!   baseline ÷ tolerance, the repeated stream must hit the cache, and
-//!   serve misses must reach the closed-form kernel.
+//!   stream, plus a chaos pass of the same stream under the canonical
+//!   `servestudy::chaos_plan` fault plan (asserted bit-identical across
+//!   worker counts first). Its gates are direction-aware: `qps` may not
+//!   drop below baseline ÷ tolerance, the repeated stream must hit the
+//!   cache, serve misses must reach the closed-form kernel, the
+//!   fault-free stream must record **zero** degraded answers, and the
+//!   injected stream must record **some** degraded answers, reject its
+//!   malformed queries, and contain every injected panic
+//!   (`chaos_panics == 0`).
 //!
 //! Serial numbers pin the evaluator to one worker
 //! (`Scenario::threads(1)`); parallel numbers use the ambient policy
@@ -101,6 +107,28 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Panic-hook invocations whose payload is *not* the injected chaos
+/// marker — a genuine panic anywhere in the run. The serve scenario's
+/// chaos pass gates on this staying zero.
+static GENUINE_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts genuine panics and silences the injected ones (their unwinds
+/// are caught and degraded by the serve engine; the default hook would
+/// bury the report in backtraces).
+fn install_panic_audit() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected worker panic"));
+        if !injected {
+            GENUINE_PANICS.fetch_add(1, Relaxed);
+            previous(info);
+        }
+    }));
+}
 
 /// Default regression tolerance of `--check`: measured wall time may
 /// exceed the baseline by at most this factor. Override with
@@ -548,6 +576,35 @@ fn time_serve(parallel_threads: usize) -> Timing {
     });
     let repeated_qps = servestudy::REPEATED_QUERIES as f64 / t0.elapsed().as_secs_f64();
 
+    // Chaos pass: the same workload under the canonical fault plan, with
+    // malformed queries salted in. Bit-identical across worker counts
+    // (the whole point of seed-driven injection), then one counted
+    // closed-loop pass for the degradation extras the gate asserts on.
+    let chaos_queries = servestudy::chaos_stream().queries(servestudy::MIXED_QUERIES);
+    let chaos_config = servestudy::config().faults(servestudy::chaos_plan());
+    let drain_chaos = |threads: usize| {
+        let mut server = Server::new(&chaos_config.threads(threads));
+        let mut answers = Vec::with_capacity(chaos_queries.len());
+        for chunk in chaos_queries.chunks(servestudy::BATCH) {
+            for &q in chunk {
+                server.submit(q).expect("queue sized to the batch");
+            }
+            answers.extend(server.drain());
+        }
+        answers
+    };
+    assert_eq!(
+        drain_chaos(1),
+        drain_chaos(parallel_threads),
+        "injected-fault drains must be bit-identical across worker counts"
+    );
+    let mut chaos_server = Server::new(&chaos_config);
+    let ((), chaos_delta) = bcc_serve::stats::scoped(|| {
+        for q in &chaos_queries {
+            let _ = chaos_server.serve(q);
+        }
+    });
+
     let serial_ms = best_ms(REPS, || {
         drain_all(1);
     });
@@ -569,12 +626,19 @@ fn time_serve(parallel_threads: usize) -> Timing {
             ("hit_rate", serve_delta.hit_rate()),
             ("repeated_qps", repeated_qps),
             ("repeated_cache_hits", rep_delta.cache_hits as f64),
+            ("degraded", serve_delta.degraded as f64),
+            ("chaos_degraded", chaos_delta.degraded as f64),
+            (
+                "chaos_validated_rejects",
+                chaos_delta.validated_rejects as f64,
+            ),
+            ("chaos_panics", GENUINE_PANICS.load(Relaxed) as f64),
         ],
     }
 }
 
 fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
-    let mut out = String::from("{\n  \"schema\": 5,\n");
+    let mut out = String::from("{\n  \"schema\": 6,\n");
     out.push_str(&format!(
         "  \"threads\": {{ \"available\": {available}, \"parallel\": {parallel} }},\n"
     ));
@@ -641,6 +705,7 @@ fn check_field(baseline: &str, timing: &Timing, field: &str, measured: f64) -> R
 }
 
 fn main() {
+    install_panic_audit();
     let mut out_path: Option<PathBuf> = None;
     let mut check_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -901,6 +966,56 @@ fn main() {
                 "check ok: serve_loadgen kernel_hits = {}",
                 serve.mix.kernel_hits
             );
+        }
+        // Degradation gates, both directions: the fault-free stream must
+        // never fall back to the conservative answer, and the injected
+        // stream must degrade somewhere, reject its malformed queries,
+        // and contain every injected panic.
+        let serve_extra = |key: &str| {
+            serve
+                .extra
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("serve timing records {key}"))
+        };
+        let degraded = serve_extra("degraded");
+        if degraded > 0.0 {
+            failures.push(format!(
+                "serve_loadgen degraded = {degraded:.0} on the fault-free stream: \
+                 a healthy serve must never fall back to the conservative answer"
+            ));
+        } else {
+            println!("check ok: serve_loadgen degraded = 0 on the fault-free stream");
+        }
+        let chaos_degraded = serve_extra("chaos_degraded");
+        if chaos_degraded == 0.0 {
+            failures.push(
+                "serve_loadgen chaos_degraded == 0: the injected fault plan never \
+                 exercised the degraded fallback (injection silently disabled?)"
+                    .to_string(),
+            );
+        } else {
+            println!("check ok: serve_loadgen chaos_degraded = {chaos_degraded:.0}");
+        }
+        let chaos_rejects = serve_extra("chaos_validated_rejects");
+        if chaos_rejects == 0.0 {
+            failures.push(
+                "serve_loadgen chaos_validated_rejects == 0: malformed queries were \
+                 not refused up front"
+                    .to_string(),
+            );
+        } else {
+            println!("check ok: serve_loadgen chaos_validated_rejects = {chaos_rejects:.0}");
+        }
+        let chaos_panics = serve_extra("chaos_panics");
+        if chaos_panics > 0.0 {
+            failures.push(format!(
+                "serve_loadgen chaos_panics = {chaos_panics:.0}: a genuine panic \
+                 escaped the injected run (isolation broken)"
+            ));
+        } else {
+            println!("check ok: serve_loadgen chaos_panics = 0");
         }
         if !failures.is_empty() {
             for msg in &failures {

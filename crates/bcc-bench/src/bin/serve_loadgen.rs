@@ -6,26 +6,59 @@
 //! as soon as the previous answer returns, so the measured latencies are
 //! service times, not queueing artefacts — and reports throughput
 //! (queries/sec), the latency distribution (p50/p99/p999 in µs) and the
-//! serve-stats delta (hit rate, kernel vs simplex solves, evictions).
-//! A second pass drains the same stream through the batched `Server`
-//! at the configured batch size for the throughput-oriented number.
+//! serve-stats delta (hit rate, kernel vs simplex solves, evictions,
+//! degraded/shed/validated-reject counters). A second pass drains the
+//! same stream through the batched `Server` at the configured batch
+//! size for the throughput-oriented number.
+//!
+//! With `--faults`, the run arms the canonical chaos
+//! [`FaultPlan`](bcc_num::faults::FaultPlan)
+//! (`bcc_bench::servestudy::chaos_plan`) and salts the stream with
+//! malformed queries: every injected failure must be contained to its
+//! query (the run aborts on any uncontained panic), some answers must
+//! degrade to the conservative fallback, and the whole stream is
+//! bit-reproducible across thread counts. Without it, the run asserts
+//! the converse: zero degraded answers on a healthy stream.
 //!
 //! Usage:
 //!
 //! ```text
 //! serve-loadgen [--queries N] [--stream repeated|hotset|fresh]
 //!               [--pool N] [--batch N] [--step-db X] [--capacity N]
-//!               [--seed N] [--out PATH]
+//!               [--seed N] [--faults] [--out PATH]
 //! ```
 //!
 //! Defaults follow `bcc_bench::servestudy` (hot-set stream, Fig. 4
-//! operating point). Writes `results/SERVE_loadgen.json`.
+//! operating point). Writes `results/SERVE_loadgen.json` (schema 2).
 
 use bcc_bench::{results_dir, servestudy};
 use bcc_num::stats::Ecdf;
 use bcc_serve::{LoadSpec, QuantSpec, Server, StreamKind};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
+
+/// Panic-hook invocations whose payload is *not* the injected chaos
+/// marker — a genuine panic anywhere in the run. The report gates on
+/// this staying zero.
+static GENUINE_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts genuine panics and silences the injected ones (their unwinds
+/// are caught and degraded by the engine; the default hook would bury
+/// the output in backtraces).
+fn install_panic_audit() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected worker panic"));
+        if !injected {
+            GENUINE_PANICS.fetch_add(1, Relaxed);
+            previous(info);
+        }
+    }));
+}
 
 struct Args {
     queries: u64,
@@ -35,6 +68,7 @@ struct Args {
     step_db: f64,
     capacity: usize,
     seed: u64,
+    faults: bool,
     out: Option<PathBuf>,
 }
 
@@ -47,6 +81,7 @@ fn parse_args() -> Args {
         step_db: servestudy::STEP_DB,
         capacity: servestudy::CACHE_CAPACITY,
         seed: servestudy::SEED,
+        faults: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -60,11 +95,13 @@ fn parse_args() -> Args {
             "--step-db" => args.step_db = take("--step-db").parse().expect("number"),
             "--capacity" => args.capacity = take("--capacity").parse().expect("integer"),
             "--seed" => args.seed = take("--seed").parse().expect("integer"),
+            "--faults" => args.faults = true,
             "--out" => args.out = Some(PathBuf::from(take("--out"))),
             other => {
                 eprintln!(
                     "usage: serve-loadgen [--queries N] [--stream repeated|hotset|fresh] \
-                     [--pool N] [--batch N] [--step-db X] [--capacity N] [--seed N] [--out PATH]"
+                     [--pool N] [--batch N] [--step-db X] [--capacity N] [--seed N] \
+                     [--faults] [--out PATH]"
                 );
                 panic!("unknown argument {other:?}");
             }
@@ -88,20 +125,33 @@ fn spec_for(args: &Args) -> LoadSpec {
         // floor would split it across two keys.
         spec.floor_every = None;
     }
+    if args.faults {
+        // The injected stream carries malformed queries too, so the
+        // validation path is exercised amid the fault sites.
+        spec.invalid_every = Some(servestudy::INVALID_EVERY);
+    }
     spec
 }
 
 fn main() {
+    install_panic_audit();
     let args = parse_args();
     let spec = spec_for(&args);
-    let config = servestudy::config()
+    let mut config = servestudy::config()
         .quant(QuantSpec::db_grid(args.step_db))
         .cache_capacity(args.capacity)
         .queue_capacity(args.batch);
+    if args.faults {
+        config = config.faults(servestudy::chaos_plan());
+    }
 
     println!(
-        "serve-loadgen: {} queries, stream {}, cache {} entries, {} dB grid",
-        args.queries, args.stream, args.capacity, args.step_db
+        "serve-loadgen: {} queries, stream {}, cache {} entries, {} dB grid, faults {}",
+        args.queries,
+        args.stream,
+        args.capacity,
+        args.step_db,
+        if args.faults { "armed" } else { "off" },
     );
 
     // Closed loop: one query in flight at a time, per-query latency.
@@ -140,6 +190,11 @@ fn main() {
         delta.simplex_solves,
         delta.evictions,
     );
+    let corruptions = server.engine_mut().cache().corruptions_detected();
+    println!(
+        "degradation : degraded {}, shed {}, validated rejects {}, corruptions detected {}",
+        delta.degraded, delta.shed, delta.validated_rejects, corruptions,
+    );
 
     // Batched drain of the same stream on a fresh server: throughput of
     // the admission path at the configured batch size.
@@ -159,16 +214,42 @@ fn main() {
         args.batch
     );
 
+    // The degradation contract, both directions: a healthy run never
+    // degrades; an injected run degrades somewhere, rejects the
+    // malformed queries, and contains every panic.
+    let panics = GENUINE_PANICS.load(Relaxed);
+    assert_eq!(panics, 0, "a genuine panic escaped the run");
+    if args.faults {
+        assert!(
+            delta.degraded > 0,
+            "the chaos plan should degrade some answers"
+        );
+        assert!(
+            delta.validated_rejects > 0,
+            "the chaos stream should carry malformed queries"
+        );
+        println!("fault audit : zero uncontained panics, degradation contract held");
+    } else {
+        assert_eq!(delta.degraded, 0, "a healthy stream must never degrade");
+        assert_eq!(
+            delta.validated_rejects, 0,
+            "healthy streams are well-formed"
+        );
+    }
+
     let out = args
         .out
         .unwrap_or_else(|| results_dir().join("SERVE_loadgen.json"));
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"stream\": \"{}\",\n  \"queries\": {},\n  \
+        "{{\n  \"schema\": 2,\n  \"stream\": \"{}\",\n  \"faults\": {},\n  \
+         \"queries\": {},\n  \
          \"qps\": {:.1},\n  \"batch_qps\": {:.1},\n  \"p50_us\": {:.3},\n  \
          \"p99_us\": {:.3},\n  \"p999_us\": {:.3},\n  \"hit_rate\": {:.4},\n  \
          \"cache_hits\": {},\n  \"kernel_solves\": {},\n  \"simplex_solves\": {},\n  \
-         \"evictions\": {}\n}}\n",
+         \"evictions\": {},\n  \"degraded\": {},\n  \"shed\": {},\n  \
+         \"validated_rejects\": {},\n  \"corruptions_detected\": {},\n  \"panics\": {}\n}}\n",
         args.stream,
+        args.faults,
         args.queries,
         qps,
         batch_qps,
@@ -180,6 +261,11 @@ fn main() {
         delta.kernel_solves,
         delta.simplex_solves,
         delta.evictions,
+        delta.degraded,
+        delta.shed,
+        delta.validated_rejects,
+        corruptions,
+        panics,
     );
     std::fs::write(&out, json).expect("write SERVE_loadgen.json");
     println!("report written to {}", out.display());

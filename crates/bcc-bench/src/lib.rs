@@ -209,6 +209,7 @@ pub mod multipairstudy {
 /// the CI smoke leg all read these constants, so the gated numbers and
 /// the published JSON describe the same workload.
 pub mod servestudy {
+    use bcc_num::faults::{FaultPlan, FaultSite};
     use bcc_serve::{LoadSpec, QuantSpec, ServeConfig, StreamKind};
 
     /// Master seed of the study's query streams.
@@ -268,6 +269,35 @@ pub mod servestudy {
     /// The all-miss stream (pure solve-throughput regime).
     pub fn fresh_stream() -> LoadSpec {
         base(StreamKind::Fresh, SEED ^ 0xF5)
+    }
+
+    /// Seed of the canonical chaos [`FaultPlan`].
+    pub const CHAOS_SEED: u64 = 0xC4A0_5EED;
+    /// Every n-th chaos query carries a malformed (NaN) floor, so the
+    /// injected stream exercises up-front validation too.
+    pub const INVALID_EVERY: u64 = 997;
+
+    /// The canonical fault plan of the chaos smoke runs: every site
+    /// armed at once — transient LP faults that recover on the engine's
+    /// retry, per-key kernel poison (degrades to the DT fallback), cache
+    /// evict/corrupt fates, and worker panics that occasionally
+    /// double-fire past the retry. Decisions are a pure function of
+    /// [`CHAOS_SEED`], so the injected run is bit-reproducible across
+    /// threads and batch sizes.
+    pub fn chaos_plan() -> FaultPlan {
+        FaultPlan::new(CHAOS_SEED)
+            .with(FaultSite::LpIterationLimit, 0.05, 1)
+            .with(FaultSite::LpWarmReject, 0.10, 2)
+            .with(FaultSite::KernelPoison, 0.01, 1)
+            .with(FaultSite::CacheEvict, 0.02, 1)
+            .with(FaultSite::CacheCorrupt, 0.02, 1)
+            .with(FaultSite::WorkerPanic, 0.05, 2)
+    }
+
+    /// The injected-fault stream: the mixed hot-set stream with a
+    /// malformed query every [`INVALID_EVERY`] slots.
+    pub fn chaos_stream() -> LoadSpec {
+        mixed_stream().invalid_every(INVALID_EVERY)
     }
 }
 

@@ -195,6 +195,25 @@ impl FadingModel {
         FadingModel::Nakagami { m }
     }
 
+    /// A validated Rician model (rejects `k` outside `[0, ∞)`).
+    ///
+    /// An infinite K-factor is the subtle case: the sampler's
+    /// `k / (k + 1)` line-of-sight and `1 / (k + 1)` scatter terms both
+    /// become `∞/∞`-style NaNs, which would then propagate silently
+    /// through every faded gain. `k → ∞` *means* "no fading" — ask for
+    /// [`FadingModel::None`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is finite and `k ≥ 0`.
+    pub fn rician(k: f64) -> Self {
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "Rician K-factor must be finite and non-negative, got {k}"
+        );
+        FadingModel::Rician { k }
+    }
+
     /// The gamma shape of this model's *power* distribution
     /// (`|h|² ~ Gamma(shape, 1/shape)`), if it has one: `1` for Rayleigh,
     /// `m` for Nakagami-m. `None` for the non-gamma models (no fading,
@@ -261,7 +280,10 @@ impl FadingModel {
             FadingModel::None => Complex64::ONE,
             FadingModel::Rayleigh => complex_gaussian(rng, 1.0),
             FadingModel::Rician { k } => {
-                assert!(k >= 0.0, "Rician K-factor must be non-negative");
+                assert!(
+                    k.is_finite() && k >= 0.0,
+                    "Rician K-factor must be finite and non-negative, got {k}"
+                );
                 let los = (k / (k + 1.0)).sqrt();
                 let scatter = complex_gaussian(rng, 1.0 / (k + 1.0));
                 Complex64::new(los, 0.0) + scatter
@@ -312,7 +334,13 @@ impl FadingModel {
         match *self {
             FadingModel::None => 0.0,
             FadingModel::Rayleigh => 1.0,
-            FadingModel::Rician { k } => (1.0 + 2.0 * k) / ((1.0 + k) * (1.0 + k)),
+            FadingModel::Rician { k } => {
+                assert!(
+                    k.is_finite() && k >= 0.0,
+                    "Rician K-factor must be finite and non-negative, got {k}"
+                );
+                (1.0 + 2.0 * k) / ((1.0 + k) * (1.0 + k))
+            }
             FadingModel::Nakagami { m } => {
                 assert!(
                     m.is_finite() && m >= 0.5,
@@ -484,6 +512,53 @@ mod tests {
         // Regression: this used to report a plausible 1/m = 10 for a shape
         // the sampler cannot draw from.
         let _ = FadingModel::Nakagami { m: 0.1 }.power_variance();
+    }
+
+    #[test]
+    #[should_panic(expected = "Rician K-factor")]
+    fn rician_constructor_rejects_nan() {
+        let _ = FadingModel::rician(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rician K-factor")]
+    fn rician_constructor_rejects_infinity() {
+        // Regression: `Rician { k: ∞ }` used to pass the sampler's old
+        // `k >= 0` check and silently produce NaN amplitudes (∞/∞ in the
+        // line-of-sight/scatter split).
+        let _ = FadingModel::rician(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rician K-factor")]
+    fn rician_constructor_rejects_negative() {
+        let _ = FadingModel::rician(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rician K-factor")]
+    fn rician_infinite_k_sampling_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = FadingModel::Rician { k: f64::INFINITY }.sample_power(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rician K-factor")]
+    fn power_variance_rejects_invalid_rician() {
+        let _ = FadingModel::Rician { k: f64::INFINITY }.power_variance();
+    }
+
+    #[test]
+    fn rician_constructor_accepts_valid_factors_and_samples_finite() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for k in [0.0, 0.5, 3.0, 50.0] {
+            let model = FadingModel::rician(k);
+            assert_eq!(model, FadingModel::Rician { k });
+            for _ in 0..100 {
+                let p = model.sample_power(&mut rng);
+                assert!(p.is_finite() && p >= 0.0, "K={k}: power {p}");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub enum CoreError {
         /// What was being compared (e.g. a scenario grid-point label).
         context: String,
     },
+    /// A deterministic chaos fault (see [`bcc_num::faults`]) was injected
+    /// at this computation. Only ever produced under an armed
+    /// [`bcc_num::faults::FaultPlan`]; batch drivers and the serving
+    /// layer degrade per item rather than aborting on it.
+    Injected {
+        /// The injection site, e.g. `"kernel poison"`.
+        site: &'static str,
+    },
 }
 
 impl CoreError {
@@ -52,6 +60,26 @@ impl CoreError {
             }
         )
     }
+
+    /// `true` if this error was produced by deterministic fault injection
+    /// ([`CoreError::Injected`]) — chaos by construction, so degradation
+    /// paths contain it per item instead of aborting.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, CoreError::Injected { .. })
+    }
+
+    /// `true` if the underlying solver ran out of its iteration budget —
+    /// the resource-exhaustion failure that serving layers degrade on
+    /// (conservative fallback answer) rather than propagate.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Lp {
+                source: LpError::IterationLimit,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -69,6 +97,9 @@ impl fmt::Display for CoreError {
             CoreError::NoFiniteOptimum { context } => {
                 write!(f, "no candidate produced a finite optimum during {context}")
             }
+            CoreError::Injected { site } => {
+                write!(f, "injected fault: {site}")
+            }
         }
     }
 }
@@ -77,7 +108,9 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Lp { source, .. } => Some(source),
-            CoreError::RateUnachievable { .. } | CoreError::NoFiniteOptimum { .. } => None,
+            CoreError::RateUnachievable { .. }
+            | CoreError::NoFiniteOptimum { .. }
+            | CoreError::Injected { .. } => None,
         }
     }
 }

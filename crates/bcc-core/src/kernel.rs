@@ -623,6 +623,18 @@ impl SolveCtx {
         net: &GaussianNetwork,
         req: SolveRequest,
     ) -> Result<SolveOutcome, CoreError> {
+        // Deterministic chaos hook: an item fated to kernel poison (a pure
+        // function of the active fault scope's token — see
+        // `bcc_num::faults::site_fated`) fails here, before any
+        // computation, and keeps failing on every re-examination, so batch
+        // drivers fall back per point and serving layers degrade to a
+        // conservative answer. One thread-local read when no scope is
+        // active.
+        if bcc_num::faults::site_fated(bcc_num::faults::FaultSite::KernelPoison) {
+            return Err(CoreError::Injected {
+                site: "kernel poison",
+            });
+        }
         match req.objective {
             Objective::SumRate => self
                 .sum_rate_for_impl(net, req.protocol, req.bound, req.floor)

@@ -62,6 +62,7 @@ use crate::region::{RatePoint, RateRegion};
 use bcc_channel::fading::FadingModel;
 use bcc_channel::topology::LineNetwork;
 use bcc_channel::{ChannelState, PowerSplit};
+use bcc_num::faults::{self, FaultPlan, FaultScope, FaultSite};
 use bcc_num::{par, Db};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,6 +123,7 @@ pub struct Scenario {
     pub(crate) power_grid: Vec<PowerSplit>,
     pub(crate) rate_floor: Option<(f64, f64)>,
     pub(crate) block_size: Option<usize>,
+    pub(crate) faults: FaultPlan,
 }
 
 impl Scenario {
@@ -141,6 +143,7 @@ impl Scenario {
             power_grid: Vec::new(),
             rate_floor: None,
             block_size: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -407,6 +410,22 @@ impl Scenario {
         self
     }
 
+    /// Arms a deterministic fault-injection plan for the batched sweep
+    /// paths (chaos testing; see [`bcc_num::faults`]).
+    ///
+    /// Each grid point runs under a [`FaultScope`] keyed by its global
+    /// point index, so the injection schedule is bit-reproducible across
+    /// thread counts and block sizes. A point whose kernel is poisoned
+    /// (or whose solver resources are exhausted by an armed
+    /// `LpIterationLimit` site) degrades to a [`SweepResult::skipped`]
+    /// entry — exactly the per-point containment genuinely infeasible
+    /// points already get — instead of aborting the batch. The empty plan
+    /// (the default) changes nothing, bit for bit.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Compiles the scenario into a reusable [`Evaluator`].
     pub fn build(self) -> Evaluator {
         Evaluator { scenario: self }
@@ -445,12 +464,20 @@ impl Scenario {
 /// continue (the latter recorded per point as [`SkippedSolve`]), while any
 /// other failure — unbounded, iteration limit — still aborts, because it
 /// describes the solver rather than the input.
+///
+/// Under an active fault scope the abort set shrinks: injected kernel
+/// poison and solver iteration limits are chaos by construction, so they
+/// degrade to per-point skips like infeasibility does. (An organic
+/// iteration limit during a chaos run is indistinguishable from an
+/// injected one — conservatively contained rather than escalated.)
 fn classify_solve(
     result: Result<SumRateSolution, CoreError>,
 ) -> Result<Result<SumRateSolution, CoreError>, CoreError> {
     match result {
         Ok(sol) => Ok(Ok(sol)),
         Err(e) if e.is_infeasible() => Ok(Err(e)),
+        Err(e) if e.is_injected() => Ok(Err(e)),
+        Err(e) if faults::active() && e.is_resource_limit() => Ok(Err(e)),
         Err(e) => Err(e),
     }
 }
@@ -519,6 +546,7 @@ impl Evaluator {
         // at any block size or thread count. Outer bounds and floored
         // sweeps keep the per-point simplex fan-out.
         let batchable = protocols.iter().all(|&p| sc.sum_request(p).is_batchable());
+        let plan = sc.faults;
         let flat: Vec<Result<SumRateSolution, CoreError>> = if batchable {
             let bsz = sc.effective_block_size();
             let nblocks = npoints.div_ceil(bsz);
@@ -533,6 +561,39 @@ impl Evaluator {
                 par::try_par_map_range(threads, nblocks, worker, |(ctx, block, outs), j| {
                     let lo = j * bsz;
                     let hi = (lo + bsz).min(npoints);
+                    // Chaos pre-check: a block containing a poisoned
+                    // point falls back to per-point scalar solves, which
+                    // are bitwise-equal to the lane kernels for its
+                    // healthy blockmates — so the poison is contained to
+                    // its own point at any block size. The fate of point
+                    // `i` is a pure function of `(plan, i)`, never of the
+                    // block it happens to share.
+                    if !plan.is_empty() {
+                        let poisoned = (lo..hi).any(|i| {
+                            let _scope = FaultScope::enter(
+                                &plan,
+                                faults::scope_token(plan.seed(), i as u64),
+                            );
+                            faults::site_fated(FaultSite::KernelPoison)
+                        });
+                        if poisoned {
+                            let mut flat = Vec::with_capacity((hi - lo) * nproto);
+                            for i in lo..hi {
+                                let _scope = FaultScope::enter(
+                                    &plan,
+                                    faults::scope_token(plan.seed(), i as u64),
+                                );
+                                for &p in protocols.iter() {
+                                    flat.push(classify_solve(sc.solve_point_with(
+                                        &sc.points[i].net,
+                                        p,
+                                        ctx,
+                                    ))?);
+                                }
+                            }
+                            return Ok(flat);
+                        }
+                    }
                     block.clear();
                     for pt in &sc.points[lo..hi] {
                         block.push_net(&pt.net);
@@ -559,7 +620,12 @@ impl Evaluator {
             // allocations are the chunked result buffers the scheduler
             // amortises across many solves.
             par::try_par_map_range(threads, npoints * nproto, SolveCtx::new, |ctx, k| {
-                let net = &sc.points[k / nproto].net;
+                let point = k / nproto;
+                let net = &sc.points[point].net;
+                // Scope keyed per *point* (not per flat item), so every
+                // protocol of a poisoned point shares one fate.
+                let _scope =
+                    FaultScope::enter(&plan, faults::scope_token(plan.seed(), point as u64));
                 classify_solve(sc.solve_point_with(net, sc.protocols[k % nproto], ctx))
             })?
         };

@@ -1,0 +1,147 @@
+//! Chaos coverage for the batched sweep paths: a [`Scenario::faults`]
+//! plan poisons a deterministic subset of grid points, and the sweep must
+//! (a) contain each poisoned point to a [`SweepResult::skipped`] entry
+//! instead of aborting, (b) leave every healthy point bitwise identical
+//! to the fault-free run, and (c) produce the exact same outcome at every
+//! thread count and block size — the chaos schedule itself is replayable.
+
+use bcc_core::scenario::SweepResult;
+use bcc_core::{GaussianNetwork, Scenario};
+use bcc_num::faults::{FaultPlan, FaultSite};
+use bcc_num::Db;
+
+const POINTS: usize = 257;
+
+fn gain_scenario() -> Scenario {
+    let gains = (0..POINTS).map(|i| -5.0 + 20.0 * i as f64 / (POINTS - 1) as f64);
+    Scenario::symmetric_gain_sweep_db(10.0, -7.0, gains)
+}
+
+fn poison_plan() -> FaultPlan {
+    FaultPlan::new(0xC0A5).with(FaultSite::KernelPoison, 0.05, 1)
+}
+
+/// Bit-level fingerprint of a sweep: every solution field of every
+/// protocol series plus the skip records.
+fn fingerprint(sweep: &SweepResult) -> Vec<String> {
+    let mut out = Vec::new();
+    for &p in sweep.protocols() {
+        for sol in &sweep.series(p).unwrap().solutions {
+            out.push(format!(
+                "{p:?}|{:016x}|{:016x}|{:016x}",
+                sol.sum_rate.to_bits(),
+                sol.ra.to_bits(),
+                sol.rb.to_bits()
+            ));
+        }
+    }
+    for skip in sweep.skipped() {
+        out.push(format!(
+            "skip|{}|{:?}|{}",
+            skip.index, skip.protocol, skip.error
+        ));
+    }
+    out
+}
+
+#[test]
+fn poisoned_sweep_skips_points_and_replays_bitwise() {
+    let clean = gain_scenario().build().sweep().unwrap();
+    assert!(clean.is_complete());
+
+    let reference = gain_scenario()
+        .faults(poison_plan())
+        .threads(1)
+        .build()
+        .sweep()
+        .unwrap();
+
+    // The plan fires somewhere (p = 0.05 over 257 points), but not
+    // everywhere, and every skip is the injected kernel poison.
+    let skipped = reference.skipped();
+    assert!(!skipped.is_empty(), "plan should poison at least one point");
+    let poisoned: std::collections::BTreeSet<usize> = skipped.iter().map(|s| s.index).collect();
+    assert!(poisoned.len() < POINTS / 2);
+    for skip in skipped {
+        assert!(skip.error.is_injected(), "unexpected skip: {}", skip.error);
+    }
+    // A poisoned point loses *all* protocols (the point is fated, not one
+    // lane), and its winner degrades to None.
+    for &i in &poisoned {
+        let at: Vec<_> = skipped.iter().filter(|s| s.index == i).collect();
+        assert_eq!(at.len(), reference.protocols().len());
+        assert_eq!(reference.try_winner(i), None);
+    }
+
+    // Healthy points are bitwise identical to the fault-free sweep.
+    for &p in reference.protocols() {
+        let chaos = &reference.series(p).unwrap().solutions;
+        let base = &clean.series(p).unwrap().solutions;
+        for i in 0..POINTS {
+            if poisoned.contains(&i) {
+                assert!(chaos[i].sum_rate.is_nan());
+            } else {
+                assert_eq!(chaos[i].sum_rate.to_bits(), base[i].sum_rate.to_bits());
+                assert_eq!(chaos[i].ra.to_bits(), base[i].ra.to_bits());
+                assert_eq!(chaos[i].rb.to_bits(), base[i].rb.to_bits());
+            }
+        }
+    }
+
+    // The chaos run replays bit-identically across thread counts and
+    // block sizes — including block sizes that slice poisoned and healthy
+    // points into the same block.
+    let want = fingerprint(&reference);
+    for threads in [1usize, 4] {
+        for block in [16usize, 64, 512] {
+            let again = gain_scenario()
+                .faults(poison_plan())
+                .threads(threads)
+                .block_size(block)
+                .build()
+                .sweep()
+                .unwrap();
+            assert_eq!(
+                fingerprint(&again),
+                want,
+                "threads = {threads}, block = {block}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_plan_is_bitwise_invisible() {
+    let clean = gain_scenario().build().sweep().unwrap();
+    let armed_empty = gain_scenario()
+        .faults(FaultPlan::none())
+        .build()
+        .sweep()
+        .unwrap();
+    assert_eq!(fingerprint(&clean), fingerprint(&armed_empty));
+    assert!(armed_empty.skipped().is_empty());
+}
+
+#[test]
+fn floored_sweep_contains_injected_iteration_limits() {
+    // A QoS floor forces the per-point simplex path; an armed
+    // LpIterationLimit site then exhausts a deterministic subset of
+    // solves, which must degrade to per-point skips (like genuine
+    // infeasibility) rather than abort the sweep — at every thread count.
+    let base = GaussianNetwork::from_db(Db::new(0.0), Db::new(-7.0), Db::new(0.0), Db::new(5.0));
+    let scenario = || {
+        Scenario::power_sweep_db(base, (0..64).map(|i| 15.0 + 0.2 * i as f64))
+            .rate_floor(0.25, 0.25)
+            .faults(FaultPlan::new(77).with(FaultSite::LpIterationLimit, 0.08, 1))
+    };
+    let reference = scenario().threads(1).build().sweep().unwrap();
+    assert!(
+        reference.skipped().iter().any(|s| !s.error.is_infeasible()),
+        "some skips should be injected iteration limits"
+    );
+    let want = fingerprint(&reference);
+    for threads in [2usize, 4] {
+        let again = scenario().threads(threads).build().sweep().unwrap();
+        assert_eq!(fingerprint(&again), want, "threads = {threads}");
+    }
+}

@@ -1,4 +1,5 @@
-//! A small, dependency-free dense linear-programming solver.
+//! A small dense linear-programming solver (no dependencies beyond the
+//! workspace's numerical substrate).
 //!
 //! In the Gaussian evaluation of the bidirectional relay protocols (Section
 //! IV of Kim–Mitran–Tarokh), every rate constraint of Theorems 2–6 is

@@ -661,6 +661,15 @@ pub(crate) fn solve_max_into(
     try_warm: bool,
     out: &mut Solution,
 ) -> Result<(), LpError> {
+    // Deterministic fault injection: an armed `LpIterationLimit` site
+    // makes this solve report its iteration budget as exhausted before
+    // any pivoting, exercising the callers' degradation paths. The hook
+    // is a single thread-local read when no fault scope is active.
+    if bcc_num::faults::should_inject(bcc_num::faults::FaultSite::LpIterationLimit) {
+        stats::record_solve(0, false, false);
+        return Err(LpError::IterationLimit);
+    }
+
     let nstruct = c.len();
     let (n_slack, n_art) = classify_rows(rows, nstruct, ws);
 
@@ -682,13 +691,22 @@ pub(crate) fn solve_max_into(
             let cooling = slot.reject_streak >= WARM_REJECT_LIMIT
                 && !slot.tries.is_multiple_of(WARM_RETRY_PERIOD);
             if !cooling {
-                warm_attempted = true;
-                if warm_attempt(c, rows, nstruct, art_start, idx, ws, out) {
-                    ws.warm[idx].reject_streak = 0;
-                    stats::record_solve(0, true, true);
-                    return Ok(());
+                // An armed `LpWarmReject` site behaves exactly like an
+                // organic pricing reject: the attempt is skipped, the
+                // slot's reject streak grows toward cooldown, and the
+                // solve proceeds cold. Warm starts never change results,
+                // so this perturbs only the performance envelope.
+                if bcc_num::faults::should_inject(bcc_num::faults::FaultSite::LpWarmReject) {
+                    ws.warm[idx].reject_streak = ws.warm[idx].reject_streak.saturating_add(1);
+                } else {
+                    warm_attempted = true;
+                    if warm_attempt(c, rows, nstruct, art_start, idx, ws, out) {
+                        ws.warm[idx].reject_streak = 0;
+                        stats::record_solve(0, true, true);
+                        return Ok(());
+                    }
+                    ws.warm[idx].reject_streak = ws.warm[idx].reject_streak.saturating_add(1);
                 }
-                ws.warm[idx].reject_streak = ws.warm[idx].reject_streak.saturating_add(1);
             }
         }
     }
@@ -870,6 +888,49 @@ pub(crate) fn solve_sense_into(
 mod tests {
     use crate::problem::{Problem, Relation};
     use crate::Workspace;
+
+    #[test]
+    fn injected_iteration_limit_fires_only_under_a_scope() {
+        use bcc_num::faults::{FaultPlan, FaultScope, FaultSite};
+        let mut p = Problem::maximize(&[1.0, 1.0]);
+        p.subject_to(&[1.0, 0.0], Relation::Le, 1.0);
+        p.subject_to(&[0.0, 1.0], Relation::Le, 1.0);
+        // No scope: solves normally.
+        assert!(p.solve().is_ok());
+        let plan = FaultPlan::new(3).with(FaultSite::LpIterationLimit, 1.0, 1);
+        {
+            let _scope = FaultScope::enter(&plan, 0);
+            assert_eq!(p.solve().unwrap_err(), crate::LpError::IterationLimit);
+            // Trigger budget spent: the retry within the same scope is
+            // allowed through and reaches the true optimum.
+            let s = p.solve().expect("retry after injected limit");
+            assert!((s.objective - 2.0).abs() < 1e-9);
+        }
+        // Scope dropped: back to normal.
+        assert!(p.solve().is_ok());
+    }
+
+    #[test]
+    fn forced_warm_reject_changes_no_results() {
+        use bcc_num::faults::{FaultPlan, FaultScope, FaultSite};
+        let mut ws = Workspace::new();
+        let mut p = Problem::maximize(&[3.0, 5.0]);
+        p.subject_to(&[1.0, 0.0], Relation::Le, 4.0);
+        p.subject_to(&[0.0, 2.0], Relation::Le, 12.0);
+        p.subject_to(&[3.0, 2.0], Relation::Le, 18.0);
+        let baseline = p.solve_warm_with(&mut ws).expect("feasible");
+        let plan = FaultPlan::new(5).with(FaultSite::LpWarmReject, 1.0, u32::MAX);
+        let _scope = FaultScope::enter(&plan, 9);
+        for _ in 0..4 {
+            // Every warm attempt is force-rejected; the cold solve must
+            // produce bitwise-identical solutions.
+            let s = p.solve_warm_with(&mut ws).expect("feasible");
+            assert_eq!(s.objective.to_bits(), baseline.objective.to_bits());
+            assert_eq!(s.x[0].to_bits(), baseline.x[0].to_bits());
+            assert_eq!(s.x[1].to_bits(), baseline.x[1].to_bits());
+            assert!(s.pivots > 0, "forced reject means a cold solve");
+        }
+    }
 
     #[test]
     fn pivots_reported() {

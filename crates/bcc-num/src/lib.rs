@@ -18,6 +18,9 @@
 //! * [`par`] — chunked, order-preserving data parallelism over scoped
 //!   worker threads (`par_map_indexed`), the engine behind the parallel
 //!   `Scenario` evaluator and Monte-Carlo drivers.
+//! * [`faults`] — deterministic, seed-driven fault injection
+//!   ([`faults::FaultPlan`]): the chaos schedules behind the robustness
+//!   suites, bit-reproducible across threads, batch sizes and replays.
 //! * [`linalg`] — a minimal dense matrix type with LU solve, used by tests
 //!   and by the Blahut–Arimoto helper in `bcc-info`.
 //!
@@ -40,6 +43,7 @@
 
 pub mod complex;
 pub mod db;
+pub mod faults;
 pub mod interp;
 pub mod linalg;
 pub mod optim;

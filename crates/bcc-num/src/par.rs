@@ -37,6 +37,8 @@
 //! assert_eq!(roots, vec![(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
 //! ```
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Each worker's share of the input is split into roughly this many chunks,
@@ -136,12 +138,24 @@ where
 /// Maps a fallible `f(state, index)` over `0..n` on `threads` workers.
 ///
 /// On success the results come back in index order. On failure the
-/// returned error is the **lowest-index** error — exactly the one the
+/// returned error is the **lowest-index** failure — exactly the one the
 /// serial loop would have hit first — so error reporting is as
 /// deterministic as the success path. (Every index is still evaluated
 /// before an error returns; errors are exceptional in this workspace and
 /// not worth a cross-thread abort protocol that would make the reported
 /// error depend on scheduling.)
+///
+/// # Panic isolation
+///
+/// A panic inside `f` is caught per item (`catch_unwind`), the worker
+/// rebuilds its state via `init` and keeps draining the range, and after
+/// all workers stop the failure at the **lowest index** — panic or `Err`,
+/// whichever comes first in index order, exactly as a serial in-order run
+/// would have hit it — is what the caller observes: an `Err` is returned,
+/// a panic is resumed on the calling thread. A panicking item therefore
+/// poisons only itself, never its blockmates' results, and the observed
+/// failure is independent of scheduling. (A panic in `init` itself still
+/// aborts the batch — there is no per-item state to contain it to.)
 pub fn try_par_map_range<S, R, E, I, F>(
     threads: usize,
     n: usize,
@@ -159,8 +173,18 @@ where
     }
     let workers = threads.clamp(1, n);
     if workers == 1 {
+        // In-order evaluation stops at the first failure by construction,
+        // so no catching is needed to make the failure deterministic.
         let mut state = init();
         return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    /// One item's outcome, with panics reified so the lowest-index rule
+    /// can arbitrate between an `Err` and a panic deterministically.
+    enum Item<R, E> {
+        Ok(R),
+        Fail(E),
+        Panicked(Box<dyn Any + Send>),
     }
 
     let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
@@ -170,14 +194,25 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut state = init();
-                    let mut got: Vec<(usize, Result<R, E>)> = Vec::new();
+                    let mut got: Vec<(usize, Item<R, E>)> = Vec::new();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         for i in start..(start + chunk).min(n) {
-                            got.push((i, f(&mut state, i)));
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                                Ok(Ok(r)) => got.push((i, Item::Ok(r))),
+                                Ok(Err(e)) => got.push((i, Item::Fail(e))),
+                                Err(payload) => {
+                                    // The unwound `f` may have left the
+                                    // scratch state half-updated; rebuild
+                                    // it so later items see `init` state,
+                                    // as the determinism contract assumes.
+                                    state = init();
+                                    got.push((i, Item::Panicked(payload)));
+                                }
+                            }
                         }
                     }
                     got
@@ -190,7 +225,7 @@ where
             .collect::<Vec<std::thread::Result<_>>>()
     });
 
-    let mut slots: Vec<Option<Result<R, E>>> = Vec::with_capacity(n);
+    let mut slots: Vec<Option<Item<R, E>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     for part in parts {
         match part {
@@ -199,17 +234,38 @@ where
                     slots[i] = Some(r);
                 }
             }
+            // Only `init` can panic outside the per-item catch.
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("scheduler covers every index exactly once"))
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.expect("scheduler covers every index exactly once") {
+            Item::Ok(r) => out.push(r),
+            Item::Fail(e) => return Err(e),
+            Item::Panicked(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a caught panic payload as a human-readable message — the
+/// `&str`/`String` payloads `panic!` produces, or a fixed placeholder for
+/// anything else. Used by serving layers that contain worker panics and
+/// must report them deterministically.
+pub fn describe_panic(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// The `!` stand-in for infallible maps routed through
 /// [`try_par_map_range`] (stable `!` is not available to this crate's MSRV).
+#[derive(Debug)]
 enum Never {}
 
 #[cfg(test)]
@@ -294,6 +350,78 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn lowest_index_error_beats_later_panic() {
+        // Err at 3, panic at 40: serial order hits the Err first, so the
+        // parallel run must report it and contain (drop) the panic.
+        let r: Result<Vec<usize>, usize> = try_par_map_range(
+            4,
+            64,
+            || (),
+            |(), i| {
+                assert!(i != 40, "panic at 40");
+                if i == 3 {
+                    Err(3)
+                } else {
+                    Ok(i)
+                }
+            },
+        );
+        assert_eq!(r.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn lowest_index_panic_beats_later_error() {
+        let caught = std::panic::catch_unwind(|| {
+            try_par_map_range::<(), usize, usize, _, _>(
+                4,
+                64,
+                || (),
+                |(), i| {
+                    assert!(i != 5, "panic at 5");
+                    if i == 30 {
+                        Err(30)
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+        });
+        let payload = caught.expect_err("panic should win");
+        assert_eq!(describe_panic(payload.as_ref()), "panic at 5");
+    }
+
+    #[test]
+    fn state_rebuilt_after_caught_panic() {
+        // A worker whose state was corrupted mid-panic must re-init, so
+        // items after the panic still see `init` state. The state here is
+        // a guard flag the panicking item leaves set.
+        let caught = std::panic::catch_unwind(|| {
+            try_par_map_range::<bool, usize, Never, _, _>(
+                2,
+                64,
+                || false,
+                |poisoned, i| {
+                    assert!(!*poisoned, "stale state leaked past a panic");
+                    if i == 9 {
+                        *poisoned = true;
+                        panic!("boom at 9");
+                    }
+                    Ok(i)
+                },
+            )
+        });
+        let payload = caught.expect_err("panic propagates after the batch");
+        assert_eq!(describe_panic(payload.as_ref()), "boom at 9");
+    }
+
+    #[test]
+    fn describe_panic_payload_kinds() {
+        assert_eq!(describe_panic(&"static str"), "static str");
+        assert_eq!(describe_panic(&String::from("owned")), "owned");
+        assert_eq!(describe_panic(&42u32), "non-string panic payload");
     }
 
     #[test]

@@ -81,6 +81,53 @@ proptest! {
             None => prop_assert_eq!(res.unwrap(), (0..n).map(|i| i * 2).collect::<Vec<usize>>()),
         }
     }
+    #[test]
+    fn panicking_item_yields_identical_failure_selection(
+        n in 1usize..100,
+        panic_at in 0usize..100,
+        err_raw in prop::collection::vec(0usize..100, 0..6),
+    ) {
+        // One panicking item at an arbitrary index plus scattered Errs:
+        // the observed failure must be the lowest-index one — panic or
+        // error, exactly as a serial in-order run would hit it — at every
+        // worker count, and a panic must never abort the process.
+        silence_panic_reports();
+        let errs: std::collections::BTreeSet<usize> = err_raw.into_iter().collect();
+        let first_fail = (0..n).find(|i| *i == panic_at || errs.contains(i));
+        for threads in [1usize, 2, 8] {
+            let run = std::panic::catch_unwind(|| {
+                par::try_par_map_range::<(), usize, usize, _, _>(threads, n, || (), |(), i| {
+                    assert!(i != panic_at, "injected panic at {i}");
+                    if errs.contains(&i) { Err(i) } else { Ok(i * 3) }
+                })
+            });
+            match (first_fail, run) {
+                (Some(f), Err(payload)) => {
+                    prop_assert_eq!(f, panic_at, "panicked but lowest failure is an Err");
+                    prop_assert_eq!(
+                        par::describe_panic(payload.as_ref()),
+                        format!("injected panic at {f}")
+                    );
+                }
+                (Some(f), Ok(res)) => {
+                    prop_assert_ne!(f, panic_at, "lowest failure is the panic, not an Err");
+                    prop_assert_eq!(res.unwrap_err(), f);
+                }
+                (None, Ok(res)) => {
+                    prop_assert_eq!(res.unwrap(), (0..n).map(|i| i * 3).collect::<Vec<usize>>());
+                }
+                (None, Err(_)) => prop_assert!(false, "panicked with no failing index"),
+            }
+        }
+    }
+}
+
+/// The injected panics above are expected; keep their default-hook
+/// backtrace chatter out of the test output. (libtest re-reports real
+/// test failures from the payload itself, so nothing is lost.)
+fn silence_panic_reports() {
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| std::panic::set_hook(Box::new(|_| {})));
 }
 
 #[test]

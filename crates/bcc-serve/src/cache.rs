@@ -15,6 +15,16 @@
 //! infeasibility at a quantized key is as cacheable as a winning
 //! protocol, and serving it from the cache skips the full per-protocol
 //! feasibility sweep.
+//!
+//! # Integrity
+//!
+//! Every entry carries a checksum over its key and outcome bits,
+//! verified on each hit. A mismatch — which the deterministic chaos
+//! plans inject via [`DecisionCache::insert_corrupted`], and which in
+//! production would mean a memory fault — invalidates the entry and
+//! reports a miss instead of serving a corrupted decision; the caller
+//! re-solves and the answer stream stays correct. Detections are
+//! counted in [`DecisionCache::corruptions_detected`].
 
 use crate::quant::QuantKey;
 use crate::query::DecisionCore;
@@ -31,11 +41,45 @@ pub enum Outcome {
     Infeasible,
 }
 
+impl Outcome {
+    /// Folds the outcome's exact bit content into a 64-bit word for the
+    /// entry checksum (SplitMix64-style finalisers over every field, so
+    /// any single-bit flip changes the digest).
+    fn fold_bits(&self) -> u64 {
+        fn mix(mut h: u64, w: u64) -> u64 {
+            let mut z = h ^ w.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h = z ^ (z >> 31);
+            h
+        }
+        match self {
+            Outcome::Infeasible => 0x1BFE_A51B_1E00_0001,
+            Outcome::Decided(core) => {
+                let mut h = mix(0x0DEC_1DED, core.protocol as u64);
+                h = mix(h, core.sum_rate.to_bits());
+                h = mix(h, core.ra.to_bits());
+                h = mix(h, core.rb.to_bits());
+                for &d in core.durations.as_slice() {
+                    h = mix(h, d.to_bits());
+                }
+                mix(h, core.durations.as_slice().len() as u64)
+            }
+        }
+    }
+}
+
+/// The entry checksum: key digest mixed with the outcome's bit content.
+fn checksum(key: &QuantKey, outcome: &Outcome) -> u64 {
+    key.hash64() ^ outcome.fold_bits().rotate_left(17)
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     key: QuantKey,
     outcome: Outcome,
     last_used: u64,
+    /// Integrity digest over `key` and `outcome`, verified on every hit.
+    checksum: u64,
 }
 
 /// A bounded LRU cache from quantized query keys to solve outcomes.
@@ -46,6 +90,7 @@ pub struct DecisionCache {
     tick: u64,
     len: usize,
     evictions: u64,
+    corruptions_detected: u64,
 }
 
 impl DecisionCache {
@@ -59,6 +104,7 @@ impl DecisionCache {
             tick: 0,
             len: 0,
             evictions: 0,
+            corruptions_detected: 0,
         }
     }
 
@@ -82,17 +128,31 @@ impl DecisionCache {
         self.evictions
     }
 
+    /// How many hits found a checksum mismatch and were invalidated
+    /// instead of served (see the module docs on integrity).
+    pub fn corruptions_detected(&self) -> u64 {
+        self.corruptions_detected
+    }
+
     /// Looks up `key`, refreshing its recency on a hit.
     ///
     /// The whole window is probed even past empty slots: eviction can
     /// punch holes between an anchor and a surviving entry, so an empty
-    /// slot does not prove absence.
+    /// slot does not prove absence. A hit whose checksum does not verify
+    /// is invalidated and reported as a miss — a corrupted decision is
+    /// never served.
     pub fn get(&mut self, key: &QuantKey) -> Option<Outcome> {
         let anchor = key.hash64() as usize;
         for i in 0..WAYS {
             let idx = (anchor + i) & self.mask;
             if let Some(entry) = &mut self.slots[idx] {
                 if entry.key == *key {
+                    if entry.checksum != checksum(key, &entry.outcome) {
+                        self.slots[idx] = None;
+                        self.len -= 1;
+                        self.corruptions_detected += 1;
+                        return None;
+                    }
                     self.tick += 1;
                     entry.last_used = self.tick;
                     return Some(entry.outcome);
@@ -105,6 +165,20 @@ impl DecisionCache {
     /// Inserts (or refreshes) `key → outcome`. If the key's probe window
     /// is full, the least-recently-used entry in the window is evicted.
     pub fn insert(&mut self, key: QuantKey, outcome: Outcome) {
+        let digest = checksum(&key, &outcome);
+        self.insert_with_checksum(key, outcome, digest);
+    }
+
+    /// Inserts `key → outcome` with a deliberately wrong checksum — the
+    /// deterministic chaos hook modelling a memory fault between write
+    /// and read. The next [`get`](DecisionCache::get) of the key detects
+    /// the mismatch, invalidates the entry and reports a miss.
+    pub fn insert_corrupted(&mut self, key: QuantKey, outcome: Outcome) {
+        let digest = checksum(&key, &outcome) ^ 0x0001_0000_0000_0001;
+        self.insert_with_checksum(key, outcome, digest);
+    }
+
+    fn insert_with_checksum(&mut self, key: QuantKey, outcome: Outcome, digest: u64) {
         self.tick += 1;
         let anchor = key.hash64() as usize;
         let mut empty: Option<usize> = None;
@@ -119,6 +193,7 @@ impl DecisionCache {
                             key,
                             outcome,
                             last_used: self.tick,
+                            checksum: digest,
                         });
                         return;
                     }
@@ -148,6 +223,7 @@ impl DecisionCache {
             key,
             outcome,
             last_used: self.tick,
+            checksum: digest,
         });
     }
 }
@@ -254,5 +330,42 @@ mod tests {
             }
         }
         assert_eq!(found, WAYS, "exactly one table's worth survives");
+    }
+
+    #[test]
+    fn corrupted_entries_are_detected_and_invalidated_not_served() {
+        let mut cache = DecisionCache::with_capacity(64);
+        let k = key_for(2.0);
+        cache.insert_corrupted(k, outcome(1.25));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.corruptions_detected(), 0);
+        // The read detects the bad checksum, drops the entry and misses.
+        assert_eq!(cache.get(&k), None);
+        assert_eq!(cache.corruptions_detected(), 1);
+        assert_eq!(cache.len(), 0, "the corrupted entry was invalidated");
+        // A clean re-insert heals the key.
+        cache.insert(k, outcome(1.25));
+        assert_eq!(cache.get(&k), Some(outcome(1.25)));
+        assert_eq!(cache.corruptions_detected(), 1);
+    }
+
+    #[test]
+    fn checksum_distinguishes_outcomes_and_keys() {
+        let k1 = key_for(3.0);
+        let k2 = key_for(4.0);
+        assert_ne!(checksum(&k1, &outcome(1.0)), checksum(&k1, &outcome(2.0)));
+        assert_ne!(checksum(&k1, &outcome(1.0)), checksum(&k2, &outcome(1.0)));
+        assert_ne!(
+            checksum(&k1, &outcome(1.0)),
+            checksum(&k1, &Outcome::Infeasible)
+        );
+        // Duration bits matter too (same rates, different schedule).
+        let mut core = match outcome(1.0) {
+            Outcome::Decided(c) => c,
+            Outcome::Infeasible => unreachable!(),
+        };
+        let base = checksum(&k1, &Outcome::Decided(core));
+        core.durations = PhaseVec::from([0.5, 0.5]);
+        assert_ne!(base, checksum(&k1, &Outcome::Decided(core)));
     }
 }

@@ -9,11 +9,13 @@
 
 use crate::cache::{DecisionCache, Outcome};
 use crate::quant::QuantSpec;
-use crate::query::{Decision, DecisionCore, Query, ServeError, ServedFrom};
+use crate::query::{Decision, DecisionCore, DegradeReason, Query, ServeError, ServedFrom};
 use crate::stats::ServeStats;
-use bcc_core::kernel::kernel_hits_local;
+use bcc_core::kernel::{kernel_hits_local, SolveRequest};
 use bcc_core::protocol::Protocol;
-use bcc_core::{Objective, SolveCtx};
+use bcc_core::{CoreError, Objective, SolveCtx};
+use bcc_num::faults::{self, FaultPlan, FaultScope, FaultSite};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Tunables for an [`Engine`] or [`Server`](crate::Server).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +28,16 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Worker threads for batch drains; `None` follows `BCC_THREADS`.
     pub threads: Option<usize>,
+    /// Deterministic fault-injection schedule (chaos testing). The empty
+    /// plan — the default — leaves every serve bit-identical to a build
+    /// without the hooks.
+    pub faults: FaultPlan,
+    /// Per-query simplex-solve budget. A miss whose full protocol
+    /// selection needs more LP solves than this degrades to the
+    /// conservative direct-transmission fallback
+    /// ([`ServedFrom::Degraded`] with [`DegradeReason::Budget`]).
+    /// `None` — the default — never degrades on cost.
+    pub solve_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -35,6 +47,8 @@ impl Default for ServeConfig {
             cache_capacity: 65_536,
             queue_capacity: 8_192,
             threads: None,
+            faults: FaultPlan::none(),
+            solve_budget: None,
         }
     }
 }
@@ -61,6 +75,24 @@ impl ServeConfig {
     /// Pins batch drains to `threads` workers instead of `BCC_THREADS`.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (see
+    /// [`bcc_num::faults`]). Serving under a non-empty plan exercises
+    /// the degradation paths; the schedule is bit-reproducible across
+    /// thread counts, batch sizes and replays.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Caps each miss at `solves` simplex LP solves before degrading to
+    /// the conservative direct-transmission fallback. The LP-solve count
+    /// of a query is a pure function of the query (never of warm-start
+    /// state or scheduling), so budget verdicts are deterministic.
+    pub fn solve_budget(mut self, solves: u64) -> Self {
+        self.solve_budget = Some(solves);
         self
     }
 }
@@ -104,6 +136,166 @@ pub(crate) fn solve_counted(ctx: &mut SolveCtx, snapped: &Query) -> SolvedMiss {
     }
 }
 
+/// A [`SolvedMiss`] plus degradation provenance: `degraded` is `Some`
+/// when the outcome came from the conservative fallback rather than the
+/// full protocol selection. Degraded outcomes are never cached.
+pub(crate) struct GuardedMiss {
+    pub outcome: Result<Outcome, ServeError>,
+    pub degraded: Option<DegradeReason>,
+    pub kernel_solves: u64,
+    pub simplex_solves: u64,
+    pub warm_hits: u64,
+    pub pivots: u64,
+}
+
+impl GuardedMiss {
+    pub(crate) fn clean(solved: SolvedMiss) -> GuardedMiss {
+        GuardedMiss {
+            outcome: solved.outcome,
+            degraded: None,
+            kernel_solves: solved.kernel_solves,
+            simplex_solves: solved.simplex_solves,
+            warm_hits: solved.warm_hits,
+            pivots: solved.pivots,
+        }
+    }
+}
+
+/// Solves one snapped query under an armed fault plan and/or solve
+/// budget, degrading gracefully instead of propagating chaos:
+///
+/// 1. With an empty plan and no budget this is exactly [`solve_counted`]
+///    — the fault-free instruction stream is untouched.
+/// 2. Otherwise the solve runs inside a [`FaultScope`] keyed by `token`
+///    (the quantized-key hash), wrapped in `catch_unwind`, with up to
+///    **two attempts**: an injected/organic iteration limit, an injected
+///    solver fault, or a (caught) panic triggers one retry, which
+///    re-rolls the transient fault draws.
+/// 3. If both attempts fail — or the successful solve exceeded the
+///    simplex budget — the query degrades to the closed-form
+///    direct-transmission fallback, computed **outside** the fault scope
+///    so item-fated poison cannot reach it. The fallback answer is
+///    always feasible when returned (DT is one of the candidates the
+///    full selection maximises over, so it is provably ≤ the true
+///    optimum); if DT cannot meet the query's QoS floor the honest
+///    answer is [`ServeError::DegradedUnavailable`].
+pub(crate) fn solve_guarded(
+    ctx: &mut SolveCtx,
+    snapped: &Query,
+    token: u64,
+    plan: &FaultPlan,
+    budget: Option<u64>,
+) -> GuardedMiss {
+    if plan.is_empty() && budget.is_none() {
+        return GuardedMiss::clean(solve_counted(ctx, snapped));
+    }
+    let mut kernel_solves = 0u64;
+    let mut simplex_solves = 0u64;
+    let mut warm_hits = 0u64;
+    let mut pivots = 0u64;
+    let mut fall = None;
+    {
+        let _scope = FaultScope::enter(plan, token);
+        for _attempt in 0..2u32 {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                // The injected panic fires before the solve touches the
+                // context, so an unwound attempt leaves `ctx` coherent.
+                if faults::should_inject(FaultSite::WorkerPanic) {
+                    panic!("injected worker panic (deterministic chaos)");
+                }
+                solve_counted(ctx, snapped)
+            }));
+            match attempt {
+                Ok(solved) => {
+                    kernel_solves += solved.kernel_solves;
+                    simplex_solves += solved.simplex_solves;
+                    warm_hits += solved.warm_hits;
+                    pivots += solved.pivots;
+                    match solved.outcome {
+                        Ok(outcome) => {
+                            if budget.is_some_and(|b| solved.simplex_solves > b) {
+                                // The LP-solve count of a query is a pure
+                                // function of the query, so a retry would
+                                // exceed the budget identically: degrade now.
+                                fall = Some(DegradeReason::Budget);
+                                break;
+                            }
+                            return GuardedMiss {
+                                outcome: Ok(outcome),
+                                degraded: None,
+                                kernel_solves,
+                                simplex_solves,
+                                warm_hits,
+                                pivots,
+                            };
+                        }
+                        Err(ServeError::Solver(e)) if e.is_resource_limit() => {
+                            fall = Some(DegradeReason::Budget);
+                        }
+                        Err(ServeError::Solver(e)) if e.is_injected() => {
+                            fall = Some(DegradeReason::Fault);
+                        }
+                        Err(e) => {
+                            // A genuine solver failure is a bug report,
+                            // not a degradation trigger.
+                            return GuardedMiss {
+                                outcome: Err(e),
+                                degraded: None,
+                                kernel_solves,
+                                simplex_solves,
+                                warm_hits,
+                                pivots,
+                            };
+                        }
+                    }
+                }
+                Err(_payload) => {
+                    fall = Some(DegradeReason::Panic);
+                }
+            }
+        }
+    }
+    let reason = fall.expect("both attempts failed with a recorded reason");
+    let kernel_before = kernel_hits_local();
+    let lp_before = bcc_lp::stats::local_snapshot();
+    let net = snapped.network();
+    let req = SolveRequest::sum_rate(Protocol::DirectTransmission)
+        .with_bound(snapped.bound)
+        .with_floor(snapped.floor);
+    let outcome = match ctx.solve_one(&net, req) {
+        Ok(out) => Ok(Outcome::Decided(DecisionCore::from_solution(
+            &out.sum_rate_solution(),
+        ))),
+        Err(e) if e.is_infeasible() || matches!(e, CoreError::RateUnachievable { .. }) => {
+            Err(ServeError::DegradedUnavailable { reason })
+        }
+        Err(e) => Err(ServeError::Solver(e)),
+    };
+    let lp = bcc_lp::stats::local_snapshot().delta_since(&lp_before);
+    GuardedMiss {
+        outcome,
+        degraded: Some(reason),
+        kernel_solves: kernel_solves + kernel_hits_local().wrapping_sub(kernel_before),
+        simplex_solves: simplex_solves + lp.solves,
+        warm_hits: warm_hits + lp.warm_hits,
+        pivots: pivots + lp.pivots,
+    }
+}
+
+/// The per-key cache fates under `plan`: `(evict_fated, corrupt_fated)`.
+/// Evaluated in a scope of their own so any code path — serial serve,
+/// batch probe, batch commit — reaches the same verdict for a key.
+pub(crate) fn cache_fates(plan: &FaultPlan, token: u64) -> (bool, bool) {
+    if plan.is_empty() {
+        return (false, false);
+    }
+    let _scope = FaultScope::enter(plan, token);
+    (
+        faults::site_fated(FaultSite::CacheEvict),
+        faults::site_fated(FaultSite::CacheCorrupt),
+    )
+}
+
 /// The cache-oracle solve: what a fresh context computes for `query`
 /// under `spec`'s quantization, with no cache involved. The
 /// cache-correctness property test compares every cache hit against
@@ -134,6 +326,8 @@ pub struct Engine {
     ctx: SolveCtx,
     cache: DecisionCache,
     spec: QuantSpec,
+    faults: FaultPlan,
+    solve_budget: Option<u64>,
 }
 
 impl Engine {
@@ -144,6 +338,8 @@ impl Engine {
             ctx: SolveCtx::new(),
             cache: DecisionCache::with_capacity(config.cache_capacity),
             spec: config.quant,
+            faults: config.faults,
+            solve_budget: config.solve_budget,
         }
     }
 
@@ -162,21 +358,51 @@ impl Engine {
         &mut self.cache
     }
 
+    /// The armed fault plan (empty unless chaos testing).
+    pub(crate) fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The per-query simplex budget, if any.
+    pub(crate) fn solve_budget(&self) -> Option<u64> {
+        self.solve_budget
+    }
+
     /// Answers one query.
     ///
-    /// The query is snapped to its quantized key; a cache hit returns the
+    /// The query is [validated](Query::validate) (malformed queries are
+    /// refused with [`ServeError::InvalidQuery`] before touching the
+    /// solver) and snapped to its quantized key; a cache hit returns the
     /// stored decision bit-for-bit (tagged [`ServedFrom::Cache`]), a miss
     /// solves the snapped query on the engine's context, caches the
     /// outcome — including proven infeasibility — and tags the answer
     /// [`ServedFrom::Kernel`]. Solver *errors* are returned but never
     /// cached.
+    ///
+    /// Under an armed [`ServeConfig::faults`] plan or
+    /// [`ServeConfig::solve_budget`], a miss whose full solve cannot
+    /// complete degrades to the conservative direct-transmission
+    /// fallback, tagged [`ServedFrom::Degraded`] and **never cached** —
+    /// see [`ServedFrom::Degraded`] for the guarantees.
     pub fn serve(&mut self, query: &Query) -> Result<Decision, ServeError> {
-        let (key, snapped) = self.spec.snap_query(query);
         let mut delta = ServeStats {
             queries: 1,
             ..ServeStats::zero()
         };
-        let result = match self.cache.get(&key) {
+        if let Err(e) = query.validate() {
+            delta.validated_rejects = 1;
+            crate::stats::record(&delta);
+            return Err(e);
+        }
+        let (key, snapped) = self.spec.snap_query(query);
+        let token = key.hash64();
+        let (evict_fated, corrupt_fated) = cache_fates(&self.faults, token);
+        let cached = if evict_fated {
+            None
+        } else {
+            self.cache.get(&key)
+        };
+        let result = match cached {
             Some(outcome) => {
                 delta.cache_hits = 1;
                 match outcome {
@@ -187,18 +413,41 @@ impl Engine {
             None => {
                 delta.cache_misses = 1;
                 let evictions_before = self.cache.evictions();
-                let solved = solve_counted(&mut self.ctx, &snapped);
+                let solved = solve_guarded(
+                    &mut self.ctx,
+                    &snapped,
+                    token,
+                    &self.faults,
+                    self.solve_budget,
+                );
                 delta.kernel_solves = solved.kernel_solves;
                 delta.simplex_solves = solved.simplex_solves;
-                let result = match solved.outcome {
-                    Ok(outcome) => {
-                        self.cache.insert(key, outcome);
+                let result = match (solved.degraded, solved.outcome) {
+                    (Some(reason), Ok(Outcome::Decided(core))) => {
+                        delta.degraded = 1;
+                        Ok(core.tagged(ServedFrom::Degraded { reason }))
+                    }
+                    (Some(_), Ok(Outcome::Infeasible)) => {
+                        unreachable!("the fallback maps infeasibility to DegradedUnavailable")
+                    }
+                    (Some(_), Err(e)) => {
+                        delta.degraded = 1;
+                        Err(e)
+                    }
+                    (None, Ok(outcome)) => {
+                        if !evict_fated {
+                            if corrupt_fated {
+                                self.cache.insert_corrupted(key, outcome);
+                            } else {
+                                self.cache.insert(key, outcome);
+                            }
+                        }
                         match outcome {
                             Outcome::Decided(core) => Ok(core.tagged(ServedFrom::Kernel)),
                             Outcome::Infeasible => Err(ServeError::Infeasible),
                         }
                     }
-                    Err(e) => Err(e),
+                    (None, Err(e)) => Err(e),
                 };
                 delta.evictions = self.cache.evictions().wrapping_sub(evictions_before);
                 result
@@ -284,5 +533,181 @@ mod tests {
         // A floor-free inner-bound miss sweeps all four protocols:
         // closed-form kernel where available, LP for the rest.
         assert!(delta.kernel_solves > 0);
+    }
+
+    /// Installs a panic hook (once) that swallows the *injected* chaos
+    /// panics so they do not spray backtraces over the test output, while
+    /// still reporting genuine panics.
+    fn silence_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("injected worker panic"));
+                if !injected {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn invalid_queries_are_refused_before_the_solver() {
+        let mut engine = Engine::new(&ServeConfig::default());
+        let bad = q(0.2).with_floor(f64::NAN, 0.1);
+        let (result, delta) = crate::stats::scoped(|| engine.serve(&bad));
+        assert!(matches!(result, Err(ServeError::InvalidQuery { .. })));
+        assert_eq!(delta.validated_rejects, 1);
+        assert_eq!(delta.cache_misses, 0, "no solve was attempted");
+        assert_eq!(engine.cache().len(), 0, "nothing was cached");
+    }
+
+    #[test]
+    fn guarded_path_without_firing_faults_is_bit_identical() {
+        // A solve budget arms the guarded path (scope, catch_unwind,
+        // counting) without ever degrading; the answers must be bitwise
+        // what the plain path computes.
+        let mut plain = Engine::new(&ServeConfig::default());
+        let mut guarded = Engine::new(&ServeConfig::default().solve_budget(u64::MAX));
+        for gab in [0.2, 0.7, 1.4] {
+            let a = plain.serve(&q(gab).with_floor(0.05, 0.05)).unwrap();
+            let b = guarded.serve(&q(gab).with_floor(0.05, 0.05)).unwrap();
+            assert_eq!(a.sum_rate.to_bits(), b.sum_rate.to_bits());
+            assert_eq!(a.ra.to_bits(), b.ra.to_bits());
+            assert_eq!(a.rb.to_bits(), b.rb.to_bits());
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.served_from, b.served_from);
+        }
+    }
+
+    #[test]
+    fn zero_budget_degrades_floored_queries_and_never_caches_them() {
+        let mut engine = Engine::new(&ServeConfig::default().solve_budget(0));
+        let mut oracle = Engine::new(&ServeConfig::default());
+        // A modest floor forces the LP path, whose solve count exceeds 0.
+        let floored = q(0.5).with_floor(0.05, 0.05);
+        let (d, delta) = crate::stats::scoped(|| engine.serve(&floored).unwrap());
+        assert_eq!(
+            d.served_from,
+            ServedFrom::Degraded {
+                reason: crate::DegradeReason::Budget
+            }
+        );
+        assert_eq!(d.protocol, Protocol::DirectTransmission);
+        assert_eq!(delta.degraded, 1);
+        assert_eq!(engine.cache().len(), 0, "degraded answers are never cached");
+        // Conservative: feasible (to LP tolerance), and no better than
+        // the full optimum.
+        let full = oracle.serve(&floored).unwrap();
+        assert!(
+            d.ra >= 0.05 - 1e-9 && d.rb >= 0.05 - 1e-9,
+            "degraded answer meets floor: ra={}, rb={}",
+            d.ra,
+            d.rb
+        );
+        assert!(d.sum_rate <= full.sum_rate + 1e-12);
+        // The next serve retries (still a miss) instead of hitting a
+        // cached degraded answer.
+        let (_, delta2) = crate::stats::scoped(|| engine.serve(&floored).unwrap());
+        assert_eq!(delta2.cache_misses, 1);
+        // Floor-free queries stay on the closed-form path and do not
+        // degrade even under a zero budget.
+        let clean = engine.serve(&q(0.5)).unwrap();
+        assert_eq!(clean.served_from, ServedFrom::Kernel);
+    }
+
+    #[test]
+    fn degraded_unavailable_when_dt_cannot_meet_the_floor() {
+        // Pick a floor DT cannot meet but a relay protocol can: the full
+        // solve decides it, the zero-budget engine must answer honestly
+        // that its fallback cannot.
+        let mut oracle = Engine::new(&ServeConfig::default());
+        let mut probe = None;
+        for floor in [0.2, 0.35, 0.5, 0.8] {
+            let cand = q(0.05).with_floor(floor, floor);
+            if let Ok(full) = oracle.serve(&cand) {
+                let mut dt = Engine::new(&ServeConfig::default().solve_budget(0));
+                if let Err(ServeError::DegradedUnavailable { .. }) = dt.serve(&cand) {
+                    probe = Some((cand, full));
+                    break;
+                }
+            }
+        }
+        let (cand, _full) = probe.expect("some floor separates DT from the best relay protocol");
+        let mut engine = Engine::new(&ServeConfig::default().solve_budget(0));
+        let (result, delta) = crate::stats::scoped(|| engine.serve(&cand));
+        assert!(matches!(
+            result,
+            Err(ServeError::DegradedUnavailable {
+                reason: crate::DegradeReason::Budget
+            })
+        ));
+        assert_eq!(delta.degraded, 1);
+        assert_eq!(engine.cache().len(), 0);
+    }
+
+    #[test]
+    fn evict_fated_keys_are_never_served_from_cache() {
+        let plan = FaultPlan::new(0xE71C).with(FaultSite::CacheEvict, 1.0, 1);
+        let mut engine = Engine::new(&ServeConfig::default().faults(plan));
+        let mut clean = Engine::new(&ServeConfig::default());
+        let want = clean.serve(&q(0.3)).unwrap();
+        let (_, delta) = crate::stats::scoped(|| {
+            for _ in 0..3 {
+                let d = engine.serve(&q(0.3)).unwrap();
+                assert_eq!(d.sum_rate.to_bits(), want.sum_rate.to_bits());
+                assert_eq!(d.served_from, ServedFrom::Kernel, "never from cache");
+            }
+        });
+        assert_eq!(delta.cache_hits, 0);
+        assert_eq!(delta.cache_misses, 3);
+        assert_eq!(engine.cache().len(), 0, "fated keys are never admitted");
+    }
+
+    #[test]
+    fn corrupt_fated_keys_are_detected_and_resolved() {
+        let plan = FaultPlan::new(0xC0FF).with(FaultSite::CacheCorrupt, 1.0, 1);
+        let mut engine = Engine::new(&ServeConfig::default().faults(plan));
+        let mut clean = Engine::new(&ServeConfig::default());
+        let d1 = engine.serve(&q(0.3)).unwrap();
+        assert_eq!(engine.cache().len(), 1, "the corrupt entry is stored");
+        // The second serve detects the bad checksum, re-solves, and still
+        // answers bit-identically to a clean engine.
+        let d2 = engine.serve(&q(0.3)).unwrap();
+        let want = clean.serve(&q(0.3)).unwrap();
+        assert_eq!(d2.served_from, ServedFrom::Kernel);
+        assert_eq!(d2.sum_rate.to_bits(), d1.sum_rate.to_bits());
+        assert_eq!(d2.sum_rate.to_bits(), want.sum_rate.to_bits());
+        assert!(engine.cache().corruptions_detected() >= 1);
+    }
+
+    #[test]
+    fn injected_panics_degrade_after_the_retry() {
+        silence_panics();
+        // p = 1 with budget 2: both attempts panic, the query degrades.
+        let plan = FaultPlan::new(0xBAD).with(FaultSite::WorkerPanic, 1.0, 2);
+        let mut engine = Engine::new(&ServeConfig::default().faults(plan));
+        let d = engine.serve(&q(0.4)).unwrap();
+        assert_eq!(
+            d.served_from,
+            ServedFrom::Degraded {
+                reason: crate::DegradeReason::Panic
+            }
+        );
+        assert_eq!(d.protocol, Protocol::DirectTransmission);
+        assert_eq!(engine.cache().len(), 0);
+        // p = 1 with budget 1: the first attempt panics, the retry's
+        // draw finds the budget spent and completes the full solve.
+        let plan = FaultPlan::new(0xBAD).with(FaultSite::WorkerPanic, 1.0, 1);
+        let mut engine = Engine::new(&ServeConfig::default().faults(plan));
+        let mut clean = Engine::new(&ServeConfig::default());
+        let d = engine.serve(&q(0.4)).unwrap();
+        let want = clean.serve(&q(0.4)).unwrap();
+        assert_eq!(d.served_from, ServedFrom::Kernel);
+        assert_eq!(d.sum_rate.to_bits(), want.sum_rate.to_bits());
     }
 }

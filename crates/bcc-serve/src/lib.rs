@@ -30,6 +30,20 @@
 //! * **Deterministic load generation** ([`LoadSpec`]): reproducible
 //!   repeated / hot-set / fresh query streams for closed-loop benches
 //!   and replay tests.
+//! * **Fault injection & graceful degradation**: an armed
+//!   [`bcc_num::faults::FaultPlan`] ([`ServeConfig::faults`]) injects
+//!   deterministic solver faults, cache corruption/evictions and worker
+//!   panics; the engine validates queries up front
+//!   ([`ServeError::InvalidQuery`]), isolates panics per item, retries
+//!   once, and falls back to a conservative closed-form
+//!   direct-transmission answer ([`ServedFrom::Degraded`]) — always
+//!   feasible, provably ≤ the true optimum, never cached — when the full
+//!   solve cannot complete (also on [`ServeConfig::solve_budget`]
+//!   exhaustion). Under overload, [`Priority::High`] submissions may
+//!   shed the newest queued normal query instead of being rejected.
+//!   Fault-free runs are bit-identical to a build without the hooks, and
+//!   seeded chaos schedules replay bit-identically at any thread count
+//!   or batch size.
 //!
 //! # Example
 //!
@@ -63,6 +77,8 @@ pub use cache::{DecisionCache, Outcome};
 pub use engine::{cold_solve, Engine, ServeConfig};
 pub use loadgen::{LoadSpec, StreamKind};
 pub use quant::{QuantKey, QuantSpec};
-pub use query::{Decision, DecisionCore, Query, Rejected, ServeError, ServedFrom};
+pub use query::{
+    Decision, DecisionCore, DegradeReason, Priority, Query, Rejected, ServeError, ServedFrom,
+};
 pub use server::{BatchStats, Server};
 pub use stats::ServeStats;

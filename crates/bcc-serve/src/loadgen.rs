@@ -56,6 +56,11 @@ pub struct LoadSpec {
     /// floor `(ra, rb)` — exercising the simplex path amid kernel
     /// traffic.
     pub floor_every: Option<(u64, (f64, f64))>,
+    /// When `Some(n)`, every `n`-th query carries a malformed (NaN) QoS
+    /// floor — exercising [`Query::validate`] rejection amid healthy
+    /// traffic. Applied after `floor_every`, so an index hit by both is
+    /// invalid.
+    pub invalid_every: Option<u64>,
 }
 
 impl LoadSpec {
@@ -67,6 +72,7 @@ impl LoadSpec {
             state,
             powers,
             floor_every: None,
+            invalid_every: None,
         }
     }
 
@@ -74,6 +80,16 @@ impl LoadSpec {
     pub fn floor_every(mut self, n: u64, ra: f64, rb: f64) -> Self {
         assert!(n >= 1, "floor period must be at least 1");
         self.floor_every = Some((n, (ra, rb)));
+        self
+    }
+
+    /// Makes every `n`-th query malformed (a NaN floor component), so
+    /// the stream exercises up-front validation (`n ≥ 1`). The typed
+    /// constructors reject bad gains and powers at construction, so a
+    /// broken floor is the one invalid shape a caller can build.
+    pub fn invalid_every(mut self, n: u64) -> Self {
+        assert!(n >= 1, "invalid period must be at least 1");
+        self.invalid_every = Some(n);
         self
     }
 
@@ -109,6 +125,11 @@ impl LoadSpec {
         if let Some((n, (ra, rb))) = self.floor_every {
             if k % n == n - 1 {
                 q = q.with_floor(ra, rb);
+            }
+        }
+        if let Some(n) = self.invalid_every {
+            if k % n == n - 1 {
+                q = q.with_floor(f64::NAN, 0.0);
             }
         }
         q
@@ -180,6 +201,19 @@ mod tests {
                 assert_eq!(q.floor, Some((0.05, 0.06)));
             } else {
                 assert_eq!(q.floor, None);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_every_injects_malformed_floors_on_schedule() {
+        let s = spec(StreamKind::Repeated).invalid_every(7);
+        for k in 0..21 {
+            let q = s.query(k);
+            if k % 7 == 6 {
+                assert!(q.validate().is_err(), "query {k} should be malformed");
+            } else {
+                assert!(q.validate().is_ok(), "query {k} should be healthy");
             }
         }
     }

@@ -122,11 +122,15 @@ impl QuantSpec {
                 u64::from(has_floor) | (u64::from(q.bound == Bound::Outer) << 1),
             ],
         };
+        // Priority is deliberately not part of the key: it steers
+        // admission under overload, never the answer, so queries that
+        // differ only in priority share one cached decision.
         let snapped = Query {
             state: ChannelState::new(self.snap(s.gab()), self.snap(s.gar()), self.snap(s.gbr())),
             powers: PowerSplit::new(self.snap(p.p_a()), self.snap(p.p_b()), self.snap(p.p_r())),
             floor: q.floor,
             bound: q.bound,
+            priority: q.priority,
         };
         (key, snapped)
     }
@@ -234,6 +238,24 @@ mod tests {
         assert_ne!(k, kf);
         assert_ne!(kf, kf2, "floors are never rounded");
         assert_ne!(k, kb);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantization step")]
+    fn db_grid_rejects_nan_step() {
+        let _ = QuantSpec::db_grid(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantization step")]
+    fn db_grid_rejects_infinite_step() {
+        let _ = QuantSpec::db_grid(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantization step")]
+    fn db_grid_rejects_non_positive_step() {
+        let _ = QuantSpec::db_grid(0.0);
     }
 
     #[test]

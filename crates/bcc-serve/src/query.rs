@@ -14,6 +14,23 @@ use bcc_core::gaussian::{GaussianNetwork, SumRateSolution};
 use bcc_core::protocol::{Bound, Protocol};
 use bcc_core::CoreError;
 
+/// Admission priority of a [`Query`] under overload.
+///
+/// When the submission queue is full, a [`High`](Priority::High) query
+/// may displace the most recently queued [`Normal`](Priority::Normal)
+/// one (which is *shed* — dropped, counted in
+/// [`stats::ServeStats::shed`](crate::stats::ServeStats::shed)) instead
+/// of being rejected. Priority never changes an answer, only admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Best-effort traffic: rejected outright when the queue is full.
+    #[default]
+    Normal,
+    /// Control-plane traffic: admitted under overload by shedding the
+    /// newest queued [`Normal`](Priority::Normal) query, if any.
+    High,
+}
+
 /// One protocol-selection request.
 ///
 /// ```
@@ -37,6 +54,8 @@ pub struct Query {
     pub floor: Option<(f64, f64)>,
     /// Which bound family to select over (achievable inner by default).
     pub bound: Bound,
+    /// Admission priority under overload (answers never depend on it).
+    pub priority: Priority,
 }
 
 impl Query {
@@ -48,6 +67,7 @@ impl Query {
             powers,
             floor: None,
             bound: Bound::Inner,
+            priority: Priority::Normal,
         }
     }
 
@@ -68,10 +88,69 @@ impl Query {
         self
     }
 
+    /// Sets the admission priority (see [`Priority`]).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Checks the query for values the solve kernels cannot answer
+    /// meaningfully: non-finite or negative gains, powers or floor
+    /// components. Serving layers call this before snapping, so a
+    /// malformed query is answered with
+    /// [`ServeError::InvalidQuery`] instead of poisoning a solve (or a
+    /// cached key) downstream.
+    ///
+    /// The typed constructors of [`ChannelState`] and [`PowerSplit`]
+    /// already reject bad gains and powers at construction; the QoS
+    /// floor is the surface a caller can actually get wrong, and the
+    /// gain/power checks here are defence in depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidQuery`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let finite_nonneg = |v: f64| v.is_finite() && v >= 0.0;
+        let gains = [self.state.gab(), self.state.gar(), self.state.gbr()];
+        if !gains.into_iter().all(finite_nonneg) {
+            return Err(ServeError::InvalidQuery {
+                reason: "channel gain must be finite and non-negative",
+            });
+        }
+        let powers = [self.powers.p_a(), self.powers.p_b(), self.powers.p_r()];
+        if !powers.into_iter().all(finite_nonneg) {
+            return Err(ServeError::InvalidQuery {
+                reason: "transmit power must be finite and non-negative",
+            });
+        }
+        if let Some((ra, rb)) = self.floor {
+            if !finite_nonneg(ra) || !finite_nonneg(rb) {
+                return Err(ServeError::InvalidQuery {
+                    reason: "QoS floor must be finite and non-negative",
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The Gaussian network this query describes.
     pub fn network(&self) -> GaussianNetwork {
         GaussianNetwork::with_powers(self.powers, self.state)
     }
+}
+
+/// Why the engine fell back to a conservative degraded answer instead of
+/// the full protocol-selection solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The full solve exceeded the configured per-query simplex budget
+    /// (see [`ServeConfig::solve_budget`](crate::ServeConfig::solve_budget)),
+    /// or ran into a solver iteration limit — organic or injected.
+    Budget,
+    /// The solve failed with an injected fault (chaos testing).
+    Fault,
+    /// The solve panicked (caught and isolated); the retry also failed.
+    Panic,
 }
 
 /// Where a [`Decision`] came from.
@@ -84,6 +163,17 @@ pub enum ServedFrom {
     /// kernel decision computed at the same quantized key (the cache
     /// stores decisions, never re-derives them).
     Cache,
+    /// A conservative fallback answer: the full per-protocol selection
+    /// could not complete (budget exhaustion, injected fault, caught
+    /// panic), so the engine served the closed-form direct-transmission
+    /// operating point instead. Degraded answers are always feasible,
+    /// provably ≤ the true optimum (DT is one of the candidates the full
+    /// solve maximises over), and **never cached** — the next query at
+    /// the key retries the full solve.
+    Degraded {
+        /// What forced the fallback.
+        reason: DegradeReason,
+    },
 }
 
 /// The payload of a decision, without provenance — what the cache stores
@@ -152,6 +242,22 @@ pub enum ServeError {
     /// (quantized) operating point. Infeasibility is a property of the
     /// quantized key and is cached like any other outcome.
     Infeasible,
+    /// The query itself is malformed (non-finite or negative gain, power
+    /// or floor) and was rejected by [`Query::validate`] before any
+    /// solve. Never cached.
+    InvalidQuery {
+        /// Which field failed validation.
+        reason: &'static str,
+    },
+    /// The full solve could not complete (see [`DegradeReason`]) **and**
+    /// the conservative direct-transmission fallback cannot meet the
+    /// query's QoS floor, so no honest answer exists: the true outcome
+    /// may be a relay-protocol decision or a proven infeasibility, and
+    /// claiming either would be wrong. Never cached.
+    DegradedUnavailable {
+        /// What forced the fallback that then came up empty.
+        reason: DegradeReason,
+    },
     /// An unexpected solver failure (not an infeasibility).
     Solver(CoreError),
 }
@@ -161,6 +267,15 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Infeasible => {
                 write!(f, "QoS floor unachievable by every protocol")
+            }
+            ServeError::InvalidQuery { reason } => {
+                write!(f, "invalid query: {reason}")
+            }
+            ServeError::DegradedUnavailable { reason } => {
+                write!(
+                    f,
+                    "degraded ({reason:?}): conservative fallback cannot meet the QoS floor"
+                )
             }
             ServeError::Solver(e) => write!(f, "solver failure: {e}"),
         }
@@ -214,5 +329,38 @@ mod tests {
         assert_eq!(d.sum_rate, 1.5);
         assert_eq!(d.served_from, ServedFrom::Cache);
         assert_eq!(d.durations, sol.durations);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_queries() {
+        let q = Query::new(ChannelState::new(1.0, 2.0, 3.0), PowerSplit::symmetric(5.0));
+        assert_eq!(q.validate(), Ok(()));
+        assert_eq!(q.with_floor(0.0, 0.25).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_broken_floors() {
+        let q = Query::new(ChannelState::new(1.0, 2.0, 3.0), PowerSplit::symmetric(5.0));
+        for (ra, rb) in [
+            (f64::NAN, 0.1),
+            (0.1, f64::INFINITY),
+            (-0.25, 0.1),
+            (0.1, f64::NEG_INFINITY),
+        ] {
+            let err = q.with_floor(ra, rb).validate().unwrap_err();
+            assert!(
+                matches!(err, ServeError::InvalidQuery { reason } if reason.contains("floor")),
+                "floor ({ra}, {rb}) produced {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_defaults_to_normal_and_orders_below_high() {
+        let q = Query::new(ChannelState::new(1.0, 2.0, 3.0), PowerSplit::symmetric(5.0));
+        assert_eq!(q.priority, Priority::Normal);
+        let q = q.with_priority(Priority::High);
+        assert_eq!(q.priority, Priority::High);
+        assert!(Priority::Normal < Priority::High);
     }
 }

@@ -21,9 +21,11 @@
 //! answers.
 
 use crate::cache::Outcome;
-use crate::engine::{solve_counted, Engine, ServeConfig, SolvedMiss};
+use crate::engine::{
+    cache_fates, solve_counted, solve_guarded, Engine, GuardedMiss, ServeConfig, SolvedMiss,
+};
 use crate::quant::QuantKey;
-use crate::query::{Decision, DecisionCore, Query, Rejected, ServeError, ServedFrom};
+use crate::query::{Decision, DecisionCore, Priority, Query, Rejected, ServeError, ServedFrom};
 use crate::stats::ServeStats;
 use bcc_core::batch::{PointBlock, DEFAULT_BLOCK};
 use bcc_core::protocol::Protocol;
@@ -55,6 +57,11 @@ pub struct BatchStats {
     pub warm_hits: u64,
     /// Simplex pivots (scheduling-dependent, like `warm_hits`).
     pub pivots: u64,
+    /// Answers served from the conservative degraded fallback (counted
+    /// per answered query, like `cache_hits`).
+    pub degraded: u64,
+    /// Queries refused by [`Query::validate`] before any solve.
+    pub validated_rejects: u64,
 }
 
 /// How one submitted query will be answered, planned during the serial
@@ -66,6 +73,9 @@ enum Plan {
     /// batch's first occurrence of the key (tagged `Kernel`; later
     /// duplicates are cache hits on the shared solve).
     Solve { miss_idx: usize, first: bool },
+    /// Refused by [`Query::validate`] before snapping; answered with the
+    /// stored error, no solve.
+    Invalid(ServeError),
 }
 
 /// A batched protocol-selection server over a bounded submission queue.
@@ -115,8 +125,29 @@ impl Server {
     /// Enqueues a query for the next drain, or pushes back with
     /// [`Rejected`] if the queue is at capacity (the query is handed
     /// back untouched; retry after a drain or shed it).
+    ///
+    /// At capacity, a [`Priority::High`] query displaces the most
+    /// recently queued [`Priority::Normal`] one instead of being
+    /// rejected: the displaced query is *shed* (dropped, counted in
+    /// [`ServeStats::shed`]) and the high-priority query takes its
+    /// place. A full queue of high-priority queries still rejects.
     pub fn submit(&mut self, query: Query) -> Result<(), Rejected> {
         if self.queue.len() >= self.queue_cap {
+            if query.priority == Priority::High {
+                if let Some(pos) = self
+                    .queue
+                    .iter()
+                    .rposition(|q| q.priority == Priority::Normal)
+                {
+                    self.queue.remove(pos);
+                    self.queue.push(query);
+                    crate::stats::record(&ServeStats {
+                        shed: 1,
+                        ..ServeStats::zero()
+                    });
+                    return Ok(());
+                }
+            }
             crate::stats::record(&ServeStats {
                 rejects: 1,
                 ..ServeStats::zero()
@@ -140,60 +171,113 @@ impl Server {
             return Vec::new();
         }
 
-        // Phase 1 (serial): probe the cache, dedup misses by key.
+        // Phase 1 (serial): validate, probe the cache, dedup misses by
+        // key. Under an armed fault plan, evict- or corrupt-fated keys
+        // bypass dedup (every occurrence solves fresh, exactly as the
+        // serial engine would), and evict-fated keys also bypass the
+        // probe — so chaos runs stay invariant under batch size.
         let spec = *self.engine.spec();
+        let plan = *self.engine.faults();
+        let budget = self.engine.solve_budget();
+        let chaos = !plan.is_empty() || budget.is_some();
+        let mut validated_rejects = 0u64;
         let mut plans = Vec::with_capacity(batch.len());
         let mut miss_of_key: HashMap<QuantKey, usize> = HashMap::new();
         let mut miss_keys: Vec<QuantKey> = Vec::new();
         let mut miss_queries: Vec<Query> = Vec::new();
+        let mut miss_fates: Vec<(bool, bool)> = Vec::new();
         for query in &batch {
-            let (key, snapped) = spec.snap_query(query);
-            if let Some(outcome) = self.engine.cache_mut().get(&key) {
-                plans.push(Plan::Hit(outcome));
+            if let Err(e) = query.validate() {
+                validated_rejects += 1;
+                plans.push(Plan::Invalid(e));
                 continue;
             }
-            match miss_of_key.get(&key) {
-                Some(&miss_idx) => plans.push(Plan::Solve {
-                    miss_idx,
-                    first: false,
-                }),
-                None => {
-                    let miss_idx = miss_queries.len();
-                    miss_of_key.insert(key, miss_idx);
-                    miss_keys.push(key);
-                    miss_queries.push(snapped);
-                    plans.push(Plan::Solve {
-                        miss_idx,
-                        first: true,
-                    });
+            let (key, snapped) = spec.snap_query(query);
+            let (evict_fated, corrupt_fated) = cache_fates(&plan, key.hash64());
+            if !evict_fated {
+                if let Some(outcome) = self.engine.cache_mut().get(&key) {
+                    plans.push(Plan::Hit(outcome));
+                    continue;
                 }
             }
+            let bypass_dedup = evict_fated || corrupt_fated;
+            if !bypass_dedup {
+                if let Some(&miss_idx) = miss_of_key.get(&key) {
+                    plans.push(Plan::Solve {
+                        miss_idx,
+                        first: false,
+                    });
+                    continue;
+                }
+            }
+            let miss_idx = miss_queries.len();
+            if !bypass_dedup {
+                miss_of_key.insert(key, miss_idx);
+            }
+            miss_keys.push(key);
+            miss_queries.push(snapped);
+            miss_fates.push((evict_fated, corrupt_fated));
+            plans.push(Plan::Solve {
+                miss_idx,
+                first: true,
+            });
         }
 
         // Phase 2 (parallel): solve the unique misses. Results come back
-        // in miss order regardless of scheduling.
+        // in miss order regardless of scheduling. Chaos batches take the
+        // guarded scalar path for every miss (its answers are bitwise
+        // equal to the lane kernels when no fault fires, by the
+        // serial-vs-batched differential invariant); fault-free batches
+        // keep the SoA lane kernels.
         let threads = self.threads.unwrap_or_else(bcc_num::par::thread_count);
-        let solved = solve_misses(threads, &miss_queries);
+        let solved: Vec<GuardedMiss> = if chaos {
+            let tokens: Vec<u64> = miss_keys.iter().map(QuantKey::hash64).collect();
+            par_map_indexed_with(threads, &miss_queries, SolveCtx::new, |ctx, i, snapped| {
+                solve_guarded(ctx, snapped, tokens[i], &plan, budget)
+            })
+        } else {
+            solve_misses(threads, &miss_queries)
+                .into_iter()
+                .map(GuardedMiss::clean)
+                .collect()
+        };
 
         // Phase 3 (serial): commit solved outcomes into the cache in miss
-        // order (solver errors are never cached).
+        // order. Solver errors and degraded fallback answers are never
+        // cached (a degraded answer is not the decision at the key, and
+        // caching it would poison every later query there); corrupt-fated
+        // keys are admitted with a bad checksum, evict-fated keys are not
+        // admitted at all.
         let evictions_before = self.engine.cache().evictions();
         let mut stats = BatchStats {
             queries: batch.len() as u64,
             solved: miss_queries.len() as u64,
+            validated_rejects,
             ..BatchStats::default()
         };
-        for (key, miss) in miss_keys.iter().zip(&solved) {
+        for ((key, miss), &(evict_fated, corrupt_fated)) in
+            miss_keys.iter().zip(&solved).zip(&miss_fates)
+        {
             stats.kernel_solves += miss.kernel_solves;
             stats.simplex_solves += miss.simplex_solves;
             stats.warm_hits += miss.warm_hits;
             stats.pivots += miss.pivots;
+            if miss.degraded.is_some() || evict_fated {
+                continue;
+            }
             if let Ok(outcome) = miss.outcome {
-                self.engine.cache_mut().insert(*key, outcome);
+                if corrupt_fated {
+                    self.engine.cache_mut().insert_corrupted(*key, outcome);
+                } else {
+                    self.engine.cache_mut().insert(*key, outcome);
+                }
             }
         }
 
-        // Phase 4 (serial): assemble answers in submission order.
+        // Phase 4 (serial): assemble answers in submission order. Every
+        // occurrence of a degraded miss is tagged `Degraded` — degraded
+        // answers are never cached, so a duplicate is *not* a cache hit
+        // and must not claim to be one.
         let responses: Vec<Result<Decision, ServeError>> = plans
             .into_iter()
             .map(|plan| {
@@ -203,14 +287,19 @@ impl Server {
                         (Ok(outcome), ServedFrom::Cache)
                     }
                     Plan::Solve { miss_idx, first } => {
-                        let from = if first {
+                        let miss = &solved[miss_idx];
+                        let from = if let Some(reason) = miss.degraded {
+                            stats.degraded += 1;
+                            ServedFrom::Degraded { reason }
+                        } else if first {
                             ServedFrom::Kernel
                         } else {
                             stats.cache_hits += 1;
                             ServedFrom::Cache
                         };
-                        (solved[miss_idx].outcome.clone(), from)
+                        (miss.outcome.clone(), from)
                     }
+                    Plan::Invalid(e) => (Err(e), ServedFrom::Kernel),
                 };
                 match outcome {
                     Ok(Outcome::Decided(core)) => Ok(core.tagged(from)),
@@ -236,6 +325,9 @@ impl Server {
             rejects: 0,
             kernel_solves: stats.kernel_solves,
             simplex_solves: stats.simplex_solves,
+            degraded: stats.degraded,
+            shed: 0,
+            validated_rejects: stats.validated_rejects,
         });
         responses
     }
@@ -477,5 +569,90 @@ mod tests {
         for (a, b) in one.iter().zip(&four) {
             assert_eq!(decision_bits(a), decision_bits(b));
         }
+    }
+
+    #[test]
+    fn high_priority_sheds_the_newest_normal_query_at_capacity() {
+        use crate::query::Priority;
+        let mut server = Server::new(&ServeConfig::default().queue_capacity(2));
+        server.submit(q(0.1)).unwrap();
+        server.submit(q(0.2)).unwrap();
+        // A high-priority submission displaces the newest normal one.
+        let high = q(0.9).with_priority(Priority::High);
+        let ((), delta) = crate::stats::scoped(|| server.submit(high).unwrap());
+        assert_eq!(delta.shed, 1);
+        assert_eq!(delta.rejects, 0);
+        assert_eq!(server.queued(), 2, "queue stays at capacity");
+        // A second high-priority submission sheds the remaining normal.
+        server.submit(q(0.8).with_priority(Priority::High)).unwrap();
+        // With only high-priority queries queued, even High is rejected.
+        let ((), delta) = crate::stats::scoped(|| {
+            assert!(server.submit(q(0.7).with_priority(Priority::High)).is_err());
+        });
+        assert_eq!(delta.rejects, 1);
+        assert_eq!(delta.shed, 0);
+        // The drain answers the admitted high-priority queries.
+        let answers = server.drain();
+        assert_eq!(answers.len(), 2);
+        let kept: Vec<u64> = answers
+            .iter()
+            .map(|a| a.as_ref().unwrap().sum_rate.to_bits())
+            .collect();
+        let mut engine = Engine::new(&ServeConfig::default());
+        assert_eq!(kept[0], engine.serve(&q(0.9)).unwrap().sum_rate.to_bits());
+        assert_eq!(kept[1], engine.serve(&q(0.8)).unwrap().sum_rate.to_bits());
+    }
+
+    #[test]
+    fn invalid_queries_are_answered_in_place_without_solving() {
+        let mut server = Server::new(&ServeConfig::default());
+        server.submit(q(0.2)).unwrap();
+        server.submit(q(0.3).with_floor(f64::NAN, 0.1)).unwrap();
+        server.submit(q(0.4)).unwrap();
+        let (answers, delta) = crate::stats::scoped(|| server.drain());
+        assert_eq!(answers.len(), 3);
+        assert!(answers[0].is_ok());
+        assert!(matches!(answers[1], Err(ServeError::InvalidQuery { .. })));
+        assert!(answers[2].is_ok());
+        assert_eq!(delta.validated_rejects, 1);
+        assert_eq!(server.last_batch().validated_rejects, 1);
+        assert_eq!(
+            server.last_batch().solved,
+            2,
+            "the invalid query never reached the solver"
+        );
+    }
+
+    #[test]
+    fn zero_budget_drains_tag_every_degraded_occurrence_and_cache_nothing() {
+        let config = ServeConfig::default().solve_budget(0);
+        let mut server = Server::new(&config);
+        // Two occurrences of the same floored key plus one healthy query.
+        server.submit(q(0.5).with_floor(0.05, 0.05)).unwrap();
+        server.submit(q(0.5).with_floor(0.05, 0.05)).unwrap();
+        server.submit(q(0.9)).unwrap();
+        let answers = server.drain();
+        for a in &answers[..2] {
+            let d = a.as_ref().unwrap();
+            assert!(
+                matches!(d.served_from, ServedFrom::Degraded { .. }),
+                "every occurrence of a degraded miss is tagged Degraded, got {:?}",
+                d.served_from
+            );
+            assert_eq!(d.protocol, Protocol::DirectTransmission);
+        }
+        assert_eq!(answers[2].as_ref().unwrap().served_from, ServedFrom::Kernel);
+        assert_eq!(server.last_batch().degraded, 2);
+        assert_eq!(
+            server.engine_mut().cache().len(),
+            1,
+            "only the healthy decision was cached"
+        );
+        // Serial and batched chaos answers agree bitwise.
+        let mut engine = Engine::new(&config);
+        let serial = engine.serve(&q(0.5).with_floor(0.05, 0.05)).unwrap();
+        let batched = answers[0].as_ref().unwrap();
+        assert_eq!(serial.sum_rate.to_bits(), batched.sum_rate.to_bits());
+        assert_eq!(serial.served_from, batched.served_from);
     }
 }

@@ -41,6 +41,9 @@ static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static REJECTS: AtomicU64 = AtomicU64::new(0);
 static KERNEL_SOLVES: AtomicU64 = AtomicU64::new(0);
 static SIMPLEX_SOLVES: AtomicU64 = AtomicU64::new(0);
+static DEGRADED: AtomicU64 = AtomicU64::new(0);
+static SHED: AtomicU64 = AtomicU64::new(0);
+static VALIDATED_REJECTS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static LOCAL: Cell<ServeStats> = const { Cell::new(ServeStats::zero()) };
@@ -65,6 +68,17 @@ pub struct ServeStats {
     pub kernel_solves: u64,
     /// Simplex LP solves performed on behalf of misses.
     pub simplex_solves: u64,
+    /// Queries answered from the conservative closed-form fallback
+    /// because the primary solve was exhausted or faulted
+    /// ([`ServedFrom::Degraded`](crate::ServedFrom::Degraded)).
+    pub degraded: u64,
+    /// Queued normal-priority queries displaced by high-priority
+    /// submissions under overload (distinct from `rejects`, which count
+    /// submissions that never entered the queue).
+    pub shed: u64,
+    /// Queries refused by [`Query::validate`](crate::Query::validate)
+    /// before reaching the solver (non-finite or negative inputs).
+    pub validated_rejects: u64,
 }
 
 impl ServeStats {
@@ -78,6 +92,9 @@ impl ServeStats {
             rejects: 0,
             kernel_solves: 0,
             simplex_solves: 0,
+            degraded: 0,
+            shed: 0,
+            validated_rejects: 0,
         }
     }
 
@@ -92,6 +109,11 @@ impl ServeStats {
             rejects: self.rejects.wrapping_sub(earlier.rejects),
             kernel_solves: self.kernel_solves.wrapping_sub(earlier.kernel_solves),
             simplex_solves: self.simplex_solves.wrapping_sub(earlier.simplex_solves),
+            degraded: self.degraded.wrapping_sub(earlier.degraded),
+            shed: self.shed.wrapping_sub(earlier.shed),
+            validated_rejects: self
+                .validated_rejects
+                .wrapping_sub(earlier.validated_rejects),
         }
     }
 
@@ -116,6 +138,9 @@ pub fn snapshot() -> ServeStats {
         rejects: REJECTS.load(Relaxed),
         kernel_solves: KERNEL_SOLVES.load(Relaxed),
         simplex_solves: SIMPLEX_SOLVES.load(Relaxed),
+        degraded: DEGRADED.load(Relaxed),
+        shed: SHED.load(Relaxed),
+        validated_rejects: VALIDATED_REJECTS.load(Relaxed),
     }
 }
 
@@ -150,6 +175,9 @@ pub(crate) fn record(delta: &ServeStats) {
     bump(&REJECTS, delta.rejects);
     bump(&KERNEL_SOLVES, delta.kernel_solves);
     bump(&SIMPLEX_SOLVES, delta.simplex_solves);
+    bump(&DEGRADED, delta.degraded);
+    bump(&SHED, delta.shed);
+    bump(&VALIDATED_REJECTS, delta.validated_rejects);
     LOCAL.with(|c| {
         let s = c.get();
         c.set(ServeStats {
@@ -160,6 +188,9 @@ pub(crate) fn record(delta: &ServeStats) {
             rejects: s.rejects.wrapping_add(delta.rejects),
             kernel_solves: s.kernel_solves.wrapping_add(delta.kernel_solves),
             simplex_solves: s.simplex_solves.wrapping_add(delta.simplex_solves),
+            degraded: s.degraded.wrapping_add(delta.degraded),
+            shed: s.shed.wrapping_add(delta.shed),
+            validated_rejects: s.validated_rejects.wrapping_add(delta.validated_rejects),
         });
     });
 }
@@ -178,18 +209,25 @@ mod tests {
             rejects: 0,
             kernel_solves: 5,
             simplex_solves: 1,
+            ..ServeStats::zero()
         };
         let mut b = a;
         b.queries += 7;
         b.cache_hits += 3;
         b.cache_misses += 4;
         b.rejects += 2;
+        b.degraded += 1;
+        b.shed += 2;
+        b.validated_rejects += 3;
         let d = b.delta_since(&a);
         assert_eq!(d.queries, 7);
         assert_eq!(d.cache_hits, 3);
         assert_eq!(d.cache_misses, 4);
         assert_eq!(d.rejects, 2);
         assert_eq!(d.evictions, 0);
+        assert_eq!(d.degraded, 1);
+        assert_eq!(d.shed, 2);
+        assert_eq!(d.validated_rejects, 3);
         // Wrapping: a stale "later" snapshot must not panic.
         let _ = a.delta_since(&b);
     }
@@ -215,6 +253,9 @@ mod tests {
             rejects: 1,
             kernel_solves: 2,
             simplex_solves: 0,
+            degraded: 1,
+            shed: 1,
+            validated_rejects: 2,
         };
         let (g0, l0) = (snapshot(), local_snapshot());
         record(&delta);

@@ -82,6 +82,11 @@ impl McConfig {
     /// Bit-identical to `run`: trial `i`'s value depends only on its own
     /// seed stream, and the estimate accumulates the values in trial
     /// order whichever worker produced them.
+    ///
+    /// A panicking trial is contained to itself ([`par::try_par_map_range`]
+    /// catches per item): the remaining trials still run, and the panic
+    /// that reaches the caller is the **lowest-index** one — exactly what
+    /// the serial loop would have hit first — at every worker count.
     pub fn run_par<F>(&self, trial: F) -> McEstimate
     where
         F: Fn(&mut StdRng, usize) -> f64 + Sync,
@@ -221,5 +226,25 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         let _ = McConfig::new(0, 1);
+    }
+
+    #[test]
+    fn poisoned_trials_surface_the_lowest_index_panic() {
+        // Two trials panic; the one the serial loop would hit first is
+        // the one the caller observes, and the fan-out neither aborts
+        // the process nor loses the panic.
+        let cfg = McConfig::new(2_000, 11);
+        let caught = std::panic::catch_unwind(|| {
+            cfg.run_par(|_, i| {
+                assert!(i != 1205, "trial 1205 poisoned");
+                assert!(i != 407, "trial 407 poisoned");
+                i as f64
+            })
+        });
+        let payload = caught.expect_err("the poisoned trials must unwind");
+        assert_eq!(
+            bcc_num::par::describe_panic(payload.as_ref()),
+            "trial 407 poisoned"
+        );
     }
 }
