@@ -1,8 +1,8 @@
 //! bench-report — times the canonical evaluation scenarios in serial and
 //! parallel modes and writes the machine-readable `BENCH_evaluator.json`
-//! (schema 6) that CI uploads and trends.
+//! (schema 7) that CI uploads and trends.
 //!
-//! Six workloads cover the engine's hot paths at production scale:
+//! Seven workloads cover the engine's hot paths at production scale:
 //!
 //! * **`fig3_sweep`** — the paper's Fig. 3 symmetric-gain sweep on a
 //!   60 001-point grid (every protocol, ~240k solves);
@@ -22,6 +22,16 @@
 //! * **`multipair_k3`** — a 4 001-point, three-pair shared-relay sweep
 //!   (sum-rate *and* max–min per pair × protocol, ~96k solves through
 //!   the `point × pair × protocol` fan-out);
+//! * **`city_scale`** — the city-scale relay-assignment study
+//!   (`bcc_bench::citystudy`): 4 000 pairs × 48 candidate relays on a
+//!   disc, every `(pair, relay)` edge's best-protocol sum rate through
+//!   the streamed `CityEvaluator` (~384k batched solves), then the
+//!   greedy/random/refined assignment comparison. Its extras record the
+//!   mean congestion-free `assignment_rate` (greedy) and `random_rate`
+//!   plus the time-shared refined rate; the gates require
+//!   `assignment_rate ≥ random_rate` (a per-pair-max dominance that can
+//!   only break if the reduction itself breaks) and the allocation-free
+//!   hot loop (`allocs_per_point ≤ 0.05` over the edge grid);
 //! * **`serve_loadgen`** — the serving layer's canonical load study
 //!   (`bcc_bench::servestudy`): a 40k-query hot-set stream through a
 //!   `bcc-serve` engine, closed loop (throughput + p50/p99/p999 service
@@ -250,6 +260,14 @@ fn multipair_scenario() -> MultiPairScenario {
         &bcc_bench::multipairstudy::pair_set(),
         (0..=4_000).map(|k| f64::from(k) * 0.005),
     )
+}
+
+/// The city workload: the canonical `citystudy` placement at full bench
+/// scale — `PAIRS × RELAYS` edges through the streamed per-pair fan-out.
+fn city_scenario() -> bcc_core::city::CityScenario {
+    use bcc_bench::citystudy;
+    Scenario::city(citystudy::topology(citystudy::PAIRS), citystudy::POWER_DB)
+        .protocols(citystudy::PROTOCOLS)
 }
 
 fn time_fig3(parallel_threads: usize) -> Timing {
@@ -510,6 +528,73 @@ fn time_multipair(parallel_threads: usize) -> Timing {
     }
 }
 
+/// The city-scale relay-assignment workload (E-C1): every `(pair,
+/// relay)` edge of the canonical `citystudy` placement through the
+/// streamed per-pair fan-out, then the greedy/random/refined
+/// comparison. `units` is the edge count `K × n` — the quantity the
+/// allocation gate normalises by — and the extras carry the aggregate
+/// rates the dominance gate asserts on.
+fn time_city(parallel_threads: usize) -> Timing {
+    use bcc_core::city::{AssignmentKind, Schedule};
+
+    let ev = city_scenario().build();
+    let (k, n) = (ev.topology().num_pairs(), ev.topology().num_relays());
+    let units = k * n;
+    let serial = city_scenario()
+        .threads(1)
+        .build()
+        .sweep()
+        .expect("solvable");
+    let parallel = city_scenario()
+        .threads(parallel_threads)
+        .build()
+        .sweep()
+        .expect("solvable");
+    assert_eq!(
+        serial, parallel,
+        "parallel city sweep must be bit-identical"
+    );
+    // Evaluator construction (topology clone) stays outside the measured
+    // closure — the gated quantity is the edge-solve loop.
+    let mut measured = city_scenario().threads(1).build();
+    let mix = measure_mix(units, || {
+        measured.sweep().expect("solvable");
+    });
+    let serial_ms = best_ms(REPS, || {
+        city_scenario()
+            .threads(1)
+            .build()
+            .sweep()
+            .expect("solvable");
+    });
+    let parallel_ms = best_ms(REPS, || {
+        city_scenario()
+            .threads(parallel_threads)
+            .build()
+            .sweep()
+            .expect("solvable");
+    });
+    let assignment_rate = serial.best_edge_rate(AssignmentKind::Greedy);
+    let random_rate = serial.best_edge_rate(AssignmentKind::Random);
+    let refined_ts = serial.scheduled_rate(AssignmentKind::Refined, Schedule::TimeShare);
+    let greedy_ts = serial.scheduled_rate(AssignmentKind::Greedy, Schedule::TimeShare);
+    Timing {
+        name: "city_scale",
+        points: k,
+        trials: 0,
+        serial_ms,
+        parallel_ms,
+        mix,
+        extra: vec![
+            ("assignment_rate", assignment_rate),
+            ("random_rate", random_rate),
+            ("refined_ts_rate", refined_ts),
+            ("greedy_ts_rate", greedy_ts),
+            ("relays", n as f64),
+        ],
+    }
+}
+
 /// The serving-layer workload (E-S1): the canonical `servestudy` mixed
 /// hot-set stream through a `bcc-serve` engine, closed loop for latency
 /// quantiles and batched for drain throughput, plus the repeated-state
@@ -638,7 +723,7 @@ fn time_serve(parallel_threads: usize) -> Timing {
 }
 
 fn render_json(available: usize, parallel: usize, timings: &[Timing]) -> String {
-    let mut out = String::from("{\n  \"schema\": 6,\n");
+    let mut out = String::from("{\n  \"schema\": 7,\n");
     out.push_str(&format!(
         "  \"threads\": {{ \"available\": {available}, \"parallel\": {parallel} }},\n"
     ));
@@ -733,6 +818,7 @@ fn main() {
         time_outage(parallel),
         time_deep_outage(parallel),
         time_multipair(parallel),
+        time_city(parallel),
         time_serve(parallel),
     ];
     for t in &timings {
@@ -910,6 +996,72 @@ fn main() {
                 "check ok: multipair_k3 kernel_hits = {}",
                 multipair.mix.kernel_hits
             );
+        }
+        // City-assignment gates: the greedy best-edge aggregate is a
+        // per-pair maximum, so it can only fall below the random
+        // baseline if the candidate reduction itself is broken; and the
+        // streamed edge loop must stay allocation-free per edge and on
+        // the batched kernel path.
+        {
+            let city = scenario("city_scale");
+            let city_extra = |key: &str| {
+                city.extra
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("city timing records {key}"))
+            };
+            let assignment_rate = city_extra("assignment_rate");
+            let random_rate = city_extra("random_rate");
+            if assignment_rate < random_rate {
+                failures.push(format!(
+                    "city_scale assignment_rate = {assignment_rate:.4} < random_rate = \
+                     {random_rate:.4}: greedy best-edge attachment lost to random \
+                     (candidate reduction broken?)"
+                ));
+            } else {
+                println!(
+                    "check ok: city_scale assignment_rate {assignment_rate:.4} ≥ \
+                     random_rate {random_rate:.4}"
+                );
+            }
+            let refined_ts = city_extra("refined_ts_rate");
+            let greedy_ts = city_extra("greedy_ts_rate");
+            if refined_ts < greedy_ts {
+                failures.push(format!(
+                    "city_scale refined_ts_rate = {refined_ts:.4} < greedy seed's \
+                     {greedy_ts:.4}: the refinement search regressed below its seed"
+                ));
+            } else {
+                println!(
+                    "check ok: city_scale refined_ts_rate {refined_ts:.4} ≥ greedy \
+                     seed {greedy_ts:.4}"
+                );
+            }
+            if city.mix.allocs_per_point > 0.05 {
+                failures.push(format!(
+                    "city_scale allocs_per_point = {:.3}: the streamed edge loop \
+                     allocates per edge (budget 0.05)",
+                    city.mix.allocs_per_point
+                ));
+            } else {
+                println!(
+                    "check ok: city_scale allocs_per_point = {:.3}",
+                    city.mix.allocs_per_point
+                );
+            }
+            if city.mix.batched_points == 0 {
+                failures.push(
+                    "city_scale batched_points == 0: the edge grid fell back to \
+                     scalar per-point solves (lane kernels silently disabled?)"
+                        .to_string(),
+                );
+            } else {
+                println!(
+                    "check ok: city_scale batched_points = {} (lanes_filled = {})",
+                    city.mix.batched_points, city.mix.lanes_filled
+                );
+            }
         }
         // Serving-path gates: throughput is higher-is-better (a drop
         // below baseline/tolerance is the regression), and the two cache

@@ -1,0 +1,130 @@
+//! city — E-C1: the city-scale many-relay × many-pair assignment study.
+//!
+//! Places [`citystudy::PAIRS`] terminal pairs and [`citystudy::RELAYS`]
+//! candidate relays on a disc, solves every `(pair, relay)` edge's
+//! best-protocol sum rate through the streamed
+//! [`bcc_core::city::CityEvaluator`], and compares the
+//! three relay assignments (random attachment, greedy best-edge,
+//! auction-refined) under both relay schedules. Headline shapes:
+//! greedy dominates random on the congestion-free rate **by
+//! construction**, and the refined assignment dominates both seeds on
+//! the time-shared objective — the invariants the bench-report gates
+//! pin.
+//!
+//! Configuration is shared with the `city_scale` bench-report scenario
+//! via [`bcc_bench::citystudy`]. The CSV written to
+//! `results/CITY_study.csv` is long-format:
+//! `assignment, best_edge_rate, time_share_rate, joint_rate`.
+//!
+//! Usage:
+//!
+//! ```text
+//! city [--pairs N] [--out PATH]
+//! ```
+//!
+//! `--pairs` scales the placement (default 4000; the CI smoke leg uses
+//! 400); `--out` defaults to `results/CITY_study.csv`.
+
+use bcc_bench::{citystudy, results_dir};
+use bcc_core::city::{AssignmentKind, ASSIGNMENTS, SCHEDULES};
+use bcc_core::prelude::*;
+use bcc_plot::{csv, Table};
+use std::fs::File;
+use std::path::PathBuf;
+
+fn main() {
+    let mut pairs = citystudy::PAIRS;
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pairs" => {
+                pairs = args
+                    .next()
+                    .expect("--pairs needs a count")
+                    .parse()
+                    .expect("--pairs takes an integer");
+                assert!(pairs > 0, "--pairs must be positive");
+            }
+            "--out" => out_path = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            other => {
+                eprintln!("usage: city [--pairs N] [--out PATH]");
+                panic!("unknown argument {other:?}");
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| results_dir().join("CITY_study.csv"));
+
+    println!(
+        "== E-C1: K = {pairs} pairs × n = {} relays on a {}-unit disc (γ = {}) ==\n",
+        citystudy::RELAYS,
+        citystudy::RADIUS,
+        citystudy::GAMMA,
+    );
+    let result = Scenario::city(citystudy::topology(pairs), citystudy::POWER_DB)
+        .protocols(citystudy::PROTOCOLS)
+        .build()
+        .sweep()
+        .expect("city sweep is solvable");
+
+    let mut table = Table::new(vec![
+        "assignment".into(),
+        "best-edge rate".into(),
+        "time-share rate".into(),
+        "joint rate".into(),
+    ]);
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "assignment".into(),
+        "best_edge_rate".into(),
+        "time_share_rate".into(),
+        "joint_rate".into(),
+    ]];
+    for kind in ASSIGNMENTS {
+        let best = result.best_edge_rate(kind);
+        let ts = result.scheduled_rate(kind, Schedule::TimeShare);
+        let joint = result.scheduled_rate(kind, Schedule::Joint);
+        table.row(vec![
+            kind.to_string(),
+            format!("{best:.4}"),
+            format!("{ts:.4}"),
+            format!("{joint:.4}"),
+        ]);
+        rows.push(vec![
+            kind.to_string(),
+            format!("{best:.12}"),
+            format!("{ts:.12}"),
+            format!("{joint:.12}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Shape claims (also pinned by the bench-report gates and the
+    // dominance proptests).
+    assert!(
+        result.best_edge_rate(AssignmentKind::Greedy)
+            >= result.best_edge_rate(AssignmentKind::Random),
+        "greedy best-edge rate must dominate random attachment"
+    );
+    let refined = result.scheduled_rate(AssignmentKind::Refined, Schedule::TimeShare);
+    for seed in [AssignmentKind::Greedy, AssignmentKind::Random] {
+        assert!(
+            refined >= result.scheduled_rate(seed, Schedule::TimeShare),
+            "refined must dominate the {seed} seed on the time-shared objective"
+        );
+    }
+    for kind in ASSIGNMENTS {
+        for schedule in SCHEDULES {
+            assert!(
+                result.scheduled_rate(kind, schedule).is_finite(),
+                "{kind}/{schedule} rate must be finite"
+            );
+        }
+    }
+    let gain = result.best_edge_rate(AssignmentKind::Greedy)
+        / result.best_edge_rate(AssignmentKind::Random);
+    println!("greedy-over-random best-edge gain: {gain:.3}×\n");
+
+    let f = File::create(&out_path).expect("create CSV");
+    csv::write_rows(f, &rows).expect("write CSV");
+    println!("wrote {}", out_path.display());
+}

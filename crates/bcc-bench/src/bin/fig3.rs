@@ -81,6 +81,7 @@ fn main() {
     // ---- Sweep B: relay position on the a-b line (E-F3b).
     let sweep_b =
         Scenario::relay_position_sweep(FIG3_POWER_DB, 3.0, (1..=19).map(|i| i as f64 / 20.0))
+            .expect("positions in (0,1)")
             .build()
             .sweep()
             .expect("sum-rate LPs solvable");

@@ -30,6 +30,7 @@ fn main() {
         let p_db = map.y_of(r);
         let positions: Vec<f64> = (0..cols).map(|c| map.x_of(c)).collect();
         let comparisons = Scenario::relay_position_sweep(p_db, gamma, positions)
+            .expect("positions in (0,1)")
             .build()
             .comparisons()
             .expect("LP solvable");

@@ -12,6 +12,7 @@
 //! | `validate` | E-V1, E-V2 | packet/symbol/fading validations |
 //! | `dmt` | E-D1, E-D2 | finite-SNR DMT sweep & optimum power allocation |
 //! | `multipair` | E-M1, E-M2 | K-pair shared-relay sum-rate/fairness & outage study |
+//! | `city` | E-C1 | city-scale many-relay × many-pair assignment study |
 //!
 //! This library crate carries the paper's canonical parameter sets and the
 //! output-directory convention so the binaries agree on both.
@@ -201,6 +202,46 @@ pub mod multipairstudy {
     /// The Rayleigh outage scenario (E-M2) at `trials` trials per point.
     pub fn outage_scenario(trials: usize) -> MultiPairScenario {
         sweep_scenario().rayleigh(trials, SEED)
+    }
+}
+
+/// Canonical configuration of the city-scale relay-assignment study
+/// (the `city_scale` bench-report scenario and the `city` binary). One
+/// source of truth shared by the bench gates
+/// (`assignment_rate ≥ random_rate`, bounded allocations) and the CI
+/// smoke leg, so the gated numbers and the published CSV describe the
+/// same deployment.
+pub mod citystudy {
+    use bcc_channel::Topology;
+    use bcc_core::protocol::Protocol;
+
+    /// Placement seed of the canonical city.
+    pub const SEED: u64 = 0xC17B_0001;
+    /// Pairs `K` of the bench run (the binary's `--pairs` overrides it;
+    /// the CI smoke leg runs a reduced count).
+    pub const PAIRS: usize = 4_000;
+    /// Candidate relays `n`.
+    pub const RELAYS: usize = 48;
+    /// Disc radius of the placement (distance units of the `d_min`
+    /// clamp).
+    pub const RADIUS: f64 = 12.0;
+    /// Path-loss exponent (urban-ish).
+    pub const GAMMA: f64 = 3.0;
+    /// Common per-node transmit power (dB).
+    pub const POWER_DB: f64 = 10.0;
+    /// Protocols the edge weight maximises over — the two- and
+    /// three-phase relayings; DT needs no relay and HBC's extra phase
+    /// prices identically into the same inner-bound kernel.
+    pub const PROTOCOLS: [Protocol; 2] = [Protocol::Mabc, Protocol::Tdbc];
+
+    /// The canonical city at `pairs` terminal pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on an invalid pair count (the canonical extents are
+    /// validated by construction).
+    pub fn topology(pairs: usize) -> Topology {
+        Topology::random(SEED, pairs, RELAYS, RADIUS, GAMMA).expect("canonical city is valid")
     }
 }
 

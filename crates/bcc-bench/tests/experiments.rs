@@ -28,6 +28,7 @@ fn fig3_sweep_a_shape() {
 #[test]
 fn fig3_sweep_b_has_mabc_tdbc_hbc_zones() {
     let sweep = Scenario::relay_position_sweep(15.0, 3.0, (1..=19).map(|k| k as f64 / 20.0))
+        .unwrap()
         .build()
         .sweep()
         .unwrap();

@@ -1,0 +1,105 @@
+//! Error type for channel-substrate construction and geometry.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while validating geometry inputs or deriving channel
+/// gains from them.
+///
+/// These are *input* errors, not solver errors: every variant describes a
+/// parameter the caller supplied (a coordinate, an exponent, a relay
+/// position) or a gain that came out non-finite because of one. The
+/// batch layers above (`bcc-core`) convert them into their own
+/// validation errors rather than panicking mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelError {
+    /// A node coordinate is NaN or infinite.
+    InvalidCoordinate {
+        /// Which node (`"a"`, `"b"`, `"r"`, or a placement label).
+        node: &'static str,
+        /// The offending coordinates.
+        x: f64,
+        /// Second coordinate.
+        y: f64,
+    },
+    /// The path-loss exponent is negative or non-finite.
+    InvalidGamma {
+        /// The offending exponent.
+        gamma: f64,
+    },
+    /// A relay position left the open interval `(0, 1)` of the line
+    /// network.
+    InvalidPosition {
+        /// The offending position.
+        position: f64,
+    },
+    /// A derived link gain is non-finite (e.g. `d_min^{-γ}` overflowed at
+    /// an extreme exponent even after the near-field clamp).
+    NonFiniteGain {
+        /// Which link (`"ab"`, `"ar"`, `"br"`).
+        link: &'static str,
+        /// The (clamped) distance the gain was computed from.
+        dist: f64,
+        /// The path-loss exponent.
+        gamma: f64,
+    },
+    /// A topology size or extent parameter is unusable (zero node counts,
+    /// non-positive radius).
+    InvalidTopology {
+        /// What was wrong, e.g. `"need at least one pair"`.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidCoordinate { node, x, y } => {
+                write!(f, "node {node} has a non-finite coordinate ({x}, {y})")
+            }
+            ChannelError::InvalidGamma { gamma } => {
+                write!(
+                    f,
+                    "path-loss exponent must be finite and non-negative, got {gamma}"
+                )
+            }
+            ChannelError::InvalidPosition { position } => {
+                write!(f, "relay position must be in (0,1), got {position}")
+            }
+            ChannelError::NonFiniteGain { link, dist, gamma } => {
+                write!(
+                    f,
+                    "link {link} gain is non-finite at distance {dist} with exponent {gamma}"
+                )
+            }
+            ChannelError::InvalidTopology { what } => {
+                write!(f, "invalid topology: {what}")
+            }
+        }
+    }
+}
+
+impl Error for ChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = ChannelError::InvalidGamma { gamma: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = ChannelError::NonFiniteGain {
+            link: "ar",
+            dist: 1e-3,
+            gamma: 400.0,
+        };
+        assert!(e.to_string().contains("ar"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChannelError>();
+    }
+}

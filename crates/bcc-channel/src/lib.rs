@@ -12,8 +12,13 @@
 //! * [`csi`] — the `(G_ab, G_ar, G_br)` channel-state triple all bound
 //!   computations consume.
 //! * [`gain`] — complex amplitude gains and reciprocity.
-//! * [`topology`] — node geometry → path-loss gains (line networks for the
-//!   relay-placement experiments).
+//! * [`topology`] — node geometry → path-loss gains: line networks for
+//!   the relay-placement experiments, and city-scale disc placements
+//!   ([`topology::Topology`]) for the many-relay assignment studies,
+//!   with a documented `d_min` near-field clamp keeping every gain
+//!   finite.
+//! * [`error`] — the validation error type ([`ChannelError`]) of the
+//!   geometry constructors.
 //! * [`power`] — per-node transmit powers under a total-power budget
 //!   (the allocation axis of the finite-SNR DMT studies).
 //! * [`fading`] — Rayleigh/Rician/Nakagami-m quasi-static block fading.
@@ -26,6 +31,7 @@
 
 pub mod awgn;
 pub mod csi;
+pub mod error;
 pub mod fading;
 pub mod gain;
 pub mod halfduplex;
@@ -33,6 +39,8 @@ pub mod power;
 pub mod topology;
 
 pub use csi::ChannelState;
+pub use error::ChannelError;
 pub use fading::{FadingModel, PowerTilt};
 pub use halfduplex::NodeId;
 pub use power::PowerSplit;
+pub use topology::Topology;

@@ -6,25 +6,110 @@
 //! of such gain triples is a **line network**: `a` at the origin, `b` at
 //! unit distance, the relay at position `d ∈ (0,1)` between them, with
 //! power-law path loss `G = dist^{-γ}` normalised so that `G_ab = 1`
-//! (0 dB, the paper's Fig. 3/4 normalisation).
+//! (0 dB, the paper's Fig. 3/4 normalisation). [`PlanarNetwork`] frees
+//! the three nodes onto the plane, and [`Topology`] scales the picture to
+//! a city: `K` terminal pairs and `n` candidate relays placed on a disc,
+//! deterministically per seed.
+//!
+//! # The `d_min` near-field clamp
+//!
+//! The free-space power law diverges as `dist → 0`: at `γ = 3`,
+//! `dist^{-γ}` overflows `f64` to `+∞` below `dist ≈ 1e-103`, and random
+//! placements *will* put nodes arbitrarily close together eventually.
+//! A non-finite gain is poison for every solver downstream (the
+//! [`ChannelState`] constructor rejects it by panicking), so this module
+//! clamps every link distance to the documented near-field radius
+//! [`D_MIN`] before applying the power law:
+//!
+//! > `path_loss(d, γ) = max(d, D_MIN)^{-γ}`
+//!
+//! Physically this is the standard bounded near-field model — the
+//! far-field power law is meaningless inside the antenna's near zone, so
+//! the gain saturates there instead of diverging. With `D_MIN = 1e-3`
+//! the clamp is inert for every distance the workspace's named
+//! experiments use, and it keeps gains finite for any exponent
+//! `γ ≤ ~102`. Exponents beyond that can still overflow the clamped
+//! power law; the `Result`-based constructors
+//! ([`PlanarNetwork::try_channel_state`], [`Topology::try_edge_state`])
+//! reject such gains with [`ChannelError::NonFiniteGain`] instead of
+//! panicking.
 
 use crate::csi::ChannelState;
+use crate::error::ChannelError;
+use bcc_num::seed::mix_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Free-space/power-law path loss `dist^{-gamma}` normalised to unit gain
-/// at unit distance.
+/// Near-field clamp radius of [`path_loss`]: distances below this are
+/// treated as exactly `D_MIN`, so the power-law gain saturates at
+/// `D_MIN^{-γ}` instead of diverging for co-located nodes (see the
+/// module docs).
+pub const D_MIN: f64 = 1e-3;
+
+/// Free-space/power-law path loss `max(dist, D_MIN)^{-gamma}`, normalised
+/// to unit gain at unit distance, with the near-field clamp of the
+/// module docs.
 ///
 /// # Panics
 ///
-/// Panics if `dist <= 0` or `gamma < 0`.
+/// Panics if `dist` is negative or non-finite, or `gamma` is negative or
+/// non-finite. (A very large `gamma` can still overflow the clamped
+/// power law to `+∞`; use the `Result`-based `try_channel_state`
+/// constructors to surface that as a [`ChannelError`] instead.)
 ///
 /// ```
 /// let g = bcc_channel::topology::path_loss(0.5, 3.0);
 /// assert!((g - 8.0).abs() < 1e-12);
+/// // Co-location saturates at the near-field clamp instead of overflowing:
+/// let cap = bcc_channel::topology::path_loss(0.0, 3.0);
+/// assert!(cap.is_finite());
+/// assert_eq!(cap, bcc_channel::topology::D_MIN.powf(-3.0));
 /// ```
 pub fn path_loss(dist: f64, gamma: f64) -> f64 {
-    assert!(dist > 0.0, "distance must be positive, got {dist}");
-    assert!(gamma >= 0.0, "path-loss exponent must be non-negative");
-    dist.powf(-gamma)
+    assert!(
+        dist >= 0.0 && dist.is_finite(),
+        "distance must be finite and non-negative, got {dist}"
+    );
+    assert!(
+        gamma >= 0.0 && gamma.is_finite(),
+        "path-loss exponent must be finite and non-negative, got {gamma}"
+    );
+    dist.max(D_MIN).powf(-gamma)
+}
+
+/// [`path_loss`] with the non-finite overflow case surfaced as an error:
+/// the finite-gain contract of the `try_*` constructors.
+fn checked_gain(dist: f64, gamma: f64, link: &'static str) -> Result<f64, ChannelError> {
+    let g = path_loss(dist, gamma);
+    if g.is_finite() {
+        Ok(g)
+    } else {
+        Err(ChannelError::NonFiniteGain {
+            link,
+            dist: dist.max(D_MIN),
+            gamma,
+        })
+    }
+}
+
+fn check_gamma(gamma: f64) -> Result<(), ChannelError> {
+    if gamma.is_finite() && gamma >= 0.0 {
+        Ok(())
+    } else {
+        Err(ChannelError::InvalidGamma { gamma })
+    }
+}
+
+fn check_coord(node: &'static str, p: (f64, f64)) -> Result<(), ChannelError> {
+    if p.0.is_finite() && p.1.is_finite() {
+        Ok(())
+    } else {
+        Err(ChannelError::InvalidCoordinate {
+            node,
+            x: p.0,
+            y: p.1,
+        })
+    }
 }
 
 /// A relay on the segment between the two terminals.
@@ -41,18 +126,32 @@ pub struct LineNetwork {
 
 impl LineNetwork {
     /// Creates a line network with the relay at `position` and path-loss
-    /// exponent `gamma`.
+    /// exponent `gamma`, validating both.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::InvalidPosition`] unless `position` is strictly
+    /// inside `(0, 1)`; [`ChannelError::InvalidGamma`] unless `gamma` is
+    /// finite and non-negative.
+    pub fn try_new(position: f64, gamma: f64) -> Result<Self, ChannelError> {
+        if !(position > 0.0 && position < 1.0) {
+            return Err(ChannelError::InvalidPosition { position });
+        }
+        check_gamma(gamma)?;
+        Ok(LineNetwork { position, gamma })
+    }
+
+    /// Panicking thin wrapper over [`LineNetwork::try_new`], kept for
+    /// literal geometry in tests and examples where an invalid position
+    /// is a bug at the call site.
     ///
     /// # Panics
     ///
-    /// Panics if `position` is not strictly inside `(0, 1)` or `gamma < 0`.
+    /// Panics if `position` is not strictly inside `(0, 1)` or `gamma` is
+    /// negative or non-finite.
     pub fn new(position: f64, gamma: f64) -> Self {
-        assert!(
-            position > 0.0 && position < 1.0,
-            "relay position must be in (0,1), got {position}"
-        );
-        assert!(gamma >= 0.0, "path-loss exponent must be non-negative");
-        LineNetwork { position, gamma }
+        LineNetwork::try_new(position, gamma)
+            .unwrap_or_else(|e| panic!("invalid line network: {e}"))
     }
 
     /// Relay position in `(0, 1)`.
@@ -65,19 +164,42 @@ impl LineNetwork {
         self.gamma
     }
 
-    /// The path-loss channel state of this geometry.
-    pub fn channel_state(&self) -> ChannelState {
-        ChannelState::new(
+    /// The path-loss channel state of this geometry, under the
+    /// finite-gain contract.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NonFiniteGain`] if the clamped power law still
+    /// overflows (extreme `gamma`).
+    pub fn try_channel_state(&self) -> Result<ChannelState, ChannelError> {
+        Ok(ChannelState::new(
             1.0,
-            path_loss(self.position, self.gamma),
-            path_loss(1.0 - self.position, self.gamma),
-        )
+            checked_gain(self.position, self.gamma, "ar")?,
+            checked_gain(1.0 - self.position, self.gamma, "br")?,
+        ))
+    }
+
+    /// Panicking thin wrapper over [`LineNetwork::try_channel_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gain overflows the clamped power law (extreme
+    /// `gamma`).
+    pub fn channel_state(&self) -> ChannelState {
+        self.try_channel_state()
+            .unwrap_or_else(|e| panic!("invalid line-network gains: {e}"))
     }
 }
 
 /// A fully general planar topology: explicit 2-D coordinates for the three
-/// nodes. Gains are path-loss only, normalised so a unit-distance link has
-/// unit gain.
+/// nodes. Gains are path-loss only (near-field clamped at [`D_MIN`]),
+/// normalised so a unit-distance link has unit gain.
+///
+/// The fields stay public for literal construction in tests and
+/// examples; [`PlanarNetwork::new`] is the validated path that rejects
+/// non-finite coordinates and bad exponents up front, and
+/// [`PlanarNetwork::try_channel_state`] re-validates before deriving
+/// gains, so a field mutated to NaN after construction is still caught.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanarNetwork {
     /// Position of terminal `a`.
@@ -91,21 +213,299 @@ pub struct PlanarNetwork {
 }
 
 impl PlanarNetwork {
+    /// Validated constructor: rejects non-finite coordinates and a
+    /// negative or non-finite `gamma`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::InvalidCoordinate`] or
+    /// [`ChannelError::InvalidGamma`] on the first offending parameter.
+    pub fn new(
+        a: (f64, f64),
+        b: (f64, f64),
+        r: (f64, f64),
+        gamma: f64,
+    ) -> Result<Self, ChannelError> {
+        check_coord("a", a)?;
+        check_coord("b", b)?;
+        check_coord("r", r)?;
+        check_gamma(gamma)?;
+        Ok(PlanarNetwork { a, b, r, gamma })
+    }
+
     fn dist(p: (f64, f64), q: (f64, f64)) -> f64 {
         ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2)).sqrt()
     }
 
-    /// The path-loss channel state of this geometry.
+    /// The path-loss channel state of this geometry, under the
+    /// finite-gain contract: coordinates and exponent are re-validated
+    /// (the fields are public), distances are near-field clamped at
+    /// [`D_MIN`], and a gain that still overflows is an error rather
+    /// than a poisoned [`ChannelState`].
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::InvalidCoordinate`] / [`ChannelError::InvalidGamma`]
+    /// if a public field was set to an invalid value;
+    /// [`ChannelError::NonFiniteGain`] if the clamped power law
+    /// overflows (extreme `gamma`).
+    pub fn try_channel_state(&self) -> Result<ChannelState, ChannelError> {
+        check_coord("a", self.a)?;
+        check_coord("b", self.b)?;
+        check_coord("r", self.r)?;
+        check_gamma(self.gamma)?;
+        Ok(ChannelState::new(
+            checked_gain(Self::dist(self.a, self.b), self.gamma, "ab")?,
+            checked_gain(Self::dist(self.a, self.r), self.gamma, "ar")?,
+            checked_gain(Self::dist(self.b, self.r), self.gamma, "br")?,
+        ))
+    }
+
+    /// Panicking thin wrapper over
+    /// [`PlanarNetwork::try_channel_state`], kept for literal geometry
+    /// where invalid inputs are a bug at the call site. Co-located nodes
+    /// no longer panic — their link saturates at the [`D_MIN`]
+    /// near-field clamp.
     ///
     /// # Panics
     ///
-    /// Panics if any two nodes are co-located.
+    /// Panics if a field holds a non-finite coordinate or invalid
+    /// exponent, or a gain overflows the clamped power law.
     pub fn channel_state(&self) -> ChannelState {
-        ChannelState::new(
-            path_loss(Self::dist(self.a, self.b), self.gamma),
-            path_loss(Self::dist(self.a, self.r), self.gamma),
-            path_loss(Self::dist(self.b, self.r), self.gamma),
-        )
+        self.try_channel_state()
+            .unwrap_or_else(|e| panic!("invalid planar network: {e}"))
+    }
+}
+
+/// Domain-separation tag of the relay placement streams, so relay `j`'s
+/// position never collides with pair `j`'s stream under one master seed.
+const RELAY_STREAM: u64 = 0x52_454C_4159;
+
+/// A city-scale node layout: `K` terminal pairs and `n` candidate relays
+/// on a disc, with one shared path-loss exponent.
+///
+/// Construct with [`Topology::random`] (uniform placement, deterministic
+/// per seed via the workspace [`mix_seed`] stream discipline) or
+/// [`Topology::grid`] (deterministic lattice). Every candidate edge
+/// `(pair k, relay j)` yields a [`PlanarNetwork`] via [`Topology::edge`]
+/// and a finite-gain [`ChannelState`] via [`Topology::try_edge_state`].
+///
+/// Placement streams are **prefix-stable**: pair `k` and relay `j` draw
+/// from their own decorrelated child streams of the master seed, so
+/// `Topology::random(seed, K, n + m, ..)` places its first `n` relays
+/// exactly where `Topology::random(seed, K, n, ..)` does — the property
+/// the "more relays ⇒ no worse" dominance tests lean on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    pairs: Vec<((f64, f64), (f64, f64))>,
+    relays: Vec<(f64, f64)>,
+    radius: f64,
+    gamma: f64,
+}
+
+impl Topology {
+    fn check_extent(
+        pairs: usize,
+        relays: usize,
+        radius: f64,
+        gamma: f64,
+    ) -> Result<(), ChannelError> {
+        if pairs == 0 {
+            return Err(ChannelError::InvalidTopology {
+                what: "need at least one terminal pair",
+            });
+        }
+        if relays == 0 {
+            return Err(ChannelError::InvalidTopology {
+                what: "need at least one candidate relay",
+            });
+        }
+        if !(radius.is_finite() && radius > 0.0) {
+            return Err(ChannelError::InvalidTopology {
+                what: "disc radius must be finite and positive",
+            });
+        }
+        check_gamma(gamma)
+    }
+
+    /// Uniform-on-disc placement of `pairs` terminal pairs and `relays`
+    /// candidate relays, deterministic per `seed`.
+    ///
+    /// Pair `k` draws its two terminals from the child stream
+    /// `mix_seed(seed, k)`; relay `j` draws from the domain-separated
+    /// stream `mix_seed(seed ^ RELAY_STREAM, j)` — so placements are
+    /// reproducible node by node and prefix-stable in both counts.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::InvalidTopology`] for zero counts or a
+    /// non-positive radius, [`ChannelError::InvalidGamma`] for a bad
+    /// exponent.
+    pub fn random(
+        seed: u64,
+        pairs: usize,
+        relays: usize,
+        radius: f64,
+        gamma: f64,
+    ) -> Result<Self, ChannelError> {
+        Self::check_extent(pairs, relays, radius, gamma)?;
+        let disc_point = |rng: &mut StdRng| {
+            let r = radius * rng.gen::<f64>().sqrt();
+            let theta = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+            (r * theta.cos(), r * theta.sin())
+        };
+        let pairs = (0..pairs)
+            .map(|k| {
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, k as u64));
+                (disc_point(&mut rng), disc_point(&mut rng))
+            })
+            .collect();
+        let relays = (0..relays)
+            .map(|j| {
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed ^ RELAY_STREAM, j as u64));
+                disc_point(&mut rng)
+            })
+            .collect();
+        Ok(Topology {
+            pairs,
+            relays,
+            radius,
+            gamma,
+        })
+    }
+
+    /// Deterministic lattice placement: relays on a `⌈√n⌉ × ⌈√n⌉` grid
+    /// over the disc's inscribed square (shrunk to 70% so pair terminals
+    /// fit beside it), pair terminals `a_k` on their own lattice with
+    /// `b_k` a fixed `radius / 5` to the east — the regular-deployment
+    /// baseline the random study is compared against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Topology::random`].
+    pub fn grid(
+        pairs: usize,
+        relays: usize,
+        radius: f64,
+        gamma: f64,
+    ) -> Result<Self, ChannelError> {
+        Self::check_extent(pairs, relays, radius, gamma)?;
+        let lattice = |count: usize| {
+            let side = (count as f64).sqrt().ceil() as usize;
+            let half = 0.7 * radius / std::f64::consts::SQRT_2;
+            (0..count)
+                .map(|i| {
+                    let (row, col) = (i / side, i % side);
+                    let step = if side > 1 {
+                        2.0 * half / (side - 1) as f64
+                    } else {
+                        0.0
+                    };
+                    (-half + col as f64 * step, -half + row as f64 * step)
+                })
+                .collect::<Vec<_>>()
+        };
+        let offset = radius / 5.0;
+        let pairs = lattice(pairs)
+            .into_iter()
+            .map(|a| (a, (a.0 + offset, a.1)))
+            .collect();
+        Ok(Topology {
+            pairs,
+            relays: lattice(relays),
+            radius,
+            gamma,
+        })
+    }
+
+    /// Number of terminal pairs `K`.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of candidate relays `n`.
+    pub fn num_relays(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// Disc radius of the placement.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Path-loss exponent shared by every link.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Terminal coordinates `(a_k, b_k)` of pair `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn pair(&self, k: usize) -> ((f64, f64), (f64, f64)) {
+        self.pairs[k]
+    }
+
+    /// Coordinates of relay `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn relay(&self, j: usize) -> (f64, f64) {
+        self.relays[j]
+    }
+
+    /// The same topology restricted to its first `n` relays — the
+    /// prefix restriction the "more relays ⇒ no worse" dominance tests
+    /// compare against (see the type docs on prefix stability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the relay count.
+    pub fn with_relays(&self, n: usize) -> Self {
+        assert!(
+            n >= 1 && n <= self.relays.len(),
+            "relay prefix must be 1..={}, got {n}",
+            self.relays.len()
+        );
+        Topology {
+            pairs: self.pairs.clone(),
+            relays: self.relays[..n].to_vec(),
+            radius: self.radius,
+            gamma: self.gamma,
+        }
+    }
+
+    /// The candidate edge `(pair k, relay j)` as a three-node planar
+    /// geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `j` is out of range.
+    pub fn edge(&self, k: usize, j: usize) -> PlanarNetwork {
+        let (a, b) = self.pairs[k];
+        PlanarNetwork {
+            a,
+            b,
+            r: self.relays[j],
+            gamma: self.gamma,
+        }
+    }
+
+    /// The finite-gain channel state of candidate edge `(k, j)` — the
+    /// validated path every batch consumer goes through.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NonFiniteGain`] if a clamped gain overflows
+    /// (extreme `gamma`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `j` is out of range.
+    pub fn try_edge_state(&self, k: usize, j: usize) -> Result<ChannelState, ChannelError> {
+        self.edge(k, j).try_channel_state()
     }
 }
 
@@ -149,13 +549,9 @@ mod tests {
     #[test]
     fn planar_reduces_to_line() {
         let line = LineNetwork::new(0.25, 3.0).channel_state();
-        let planar = PlanarNetwork {
-            a: (0.0, 0.0),
-            b: (1.0, 0.0),
-            r: (0.25, 0.0),
-            gamma: 3.0,
-        }
-        .channel_state();
+        let planar = PlanarNetwork::new((0.0, 0.0), (1.0, 0.0), (0.25, 0.0), 3.0)
+            .expect("valid geometry")
+            .channel_state();
         assert!(approx_eq(line.gar(), planar.gar(), 1e-12));
         assert!(approx_eq(line.gbr(), planar.gbr(), 1e-12));
         assert!(approx_eq(line.gab(), planar.gab(), 1e-12));
@@ -163,20 +559,13 @@ mod tests {
 
     #[test]
     fn offset_relay_weakens_links() {
-        let on_line = PlanarNetwork {
-            a: (0.0, 0.0),
-            b: (1.0, 0.0),
-            r: (0.5, 0.0),
-            gamma: 3.0,
-        }
-        .channel_state();
-        let off_line = PlanarNetwork {
-            a: (0.0, 0.0),
-            b: (1.0, 0.0),
-            r: (0.5, 0.5),
-            gamma: 3.0,
-        }
-        .channel_state();
+        let at = |r| {
+            PlanarNetwork::new((0.0, 0.0), (1.0, 0.0), r, 3.0)
+                .expect("valid geometry")
+                .channel_state()
+        };
+        let on_line = at((0.5, 0.0));
+        let off_line = at((0.5, 0.5));
         assert!(off_line.gar() < on_line.gar());
         assert!(off_line.gbr() < on_line.gbr());
     }
@@ -185,5 +574,118 @@ mod tests {
     #[should_panic(expected = "in (0,1)")]
     fn boundary_position_rejected() {
         let _ = LineNetwork::new(1.0, 3.0);
+    }
+
+    #[test]
+    fn try_new_surfaces_boundary_as_error() {
+        assert_eq!(
+            LineNetwork::try_new(1.0, 3.0),
+            Err(ChannelError::InvalidPosition { position: 1.0 })
+        );
+        assert_eq!(
+            LineNetwork::try_new(0.5, -1.0),
+            Err(ChannelError::InvalidGamma { gamma: -1.0 })
+        );
+    }
+
+    #[test]
+    fn colocated_nodes_saturate_at_near_field_clamp() {
+        // The headline bug: this used to overflow to +INF (and panic in
+        // ChannelState::new). Now the link saturates at D_MIN^{-γ}.
+        let net = PlanarNetwork::new((0.2, 0.2), (0.2, 0.2), (0.5, 0.5), 3.0).expect("valid");
+        let cs = net.try_channel_state().expect("finite gains");
+        assert!(cs.gab().is_finite());
+        assert!(approx_eq(cs.gab(), D_MIN.powf(-3.0), 1e-9));
+        // Near-but-not-co-located lands on the same saturated gain:
+        let near = PlanarNetwork::new((0.2, 0.2), (0.2 + 1e-120, 0.2), (0.5, 0.5), 3.0)
+            .expect("valid")
+            .try_channel_state()
+            .expect("finite gains");
+        assert_eq!(near.gab(), cs.gab());
+    }
+
+    #[test]
+    fn invalid_inputs_error_instead_of_poisoning() {
+        assert!(matches!(
+            PlanarNetwork::new((f64::NAN, 0.0), (1.0, 0.0), (0.5, 0.0), 3.0),
+            Err(ChannelError::InvalidCoordinate { node: "a", .. })
+        ));
+        assert!(matches!(
+            PlanarNetwork::new((0.0, 0.0), (1.0, 0.0), (0.5, 0.0), f64::INFINITY),
+            Err(ChannelError::InvalidGamma { .. })
+        ));
+        // Public-field mutation after construction is caught on derive:
+        let mut net = PlanarNetwork::new((0.0, 0.0), (1.0, 0.0), (0.5, 0.0), 3.0).expect("valid");
+        net.b.1 = f64::NAN;
+        assert!(matches!(
+            net.try_channel_state(),
+            Err(ChannelError::InvalidCoordinate { node: "b", .. })
+        ));
+        // An exponent extreme enough to overflow the clamped power law:
+        let extreme = PlanarNetwork::new((0.0, 0.0), (1.0, 0.0), (0.0, 1e-9), 400.0).expect("ok");
+        assert!(matches!(
+            extreme.try_channel_state(),
+            Err(ChannelError::NonFiniteGain { link: "ar", .. })
+        ));
+    }
+
+    #[test]
+    fn random_topology_is_deterministic_and_in_extent() {
+        let t1 = Topology::random(0xC17, 32, 8, 5.0, 3.0).expect("valid");
+        let t2 = Topology::random(0xC17, 32, 8, 5.0, 3.0).expect("valid");
+        assert_eq!(t1, t2);
+        assert_eq!(t1.num_pairs(), 32);
+        assert_eq!(t1.num_relays(), 8);
+        let inside = |p: (f64, f64)| (p.0 * p.0 + p.1 * p.1).sqrt() <= 5.0 + 1e-12;
+        for k in 0..t1.num_pairs() {
+            let (a, b) = t1.pair(k);
+            assert!(inside(a) && inside(b));
+        }
+        for j in 0..t1.num_relays() {
+            assert!(inside(t1.relay(j)));
+        }
+        // A different seed moves the nodes:
+        assert_ne!(t1, Topology::random(0xC18, 32, 8, 5.0, 3.0).expect("ok"));
+    }
+
+    #[test]
+    fn random_topology_is_prefix_stable() {
+        let small = Topology::random(7, 16, 4, 2.0, 3.0).expect("valid");
+        let large = Topology::random(7, 16, 9, 2.0, 3.0).expect("valid");
+        assert_eq!(small, large.with_relays(4));
+    }
+
+    #[test]
+    fn grid_topology_is_regular_and_valid() {
+        let t = Topology::grid(9, 4, 1.0, 3.0).expect("valid");
+        assert_eq!(t.num_pairs(), 9);
+        assert_eq!(t.num_relays(), 4);
+        // Lattice rows share y coordinates:
+        assert_eq!(t.relay(0).1, t.relay(1).1);
+        for k in 0..9 {
+            for j in 0..4 {
+                assert!(t.try_edge_state(k, j).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn topology_rejects_degenerate_extents() {
+        assert!(matches!(
+            Topology::random(1, 0, 4, 1.0, 3.0),
+            Err(ChannelError::InvalidTopology { .. })
+        ));
+        assert!(matches!(
+            Topology::random(1, 4, 0, 1.0, 3.0),
+            Err(ChannelError::InvalidTopology { .. })
+        ));
+        assert!(matches!(
+            Topology::grid(4, 4, -1.0, 3.0),
+            Err(ChannelError::InvalidTopology { .. })
+        ));
+        assert!(matches!(
+            Topology::grid(4, 4, 1.0, f64::NAN),
+            Err(ChannelError::InvalidGamma { .. })
+        ));
     }
 }

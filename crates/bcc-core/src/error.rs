@@ -36,6 +36,15 @@ pub enum CoreError {
         /// The injection site, e.g. `"kernel poison"`.
         site: &'static str,
     },
+    /// A scenario or topology input failed validation before any solve
+    /// ran — the builder-API counterpart of the serving layer's
+    /// up-front query validation. Carries the human-readable reason
+    /// (e.g. a relay position outside `(0, 1)`, or a placement whose
+    /// clamped path-loss gain still overflowed).
+    InvalidInput {
+        /// What was rejected and why.
+        context: String,
+    },
 }
 
 impl CoreError {
@@ -66,6 +75,13 @@ impl CoreError {
     /// paths contain it per item instead of aborting.
     pub fn is_injected(&self) -> bool {
         matches!(self, CoreError::Injected { .. })
+    }
+
+    /// `true` if the input was rejected by up-front validation
+    /// ([`CoreError::InvalidInput`]) — the caller supplied an unusable
+    /// parameter; nothing was solved.
+    pub fn is_invalid_input(&self) -> bool {
+        matches!(self, CoreError::InvalidInput { .. })
     }
 
     /// `true` if the underlying solver ran out of its iteration budget —
@@ -100,6 +116,9 @@ impl fmt::Display for CoreError {
             CoreError::Injected { site } => {
                 write!(f, "injected fault: {site}")
             }
+            CoreError::InvalidInput { context } => {
+                write!(f, "invalid input: {context}")
+            }
         }
     }
 }
@@ -110,7 +129,8 @@ impl Error for CoreError {
             CoreError::Lp { source, .. } => Some(source),
             CoreError::RateUnachievable { .. }
             | CoreError::NoFiniteOptimum { .. }
-            | CoreError::Injected { .. } => None,
+            | CoreError::Injected { .. }
+            | CoreError::InvalidInput { .. } => None,
         }
     }
 }

@@ -51,6 +51,7 @@
 
 pub mod batch;
 pub mod bounds;
+pub mod city;
 pub mod comparison;
 pub mod constraint;
 pub mod deep;
@@ -68,6 +69,7 @@ pub mod selection;
 pub mod tails;
 
 pub use batch::PointBlock;
+pub use city::{AssignmentKind, CityEvaluator, CityResult, CityScenario};
 pub use constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
 pub use deep::{DeepCell, DeepOutageResult, DeepSpec, TailSource, TiltSelect};
 pub use dmt::{Allocation, AllocationResult, DmtResult};
@@ -86,6 +88,7 @@ pub use tails::{analytic_outage, AnalyticTail, TailForm};
 /// One-stop imports for the batch evaluation API.
 pub mod prelude {
     pub use crate::batch::PointBlock;
+    pub use crate::city::{AssignmentKind, CityEvaluator, CityResult, CityScenario};
     pub use crate::constraint::{ConstraintBuf, ConstraintSet, PhaseVec, RateConstraint};
     pub use crate::deep::{DeepCell, DeepOutageResult, DeepSpec, TailSource, TiltSelect};
     pub use crate::dmt::{Allocation, AllocationResult, DmtResult};
@@ -104,6 +107,6 @@ pub mod prelude {
     };
     pub use crate::tails::{analytic_outage, AnalyticTail, TailForm};
     pub use bcc_channel::fading::{FadingModel, PowerTilt};
-    pub use bcc_channel::{ChannelState, PowerSplit};
+    pub use bcc_channel::{ChannelError, ChannelState, PowerSplit, Topology};
     pub use bcc_num::Db;
 }

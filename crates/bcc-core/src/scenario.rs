@@ -43,6 +43,7 @@
 //! use bcc_core::prelude::*;
 //!
 //! let sweep = Scenario::relay_position_sweep(15.0, 3.0, (1..=19).map(|k| k as f64 / 20.0))
+//!     .unwrap()
 //!     .build()
 //!     .sweep()
 //!     .unwrap();
@@ -69,15 +70,12 @@ use rand::SeedableRng;
 
 /// Mixes `(seed, k)` into a decorrelated child seed (SplitMix64
 /// finalisation). This is the workspace-wide seeding policy: all
-/// Monte-Carlo drivers derive per-trial streams through this function so
-/// trial `i` is independent of how much randomness trial `i - 1` consumed.
-pub fn mix_seed(seed: u64, k: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    z
-}
+/// Monte-Carlo drivers and topology generators derive per-stream seeds
+/// through this function so stream `i` is independent of how much
+/// randomness stream `i - 1` consumed. The definition lives in
+/// [`bcc_num::seed`] (re-exported here unchanged) so the channel
+/// substrate's placement generators share it.
+pub use bcc_num::seed::mix_seed;
 
 /// The deterministic RNG stream of trial `k` under master seed `seed`.
 pub fn trial_stream(seed: u64, k: u64) -> StdRng {
@@ -198,24 +196,42 @@ impl Scenario {
     /// Sweeps the relay position on the a–b line with path-loss exponent
     /// `gamma` — Fig. 3 sweep B.
     ///
-    /// # Panics
+    /// Positions are validated up front through [`LineNetwork::try_new`]
+    /// (a boundary or out-of-range position used to escape as a raw
+    /// geometry panic through this builder); an invalid position or
+    /// exponent surfaces as [`CoreError::InvalidInput`] naming the
+    /// offending value, matching the serving layer's up-front query
+    /// validation discipline.
     ///
-    /// Panics if `positions` is empty or contains values outside `(0, 1)`
-    /// (propagated from [`LineNetwork::new`]).
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] if `positions` is empty, contains a
+    /// value outside the open interval `(0, 1)`, or `gamma` is negative
+    /// or non-finite.
     pub fn relay_position_sweep(
         power_db: f64,
         gamma: f64,
         positions: impl IntoIterator<Item = f64>,
-    ) -> Self {
+    ) -> Result<Self, CoreError> {
         let power = Db::new(power_db).to_linear();
         let points = positions
             .into_iter()
-            .map(|d| GridPoint {
-                x: d,
-                net: GaussianNetwork::new(power, LineNetwork::new(d, gamma).channel_state()),
+            .map(|d| {
+                let line = LineNetwork::try_new(d, gamma).map_err(|e| CoreError::InvalidInput {
+                    context: format!("relay position sweep: {e}"),
+                })?;
+                Ok(GridPoint {
+                    x: d,
+                    net: GaussianNetwork::new(power, line.channel_state()),
+                })
             })
-            .collect();
-        Scenario::from_points("relay position", points)
+            .collect::<Result<Vec<GridPoint>, CoreError>>()?;
+        if points.is_empty() {
+            return Err(CoreError::InvalidInput {
+                context: "relay position sweep: need at least one position".into(),
+            });
+        }
+        Ok(Scenario::from_points("relay position", points))
     }
 
     /// Sweeps the relay's share of a fixed total power budget at balanced
@@ -1336,6 +1352,7 @@ mod tests {
     #[test]
     fn position_sweep_mirror_symmetric() {
         let sweep = Scenario::relay_position_sweep(15.0, 3.0, vec![0.25, 0.5, 0.75])
+            .unwrap()
             .build()
             .sweep()
             .unwrap();
@@ -1343,6 +1360,12 @@ mod tests {
             let s = sweep.series(p).unwrap().sum_rates();
             assert!((s[0] - s[2]).abs() < 1e-8, "{p} not mirror symmetric");
         }
+        // Boundary positions are validation errors now, not panics:
+        let err = Scenario::relay_position_sweep(15.0, 3.0, vec![0.5, 1.0]).unwrap_err();
+        assert!(err.is_invalid_input(), "got {err}");
+        assert!(Scenario::relay_position_sweep(15.0, 3.0, Vec::new())
+            .unwrap_err()
+            .is_invalid_input());
     }
 
     #[test]
@@ -1598,6 +1621,7 @@ mod tests {
     #[test]
     fn strict_wins_respects_margin() {
         let sweep = Scenario::relay_position_sweep(15.0, 3.0, (1..=19).map(|k| k as f64 / 20.0))
+            .unwrap()
             .build()
             .sweep()
             .unwrap();

@@ -215,3 +215,75 @@ proptest! {
         }
     }
 }
+
+// City-scale placement and assignment dominance. Separate block with a
+// smaller case budget: each case solves a full (pairs × relays) edge
+// grid.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_random_placement_yields_finite_gains(
+        seed in 0u64..u64::MAX,
+        k in 1usize..=40,
+        n in 1usize..=12,
+        radius in 0.05f64..50.0,
+        gamma in 0.0f64..6.0,
+    ) {
+        // The headline bugfix as a property: no disc placement — however
+        // tight, however co-located the draws — produces a non-finite
+        // path-loss gain once the d_min clamp is in force.
+        let topo = Topology::random(seed, k, n, radius, gamma).unwrap();
+        for pair in 0..k {
+            for j in 0..n {
+                let state = topo.try_edge_state(pair, j).unwrap();
+                for g in [state.gab(), state.gar(), state.gbr()] {
+                    prop_assert!(
+                        g.is_finite() && g >= 0.0,
+                        "non-finite gain at pair {pair}, relay {j}: {g}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn city_assignment_dominance(
+        seed in 0u64..u64::MAX,
+        k in 1usize..=8,
+        n in 2usize..=5,
+        power_db in 0.0f64..20.0,
+    ) {
+        use bcc_core::city::{AssignmentKind, SCHEDULES as CITY_SCHEDULES};
+        let topo = Topology::random(seed, k, n, 10.0, 3.0).unwrap();
+
+        // Greedy best-edge attachment dominates the random baseline.
+        let full = Scenario::city(topo.clone(), power_db).build().sweep().unwrap();
+        let greedy = full.best_edge_rate(AssignmentKind::Greedy);
+        let random = full.best_edge_rate(AssignmentKind::Random);
+        prop_assert!(greedy >= random, "greedy {greedy} < random {random}");
+
+        // Refined dominates both seeds on the scheduled objective.
+        let refined = full.scheduled_rate(AssignmentKind::Refined, Schedule::TimeShare);
+        for kind in [AssignmentKind::Greedy, AssignmentKind::Random] {
+            let seed_rate = full.scheduled_rate(kind, Schedule::TimeShare);
+            prop_assert!(refined >= seed_rate, "refined {refined} < {kind} {seed_rate}");
+        }
+        for schedule in CITY_SCHEDULES {
+            prop_assert!(full.scheduled_rate(AssignmentKind::Refined, schedule).is_finite());
+        }
+
+        // More relays never hurt: the prefix-stable placement means the
+        // (n-1)-relay city is exactly the n-relay city minus one option
+        // per pair.
+        let fewer = Scenario::city(topo.with_relays(n - 1), power_db)
+            .build()
+            .sweep()
+            .unwrap();
+        let fewer_greedy = fewer.best_edge_rate(AssignmentKind::Greedy);
+        prop_assert!(
+            greedy >= fewer_greedy,
+            "{n} relays give {greedy} < {} relays' {fewer_greedy}", n - 1
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //!   (used for closed-form ergodic-rate cross-checks over Rayleigh fading).
 //! * [`optim`] — scalar optimisation: golden-section search, bisection and
 //!   grid refinement.
+//! * [`seed`] — the workspace-wide deterministic seeding policy
+//!   ([`seed::mix_seed`]): SplitMix64-finalised child streams shared by
+//!   the topology generators and every Monte-Carlo driver.
 //! * [`par`] — chunked, order-preserving data parallelism over scoped
 //!   worker threads (`par_map_indexed`), the engine behind the parallel
 //!   `Scenario` evaluator and Monte-Carlo drivers.
@@ -49,6 +52,7 @@ pub mod linalg;
 pub mod optim;
 pub mod par;
 pub mod quadrature;
+pub mod seed;
 pub mod special;
 pub mod stats;
 

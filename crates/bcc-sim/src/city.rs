@@ -1,0 +1,269 @@
+//! City-scale relay assignment — the **simulator-side twin** of the
+//! streamed [`CityEvaluator`](bcc_core::city::CityEvaluator).
+//!
+//! The evaluator fans one job per pair across worker threads and runs
+//! each pair's relay edges through the SoA block kernel, reducing on
+//! the fly to a fixed-width candidate list. This twin is the obvious
+//! serial reference: one [`SolveCtx`], one scalar
+//! [`solve_one`](SolveCtx::solve_one) per `(pair, relay, protocol)`
+//! edge in plain nested-loop order, the **full** `K × n` rate matrix
+//! held in memory. A genuinely different driver over the same per-edge
+//! arithmetic — so under a shared topology and seed the two paths must
+//! agree **bit for bit** on every edge rate, every assignment, and
+//! every aggregate (the cross-validation suite's contract).
+
+use bcc_channel::Topology;
+use bcc_core::city::{CandidateEdge, Schedule};
+use bcc_core::error::CoreError;
+use bcc_core::gaussian::GaussianNetwork;
+use bcc_core::kernel::{SolveCtx, SolveRequest};
+use bcc_core::protocol::Protocol;
+use bcc_core::scenario::mix_seed;
+use bcc_num::Db;
+
+/// The serial city study: the full pair × relay best-protocol sum-rate
+/// matrix plus the deterministic random-assignment stream.
+#[derive(Debug, Clone)]
+pub struct CityAssignmentSim {
+    /// `rates[k][j]` = best-over-protocols sum rate of pair `k` through
+    /// relay `j`.
+    rates: Vec<Vec<f64>>,
+    assign_seed: u64,
+}
+
+impl CityAssignmentSim {
+    /// Solves every `(pair, relay)` edge of `topology` serially at
+    /// `power_db` dB per node, taking the best sum rate over
+    /// `protocols` (first strictly-greater wins — the evaluator's
+    /// tie-break).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] on an invalid edge geometry, and any
+    /// LP failure from the scalar kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocols` is empty or `power_db` is non-finite.
+    pub fn run(
+        topology: &Topology,
+        power_db: f64,
+        protocols: &[Protocol],
+        assign_seed: u64,
+    ) -> Result<Self, CoreError> {
+        assert!(!protocols.is_empty(), "need at least one protocol");
+        assert!(power_db.is_finite(), "power must be finite dB");
+        let power = Db::new(power_db).to_linear();
+        let (k, n) = (topology.num_pairs(), topology.num_relays());
+        let mut ctx = SolveCtx::new();
+        let mut rates = vec![vec![0.0f64; n]; k];
+        for (pair, row) in rates.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                let state =
+                    topology
+                        .try_edge_state(pair, j)
+                        .map_err(|e| CoreError::InvalidInput {
+                            context: format!("city edge (pair {pair}, relay {j}): {e}"),
+                        })?;
+                let net = GaussianNetwork::new(power, state);
+                let mut best = f64::NEG_INFINITY;
+                for &p in protocols {
+                    let v = ctx.solve_one(&net, SolveRequest::sum_rate(p))?.value;
+                    if v > best {
+                        best = v;
+                    }
+                }
+                *slot = best;
+            }
+        }
+        Ok(CityAssignmentSim { rates, assign_seed })
+    }
+
+    /// Number of pairs `K`.
+    pub fn num_pairs(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of candidate relays `n`.
+    pub fn num_relays(&self) -> usize {
+        self.rates[0].len()
+    }
+
+    /// The best-protocol sum rate of pair `k` through relay `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `j` is out of range.
+    pub fn edge_rate(&self, k: usize, j: usize) -> f64 {
+        self.rates[k][j]
+    }
+
+    /// Pair `k`'s best edge (lowest relay index on ties — the
+    /// evaluator's deterministic tie-break).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn best_edge(&self, k: usize) -> CandidateEdge {
+        let mut best = CandidateEdge {
+            relay: 0,
+            rate: f64::NEG_INFINITY,
+        };
+        for (j, &rate) in self.rates[k].iter().enumerate() {
+            if rate > best.rate {
+                best = CandidateEdge { relay: j, rate };
+            }
+        }
+        best
+    }
+
+    /// The greedy assignment: every pair on its best edge.
+    pub fn greedy_assignment(&self) -> Vec<usize> {
+        (0..self.num_pairs())
+            .map(|k| self.best_edge(k).relay)
+            .collect()
+    }
+
+    /// The deterministic random baseline: pair `k` on relay
+    /// `mix_seed(assign_seed, k) mod n` — the evaluator's stream.
+    pub fn random_assignment(&self) -> Vec<usize> {
+        let n = self.num_relays() as u64;
+        (0..self.num_pairs())
+            .map(|k| (mix_seed(self.assign_seed, k as u64) % n) as usize)
+            .collect()
+    }
+
+    /// Mean congestion-free per-pair sum rate of `assign` (the twin of
+    /// [`CityResult::best_edge_rate`](bcc_core::city::CityResult::best_edge_rate),
+    /// summed in pair order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign` has the wrong length or names an out-of-range
+    /// relay.
+    pub fn best_edge_rate(&self, assign: &[usize]) -> f64 {
+        assert_eq!(assign.len(), self.num_pairs(), "one relay per pair");
+        let total: f64 = assign
+            .iter()
+            .enumerate()
+            .map(|(k, &j)| self.rates[k][j])
+            .sum();
+        total / self.num_pairs() as f64
+    }
+
+    /// City-wide scheduled sum rate of `assign`: per non-empty relay,
+    /// `schedule`'s aggregate of its assigned pairs' rates in pair
+    /// order, summed over relays — the same bucket arithmetic as
+    /// [`CityResult::scheduled_rate`](bcc_core::city::CityResult::scheduled_rate),
+    /// so shared inputs agree bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign` has the wrong length or names an out-of-range
+    /// relay.
+    pub fn scheduled_rate(&self, assign: &[usize], schedule: Schedule) -> f64 {
+        assert_eq!(assign.len(), self.num_pairs(), "one relay per pair");
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); self.num_relays()];
+        for (k, &j) in assign.iter().enumerate() {
+            buckets[j].push(self.rates[k][j]);
+        }
+        buckets
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| schedule.aggregate_sum_rates(b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_core::city::{AssignmentKind, DEFAULT_ASSIGN_SEED};
+    use bcc_core::scenario::Scenario;
+
+    const PROTOCOLS: [Protocol; 2] = [Protocol::Mabc, Protocol::Tdbc];
+
+    #[test]
+    fn matches_evaluator_bitwise() {
+        // The serial scalar driver and the blocked parallel evaluator
+        // must agree bit for bit on edges, assignments and aggregates —
+        // a genuine two-implementation differential check.
+        let topo = Topology::random(42, 18, 6, 9.0, 3.0).unwrap();
+        let sim = CityAssignmentSim::run(&topo, 11.0, &PROTOCOLS, DEFAULT_ASSIGN_SEED).unwrap();
+        let res = Scenario::city(topo, 11.0)
+            .protocols(PROTOCOLS)
+            .threads(4)
+            .build()
+            .sweep()
+            .unwrap();
+        for k in 0..sim.num_pairs() {
+            let best = res.pair(k).best();
+            assert_eq!(sim.best_edge(k).relay, best.relay, "pair {k}");
+            assert_eq!(sim.best_edge(k).rate, best.rate, "pair {k}");
+            let rand = res.pair(k).random();
+            assert_eq!(sim.edge_rate(k, rand.relay), rand.rate, "pair {k}");
+        }
+        assert_eq!(
+            sim.greedy_assignment(),
+            res.assignment(AssignmentKind::Greedy)
+        );
+        assert_eq!(
+            sim.random_assignment(),
+            res.assignment(AssignmentKind::Random)
+        );
+        assert_eq!(
+            sim.best_edge_rate(&sim.greedy_assignment()),
+            res.best_edge_rate(AssignmentKind::Greedy)
+        );
+        assert_eq!(
+            sim.best_edge_rate(&sim.random_assignment()),
+            res.best_edge_rate(AssignmentKind::Random)
+        );
+        for s in bcc_core::city::SCHEDULES {
+            assert_eq!(
+                sim.scheduled_rate(&sim.greedy_assignment(), s),
+                res.scheduled_rate(AssignmentKind::Greedy, s),
+                "{s}"
+            );
+            assert_eq!(
+                sim.scheduled_rate(&sim.random_assignment(), s),
+                res.scheduled_rate(AssignmentKind::Random, s),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn refined_evaluator_assignment_checks_out_on_the_full_matrix() {
+        // The evaluator's refined assignment only sees candidate-list
+        // rates; re-scored against the twin's full matrix it must give
+        // the same scheduled value and still dominate both seeds.
+        let topo = Topology::random(7, 20, 5, 8.0, 3.0).unwrap();
+        let sim = CityAssignmentSim::run(&topo, 10.0, &PROTOCOLS, DEFAULT_ASSIGN_SEED).unwrap();
+        let res = Scenario::city(topo, 10.0)
+            .protocols(PROTOCOLS)
+            .build()
+            .sweep()
+            .unwrap();
+        let refined = res.assignment(AssignmentKind::Refined);
+        let s = Schedule::TimeShare;
+        assert_eq!(
+            sim.scheduled_rate(&refined, s),
+            res.scheduled_rate(AssignmentKind::Refined, s)
+        );
+        assert!(sim.scheduled_rate(&refined, s) >= sim.scheduled_rate(&sim.greedy_assignment(), s));
+        assert!(sim.scheduled_rate(&refined, s) >= sim.scheduled_rate(&sim.random_assignment(), s));
+    }
+
+    #[test]
+    fn greedy_dominates_every_assignment_on_the_full_matrix() {
+        let topo = Topology::grid(12, 9, 10.0, 3.0).unwrap();
+        let sim = CityAssignmentSim::run(&topo, 10.0, &PROTOCOLS, 77).unwrap();
+        let greedy = sim.best_edge_rate(&sim.greedy_assignment());
+        // Exhaustive per-pair check, not just the random baseline.
+        for j in 0..sim.num_relays() {
+            let uniform = vec![j; sim.num_pairs()];
+            assert!(greedy >= sim.best_edge_rate(&uniform), "relay {j}");
+        }
+    }
+}

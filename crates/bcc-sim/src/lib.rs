@@ -30,6 +30,9 @@
 //!   [`bcc_core::multipair`]'s batch evaluator: a serial `McConfig`
 //!   driver with per-pair fade streams, cross-validated against the
 //!   parallel fan-out.
+//! * [`city`] — the serial full-matrix twin of [`bcc_core::city`]'s
+//!   streamed relay-assignment evaluator: scalar solves in nested-loop
+//!   order, cross-validated bitwise against the blocked fan-out.
 //! * [`selection`] — relay-selection diversity for the multi-relay
 //!   extension ([`bcc_core::selection`]).
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod binning_sim;
+pub mod city;
 pub mod deep;
 pub mod ergodic;
 pub mod event;

@@ -16,7 +16,7 @@ use bcc::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gamma = 3.0;
 
-    let sweep = Scenario::relay_position_sweep(10.0, gamma, (1..=19).map(|i| i as f64 / 20.0))
+    let sweep = Scenario::relay_position_sweep(10.0, gamma, (1..=19).map(|i| i as f64 / 20.0))?
         .build()
         .sweep()?;
 

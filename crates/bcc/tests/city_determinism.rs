@@ -1,0 +1,110 @@
+//! City-sweep determinism and serial-vs-parallel cross-validation.
+//!
+//! The [`bcc_core::city`] evaluator promises results **bit-identical at
+//! any thread count and any block size**, and the `bcc-sim` full-matrix
+//! twin promises bitwise agreement with it. This target certifies both
+//! contracts at integration scale, and runs under the CI
+//! `BCC_THREADS={1,4}` matrix so the *ambient* thread policy (no
+//! explicit `.threads(..)` pin) is exercised across processes too.
+
+use bcc_core::city::{AssignmentKind, CityResult, ASSIGNMENTS, SCHEDULES};
+use bcc_core::prelude::*;
+use bcc_sim::city::CityAssignmentSim;
+
+const POWER_DB: f64 = 10.0;
+const PROTOCOLS: [Protocol; 2] = [Protocol::Mabc, Protocol::Tdbc];
+
+fn topo() -> Topology {
+    Topology::random(0xC17Au64, 120, 10, 12.0, 3.0).unwrap()
+}
+
+fn sweep(threads: Option<usize>, block: Option<usize>) -> CityResult {
+    let mut sc = Scenario::city(topo(), POWER_DB).protocols(PROTOCOLS);
+    if let Some(t) = threads {
+        sc = sc.threads(t);
+    }
+    if let Some(b) = block {
+        sc = sc.block_size(b);
+    }
+    sc.build().sweep().unwrap()
+}
+
+#[test]
+fn bit_identical_across_threads_and_block_sizes() {
+    // Serial single-edge blocks are the ground truth; the ambient
+    // (None) policy follows BCC_THREADS, so the CI matrix covers both
+    // thread counts without a pin.
+    let base = sweep(Some(1), Some(1));
+    for (threads, block) in [
+        (Some(1), Some(1024)),
+        (Some(4), Some(1)),
+        (Some(4), Some(1024)),
+        (Some(3), Some(7)),
+        (None, None),
+    ] {
+        let other = sweep(threads, block);
+        assert_eq!(base, other, "threads {threads:?} block {block:?}");
+    }
+}
+
+#[test]
+fn matches_serial_full_matrix_twin_bitwise() {
+    let res = sweep(None, None);
+    let sim = CityAssignmentSim::run(
+        &topo(),
+        POWER_DB,
+        &PROTOCOLS,
+        bcc_core::city::DEFAULT_ASSIGN_SEED,
+    )
+    .unwrap();
+    for k in 0..res.num_pairs() {
+        assert_eq!(res.pair(k).best().rate, sim.best_edge(k).rate, "pair {k}");
+        assert_eq!(res.pair(k).best().relay, sim.best_edge(k).relay, "pair {k}");
+    }
+    assert_eq!(
+        res.assignment(AssignmentKind::Greedy),
+        sim.greedy_assignment()
+    );
+    assert_eq!(
+        res.assignment(AssignmentKind::Random),
+        sim.random_assignment()
+    );
+    for kind in [AssignmentKind::Greedy, AssignmentKind::Random] {
+        let assign = res.assignment(kind);
+        assert_eq!(
+            res.best_edge_rate(kind),
+            sim.best_edge_rate(&assign),
+            "{kind}"
+        );
+        for s in SCHEDULES {
+            assert_eq!(
+                res.scheduled_rate(kind, s),
+                sim.scheduled_rate(&assign, s),
+                "{kind} {s}"
+            );
+        }
+    }
+    // The refined assignment re-scores identically on the full matrix.
+    let refined = res.assignment(AssignmentKind::Refined);
+    assert_eq!(
+        res.scheduled_rate(AssignmentKind::Refined, Schedule::TimeShare),
+        sim.scheduled_rate(&refined, Schedule::TimeShare)
+    );
+}
+
+#[test]
+fn assignment_dominance_at_integration_scale() {
+    let res = sweep(None, None);
+    assert!(
+        res.best_edge_rate(AssignmentKind::Greedy) >= res.best_edge_rate(AssignmentKind::Random)
+    );
+    let refined = res.scheduled_rate(AssignmentKind::Refined, Schedule::TimeShare);
+    assert!(refined >= res.scheduled_rate(AssignmentKind::Greedy, Schedule::TimeShare));
+    assert!(refined >= res.scheduled_rate(AssignmentKind::Random, Schedule::TimeShare));
+    for kind in ASSIGNMENTS {
+        assert!(res.best_edge_rate(kind).is_finite());
+        for s in SCHEDULES {
+            assert!(res.scheduled_rate(kind, s).is_finite());
+        }
+    }
+}

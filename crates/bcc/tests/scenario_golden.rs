@@ -72,6 +72,7 @@ fn golden_fig3_position_values_and_hbc_wedge() {
     // Fig. 3 sweep B (P = 15 dB, γ = 3): locked values at d = 0.3 (inside
     // the HBC wedge) and d = 0.5 (midpoint).
     let sweep = Scenario::relay_position_sweep(15.0, 3.0, [0.3, 0.5])
+        .unwrap()
         .build()
         .sweep()
         .unwrap();
